@@ -1,0 +1,22 @@
+# Convenience targets; plain pytest/python work equally well.
+
+.PHONY: install test bench examples experiments clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done
+
+experiments:
+	python -m repro.experiments all -o benchmarks/out --json
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_benchmarks .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

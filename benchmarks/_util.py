@@ -1,0 +1,50 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark both *times* a representative simulator run (via
+pytest-benchmark) and *reproduces* a paper artifact — a table row, a
+figure series, an optimality check.  The reproduction output is printed
+and appended to ``benchmarks/out/<name>.txt`` so the artifacts survive
+the run; EXPERIMENTS.md quotes them.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable
+
+OUT_DIR = pathlib.Path(__file__).resolve().parent / "out"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a reproduction artifact and persist it under benchmarks/out."""
+    OUT_DIR.mkdir(exist_ok=True)
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    with open(OUT_DIR / f"{name}.txt", "w") as fh:
+        fh.write(text + "\n")
+
+
+def format_rows(headers: list[str], rows: Iterable[Iterable]) -> str:
+    """Fixed-width text table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells):
+        return "  ".join(c.rjust(widths[i]) for i, c in enumerate(cells)).rstrip()
+
+    lines = [fmt(headers), "  ".join("-" * w for w in widths)]
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The reproduction sweeps are deterministic simulator runs — repeating
+    them only re-measures the same Python work, so one round keeps the
+    benchmark suite fast while still reporting wall-clock cost.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

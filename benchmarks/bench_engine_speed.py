@@ -1,0 +1,51 @@
+"""Simulator throughput — wall-clock cost of the simulation itself.
+
+Not a paper artifact: these benchmarks track the speed of the
+discrete-event engine (warp transactions per second) so regressions in
+the simulator's own performance are visible.  pytest-benchmark runs
+these with proper repetition since they are cheap and deterministic.
+"""
+
+import numpy as np
+import pytest
+
+from repro import HMM, UMM, HMMParams, MachineParams
+from repro.machine.engine import MachineEngine
+from repro.machine.policy import UMMGroupPolicy
+from repro.core.kernels.contiguous import contiguous_read
+
+
+def test_speed_contiguous_read(benchmark):
+    """Raw transaction throughput of the flat engine."""
+    eng = MachineEngine(MachineParams(width=32, latency=100), UMMGroupPolicy())
+    a = eng.alloc(1 << 14)
+
+    def run():
+        return eng.launch(contiguous_read(a, 1 << 14), 1024).cycles
+
+    cycles = benchmark(run)
+    assert cycles > 0
+
+
+def test_speed_hmm_sum(benchmark, rng):
+    """End-to-end HMM sum including allocation (the common usage)."""
+    vals = rng.normal(size=1 << 12)
+    machine = HMM(HMMParams(num_dmms=8, width=32, global_latency=200))
+
+    def run():
+        return machine.sum(vals, 512)
+
+    total, report = benchmark(run)
+    assert np.isclose(total, vals.sum())
+
+
+def test_speed_hmm_convolution(benchmark, rng):
+    x = rng.normal(size=16)
+    y = rng.normal(size=(1 << 10) + 15)
+    machine = HMM(HMMParams(num_dmms=8, width=32, global_latency=200))
+
+    def run():
+        return machine.convolve(x, y, 1024)
+
+    z, report = benchmark(run)
+    assert np.allclose(z, np.correlate(y, x, "valid"))

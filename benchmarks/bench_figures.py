@@ -1,0 +1,87 @@
+"""Figures 1-5 — the paper's illustrative artifacts, regenerated.
+
+* F1/F2 (architectures): structural invariants of the simulated machines
+  plus a configuration dump.
+* F3 (banks and address groups, w = 4): the layout table.
+* F4 (pipelined global access, w = 4, l = 5): the exact 8-time-unit
+  example, with the pipeline occupancy chart.
+* F5 (the summing tree): the level-by-level combination pattern.
+"""
+
+import numpy as np
+import pytest
+
+from repro import FIG4_PARAMS, GTX580, TraceRecorder
+from repro.machine.engine import MachineEngine
+from repro.machine.hmm import HMMEngine
+from repro.machine.policy import UMMGroupPolicy
+from repro.viz import render_banks_and_groups, render_sum_tree
+
+from _util import emit, once
+
+
+def test_fig12_architecture(benchmark):
+    """Figure 1/2: machine structure — d DMMs (w banks, latency 1) plus
+    one UMM (w banks, latency l), a sea of threads in warps of w."""
+
+    def build():
+        eng = HMMEngine(GTX580)
+        lines = [
+            "HMM(GTX580): "
+            f"d={GTX580.num_dmms} DMMs, w={GTX580.width} banks each, "
+            f"shared latency {GTX580.shared_latency}, global latency "
+            f"{GTX580.global_latency}, max {GTX580.max_threads()} threads",
+        ]
+        lines.append(f"  global unit: {eng.global_unit!r}")
+        lines.append(f"  shared units: {len(eng.shared_units)} x "
+                     f"{eng.shared_units[0]!r}")
+        return eng, "\n".join(lines)
+
+    eng, text = once(benchmark, build)
+    emit("fig12_architecture", text)
+    assert len(eng.shared_units) == 16
+    assert eng.global_unit.policy.name == "umm-group"
+    assert all(u.policy.name == "dmm-bank" for u in eng.shared_units)
+    assert all(u.latency == 1 for u in eng.shared_units)
+    assert eng.global_unit.latency == 400
+
+
+def test_fig3_banks_and_groups(benchmark):
+    out = once(benchmark, render_banks_and_groups, 16, 4)
+    emit("fig3_banks_groups", out)
+    # Row A[2] of the paper's table: addresses 8-11.
+    row = next(l for l in out.splitlines() if l.startswith("A[2]"))
+    assert [int(tok) for tok in row.split()[1:]] == [8, 9, 10, 11]
+
+
+def test_fig4_pipeline_example(benchmark):
+    """The exact example: W(0) reads {15, 2, 6, 0} (3 address groups),
+    W(1) reads {8..11} (1 group), l = 5 -> 8 time units."""
+
+    def run():
+        eng = MachineEngine(FIG4_PARAMS, UMMGroupPolicy(), name="umm")
+        a = eng.alloc(16, "a")
+        a.set(np.arange(16.0))
+        tr = TraceRecorder()
+        pattern = {0: np.array([15, 2, 6, 0]), 1: np.array([8, 9, 10, 11])}
+
+        def prog(warp):
+            vals = yield warp.read(a, pattern[warp.warp_id])
+            assert np.allclose(np.sort(vals), np.sort(pattern[warp.warp_id]))
+
+        report = eng.launch(prog, 8, trace=tr)
+        return report, tr.render_pipeline_timeline("mem", latency=5)
+
+    report, chart = once(benchmark, run)
+    emit(
+        "fig4_pipeline",
+        "paper: (3 + 1) + 5 - 1 = 8 time units\n"
+        f"measured: {report.cycles} time units\n" + chart,
+    )
+    assert report.cycles == 8
+
+
+def test_fig5_sum_tree(benchmark):
+    out = once(benchmark, render_sum_tree, 8)
+    emit("fig5_sum_tree", out)
+    assert "{0,1,2,3,4,5,6,7}" in out.splitlines()[-1]

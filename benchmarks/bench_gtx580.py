@@ -1,0 +1,50 @@
+"""The paper's flagship configuration (Section III): GeForce GTX 580.
+
+d = 16 SMs, w = 32, latency "several hundred cycles" (400 here), up to
+1536 resident threads per SM.  Runs the two headline algorithms at
+realistic launch shapes and prints measured time units next to the
+Table I predictions — the numbers the paper implies but never tabulates.
+"""
+
+import numpy as np
+
+from repro import GTX580, HMM
+from repro.analysis.costmodel import convolution_time, sum_time
+from repro.analysis.terms import Params
+
+from _util import emit, format_rows, once
+
+
+def test_gtx580_headline_numbers(benchmark, rng):
+    def run():
+        machine = HMM(GTX580)
+        rows = []
+        for n, p in ((1 << 14, 2048), (1 << 16, 8192), (1 << 17, 16384)):
+            vals = rng.normal(size=n)
+            total, report = machine.sum(vals, p)
+            assert np.isclose(total, vals.sum())
+            q = Params(n=n, p=p, w=32, l=400, d=16)
+            rows.append(["sum", n, p, report.cycles,
+                         f"{sum_time('hmm', q):.0f}",
+                         f"{report.cycles / sum_time('hmm', q):.2f}"])
+        for (n, k), p in (((1 << 12, 32), 4096), ((1 << 13, 64), 8192)):
+            x = rng.normal(size=k)
+            y = rng.normal(size=n + k - 1)
+            z, report = machine.convolve(x, y, p)
+            assert np.allclose(z, np.correlate(y, x, "valid"))
+            q = Params(n=n, k=k, p=p, w=32, l=400, d=16)
+            rows.append(["convolution", n, p, report.cycles,
+                         f"{convolution_time('hmm', q):.0f}",
+                         f"{report.cycles / convolution_time('hmm', q):.2f}"])
+        return rows
+
+    rows = once(benchmark, run)
+    emit(
+        "gtx580_headline",
+        "GTX580 preset: d=16, w=32, l=400 (paper Section III)\n"
+        + format_rows(
+            ["problem", "n", "p", "measured", "Table I pred", "ratio"], rows
+        ),
+    )
+    for row in rows:
+        assert 0.2 <= float(row[5]) <= 5.0  # prediction brackets measurement

@@ -1,0 +1,55 @@
+"""The (p, l) cost landscape of the HMM sum.
+
+Not a numbered paper artifact, but the picture Section VII paints in
+prose: the latency-bound valley (small p, large l), the bandwidth floor
+(large p), and the p ~ lw ridge between them.  Rendered as a text
+heatmap next to the Table I predictions for the same grid.
+"""
+
+import numpy as np
+
+from repro import HMM, HMMParams
+from repro.analysis.costmodel import sum_time
+from repro.analysis.terms import Params
+from repro.viz import render_heatmap
+
+from _util import emit, once
+
+P_VALUES = [64, 128, 256, 512, 1024, 2048, 4096]
+L_VALUES = [8, 32, 128, 512]
+
+
+def test_landscape_hmm_sum(benchmark, rng):
+    def run():
+        n, w, d = 1 << 13, 16, 8
+        vals = rng.normal(size=n)
+        measured = np.zeros((len(L_VALUES), len(P_VALUES)))
+        predicted = np.zeros_like(measured)
+        for i, l in enumerate(L_VALUES):
+            for j, p in enumerate(P_VALUES):
+                machine = HMM(HMMParams(num_dmms=d, width=w, global_latency=l))
+                measured[i, j] = machine.sum(vals, p)[1].cycles
+                predicted[i, j] = sum_time(
+                    "hmm", Params(n=n, p=p, w=w, l=l, d=d)
+                )
+        return measured, predicted
+
+    measured, predicted = once(benchmark, run)
+    chart = render_heatmap(
+        L_VALUES, P_VALUES, measured,
+        title="HMM sum time units, n=8192 w=16 d=8 (rows: l, cols: p)",
+        row_label="latency l", col_label="threads p",
+    )
+    chart += "\n\n" + render_heatmap(
+        L_VALUES, P_VALUES, predicted,
+        title="Table I prediction (unit coefficients) on the same grid",
+        row_label="latency l", col_label="threads p",
+    )
+    emit("landscape_hmm_sum", chart)
+
+    # The landscape's shape: monotone in l at fixed p, monotone-ish in
+    # p at fixed l, and the measured/predicted ratio stays in a tight
+    # band across the entire grid.
+    assert (np.diff(measured, axis=0) >= 0).all()  # more latency never helps
+    ratio = measured / predicted
+    assert ratio.max() / ratio.min() < 4.0

@@ -1,0 +1,166 @@
+"""Table I, row "Direct convolution" — measured vs the paper's closed
+forms on every model, plus the Theorem 9 claims (d-fold speed-up, linear
+global traffic, crossover against the flat machines).
+"""
+
+import numpy as np
+import pytest
+
+from repro import DMM, HMM, PRAM, SequentialMachine, UMM, HMMParams, MachineParams
+from repro.analysis.costmodel import CONV_FORMULAS
+from repro.analysis.fitting import fit_terms
+from repro.analysis.terms import Params
+
+from _util import emit, format_rows, once
+
+GRID = [
+    dict(n=n, k=k, p=p, w=16, l=l, d=8)
+    for n, k in ((1 << 9, 8), (1 << 10, 16), (1 << 11, 16))
+    for p in (128, 512, 2048)
+    for l in (8, 64)
+]
+
+
+def _measure_model(model: str, q: dict, x: np.ndarray, y: np.ndarray) -> int:
+    p, w, l, d = q["p"], q["w"], q["l"], q["d"]
+    if model == "sequential":
+        return SequentialMachine().convolution(x, y).cycles
+    if model == "pram":
+        return PRAM(p).convolution(x, y).cycles
+    if model == "dmm":
+        return DMM(MachineParams(width=w, latency=l)).convolve(x, y, p)[1].cycles
+    if model == "umm":
+        return UMM(MachineParams(width=w, latency=l)).convolve(x, y, p)[1].cycles
+    if model == "hmm":
+        machine = HMM(HMMParams(num_dmms=d, width=w, global_latency=l))
+        return machine.convolve(x, y, p)[1].cycles
+    raise ValueError(model)
+
+
+def _sweep(model: str, rng) -> tuple[list[Params], list[int]]:
+    points, measured = [], []
+    for q in GRID:
+        x = rng.normal(size=q["k"])
+        y = rng.normal(size=q["n"] + q["k"] - 1)
+        points.append(Params(**q))
+        measured.append(_measure_model(model, q, x, y))
+    return points, measured
+
+
+#: Models fitted against their Corollary-10-style Table I row.  The HMM
+#: is fitted against the unconditional Theorem 9 form, which includes
+#: the dk/w staging terms the sweep's small chunks make visible.
+_FORMULA_KEY = {
+    "sequential": "sequential",
+    "pram": "pram",
+    "dmm": "dmm",
+    "umm": "umm",
+    "hmm": "hmm_general",
+}
+
+
+@pytest.mark.parametrize("model", ["sequential", "pram", "umm", "dmm", "hmm"])
+def test_table1_conv_shape(benchmark, model, rng):
+    points, measured = once(benchmark, _sweep, model, rng)
+    formula = CONV_FORMULAS[_FORMULA_KEY[model]]
+    fit = fit_terms(formula, points, measured)
+
+    rows = [
+        [q.n, q.k, q.p, q.l, t, f"{formula(q):.0f}", f"{t / formula(q):.2f}"]
+        for q, t in zip(points, measured)
+    ]
+    emit(
+        f"table1_conv_{model}",
+        f"model: {model}   formula: {formula.text()}\n"
+        + fit.describe()
+        + "\n"
+        + format_rows(
+            ["n", "k", "p", "l", "measured", "unit-coef pred", "ratio"], rows
+        ),
+    )
+    assert fit.r_squared >= 0.97, fit.describe()
+    assert all(c <= 12.0 for c in fit.coefficients), fit.describe()
+
+
+def test_table1_conv_model_ordering(benchmark, rng):
+    """PRAM <= HMM <= DMM/UMM <= sequential at GPU-like parameters."""
+
+    def run():
+        q = dict(n=1 << 11, k=16, p=2048, w=16, l=64, d=8)
+        x = rng.normal(size=q["k"])
+        y = rng.normal(size=q["n"] + q["k"] - 1)
+        return {
+            m: _measure_model(m, q, x, y)
+            for m in ("sequential", "pram", "umm", "dmm", "hmm")
+        }
+
+    cycles = once(benchmark, run)
+    emit(
+        "table1_conv_ordering",
+        format_rows(
+            ["model", "time units (n=2048, k=16, p=2048, w=16, l=64, d=8)"],
+            sorted(cycles.items(), key=lambda kv: kv[1]),
+        ),
+    )
+    assert cycles["pram"] < cycles["hmm"]
+    assert cycles["hmm"] < cycles["umm"]
+    assert cycles["umm"] < cycles["sequential"]
+
+
+def test_table1_conv_dmm_count_speedup(benchmark, rng):
+    """The nk/(dw) speed-up term: in the compute-bound regime, doubling
+    the number of DMMs (with per-DMM threads fixed) roughly halves the
+    time — the paper's reason to model multiple SMs at all."""
+
+    def run():
+        k, n, w, l = 32, 1 << 11, 8, 8
+        x = rng.normal(size=k)
+        y = rng.normal(size=n + k - 1)
+        series = {}
+        for d in (1, 2, 4, 8):
+            machine = HMM(HMMParams(num_dmms=d, width=w, global_latency=l))
+            series[d] = machine.convolve(x, y, 32 * d)[1].cycles
+        return series
+
+    series = once(benchmark, run)
+    rows = [[d, c, f"{series[1] / c:.2f}x"] for d, c in series.items()]
+    emit(
+        "table1_conv_dmm_speedup",
+        "HMM direct convolution, n=2048 k=32 w=8 l=8, 32 threads per DMM\n"
+        + format_rows(["d", "time units", "speed-up vs d=1"], rows),
+    )
+    assert series[1] / series[2] > 1.7
+    assert series[2] / series[4] > 1.7
+    assert series[4] / series[8] > 1.5
+
+
+def test_table1_conv_crossover_with_flat(benchmark, rng):
+    """Who wins where: at l = 1 the flat UMM matches the HMM (no latency
+    to hide — the HMM's only edge is d-fold compute), while at realistic
+    latency the HMM wins by a growing factor."""
+
+    def run():
+        k, n, w, d, p = 16, 1 << 10, 16, 8, 512
+        x = rng.normal(size=k)
+        y = rng.normal(size=n + k - 1)
+        rows = []
+        for l in (1, 8, 64, 256):
+            flat = UMM(MachineParams(width=w, latency=l)).convolve(x, y, p)[1].cycles
+            hier = HMM(
+                HMMParams(num_dmms=d, width=w, global_latency=l)
+            ).convolve(x, y, p)[1].cycles
+            rows.append((l, flat, hier, flat / hier))
+        return rows
+
+    rows = once(benchmark, run)
+    emit(
+        "table1_conv_crossover",
+        "flat UMM vs HMM, n=1024 k=16 w=16 d=8 p=512\n"
+        + format_rows(
+            ["l", "flat UMM", "HMM", "flat/HMM"],
+            [[l, f, h, f"{r:.2f}x"] for l, f, h, r in rows],
+        ),
+    )
+    ratios = {l: r for l, f, h, r in rows}
+    assert ratios[256] > ratios[8]  # the HMM's edge grows with latency
+    assert ratios[256] > 3.0

@@ -1,0 +1,136 @@
+"""Table II — every measured run respects every limitation, and each
+algorithm stays within a constant factor of its lower bound (the paper's
+optimality theorems, checked empirically across the sweeps).
+"""
+
+import numpy as np
+import pytest
+
+from repro import DMM, HMM, PRAM, UMM, HMMParams, MachineParams
+from repro.analysis.lower_bounds import CONV_BOUNDS, SUM_BOUNDS
+from repro.analysis.optimality import check_optimality
+from repro.analysis.tables import render_table2
+from repro.analysis.terms import Params
+
+from _util import emit, format_rows, once
+
+SUM_GRID = [
+    dict(n=n, p=p, w=16, l=l, d=8)
+    for n in (1 << 10, 1 << 12, 1 << 13)
+    for p in (64, 256, 1024)
+    for l in (4, 32, 256)
+]
+
+CONV_GRID = [
+    dict(n=n, k=k, p=p, w=16, l=l, d=8)
+    for n, k in ((1 << 9, 8), (1 << 10, 16))
+    for p in (128, 512, 2048)
+    for l in (4, 64)
+]
+
+
+def _sum_cycles(model: str, q: dict, vals) -> int:
+    if model == "pram":
+        return PRAM(q["p"]).sum(vals).cycles
+    if model == "umm":
+        return UMM(MachineParams(width=q["w"], latency=q["l"])).sum(vals, q["p"])[1].cycles
+    if model == "dmm":
+        return DMM(MachineParams(width=q["w"], latency=q["l"])).sum(vals, q["p"])[1].cycles
+    machine = HMM(HMMParams(num_dmms=q["d"], width=q["w"], global_latency=q["l"]))
+    return machine.sum(vals, q["p"])[1].cycles
+
+
+def _conv_cycles(model: str, q: dict, x, y) -> int:
+    if model == "pram":
+        return PRAM(q["p"]).convolution(x, y).cycles
+    if model == "umm":
+        return UMM(MachineParams(width=q["w"], latency=q["l"])).convolve(x, y, q["p"])[1].cycles
+    if model == "dmm":
+        return DMM(MachineParams(width=q["w"], latency=q["l"])).convolve(x, y, q["p"])[1].cycles
+    machine = HMM(HMMParams(num_dmms=q["d"], width=q["w"], global_latency=q["l"]))
+    return machine.convolve(x, y, q["p"])[1].cycles
+
+
+def test_table2_rendered(benchmark):
+    """The table itself, symbolically and at the paper-scale point."""
+    out = once(
+        benchmark,
+        lambda: render_table2() + "\n\n"
+        + render_table2(Params(n=1 << 16, k=32, p=1024, w=32, l=200, d=16)),
+    )
+    emit("table2_rendered", out)
+    assert "Ω(nk/dw)" in out
+
+
+@pytest.mark.parametrize("model", ["pram", "umm", "dmm", "hmm"])
+def test_table2_sum_optimality(benchmark, model, rng):
+    def run():
+        points, measured = [], []
+        for q in SUM_GRID:
+            vals = rng.normal(size=q["n"])
+            points.append(Params(**q))
+            measured.append(_sum_cycles(model, q, vals))
+        return points, measured
+
+    points, measured = once(benchmark, run)
+    report = check_optimality(SUM_BOUNDS[model], points, measured)
+    emit(f"table2_sum_{model}", f"sum on {model}: {report.describe()}")
+    assert report.sound, report.describe()
+    # Optimal: within a modest constant of the max-limitation bound.
+    assert report.tight_within(16.0), report.describe()
+
+
+@pytest.mark.parametrize("model", ["pram", "umm", "dmm", "hmm"])
+def test_table2_conv_optimality(benchmark, model, rng):
+    def run():
+        points, measured = [], []
+        for q in CONV_GRID:
+            x = rng.normal(size=q["k"])
+            y = rng.normal(size=q["n"] + q["k"] - 1)
+            points.append(Params(**q))
+            measured.append(_conv_cycles(model, q, x, y))
+        return points, measured
+
+    points, measured = once(benchmark, run)
+    report = check_optimality(CONV_BOUNDS[model], points, measured)
+    emit(f"table2_conv_{model}", f"convolution on {model}: {report.describe()}")
+    assert report.sound, report.describe()
+    assert report.tight_within(16.0), report.describe()
+
+
+def test_table2_per_limitation_breakdown(benchmark, rng):
+    """One worked example: each HMM-sum limitation evaluated next to the
+    measurement, showing which limitation binds in which regime."""
+
+    def run():
+        rows = []
+        for q in (
+            dict(n=1 << 13, p=64, w=16, l=256, d=8),    # latency-bound
+            dict(n=1 << 13, p=4096, w=16, l=4, d=8),    # bandwidth-bound
+            dict(n=1 << 6, p=64, w=16, l=4, d=8),       # reduction-bound
+        ):
+            vals = rng.normal(size=q["n"])
+            cycles = _sum_cycles("hmm", q, vals)
+            params = Params(**q)
+            lims = {
+                name: f(params) for name, f in SUM_BOUNDS["hmm"].items()
+            }
+            binding = max(lims, key=lims.get)
+            rows.append(
+                [q["n"], q["p"], q["l"], cycles]
+                + [f"{lims[k]:.0f}" for k in ("speed-up", "bandwidth", "latency", "reduction")]
+                + [binding]
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    emit(
+        "table2_binding_limitations",
+        format_rows(
+            ["n", "p", "l", "measured", "speed-up", "bandwidth", "latency",
+             "reduction", "binding"],
+            rows,
+        ),
+    )
+    assert rows[0][-1] == "latency"
+    assert rows[1][-1] == "bandwidth"

@@ -1,0 +1,15 @@
+"""Benchmark fixtures."""
+
+import sys
+import pathlib
+
+import numpy as np
+import pytest
+
+# Make benchmarks/_util importable regardless of invocation directory.
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20130520)

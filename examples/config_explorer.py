@@ -1,0 +1,105 @@
+"""Exploring GPU configurations for a fixed workload.
+
+The models make "what GPU shape does my kernel want?" a computable
+question.  This example fixes a workload mix (reduction + convolution +
+scan over a sensor batch) and sweeps the machine axes the paper
+parameterizes — number of SMs ``d``, width ``w``, global latency ``l``
+— to see which investments pay off and which are wasted on this
+workload.
+
+Run:  python examples/config_explorer.py
+"""
+
+import numpy as np
+
+from repro import HMM, HMMParams
+from repro.viz import ascii_chart
+
+
+def workload_cost(params: HMMParams, rng, threads: int) -> int:
+    """Total time units for one batch of the mixed workload."""
+    n = 4096
+    vals = rng.normal(size=n)
+    kernel = np.exp(-0.5 * np.linspace(-2, 2, 16) ** 2)
+    signal = rng.normal(size=n + 15)
+    machine = HMM(params)
+    total = 0
+    _, r = machine.sum(vals, threads)
+    total += r.cycles
+    _, r = machine.convolve(kernel, signal, threads)
+    total += r.cycles
+    _, r = machine.prefix_sums(vals, threads)
+    total += r.cycles
+    return total
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    base = HMMParams(num_dmms=8, width=16, global_latency=200)
+    threads = 1024
+
+    print("workload: sum + 16-tap convolution + prefix-sums of 4096 samples")
+    print(f"baseline machine: d={base.num_dmms}, w={base.width}, "
+          f"l={base.global_latency}, p={threads}")
+    baseline = workload_cost(base, np.random.default_rng(5), threads)
+    print(f"baseline cost: {baseline} time units\n")
+
+    # --- axis 1: more SMs ---------------------------------------------------
+    ds = [1, 2, 4, 8, 16, 32]
+    d_cost = [
+        workload_cost(base.with_num_dmms(d), np.random.default_rng(5), threads)
+        for d in ds
+    ]
+    print("axis 1: number of DMMs (SMs)")
+    for d, c in zip(ds, d_cost):
+        print(f"  d={d:3d}: {c:7d} time units")
+    print(ascii_chart([float(np.log2(d)) for d in ds],
+                      {"cost": d_cost}, title="cost vs log2(d)",
+                      x_label="log2 d", height=8))
+    print()
+
+    # --- axis 2: lower latency (e.g. better DRAM) ---------------------------
+    ls = [800, 400, 200, 100, 50, 25]
+    l_cost = [
+        workload_cost(base.with_global_latency(l), np.random.default_rng(5),
+                      threads)
+        for l in ls
+    ]
+    print("axis 2: global-memory latency")
+    for l, c in zip(ls, l_cost):
+        print(f"  l={l:4d}: {c:7d} time units")
+    print()
+
+    # --- axis 3: wider memory (more banks) ----------------------------------
+    ws = [4, 8, 16, 32, 64]
+    w_cost = []
+    for w in ws:
+        params = HMMParams(num_dmms=base.num_dmms, width=w,
+                           global_latency=base.global_latency)
+        w_cost.append(workload_cost(params, np.random.default_rng(5), threads))
+    print("axis 3: width (banks = warp size)")
+    for w, c in zip(ws, w_cost):
+        print(f"  w={w:3d}: {c:7d} time units")
+    print()
+
+    # --- the verdict --------------------------------------------------------
+    d_gain = d_cost[ds.index(8)] / d_cost[-1]
+    l_gain = l_cost[ls.index(200)] / l_cost[-1]
+    w_gain = w_cost[ws.index(16)] / w_cost[-1]
+    print("verdict for this workload (gain from one more doubling step "
+          "past the baseline):")
+    print(f"  4x more SMs:      {d_gain:.2f}x")
+    print(f"  8x lower latency: {l_gain:.2f}x")
+    print(f"  4x wider memory:  {w_gain:.2f}x")
+    print()
+    lw = base.global_latency * base.width
+    print("the paper's parameters are not interchangeable.  Here the launch")
+    print(f"is under-occupied (p = {threads} < l*w = {lw}), so the nl/p")
+    print("latency term binds and buying latency pays the most — exactly")
+    print("the p >= lw occupancy rule of Theorem 7.  Re-run with more")
+    print("threads (or lower baseline latency) and the verdict flips toward")
+    print("width and more DMMs: the model lets you check before you buy.")
+
+
+if __name__ == "__main__":
+    main()

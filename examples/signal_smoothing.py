@@ -1,0 +1,88 @@
+"""Domain scenario: smoothing a noisy sensor stream on a GPU model.
+
+The paper motivates direct convolution as the workhorse of signal
+processing on GPUs.  This example smooths a noisy 1-D sensor trace with
+a Gaussian window using the Theorem 9 HMM convolution, and uses the
+model to answer the questions a kernel author actually has:
+
+* how many threads until the kernel stops scaling?
+* how much does global-memory latency matter once the algorithm stages
+  operands into shared memory?
+* how does the optimal machine compare with a naive implementation that
+  convolves straight out of global memory?
+
+Run:  python examples/signal_smoothing.py
+"""
+
+import numpy as np
+
+from repro import HMM, UMM, HMMParams, MachineParams
+from repro.viz import ascii_chart
+
+
+def make_signal(n: int, rng) -> np.ndarray:
+    """A slow sine drowned in sensor noise."""
+    t = np.linspace(0, 6 * np.pi, n)
+    return np.sin(t) + 0.6 * rng.normal(size=n)
+
+
+def gaussian_window(k: int) -> np.ndarray:
+    x = np.linspace(-2.5, 2.5, k)
+    w = np.exp(-0.5 * x**2)
+    return w / w.sum()
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    k = 32
+    n = 4096
+    window = gaussian_window(k)
+    signal = make_signal(n + k - 1, rng)
+
+    machine = HMM(HMMParams(num_dmms=8, width=32, global_latency=300))
+
+    # --- correctness first -------------------------------------------------
+    smoothed, report = machine.convolve(window, signal, num_threads=1024)
+    assert np.allclose(smoothed, np.correlate(signal, window, "valid"))
+    residual = np.std(smoothed - np.sin(np.linspace(0, 6 * np.pi, n)))
+    print(f"smoothed {n} samples with a {k}-tap Gaussian: "
+          f"{report.cycles} time units, residual vs ground truth "
+          f"{residual:.3f} (raw noise was 0.6)")
+    print()
+
+    # --- thread scaling -----------------------------------------------------
+    print("thread scaling (who saturates first: bandwidth or compute?)")
+    threads = [64, 128, 256, 512, 1024, 2048, 4096]
+    cycles = []
+    for p in threads:
+        _, r = machine.convolve(window, signal, num_threads=p)
+        cycles.append(r.cycles)
+        print(f"  p={p:5d}: {r.cycles:7d} time units")
+    print(ascii_chart(
+        [float(np.log2(p)) for p in threads],
+        {"HMM convolution": cycles},
+        title="time units vs log2(threads)",
+        x_label="log2 p",
+    ))
+    print()
+
+    # --- latency sensitivity ------------------------------------------------
+    print("latency sensitivity at p=1024 (Theorem 9 pays l O(1) times):")
+    for l in (50, 200, 800):
+        m = HMM(HMMParams(num_dmms=8, width=32, global_latency=l))
+        _, r = m.convolve(window, signal, num_threads=1024)
+        naive = UMM(MachineParams(width=32, latency=l))
+        _, rn = naive.convolve(window, signal, num_threads=1024)
+        print(f"  l={l:4d}: HMM {r.cycles:7d}   naive global-only "
+              f"{rn.cycles:8d}   ({rn.cycles / r.cycles:5.1f}x)")
+    print()
+    print("reading: the HMM pays the global latency O(1) times plus the"
+          "\npipelined nl/p term - the window and the signal chunks are"
+          "\nstaged into the latency-1 shared memories once.  The naive"
+          "\nkernel re-reads operands from global memory ~2k times per"
+          "\noutput batch, so its latency bill is k-fold larger and its"
+          "\ndisadvantage grows with l (9x at l=50, 23x at l=800).")
+
+
+if __name__ == "__main__":
+    main()

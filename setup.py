@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment has no `wheel` package, so PEP 660 editable
+installs (`pip install -e .` with build isolation) are unavailable; this
+shim enables `pip install -e . --no-use-pep517 --no-build-isolation`.
+All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""repro — the Hierarchical Memory Machine model for GPUs, reproduced.
+
+A cycle-accurate simulator and algorithm library for Nakano's memory
+machine models (IPDPS Workshops 2013): the **DMM** (banked shared memory,
+bank-conflict costs), the **UMM** (global memory, coalescing costs), and
+the **HMM** (``d`` DMMs sharing one UMM — the whole-GPU model), together
+with the paper's optimal algorithms for the sum and the direct
+convolution, their PRAM/sequential baselines, closed-form cost models
+(Table I), and lower bounds (Table II).
+
+Quickstart::
+
+    from repro import HMM, HMMParams
+
+    gpu = HMM(HMMParams(num_dmms=8, width=32, global_latency=200))
+    total, report = gpu.sum(range(1 << 14), num_threads=1024)
+    print(total, report.cycles)           # value and model time units
+
+    z, report = gpu.convolve(x, y, num_threads=2048)
+
+Main entry points:
+
+* :class:`repro.DMM`, :class:`repro.UMM`, :class:`repro.HMM` — machine
+  façades with ``sum`` / ``convolve`` / ``prefix_sums`` / ... methods;
+* :class:`repro.PRAM`, :class:`repro.SequentialMachine` — baselines;
+* :mod:`repro.analysis` — Table I/II formulas, fitting, optimality checks;
+* :mod:`repro.machine` — the simulation substrate, for writing custom
+  warp programs against :meth:`repro.HMM.engine`.
+"""
+
+from repro.core.machines import DMM, HMM, UMM
+from repro.core.pram import PRAM
+from repro.core.sequential import SequentialMachine
+from repro.errors import ReproError
+from repro.machine.report import RunReport
+from repro.machine.threadprog import ThreadContext, thread_program
+from repro.machine.trace import TraceRecorder
+from repro.params import FIG4_PARAMS, GTX580, TINY, HMMParams, MachineParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DMM",
+    "FIG4_PARAMS",
+    "GTX580",
+    "HMM",
+    "HMMParams",
+    "MachineParams",
+    "PRAM",
+    "ReproError",
+    "RunReport",
+    "SequentialMachine",
+    "TINY",
+    "ThreadContext",
+    "thread_program",
+    "TraceRecorder",
+    "UMM",
+    "__version__",
+]

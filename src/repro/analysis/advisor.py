@@ -1,0 +1,173 @@
+"""Kernel performance advisor.
+
+The paper's pitch is that the memory machine models predict GPU
+performance pathologies analytically.  This module packages that pitch
+as a tool: given a :class:`~repro.machine.report.RunReport` and the
+machine parameters, it classifies what bound the kernel and produces
+the diagnoses a profiler would —
+
+* **conflict / coalescing efficiency** per memory unit (useful slots vs
+  issued slots),
+* **regime classification**: latency-bound, bandwidth-bound, or
+  compute-bound, from the model's own quantities,
+* **occupancy advice**: whether more threads could still hide latency
+  (the ``p >= lw`` rule of Theorems 7/9).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.machine.pipeline import UnitStats
+from repro.machine.report import RunReport
+from repro.params import HMMParams, MachineParams
+
+__all__ = ["Regime", "UnitDiagnosis", "Advice", "diagnose"]
+
+
+class Regime(enum.Enum):
+    """What dominates a kernel's time units."""
+
+    LATENCY_BOUND = "latency-bound"
+    BANDWIDTH_BOUND = "bandwidth-bound"
+    COMPUTE_BOUND = "compute-bound"
+
+
+@dataclass(frozen=True)
+class UnitDiagnosis:
+    """Per-memory-unit access quality."""
+
+    unit: str
+    transactions: int
+    slots: int
+    #: Fraction of issued slots that were unavoidable (1.0 = perfect
+    #: coalescing / zero conflicts; 0.5 = half the slots were waste).
+    efficiency: float
+    #: Average requests served per slot (width = ideal).
+    requests_per_slot: float
+
+    def is_clean(self, tolerance: float = 0.999) -> bool:
+        """True when the unit saw (almost) no avoidable slots."""
+        return self.efficiency >= tolerance
+
+
+@dataclass(frozen=True)
+class Advice:
+    """The advisor's verdict for one kernel launch."""
+
+    regime: Regime
+    units: dict[str, UnitDiagnosis]
+    #: Threads launched vs the lw threshold that hides the latency.
+    occupancy_ratio: float
+    #: Human-readable findings, most important first.
+    findings: tuple[str, ...]
+
+    def render(self) -> str:
+        lines = [f"regime: {self.regime.value}"]
+        for name in sorted(self.units):
+            d = self.units[name]
+            lines.append(
+                f"  {name}: {d.transactions} transactions, efficiency "
+                f"{d.efficiency:.0%}, {d.requests_per_slot:.1f} requests/slot"
+            )
+        lines.append(f"occupancy: p = {self.occupancy_ratio:.2f} x (l*w)")
+        for f in self.findings:
+            lines.append(f"- {f}")
+        return "\n".join(lines)
+
+
+def _diagnose_unit(name: str, stats: UnitStats, width: int) -> UnitDiagnosis:
+    useful = stats.slots - stats.excess_slots
+    efficiency = useful / stats.slots if stats.slots else 1.0
+    rps = stats.requests / stats.slots if stats.slots else 0.0
+    return UnitDiagnosis(
+        unit=name,
+        transactions=stats.transactions,
+        slots=stats.slots,
+        efficiency=efficiency,
+        requests_per_slot=rps,
+    )
+
+
+def diagnose(
+    report: RunReport,
+    params: "MachineParams | HMMParams",
+) -> Advice:
+    """Analyse a launch: access quality, binding regime, occupancy.
+
+    The regime is inferred from the model's own accounting: the port
+    with the most issued slots sets the bandwidth floor; the latency
+    floor is the serial chain implied by the launch shape; the compute
+    floor is the charged per-warp compute time.
+    """
+    width = params.width
+    if isinstance(params, HMMParams):
+        latency = params.global_latency
+    else:
+        latency = params.latency
+
+    units = {
+        name: _diagnose_unit(name, stats, width)
+        for name, stats in report.unit_stats.items()
+    }
+
+    # Floors implied by the model.
+    bandwidth_floor = max(
+        (stats.slots for stats in report.unit_stats.values()), default=0
+    )
+    global_stats = None
+    try:
+        global_stats = report.global_stats()
+    except KeyError:
+        pass
+    if global_stats is not None and report.num_warps > 0:
+        # Each warp's own requests serialize at l apart; the pipelined
+        # port overlaps warps, so the latency floor is the per-warp
+        # transaction chain.
+        per_warp_transactions = global_stats.transactions / report.num_warps
+        latency_floor = per_warp_transactions * latency
+    else:
+        latency_floor = 0.0
+    compute_floor = (
+        report.compute_cycles / report.num_warps if report.num_warps else 0.0
+    )
+
+    floors = {
+        Regime.BANDWIDTH_BOUND: bandwidth_floor,
+        Regime.LATENCY_BOUND: latency_floor,
+        Regime.COMPUTE_BOUND: compute_floor,
+    }
+    regime = max(floors, key=floors.get)
+
+    occupancy_ratio = report.num_threads / (latency * width) if latency else 1.0
+
+    findings: list[str] = []
+    for name in sorted(units):
+        d = units[name]
+        if not d.is_clean(0.95):
+            findings.append(
+                f"unit {name}: {1 - d.efficiency:.0%} of issued slots are "
+                "avoidable (bank conflicts / uncoalesced access) - "
+                "restructure the access pattern or pad the layout"
+            )
+    if regime is Regime.LATENCY_BOUND and occupancy_ratio < 1.0:
+        findings.append(
+            f"latency-bound at {report.num_threads} threads: raising the "
+            f"thread count toward l*w = {latency * width} would hide more "
+            "of the global latency (Theorem 7's p >= lw rule)"
+        )
+    if regime is Regime.BANDWIDTH_BOUND:
+        findings.append(
+            "bandwidth-bound: the kernel saturates the memory width; only "
+            "touching fewer cells (or more memory units) helps"
+        )
+    if not findings:
+        findings.append("no pathologies detected: access is clean and the "
+                        "launch shape fits the machine")
+    return Advice(
+        regime=regime,
+        units=units,
+        occupancy_ratio=occupancy_ratio,
+        findings=tuple(findings),
+    )

@@ -1,0 +1,94 @@
+"""Table I — the computing time of the sum and the direct convolution.
+
+Closed-form upper bounds (big-O, coefficient 1 per term) for every model
+the paper compares:
+
+===============  =============================  ==========================================
+model            sum                            direct convolution
+===============  =============================  ==========================================
+Sequential       ``O(n)``                       ``O(nk)``
+PRAM             ``O(n/p + log n)``             ``O(nk/p + log k)``
+DMM and UMM      ``O(n/w + nl/p + l·log n)``    ``O(nk/w + nkl/p + l·log k)``
+HMM              ``O(n/w + nl/p + l + log n)``  ``O(n/w + nk/dw + nl/p + l + log k)``
+===============  =============================  ==========================================
+
+(The HMM convolution row is Corollary 10's form, valid for ``k >= lw/d``;
+``hmm_general`` below is the unconditional Theorem 9 form
+``O((n+dk)/w + nk/dw + (n+dk)l/p + l + log k)``.)
+
+These formulas are *predictions with unit coefficients*: the benchmarks
+fit measured time units against the terms and check that the fitted
+coefficients are O(1) and stable across the sweep — that is what
+"reproducing Table I" means for a theory paper.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.terms import (
+    Formula,
+    Params,
+    T_DK_W,
+    T_DKL_P,
+    T_L,
+    T_LOG_K,
+    T_LOG_N,
+    T_L_LOG_K,
+    T_L_LOG_N,
+    T_N,
+    T_NK,
+    T_NK_DW,
+    T_NK_P,
+    T_NK_W,
+    T_NKL_P,
+    T_NL_P,
+    T_N_P,
+    T_N_W,
+)
+from repro.errors import ConfigurationError
+
+__all__ = ["SUM_FORMULAS", "CONV_FORMULAS", "sum_time", "convolution_time"]
+
+
+#: Table I, row "Sum".  Keys are model names.
+SUM_FORMULAS: dict[str, Formula] = {
+    "sequential": Formula("sequential", (T_N,)),
+    "pram": Formula("pram", (T_N_P, T_LOG_N)),
+    "dmm": Formula("dmm", (T_N_W, T_NL_P, T_L_LOG_N)),
+    "umm": Formula("umm", (T_N_W, T_NL_P, T_L_LOG_N)),
+    "hmm": Formula("hmm", (T_N_W, T_NL_P, T_L, T_LOG_N)),
+}
+
+#: Table I, row "Direct convolution".
+CONV_FORMULAS: dict[str, Formula] = {
+    "sequential": Formula("sequential", (T_NK,)),
+    "pram": Formula("pram", (T_NK_P, T_LOG_K)),
+    "dmm": Formula("dmm", (T_NK_W, T_NKL_P, T_L_LOG_K)),
+    "umm": Formula("umm", (T_NK_W, T_NKL_P, T_L_LOG_K)),
+    # Corollary 10 (k >= lw/d regime):
+    "hmm": Formula("hmm", (T_N_W, T_NK_DW, T_NL_P, T_L, T_LOG_K)),
+    # Theorem 9, unconditional:
+    "hmm_general": Formula(
+        "hmm_general", (T_N_W, T_DK_W, T_NK_DW, T_NL_P, T_DKL_P, T_L, T_LOG_K)
+    ),
+}
+
+
+def _lookup(table: dict[str, Formula], model: str) -> Formula:
+    try:
+        return table[model.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown model {model!r}; choose from {sorted(table)}"
+        ) from None
+
+
+def sum_time(model: str, params: Params) -> float:
+    """Table I prediction for the sum on ``model`` at ``params``."""
+    return _lookup(SUM_FORMULAS, model)(params)
+
+
+def convolution_time(model: str, params: Params) -> float:
+    """Table I prediction for the direct convolution on ``model``."""
+    if params.k < 1:
+        raise ConfigurationError("convolution_time requires params.k >= 1")
+    return _lookup(CONV_FORMULAS, model)(params)

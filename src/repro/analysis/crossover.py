@@ -1,0 +1,99 @@
+"""Crossover analysis: where one model/algorithm overtakes another.
+
+The paper's comparative claims are about *regimes* — the HMM beats the
+flat machines once the latency is large enough, extra threads stop
+helping once ``p >= lw``, and so on.  This module finds those regime
+boundaries from the closed forms, so the benchmarks can verify that the
+*measured* crossovers land where the formulas put them.
+
+All searches walk an integer parameter axis (optionally in doubling
+steps), so the results are exact grid points rather than interpolated
+reals — matching how the benchmarks sweep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Sequence
+
+from repro.analysis.terms import Params
+from repro.errors import ConfigurationError
+
+__all__ = ["crossover_point", "saturation_point", "axis_values"]
+
+
+def axis_values(lo: int, hi: int, *, doubling: bool = True) -> list[int]:
+    """The search grid for a parameter axis: ``lo, 2lo, ...`` up to ``hi``
+    (or every integer when ``doubling=False`` and the range is small)."""
+    if lo < 1 or hi < lo:
+        raise ConfigurationError(f"need 1 <= lo <= hi, got [{lo}, {hi}]")
+    if not doubling:
+        return list(range(lo, hi + 1))
+    values = []
+    v = lo
+    while v <= hi:
+        values.append(v)
+        v *= 2
+    if values[-1] != hi:
+        values.append(hi)
+    return values
+
+
+def crossover_point(
+    cost_a: Callable[[Params], float],
+    cost_b: Callable[[Params], float],
+    base: Params,
+    axis: str,
+    values: Sequence[int],
+) -> int | None:
+    """First axis value where ``cost_a`` becomes cheaper than ``cost_b``.
+
+    ``axis`` names a :class:`Params` field; ``values`` must be
+    increasing.  Returns ``None`` when A never wins on the grid.
+    Intended use: ``cost_a`` = HMM formula, ``cost_b`` = flat formula,
+    axis = ``"l"`` — "from which latency on does the hierarchy pay off?"
+    """
+    _check_axis(base, axis, values)
+    for v in values:
+        point = dataclasses.replace(base, **{axis: v})
+        if cost_a(point) < cost_b(point):
+            return v
+    return None
+
+
+def saturation_point(
+    cost: Callable[[Params], float],
+    base: Params,
+    axis: str,
+    values: Sequence[int],
+    *,
+    gain_threshold: float = 1.10,
+) -> int | None:
+    """First axis value after which the next step stops paying.
+
+    Walks increasing ``values`` and returns the first value whose
+    successor improves cost by less than ``gain_threshold`` (default:
+    10%).  Intended use: the occupancy sweep — where does adding threads
+    stop helping? (The formulas put it at ``p ~ lw``.)  Returns ``None``
+    when every step keeps paying.
+    """
+    _check_axis(base, axis, values)
+    if len(values) < 2:
+        raise ConfigurationError("need at least two axis values")
+    for a, b in zip(values, values[1:]):
+        cost_a = cost(dataclasses.replace(base, **{axis: a}))
+        cost_b = cost(dataclasses.replace(base, **{axis: b}))
+        if cost_b <= 0:
+            raise ConfigurationError("cost must stay positive")
+        if cost_a / cost_b < gain_threshold:
+            return a
+    return None
+
+
+def _check_axis(base: Params, axis: str, values: Sequence[int]) -> None:
+    if not hasattr(base, axis):
+        raise ConfigurationError(f"Params has no axis {axis!r}")
+    if not values:
+        raise ConfigurationError("axis values must be non-empty")
+    if list(values) != sorted(values):
+        raise ConfigurationError("axis values must be increasing")

@@ -1,0 +1,144 @@
+"""Shape-agreement fitting: measured time units vs. formula terms.
+
+Reproducing a complexity bound empirically means showing that measured
+time is a bounded, non-negative combination of the bound's terms across a
+parameter sweep.  :func:`fit_terms` performs a non-negative least-squares
+regression of measured cycles on the per-term values and reports the
+coefficients and the coefficient of determination: coefficients of order
+1 and an R² near 1 mean the formula explains the measurements —
+"Table I holds in shape".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.terms import Formula, Params
+from repro.errors import ConfigurationError
+
+__all__ = ["FitResult", "fit_terms", "nnls"]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Outcome of a non-negative least-squares fit."""
+
+    #: Term display strings, in formula order.
+    term_names: tuple[str, ...]
+    #: Fitted non-negative coefficients, one per term.
+    coefficients: tuple[float, ...]
+    #: Coefficient of determination of the fit.
+    r_squared: float
+    #: Largest |measured - predicted| / measured over the sweep.
+    max_relative_error: float
+
+    def coefficient_for(self, term_name: str) -> float:
+        """Coefficient of the named term (KeyError when absent)."""
+        try:
+            return self.coefficients[self.term_names.index(term_name)]
+        except ValueError:
+            raise KeyError(term_name) from None
+
+    def predict(self, formula: Formula, params: Params) -> float:
+        """Fitted prediction at a new parameter point."""
+        return sum(
+            c * t(params) for c, t in zip(self.coefficients, formula.terms)
+        )
+
+    def describe(self) -> str:
+        parts = [
+            f"{c:.3g}*{name}" for c, name in zip(self.coefficients, self.term_names)
+        ]
+        return (
+            f"fit: {' + '.join(parts)}  (R^2={self.r_squared:.4f}, "
+            f"max rel err={self.max_relative_error:.3f})"
+        )
+
+
+def nnls(design: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """Non-negative least squares.
+
+    Uses :func:`scipy.optimize.nnls` when scipy is importable, otherwise
+    the Lawson-Hanson active-set algorithm implemented here (the design
+    matrices are tiny: at most seven columns).
+    """
+    try:
+        from scipy.optimize import nnls as scipy_nnls
+
+        coef, _ = scipy_nnls(design, target)
+        return coef
+    except ImportError:  # pragma: no cover - scipy present in the test env
+        return _lawson_hanson(design, target)
+
+
+def _lawson_hanson(a: np.ndarray, b: np.ndarray, max_iter: int = 200) -> np.ndarray:
+    """Reference Lawson-Hanson NNLS (fallback when scipy is missing)."""
+    m, n = a.shape
+    x = np.zeros(n)
+    passive: list[int] = []
+    w = a.T @ (b - a @ x)
+    for _ in range(max_iter):
+        candidates = [j for j in range(n) if j not in passive and w[j] > 1e-12]
+        if not candidates:
+            break
+        passive.append(max(candidates, key=lambda j: w[j]))
+        while True:
+            ap = a[:, passive]
+            z, *_ = np.linalg.lstsq(ap, b, rcond=None)
+            if (z > 1e-12).all():
+                x[:] = 0.0
+                x[passive] = z
+                break
+            # Step back to the feasible boundary, drop zeroed indices.
+            xp = x[passive]
+            neg = z <= 1e-12
+            with np.errstate(divide="ignore", invalid="ignore"):
+                ratios = np.where(neg, xp / np.maximum(xp - z, 1e-300), np.inf)
+            alpha = min(ratios.min(), 1.0)
+            x[passive] = xp + alpha * (z - xp)
+            passive = [j for j, v in zip(passive, x[passive]) if v > 1e-12]
+            if not passive:
+                return np.zeros(n)
+        w = a.T @ (b - a @ x)
+    return x
+
+
+def fit_terms(
+    formula: Formula,
+    points: list[Params],
+    measured: list[float] | np.ndarray,
+) -> FitResult:
+    """Fit measured cycle counts to a formula's terms over a sweep.
+
+    Requires at least as many sweep points as terms.  Returns the
+    non-negative coefficients, R², and the worst relative error.
+    """
+    y = np.asarray(measured, dtype=np.float64)
+    if len(points) != y.size:
+        raise ConfigurationError(
+            f"{len(points)} parameter points but {y.size} measurements"
+        )
+    if y.size < len(formula.terms):
+        raise ConfigurationError(
+            f"need at least {len(formula.terms)} points to fit "
+            f"{formula.text()}, got {y.size}"
+        )
+    design = np.array(
+        [[t(q) for t in formula.terms] for q in points], dtype=np.float64
+    )
+    coef = nnls(design, y)
+    pred = design @ coef
+    residual = y - pred
+    ss_res = float(residual @ residual)
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rel = np.where(y > 0, np.abs(residual) / y, 0.0)
+    return FitResult(
+        term_names=tuple(t.text for t in formula.terms),
+        coefficients=tuple(float(c) for c in coef),
+        r_squared=r2,
+        max_relative_error=float(rel.max()) if rel.size else 0.0,
+    )

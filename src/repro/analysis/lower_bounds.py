@@ -1,0 +1,137 @@
+"""Table II — lower bounds on the computing time.
+
+The paper decomposes every lower bound into four *limitations*; the
+bound is their sum (equivalently, up to a factor of the number of terms,
+their maximum):
+
+* **speed-up** — total operations divided by operations per time unit
+  (``p`` for the PRAM; ``w`` per machine for the memory machines, since
+  one warp of ``w`` threads is active per time unit; ``dw`` for the HMM);
+* **bandwidth** — cells that must cross a ``w``-wide memory per time
+  unit;
+* **latency** — each thread completes at most one access per ``l`` time
+  units, so ``p`` threads read at most ``pT/l`` cells in ``T`` time,
+  plus a flat ``l`` for the first access;
+* **reduction** — the critical path of the summation tree: ``log``
+  levels, each costing ``l`` when the operands must round-trip the
+  latency-``l`` memory (DMM/UMM) and 1 when they can live in a latency-1
+  shared memory (HMM).
+
+===============  ====================================  ============================================
+model            sum                                   direct convolution
+===============  ====================================  ============================================
+PRAM             ``Ω(n/p) + Ω(log n)``                 ``Ω(nk/p) + Ω(log k)``
+DMM and UMM      ``Ω(n/p + n/w + nl/p + l·log n)``     ``Ω(nk/w + n/w + nkl/p + l + l·log k)``
+HMM              ``Ω(n/p + n/w + nl/p + l + log n)``   ``Ω(nk/dw + n/w + nl/p + l + log k)``
+===============  ====================================  ============================================
+
+A measured run *respects* the bound when its time-unit count is at least
+the maximum limitation; an algorithm is *optimal* when measured time is
+within a constant factor of the bound across the sweep —
+:mod:`repro.analysis.optimality` checks both.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.terms import (
+    Formula,
+    Params,
+    T_L,
+    T_LOG_K,
+    T_LOG_N,
+    T_L_LOG_K,
+    T_L_LOG_N,
+    T_NK_DW,
+    T_NK_P,
+    T_NK_W,
+    T_NKL_P,
+    T_NL_P,
+    T_N_P,
+    T_N_W,
+)
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "SUM_BOUNDS",
+    "CONV_BOUNDS",
+    "sum_lower_bound",
+    "convolution_lower_bound",
+]
+
+#: Table II, "Sum" block: the four limitations per model (absent
+#: limitations are simply missing from the tuple).
+SUM_BOUNDS: dict[str, dict[str, Formula]] = {
+    "pram": {
+        "speed-up": Formula("speed-up", (T_N_P,)),
+        "reduction": Formula("reduction", (T_LOG_N,)),
+    },
+    "dmm": {
+        "speed-up": Formula("speed-up", (T_N_P,)),
+        "bandwidth": Formula("bandwidth", (T_N_W,)),
+        "latency": Formula("latency", (T_NL_P, T_L)),
+        "reduction": Formula("reduction", (T_L_LOG_N,)),
+    },
+    "hmm": {
+        "speed-up": Formula("speed-up", (T_N_P,)),
+        "bandwidth": Formula("bandwidth", (T_N_W,)),
+        "latency": Formula("latency", (T_NL_P, T_L)),
+        "reduction": Formula("reduction", (T_LOG_N,)),
+    },
+}
+SUM_BOUNDS["umm"] = SUM_BOUNDS["dmm"]
+
+#: Table II, "Direct convolution" block.
+CONV_BOUNDS: dict[str, dict[str, Formula]] = {
+    "pram": {
+        "speed-up": Formula("speed-up", (T_NK_P,)),
+        "reduction": Formula("reduction", (T_LOG_K,)),
+    },
+    "dmm": {
+        "speed-up": Formula("speed-up", (T_NK_W,)),
+        "bandwidth": Formula("bandwidth", (T_N_W,)),
+        "latency": Formula("latency", (T_NKL_P, T_L)),
+        "reduction": Formula("reduction", (T_L_LOG_K,)),
+    },
+    "hmm": {
+        "speed-up": Formula("speed-up", (T_NK_DW,)),
+        "bandwidth": Formula("bandwidth", (T_N_W,)),
+        "latency": Formula("latency", (T_NL_P, T_L)),
+        "reduction": Formula("reduction", (T_LOG_K,)),
+    },
+}
+CONV_BOUNDS["umm"] = CONV_BOUNDS["dmm"]
+
+
+def _bound(table: dict[str, dict[str, Formula]], model: str, params: Params,
+           *, combine: str) -> float:
+    try:
+        limitations = table[model.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown model {model!r}; choose from {sorted(table)}"
+        ) from None
+    values = [f(params) for f in limitations.values()]
+    if combine == "max":
+        return max(values)
+    if combine == "sum":
+        return sum(values)
+    raise ConfigurationError(f"combine must be 'max' or 'sum', got {combine!r}")
+
+
+def sum_lower_bound(model: str, params: Params, *, combine: str = "max") -> float:
+    """Table II lower bound for the sum.
+
+    ``combine='max'`` gives the defensible bound (every limitation is
+    individually necessary); ``'sum'`` gives the paper's additive
+    presentation (valid up to the number of terms).
+    """
+    return _bound(SUM_BOUNDS, model, params, combine=combine)
+
+
+def convolution_lower_bound(
+    model: str, params: Params, *, combine: str = "max"
+) -> float:
+    """Table II lower bound for the direct convolution."""
+    if params.k < 1:
+        raise ConfigurationError("convolution_lower_bound requires params.k >= 1")
+    return _bound(CONV_BOUNDS, model, params, combine=combine)

@@ -1,0 +1,86 @@
+"""Optimality checks: measured time vs. Table II lower bounds.
+
+The paper's optimality theorems say each algorithm's time matches its
+lower bound up to a constant.  Empirically that is two inequalities over
+a parameter sweep:
+
+* **soundness** — every measured run takes at least the largest
+  limitation (a simulator that beat a lower bound would be broken);
+* **tightness** — the ratio measured / lower-bound stays below a modest
+  constant across the entire sweep (no parameter regime where the
+  algorithm loses more than a constant factor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.terms import Formula, Params
+from repro.errors import ConfigurationError
+
+__all__ = ["OptimalityReport", "check_optimality"]
+
+
+@dataclass(frozen=True)
+class OptimalityReport:
+    """Outcome of an optimality check over a sweep."""
+
+    #: True when no measurement undercuts its lower bound.
+    sound: bool
+    #: Largest measured / lower-bound ratio over the sweep.
+    worst_ratio: float
+    #: Smallest measured / lower-bound ratio over the sweep.
+    best_ratio: float
+    #: Number of points checked.
+    points: int
+    #: Violating points (sweep index, measured, bound) when not sound.
+    violations: tuple[tuple[int, float, float], ...] = ()
+
+    def tight_within(self, constant: float) -> bool:
+        """True when every ratio is at most ``constant``."""
+        return self.sound and self.worst_ratio <= constant
+
+    def describe(self) -> str:
+        status = "sound" if self.sound else f"VIOLATED at {len(self.violations)} points"
+        return (
+            f"optimality over {self.points} points: {status}; measured/bound "
+            f"in [{self.best_ratio:.2f}, {self.worst_ratio:.2f}]"
+        )
+
+
+def check_optimality(
+    limitations: dict[str, Formula],
+    points: list[Params],
+    measured: list[float],
+) -> OptimalityReport:
+    """Check a sweep of measurements against a set of limitations.
+
+    ``limitations`` is one model's entry of
+    :data:`repro.analysis.lower_bounds.SUM_BOUNDS` /
+    :data:`~repro.analysis.lower_bounds.CONV_BOUNDS`.  The lower bound at
+    each point is the *maximum* limitation (each is individually
+    necessary).
+    """
+    if len(points) != len(measured):
+        raise ConfigurationError(
+            f"{len(points)} parameter points but {len(measured)} measurements"
+        )
+    if not points:
+        raise ConfigurationError("need at least one sweep point")
+    ratios = []
+    violations = []
+    for i, (q, t) in enumerate(zip(points, measured)):
+        bound = max(f(q) for f in limitations.values())
+        if bound <= 0:
+            raise ConfigurationError(f"nonpositive lower bound at point {i}")
+        ratio = t / bound
+        ratios.append(ratio)
+        if t < bound - 1e-9:
+            violations.append((i, float(t), float(bound)))
+    return OptimalityReport(
+        sound=not violations,
+        worst_ratio=max(ratios),
+        best_ratio=min(ratios),
+        points=len(points),
+        violations=tuple(violations),
+    )

@@ -1,0 +1,60 @@
+"""Parameter-sweep driver.
+
+The table- and figure-reproduction benchmarks all share one shape: run an
+operation over a grid of ``(n, k, p, w, l, d)`` points, record measured
+time units next to the Table I prediction and Table II bound, then fit
+and check.  :func:`run_sweep` factors that loop; a
+:class:`SweepPoint` is one row of the resulting data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.analysis.terms import Params
+
+__all__ = ["SweepPoint", "run_sweep", "grid"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep measurement."""
+
+    params: Params
+    #: Measured simulator time units.
+    cycles: int
+    #: Optional extra metrics (transactions, slots, ...).
+    extra: dict[str, float]
+
+
+def grid(**axes: Sequence) -> list[dict]:
+    """Cartesian product of named axes, as a list of keyword dicts.
+
+    >>> grid(n=[4, 8], l=[1, 2])
+    [{'n': 4, 'l': 1}, {'n': 4, 'l': 2}, {'n': 8, 'l': 1}, {'n': 8, 'l': 2}]
+    """
+    points: list[dict] = [{}]
+    for name, values in axes.items():
+        points = [{**pt, name: v} for pt in points for v in values]
+    return points
+
+
+def run_sweep(
+    measure: Callable[[Params], "int | tuple[int, dict[str, float]]"],
+    points: Iterable[Params],
+) -> list[SweepPoint]:
+    """Measure every parameter point.
+
+    ``measure`` returns the cycle count, optionally paired with extra
+    metrics.  Exceptions propagate — a failing point is a bug, not data.
+    """
+    results: list[SweepPoint] = []
+    for q in points:
+        out = measure(q)
+        if isinstance(out, tuple):
+            cycles, extra = out
+        else:
+            cycles, extra = out, {}
+        results.append(SweepPoint(params=q, cycles=int(cycles), extra=dict(extra)))
+    return results

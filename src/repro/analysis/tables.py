@@ -1,0 +1,95 @@
+"""Render the paper's Table I and Table II.
+
+Both tables render in two modes:
+
+* **symbolic** — the O-term strings, matching the paper's presentation;
+* **numeric** — every formula evaluated at a concrete parameter point,
+  which is what the table-reproduction benchmarks print next to the
+  measured time-unit counts.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.costmodel import CONV_FORMULAS, SUM_FORMULAS
+from repro.analysis.lower_bounds import CONV_BOUNDS, SUM_BOUNDS
+from repro.analysis.terms import Params
+
+__all__ = ["render_table1", "render_table2", "format_grid"]
+
+_MODELS_T1 = ["sequential", "pram", "dmm", "hmm"]  # dmm row covers "DMM and UMM"
+_MODEL_LABELS = {
+    "sequential": "Sequential",
+    "pram": "PRAM",
+    "dmm": "DMM and UMM",
+    "umm": "DMM and UMM",
+    "hmm": "HMM",
+}
+_LIMITATIONS = ["speed-up", "bandwidth", "latency", "reduction"]
+
+
+def format_grid(headers: list[str], rows: list[list[str]]) -> str:
+    """Plain-text grid with per-column alignment."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: list[str]) -> str:
+        return "  ".join(c.ljust(widths[i]) for i, c in enumerate(cells)).rstrip()
+    rule = "  ".join("-" * wd for wd in widths)
+    lines = [fmt(headers), rule]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_table1(params: Params | None = None) -> str:
+    """Table I: computing time of the sum and the direct convolution.
+
+    With ``params`` the formulas are also evaluated numerically
+    (convolution columns require ``params.k >= 1``).
+    """
+    headers = ["Model", "Sum", "Direct convolution"]
+    rows = []
+    for model in _MODELS_T1:
+        sum_f = SUM_FORMULAS[model]
+        conv_f = CONV_FORMULAS[model]
+        sum_cell = sum_f.text()
+        conv_cell = conv_f.text()
+        if params is not None:
+            sum_cell += f" = {sum_f(params):.0f}"
+            if params.k >= 1:
+                conv_cell += f" = {conv_f(params):.0f}"
+        rows.append([_MODEL_LABELS[model], sum_cell, conv_cell])
+    title = "Table I: computing time of the sum and the direct convolution"
+    if params is not None:
+        title += (
+            f"  [n={params.n}, k={params.k}, p={params.p}, w={params.w}, "
+            f"l={params.l}, d={params.d}]"
+        )
+    return title + "\n" + format_grid(headers, rows)
+
+
+def render_table2(params: Params | None = None) -> str:
+    """Table II: the four limitations per model and problem."""
+    headers = ["Problem", "Limitation", "PRAM", "DMM and UMM", "HMM"]
+    rows = []
+    for problem, table in (("Sum", SUM_BOUNDS), ("Direct convolution", CONV_BOUNDS)):
+        for limitation in _LIMITATIONS:
+            row = [problem, limitation]
+            for model in ("pram", "dmm", "hmm"):
+                formula = table[model].get(limitation)
+                if formula is None:
+                    row.append("-")
+                    continue
+                cell = "Ω(" + " + ".join(t.text for t in formula.terms) + ")"
+                if params is not None and (problem == "Sum" or params.k >= 1):
+                    cell += f" = {formula(params):.0f}"
+                row.append(cell)
+            rows.append(row)
+            problem = ""  # only print the problem label once per block
+    title = "Table II: lower bounds of the computing time"
+    if params is not None:
+        title += (
+            f"  [n={params.n}, k={params.k}, p={params.p}, w={params.w}, "
+            f"l={params.l}, d={params.d}]"
+        )
+    return title + "\n" + format_grid(headers, rows)

@@ -1,0 +1,117 @@
+"""Composable cost terms for the paper's formulas.
+
+Every bound in Tables I and II is a sum of O-terms in the problem and
+machine parameters.  A :class:`Term` pairs a display string with an
+evaluator over :class:`Params`; a :class:`Formula` is a named sum of
+terms.  Keeping the terms first-class lets the fitting layer regress
+measured time units against each term separately — the "shape agreement"
+criterion of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Params",
+    "Term",
+    "Formula",
+    "T_N", "T_N_P", "T_LOG_N", "T_N_W", "T_NL_P", "T_L_LOG_N", "T_L",
+    "T_NK", "T_NK_P", "T_LOG_K", "T_NK_W", "T_NKL_P", "T_L_LOG_K",
+    "T_NK_DW", "T_DK_W", "T_DKL_P", "T_ONE",
+]
+
+
+@dataclass(frozen=True)
+class Params:
+    """Evaluation point: problem size(s) and machine shape.
+
+    ``n`` — input size; ``k`` — convolution kernel length (0 when
+    unused); ``p`` — threads/processors; ``w`` — width; ``l`` — latency;
+    ``d`` — number of DMMs.
+    """
+
+    n: int
+    p: int = 1
+    w: int = 32
+    l: int = 1  # noqa: E741 - paper notation
+    d: int = 1
+    k: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {self.n}")
+        for name in ("p", "w", "l", "d"):
+            if getattr(self, name) < 1:
+                raise ConfigurationError(
+                    f"{name} must be >= 1, got {getattr(self, name)}"
+                )
+        if self.k < 0:
+            raise ConfigurationError(f"k must be >= 0, got {self.k}")
+
+
+@dataclass(frozen=True)
+class Term:
+    """One O-term: a display string plus its value at a parameter point."""
+
+    text: str
+    evaluate: Callable[[Params], float]
+
+    def __call__(self, params: Params) -> float:
+        return float(self.evaluate(params))
+
+
+@dataclass(frozen=True)
+class Formula:
+    """A named sum of terms, e.g. ``O(n/w + nl/p + l·log n)``."""
+
+    name: str
+    terms: tuple[Term, ...]
+
+    def __call__(self, params: Params) -> float:
+        """Value of the sum of terms at ``params``."""
+        return sum(t(params) for t in self.terms)
+
+    def max_term(self, params: Params) -> float:
+        """Value of the dominant term — a valid lower-bound proxy when the
+        formula's terms are each individually necessary."""
+        return max(t(params) for t in self.terms)
+
+    def text(self) -> str:
+        """Display string, ``O(a + b + ...)``."""
+        return "O(" + " + ".join(t.text for t in self.terms) + ")"
+
+    def term_values(self, params: Params) -> dict[str, float]:
+        """Per-term values, keyed by display text."""
+        return {t.text: t(params) for t in self.terms}
+
+
+def _log2(x: float) -> float:
+    """``log2`` clamped below at 1 (the paper's trees always have at
+    least one level of work; avoids zero terms for n = 1 edge cases)."""
+    return max(1.0, math.log2(max(x, 1.0)))
+
+
+# -- shared vocabulary of terms ------------------------------------------------
+T_ONE = Term("1", lambda q: 1.0)
+T_N = Term("n", lambda q: q.n)
+T_N_P = Term("n/p", lambda q: q.n / q.p)
+T_LOG_N = Term("log n", lambda q: _log2(q.n))
+T_N_W = Term("n/w", lambda q: q.n / q.w)
+T_NL_P = Term("nl/p", lambda q: q.n * q.l / q.p)
+T_L = Term("l", lambda q: q.l)
+T_L_LOG_N = Term("l log n", lambda q: q.l * _log2(q.n))
+
+T_NK = Term("nk", lambda q: q.n * q.k)
+T_NK_P = Term("nk/p", lambda q: q.n * q.k / q.p)
+T_LOG_K = Term("log k", lambda q: _log2(max(q.k, 1)))
+T_NK_W = Term("nk/w", lambda q: q.n * q.k / q.w)
+T_NKL_P = Term("nkl/p", lambda q: q.n * q.k * q.l / q.p)
+T_L_LOG_K = Term("l log k", lambda q: q.l * _log2(max(q.k, 1)))
+T_NK_DW = Term("nk/dw", lambda q: q.n * q.k / (q.d * q.w))
+T_DK_W = Term("dk/w", lambda q: q.d * q.k / q.w)
+T_DKL_P = Term("dkl/p", lambda q: q.d * q.k * q.l / q.p)

@@ -1,0 +1,23 @@
+"""Machine front-ends, baselines, and the paper's algorithms.
+
+* :mod:`repro.core.machines` — the :class:`DMM`, :class:`UMM` and
+  :class:`HMM` façades (the main entry points of the library);
+* :mod:`repro.core.pram` / :mod:`repro.core.sequential` — the baseline
+  models of Table I;
+* :mod:`repro.core.kernels` — warp-program implementations of every
+  algorithm in the paper plus extensions.
+"""
+
+from repro.core.machines import DMM, HMM, UMM
+from repro.core.pram import PRAM, PRAMResult
+from repro.core.sequential import SequentialMachine, SequentialResult
+
+__all__ = [
+    "DMM",
+    "HMM",
+    "PRAM",
+    "PRAMResult",
+    "SequentialMachine",
+    "SequentialResult",
+    "UMM",
+]

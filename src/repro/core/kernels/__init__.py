@@ -1,0 +1,93 @@
+"""Warp-program implementations of the paper's algorithms.
+
+Every module provides *kernel factories* — functions taking array handles
+and problem parameters and returning a warp program — plus, where useful,
+host-side helpers that launch the kernel and post-process the result.
+
+Organization (paper section in parentheses):
+
+* :mod:`repro.core.kernels.contiguous` — contiguous memory access
+  (Section IV, Lemma 1, Theorem 2);
+* :mod:`repro.core.kernels.reduction` — the sum on the DMM and UMM
+  (Section VI, Lemma 5);
+* :mod:`repro.core.kernels.hmm_sum` — the sum on the HMM (Section VII,
+  Lemma 6 and Theorem 7);
+* :mod:`repro.core.kernels.convolution` — direct convolution on the DMM
+  and UMM (Section VIII, Theorem 8);
+* :mod:`repro.core.kernels.hmm_conv` — direct convolution on the HMM
+  (Section IX, Theorem 9 / Corollary 10);
+* :mod:`repro.core.kernels.prefix` — prefix-sums (companion result the
+  paper builds on, reference [17]);
+* :mod:`repro.core.kernels.permutation` — conflict-free offline
+  permutation on the DMM (references [13], [19]);
+* :mod:`repro.core.kernels.matmul` — shared-memory tiled matrix
+  multiplication on the HMM (extension: the canonical CUDA pattern
+  expressed in the model).
+"""
+
+from repro.core.kernels.compaction import hmm_compact
+from repro.core.kernels.contiguous import (
+    contiguous_copy,
+    contiguous_read,
+    contiguous_write,
+    multi_array_access,
+    strided_read,
+)
+from repro.core.kernels.convolution import convolution_kernel
+from repro.core.kernels.hmm_conv import hmm_convolution
+from repro.core.kernels.histogram import hmm_histogram
+from repro.core.kernels.hmm_sum import hmm_reduce, hmm_sum, hmm_sum_single_dmm
+from repro.core.kernels.matmul import hmm_matmul, hmm_transpose
+from repro.core.kernels.matvec import flat_matvec, hmm_matvec
+from repro.core.kernels.merge import flat_merge, hmm_merge, merge_partition
+from repro.core.kernels.permutation import (
+    conflict_free_permutation_schedule,
+    permutation_kernel,
+)
+from repro.core.kernels.prefix import hmm_prefix_sums, prefix_sums_kernel
+from repro.core.kernels.reduction import sum_kernel
+from repro.core.kernels.bfs import adjacency_from_graph, hmm_bfs
+from repro.core.kernels.sorting import flat_bitonic_sort, hmm_bitonic_sort
+from repro.core.kernels.spmv import csr_from_dense, flat_spmv, hmm_spmv
+from repro.core.kernels.string_matching import (
+    flat_approximate_match,
+    hmm_approximate_match,
+    reference_approximate_match,
+)
+
+__all__ = [
+    "contiguous_copy",
+    "flat_approximate_match",
+    "flat_bitonic_sort",
+    "hmm_bitonic_sort",
+    "hmm_approximate_match",
+    "reference_approximate_match",
+    "contiguous_read",
+    "contiguous_write",
+    "convolution_kernel",
+    "conflict_free_permutation_schedule",
+    "adjacency_from_graph",
+    "csr_from_dense",
+    "flat_spmv",
+    "hmm_bfs",
+    "flat_merge",
+    "hmm_compact",
+    "hmm_merge",
+    "merge_partition",
+    "hmm_spmv",
+    "hmm_convolution",
+    "hmm_histogram",
+    "hmm_matvec",
+    "flat_matvec",
+    "hmm_reduce",
+    "hmm_transpose",
+    "hmm_matmul",
+    "hmm_prefix_sums",
+    "hmm_sum",
+    "hmm_sum_single_dmm",
+    "multi_array_access",
+    "permutation_kernel",
+    "prefix_sums_kernel",
+    "strided_read",
+    "sum_kernel",
+]

@@ -1,0 +1,170 @@
+"""Level-synchronous breadth-first search on the HMM (extension).
+
+The classic irregular multi-kernel GPU workload, composed entirely from
+library pieces.  Each BFS level is the CUDA idiom, three launches:
+
+1. **expand** — threads sweep the current frontier; for each frontier
+   node they walk its CSR adjacency (scattered reads — the honest,
+   uncoalesced heart of GPU BFS), check ``dist`` and flag unvisited
+   neighbours.  Same-value flag collisions are benign under the
+   arbitrary-CRCW rule.
+2. **label** — a contiguous sweep sets ``dist = level + 1`` for flagged
+   nodes and clears the flags.
+3. **compact** — the HMM scan (:func:`~repro.core.kernels.compaction.
+   hmm_compact` logic, inlined over the flags) builds the next frontier.
+
+The host reads the frontier back between levels — exactly how a CUDA
+host orchestrates level-synchronous BFS (host readbacks are untimed,
+like all host-side staging in this library).  Cycles are summed over
+every launch.
+
+Validated against :func:`networkx.single_source_shortest_path_length`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.machine.hmm import HMMEngine
+from repro.machine.trace import TraceRecorder
+from repro.machine.warp import WarpContext
+from repro.core.kernels.contiguous import contiguous_range_steps
+from repro.core.kernels.prefix import hmm_prefix_sums
+from repro.core.kernels.spmv import csr_from_dense
+
+__all__ = ["hmm_bfs", "adjacency_from_graph"]
+
+
+def adjacency_from_graph(graph) -> np.ndarray:
+    """Dense 0/1 adjacency from a networkx graph (node order sorted)."""
+    import networkx as nx
+
+    nodes = sorted(graph.nodes())
+    index = {u: i for i, u in enumerate(nodes)}
+    n = len(nodes)
+    adj = np.zeros((n, n))
+    for u, v in graph.edges():
+        adj[index[u], index[v]] = 1.0
+        adj[index[v], index[u]] = 1.0
+    return adj
+
+
+def hmm_bfs(
+    engine_factory,
+    adjacency: np.ndarray,
+    source: int,
+    num_threads: int,
+    *,
+    trace: TraceRecorder | None = None,
+) -> tuple[np.ndarray, int]:
+    """BFS distances from ``source``; returns ``(dist, total_cycles)``.
+
+    ``engine_factory`` is a zero-argument callable producing a fresh
+    :class:`HMMEngine` (each level's launches run on one engine; the
+    factory keeps per-level allocations from accumulating).
+    Unreachable nodes get distance ``-1``.
+    """
+    adj = np.asarray(adjacency, dtype=np.float64)
+    if adj.ndim != 2 or adj.shape[0] != adj.shape[1]:
+        raise ConfigurationError(f"adjacency must be square, got {adj.shape}")
+    n = adj.shape[0]
+    if not (0 <= source < n):
+        raise ConfigurationError(f"source {source} out of range for {n} nodes")
+    indptr, indices, _data = csr_from_dense(adj)
+    if indices.size == 0:
+        indices = np.zeros(1, dtype=np.int64)
+
+    dist_host = np.full(n, -1.0)
+    dist_host[source] = 0.0
+    frontier = np.array([source], dtype=np.int64)
+    total_cycles = 0
+    level = 0
+
+    while frontier.size > 0:
+        engine = engine_factory()
+        g_indices = engine.global_from(indices.astype(np.float64), "bfs.adj")
+        g_dist = engine.global_from(dist_host, "bfs.dist")
+        g_frontier = engine.global_from(frontier.astype(np.float64), "bfs.frontier")
+        g_flags = engine.alloc_global(n, "bfs.flags")
+        fsize = frontier.size
+        degrees = (indptr[frontier + 1] - indptr[frontier]).astype(np.int64)
+        starts = indptr[frontier].astype(np.int64)
+
+        def expand(warp: WarpContext):
+            p = warp.num_threads
+            rounds = -(-fsize // p)
+            for rd in range(rounds):
+                fi = rd * p + warp.tids
+                mask = fi < fsize
+                fi_safe = np.where(mask, fi, 0)
+                # The frontier values are re-read on device (timed) even
+                # though the host also knows them for loop bounds.
+                yield warp.read(g_frontier, fi_safe, mask=mask)
+                deg = np.where(mask, degrees[fi_safe], 0)
+                base = starts[fi_safe]
+                max_deg = int(deg.max()) if mask.any() else 0
+                for k in range(max_deg):
+                    nb_mask = mask & (k < deg)
+                    if not nb_mask.any():
+                        continue
+                    v = yield warp.read(
+                        g_indices, np.where(nb_mask, base + k, 0), mask=nb_mask
+                    )
+                    v_idx = v.astype(np.int64)
+                    dv = yield warp.read(
+                        g_dist, np.where(nb_mask, v_idx, 0), mask=nb_mask
+                    )
+                    fresh = nb_mask & (dv < 0)
+                    yield warp.compute(1)
+                    yield warp.write(
+                        g_flags, np.where(fresh, v_idx, 0), 1.0, mask=fresh
+                    )
+
+        total_cycles += engine.launch(
+            expand, num_threads, trace=trace, label=f"bfs-expand-{level}"
+        ).cycles
+
+        def label(warp: WarpContext):
+            for idx, mask in contiguous_range_steps(warp, n):
+                f = yield warp.read(g_flags, idx, mask=mask)
+                hit = mask & (f > 0)
+                yield warp.compute(1)
+                yield warp.write(g_dist, np.where(hit, idx, 0),
+                                 float(level + 1), mask=hit)
+
+        total_cycles += engine.launch(
+            label, num_threads, trace=trace, label=f"bfs-label-{level}"
+        ).cycles
+
+        # Next frontier = compact(arange(n), flags): scan + scatter.
+        flags_host = g_flags.to_numpy()
+        slots, scan_report = hmm_prefix_sums(
+            engine, flags_host, num_threads, trace=trace
+        )
+        total_cycles += scan_report.cycles
+        kept = int(slots[-1])
+        if kept == 0:
+            dist_host = g_dist.to_numpy()
+            break
+        g_slots = engine.global_from(slots, "bfs.slots")
+        g_next = engine.alloc_global(max(kept, 1), "bfs.next")
+
+        def scatter(warp: WarpContext):
+            for idx, mask in contiguous_range_steps(warp, n):
+                f = yield warp.read(g_flags, idx, mask=mask)
+                s = yield warp.read(g_slots, idx, mask=mask)
+                keep = mask & (f > 0)
+                dest = np.where(keep, s - 1, 0).astype(np.int64)
+                yield warp.write(g_next, dest, idx.astype(np.float64),
+                                 mask=keep)
+
+        total_cycles += engine.launch(
+            scatter, num_threads, trace=trace, label=f"bfs-compact-{level}"
+        ).cycles
+
+        dist_host = g_dist.to_numpy()
+        frontier = g_next.to_numpy()[:kept].astype(np.int64)
+        level += 1
+
+    return dist_host.astype(np.int64), total_cycles

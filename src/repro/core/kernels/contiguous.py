@@ -1,0 +1,198 @@
+"""Contiguous memory access (paper Section IV).
+
+The key technique of the memory machine models: ``p`` threads accessing
+``n`` cells so that, at every step, each warp touches ``w`` *consecutive*
+addresses — which fall in ``w`` distinct banks (no DMM conflicts) and in
+one address group (full UMM coalescing).  The access pattern is
+
+    for j = 0 .. n/p - 1:  thread(t) accesses a[j * p + t]
+
+Lemma 1: the contiguous access of ``n`` cells takes
+``O(n/w + nl/p + l)`` time units on the DMM and the UMM.
+Theorem 2: the same bound holds for accessing up to ``w`` arrays of total
+size ``n`` in turn.
+
+These kernels are both measurement subjects (the contiguous-access
+benchmarks) and building blocks reused by every other kernel in the
+library.  :func:`strided_read` provides the anti-pattern — stride-``s``
+access — used by the policy ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.machine.memory import ArrayHandle
+from repro.machine.warp import WarpContext
+
+__all__ = [
+    "contiguous_read",
+    "contiguous_write",
+    "contiguous_copy",
+    "multi_array_access",
+    "strided_read",
+    "contiguous_range_steps",
+    "copy_range_steps",
+]
+
+
+def contiguous_range_steps(
+    warp: WarpContext,
+    n: int,
+    *,
+    num_threads: int | None = None,
+    tids: np.ndarray | None = None,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(indices, mask)`` pairs for the canonical contiguous sweep.
+
+    Round ``j`` of the sweep has thread ``t`` handle index ``j * p + t``;
+    the iterator yields one ``(index-vector, live-mask)`` pair per round
+    for this warp's lanes.  ``num_threads`` / ``tids`` default to the
+    launch-wide values but can be overridden for sweeps private to a
+    subset of threads (e.g. one DMM's block).
+
+    Rounds where this warp has no live lane are skipped entirely — the
+    model does not dispatch warps without pending requests.
+    """
+    p = num_threads if num_threads is not None else warp.num_threads
+    lane_tids = tids if tids is not None else warp.tids
+    rounds = -(-n // p)
+    for j in range(rounds):
+        idx = j * p + lane_tids
+        mask = idx < n
+        if not mask.any():
+            continue
+        yield np.where(mask, idx, 0), mask
+
+
+def copy_range_steps(
+    warp: WarpContext,
+    src: ArrayHandle,
+    src_offset: int,
+    dst: ArrayHandle,
+    dst_offset: int,
+    count: int,
+    *,
+    num_threads: int | None = None,
+    tids: np.ndarray | None = None,
+):
+    """Sub-generator: contiguous copy of ``count`` cells between arrays.
+
+    Copies ``src[src_offset .. src_offset + count)`` to
+    ``dst[dst_offset ..)`` with the canonical contiguous pattern, scoped
+    to a thread subset via ``num_threads`` / ``tids`` (e.g. one DMM's
+    threads staging global data into their shared memory).  Both the read
+    and the write are conflict-free / fully coalesced provided the
+    offsets are width-aligned.
+    """
+    if count <= 0:
+        return
+    for idx, mask in contiguous_range_steps(
+        warp, count, num_threads=num_threads, tids=tids
+    ):
+        vals = yield warp.read(src, src_offset + idx, mask=mask)
+        yield warp.write(dst, dst_offset + idx, vals, mask=mask)
+
+
+def contiguous_read(a: ArrayHandle, n: int):
+    """Kernel: read cells ``a[0..n)`` with the contiguous pattern.
+
+    The values go nowhere (measurement kernel); use
+    :func:`contiguous_copy` to move data.
+    """
+    _check_size(a, n)
+
+    def program(warp: WarpContext):
+        for idx, mask in contiguous_range_steps(warp, n):
+            yield warp.read(a, idx, mask=mask)
+
+    return program
+
+
+def contiguous_write(a: ArrayHandle, n: int, value: float = 0.0):
+    """Kernel: write ``value`` to cells ``a[0..n)`` contiguously."""
+    _check_size(a, n)
+
+    def program(warp: WarpContext):
+        for idx, mask in contiguous_range_steps(warp, n):
+            yield warp.write(a, idx, np.full(warp.num_lanes, value), mask=mask)
+
+    return program
+
+
+def contiguous_copy(src: ArrayHandle, dst: ArrayHandle, n: int):
+    """Kernel: copy ``src[0..n) -> dst[0..n)`` contiguously.
+
+    Each round is a contiguous read followed by a contiguous write —
+    two arrays accessed in turn, the Theorem 2 pattern.
+    """
+    _check_size(src, n)
+    _check_size(dst, n)
+
+    def program(warp: WarpContext):
+        for idx, mask in contiguous_range_steps(warp, n):
+            vals = yield warp.read(src, idx, mask=mask)
+            yield warp.write(dst, idx, vals, mask=mask)
+
+    return program
+
+
+def multi_array_access(arrays: Sequence[ArrayHandle], sizes: Sequence[int]):
+    """Kernel: contiguously read several arrays *in turn* (Theorem 2).
+
+    Round ``j`` touches round ``j`` of array 1, then of array 2, ... so
+    that each thread alternates between the arrays, keeping every warp
+    transaction contiguous.  Theorem 2 allows up to ``w`` arrays of total
+    size ``n`` in ``O(n/w + nl/p + l)`` time.
+    """
+    if len(arrays) != len(sizes):
+        raise ConfigurationError(
+            f"got {len(arrays)} arrays but {len(sizes)} sizes"
+        )
+    for a, n in zip(arrays, sizes):
+        _check_size(a, n)
+
+    def program(warp: WarpContext):
+        p = warp.num_threads
+        rounds = max((-(-n // p) for n in sizes), default=0)
+        for j in range(rounds):
+            for a, n in zip(arrays, sizes):
+                idx = j * p + warp.tids
+                mask = idx < n
+                if not mask.any():
+                    continue
+                yield warp.read(a, np.where(mask, idx, 0), mask=mask)
+
+    return program
+
+
+def strided_read(a: ArrayHandle, n: int, stride: int):
+    """Kernel: the contiguous access *anti-pattern* — stride-``s`` reads.
+
+    Thread ``t`` of round ``j`` reads ``a[((j * p + t) * stride) mod n]``.
+    With ``stride`` a multiple of the width this maximizes DMM bank
+    conflicts; with ``stride > 1`` it touches many address groups per
+    warp on the UMM.  Used by the policy-ablation benchmarks to show the
+    cost the models attach to uncoalesced access.
+    """
+    _check_size(a, n)
+    if stride < 1:
+        raise ConfigurationError(f"stride must be >= 1, got {stride}")
+
+    def program(warp: WarpContext):
+        for idx, mask in contiguous_range_steps(warp, n):
+            yield warp.read(a, (idx * stride) % n, mask=mask)
+
+    return program
+
+
+def _check_size(a: ArrayHandle, n: int) -> None:
+    if n < 1:
+        raise ConfigurationError(f"access size must be >= 1, got {n}")
+    if n > a.size:
+        raise ConfigurationError(
+            f"access size {n} exceeds array {a.describe()} of size {a.size}"
+        )

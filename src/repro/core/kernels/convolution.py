@@ -1,0 +1,168 @@
+"""Direct convolution on the DMM and the UMM (paper Section VIII).
+
+Problem: given ``x`` of length ``k`` and ``y`` of length ``n + k - 1``
+(``k <= n``), compute ``z[j] = sum_{i<k} x[i] * y[j+i]`` for ``j < n``.
+
+Theorem 8: with ``p`` threads (``n <= p <= nk``) the direct convolution
+takes ``O(nk/w + nkl/p + l·log k)`` time units on the DMM and the UMM —
+optimal.  Two regimes:
+
+* ``p <= n`` — each thread evaluates ``~n/p`` outputs alone; every step
+  reads ``x[i]`` (a broadcast: one address, one slot) and ``y[j+i]``
+  (contiguous across the warp), accumulating in a register.
+* ``p > n`` — ``q = p/n`` threads share each output.  Thread ``t·n + j``
+  accumulates the ``t``-th block of ``~k/q`` products for output ``j``
+  (all ``y`` accesses contiguous in ``j``), the block partials land in a
+  scratch array ``zblk[t·n + j]``, and a pairwise tree over the block
+  axis combines them in ``log q <= log k`` levels of contiguous accesses.
+
+The core is exposed as the sub-generator :func:`convolution_steps` so the
+HMM algorithm (Section IX) can run the identical code against shared
+memory with DMM-scope barriers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.machine.memory import ArrayHandle
+from repro.machine.ops import BarrierScope
+from repro.machine.warp import WarpContext
+
+__all__ = ["convolution_kernel", "convolution_steps", "scratch_blocks_needed"]
+
+
+def scratch_blocks_needed(k: int, n: int, num_threads: int) -> int:
+    """Number of per-output blocks ``q`` the ``p > n`` regime will use.
+
+    Returns 1 when ``p <= n`` (no scratch array needed).
+    """
+    if num_threads <= n:
+        return 1
+    return min(num_threads // n, k)
+
+
+def convolution_steps(
+    warp: WarpContext,
+    x: ArrayHandle,
+    y: ArrayHandle,
+    z: ArrayHandle,
+    k: int,
+    n: int,
+    *,
+    num_threads: int | None = None,
+    tids: np.ndarray | None = None,
+    scope: BarrierScope = BarrierScope.DEVICE,
+    zblk: ArrayHandle | None = None,
+):
+    """Sub-generator computing ``z[0..n) = x (*) y`` with a thread subset.
+
+    ``num_threads`` / ``tids`` default to the launch-wide values; the HMM
+    kernel passes each DMM's local values plus ``scope=DMM``.  ``zblk``
+    must hold ``q·n`` cells when ``q = scratch_blocks_needed(...) > 1``.
+    """
+    p = num_threads if num_threads is not None else warp.num_threads
+    lane_tids = tids if tids is not None else warp.tids
+    if k < 1 or n < 1:
+        raise ConfigurationError(f"convolution requires k, n >= 1; got k={k}, n={n}")
+    # (The paper's k <= n assumption is enforced at the problem level by
+    # the launch helpers; per-chunk calls from the HMM kernel may see a
+    # tail chunk shorter than k, which the loops handle correctly.)
+    q = scratch_blocks_needed(k, n, p)
+
+    if q == 1:
+        # --- p <= n: one thread per output, n/p outputs each. ---------
+        rounds = -(-n // p)
+        for r in range(rounds):
+            j = r * p + lane_tids
+            mask = j < n
+            if not mask.any():
+                continue
+            j_safe = np.where(mask, j, 0)
+            acc = np.zeros(warp.num_lanes, dtype=np.float64)
+            for i in range(k):
+                xv = yield warp.read(x, i, mask=mask)
+                yv = yield warp.read(y, j_safe + i, mask=mask)
+                yield warp.compute(1)
+                acc += xv * yv
+            yield warp.write(z, j_safe, acc, mask=mask)
+        return
+
+    # --- p > n: q threads per output. ---------------------------------
+    if zblk is None:
+        raise ConfigurationError(
+            f"p={p} > n={n} requires a scratch array of {q * n} cells"
+        )
+    if zblk.size < q * n:
+        raise ConfigurationError(
+            f"scratch array {zblk.describe()} holds {zblk.size} cells, "
+            f"need {q * n}"
+        )
+    block = -(-k // q)  # ceil(k / q) products per block
+    # Thread h = t*n + j accumulates block t of output j.
+    t_idx = lane_tids // n
+    j_idx = lane_tids % n
+    live = t_idx < q  # threads beyond q*n idle
+    acc = np.zeros(warp.num_lanes, dtype=np.float64)
+    for r in range(block):
+        i = t_idx * block + r
+        mask = live & (i < k)
+        if mask.any():
+            i_safe = np.where(mask, i, 0)
+            xv = yield warp.read(x, i_safe, mask=mask)
+            yv = yield warp.read(y, np.where(mask, j_idx + i, 0), mask=mask)
+            yield warp.compute(1)
+            acc += xv * yv
+    yield warp.write(zblk, np.where(live, t_idx * n + j_idx, 0), acc, mask=live)
+    yield warp.barrier(scope)
+
+    # Pairwise tree over the block axis: zblk[t] += zblk[t + half].
+    m = q
+    while m > 1:
+        half = -(-m // 2)
+        active = (m - half) * n  # cells receiving a partner
+        rounds = -(-active // p)
+        for r in range(rounds):
+            h = r * p + lane_tids
+            mask = h < active
+            if mask.any():
+                h_safe = np.where(mask, h, 0)
+                lhs = yield warp.read(zblk, h_safe, mask=mask)
+                rhs = yield warp.read(zblk, h_safe + half * n, mask=mask)
+                yield warp.compute(1)
+                yield warp.write(zblk, h_safe, lhs + rhs, mask=mask)
+        yield warp.barrier(scope)
+        m = half
+
+    # Copy the combined block 0 into z.
+    rounds = -(-n // p)
+    for r in range(rounds):
+        j = r * p + lane_tids
+        mask = j < n
+        if not mask.any():
+            continue
+        j_safe = np.where(mask, j, 0)
+        vals = yield warp.read(zblk, j_safe, mask=mask)
+        yield warp.write(z, j_safe, vals, mask=mask)
+
+
+def convolution_kernel(
+    x: ArrayHandle,
+    y: ArrayHandle,
+    z: ArrayHandle,
+    k: int,
+    n: int,
+    *,
+    zblk: ArrayHandle | None = None,
+):
+    """Kernel: direct convolution on a flat DMM or UMM (Theorem 8).
+
+    Allocate ``zblk`` with ``scratch_blocks_needed(k, n, p) * n`` cells
+    when launching with more threads than outputs.
+    """
+
+    def program(warp: WarpContext):
+        yield from convolution_steps(warp, x, y, z, k, n, zblk=zblk)
+
+    return program

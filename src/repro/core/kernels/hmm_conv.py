@@ -1,0 +1,163 @@
+"""Direct convolution on the HMM (paper Section IX, Theorem 9).
+
+The three-step algorithm:
+
+1. **Copy in** — the output ``z`` is partitioned into ``d`` chunks of
+   ``~n/d``; ``DMM(i)``'s ``q = p/d`` threads copy ``x`` (``k`` cells)
+   and its slice of ``y`` (``n/d + k - 1`` cells) from the global memory
+   into their shared memory.  All DMMs' transactions share the single
+   global pipeline; contiguous access keeps the cost at
+   ``O((n + dk)/w + (n + dk)·l/p + l)``.
+2. **Compute** — each DMM runs the Theorem 8 convolution entirely in its
+   latency-1 shared memory: ``O(nk/(dw) + nk/p + log k)``.
+3. **Copy out** — each DMM writes its ``n/d`` results back to the global
+   ``z`` (contiguous), no more expensive than step 1.
+
+Total: ``O((n + dk)/w + nk/(dw) + (n + dk)·l/p + l + log k)`` — Theorem
+9; with ``k >= lw/d`` this is ``O(n/w + nk/(dw) + nl/p + l + log k)``
+(Corollary 10), which matches the lower bounds, so the algorithm is
+optimal.  The ``d``-fold speed-up term ``nk/(dw)`` — versus ``nk/w`` on
+a single machine — is what the HMM's multiple shared memories buy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.machine.hmm import HMMEngine, split_threads
+from repro.machine.memory import ArrayHandle
+from repro.machine.ops import BarrierScope
+from repro.machine.report import RunReport
+from repro.machine.trace import TraceRecorder
+from repro.machine.warp import WarpContext
+from repro.core.kernels.contiguous import copy_range_steps
+from repro.core.kernels.convolution import convolution_steps, scratch_blocks_needed
+
+__all__ = ["hmm_convolution_kernel", "hmm_convolution"]
+
+
+def _chunk_bounds(n: int, d: int, i: int) -> tuple[int, int]:
+    """Output range ``[lo, hi)`` of ``DMM(i)`` under even chunking."""
+    chunk = -(-n // d)  # ceil(n / d)
+    lo = min(i * chunk, n)
+    hi = min(lo + chunk, n)
+    return lo, hi
+
+
+def hmm_convolution_kernel(
+    x: ArrayHandle,
+    y: ArrayHandle,
+    z: ArrayHandle,
+    k: int,
+    n: int,
+    sx: list[ArrayHandle],
+    sy: list[ArrayHandle],
+    sz: list[ArrayHandle],
+    szblk: list[ArrayHandle | None],
+    active_dmms: int,
+):
+    """Kernel factory for the Theorem 9 algorithm.
+
+    ``sx`` / ``sy`` / ``sz`` / ``szblk`` hold each DMM's shared-memory
+    staging arrays (``szblk[i]`` may be ``None`` when that DMM uses at
+    most one thread per output).  ``active_dmms`` is the number of DMMs
+    that received threads — the output is chunked over those only, so a
+    launch with fewer threads than DMMs still covers every output.
+    """
+    if k < 1 or n < 1:
+        raise ConfigurationError(f"convolution requires k, n >= 1; got k={k}, n={n}")
+
+    def program(warp: WarpContext):
+        i = warp.dmm_id
+        q = warp.threads_in_dmm
+        lo, hi = _chunk_bounds(n, active_dmms, i)
+        cn = hi - lo  # this DMM's output count
+        if cn == 0:
+            return  # more DMMs than chunks: nothing to do
+
+        # Step 1: copy x and the y slice into shared memory.
+        yield from copy_range_steps(
+            warp, x, 0, sx[i], 0, k, num_threads=q, tids=warp.local_tids
+        )
+        yield from copy_range_steps(
+            warp, y, lo, sy[i], 0, cn + k - 1,
+            num_threads=q, tids=warp.local_tids,
+        )
+        yield warp.sync_dmm()
+
+        # Step 2: convolve inside the shared memory (latency 1).
+        yield from convolution_steps(
+            warp,
+            sx[i],
+            sy[i],
+            sz[i],
+            k,
+            cn,
+            num_threads=q,
+            tids=warp.local_tids,
+            scope=BarrierScope.DMM,
+            zblk=szblk[i],
+        )
+        yield warp.sync_dmm()
+
+        # Step 3: copy the chunk of z back to the global memory.
+        yield from copy_range_steps(
+            warp, sz[i], 0, z, lo, cn, num_threads=q, tids=warp.local_tids
+        )
+
+    return program
+
+
+def hmm_convolution(
+    engine: HMMEngine,
+    x_values: np.ndarray,
+    y_values: np.ndarray,
+    num_threads: int,
+    *,
+    trace: TraceRecorder | None = None,
+) -> tuple[np.ndarray, RunReport]:
+    """Convolve ``x`` with ``y`` on the HMM (Theorem 9).
+
+    ``x`` has length ``k``; ``y`` must have length ``n + k - 1`` with
+    ``k <= n``.  Returns ``(z, report)`` where ``z`` has length ``n``.
+    """
+    xv = np.asarray(x_values, dtype=np.float64).ravel()
+    yv = np.asarray(y_values, dtype=np.float64).ravel()
+    k = xv.size
+    n = yv.size - k + 1
+    if k < 1 or n < 1:
+        raise ConfigurationError(
+            f"need len(x) >= 1 and len(y) >= len(x); got {xv.size}, {yv.size}"
+        )
+    if k > n:
+        raise ConfigurationError(f"the paper assumes k <= n; got k={k}, n={n}")
+
+    d = engine.params.num_dmms
+    shares = split_threads(num_threads, d)
+    active = sum(1 for s in shares if s > 0)
+    x = engine.global_from(xv, "conv.x")
+    y = engine.global_from(yv, "conv.y")
+    z = engine.alloc_global(n, "conv.z")
+    sx: list[ArrayHandle] = []
+    sy: list[ArrayHandle] = []
+    sz: list[ArrayHandle] = []
+    szblk: list[ArrayHandle | None] = []
+    for i in range(d):
+        lo, hi = _chunk_bounds(n, active, i) if i < active else (0, 0)
+        cn = max(hi - lo, 1)
+        sx.append(engine.alloc_shared(i, k, "conv.sx"))
+        sy.append(engine.alloc_shared(i, cn + k - 1, "conv.sy"))
+        sz.append(engine.alloc_shared(i, cn, "conv.sz"))
+        blocks = scratch_blocks_needed(k, cn, max(shares[i], 1))
+        if blocks > 1:
+            szblk.append(engine.alloc_shared(i, blocks * cn, "conv.szblk"))
+        else:
+            szblk.append(None)
+    report = engine.launch(
+        hmm_convolution_kernel(x, y, z, k, n, sx, sy, sz, szblk, active),
+        num_threads,
+        trace=trace,
+        label="hmm-convolution",
+    )
+    return z.to_numpy(), report

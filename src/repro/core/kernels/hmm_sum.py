@@ -1,0 +1,317 @@
+"""The sum on the HMM (paper Section VII, Lemma 6 and Theorem 7).
+
+The flat Lemma 5 algorithm run in the global memory pays the latency
+``l`` at *every* level of the reduction tree — ``O(l·log n)``.  The HMM
+algorithms avoid that by doing all tree levels in the latency-1 shared
+memories and touching the global memory only for bandwidth-bound
+contiguous sweeps plus O(1) synchronizing writes per DMM:
+
+1. **Column sums** (global, contiguous): view the input as a 2-D array
+   with ``p`` columns; thread ``j`` accumulates column ``j`` in a
+   register.  Cost ``O(n/w + nl/p + l)``.
+2. **Per-DMM reduction** (shared, latency 1): each DMM's ``q = p/d``
+   threads write their registers into shared memory and tree-reduce them
+   there; thread 0 writes the DMM's partial sum to a global array ``t``.
+   Cost ``O(q/w + log q + l)``.
+3. **Final reduction** (DMM(0)): after a device-wide synchronization,
+   DMM(0) copies the ``d`` partial sums into its shared memory, reduces
+   them, and writes the total.  Cost ``O(d/w + dl/q + log d + l)``.
+
+Total: ``O(n/w + nl/p + l + log n)`` — Theorem 7, optimal.  Lemma 6 is
+the special case where all threads sit on one DMM
+(:func:`hmm_sum_single_dmm`), costing ``O(n/w + nl/p0 + l + log n)`` with
+``p0`` capped by a single DMM's capacity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.machine.hmm import HMMEngine, split_threads
+from repro.machine.memory import ArrayHandle
+from repro.machine.ops import BarrierScope
+from repro.machine.report import RunReport
+from repro.machine.trace import TraceRecorder
+from repro.machine.warp import WarpContext
+from repro.core.kernels.contiguous import contiguous_range_steps
+from repro.core.kernels.reduction import REDUCE_OPS, tree_reduce_steps
+
+__all__ = [
+    "hmm_sum_kernel",
+    "hmm_sum",
+    "hmm_sum_single_dmm",
+    "hmm_sum_recursive",
+    "hmm_reduce",
+]
+
+
+def hmm_sum_kernel(
+    a: ArrayHandle,
+    n: int,
+    shared: list[ArrayHandle],
+    t: ArrayHandle,
+    out: ArrayHandle,
+    active_dmms: int,
+    *,
+    op: str = "sum",
+):
+    """Kernel factory for the Theorem 7 summing algorithm.
+
+    Parameters
+    ----------
+    a:
+        Global input array, summed over ``a[0..n)``.
+    shared:
+        One shared-memory scratch array per DMM, each at least as large
+        as that DMM's thread count (and, on DMM 0, at least
+        ``active_dmms``).
+    t:
+        Global scratch holding one partial sum per active DMM.
+    out:
+        Global cell receiving the total (``out[0]``).
+    active_dmms:
+        Number of DMMs that received threads.
+    op:
+        Named reduction from :data:`repro.core.kernels.reduction.REDUCE_OPS`
+        (the whole Theorem 7 structure works for any unit-time
+        commutative, associative operation).
+    """
+    if n < 1:
+        raise ConfigurationError(f"sum requires n >= 1, got {n}")
+    if op not in REDUCE_OPS:
+        raise ConfigurationError(
+            f"unknown reduction {op!r}; choose from {sorted(REDUCE_OPS)}"
+        )
+    combine, identity = REDUCE_OPS[op]
+
+    def program(warp: WarpContext):
+        q = warp.threads_in_dmm
+        s = shared[warp.dmm_id]
+
+        # Phase 1 - column reductions into registers (contiguous reads).
+        acc = np.full(warp.num_lanes, identity, dtype=np.float64)
+        for idx, mask in contiguous_range_steps(warp, n):
+            vals = yield warp.read(a, idx, mask=mask)
+            yield warp.compute(1)
+            # Masked lanes read as 0, which is not the identity for
+            # min/max/prod - re-mask explicitly.
+            acc = np.where(mask, combine(acc, vals), acc)
+
+        # Phase 2 - per-DMM tree reduction in shared memory (latency 1).
+        yield warp.write(s, warp.local_tids, acc)
+        yield warp.sync_dmm()
+        yield from tree_reduce_steps(
+            warp,
+            s,
+            q,
+            scope=BarrierScope.DMM,
+            num_threads=q,
+            tids=warp.local_tids,
+            combine=combine,
+        )
+        leader = warp.local_tids == 0
+        if leader.any():
+            partial = yield warp.read(s, 0, mask=leader)
+            yield warp.write(t, warp.dmm_id, partial, mask=leader)
+
+        # Phase 3 - DMM(0) reduces the per-DMM partial sums.
+        yield warp.barrier()  # device-wide: all partials are in t
+        if warp.dmm_id == 0:
+            for idx, mask in contiguous_range_steps(
+                warp, active_dmms, num_threads=q, tids=warp.local_tids
+            ):
+                vals = yield warp.read(t, idx, mask=mask)
+                yield warp.write(s, idx, vals, mask=mask)
+            yield warp.sync_dmm()
+            yield from tree_reduce_steps(
+                warp,
+                s,
+                active_dmms,
+                scope=BarrierScope.DMM,
+                num_threads=q,
+                tids=warp.local_tids,
+                combine=combine,
+            )
+            if leader.any():
+                total = yield warp.read(s, 0, mask=leader)
+                yield warp.write(out, 0, total, mask=leader)
+
+    return program
+
+
+def _prepare(
+    engine: HMMEngine, values: np.ndarray, shares: list[int]
+) -> tuple[ArrayHandle, list[ArrayHandle], ArrayHandle, ArrayHandle, int]:
+    vals = np.asarray(values, dtype=np.float64).ravel()
+    active = sum(1 for s in shares if s > 0)
+    a = engine.global_from(vals, "sum.in")
+    t = engine.alloc_global(max(active, 1), "sum.partials")
+    out = engine.alloc_global(1, "sum.out")
+    shared = []
+    for i, share in enumerate(shares):
+        size = max(share, active if i == 0 else 1, 1)
+        shared.append(engine.alloc_shared(i, size, "sum.scratch"))
+    return a, shared, t, out, active
+
+
+def hmm_sum(
+    engine: HMMEngine,
+    values: np.ndarray,
+    num_threads: int,
+    *,
+    trace: TraceRecorder | None = None,
+) -> tuple[float, RunReport]:
+    """Sum ``values`` on the HMM with ``num_threads`` threads (Theorem 7).
+
+    Returns ``(total, report)``.  Allocates fresh global/shared arrays on
+    ``engine``; reuse an engine across calls only for related experiments
+    (its allocator is bump-pointer).
+    """
+    shares = split_threads(num_threads, engine.params.num_dmms)
+    a, shared, t, out, active = _prepare(engine, values, shares)
+    n = np.asarray(values).size
+    report = engine.launch(
+        hmm_sum_kernel(a, n, shared, t, out, active),
+        num_threads,
+        trace=trace,
+        label="hmm-sum",
+    )
+    return float(out.to_numpy()[0]), report
+
+
+def hmm_sum_single_dmm(
+    engine: HMMEngine,
+    values: np.ndarray,
+    num_threads: int,
+    *,
+    trace: TraceRecorder | None = None,
+) -> tuple[float, RunReport]:
+    """Sum ``values`` using only ``DMM(0)`` (Lemma 6, the "straightforward"
+    algorithm).
+
+    All ``num_threads`` threads run on one DMM, so the column-sum phase
+    can hide at most ``num_threads/w`` of the global latency — the
+    shortfall Theorem 7's all-DMM version eliminates.  Returns
+    ``(total, report)``.
+    """
+    shares = [num_threads] + [0] * (engine.params.num_dmms - 1)
+    a, shared, t, out, active = _prepare(engine, values, shares)
+    n = np.asarray(values).size
+    report = engine.launch(
+        hmm_sum_kernel(a, n, shared, t, out, active),
+        num_threads,
+        threads_per_dmm=shares,
+        trace=trace,
+        label="hmm-sum-single-dmm",
+    )
+    return float(out.to_numpy()[0]), report
+
+
+def hmm_partial_sum_kernel(
+    a: ArrayHandle,
+    n: int,
+    shared: list[ArrayHandle],
+    t: ArrayHandle,
+):
+    """Kernel factory for phases 1-2 only: one partial sum per DMM.
+
+    Used by the multi-launch recursive driver; ``t[i]`` receives
+    ``DMM(i)``'s partial sum.
+    """
+    if n < 1:
+        raise ConfigurationError(f"sum requires n >= 1, got {n}")
+
+    def program(warp: WarpContext):
+        q = warp.threads_in_dmm
+        s = shared[warp.dmm_id]
+        acc = np.zeros(warp.num_lanes, dtype=np.float64)
+        for idx, mask in contiguous_range_steps(warp, n):
+            vals = yield warp.read(a, idx, mask=mask)
+            yield warp.compute(1)
+            acc += vals
+        yield warp.write(s, warp.local_tids, acc)
+        yield warp.sync_dmm()
+        yield from tree_reduce_steps(
+            warp,
+            s,
+            q,
+            scope=BarrierScope.DMM,
+            num_threads=q,
+            tids=warp.local_tids,
+        )
+        leader = warp.local_tids == 0
+        if leader.any():
+            partial = yield warp.read(s, 0, mask=leader)
+            yield warp.write(t, warp.dmm_id, partial, mask=leader)
+
+    return program
+
+
+def hmm_sum_recursive(
+    engine: HMMEngine,
+    values: np.ndarray,
+    num_threads: int,
+    *,
+    trace: TraceRecorder | None = None,
+) -> tuple[float, int]:
+    """Sum by repeated kernel launches (the recursion Theorem 7 sketches
+    to drop its size conditions; also the classic CUDA multi-kernel
+    reduction).
+
+    While the array is larger than one DMM's thread share, a
+    partial-sum launch (phases 1-2 of Theorem 7) reduces ``n`` values to
+    one per DMM; the final launch runs the full single-launch algorithm.
+    Returns ``(total, total_cycles)``; cycles across launches are summed,
+    modeling back-to-back kernel launches.
+    """
+    current = np.asarray(values, dtype=np.float64).ravel()
+    total_cycles = 0
+    d = engine.params.num_dmms
+    w = engine.params.width
+    while current.size > max(d * w, 1):
+        p_eff = min(num_threads, current.size)
+        shares = split_threads(p_eff, d)
+        active = sum(1 for s in shares if s > 0)
+        a = engine.global_from(current, "rsum.in")
+        t = engine.alloc_global(max(active, 1), "rsum.partials")
+        shared = [
+            engine.alloc_shared(i, max(share, 1), "rsum.scratch")
+            for i, share in enumerate(shares)
+        ]
+        report = engine.launch(
+            hmm_partial_sum_kernel(a, current.size, shared, t),
+            p_eff,
+            trace=trace,
+            label="hmm-sum-pass",
+        )
+        total_cycles += report.cycles
+        current = t.to_numpy()[:active]
+    total, report = hmm_sum(engine, current, min(num_threads, current.size), trace=trace)
+    total_cycles += report.cycles
+    return total, total_cycles
+
+
+def hmm_reduce(
+    engine: HMMEngine,
+    values: np.ndarray,
+    num_threads: int,
+    op: str = "sum",
+    *,
+    trace: TraceRecorder | None = None,
+) -> tuple[float, RunReport]:
+    """Reduce ``values`` with a named operation (Theorem 7 structure).
+
+    ``op`` is one of ``sum``, ``max``, ``min``, ``prod``.  Returns
+    ``(result, report)``.
+    """
+    shares = split_threads(num_threads, engine.params.num_dmms)
+    a, shared, t, out, active = _prepare(engine, values, shares)
+    n = np.asarray(values).size
+    report = engine.launch(
+        hmm_sum_kernel(a, n, shared, t, out, active, op=op),
+        num_threads,
+        trace=trace,
+        label=f"hmm-reduce-{op}",
+    )
+    return float(out.to_numpy()[0]), report

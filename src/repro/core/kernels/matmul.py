@@ -1,0 +1,213 @@
+"""Tiled matrix algorithms on the HMM (extension).
+
+Two canonical CUDA shared-memory patterns expressed in the model:
+
+* :func:`hmm_matmul` — ``C = A @ B`` with ``w x w`` tiles staged in
+  shared memory.  Lane ``j`` of a DMM's warp owns output *column* ``j``
+  of the current tile, so every shared access is either a row read
+  (conflict-free) or a same-address broadcast (free): the model confirms
+  the pattern is conflict-free and all global traffic is coalesced.
+* :func:`hmm_transpose` — ``B = A^T`` via shared-memory tiles, the
+  classic bank-conflict demonstration.  Each tile row is read from global
+  memory coalesced and written *transposed* into the shared tile: with
+  the natural row stride ``w`` the transposed writes of a warp all land
+  in one bank (a ``w``-way conflict per step); padding the stride to
+  ``w + 1`` rotates consecutive rows across banks and removes every
+  conflict.  The ``padded`` flag exposes both layouts so the ablation
+  benchmark can measure exactly the ``w``-fold gap the DMM predicts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.machine.hmm import HMMEngine
+from repro.machine.memory import ArrayHandle
+from repro.machine.report import RunReport
+from repro.machine.trace import TraceRecorder
+from repro.machine.warp import WarpContext
+
+__all__ = [
+    "hmm_matmul_kernel",
+    "hmm_matmul",
+    "hmm_transpose_kernel",
+    "hmm_transpose",
+]
+
+
+def _check_one_warp_per_dmm(warp: WarpContext, num_dmms: int) -> None:
+    if warp.num_lanes != warp.width or warp.warp_in_dmm != 0:
+        raise ConfigurationError(
+            "tile kernels expect exactly one full warp per DMM "
+            f"(launch with num_threads = d*w = {num_dmms * warp.width})"
+        )
+
+
+def hmm_matmul_kernel(
+    a: ArrayHandle,
+    b: ArrayHandle,
+    c: ArrayHandle,
+    m: int,
+    sa: list[ArrayHandle],
+    sb: list[ArrayHandle],
+    num_dmms: int,
+):
+    """Kernel factory: ``C = A @ B`` for row-major ``m x m`` matrices.
+
+    One warp per DMM; DMM ``i`` computes output tiles ``i, i+d, ...``
+    (row-major tile order).  Shared tiles need ``w*w`` cells each.
+    """
+
+    def program(warp: WarpContext):
+        w = warp.width
+        if m % w:
+            raise ConfigurationError(
+                f"matrix size {m} must be a multiple of the width {w}"
+            )
+        _check_one_warp_per_dmm(warp, num_dmms)
+        tiles = m // w
+        i = warp.dmm_id
+        lane = warp.local_tids  # lane j owns tile column j
+        my_sa, my_sb = sa[i], sb[i]
+
+        for tile_id in range(i, tiles * tiles, num_dmms):
+            ti, tj = divmod(tile_id, tiles)
+            acc_rows = np.zeros((w, w), dtype=np.float64)  # [r][lane]
+            for tk in range(tiles):
+                # Stage A(ti, tk) and B(tk, tj): coalesced row reads,
+                # conflict-free row writes.
+                for r in range(w):
+                    av = yield warp.read(a, (ti * w + r) * m + tk * w + lane)
+                    yield warp.write(my_sa, r * w + lane, av)
+                    bv = yield warp.read(b, (tk * w + r) * m + tj * w + lane)
+                    yield warp.write(my_sb, r * w + lane, bv)
+                yield warp.sync_dmm()
+                # acc[r][j] += A[r][kk] * B[kk][j]: the A read is a
+                # broadcast (one address), the B read a conflict-free row.
+                for kk in range(w):
+                    bkj = yield warp.read(my_sb, kk * w + lane)
+                    for r in range(w):
+                        aik = yield warp.read(my_sa, r * w + kk)
+                        yield warp.compute(1)
+                        acc_rows[r] += aik * bkj
+                yield warp.sync_dmm()
+            for r in range(w):  # coalesced row writes of the C tile
+                yield warp.write(c, (ti * w + r) * m + tj * w + lane, acc_rows[r])
+
+    return program
+
+
+def hmm_matmul(
+    engine: HMMEngine,
+    a_values: np.ndarray,
+    b_values: np.ndarray,
+    *,
+    trace: TraceRecorder | None = None,
+) -> tuple[np.ndarray, RunReport]:
+    """Multiply two square matrices on the HMM; returns ``(C, report)``."""
+    av = np.asarray(a_values, dtype=np.float64)
+    bv = np.asarray(b_values, dtype=np.float64)
+    if av.ndim != 2 or av.shape[0] != av.shape[1] or av.shape != bv.shape:
+        raise ConfigurationError(
+            f"need two equal square matrices; got {av.shape} and {bv.shape}"
+        )
+    m = av.shape[0]
+    w = engine.params.width
+    d = engine.params.num_dmms
+    if m % w:
+        raise ConfigurationError(f"matrix size {m} must be a multiple of width {w}")
+    a = engine.global_from(av.ravel(), "mm.A")
+    b = engine.global_from(bv.ravel(), "mm.B")
+    c = engine.alloc_global(m * m, "mm.C")
+    sa = engine.alloc_shared_all(w * w, "mm.sA")
+    sb = engine.alloc_shared_all(w * w, "mm.sB")
+    report = engine.launch(
+        hmm_matmul_kernel(a, b, c, m, sa, sb, d),
+        d * w,
+        trace=trace,
+        label="hmm-matmul",
+    )
+    return c.to_numpy().reshape(m, m), report
+
+
+def hmm_transpose_kernel(
+    a: ArrayHandle,
+    b: ArrayHandle,
+    m: int,
+    tile: list[ArrayHandle],
+    num_dmms: int,
+    *,
+    padded: bool = True,
+):
+    """Kernel factory: ``B = A^T`` via shared-memory tiles.
+
+    One warp per DMM; DMM ``i`` handles tiles ``i, i+d, ...``.  Each step
+    reads a tile row from ``A`` (coalesced), writes it into the shared
+    tile *transposed* — lane ``j`` writes cell ``(j, r)``, i.e. address
+    ``j * stride + r`` — then reads shared rows back (conflict-free) and
+    writes coalesced rows of ``B``.  With ``stride = w`` the transposed
+    write is a full ``w``-way bank conflict; ``stride = w + 1`` (padded)
+    is conflict-free.
+    """
+
+    def program(warp: WarpContext):
+        w = warp.width
+        if m % w:
+            raise ConfigurationError(
+                f"matrix size {m} must be a multiple of the width {w}"
+            )
+        _check_one_warp_per_dmm(warp, num_dmms)
+        stride = w + 1 if padded else w
+        tiles = m // w
+        i = warp.dmm_id
+        lane = warp.local_tids
+        my_tile = tile[i]
+
+        for tile_id in range(i, tiles * tiles, num_dmms):
+            ti, tj = divmod(tile_id, tiles)
+            for r in range(w):
+                av = yield warp.read(a, (ti * w + r) * m + tj * w + lane)
+                # Transposed store: lane j -> shared cell (j, r).
+                yield warp.write(my_tile, lane * stride + r, av)
+            yield warp.sync_dmm()
+            for r in range(w):
+                tv = yield warp.read(my_tile, r * stride + lane)
+                # B tile (tj, ti) receives the transposed rows, coalesced.
+                yield warp.write(b, (tj * w + r) * m + ti * w + lane, tv)
+            yield warp.sync_dmm()
+
+    return program
+
+
+def hmm_transpose(
+    engine: HMMEngine,
+    a_values: np.ndarray,
+    *,
+    padded: bool = True,
+    trace: TraceRecorder | None = None,
+) -> tuple[np.ndarray, RunReport]:
+    """Transpose a square matrix on the HMM; returns ``(A^T, report)``.
+
+    ``padded`` selects the conflict-free shared-tile layout (stride
+    ``w + 1``) or the naive one (stride ``w``, ``w``-way conflicted).
+    """
+    av = np.asarray(a_values, dtype=np.float64)
+    if av.ndim != 2 or av.shape[0] != av.shape[1]:
+        raise ConfigurationError(f"need a square matrix; got {av.shape}")
+    m = av.shape[0]
+    w = engine.params.width
+    d = engine.params.num_dmms
+    if m % w:
+        raise ConfigurationError(f"matrix size {m} must be a multiple of width {w}")
+    a = engine.global_from(av.ravel(), "tr.A")
+    b = engine.alloc_global(m * m, "tr.B")
+    stride = w + 1 if padded else w
+    tile = engine.alloc_shared_all(w * stride, "tr.tile")
+    report = engine.launch(
+        hmm_transpose_kernel(a, b, m, tile, d, padded=padded),
+        d * w,
+        trace=trace,
+        label=f"hmm-transpose-{'padded' if padded else 'naive'}",
+    )
+    return b.to_numpy().reshape(m, m), report

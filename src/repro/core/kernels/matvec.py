@@ -1,0 +1,226 @@
+"""Dense matrix-vector multiplication on the memory machines (extension).
+
+``y = A @ x`` for a row-major ``m x n`` matrix is the canonical
+bandwidth-bound GPU kernel: every element of ``A`` is touched once, so
+the floor is ``mn/w`` on a flat machine with no reuse to exploit —
+*except* for ``x``, which every row reads in full.  The two versions:
+
+* :func:`flat_matvec` — one thread per row would read ``A`` column-wise
+  (stride ``n``: uncoalesced!), so instead each row is processed by a
+  *warp-sized thread group* sweeping the row contiguously and
+  tree-reducing the partials — the standard CUDA formulation.  Cost
+  ``O(mn/w + mnl/p + l·(n/w + log w))``.
+* :func:`hmm_matvec` — rows are chunked over the DMMs and ``x`` is
+  staged once per DMM into shared memory (``O(dn)`` extra global
+  traffic instead of ``O(mn)`` repeated reads), with the row reductions
+  at latency 1.
+
+The benchmark shows the staging win growing with latency, mirroring the
+convolution's Theorem 9 structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.machine.engine import MachineEngine
+from repro.machine.hmm import HMMEngine, split_threads
+from repro.machine.memory import ArrayHandle
+from repro.machine.ops import BarrierScope
+from repro.machine.report import RunReport
+from repro.machine.trace import TraceRecorder
+from repro.machine.warp import WarpContext
+from repro.core.kernels.contiguous import copy_range_steps
+
+__all__ = ["matvec_steps", "flat_matvec", "hmm_matvec"]
+
+
+def matvec_steps(
+    warp: WarpContext,
+    a: ArrayHandle,
+    x: ArrayHandle,
+    y: ArrayHandle,
+    m: int,
+    n: int,
+    *,
+    row_offset: int = 0,
+    rows: int | None = None,
+    scope: BarrierScope = BarrierScope.DEVICE,
+    num_threads: int | None = None,
+    tids: np.ndarray | None = None,
+    scratch: ArrayHandle | None = None,
+):
+    """Sub-generator: ``y[r] = A[r] . x`` for rows ``[row_offset,
+    row_offset + rows)``.
+
+    One warp-sized group per row sweep: lane ``j`` of the group
+    accumulates ``A[r][j::w] * x[j::w]`` in a register (both reads
+    contiguous), then the ``w`` partials tree-reduce through ``scratch``
+    (``w`` cells per concurrent group; sized ``num_threads`` is always
+    enough).  ``a`` is the full ``m x n`` matrix; ``x`` and ``y`` may
+    live in shared memory for the HMM version.
+    """
+    p = num_threads if num_threads is not None else warp.num_threads
+    lane_tids = tids if tids is not None else warp.tids
+    w = warp.width
+    if scratch is None:
+        raise ConfigurationError("matvec_steps requires a scratch array")
+    count = rows if rows is not None else m
+    groups = max(p // w, 1)  # concurrent row groups
+    group = lane_tids // w  # this lane's group id
+    lane = lane_tids % w
+
+    rounds = -(-count // groups)
+    for rd in range(rounds):
+        r = rd * groups + group
+        mask = r < count
+        r_safe = np.where(mask, r, 0)
+        acc = np.zeros(warp.num_lanes, dtype=np.float64)
+        for col0 in range(0, n, w):
+            col = col0 + lane
+            cmask = mask & (col < n)
+            av = yield warp.read(
+                a, np.where(cmask, (row_offset + r_safe) * n + col, 0),
+                mask=cmask,
+            )
+            xv = yield warp.read(x, np.where(cmask, col, 0), mask=cmask)
+            yield warp.compute(1)
+            acc += av * xv
+        # Tree-reduce the w lane partials of each group via scratch.
+        yield warp.write(scratch, lane_tids, acc)
+        yield warp.barrier(scope)
+        half = w // 2
+        while half >= 1:
+            active = mask & (lane < half)
+            lo = yield warp.read(scratch, np.where(active, lane_tids, 0),
+                                 mask=active)
+            hi = yield warp.read(
+                scratch, np.where(active, lane_tids + half, 0), mask=active
+            )
+            yield warp.compute(1)
+            yield warp.write(scratch, np.where(active, lane_tids, 0),
+                             lo + hi, mask=active)
+            yield warp.barrier(scope)
+            half //= 2
+        emit = mask & (lane == 0)
+        if emit.any():
+            total = yield warp.read(scratch, np.where(emit, lane_tids, 0),
+                                    mask=emit)
+            yield warp.write(y, np.where(emit, r_safe, 0), total, mask=emit)
+
+
+def flat_matvec(
+    engine: MachineEngine,
+    matrix: np.ndarray,
+    vector: np.ndarray,
+    num_threads: int,
+    *,
+    trace: TraceRecorder | None = None,
+) -> tuple[np.ndarray, RunReport]:
+    """``y = A @ x`` on a flat machine; returns ``(y, report)``."""
+    av, xv, m, n = _check(matrix, vector)
+    w = engine.params.width
+    if num_threads % w or num_threads < w:
+        raise ConfigurationError(
+            f"matvec requires full warp groups: num_threads ({num_threads}) "
+            f"must be a positive multiple of the width ({w})"
+        )
+    a = engine.array_from(av.ravel(), "mv.A")
+    x = engine.array_from(xv, "mv.x")
+    y = engine.alloc(m, "mv.y")
+    scratch = engine.alloc(max(num_threads, engine.params.width), "mv.scratch")
+    report = engine.launch(
+        _flat_kernel(a, x, y, m, n, scratch),
+        num_threads,
+        trace=trace,
+        label="flat-matvec",
+    )
+    return y.to_numpy(), report
+
+
+def _flat_kernel(a, x, y, m, n, scratch):
+    def program(warp: WarpContext):
+        yield from matvec_steps(warp, a, x, y, m, n, scratch=scratch)
+
+    return program
+
+
+def hmm_matvec(
+    engine: HMMEngine,
+    matrix: np.ndarray,
+    vector: np.ndarray,
+    num_threads: int,
+    *,
+    trace: TraceRecorder | None = None,
+) -> tuple[np.ndarray, RunReport]:
+    """``y = A @ x`` on the HMM: rows chunked over DMMs, ``x`` staged
+    into each shared memory, reductions at latency 1."""
+    av, xv, m, n = _check(matrix, vector)
+    d = engine.params.num_dmms
+    w = engine.params.width
+    shares = split_threads(num_threads, d)
+    if any(s % w for s in shares):
+        raise ConfigurationError(
+            f"matvec requires full warp groups on every DMM: num_threads "
+            f"({num_threads}) must be a multiple of d*w = {d * w}"
+        )
+    active = sum(1 for s in shares if s > 0)
+    chunk = -(-m // active)
+
+    a = engine.global_from(av.ravel(), "mv.A")
+    gx = engine.global_from(xv, "mv.x")
+    gy = engine.alloc_global(m, "mv.y")
+    sx, sy, scratch = [], [], []
+    for i in range(d):
+        lo = min(i * chunk, m) if i < active else m
+        hi = min(lo + chunk, m)
+        rows = max(hi - lo, 1)
+        sx.append(engine.alloc_shared(i, n, "mv.sx"))
+        sy.append(engine.alloc_shared(i, rows, "mv.sy"))
+        scratch.append(
+            engine.alloc_shared(i, max(shares[i], engine.params.width), "mv.sc")
+        )
+
+    def program(warp: WarpContext):
+        i = warp.dmm_id
+        q = warp.threads_in_dmm
+        local = warp.local_tids
+        lo = min(i * chunk, m)
+        hi = min(lo + chunk, m)
+        rows = hi - lo
+        if rows <= 0:
+            return
+        yield from copy_range_steps(
+            warp, gx, 0, sx[i], 0, n, num_threads=q, tids=local
+        )
+        yield warp.sync_dmm()
+        yield from matvec_steps(
+            warp, a, sx[i], sy[i], m, n,
+            row_offset=lo, rows=rows,
+            scope=BarrierScope.DMM,
+            num_threads=q, tids=local,
+            scratch=scratch[i],
+        )
+        yield warp.sync_dmm()
+        yield from copy_range_steps(
+            warp, sy[i], 0, gy, lo, rows, num_threads=q, tids=local
+        )
+
+    report = engine.launch(program, num_threads, trace=trace, label="hmm-matvec")
+    return gy.to_numpy(), report
+
+
+def _check(matrix, vector) -> tuple[np.ndarray, np.ndarray, int, int]:
+    av = np.asarray(matrix, dtype=np.float64)
+    xv = np.asarray(vector, dtype=np.float64).ravel()
+    if av.ndim != 2:
+        raise ConfigurationError(f"matrix must be 2-D, got shape {av.shape}")
+    m, n = av.shape
+    if m < 1 or n < 1:
+        raise ConfigurationError(f"matrix must be non-empty, got {av.shape}")
+    if xv.size != n:
+        raise ConfigurationError(
+            f"vector length {xv.size} does not match matrix columns {n}"
+        )
+    return av, xv, m, n

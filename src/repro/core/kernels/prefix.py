@@ -1,0 +1,273 @@
+"""Prefix-sums on the memory machine models (extension; paper ref [17]).
+
+The paper's summing results build on Nakano's companion prefix-sums
+paper ("An optimal parallel prefix-sums algorithm on the memory machine
+models for GPUs", ICA3PP 2012): the prefix-sums of ``n`` numbers take
+``O(n/w + nl/p + l·log n)`` time units on the DMM/UMM.  We implement the
+work-efficient two-sweep scan with *per-level auxiliary arrays* so that
+every level is a (stride-2) sweep over a contiguous array:
+
+* **up-sweep** — ``L_t[i] = L_{t-1}[2i] + L_{t-1}[2i+1]``,
+* **down-sweep** — exclusive prefixes ``P_{t-1}[2i] = P_t[i]`` and
+  ``P_{t-1}[2i+1] = P_t[i] + L_{t-1}[2i]``,
+* inclusive result ``out[i] = P_0[i] + L_0[i]``.
+
+Stride-2 warp transactions touch 2 address groups / have bank-conflict
+degree 2 — a constant factor over perfectly contiguous access, preserving
+the bound.  Arbitrary ``n`` is handled by ceil-halving level sizes.
+
+On the HMM, an ``O(n/w + nl/p + l + log n)`` scan mirrors Theorem 7:
+chunks are staged into the shared memories, scanned at latency 1,
+per-DMM totals are exclusive-scanned on ``DMM(0)``, and the offsets are
+applied during the contiguous copy-out.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.machine.hmm import HMMEngine, split_threads
+from repro.machine.memory import ArrayHandle
+from repro.machine.ops import BarrierScope
+from repro.machine.report import RunReport
+from repro.machine.trace import TraceRecorder
+from repro.machine.warp import WarpContext
+from repro.core.kernels.contiguous import contiguous_range_steps, copy_range_steps
+
+__all__ = [
+    "level_sizes",
+    "prefix_sums_kernel",
+    "scan_steps",
+    "hmm_prefix_sums",
+]
+
+
+def level_sizes(n: int) -> list[int]:
+    """Sizes of the scan's level arrays: ``n, ceil(n/2), ..., 1``."""
+    if n < 1:
+        raise ConfigurationError(f"scan requires n >= 1, got {n}")
+    sizes = [n]
+    while sizes[-1] > 1:
+        sizes.append(-(-sizes[-1] // 2))
+    return sizes
+
+
+def scan_steps(
+    warp: WarpContext,
+    levels: list[ArrayHandle],
+    prefixes: list[ArrayHandle],
+    out: ArrayHandle,
+    n: int,
+    *,
+    num_threads: int | None = None,
+    tids: np.ndarray | None = None,
+    scope: BarrierScope = BarrierScope.DEVICE,
+):
+    """Sub-generator: inclusive scan of ``levels[0][0..n)`` into ``out``.
+
+    ``levels[t]`` / ``prefixes[t]`` must have the :func:`level_sizes`
+    sizes; ``levels[0]`` holds the input (it is not modified).  The HMM
+    kernel runs this against shared-memory arrays with ``scope=DMM``.
+    """
+    sizes = level_sizes(n)
+    depth = len(sizes)
+    p = num_threads if num_threads is not None else warp.num_threads
+    lane_tids = tids if tids is not None else warp.tids
+
+    # Up-sweep.
+    for t in range(1, depth):
+        m_prev, m = sizes[t - 1], sizes[t]
+        for idx, mask in contiguous_range_steps(
+            warp, m, num_threads=p, tids=lane_tids
+        ):
+            left = yield warp.read(levels[t - 1], 2 * idx, mask=mask)
+            right_mask = mask & (2 * idx + 1 < m_prev)
+            right = yield warp.read(
+                levels[t - 1], np.where(right_mask, 2 * idx + 1, 0), mask=right_mask
+            )
+            yield warp.compute(1)
+            yield warp.write(levels[t], idx, left + right, mask=mask)
+        yield warp.barrier(scope)
+
+    # Seed the top exclusive prefix with 0.
+    top = lane_tids == 0
+    if top.any():
+        yield warp.write(prefixes[depth - 1], 0, np.zeros(warp.num_lanes), mask=top)
+    yield warp.barrier(scope)
+
+    # Down-sweep.
+    for t in range(depth - 1, 0, -1):
+        m_prev, m = sizes[t - 1], sizes[t]
+        for idx, mask in contiguous_range_steps(
+            warp, m, num_threads=p, tids=lane_tids
+        ):
+            pref = yield warp.read(prefixes[t], idx, mask=mask)
+            left = yield warp.read(levels[t - 1], 2 * idx, mask=mask)
+            yield warp.compute(1)
+            yield warp.write(prefixes[t - 1], 2 * idx, pref, mask=mask)
+            odd_mask = mask & (2 * idx + 1 < m_prev)
+            yield warp.write(
+                prefixes[t - 1],
+                np.where(odd_mask, 2 * idx + 1, 0),
+                pref + left,
+                mask=odd_mask,
+            )
+        yield warp.barrier(scope)
+
+    # Inclusive result: out[i] = P_0[i] + L_0[i].
+    for idx, mask in contiguous_range_steps(warp, n, num_threads=p, tids=lane_tids):
+        pref = yield warp.read(prefixes[0], idx, mask=mask)
+        base = yield warp.read(levels[0], idx, mask=mask)
+        yield warp.compute(1)
+        yield warp.write(out, idx, pref + base, mask=mask)
+    yield warp.barrier(scope)
+
+
+def alloc_scan_scratch(
+    alloc, n: int, name: str = "scan"
+) -> tuple[list[ArrayHandle], list[ArrayHandle]]:
+    """Allocate level/prefix arrays via ``alloc(size, name)``."""
+    sizes = level_sizes(n)
+    levels = [alloc(s, f"{name}.L{t}") for t, s in enumerate(sizes)]
+    prefixes = [alloc(s, f"{name}.P{t}") for t, s in enumerate(sizes)]
+    return levels, prefixes
+
+
+def prefix_sums_kernel(
+    a: ArrayHandle,
+    levels: list[ArrayHandle],
+    prefixes: list[ArrayHandle],
+    out: ArrayHandle,
+    n: int,
+):
+    """Kernel: inclusive prefix-sums on a flat DMM or UMM.
+
+    ``levels[0]`` must alias or copy the input; pass ``a`` as
+    ``levels[0]`` and it is used directly.
+    """
+
+    def program(warp: WarpContext):
+        yield from scan_steps(warp, levels, prefixes, out, n)
+
+    return program
+
+
+def hmm_prefix_sums(
+    engine: HMMEngine,
+    values: np.ndarray,
+    num_threads: int,
+    *,
+    trace: TraceRecorder | None = None,
+) -> tuple[np.ndarray, RunReport]:
+    """Inclusive prefix-sums on the HMM in ``O(n/w + nl/p + l + log n)``.
+
+    Returns ``(prefix_array, report)``.
+    """
+    vals = np.asarray(values, dtype=np.float64).ravel()
+    n = vals.size
+    if n < 1:
+        raise ConfigurationError("prefix sums require a non-empty array")
+    d = engine.params.num_dmms
+    # Chunk the input over the DMMs that actually receive threads, so a
+    # launch with fewer threads than DMMs still covers every element.
+    active = sum(1 for s in split_threads(num_threads, d) if s > 0)
+    chunk = -(-n // active)
+    a = engine.global_from(vals, "scan.in")
+    out = engine.alloc_global(n, "scan.out")
+    totals = engine.alloc_global(active, "scan.totals")
+    offsets = engine.alloc_global(active, "scan.offsets")
+
+    s_in: list[ArrayHandle] = []
+    s_out: list[ArrayHandle] = []
+    s_levels: list[list[ArrayHandle]] = []
+    s_prefixes: list[list[ArrayHandle]] = []
+    o_levels: list[list[ArrayHandle]] = []
+    o_prefixes: list[list[ArrayHandle]] = []
+    for i in range(d):
+        lo = min(i * chunk, n) if i < active else n
+        hi = min(lo + chunk, n)
+        cn = max(hi - lo, 1)
+        alloc = lambda size, name, _i=i: engine.alloc_shared(_i, size, name)
+        s_in.append(engine.alloc_shared(i, cn, "scan.s_in"))
+        s_out.append(engine.alloc_shared(i, cn, "scan.s_out"))
+        lv, pf = alloc_scan_scratch(alloc, cn, "scan.chunk")
+        s_levels.append(lv)
+        s_prefixes.append(pf)
+        if i == 0:
+            s_tot_in = engine.alloc_shared(0, active, "scan.t_in")
+            s_tot_out = engine.alloc_shared(0, active, "scan.t_out")
+            olv, opf = alloc_scan_scratch(alloc, active, "scan.tot")
+            o_levels.append(olv)
+            o_prefixes.append(opf)
+
+    def program(warp: WarpContext):
+        i = warp.dmm_id
+        q = warp.threads_in_dmm
+        lo = min(i * chunk, n)
+        hi = min(lo + chunk, n)
+        cn = hi - lo
+        local = warp.local_tids
+        leader = local == 0
+
+        if cn > 0:
+            # Stage the chunk and scan it at latency 1.
+            yield from copy_range_steps(
+                warp, a, lo, s_in[i], 0, cn, num_threads=q, tids=local
+            )
+            yield warp.sync_dmm()
+            chunk_levels = [s_in[i]] + s_levels[i][1:]
+            yield from scan_steps(
+                warp,
+                chunk_levels,
+                s_prefixes[i],
+                s_out[i],
+                cn,
+                num_threads=q,
+                tids=local,
+                scope=BarrierScope.DMM,
+            )
+            if leader.any():
+                total = yield warp.read(s_out[i], cn - 1, mask=leader)
+                yield warp.write(totals, i, total, mask=leader)
+        yield warp.barrier()  # all chunk totals are in `totals`
+
+        if i == 0:
+            # Exclusive scan of the d totals on DMM(0).
+            yield from copy_range_steps(
+                warp, totals, 0, s_tot_in, 0, active, num_threads=q, tids=local
+            )
+            yield warp.sync_dmm()
+            tot_levels = [s_tot_in] + o_levels[0][1:]
+            yield from scan_steps(
+                warp,
+                tot_levels,
+                o_prefixes[0],
+                s_tot_out,
+                active,
+                num_threads=q,
+                tids=local,
+                scope=BarrierScope.DMM,
+            )
+            # offsets[i] = inclusive[i - 1]; offsets[0] = 0.
+            for idx, mask in contiguous_range_steps(
+                warp, active, num_threads=q, tids=local
+            ):
+                prev_mask = mask & (idx > 0)
+                vals_prev = yield warp.read(
+                    s_tot_out, np.where(prev_mask, idx - 1, 0), mask=prev_mask
+                )
+                yield warp.write(offsets, idx, vals_prev, mask=mask)
+        yield warp.barrier()  # offsets are final
+
+        if cn > 0:
+            off = yield warp.read(offsets, i)  # broadcast: one address
+            for idx, mask in contiguous_range_steps(
+                warp, cn, num_threads=q, tids=local
+            ):
+                v = yield warp.read(s_out[i], idx, mask=mask)
+                yield warp.compute(1)
+                yield warp.write(out, lo + idx, v + off, mask=mask)
+
+    report = engine.launch(program, num_threads, trace=trace, label="hmm-prefix-sums")
+    return out.to_numpy(), report

@@ -1,0 +1,127 @@
+"""The sum on the DMM and the UMM (paper Section VI, Lemma 5).
+
+The parallel summing algorithm repeats pairwise sums (paper Figure 5):
+
+    for t = log n - 1 .. 0:
+        for i = 0 .. 2^t - 1 in parallel:  a[i] <- a[i] + a[i + 2^t]
+
+Every level performs three contiguous accesses (read the two operand
+ranges, write the result range), so by Theorem 2 level ``t`` costs
+``O(2^t / w + 2^t l / p + l)`` and the total is
+``O(n/w + nl/p + l·log n)`` — Lemma 5, optimal on both machines.
+
+The implementation generalizes to arbitrary ``n`` (not only powers of
+two) by splitting each level at ``half = ceil(m / 2)`` and adding
+``a[i + half]`` into ``a[i]`` for ``i < m - half``.
+All reductions generalize to any commutative, associative elementwise
+operation: pass ``combine`` (a numpy binary ufunc-like) to
+:func:`tree_reduce_steps` or use :func:`reduce_kernel` with one of the
+named operations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.machine.memory import ArrayHandle
+from repro.machine.ops import BarrierScope
+from repro.machine.warp import WarpContext
+from repro.core.kernels.contiguous import contiguous_range_steps
+
+__all__ = ["sum_kernel", "reduce_kernel", "tree_reduce_steps", "REDUCE_OPS"]
+
+#: Named reductions: operation -> (combine function, identity element).
+REDUCE_OPS: dict[str, tuple[Callable[[np.ndarray, np.ndarray], np.ndarray], float]] = {
+    "sum": (np.add, 0.0),
+    "max": (np.maximum, -np.inf),
+    "min": (np.minimum, np.inf),
+    "prod": (np.multiply, 1.0),
+}
+
+
+def tree_reduce_steps(
+    warp: WarpContext,
+    a: ArrayHandle,
+    m: int,
+    *,
+    scope: BarrierScope = BarrierScope.DEVICE,
+    num_threads: int | None = None,
+    tids: np.ndarray | None = None,
+    participate: bool = True,
+    combine: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add,
+):
+    """Sub-generator: pairwise tree reduction of ``a[0..m)`` into ``a[0]``.
+
+    Reusable inside larger kernels (``yield from`` it).  ``num_threads`` /
+    ``tids`` scope the contiguous sweeps to a subset of threads — e.g.
+    one DMM's threads reducing in their shared memory with
+    ``scope=BarrierScope.DMM``.  Warps with ``participate=False`` still
+    execute the barriers (required for a correct device-scope sync) but
+    issue no memory traffic.
+
+    Every level: read lhs range, read rhs range, one addition, write lhs
+    range — three contiguous accesses (Theorem 2) plus one time unit of
+    computation — then a barrier before the next level.
+    """
+    while m > 1:
+        half = -(-m // 2)  # ceil(m / 2)
+        active = m - half
+        if participate and active > 0:
+            for idx, mask in contiguous_range_steps(
+                warp, active, num_threads=num_threads, tids=tids
+            ):
+                lhs = yield warp.read(a, idx, mask=mask)
+                rhs = yield warp.read(a, idx + half, mask=mask)
+                yield warp.compute(1)
+                yield warp.write(a, idx, combine(lhs, rhs), mask=mask)
+        yield warp.barrier(scope)
+        m = half
+
+
+def sum_kernel(a: ArrayHandle, n: int):
+    """Kernel: sum ``a[0..n)`` into ``a[0]`` (Lemma 5).
+
+    Launch on a DMM or UMM with ``p`` threads for
+    ``O(n/w + nl/p + l·log n)`` time units.  The kernel also runs
+    unchanged on the HMM with ``a`` in global memory — that is exactly the
+    "use only the global memory" strawman that Section VII improves on.
+    """
+    if n < 1:
+        raise ConfigurationError(f"sum requires n >= 1, got {n}")
+    if n > a.size:
+        raise ConfigurationError(
+            f"sum over {n} cells exceeds array {a.describe()} of size {a.size}"
+        )
+
+    def program(warp: WarpContext):
+        yield from tree_reduce_steps(warp, a, n)
+
+    return program
+
+
+def reduce_kernel(a: ArrayHandle, n: int, op: str = "sum"):
+    """Kernel: reduce ``a[0..n)`` into ``a[0]`` with a named operation.
+
+    ``op`` is one of :data:`REDUCE_OPS` (``sum``, ``max``, ``min``,
+    ``prod``).  Identical structure and cost to :func:`sum_kernel` —
+    Lemma 5 holds for any unit-time binary operation.
+    """
+    if op not in REDUCE_OPS:
+        raise ConfigurationError(
+            f"unknown reduction {op!r}; choose from {sorted(REDUCE_OPS)}"
+        )
+    if n < 1:
+        raise ConfigurationError(f"reduce requires n >= 1, got {n}")
+    if n > a.size:
+        raise ConfigurationError(
+            f"reduce over {n} cells exceeds array {a.describe()} of size {a.size}"
+        )
+    combine, _ = REDUCE_OPS[op]
+
+    def program(warp: WarpContext):
+        yield from tree_reduce_steps(warp, a, n, combine=combine)
+
+    return program

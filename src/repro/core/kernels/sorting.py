@@ -1,0 +1,215 @@
+"""Bitonic sorting on the memory machine models (extension).
+
+Sorting is the stock benchmark of the memory-machines line of work, and
+Batcher's bitonic network is the GPU-friendly choice: its
+compare-exchange stages are oblivious and regular, so every warp
+transaction is (nearly) contiguous — group count and bank-conflict
+degree are at most 2 for sub-warp strides and exactly 1 otherwise.
+
+* :func:`bitonic_sort_kernel` — the full network on a flat DMM/UMM:
+  ``log n (log n + 1)/2`` stages of ``O(n/w + nl/p + l)`` each, i.e.
+  ``O((n/w + nl/p + l)·log^2 n)`` time units.
+* :func:`hmm_bitonic_sort` — the hierarchical version: stages whose
+  stride fits inside a chunk run in the latency-1 shared memories
+  (staged in bursts: one load/store per burst of sub-stages), and only
+  the ``O(log^2 d)`` cross-chunk stages touch the global memory.  The
+  latency bill drops from ``l·log^2 n`` to
+  ``l·(log^2 d + log d·log(n/d))``-ish — the same structural win as
+  Theorems 7/9.
+
+Inputs of any length are padded to a power of two with ``+inf`` and the
+padding is stripped from the result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.machine.engine import MachineEngine
+from repro.machine.hmm import HMMEngine, split_threads
+from repro.machine.memory import ArrayHandle
+from repro.machine.report import RunReport
+from repro.machine.trace import TraceRecorder
+from repro.machine.warp import WarpContext
+from repro.params import next_power_of_two
+from repro.core.kernels.contiguous import copy_range_steps
+
+__all__ = ["bitonic_sort_kernel", "flat_bitonic_sort", "hmm_bitonic_sort"]
+
+
+def compare_exchange_steps(
+    warp: WarpContext,
+    arr: ArrayHandle,
+    offset: int,
+    count: int,
+    j: int,
+    k: int,
+    *,
+    global_base: int = 0,
+    num_threads: int | None = None,
+    tids: np.ndarray | None = None,
+):
+    """One (k, j) stage of the bitonic network over ``arr[offset..offset+count)``.
+
+    ``global_base`` is the array-wide index of ``arr[offset]`` — the
+    ascending/descending direction of each pair depends on the *global*
+    index (bit ``k``), which is what lets the HMM version run chunk
+    stages locally yet produce the exact global network.
+    """
+    p = num_threads if num_threads is not None else warp.num_threads
+    lane_tids = tids if tids is not None else warp.tids
+    pairs = count // 2
+    rounds = -(-pairs // p)
+    for r in range(rounds):
+        pidx = r * p + lane_tids
+        mask = pidx < pairs
+        pidx_safe = np.where(mask, pidx, 0)
+        # Insert a zero bit at position log2(j): the pair's low index.
+        i = ((pidx_safe & ~(j - 1)) << 1) | (pidx_safe & (j - 1))
+        partner = i | j
+        gi = global_base + i
+        ascending = (gi & k) == 0
+        lo_v = yield warp.read(arr, offset + i, mask=mask)
+        hi_v = yield warp.read(arr, offset + partner, mask=mask)
+        yield warp.compute(1)
+        small = np.minimum(lo_v, hi_v)
+        big = np.maximum(lo_v, hi_v)
+        yield warp.write(
+            arr, offset + i, np.where(ascending, small, big), mask=mask
+        )
+        yield warp.write(
+            arr, offset + partner, np.where(ascending, big, small), mask=mask
+        )
+
+
+def bitonic_sort_kernel(a: ArrayHandle, n: int):
+    """Kernel: in-place ascending bitonic sort of ``a[0..n)``.
+
+    ``n`` must be a power of two (use the launch helpers for general
+    sizes).  Device barriers separate the stages.
+    """
+    if n < 1 or n & (n - 1):
+        raise ConfigurationError(f"bitonic sort requires a power-of-two size, got {n}")
+
+    def program(warp: WarpContext):
+        k = 2
+        while k <= n:
+            j = k // 2
+            while j >= 1:
+                yield from compare_exchange_steps(warp, a, 0, n, j, k)
+                yield warp.barrier()
+                j //= 2
+            k *= 2
+
+    return program
+
+
+def flat_bitonic_sort(
+    engine: MachineEngine,
+    values: np.ndarray,
+    num_threads: int,
+    *,
+    trace: TraceRecorder | None = None,
+) -> tuple[np.ndarray, RunReport]:
+    """Sort ``values`` ascending on a flat machine."""
+    vals = np.asarray(values, dtype=np.float64).ravel()
+    if vals.size < 1:
+        raise ConfigurationError("cannot sort an empty array")
+    n = next_power_of_two(vals.size)
+    a = engine.alloc(n, "sort.a")
+    a.set(np.concatenate([vals, np.full(n - vals.size, np.inf)]))
+    report = engine.launch(
+        bitonic_sort_kernel(a, n), num_threads, trace=trace, label="flat-sort"
+    )
+    return a.to_numpy()[: vals.size], report
+
+
+def hmm_bitonic_sort(
+    engine: HMMEngine,
+    values: np.ndarray,
+    num_threads: int,
+    *,
+    trace: TraceRecorder | None = None,
+) -> tuple[np.ndarray, RunReport]:
+    """Sort ``values`` ascending on the HMM.
+
+    Stages with stride ``j < chunk`` run inside the shared memories
+    (loaded once per burst); only strides ``j >= chunk`` — there are
+    ``O(log^2 d)`` of them — go through the latency-``l`` global port.
+    """
+    vals = np.asarray(values, dtype=np.float64).ravel()
+    if vals.size < 1:
+        raise ConfigurationError("cannot sort an empty array")
+    n = next_power_of_two(vals.size)
+    d = engine.params.num_dmms
+    shares = split_threads(num_threads, d)
+    avail = sum(1 for s in shares if s > 0)
+    # Chunks must be a power-of-two count with chunk >= 2.
+    active = 1
+    while active * 2 <= min(avail, n // 2 if n >= 2 else 1):
+        active *= 2
+    chunk = n // active
+
+    a = engine.alloc_global(n, "sort.a")
+    a.set(np.concatenate([vals, np.full(n - vals.size, np.inf)]))
+    stage = [
+        engine.alloc_shared(i, chunk if i < active else 1, "sort.stage")
+        for i in range(d)
+    ]
+    # Re-split the threads over the active DMMs only.
+    shares = [0] * d
+    for i, s in enumerate(split_threads(num_threads, active)):
+        shares[i] = s
+
+    def program(warp: WarpContext):
+        i = warp.dmm_id
+        q = warp.threads_in_dmm
+        local = warp.local_tids
+        base = i * chunk
+
+        def shared_burst(k_now: int, j_top: int):
+            """Run sub-stages j_top, j_top/2, .., 1 of stage k_now (and,
+            when k_now <= chunk, all later k's too) inside shared."""
+            yield from copy_range_steps(
+                warp, a, base, stage[i], 0, chunk, num_threads=q, tids=local
+            )
+            yield warp.sync_dmm()
+            j = j_top
+            while j >= 1:
+                yield from compare_exchange_steps(
+                    warp, stage[i], 0, chunk, j, k_now,
+                    global_base=base, num_threads=q, tids=local,
+                )
+                yield warp.sync_dmm()
+                j //= 2
+            yield from copy_range_steps(
+                warp, stage[i], 0, a, base, chunk, num_threads=q, tids=local
+            )
+
+        k = 2
+        while k <= n:
+            j = k // 2
+            while j >= 1:
+                if j < chunk:
+                    # The rest of this k fits in the chunks.
+                    yield from shared_burst(k, j)
+                    yield warp.barrier()
+                    break
+                # Cross-chunk stage through the global memory.
+                yield from compare_exchange_steps(
+                    warp, a, 0, n, j, k,
+                    num_threads=warp.num_threads, tids=warp.tids,
+                )
+                yield warp.barrier()
+                j //= 2
+            k *= 2
+
+    report = engine.launch(
+        program,
+        num_threads,
+        threads_per_dmm=shares,
+        trace=trace,
+        label="hmm-sort",
+    )
+    return a.to_numpy()[: vals.size], report

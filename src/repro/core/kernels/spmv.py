@@ -1,0 +1,248 @@
+"""Sparse matrix-vector multiplication (CSR) on the memory machines
+(extension).
+
+SpMV is *the* canonical irregular GPU kernel: the CSR structure streams
+beautifully (``indices`` / ``data`` reads are contiguous), but the
+``x[col]`` gather is data-dependent — scattered across address groups on
+the UMM, the access pattern coalescing cannot fix.  The two versions
+make the model's verdict concrete:
+
+* :func:`flat_spmv` — warp-per-row (the classic "CSR-vector" kernel):
+  row sweeps coalesced, but every ``x`` gather pays the scattered-group
+  cost *and* the global latency.
+* :func:`hmm_spmv` — identical structure with ``x`` staged into each
+  DMM's shared memory: the gathers still conflict (data-dependent
+  banks), but at latency 1 instead of ``l`` — the HMM's answer to
+  irregular access.
+
+Unlike the dense kernel, rows have irregular lengths, so the per-row
+reduction is *intra-warp only* (a warp's own operations are ordered by
+its program; no cross-warp barriers are needed or used) — which is what
+lets warps proceed independently through rows of different lengths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.machine.engine import MachineEngine
+from repro.machine.hmm import HMMEngine, split_threads
+from repro.machine.memory import ArrayHandle
+from repro.machine.report import RunReport
+from repro.machine.trace import TraceRecorder
+from repro.machine.warp import WarpContext
+from repro.core.kernels.contiguous import copy_range_steps
+
+__all__ = ["csr_from_dense", "flat_spmv", "hmm_spmv", "spmv_row_steps"]
+
+
+def csr_from_dense(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Host-side CSR conversion: ``(indptr, indices, data)``."""
+    a = np.asarray(matrix, dtype=np.float64)
+    if a.ndim != 2:
+        raise ConfigurationError(f"matrix must be 2-D, got shape {a.shape}")
+    indptr = [0]
+    indices: list[int] = []
+    data: list[float] = []
+    for row in a:
+        nz = np.nonzero(row)[0]
+        indices.extend(int(c) for c in nz)
+        data.extend(float(v) for v in row[nz])
+        indptr.append(len(indices))
+    return (
+        np.array(indptr, dtype=np.int64),
+        np.array(indices, dtype=np.int64),
+        np.array(data, dtype=np.float64),
+    )
+
+
+def spmv_row_steps(
+    warp: WarpContext,
+    indptr: np.ndarray,
+    g_indices: ArrayHandle,
+    g_data: ArrayHandle,
+    x: ArrayHandle,
+    y: ArrayHandle,
+    *,
+    scratch: ArrayHandle,
+    row_offset: int = 0,
+    rows: int | None = None,
+    num_threads: int | None = None,
+    tids: np.ndarray | None = None,
+):
+    """Sub-generator: CSR-vector SpMV over a row range, barrier-free.
+
+    ``indptr`` is host-side (the sparsity structure is known offline,
+    exactly like the permutation schedules); ``g_indices`` / ``g_data``
+    are the device CSR arrays.  Each warp sweeps its row's nonzeros
+    contiguously, gathers ``x[col]``, and tree-reduces the ``w`` lane
+    partials through ``scratch`` (one slot per thread).  Every step of
+    the reduction is issued by the *same warp*, whose operations the
+    model orders by program sequence — so no barriers are needed and
+    warps stream through rows of different lengths independently.
+    """
+    p = num_threads if num_threads is not None else warp.num_threads
+    lane_tids = tids if tids is not None else warp.tids
+    w = warp.width
+    count = rows if rows is not None else indptr.size - 1
+    groups = max(p // w, 1)
+    group = int(lane_tids[0]) // w  # one group per warp (enforced by callers)
+    lane = lane_tids % w
+
+    for r in range(group, count, groups):
+        start = int(indptr[row_offset + r])
+        end = int(indptr[row_offset + r + 1])
+        nnz = end - start
+        acc = np.zeros(warp.num_lanes, dtype=np.float64)
+        for k0 in range(0, nnz, w):
+            k = k0 + lane
+            mask = k < nnz
+            cols = yield warp.read(
+                g_indices, np.where(mask, start + k, 0), mask=mask
+            )
+            vals = yield warp.read(
+                g_data, np.where(mask, start + k, 0), mask=mask
+            )
+            xv = yield warp.read(
+                x, np.where(mask, cols.astype(np.int64), 0), mask=mask
+            )
+            yield warp.compute(1)
+            acc += vals * xv
+        # Intra-warp tree reduction through scratch memory (threads
+        # cannot read each other's registers in the model).  All steps
+        # belong to this warp, so its program order suffices - no
+        # barriers, and other warps proceed independently.
+        yield warp.write(scratch, lane_tids, acc)
+        half = w // 2
+        while half >= 1:
+            active = lane < half
+            lo = yield warp.read(
+                scratch, np.where(active, lane_tids, 0), mask=active
+            )
+            hi = yield warp.read(
+                scratch, np.where(active, lane_tids + half, 0), mask=active
+            )
+            yield warp.compute(1)
+            yield warp.write(
+                scratch, np.where(active, lane_tids, 0), lo + hi, mask=active
+            )
+            half //= 2
+        emit = lane == 0
+        if emit.any():
+            total = yield warp.read(
+                scratch, np.where(emit, lane_tids, 0), mask=emit
+            )
+            yield warp.write(y, np.where(emit, r, 0), total, mask=emit)
+
+
+def flat_spmv(
+    engine: MachineEngine,
+    matrix: np.ndarray,
+    vector: np.ndarray,
+    num_threads: int,
+    *,
+    trace: TraceRecorder | None = None,
+) -> tuple[np.ndarray, RunReport]:
+    """CSR SpMV on a flat machine; returns ``(y, report)``."""
+    indptr, indices, data, xv, m, n = _prepare_inputs(matrix, vector)
+    w = engine.params.width
+    if num_threads % w or num_threads < w:
+        raise ConfigurationError(
+            f"spmv requires whole warps: num_threads ({num_threads}) must "
+            f"be a positive multiple of the width ({w})"
+        )
+    g_indices = engine.array_from(indices.astype(np.float64), "spmv.indices")
+    g_data = engine.array_from(data, "spmv.data")
+    x = engine.array_from(xv, "spmv.x")
+    y = engine.alloc(m, "spmv.y")
+    scratch = engine.alloc(num_threads, "spmv.scratch")
+
+    def program(warp: WarpContext):
+        yield from spmv_row_steps(
+            warp, indptr, g_indices, g_data, x, y, scratch=scratch
+        )
+
+    report = engine.launch(program, num_threads, trace=trace, label="flat-spmv")
+    return y.to_numpy(), report
+
+
+def hmm_spmv(
+    engine: HMMEngine,
+    matrix: np.ndarray,
+    vector: np.ndarray,
+    num_threads: int,
+    *,
+    trace: TraceRecorder | None = None,
+) -> tuple[np.ndarray, RunReport]:
+    """CSR SpMV on the HMM: ``x`` staged into each shared memory, rows
+    chunked over the DMMs."""
+    indptr, indices, data, xv, m, n = _prepare_inputs(matrix, vector)
+    d = engine.params.num_dmms
+    w = engine.params.width
+    shares = split_threads(num_threads, d)
+    if any(s % w for s in shares):
+        raise ConfigurationError(
+            f"spmv requires whole warps on every DMM: num_threads "
+            f"({num_threads}) must be a multiple of d*w = {d * w}"
+        )
+    active = sum(1 for s in shares if s > 0)
+    chunk = -(-m // active)
+
+    g_indices = engine.global_from(indices.astype(np.float64), "spmv.indices")
+    g_data = engine.global_from(data, "spmv.data")
+    gx = engine.global_from(xv, "spmv.x")
+    gy = engine.alloc_global(m, "spmv.y")
+    sx = [engine.alloc_shared(i, n, "spmv.sx") for i in range(d)]
+    sy = []
+    scratch = []
+    for i in range(d):
+        lo = min(i * chunk, m) if i < active else m
+        hi = min(lo + chunk, m)
+        sy.append(engine.alloc_shared(i, max(hi - lo, 1), "spmv.sy"))
+        scratch.append(engine.alloc_shared(i, max(shares[i], w), "spmv.sc"))
+
+    def program(warp: WarpContext):
+        i = warp.dmm_id
+        q = warp.threads_in_dmm
+        local = warp.local_tids
+        lo = min(i * chunk, m)
+        hi = min(lo + chunk, m)
+        rows = hi - lo
+        if rows <= 0:
+            return
+        yield from copy_range_steps(
+            warp, gx, 0, sx[i], 0, n, num_threads=q, tids=local
+        )
+        yield warp.sync_dmm()
+        yield from spmv_row_steps(
+            warp, indptr, g_indices, g_data, sx[i], sy[i],
+            scratch=scratch[i],
+            row_offset=lo, rows=rows,
+            num_threads=q, tids=local,
+        )
+        yield warp.sync_dmm()
+        yield from copy_range_steps(
+            warp, sy[i], 0, gy, lo, rows, num_threads=q, tids=local
+        )
+
+    report = engine.launch(program, num_threads, trace=trace, label="hmm-spmv")
+    return gy.to_numpy(), report
+
+
+def _prepare_inputs(matrix, vector):
+    a = np.asarray(matrix, dtype=np.float64)
+    xv = np.asarray(vector, dtype=np.float64).ravel()
+    indptr, indices, data = csr_from_dense(a)
+    m, n = a.shape
+    if m < 1 or n < 1:
+        raise ConfigurationError(f"matrix must be non-empty, got {a.shape}")
+    if xv.size != n:
+        raise ConfigurationError(
+            f"vector length {xv.size} does not match matrix columns {n}"
+        )
+    if indices.size == 0:
+        # Guard the device arrays against zero-size allocations.
+        indices = np.zeros(1, dtype=np.int64)
+        data = np.zeros(1, dtype=np.float64)
+    return indptr, indices, data, xv, m, n

@@ -1,0 +1,313 @@
+"""Approximate string matching on the memory machine models
+(extension; paper ref [18]).
+
+Nakano's companion paper ("Efficient implementations of the approximate
+string matching on the memory machine models", ICNC 2012) runs the
+Sellers dynamic program on the DMM/UMM: given a pattern ``P`` of length
+``m`` and a text ``T`` of length ``n``, compute for every text position
+``j`` the minimum edit distance ``D[m][j]`` of ``P`` to *some substring
+of T ending at j*:
+
+    D[0][j] = 0;  D[i][0..] per the recurrence
+    D[i][j] = min(D[i-1][j] + 1,            # delete P[i]
+                  D[i][j-1] + 1,            # insert T[j]
+                  D[i-1][j-1] + (P[i] != T[j]))
+
+The parallel structure is anti-diagonal: cells ``(i, j)`` with
+``i + j = t`` depend only on diagonals ``t-1`` and ``t-2``.  Keeping
+each diagonal in a *contiguous* array makes every warp transaction
+coalesced / conflict-free (offset-by-one neighbours cost at most one
+extra address group), so a diagonal of length ``<= m`` costs
+``O(m/w + ml/p' + l)`` and the whole DP
+``O(nm/w + nml/p + (n+m)·l)`` on a flat machine — the per-diagonal
+latency is the pain point the HMM removes:
+
+:func:`hmm_approximate_match` chunks the text over the ``d`` DMMs with
+``2m`` columns of overlap (an alignment of the length-``m`` pattern with
+edit cost ``<= m`` spans at most ``2m`` text columns, so ``2m`` columns
+of warm-up recompute the exact boundary values), stages pattern and
+chunk into shared memory, and runs all diagonals at latency 1:
+``O(nm/(dw) + nm/p + n/w + nl/p + l + m)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.machine.engine import MachineEngine
+from repro.machine.hmm import HMMEngine, split_threads
+from repro.machine.memory import ArrayHandle
+from repro.machine.ops import BarrierScope
+from repro.machine.report import RunReport
+from repro.machine.trace import TraceRecorder
+from repro.machine.warp import WarpContext
+from repro.core.kernels.contiguous import copy_range_steps
+
+__all__ = [
+    "find_matches",
+    "reference_approximate_match",
+    "approximate_match_steps",
+    "approximate_match_kernel",
+    "flat_approximate_match",
+    "hmm_approximate_match",
+]
+
+
+def reference_approximate_match(pattern: np.ndarray, text: np.ndarray) -> np.ndarray:
+    """Host-side Sellers DP: ``out[j] = D[m][j]`` (numpy, row by row)."""
+    pattern = np.asarray(pattern)
+    text = np.asarray(text)
+    m, n = pattern.size, text.size
+    if m < 1 or n < 1:
+        raise ConfigurationError("pattern and text must be non-empty")
+    prev = np.zeros(n + 1, dtype=np.float64)  # D[0][*] = 0
+    for i in range(1, m + 1):
+        cur = np.empty(n + 1, dtype=np.float64)
+        cur[0] = i
+        sub = prev[:-1] + (pattern[i - 1] != text)
+        dele = prev[1:] + 1
+        # Insertion chains force a sequential min-scan along j.
+        best = np.minimum(sub, dele)
+        for j in range(1, n + 1):
+            cur[j] = min(best[j - 1], cur[j - 1] + 1)
+        prev = cur
+    return prev[1:]
+
+
+def approximate_match_steps(
+    warp: WarpContext,
+    pattern: ArrayHandle,
+    text: ArrayHandle,
+    out: ArrayHandle,
+    m: int,
+    n: int,
+    diag: list[ArrayHandle],
+    *,
+    out_offset: int = 0,
+    skip_columns: int = 0,
+    num_threads: int | None = None,
+    tids: np.ndarray | None = None,
+    scope: BarrierScope = BarrierScope.DEVICE,
+):
+    """Sub-generator: the anti-diagonal Sellers DP.
+
+    ``diag`` is three scratch arrays of ``m + 1`` cells (rotating
+    diagonals).  Writes ``D[m][j]`` to ``out[out_offset + j -
+    skip_columns]`` for ``j >= skip_columns`` (the warm-up columns of a
+    chunk are recomputed but not emitted).
+    """
+    p = num_threads if num_threads is not None else warp.num_threads
+    lane_tids = tids if tids is not None else warp.tids
+    prev2, prev, cur = diag
+
+    for t in range(0, n + m + 1):
+        i_lo = max(0, t - n)
+        i_hi = min(m, t)  # inclusive
+        count = i_hi - i_lo + 1
+        rounds = -(-count // p)
+        for r in range(rounds):
+            i = i_lo + r * p + lane_tids
+            mask = i <= i_hi
+            i_safe = np.where(mask, i, 0)
+            j = t - i_safe  # column of each cell
+
+            base_mask = mask & (i_safe == 0)  # D[0][j] = 0
+            col_mask = mask & (j == 0) & (i_safe > 0)  # D[i][0] = i
+            mid_mask = mask & (i_safe > 0) & (j > 0)
+
+            value = np.zeros(warp.num_lanes, dtype=np.float64)
+            value[col_mask] = i_safe[col_mask]
+
+            if mid_mask.any():
+                up = yield warp.read(prev, i_safe - 1, mask=mid_mask)
+                left = yield warp.read(prev, i_safe, mask=mid_mask)
+                upleft = yield warp.read(prev2, i_safe - 1, mask=mid_mask)
+                pc = yield warp.read(
+                    pattern, np.where(mid_mask, i_safe - 1, 0), mask=mid_mask
+                )
+                tc = yield warp.read(
+                    text, np.where(mid_mask, j - 1, 0), mask=mid_mask
+                )
+                yield warp.compute(3)  # two mins and a comparison-add
+                candidate = np.minimum(
+                    np.minimum(up + 1, left + 1), upleft + (pc != tc)
+                )
+                value[mid_mask] = candidate[mid_mask]
+
+            yield warp.write(cur, i_safe, value, mask=mask)
+            emit = mask & (i_safe == m) & (j - 1 >= skip_columns) & (j > 0)
+            if emit.any():
+                yield warp.write(
+                    out,
+                    np.where(emit, out_offset + j - 1 - skip_columns, 0),
+                    value,
+                    mask=emit,
+                )
+        yield warp.barrier(scope)
+        prev2, prev, cur = prev, cur, prev2
+
+    return
+
+
+def approximate_match_kernel(
+    pattern: ArrayHandle,
+    text: ArrayHandle,
+    out: ArrayHandle,
+    m: int,
+    n: int,
+    diag: list[ArrayHandle],
+):
+    """Kernel: approximate matching on a flat DMM or UMM."""
+
+    def program(warp: WarpContext):
+        yield from approximate_match_steps(
+            warp, pattern, text, out, m, n, diag
+        )
+
+    return program
+
+
+def flat_approximate_match(
+    engine: MachineEngine,
+    pattern: np.ndarray,
+    text: np.ndarray,
+    num_threads: int,
+    *,
+    trace: TraceRecorder | None = None,
+) -> tuple[np.ndarray, RunReport]:
+    """Run the DP on a flat machine; returns ``(distances, report)``."""
+    pv = _codes(pattern)
+    tv = _codes(text)
+    m, n = pv.size, tv.size
+    p_arr = engine.array_from(pv, "asm.P")
+    t_arr = engine.array_from(tv, "asm.T")
+    out = engine.alloc(n, "asm.out")
+    diag = [engine.alloc(m + 1, f"asm.diag{i}") for i in range(3)]
+    for d in diag:
+        d.fill(0.0)
+    report = engine.launch(
+        approximate_match_kernel(p_arr, t_arr, out, m, n, diag),
+        num_threads,
+        trace=trace,
+        label="flat-approx-match",
+    )
+    return out.to_numpy(), report
+
+
+def hmm_approximate_match(
+    engine: HMMEngine,
+    pattern: np.ndarray,
+    text: np.ndarray,
+    num_threads: int,
+    *,
+    trace: TraceRecorder | None = None,
+) -> tuple[np.ndarray, RunReport]:
+    """Chunked approximate matching on the HMM.
+
+    Each active DMM stages the pattern plus its text chunk (with ``2m``
+    columns of left overlap) into shared memory, runs the DP at latency
+    1, and writes its owned slice of the result back coalesced.
+    """
+    pv = _codes(pattern)
+    tv = _codes(text)
+    m, n = pv.size, tv.size
+    d = engine.params.num_dmms
+    shares = split_threads(num_threads, d)
+    active = sum(1 for s in shares if s > 0)
+    chunk = -(-n // active)
+    overlap = 2 * m
+
+    g_p = engine.global_from(pv, "asm.P")
+    g_t = engine.global_from(tv, "asm.T")
+    g_out = engine.alloc_global(n, "asm.out")
+
+    s_p, s_t, s_out, s_diag = [], [], [], []
+    bounds = []
+    for i in range(d):
+        lo = min(i * chunk, n) if i < active else n
+        hi = min(lo + chunk, n)
+        start = max(0, lo - overlap)
+        bounds.append((lo, hi, start))
+        cn = max(hi - start, 1)
+        s_p.append(engine.alloc_shared(i, m, "asm.sP"))
+        s_t.append(engine.alloc_shared(i, cn, "asm.sT"))
+        s_out.append(engine.alloc_shared(i, max(hi - lo, 1), "asm.sOut"))
+        s_diag.append(
+            [engine.alloc_shared(i, m + 1, f"asm.sDiag{k}") for k in range(3)]
+        )
+
+    def program(warp: WarpContext):
+        i = warp.dmm_id
+        q = warp.threads_in_dmm
+        lo, hi, start = bounds[i]
+        cn = hi - start
+        own = hi - lo
+        if own <= 0:
+            return
+        local = warp.local_tids
+        # Stage pattern and chunk (coalesced global reads).
+        yield from copy_range_steps(
+            warp, g_p, 0, s_p[i], 0, m, num_threads=q, tids=local
+        )
+        yield from copy_range_steps(
+            warp, g_t, start, s_t[i], 0, cn, num_threads=q, tids=local
+        )
+        yield warp.sync_dmm()
+        # DP over the chunk at latency 1; warm-up columns not emitted.
+        yield from approximate_match_steps(
+            warp,
+            s_p[i],
+            s_t[i],
+            s_out[i],
+            m,
+            cn,
+            s_diag[i],
+            skip_columns=lo - start,
+            num_threads=q,
+            tids=local,
+            scope=BarrierScope.DMM,
+        )
+        yield warp.sync_dmm()
+        # Publish the owned slice.
+        yield from copy_range_steps(
+            warp, s_out[i], 0, g_out, lo, own, num_threads=q, tids=local
+        )
+
+    report = engine.launch(program, num_threads, trace=trace,
+                           label="hmm-approx-match")
+    return g_out.to_numpy(), report
+
+
+def _codes(seq) -> np.ndarray:
+    """Accept strings or numeric arrays; return float64 symbol codes."""
+    if isinstance(seq, str):
+        return np.array([ord(c) for c in seq], dtype=np.float64)
+    arr = np.asarray(seq, dtype=np.float64).ravel()
+    if arr.size < 1:
+        raise ConfigurationError("pattern and text must be non-empty")
+    return arr
+
+
+def find_matches(
+    engine: "HMMEngine",
+    pattern,
+    text,
+    max_edits: int,
+    num_threads: int,
+    *,
+    trace: TraceRecorder | None = None,
+) -> tuple[np.ndarray, RunReport]:
+    """End positions where the pattern matches with at most ``max_edits``.
+
+    A host-side convenience over :func:`hmm_approximate_match`: runs the
+    DP on the HMM and returns the (0-based) text positions ``j`` with
+    ``D[m][j] <= max_edits``, i.e. where an approximate occurrence of
+    the pattern ends.  Returns ``(positions, report)``.
+    """
+    if max_edits < 0:
+        raise ConfigurationError(f"max_edits must be >= 0, got {max_edits}")
+    distances, report = hmm_approximate_match(
+        engine, pattern, text, num_threads, trace=trace
+    )
+    return np.nonzero(distances <= max_edits)[0], report

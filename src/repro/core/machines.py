@@ -1,0 +1,430 @@
+"""User-facing machine front-ends.
+
+:class:`DMM`, :class:`UMM` and :class:`HMM` are thin, parameter-holding
+façades over the simulation engines.  Each convenience method builds a
+fresh engine (so repeated experiments never share allocator or timing
+state), runs the paper's algorithm for the operation, and returns
+``(result, report)`` where ``report.cycles`` is the time-unit count the
+paper's theorems bound.
+
+For custom kernels, get a raw engine with :meth:`DMM.engine` /
+:meth:`HMM.engine`, allocate arrays on it, and ``launch`` warp programs
+directly.
+
+>>> from repro import HMM, HMMParams
+>>> machine = HMM(HMMParams(num_dmms=4, width=16, global_latency=100))
+>>> total, report = machine.sum(range(1 << 12), num_threads=256)
+>>> total
+8386560.0
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.machine.engine import MachineEngine
+from repro.machine.hmm import HMMEngine
+from repro.machine.policy import DMMBankPolicy, SlotPolicy, UMMGroupPolicy
+from repro.machine.report import RunReport
+from repro.machine.trace import TraceRecorder
+from repro.params import HMMParams, MachineParams
+from repro.analysis.costmodel import convolution_time, sum_time
+from repro.analysis.terms import Params as CostParams
+from repro.core.kernels.convolution import (
+    convolution_kernel,
+    scratch_blocks_needed,
+)
+from repro.core.kernels.hmm_conv import hmm_convolution
+from repro.core.kernels.hmm_sum import hmm_reduce, hmm_sum, hmm_sum_single_dmm
+from repro.core.kernels.compaction import hmm_compact
+from repro.core.kernels.histogram import hmm_histogram
+from repro.core.kernels.matmul import hmm_matmul, hmm_transpose
+from repro.core.kernels.matvec import flat_matvec, hmm_matvec
+from repro.core.kernels.merge import flat_merge, hmm_merge
+from repro.core.kernels.spmv import flat_spmv
+from repro.core.kernels.spmv import hmm_spmv
+from repro.core.kernels.prefix import (
+    alloc_scan_scratch,
+    hmm_prefix_sums,
+    prefix_sums_kernel,
+)
+from repro.core.kernels.reduction import reduce_kernel, sum_kernel
+from repro.core.kernels.sorting import flat_bitonic_sort, hmm_bitonic_sort
+from repro.core.kernels.string_matching import (
+    flat_approximate_match,
+    hmm_approximate_match,
+)
+
+__all__ = ["DMM", "UMM", "HMM", "run_flat_sum", "run_flat_convolution",
+           "run_flat_prefix_sums"]
+
+
+# ---------------------------------------------------------------------------
+# Flat-machine operation runners (shared by the DMM and UMM front-ends).
+# ---------------------------------------------------------------------------
+
+def run_flat_sum(
+    engine: MachineEngine,
+    values: np.ndarray,
+    num_threads: int,
+    *,
+    trace: TraceRecorder | None = None,
+) -> tuple[float, RunReport]:
+    """Lemma 5 sum on a flat machine; returns ``(total, report)``."""
+    vals = np.asarray(values, dtype=np.float64).ravel()
+    a = engine.array_from(vals, "sum.in")
+    report = engine.launch(sum_kernel(a, vals.size), num_threads, trace=trace,
+                           label="flat-sum")
+    return float(a.to_numpy()[0]), report
+
+
+def run_flat_convolution(
+    engine: MachineEngine,
+    x_values: np.ndarray,
+    y_values: np.ndarray,
+    num_threads: int,
+    *,
+    trace: TraceRecorder | None = None,
+) -> tuple[np.ndarray, RunReport]:
+    """Theorem 8 direct convolution on a flat machine."""
+    xv = np.asarray(x_values, dtype=np.float64).ravel()
+    yv = np.asarray(y_values, dtype=np.float64).ravel()
+    k = xv.size
+    n = yv.size - k + 1
+    if k < 1 or n < 1:
+        raise ConfigurationError(
+            f"need len(x) >= 1 and len(y) >= len(x); got {xv.size}, {yv.size}"
+        )
+    if k > n:
+        raise ConfigurationError(f"the paper assumes k <= n; got k={k}, n={n}")
+    x = engine.array_from(xv, "conv.x")
+    y = engine.array_from(yv, "conv.y")
+    z = engine.alloc(n, "conv.z")
+    blocks = scratch_blocks_needed(k, n, num_threads)
+    zblk = engine.alloc(blocks * n, "conv.zblk") if blocks > 1 else None
+    report = engine.launch(
+        convolution_kernel(x, y, z, k, n, zblk=zblk),
+        num_threads,
+        trace=trace,
+        label="flat-convolution",
+    )
+    return z.to_numpy(), report
+
+
+def run_flat_prefix_sums(
+    engine: MachineEngine,
+    values: np.ndarray,
+    num_threads: int,
+    *,
+    trace: TraceRecorder | None = None,
+) -> tuple[np.ndarray, RunReport]:
+    """Prefix-sums on a flat machine (``O(n/w + nl/p + l log n)``)."""
+    vals = np.asarray(values, dtype=np.float64).ravel()
+    n = vals.size
+    a = engine.array_from(vals, "scan.in")
+    out = engine.alloc(n, "scan.out")
+    levels, prefixes = alloc_scan_scratch(engine.alloc, n)
+    levels[0] = a  # level 0 is the input itself
+    report = engine.launch(
+        prefix_sums_kernel(a, levels, prefixes, out, n),
+        num_threads,
+        trace=trace,
+        label="flat-prefix-sums",
+    )
+    return out.to_numpy(), report
+
+
+# ---------------------------------------------------------------------------
+# Front-end classes.
+# ---------------------------------------------------------------------------
+
+class _FlatMachine:
+    """Common behaviour of the DMM and UMM front-ends."""
+
+    _policy_cls: type[SlotPolicy]
+    _name: str
+
+    def __init__(self, params: MachineParams | None = None) -> None:
+        self.params = params if params is not None else MachineParams()
+
+    def engine(self, *, pipelined: bool = True) -> MachineEngine:
+        """A fresh engine for custom kernels."""
+        return MachineEngine(
+            self.params, self._policy_cls(), name=self._name, pipelined=pipelined
+        )
+
+    # -- operations -------------------------------------------------------
+    def sum(
+        self, values, num_threads: int, *, trace: TraceRecorder | None = None
+    ) -> tuple[float, RunReport]:
+        """Sum of ``n`` numbers (Lemma 5): ``O(n/w + nl/p + l·log n)``."""
+        return run_flat_sum(self.engine(), np.fromiter(values, dtype=np.float64)
+                            if not isinstance(values, np.ndarray) else values,
+                            num_threads, trace=trace)
+
+    def reduce(
+        self, values, num_threads: int, op: str = "sum", *,
+        trace: TraceRecorder | None = None,
+    ) -> tuple[float, RunReport]:
+        """Named reduction (``sum``/``max``/``min``/``prod``) with the
+        Lemma 5 structure and cost."""
+        vals = np.asarray(values, dtype=np.float64).ravel()
+        eng = self.engine()
+        a = eng.array_from(vals, "reduce.in")
+        report = eng.launch(reduce_kernel(a, vals.size, op), num_threads,
+                            trace=trace, label=f"flat-reduce-{op}")
+        return float(a.to_numpy()[0]), report
+
+    def convolve(
+        self, x, y, num_threads: int, *, trace: TraceRecorder | None = None
+    ) -> tuple[np.ndarray, RunReport]:
+        """Direct convolution (Theorem 8): ``O(nk/w + nkl/p + l·log k)``."""
+        return run_flat_convolution(self.engine(), np.asarray(x), np.asarray(y),
+                                    num_threads, trace=trace)
+
+    def prefix_sums(
+        self, values, num_threads: int, *, trace: TraceRecorder | None = None
+    ) -> tuple[np.ndarray, RunReport]:
+        """Inclusive prefix-sums: ``O(n/w + nl/p + l·log n)``."""
+        return run_flat_prefix_sums(self.engine(), np.asarray(values),
+                                    num_threads, trace=trace)
+
+    def approximate_match(
+        self, pattern, text, num_threads: int, *,
+        trace: TraceRecorder | None = None,
+    ) -> tuple[np.ndarray, RunReport]:
+        """Sellers approximate string matching (extension, ref [18]):
+        ``out[j]`` = min edit distance of the pattern to a substring of
+        the text ending at ``j``."""
+        return flat_approximate_match(self.engine(), pattern, text,
+                                      num_threads, trace=trace)
+
+    # -- analytic predictions (no simulation) ---------------------------
+    def predict_sum(self, n: int, num_threads: int) -> float:
+        """Table I estimate (unit coefficients) of :meth:`sum`'s time."""
+        q = CostParams(n=n, p=num_threads, w=self.params.width,
+                       l=self.params.latency)
+        return sum_time(self._name, q)
+
+    def predict_convolution(self, n: int, k: int, num_threads: int) -> float:
+        """Table I estimate of :meth:`convolve`'s time."""
+        q = CostParams(n=n, k=k, p=num_threads, w=self.params.width,
+                       l=self.params.latency)
+        return convolution_time(self._name, q)
+
+    def sort(
+        self, values, num_threads: int, *, trace: TraceRecorder | None = None
+    ) -> tuple[np.ndarray, RunReport]:
+        """Ascending bitonic sort (extension):
+        ``O((n/w + nl/p + l)·log^2 n)``."""
+        return flat_bitonic_sort(self.engine(), np.asarray(values),
+                                 num_threads, trace=trace)
+
+    def merge(
+        self, a, b, num_threads: int, *, trace: TraceRecorder | None = None
+    ) -> tuple[np.ndarray, RunReport]:
+        """Merge two sorted arrays via merge-path partitioning
+        (extension)."""
+        return flat_merge(self.engine(), a, b, num_threads, trace=trace)
+
+    def matvec(
+        self, matrix, vector, num_threads: int, *,
+        trace: TraceRecorder | None = None,
+    ) -> tuple[np.ndarray, RunReport]:
+        """Dense ``y = A @ x``, warp-per-row (extension)."""
+        return flat_matvec(self.engine(), matrix, vector, num_threads,
+                           trace=trace)
+
+    def spmv(
+        self, matrix, vector, num_threads: int, *,
+        trace: TraceRecorder | None = None,
+    ) -> tuple[np.ndarray, RunReport]:
+        """CSR sparse ``y = A @ x``, warp-per-row (extension)."""
+        return flat_spmv(self.engine(), matrix, vector, num_threads,
+                         trace=trace)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(w={self.params.width}, l={self.params.latency})"
+
+
+class DMM(_FlatMachine):
+    """The Discrete Memory Machine: banked memory, bank-conflict costs.
+
+    The model of a GPU streaming multiprocessor's *shared memory*: a warp
+    transaction costs as many pipeline slots as its worst per-bank count
+    of distinct addresses.
+    """
+
+    _policy_cls = DMMBankPolicy
+    _name = "dmm"
+
+
+class UMM(_FlatMachine):
+    """The Unified Memory Machine: address-group (coalescing) costs.
+
+    The model of a GPU's *global memory*: a warp transaction costs one
+    pipeline slot per distinct address group (``addr div w``) it touches.
+    """
+
+    _policy_cls = UMMGroupPolicy
+    _name = "umm"
+
+
+class HMM:
+    """The Hierarchical Memory Machine: ``d`` DMMs plus one UMM.
+
+    The paper's model of a whole GPU.  Convenience methods run the HMM
+    algorithms of Sections VII and IX plus the extensions; each returns
+    ``(result, report)``.
+    """
+
+    def __init__(self, params: HMMParams | None = None) -> None:
+        self.params = params if params is not None else HMMParams()
+
+    def engine(self, *, pipelined: bool = True) -> HMMEngine:
+        """A fresh engine for custom kernels."""
+        return HMMEngine(self.params, pipelined=pipelined)
+
+    # -- operations --------------------------------------------------------
+    def sum(
+        self, values, num_threads: int, *, trace: TraceRecorder | None = None
+    ) -> tuple[float, RunReport]:
+        """Theorem 7 sum: ``O(n/w + nl/p + l + log n)``, optimal."""
+        return hmm_sum(self.engine(), np.fromiter(values, dtype=np.float64)
+                       if not isinstance(values, np.ndarray) else values,
+                       num_threads, trace=trace)
+
+    def reduce(
+        self, values, num_threads: int, op: str = "sum", *,
+        trace: TraceRecorder | None = None,
+    ) -> tuple[float, RunReport]:
+        """Named reduction (``sum``/``max``/``min``/``prod``) with the
+        Theorem 7 structure and cost."""
+        return hmm_reduce(self.engine(), np.asarray(values), num_threads, op,
+                          trace=trace)
+
+    def sum_single_dmm(
+        self, values, num_threads: int, *, trace: TraceRecorder | None = None
+    ) -> tuple[float, RunReport]:
+        """Lemma 6 sum using only ``DMM(0)``."""
+        return hmm_sum_single_dmm(self.engine(), np.asarray(values), num_threads,
+                                  trace=trace)
+
+    def sum_flat(
+        self, values, num_threads: int, *, trace: TraceRecorder | None = None
+    ) -> tuple[float, RunReport]:
+        """The strawman: Lemma 5 run entirely in the global memory,
+        paying ``l`` at every tree level (``O(n/w + nl/p + l·log n)``)."""
+        engine = self.engine()
+        vals = np.asarray(values, dtype=np.float64).ravel()
+        a = engine.global_from(vals, "sum.in")
+        report = engine.launch(sum_kernel(a, vals.size), num_threads,
+                               trace=trace, label="hmm-flat-sum")
+        return float(a.to_numpy()[0]), report
+
+    def convolve(
+        self, x, y, num_threads: int, *, trace: TraceRecorder | None = None
+    ) -> tuple[np.ndarray, RunReport]:
+        """Theorem 9 direct convolution:
+        ``O((n+dk)/w + nk/(dw) + (n+dk)l/p + l + log k)``, optimal."""
+        return hmm_convolution(self.engine(), np.asarray(x), np.asarray(y),
+                               num_threads, trace=trace)
+
+    def prefix_sums(
+        self, values, num_threads: int, *, trace: TraceRecorder | None = None
+    ) -> tuple[np.ndarray, RunReport]:
+        """HMM prefix-sums: ``O(n/w + nl/p + l + log n)`` (extension)."""
+        return hmm_prefix_sums(self.engine(), np.asarray(values), num_threads,
+                               trace=trace)
+
+    def approximate_match(
+        self, pattern, text, num_threads: int, *,
+        trace: TraceRecorder | None = None,
+    ) -> tuple[np.ndarray, RunReport]:
+        """Sellers approximate string matching with the text chunked
+        across the DMMs (extension, ref [18]): the per-diagonal latency
+        that dominates the flat machines drops to 1."""
+        return hmm_approximate_match(self.engine(), pattern, text,
+                                     num_threads, trace=trace)
+
+    def sort(
+        self, values, num_threads: int, *, trace: TraceRecorder | None = None
+    ) -> tuple[np.ndarray, RunReport]:
+        """Ascending bitonic sort with chunk stages in the shared
+        memories (extension): only the O(log^2 d) cross-chunk stages pay
+        the global latency."""
+        return hmm_bitonic_sort(self.engine(), np.asarray(values),
+                                num_threads, trace=trace)
+
+    def matvec(
+        self, matrix, vector, num_threads: int, *,
+        trace: TraceRecorder | None = None,
+    ) -> tuple[np.ndarray, RunReport]:
+        """Dense ``y = A @ x`` with the operand vector staged into each
+        shared memory (extension)."""
+        return hmm_matvec(self.engine(), matrix, vector, num_threads,
+                          trace=trace)
+
+    def compact(
+        self, values, keep, num_threads: int, *,
+        trace: TraceRecorder | None = None,
+    ) -> tuple[np.ndarray, int]:
+        """Stream compaction (filter) via the HMM scan (extension).
+        Returns ``(kept_values, total_cycles)`` over the two launches."""
+        return hmm_compact(self.engine(), values, keep, num_threads,
+                           trace=trace)
+
+    def histogram(
+        self, values, bins: int, *, trace: TraceRecorder | None = None
+    ) -> tuple[np.ndarray, RunReport]:
+        """Exact histogram via per-DMM private histograms (extension).
+        ``values`` are integer bin ids in ``[0, bins)``."""
+        return hmm_histogram(self.engine(), values, bins, trace=trace)
+
+    def merge(
+        self, a, b, num_threads: int, *, trace: TraceRecorder | None = None
+    ) -> tuple[np.ndarray, RunReport]:
+        """Merge two sorted arrays, chunked over the DMMs by host-side
+        merge-path partition (extension)."""
+        return hmm_merge(self.engine(), a, b, num_threads, trace=trace)
+
+    def spmv(
+        self, matrix, vector, num_threads: int, *,
+        trace: TraceRecorder | None = None,
+    ) -> tuple[np.ndarray, RunReport]:
+        """CSR sparse matrix-vector multiply with the operand vector
+        staged into each shared memory (extension)."""
+        return hmm_spmv(self.engine(), matrix, vector, num_threads,
+                        trace=trace)
+
+    def matmul(
+        self, a, b, *, trace: TraceRecorder | None = None
+    ) -> tuple[np.ndarray, RunReport]:
+        """Shared-memory tiled matrix multiplication (extension)."""
+        return hmm_matmul(self.engine(), np.asarray(a), np.asarray(b), trace=trace)
+
+    # -- analytic predictions (no simulation) ---------------------------
+    def predict_sum(self, n: int, num_threads: int) -> float:
+        """Table I estimate (unit coefficients) of :meth:`sum`'s time."""
+        q = CostParams(n=n, p=num_threads, w=self.params.width,
+                       l=self.params.global_latency, d=self.params.num_dmms)
+        return sum_time("hmm", q)
+
+    def predict_convolution(self, n: int, k: int, num_threads: int) -> float:
+        """Table I (Corollary 10) estimate of :meth:`convolve`'s time."""
+        q = CostParams(n=n, k=k, p=num_threads, w=self.params.width,
+                       l=self.params.global_latency, d=self.params.num_dmms)
+        return convolution_time("hmm", q)
+
+    def transpose(
+        self, a, *, padded: bool = True, trace: TraceRecorder | None = None
+    ) -> tuple[np.ndarray, RunReport]:
+        """Shared-memory tiled transpose; ``padded=False`` exhibits the
+        classic ``w``-way bank conflict (extension)."""
+        return hmm_transpose(self.engine(), np.asarray(a), padded=padded,
+                             trace=trace)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        p = self.params
+        return f"HMM(d={p.num_dmms}, w={p.width}, l={p.global_latency})"

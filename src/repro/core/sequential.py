@@ -1,0 +1,83 @@
+"""Sequential RAM baseline (Table I, column "Sequential").
+
+A single Random Access Machine executing one fundamental operation per
+time unit.  :class:`SequentialMachine` runs the obvious sequential
+algorithms for the paper's two problems while counting time units, using
+the same operation granularity as the parallel simulators: one time unit
+per memory access and one per arithmetic operation.
+
+The absolute counts are Θ(n) for the sum and Θ(nk) for the direct
+convolution, the first column of Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SequentialMachine", "SequentialResult"]
+
+
+@dataclass(frozen=True)
+class SequentialResult:
+    """Value and cost of a sequential computation."""
+
+    value: np.ndarray | float
+    #: Elapsed time units (memory accesses + arithmetic).
+    cycles: int
+    #: Memory accesses performed.
+    accesses: int
+    #: Arithmetic operations performed.
+    arithmetic: int
+
+
+class SequentialMachine:
+    """Op-counting single-thread RAM."""
+
+    # -- the sum (Section V) -----------------------------------------------
+    def sum(self, a: np.ndarray) -> SequentialResult:
+        """Fold ``a`` left to right: ``n`` reads and ``n - 1`` additions."""
+        a = np.asarray(a, dtype=np.float64)
+        n = a.size
+        if n < 1:
+            raise ConfigurationError("sum requires a non-empty array")
+        accesses = n
+        arithmetic = n - 1
+        return SequentialResult(
+            value=float(a.sum()),
+            cycles=accesses + arithmetic,
+            accesses=accesses,
+            arithmetic=arithmetic,
+        )
+
+    # -- the direct convolution (Section V) -----------------------------------
+    def convolution(self, x: np.ndarray, y: np.ndarray) -> SequentialResult:
+        """Direct convolution ``z[j] = sum_i x[i] * y[j + i]``.
+
+        ``x`` has length ``k``; ``y`` has length ``n + k - 1``; the result
+        has length ``n``.  Every output evaluates independently:
+        ``2·k`` reads, ``k`` multiplications and ``k - 1`` additions plus
+        one write per output, i.e. Θ(n·k) in total.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        k = x.size
+        n = y.size - k + 1
+        if k < 1 or n < 1:
+            raise ConfigurationError(
+                f"convolution requires len(x) >= 1 and len(y) >= len(x); "
+                f"got k={k}, len(y)={y.size}"
+            )
+        z = np.correlate(y, x, mode="valid")
+        assert z.size == n
+        accesses = n * (2 * k + 1)
+        arithmetic = n * (2 * k - 1)
+        return SequentialResult(
+            value=z,
+            cycles=accesses + arithmetic,
+            accesses=accesses,
+            arithmetic=arithmetic,
+        )

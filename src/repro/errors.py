@@ -1,0 +1,62 @@
+"""Exception hierarchy for the memory machine simulator.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures without masking unrelated bugs.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "AllocationError",
+    "AddressError",
+    "KernelError",
+    "LockstepError",
+    "DeadlockError",
+    "SpaceMismatchError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Invalid machine parameters (width, latency, thread counts, ...)."""
+
+
+class AllocationError(ReproError):
+    """A memory space cannot satisfy an allocation request."""
+
+
+class AddressError(ReproError, IndexError):
+    """A kernel accessed an address outside the bounds of its array."""
+
+
+class KernelError(ReproError):
+    """A warp program violated the execution protocol."""
+
+
+class LockstepError(KernelError):
+    """Warps of a SIMD group diverged where the model requires lockstep.
+
+    The memory machine models execute every thread of a warp in lockstep;
+    a warp program must issue the same *kind* of operation for all active
+    lanes at every step.  Divergence is expressed with lane masks, never
+    with per-lane control flow.
+    """
+
+
+class DeadlockError(KernelError):
+    """The scheduler detected that no warp can make progress.
+
+    This typically means a barrier was reached by only a subset of the
+    warps that synchronize on it.
+    """
+
+
+class SpaceMismatchError(KernelError):
+    """An operation referenced an array that lives in a different memory
+    space than the one the operation targets (e.g. a shared-memory read of
+    a global-memory array)."""

@@ -1,0 +1,27 @@
+"""Self-contained experiment drivers.
+
+The modules here regenerate the paper's artifacts programmatically —
+the same measurements the benchmark suite makes, packaged as library
+functions so downstream users can run them without pytest:
+
+* :func:`repro.experiments.table1.reproduce_table1` — measured vs
+  closed-form for both problems on every model;
+* :func:`repro.experiments.table2.reproduce_table2` — optimality
+  checks against the lower bounds;
+* :func:`repro.experiments.figures.reproduce_figures` — Figures 1-5;
+* :func:`repro.experiments.ablations.reproduce_ablations` — the
+  pipelining / policy / padding mechanism ablations;
+* ``python -m repro.experiments`` — the command-line entry point.
+"""
+
+from repro.experiments.ablations import reproduce_ablations
+from repro.experiments.figures import reproduce_figures
+from repro.experiments.table1 import reproduce_table1
+from repro.experiments.table2 import reproduce_table2
+
+__all__ = [
+    "reproduce_ablations",
+    "reproduce_figures",
+    "reproduce_table1",
+    "reproduce_table2",
+]

@@ -1,0 +1,125 @@
+"""Command-line entry point: ``python -m repro.experiments``.
+
+Subcommands::
+
+    python -m repro.experiments figures    # Figures 1-5
+    python -m repro.experiments table1     # Table I sweep + fits
+    python -m repro.experiments table2     # Table II optimality checks
+    python -m repro.experiments ablations  # mechanism ablations
+    python -m repro.experiments all        # everything
+    python -m repro.experiments all -o DIR # also write artifacts to DIR
+
+The table sweeps take a few seconds each (hundreds of simulator runs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.experiments.ablations import reproduce_ablations
+from repro.experiments.figures import reproduce_figures
+from repro.experiments.table1 import reproduce_table1
+from repro.experiments.table2 import reproduce_table2
+
+
+def _write(out_dir: pathlib.Path | None, name: str, text: str) -> None:
+    print(text)
+    print()
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures from the "
+        "simulator.",
+    )
+    parser.add_argument(
+        "what",
+        choices=["figures", "table1", "table2", "ablations", "all"],
+        help="which artifact(s) to reproduce",
+    )
+    parser.add_argument(
+        "-o", "--out", type=pathlib.Path, default=None,
+        help="directory to write the text artifacts to (optional)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=20130520,
+        help="sweep RNG seed (default: 20130520)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="also write a machine-readable summary.json (requires -o)",
+    )
+    args = parser.parse_args(argv)
+    if args.json and args.out is None:
+        parser.error("--json requires -o/--out")
+
+    ok = True
+    summary: dict[str, object] = {"seed": args.seed}
+    if args.what in ("figures", "all"):
+        figures = reproduce_figures()
+        _write(args.out, "figures", figures.render())
+        ok &= figures.fig4_cycles == 8
+        summary["figure4_cycles"] = figures.fig4_cycles
+    if args.what in ("table1", "all"):
+        t1 = reproduce_table1(seed=args.seed)
+        _write(args.out, "table1", t1.render())
+        ok &= t1.all_shapes_hold()
+        summary["table1"] = {
+            problem: {
+                model: {
+                    "r_squared": fit.r_squared,
+                    "coefficients": dict(
+                        zip(fit.term_names, fit.coefficients)
+                    ),
+                }
+                for model, fit in fits.items()
+            }
+            for problem, fits in (
+                ("sum", t1.sum_fits), ("convolution", t1.conv_fits)
+            )
+        }
+    if args.what in ("table2", "all"):
+        t2 = reproduce_table2(seed=args.seed)
+        _write(args.out, "table2", t2.render())
+        ok &= t2.all_sound_and_tight()
+        summary["table2"] = {
+            problem: {
+                model: {
+                    "sound": rep.sound,
+                    "worst_ratio": rep.worst_ratio,
+                    "best_ratio": rep.best_ratio,
+                }
+                for model, rep in reports.items()
+            }
+            for problem, reports in (
+                ("sum", t2.sum_reports), ("convolution", t2.conv_reports)
+            )
+        }
+    if args.what in ("ablations", "all"):
+        abl = reproduce_ablations(seed=args.seed)
+        _write(args.out, "ablations", abl.render())
+        ok &= abl.mechanisms_all_matter()
+
+    summary["pass"] = bool(ok)
+    if args.json:
+        args.out.mkdir(parents=True, exist_ok=True)
+        (args.out / "summary.json").write_text(
+            json.dumps(summary, indent=2, sort_keys=True) + "\n"
+        )
+
+    if ok:
+        print("reproduction criteria: PASS")
+        return 0
+    print("reproduction criteria: FAIL", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

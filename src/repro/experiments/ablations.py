@@ -1,0 +1,104 @@
+"""Ablation drivers: what each modeled mechanism contributes.
+
+Programmatic versions of ``benchmarks/bench_ablations.py`` for the CLI:
+pipelining on/off, the three slot policies under stride sweeps, and the
+shared-tile padding effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine.engine import MachineEngine
+from repro.machine.hmm import HMMEngine
+from repro.machine.policy import DMMBankPolicy, IdealPolicy, UMMGroupPolicy
+from repro.params import HMMParams, MachineParams
+from repro.core.kernels.contiguous import contiguous_read, strided_read
+from repro.core.kernels.matmul import hmm_transpose
+
+__all__ = ["AblationsResult", "reproduce_ablations"]
+
+
+@dataclass(frozen=True)
+class AblationsResult:
+    """Measured effect of each mechanism."""
+
+    #: (latency, pipelined cycles, unpipelined cycles) rows.
+    pipelining: tuple[tuple[int, int, int], ...]
+    #: (stride, dmm, umm, ideal) rows.
+    policies: tuple[tuple[int, int, int, int], ...]
+    #: (latency, naive cycles, padded cycles) rows.
+    padding: tuple[tuple[int, int, int], ...]
+
+    def render(self) -> str:
+        lines = ["Ablations", "", "pipelining (contiguous read, n=4096 w=16 p=512):"]
+        for l, piped, serial in self.pipelining:
+            lines.append(
+                f"  l={l:4d}: pipelined {piped:6d}  serialized {serial:7d}  "
+                f"({serial / piped:.1f}x)"
+            )
+        lines.append("")
+        lines.append("slot policies (stride-s read, n=4096 w=16 l=8 p=256):")
+        for stride, dmm, umm, ideal in self.policies:
+            lines.append(
+                f"  s={stride:3d}: DMM {dmm:6d}  UMM {umm:6d}  ideal {ideal:6d}"
+            )
+        lines.append("")
+        lines.append("shared-tile padding (64x64 transpose, d=4 w=16):")
+        for l, naive, padded in self.padding:
+            lines.append(
+                f"  l={l:3d}: naive {naive:6d}  padded {padded:6d}  "
+                f"({naive / padded:.2f}x)"
+            )
+        return "\n".join(lines)
+
+    def mechanisms_all_matter(self) -> bool:
+        """The reproduction criterion: every mechanism shows its effect."""
+        pipelining_helps = all(s > p for _, p, s in self.pipelining)
+        stride_w = next(r for r in self.policies if r[0] == 16)
+        policies_charge = stride_w[1] > 4 * stride_w[3]
+        padding_helps = all(n > p for _, n, p in self.padding)
+        return pipelining_helps and policies_charge and padding_helps
+
+
+def reproduce_ablations(seed: int = 20130520) -> AblationsResult:
+    """Run the three ablations and collect the rows."""
+    rng = np.random.default_rng(seed)
+
+    pipelining = []
+    for l in (8, 64, 256):
+        rows = {}
+        for pipelined in (True, False):
+            eng = MachineEngine(
+                MachineParams(width=16, latency=l),
+                UMMGroupPolicy(),
+                pipelined=pipelined,
+            )
+            a = eng.alloc(1 << 12)
+            rows[pipelined] = eng.launch(contiguous_read(a, 1 << 12), 512).cycles
+        pipelining.append((l, rows[True], rows[False]))
+
+    policies = []
+    for stride in (1, 2, 4, 16, 17):
+        cycles = []
+        for policy in (DMMBankPolicy(), UMMGroupPolicy(), IdealPolicy()):
+            eng = MachineEngine(MachineParams(width=16, latency=8), policy)
+            a = eng.alloc(1 << 12)
+            cycles.append(eng.launch(strided_read(a, 1 << 12, stride), 256).cycles)
+        policies.append((stride, *cycles))
+
+    padding = []
+    matrix = rng.normal(size=(64, 64))
+    for l in (2, 32):
+        params = HMMParams(num_dmms=4, width=16, global_latency=l)
+        _, naive = hmm_transpose(HMMEngine(params), matrix, padded=False)
+        _, padded = hmm_transpose(HMMEngine(params), matrix, padded=True)
+        padding.append((l, naive.cycles, padded.cycles))
+
+    return AblationsResult(
+        pipelining=tuple(pipelining),
+        policies=tuple(policies),
+        padding=tuple(padding),
+    )

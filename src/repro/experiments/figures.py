@@ -1,0 +1,81 @@
+"""Figures 1-5 reproduction driver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine.engine import MachineEngine
+from repro.machine.hmm import HMMEngine
+from repro.machine.policy import UMMGroupPolicy
+from repro.machine.trace import TraceRecorder
+from repro.params import FIG4_PARAMS, GTX580
+from repro.viz import render_banks_and_groups, render_sum_tree
+
+__all__ = ["FiguresResult", "reproduce_figures", "run_figure4_example"]
+
+
+def run_figure4_example() -> tuple[int, str]:
+    """The paper's Figure 4: two warps on a w=4, l=5 UMM.
+
+    Returns ``(time_units, timeline_chart)``; the paper's arithmetic
+    gives (3 + 1) + 5 - 1 = 8 time units.
+    """
+    eng = MachineEngine(FIG4_PARAMS, UMMGroupPolicy(), name="umm")
+    a = eng.alloc(16, "a")
+    a.set(np.arange(16.0))
+    recorder = TraceRecorder()
+    pattern = {0: np.array([15, 2, 6, 0]), 1: np.array([8, 9, 10, 11])}
+
+    def program(warp):
+        yield warp.read(a, pattern[warp.warp_id])
+
+    report = eng.launch(program, 8, trace=recorder)
+    chart = recorder.render_pipeline_timeline("mem", latency=FIG4_PARAMS.latency)
+    return report.cycles, chart
+
+
+@dataclass(frozen=True)
+class FiguresResult:
+    """Rendered figures plus the Figure 4 measurement."""
+
+    architecture: str
+    banks_and_groups: str
+    fig4_cycles: int
+    fig4_timeline: str
+    sum_tree: str
+
+    def render(self) -> str:
+        return "\n\n".join(
+            [
+                "== Figures 1/2: the HMM architecture ==\n" + self.architecture,
+                "== Figure 3: banks and address groups (w=4) ==\n"
+                + self.banks_and_groups,
+                "== Figure 4: pipelined global access (w=4, l=5) ==\n"
+                f"paper: (3+1) + 5 - 1 = 8; measured: {self.fig4_cycles}\n"
+                + self.fig4_timeline,
+                "== Figure 5: the summing tree (n=8) ==\n" + self.sum_tree,
+            ]
+        )
+
+
+def reproduce_figures() -> FiguresResult:
+    """Regenerate Figures 1-5."""
+    eng = HMMEngine(GTX580)
+    architecture = (
+        f"HMM(GTX580): d={GTX580.num_dmms} DMMs x w={GTX580.width} banks "
+        f"(latency {GTX580.shared_latency}) + one UMM global memory "
+        f"(latency {GTX580.global_latency}); warps of {GTX580.width} "
+        f"threads, up to {GTX580.max_threads()} resident threads\n"
+        f"  global unit: {eng.global_unit!r}\n"
+        f"  shared units: {len(eng.shared_units)} x {eng.shared_units[0]!r}"
+    )
+    cycles, timeline = run_figure4_example()
+    return FiguresResult(
+        architecture=architecture,
+        banks_and_groups=render_banks_and_groups(16, 4),
+        fig4_cycles=cycles,
+        fig4_timeline=timeline,
+        sum_tree=render_sum_tree(8),
+    )

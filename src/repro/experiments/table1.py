@@ -1,0 +1,174 @@
+"""Table I reproduction driver.
+
+Measures the sum and the direct convolution on every model across a
+parameter grid, fits the Table I closed forms, and reports the results
+as structured data plus a rendered text report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.costmodel import CONV_FORMULAS, SUM_FORMULAS
+from repro.analysis.fitting import FitResult, fit_terms
+from repro.analysis.terms import Params
+from repro.core.machines import DMM, HMM, UMM
+from repro.core.pram import PRAM
+from repro.core.sequential import SequentialMachine
+from repro.params import HMMParams, MachineParams
+
+__all__ = ["Table1Result", "reproduce_table1", "measure_sum", "measure_convolution"]
+
+#: Default sweep grids (simulator-friendly scale of the paper's regime).
+SUM_GRID = tuple(
+    dict(n=n, p=p, w=16, l=l, d=8)
+    for n in (1 << 10, 1 << 12, 1 << 13)
+    for p in (64, 256, 1024)
+    for l in (16, 128)
+)
+CONV_GRID = tuple(
+    dict(n=n, k=k, p=p, w=16, l=l, d=8)
+    for n, k in ((1 << 9, 8), (1 << 10, 16))
+    for p in (128, 512, 2048)
+    for l in (8, 64)
+)
+
+MODELS = ("sequential", "pram", "dmm", "umm", "hmm")
+
+#: Formula used per model for the convolution fit (the HMM is fitted
+#: against the unconditional Theorem 9 form).
+CONV_FORMULA_KEY = {
+    "sequential": "sequential",
+    "pram": "pram",
+    "dmm": "dmm",
+    "umm": "umm",
+    "hmm": "hmm_general",
+}
+
+
+def measure_sum(model: str, q: dict, values: np.ndarray) -> int:
+    """Time units to sum ``values`` on ``model`` at grid point ``q``."""
+    if model == "sequential":
+        return SequentialMachine().sum(values).cycles
+    if model == "pram":
+        return PRAM(q["p"]).sum(values).cycles
+    if model == "dmm":
+        machine = DMM(MachineParams(width=q["w"], latency=q["l"]))
+        return machine.sum(values, q["p"])[1].cycles
+    if model == "umm":
+        machine = UMM(MachineParams(width=q["w"], latency=q["l"]))
+        return machine.sum(values, q["p"])[1].cycles
+    if model == "hmm":
+        machine = HMM(
+            HMMParams(num_dmms=q["d"], width=q["w"], global_latency=q["l"])
+        )
+        return machine.sum(values, q["p"])[1].cycles
+    raise ValueError(f"unknown model {model!r}")
+
+
+def measure_convolution(model: str, q: dict, x: np.ndarray, y: np.ndarray) -> int:
+    """Time units to convolve ``x`` with ``y`` on ``model`` at ``q``."""
+    if model == "sequential":
+        return SequentialMachine().convolution(x, y).cycles
+    if model == "pram":
+        return PRAM(q["p"]).convolution(x, y).cycles
+    if model == "dmm":
+        machine = DMM(MachineParams(width=q["w"], latency=q["l"]))
+        return machine.convolve(x, y, q["p"])[1].cycles
+    if model == "umm":
+        machine = UMM(MachineParams(width=q["w"], latency=q["l"]))
+        return machine.convolve(x, y, q["p"])[1].cycles
+    if model == "hmm":
+        machine = HMM(
+            HMMParams(num_dmms=q["d"], width=q["w"], global_latency=q["l"])
+        )
+        return machine.convolve(x, y, q["p"])[1].cycles
+    raise ValueError(f"unknown model {model!r}")
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """Fits for every model on both problems."""
+
+    sum_fits: dict[str, FitResult]
+    conv_fits: dict[str, FitResult]
+    sum_points: list[Params]
+    conv_points: list[Params]
+    sum_measured: dict[str, list[int]]
+    conv_measured: dict[str, list[int]]
+
+    def render(self) -> str:
+        lines = ["Table I reproduction: measured vs closed forms", ""]
+        lines.append("-- Sum --")
+        for model in MODELS:
+            lines.append(
+                f"{model:>11}: {SUM_FORMULAS[model].text():<36} "
+                f"{self.sum_fits[model].describe()}"
+            )
+        lines.append("")
+        lines.append("-- Direct convolution --")
+        for model in MODELS:
+            formula = CONV_FORMULAS[CONV_FORMULA_KEY[model]]
+            lines.append(
+                f"{model:>11}: {formula.text():<36} "
+                f"{self.conv_fits[model].describe()}"
+            )
+        return "\n".join(lines)
+
+    def all_shapes_hold(self, min_r2: float = 0.97, max_coef: float = 12.0) -> bool:
+        """The reproduction criterion of EXPERIMENTS.md."""
+        for fit in (*self.sum_fits.values(), *self.conv_fits.values()):
+            if fit.r_squared < min_r2:
+                return False
+            if any(c > max_coef for c in fit.coefficients):
+                return False
+        return True
+
+
+def reproduce_table1(seed: int = 20130520) -> Table1Result:
+    """Run the full Table I sweep on every model and fit the formulas."""
+    rng = np.random.default_rng(seed)
+
+    sum_points = [Params(**q) for q in SUM_GRID]
+    sum_inputs = [rng.normal(size=q["n"]) for q in SUM_GRID]
+    sum_measured = {
+        model: [
+            measure_sum(model, q, vals)
+            for q, vals in zip(SUM_GRID, sum_inputs)
+        ]
+        for model in MODELS
+    }
+    sum_fits = {
+        model: fit_terms(SUM_FORMULAS[model], sum_points, sum_measured[model])
+        for model in MODELS
+    }
+
+    conv_points = [Params(**q) for q in CONV_GRID]
+    conv_inputs = [
+        (rng.normal(size=q["k"]), rng.normal(size=q["n"] + q["k"] - 1))
+        for q in CONV_GRID
+    ]
+    conv_measured = {
+        model: [
+            measure_convolution(model, q, x, y)
+            for q, (x, y) in zip(CONV_GRID, conv_inputs)
+        ]
+        for model in MODELS
+    }
+    conv_fits = {
+        model: fit_terms(
+            CONV_FORMULAS[CONV_FORMULA_KEY[model]], conv_points,
+            conv_measured[model],
+        )
+        for model in MODELS
+    }
+    return Table1Result(
+        sum_fits=sum_fits,
+        conv_fits=conv_fits,
+        sum_points=sum_points,
+        conv_points=conv_points,
+        sum_measured=sum_measured,
+        conv_measured=conv_measured,
+    )

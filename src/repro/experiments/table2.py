@@ -1,0 +1,84 @@
+"""Table II reproduction driver: optimality against the lower bounds."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.lower_bounds import CONV_BOUNDS, SUM_BOUNDS
+from repro.analysis.optimality import OptimalityReport, check_optimality
+from repro.analysis.tables import render_table2
+from repro.analysis.terms import Params
+from repro.experiments.table1 import (
+    CONV_GRID,
+    SUM_GRID,
+    measure_convolution,
+    measure_sum,
+)
+
+__all__ = ["Table2Result", "reproduce_table2"]
+
+MODELS = ("pram", "dmm", "umm", "hmm")
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """Optimality reports for every model on both problems."""
+
+    sum_reports: dict[str, OptimalityReport]
+    conv_reports: dict[str, OptimalityReport]
+
+    def render(self) -> str:
+        lines = [render_table2(), "", "Empirical optimality (measured vs "
+                 "max limitation across the sweep):", ""]
+        for problem, reports in (
+            ("sum", self.sum_reports),
+            ("convolution", self.conv_reports),
+        ):
+            for model in MODELS:
+                lines.append(f"{problem:>12} on {model:>4}: "
+                             f"{reports[model].describe()}")
+        return "\n".join(lines)
+
+    def all_sound_and_tight(self, constant: float = 16.0) -> bool:
+        """Every run respects every limitation and stays within
+        ``constant`` of the bound — the optimality theorems."""
+        return all(
+            r.tight_within(constant)
+            for r in (*self.sum_reports.values(), *self.conv_reports.values())
+        )
+
+
+def reproduce_table2(seed: int = 20130520) -> Table2Result:
+    """Measure both problems over the grids and check every model's
+    lower bounds."""
+    rng = np.random.default_rng(seed)
+
+    sum_points = [Params(**q) for q in SUM_GRID]
+    sum_reports = {}
+    sum_inputs = [rng.normal(size=q["n"]) for q in SUM_GRID]
+    for model in MODELS:
+        measured = [
+            measure_sum(model, q, vals)
+            for q, vals in zip(SUM_GRID, sum_inputs)
+        ]
+        sum_reports[model] = check_optimality(
+            SUM_BOUNDS[model], sum_points, measured
+        )
+
+    conv_points = [Params(**q) for q in CONV_GRID]
+    conv_inputs = [
+        (rng.normal(size=q["k"]), rng.normal(size=q["n"] + q["k"] - 1))
+        for q in CONV_GRID
+    ]
+    conv_reports = {}
+    for model in MODELS:
+        measured = [
+            measure_convolution(model, q, x, y)
+            for q, (x, y) in zip(CONV_GRID, conv_inputs)
+        ]
+        conv_reports[model] = check_optimality(
+            CONV_BOUNDS[model], conv_points, measured
+        )
+    return Table2Result(sum_reports=sum_reports, conv_reports=conv_reports)

@@ -1,0 +1,59 @@
+"""Simulation substrate for the memory machine models.
+
+This package implements the timing semantics of Nakano's Discrete Memory
+Machine (DMM), Unified Memory Machine (UMM) and Hierarchical Memory
+Machine (HMM) as a discrete-event, warp-granularity simulator:
+
+* :mod:`repro.machine.memory` — numpy-backed address spaces and arrays,
+* :mod:`repro.machine.banks` — bank / address-group arithmetic,
+* :mod:`repro.machine.policy` — pipeline-slot counting (bank conflicts,
+  address groups),
+* :mod:`repro.machine.pipeline` — the pipelined memory port,
+* :mod:`repro.machine.warp` — warp contexts and the warp-program protocol,
+* :mod:`repro.machine.scheduler` — the event-driven warp scheduler,
+* :mod:`repro.machine.engine` — single-machine (DMM/UMM) engines,
+* :mod:`repro.machine.hmm` — the hierarchical engine (d DMMs + one UMM),
+* :mod:`repro.machine.trace` — transaction traces, statistics, timelines,
+* :mod:`repro.machine.report` — run reports.
+
+User code normally goes through the high-level front-ends in
+:mod:`repro.core.machines` instead of using this package directly.
+"""
+
+from repro.machine.banks import bank_of, conflict_degree, group_count, group_of
+from repro.machine.engine import MachineEngine
+from repro.machine.hmm import HMMEngine
+from repro.machine.memory import ArrayHandle, MemorySpace
+from repro.machine.ops import BarrierOp, BarrierScope, ComputeOp, ReadOp, WriteOp
+from repro.machine.pipeline import PipelinedMemoryUnit
+from repro.machine.policy import DMMBankPolicy, IdealPolicy, SlotPolicy, UMMGroupPolicy
+from repro.machine.report import RunReport
+from repro.machine.threadprog import ThreadContext, thread_program
+from repro.machine.trace import TraceRecorder
+from repro.machine.warp import WarpContext
+
+__all__ = [
+    "ArrayHandle",
+    "BarrierOp",
+    "BarrierScope",
+    "ComputeOp",
+    "DMMBankPolicy",
+    "HMMEngine",
+    "IdealPolicy",
+    "MachineEngine",
+    "MemorySpace",
+    "PipelinedMemoryUnit",
+    "ReadOp",
+    "RunReport",
+    "ThreadContext",
+    "thread_program",
+    "SlotPolicy",
+    "TraceRecorder",
+    "UMMGroupPolicy",
+    "WarpContext",
+    "WriteOp",
+    "bank_of",
+    "conflict_degree",
+    "group_count",
+    "group_of",
+]

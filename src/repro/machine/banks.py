@@ -1,0 +1,104 @@
+"""Bank and address-group arithmetic (paper Section II, Figure 3).
+
+The single address space of a memory machine of width ``w`` is mapped onto
+``w`` memory banks in an interleaved fashion:
+
+* cell ``a`` lives in **bank** ``B[a mod w]`` (DMM conflict unit), and
+* cell ``a`` lives in **address group** ``A[a div w]`` (UMM coalescing
+  unit).
+
+These two mappings, illustrated in the paper's Figure 3 for ``w = 4``, are
+the entire difference between the DMM and the UMM.  This module implements
+them together with the conflict metrics that the slot policies
+(:mod:`repro.machine.policy`) are built on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "bank_of",
+    "group_of",
+    "dedupe_addresses",
+    "bank_histogram",
+    "conflict_degree",
+    "group_count",
+    "bank_group_table",
+]
+
+
+def bank_of(addresses: np.ndarray | int, width: int) -> np.ndarray | int:
+    """Bank index of each address: ``a mod w``."""
+    return np.asarray(addresses) % width if not np.isscalar(addresses) else addresses % width
+
+
+def group_of(addresses: np.ndarray | int, width: int) -> np.ndarray | int:
+    """Address-group index of each address: ``a div w``."""
+    if np.isscalar(addresses):
+        return addresses // width
+    return np.asarray(addresses) // width
+
+
+def dedupe_addresses(addresses: np.ndarray) -> np.ndarray:
+    """Distinct addresses of a warp transaction.
+
+    The model merges requests to the same address — reads broadcast and
+    writes resolve by the arbitrary-CRCW rule — so duplicates never cost
+    extra pipeline slots.
+    """
+    if addresses.size <= 1:
+        return addresses
+    return np.unique(addresses)
+
+
+def bank_histogram(addresses: np.ndarray, width: int) -> np.ndarray:
+    """How many *distinct* addresses of the transaction fall in each bank.
+
+    Returns a length-``width`` integer vector.  Its maximum is the bank
+    conflict degree: the number of pipeline slots a DMM needs for the
+    transaction.
+    """
+    distinct = dedupe_addresses(np.asarray(addresses, dtype=np.int64))
+    return np.bincount(distinct % width, minlength=width)
+
+
+def conflict_degree(addresses: np.ndarray, width: int) -> int:
+    """Maximum number of distinct addresses in any single bank.
+
+    This is the DMM cost of a warp transaction: memory cells in different
+    banks can be accessed in one time unit, but ``x`` distinct cells in
+    one bank are served in ``x`` turns.  A conflict-free transaction has
+    degree 1; an empty transaction has degree 0.
+    """
+    if np.asarray(addresses).size == 0:
+        return 0
+    return int(bank_histogram(addresses, width).max())
+
+
+def group_count(addresses: np.ndarray, width: int) -> int:
+    """Number of distinct address groups touched by a transaction.
+
+    This is the UMM cost of a warp transaction: all cells of one address
+    group are served together (the broadcast address line selects a single
+    group per time unit), so a transaction spanning ``g`` groups occupies
+    ``g`` pipeline stages.  Fully coalesced access has count 1.
+    """
+    addrs = np.asarray(addresses, dtype=np.int64)
+    if addrs.size == 0:
+        return 0
+    return int(np.unique(addrs // width).size)
+
+
+def bank_group_table(num_cells: int, width: int) -> np.ndarray:
+    """The layout table of the paper's Figure 3.
+
+    Returns an ``(num_groups, width)`` array whose row ``g`` holds the
+    addresses of address group ``g``; column ``b`` of the table is bank
+    ``b``.  (Cells beyond ``num_cells`` in the last row are -1.)
+    """
+    num_groups = -(-num_cells // width)
+    table = np.full((num_groups, width), -1, dtype=np.int64)
+    cells = np.arange(num_cells, dtype=np.int64)
+    table[cells // width, cells % width] = cells
+    return table

@@ -1,0 +1,161 @@
+"""Single-machine engine: a flat DMM or UMM.
+
+A :class:`MachineEngine` owns one memory space served by one pipelined
+memory unit, and launches warp programs on it.  Instantiated with the
+bank-conflict policy it *is* the paper's DMM; with the address-group
+policy it is the UMM.  The user-facing wrappers live in
+:mod:`repro.core.machines`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SpaceMismatchError
+from repro.machine.memory import ArrayHandle, MemorySpace
+from repro.machine.ops import MemoryOp
+from repro.machine.pipeline import PipelinedMemoryUnit
+from repro.machine.policy import SlotPolicy
+from repro.machine.report import RunReport
+from repro.machine.scheduler import Scheduler, WarpState
+from repro.machine.trace import TraceRecorder
+from repro.machine.warp import WarpContext, WarpProgram
+from repro.params import MachineParams
+
+__all__ = ["MachineEngine", "make_warp_contexts"]
+
+
+def make_warp_contexts(
+    num_threads: int,
+    width: int,
+    *,
+    dmm_id: int = 0,
+    first_warp_id: int = 0,
+    first_tid: int = 0,
+    total_threads: int | None = None,
+) -> list[WarpContext]:
+    """Partition ``num_threads`` threads into warps of ``width``.
+
+    Threads ``first_tid .. first_tid + num_threads`` are split into
+    consecutive warps; the last warp may be partial.  This implements the
+    paper's warp partition ``W(j) = { T(j·w), ..., T((j+1)·w - 1) }``.
+    """
+    if num_threads < 1:
+        raise ConfigurationError(f"num_threads must be >= 1, got {num_threads}")
+    total = total_threads if total_threads is not None else num_threads
+    contexts = []
+    num_warps = -(-num_threads // width)
+    for j in range(num_warps):
+        lo = j * width
+        hi = min(lo + width, num_threads)
+        local = np.arange(lo, hi, dtype=np.int64)
+        contexts.append(
+            WarpContext(
+                warp_id=first_warp_id + j,
+                dmm_id=dmm_id,
+                warp_in_dmm=j,
+                width=width,
+                tids=first_tid + local,
+                local_tids=local,
+                num_threads=total,
+                threads_in_dmm=num_threads,
+            )
+        )
+    return contexts
+
+
+class MachineEngine:
+    """A flat memory machine: one address space, one pipelined unit.
+
+    Parameters
+    ----------
+    params:
+        Width and latency of the machine.
+    policy:
+        Slot policy — bank conflicts (DMM) or address groups (UMM).
+    name:
+        Display name for reports.
+    pipelined:
+        Pass ``False`` for the no-pipelining ablation.
+    """
+
+    def __init__(
+        self,
+        params: MachineParams,
+        policy: SlotPolicy,
+        *,
+        name: str = "machine",
+        pipelined: bool = True,
+        dispatch: str = "fifo",
+    ) -> None:
+        self.params = params
+        self.name = name
+        #: Warp dispatch policy: "fifo" (default) or "round-robin".
+        self.dispatch = dispatch
+        self.space = MemorySpace("mem")
+        self.unit = PipelinedMemoryUnit(
+            "mem", params.width, params.latency, policy, pipelined=pipelined
+        )
+
+    # -- memory management -----------------------------------------------
+    def alloc(self, size: int, name: str = "") -> ArrayHandle:
+        """Allocate an array aligned to the machine width.
+
+        Width alignment makes element ``i`` fall in bank ``i mod w`` /
+        group ``i div w``, the layout all of the paper's algorithms
+        assume.
+        """
+        return self.space.alloc_aligned(size, self.params.width, name)
+
+    def array_from(self, values: np.ndarray | list, name: str = "") -> ArrayHandle:
+        """Allocate and host-initialize an array in one step."""
+        vals = np.asarray(values, dtype=np.float64).ravel()
+        handle = self.alloc(vals.size, name)
+        handle.set(vals)
+        return handle
+
+    # -- execution ----------------------------------------------------------
+    def launch(
+        self,
+        program: WarpProgram,
+        num_threads: int,
+        *,
+        trace: TraceRecorder | None = None,
+        label: str = "",
+    ) -> RunReport:
+        """Run ``program`` with ``num_threads`` threads; return the cost.
+
+        Each warp gets its own instance of the generator.  Memory values
+        persist across launches (device memory), while pipeline timing
+        restarts from time unit 0.
+        """
+        self.unit.reset()
+        contexts = make_warp_contexts(num_threads, self.params.width)
+        warps = [WarpState(ctx=ctx, program=program(ctx)) for ctx in contexts]
+        scheduler = Scheduler(self._unit_for, trace=trace, dispatch=self.dispatch)
+        result = scheduler.run(warps)
+        return RunReport(
+            cycles=result.cycles,
+            num_threads=num_threads,
+            num_warps=len(warps),
+            unit_stats={"mem": self.unit.stats},
+            compute_ops=result.compute_ops,
+            compute_cycles=result.compute_cycles,
+            barrier_releases=result.barrier_releases,
+            label=label or self.name,
+        )
+
+    # -- internals -----------------------------------------------------------
+    def _unit_for(self, ws: WarpState, op: MemoryOp) -> PipelinedMemoryUnit:
+        if op.array.space is not self.space:
+            raise SpaceMismatchError(
+                f"array {op.array.describe()} does not live in machine "
+                f"{self.name!r}'s memory"
+            )
+        return self.unit
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MachineEngine({self.name!r}, w={self.params.width}, "
+            f"l={self.params.latency}, policy={self.unit.policy.name})"
+        )

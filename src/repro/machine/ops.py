@@ -1,0 +1,150 @@
+"""Warp-level operations.
+
+A *warp program* is a Python generator that yields one operation per SIMD
+step.  Because the models execute the ``w`` threads of a warp in lockstep,
+the natural unit of simulation is the warp: an operation carries a numpy
+vector with one entry per active lane.
+
+Four operations exist:
+
+* :class:`ReadOp` — every active lane reads one memory cell; the engine
+  resumes the generator with the vector of values read.
+* :class:`WriteOp` — every active lane writes one memory cell
+  (arbitrary-CRCW: on address collisions, the lowest active lane wins).
+* :class:`ComputeOp` — local RAM computation taking a given number of time
+  units (no memory port usage).
+* :class:`BarrierOp` — bulk synchronization at DMM or device scope.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.machine.memory import ArrayHandle
+
+__all__ = [
+    "AccessKind",
+    "BarrierOp",
+    "BarrierScope",
+    "ComputeOp",
+    "MemoryOp",
+    "Op",
+    "ReadOp",
+    "WriteOp",
+]
+
+
+class AccessKind(enum.Enum):
+    """Direction of a memory transaction."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+class BarrierScope(enum.Enum):
+    """Synchronization scope of a :class:`BarrierOp`.
+
+    ``DMM`` synchronizes the warps of one DMM (CUDA ``__syncthreads`` on a
+    thread block / SM); ``DEVICE`` synchronizes every warp of the machine
+    (kernel-boundary synchronization).  On a flat DMM or UMM machine both
+    scopes are equivalent.
+    """
+
+    DMM = "dmm"
+    DEVICE = "device"
+
+
+@dataclass(frozen=True)
+class Op:
+    """Base class for warp operations (marker type)."""
+
+
+@dataclass(frozen=True)
+class MemoryOp(Op):
+    """Common fields of read and write operations.
+
+    Attributes
+    ----------
+    array:
+        Target array; determines the memory space (shared vs global).
+    addresses:
+        Absolute addresses in the array's space, one per participating
+        lane.  May be empty (fully-masked op), in which case the operation
+        costs nothing and is not dispatched — the paper's rule that a warp
+        with no pending request is skipped.
+    """
+
+    array: "ArrayHandle"
+    addresses: np.ndarray
+
+    @property
+    def kind(self) -> AccessKind:
+        raise NotImplementedError
+
+    @property
+    def num_requests(self) -> int:
+        """Number of lanes participating in this transaction."""
+        return int(self.addresses.size)
+
+
+@dataclass(frozen=True)
+class ReadOp(MemoryOp):
+    """Read one cell per active lane; resumes the program with the values.
+
+    ``result_mask`` maps the participating lanes back into the warp's
+    active-lane vector so that masked reads return full-width value
+    vectors (masked positions get 0).
+    """
+
+    result_mask: np.ndarray | None = None
+
+    @property
+    def kind(self) -> AccessKind:
+        return AccessKind.READ
+
+
+@dataclass(frozen=True)
+class WriteOp(MemoryOp):
+    """Write one cell per active lane.
+
+    On address collisions the lowest participating lane wins, a
+    deterministic stand-in for the paper's arbitrary-CRCW rule.
+    """
+
+    values: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    @property
+    def kind(self) -> AccessKind:
+        return AccessKind.WRITE
+
+
+@dataclass(frozen=True)
+class ComputeOp(Op):
+    """Local computation by every thread of the warp.
+
+    Each thread of the model is a RAM executing one fundamental operation
+    per time unit, so ``cycles`` is the number of sequential RAM
+    operations performed by each lane at this step.
+    """
+
+    cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ValueError(f"cycles must be >= 0, got {self.cycles}")
+
+
+@dataclass(frozen=True)
+class BarrierOp(Op):
+    """Bulk synchronization of all warps in ``scope``.
+
+    Barriers cost no time units themselves (the paper charges nothing for
+    synchronization); they only align warp ready times.
+    """
+
+    scope: BarrierScope = BarrierScope.DEVICE

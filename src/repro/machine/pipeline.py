@@ -1,0 +1,195 @@
+"""The pipelined memory port (paper Section II and Figure 4).
+
+The MMU of a memory machine is modeled as an ``l``-stage pipeline that
+accepts one stage-occupancy ("slot") per time unit.  A warp transaction
+that needs ``s`` slots (bank-conflict degree on a DMM, address-group count
+on a UMM) issued at time ``t``:
+
+* occupies the issue port during ``[t, t + s)``,
+* completes — data available, threads may continue — at the end of time
+  unit ``t + s - 1 + (l - 1)``, i.e. the warp can issue its next operation
+  at ``t + s + l - 1``.
+
+Consequences that the paper derives and our unit tests pin down:
+
+* ``x`` requests to one bank take ``l + x - 1`` time units;
+* the Figure 4 example (two warps spanning 3 and 1 address groups,
+  ``l = 5``) finishes after exactly ``3 + 1 + 5 - 1 = 8`` time units;
+* a thread must wait ``l`` time units between its own requests.
+
+Setting ``pipelined=False`` degrades the unit so that a transaction holds
+the port until it fully completes — the ablation used to show how much of
+the models' throughput comes from pipelining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.machine.ops import AccessKind
+from repro.machine.policy import SlotPolicy
+
+__all__ = ["Issue", "PipelinedMemoryUnit", "UnitStats"]
+
+
+@dataclass(frozen=True)
+class Issue:
+    """Timing of one warp transaction through the port.
+
+    Attributes
+    ----------
+    start:
+        First time unit the transaction occupies the issue port.
+    slots:
+        Number of pipeline stages occupied.
+    complete:
+        Last time unit of the access; the data is available after it.
+    next_ready:
+        First time unit at which the issuing warp may proceed
+        (``complete + 1``).
+    """
+
+    start: int
+    slots: int
+    complete: int
+    next_ready: int
+
+
+@dataclass
+class UnitStats:
+    """Running statistics of one memory unit."""
+
+    transactions: int = 0
+    reads: int = 0
+    writes: int = 0
+    requests: int = 0
+    slots: int = 0
+    #: Transactions whose slot count exceeded 1 (conflicted / uncoalesced).
+    conflicted_transactions: int = 0
+    #: Extra slots beyond one per transaction (the waste the paper's
+    #: contiguous-access technique eliminates).
+    excess_slots: int = 0
+    #: Last time unit at which the port was busy issuing.
+    port_busy_until: int = 0
+    #: Last completion time observed.
+    last_complete: int = 0
+
+    def observe(self, issue: Issue, kind: AccessKind, requests: int) -> None:
+        self.transactions += 1
+        if kind is AccessKind.READ:
+            self.reads += 1
+        else:
+            self.writes += 1
+        self.requests += requests
+        self.slots += issue.slots
+        if issue.slots > 1:
+            self.conflicted_transactions += 1
+            self.excess_slots += issue.slots - 1
+        self.port_busy_until = max(self.port_busy_until, issue.start + issue.slots)
+        self.last_complete = max(self.last_complete, issue.complete)
+
+    def merge(self, other: "UnitStats") -> "UnitStats":
+        """Aggregate of two stats records (used for whole-HMM summaries)."""
+        return UnitStats(
+            transactions=self.transactions + other.transactions,
+            reads=self.reads + other.reads,
+            writes=self.writes + other.writes,
+            requests=self.requests + other.requests,
+            slots=self.slots + other.slots,
+            conflicted_transactions=(
+                self.conflicted_transactions + other.conflicted_transactions
+            ),
+            excess_slots=self.excess_slots + other.excess_slots,
+            port_busy_until=max(self.port_busy_until, other.port_busy_until),
+            last_complete=max(self.last_complete, other.last_complete),
+        )
+
+
+class PipelinedMemoryUnit:
+    """One memory subsystem: a slot policy plus an ``l``-stage pipeline.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in traces/reports (``"global"``, ``"shared[0]"``).
+    width:
+        Number of banks ``w``.
+    latency:
+        Pipeline depth ``l`` (time units from issue to completion of a
+        single-slot transaction).
+    policy:
+        Slot-counting policy (bank conflicts vs address groups vs ideal).
+    pipelined:
+        When ``False`` the port is held until completion (ablation).
+    """
+
+    __slots__ = ("name", "width", "latency", "policy", "pipelined", "_port_free", "stats")
+
+    def __init__(
+        self,
+        name: str,
+        width: int,
+        latency: int,
+        policy: SlotPolicy,
+        *,
+        pipelined: bool = True,
+    ) -> None:
+        if width < 1:
+            raise ConfigurationError(f"width must be >= 1, got {width}")
+        if latency < 1:
+            raise ConfigurationError(f"latency must be >= 1, got {latency}")
+        self.name = name
+        self.width = width
+        self.latency = latency
+        self.policy = policy
+        self.pipelined = pipelined
+        self._port_free = 0
+        self.stats = UnitStats()
+
+    # ------------------------------------------------------------------
+    def issue(
+        self,
+        ready: int,
+        addresses: np.ndarray,
+        kind: AccessKind,
+    ) -> Issue:
+        """Dispatch one warp transaction; return its timing.
+
+        ``ready`` is the first time unit at which the issuing warp may
+        send requests.  The transaction starts as soon as both the warp
+        and the issue port are available; arbitration among warps is the
+        scheduler's job (it feeds transactions in dispatch order).
+        """
+        slots = self.policy.slot_count(addresses, self.width)
+        if slots == 0:
+            # A warp with no pending request is not dispatched at all.
+            return Issue(start=ready, slots=0, complete=ready - 1, next_ready=ready)
+        start = max(ready, self._port_free)
+        complete = start + slots - 1 + (self.latency - 1)
+        if self.pipelined:
+            self._port_free = start + slots
+        else:
+            self._port_free = complete + 1
+        issue = Issue(start=start, slots=slots, complete=complete, next_ready=complete + 1)
+        self.stats.observe(issue, kind, int(np.asarray(addresses).size))
+        return issue
+
+    # ------------------------------------------------------------------
+    @property
+    def port_free(self) -> int:
+        """First time unit at which the issue port is free."""
+        return self._port_free
+
+    def reset(self) -> None:
+        """Clear timing state and statistics (new kernel launch)."""
+        self._port_free = 0
+        self.stats = UnitStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PipelinedMemoryUnit({self.name!r}, w={self.width}, "
+            f"l={self.latency}, policy={self.policy.name})"
+        )

@@ -1,0 +1,79 @@
+"""Pipeline-slot policies: how many stages does a warp transaction occupy?
+
+A warp of ``w`` threads issues up to ``w`` memory requests at once.  How
+long the requests occupy the memory pipeline is the *only* difference
+between the DMM and the UMM:
+
+* :class:`DMMBankPolicy` — requests destined for distinct banks proceed in
+  parallel; ``x`` distinct addresses in one bank take ``x`` turns.  Slots
+  = the bank conflict degree.
+* :class:`UMMGroupPolicy` — the single broadcast address line selects one
+  address group per time unit.  Slots = the number of distinct groups.
+* :class:`IdealPolicy` — every non-empty transaction takes one slot; an
+  ablation baseline that removes conflicts/coalescing from the model (a
+  PRAM-with-latency).
+
+All policies merge duplicate addresses first (same-address requests are
+broadcast / arbitrated at no extra cost).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.machine.banks import conflict_degree, group_count
+
+__all__ = ["SlotPolicy", "DMMBankPolicy", "UMMGroupPolicy", "IdealPolicy"]
+
+
+class SlotPolicy(ABC):
+    """Strategy computing the pipeline-stage count of a warp transaction."""
+
+    #: Short name used in reports and traces.
+    name: str = "abstract"
+
+    @abstractmethod
+    def slot_count(self, addresses: np.ndarray, width: int) -> int:
+        """Number of pipeline stages occupied by the transaction.
+
+        ``addresses`` are absolute addresses (duplicates allowed); the
+        result is 0 for an empty transaction — such transactions are not
+        dispatched at all.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}()"
+
+
+class DMMBankPolicy(SlotPolicy):
+    """Bank-conflict slot counting (Discrete Memory Machine)."""
+
+    name = "dmm-bank"
+
+    def slot_count(self, addresses: np.ndarray, width: int) -> int:
+        return conflict_degree(addresses, width)
+
+
+class UMMGroupPolicy(SlotPolicy):
+    """Address-group (coalescing) slot counting (Unified Memory Machine)."""
+
+    name = "umm-group"
+
+    def slot_count(self, addresses: np.ndarray, width: int) -> int:
+        return group_count(addresses, width)
+
+
+class IdealPolicy(SlotPolicy):
+    """Conflict-oblivious counting: one slot per non-empty transaction.
+
+    Not part of the paper's models; used by ablation benchmarks to
+    quantify how much of an algorithm's cost the conflict/coalescing
+    rules account for.
+    """
+
+    name = "ideal"
+
+    def slot_count(self, addresses: np.ndarray, width: int) -> int:
+        return 1 if np.asarray(addresses).size else 0

@@ -1,0 +1,238 @@
+"""Per-thread kernel authoring (the CUDA-style view).
+
+The native warp-program API is vector-per-warp: one ``yield`` describes
+all lanes at once.  That is how the engine executes, but kernel authors
+often *think* per-thread.  :func:`thread_program` adapts a per-thread
+generator —
+
+.. code-block:: python
+
+    def kernel(t: ThreadContext):
+        v = yield t.read(a, t.tid)          # this thread's element
+        yield t.compute(1)
+        yield t.write(b, t.tid, 2 * v)
+
+— into a warp program by running one generator per lane in lockstep and
+merging each step's per-lane operations into a single warp transaction.
+
+Lockstep is *checked*, not assumed: if the live lanes of a warp yield
+different operation kinds (or target different arrays) at the same
+step, the adapter raises :class:`~repro.errors.LockstepError` — the
+model has no divergent execution, and this surface makes the constraint
+explicit instead of silently mis-costing.  Lanes may *finish* early
+(their generator returns); a finished lane simply stops participating,
+which is how tail threads bow out.
+
+Divergence by data (e.g. "only threads with tid < n participate") is
+expressed per-thread with :meth:`ThreadContext.idle` — the per-thread
+analogue of the vector API's masks.
+
+The adapter costs one Python generator per thread, so it suits
+moderate thread counts (examples, teaching, tests); the library's own
+kernels use the vector API directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator
+
+import numpy as np
+
+from repro.errors import LockstepError
+from repro.machine.memory import ArrayHandle
+from repro.machine.ops import BarrierOp, BarrierScope, ComputeOp, Op
+from repro.machine.warp import WarpContext
+
+__all__ = [
+    "ThreadContext",
+    "ThreadRead",
+    "ThreadWrite",
+    "ThreadIdle",
+    "thread_program",
+]
+
+
+@dataclass(frozen=True)
+class ThreadRead:
+    """One thread's read request: ``array[index]``."""
+
+    array: ArrayHandle
+    index: int
+
+
+@dataclass(frozen=True)
+class ThreadWrite:
+    """One thread's write request: ``array[index] = value``."""
+
+    array: ArrayHandle
+    index: int
+    value: float
+
+
+@dataclass(frozen=True)
+class ThreadIdle:
+    """This thread skips the current step (data-dependent divergence)."""
+
+
+@dataclass(frozen=True)
+class ThreadContext:
+    """What one thread knows about itself."""
+
+    tid: int
+    local_tid: int
+    lane: int
+    warp_id: int
+    dmm_id: int
+    num_threads: int
+    threads_in_dmm: int
+    width: int
+
+    # -- per-thread operation constructors --------------------------------
+    def read(self, array: ArrayHandle, index: int) -> ThreadRead:
+        """Read one cell; the yield returns its value (a float)."""
+        return ThreadRead(array=array, index=int(index))
+
+    def write(self, array: ArrayHandle, index: int, value: float) -> ThreadWrite:
+        """Write one cell."""
+        return ThreadWrite(array=array, index=int(index), value=float(value))
+
+    def compute(self, cycles: int = 1) -> ComputeOp:
+        """Local computation (every live lane must yield it together)."""
+        return ComputeOp(cycles=cycles)
+
+    def barrier(self, scope: BarrierScope = BarrierScope.DEVICE) -> BarrierOp:
+        """Synchronize (every live lane must yield it together)."""
+        return BarrierOp(scope=scope)
+
+    def sync_dmm(self) -> BarrierOp:
+        """DMM-scope barrier shorthand."""
+        return BarrierOp(scope=BarrierScope.DMM)
+
+    def idle(self) -> ThreadIdle:
+        """Sit this step out (other lanes may access memory)."""
+        return ThreadIdle()
+
+
+ThreadKernel = Callable[[ThreadContext], Generator[object, float, None]]
+
+
+def thread_program(kernel: ThreadKernel):
+    """Adapt a per-thread generator kernel into a warp program.
+
+    Pass the result to ``engine.launch``.  Each lane gets its own
+    generator; steps execute in lockstep with divergence checking (see
+    module docstring).
+    """
+
+    def program(warp: WarpContext):
+        lanes = []
+        for lane in range(warp.num_lanes):
+            ctx = ThreadContext(
+                tid=int(warp.tids[lane]),
+                local_tid=int(warp.local_tids[lane]),
+                lane=lane,
+                warp_id=warp.warp_id,
+                dmm_id=warp.dmm_id,
+                num_threads=warp.num_threads,
+                threads_in_dmm=warp.threads_in_dmm,
+                width=warp.width,
+            )
+            lanes.append(kernel(ctx))
+
+        live = [True] * warp.num_lanes
+        pending: list[float | None] = [None] * warp.num_lanes
+
+        while any(live):
+            # Advance every live lane one step.
+            requests: list[object | None] = [None] * warp.num_lanes
+            for lane, gen in enumerate(lanes):
+                if not live[lane]:
+                    continue
+                try:
+                    if pending[lane] is None:
+                        requests[lane] = next(gen)
+                    else:
+                        requests[lane] = gen.send(pending[lane])
+                        pending[lane] = None
+                except StopIteration:
+                    live[lane] = False
+                    requests[lane] = None
+
+            active = [
+                (lane, req)
+                for lane, req in enumerate(requests)
+                if live[lane] and not isinstance(req, ThreadIdle)
+            ]
+            if not active:
+                continue
+
+            kinds = {type(req) for _, req in active}
+            if len(kinds) > 1:
+                raise LockstepError(
+                    f"warp {warp.warp_id} diverged: lanes yielded "
+                    f"{sorted(k.__name__ for k in kinds)} at the same step; "
+                    "use idle() / restructure so live lanes agree"
+                )
+            kind = kinds.pop()
+
+            if kind is ThreadRead:
+                arrays = {id(req.array) for _, req in active}
+                if len(arrays) > 1:
+                    raise LockstepError(
+                        f"warp {warp.warp_id} read from different arrays "
+                        "in one step; the warp issues one transaction"
+                    )
+                array = active[0][1].array
+                idx = np.zeros(warp.num_lanes, dtype=np.int64)
+                mask = np.zeros(warp.num_lanes, dtype=bool)
+                for lane, req in active:
+                    idx[lane] = req.index
+                    mask[lane] = True
+                values = yield warp.read(array, idx, mask=mask)
+                for lane, _req in active:
+                    pending[lane] = float(values[lane])
+            elif kind is ThreadWrite:
+                arrays = {id(req.array) for _, req in active}
+                if len(arrays) > 1:
+                    raise LockstepError(
+                        f"warp {warp.warp_id} wrote to different arrays "
+                        "in one step; the warp issues one transaction"
+                    )
+                array = active[0][1].array
+                idx = np.zeros(warp.num_lanes, dtype=np.int64)
+                vals = np.zeros(warp.num_lanes, dtype=np.float64)
+                mask = np.zeros(warp.num_lanes, dtype=bool)
+                for lane, req in active:
+                    idx[lane] = req.index
+                    vals[lane] = req.value
+                    mask[lane] = True
+                yield warp.write(array, idx, vals, mask=mask)
+            elif kind is ComputeOp:
+                cycles = {req.cycles for _, req in active}
+                if len(cycles) > 1:
+                    raise LockstepError(
+                        f"warp {warp.warp_id} lanes requested different "
+                        f"compute durations {sorted(cycles)} in one step"
+                    )
+                yield ComputeOp(cycles=cycles.pop())
+            elif kind is BarrierOp:
+                scopes = {req.scope for _, req in active}
+                if len(scopes) > 1:
+                    raise LockstepError(
+                        f"warp {warp.warp_id} lanes requested different "
+                        "barrier scopes in one step"
+                    )
+                if len(active) != sum(live):
+                    raise LockstepError(
+                        f"warp {warp.warp_id}: a barrier must be reached by "
+                        "every live lane of the warp together"
+                    )
+                yield BarrierOp(scope=scopes.pop())
+            else:  # pragma: no cover - defensive
+                raise LockstepError(
+                    f"warp {warp.warp_id} yielded unsupported per-thread "
+                    f"operation {kind.__name__}"
+                )
+
+    return program

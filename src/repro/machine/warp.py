@@ -1,0 +1,178 @@
+"""Warp contexts and the warp-program protocol.
+
+The memory machine models execute threads in SIMD fashion in warps of
+``w`` threads, so the simulator's unit of execution is the warp.  A *warp
+program* is a generator function
+
+.. code-block:: python
+
+    def program(warp: WarpContext):
+        i = warp.tids                      # global thread ids, one per lane
+        vals = yield warp.read(a, i)       # coalesced read a[i]
+        yield warp.compute(1)              # one RAM op per thread
+        yield warp.write(b, i, 2 * vals)   # coalesced write b[i]
+        yield warp.barrier()               # device-wide sync
+
+Lockstep is structural: a single ``yield`` describes the step of every
+lane at once.  Divergence is expressed with *lane masks* (``mask=``
+arguments), never with per-lane Python control flow; masked-off lanes
+issue no request, and fully-masked operations cost nothing (the paper's
+rule that a warp with no pending access is not dispatched).
+
+Each lane keeps its private state in ordinary numpy arrays local to the
+generator — the model's per-thread registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.machine.memory import ArrayHandle
+from repro.machine.ops import (
+    BarrierOp,
+    BarrierScope,
+    ComputeOp,
+    Op,
+    ReadOp,
+    WriteOp,
+)
+
+__all__ = ["WarpContext", "WarpProgram"]
+
+#: A warp program: receives its context, yields operations.
+WarpProgram = Callable[["WarpContext"], Generator[Op, "np.ndarray | None", None]]
+
+
+@dataclass(frozen=True)
+class WarpContext:
+    """Everything a warp program knows about its own identity.
+
+    Attributes
+    ----------
+    warp_id:
+        Machine-wide warp index.
+    dmm_id:
+        Index of the DMM this warp runs on (0 on a flat DMM/UMM machine).
+    warp_in_dmm:
+        Warp index within its DMM.
+    width:
+        Warp size / machine width ``w``.
+    tids:
+        Global thread ids of the warp's lanes (length ``<= width``; the
+        final warp of a launch may be partial).
+    local_tids:
+        Thread ids *within the DMM* (``T(j)`` of ``DMM(i)`` in the paper).
+    num_threads:
+        Total threads ``p`` of the launch.
+    threads_in_dmm:
+        Threads running on this warp's DMM (``p_i`` in the paper).
+    """
+
+    warp_id: int
+    dmm_id: int
+    warp_in_dmm: int
+    width: int
+    tids: np.ndarray
+    local_tids: np.ndarray
+    num_threads: int
+    threads_in_dmm: int
+
+    # -- lane helpers ------------------------------------------------------
+    @property
+    def lanes(self) -> np.ndarray:
+        """Lane indices ``0..len(tids)`` within the warp."""
+        return np.arange(self.tids.size, dtype=np.int64)
+
+    @property
+    def num_lanes(self) -> int:
+        """Number of live lanes in this warp."""
+        return int(self.tids.size)
+
+    # -- operation constructors ---------------------------------------------
+    def read(
+        self,
+        array: ArrayHandle,
+        indices: np.ndarray | int,
+        mask: np.ndarray | None = None,
+    ) -> ReadOp:
+        """One read per active lane: lane ``j`` reads ``array[indices[j]]``.
+
+        ``indices`` may be a scalar (all lanes read the same cell — a
+        broadcast costing one slot) or a vector with one entry per live
+        lane.  ``mask`` is a boolean vector over live lanes; masked-off
+        lanes do not participate and receive 0 in the returned values.
+        """
+        idx, participate = self._lane_vector(indices, mask)
+        return ReadOp(
+            array=array,
+            addresses=array.addresses(idx[participate]),
+            result_mask=participate,
+        )
+
+    def write(
+        self,
+        array: ArrayHandle,
+        indices: np.ndarray | int,
+        values: np.ndarray | float,
+        mask: np.ndarray | None = None,
+    ) -> WriteOp:
+        """One write per active lane: lane ``j`` writes ``values[j]``.
+
+        On address collisions the lowest participating lane wins
+        (deterministic arbitrary-CRCW).
+        """
+        idx, participate = self._lane_vector(indices, mask)
+        vals = np.asarray(values, dtype=np.float64)
+        if vals.ndim == 0:
+            vals = np.full(self.num_lanes, float(vals))
+        if vals.size != self.num_lanes:
+            raise KernelError(
+                f"write values must have one entry per live lane "
+                f"({self.num_lanes}), got {vals.size}"
+            )
+        return WriteOp(
+            array=array,
+            addresses=array.addresses(idx[participate]),
+            values=vals.ravel()[participate],
+        )
+
+    def compute(self, cycles: int = 1) -> ComputeOp:
+        """Local RAM computation: each thread spends ``cycles`` time units."""
+        return ComputeOp(cycles=cycles)
+
+    def barrier(self, scope: BarrierScope = BarrierScope.DEVICE) -> BarrierOp:
+        """Synchronize with all warps in ``scope`` (costs no time units)."""
+        return BarrierOp(scope=scope)
+
+    def sync_dmm(self) -> BarrierOp:
+        """Shorthand for a DMM-scope barrier (CUDA ``__syncthreads``)."""
+        return BarrierOp(scope=BarrierScope.DMM)
+
+    # -- internals -----------------------------------------------------------
+    def _lane_vector(
+        self,
+        indices: np.ndarray | int,
+        mask: np.ndarray | None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.ndim == 0:
+            idx = np.full(self.num_lanes, int(idx), dtype=np.int64)
+        if idx.size != self.num_lanes:
+            raise KernelError(
+                f"index vector must have one entry per live lane "
+                f"({self.num_lanes}), got {idx.size}"
+            )
+        if mask is None:
+            participate = np.ones(self.num_lanes, dtype=bool)
+        else:
+            participate = np.asarray(mask, dtype=bool)
+            if participate.size != self.num_lanes:
+                raise KernelError(
+                    f"mask must have one entry per live lane "
+                    f"({self.num_lanes}), got {participate.size}"
+                )
+        return idx.ravel(), participate

@@ -1,0 +1,239 @@
+"""Machine parameters for the memory machine models.
+
+The paper evaluates every algorithm as a function of five parameters:
+
+``n``
+    problem size (an algorithm property, not a machine property),
+``p``
+    total number of threads,
+``w``
+    the *width* — the number of memory banks of each shared memory and of
+    the global memory, which is also the warp size,
+``l``
+    the *latency* of the global memory (shared memory has latency 1),
+``d``
+    the number of DMMs (streaming multiprocessors) of the HMM.
+
+:class:`MachineParams` captures ``(w, l)`` for a single DMM or UMM;
+:class:`HMMParams` adds ``d`` and the shared-memory latency.  Presets for
+the GPU the paper uses to motivate parameter magnitudes (GeForce GTX 580)
+are provided, together with a couple of small configurations convenient
+for tests and figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "MachineParams",
+    "HMMParams",
+    "GTX580",
+    "C2050",
+    "FIG4_PARAMS",
+    "TINY",
+    "validate_thread_count",
+    "warps_for",
+]
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise ConfigurationError(message)
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """Parameters of a single memory machine (DMM or UMM).
+
+    Parameters
+    ----------
+    width:
+        Number of memory banks ``w``; also the warp size.  Must be a
+        positive power of two (the paper's bank mapping ``addr mod w`` and
+        NVIDIA hardware both use power-of-two widths).
+    latency:
+        Memory access latency ``l`` in time units (``l >= 1``).
+    """
+
+    width: int = 32
+    latency: int = 1
+
+    def __post_init__(self) -> None:
+        _require(self.width >= 1, f"width must be >= 1, got {self.width}")
+        _require(
+            self.width & (self.width - 1) == 0,
+            f"width must be a power of two, got {self.width}",
+        )
+        _require(self.latency >= 1, f"latency must be >= 1, got {self.latency}")
+
+    @property
+    def w(self) -> int:
+        """Paper notation alias for :attr:`width`."""
+        return self.width
+
+    @property
+    def l(self) -> int:  # noqa: E743 - paper notation
+        """Paper notation alias for :attr:`latency`."""
+        return self.latency
+
+    def with_latency(self, latency: int) -> "MachineParams":
+        """Return a copy with a different latency."""
+        return replace(self, latency=latency)
+
+
+@dataclass(frozen=True)
+class HMMParams:
+    """Parameters of the Hierarchical Memory Machine.
+
+    An HMM consists of ``d`` DMMs (each with a width-``w`` shared memory of
+    latency ``shared_latency``, 1 in the paper) and a single UMM global
+    memory of width ``w`` and latency ``global_latency``.
+    """
+
+    num_dmms: int = 16
+    width: int = 32
+    global_latency: int = 400
+    shared_latency: int = 1
+    #: Maximum resident threads per DMM (GTX580: 1536).  ``None`` disables
+    #: the cap; algorithms use it only to pick default thread counts.
+    max_threads_per_dmm: int | None = None
+
+    def __post_init__(self) -> None:
+        _require(self.num_dmms >= 1, f"num_dmms must be >= 1, got {self.num_dmms}")
+        _require(self.width >= 1, f"width must be >= 1, got {self.width}")
+        _require(
+            self.width & (self.width - 1) == 0,
+            f"width must be a power of two, got {self.width}",
+        )
+        _require(
+            self.global_latency >= 1,
+            f"global_latency must be >= 1, got {self.global_latency}",
+        )
+        _require(
+            self.shared_latency >= 1,
+            f"shared_latency must be >= 1, got {self.shared_latency}",
+        )
+        if self.max_threads_per_dmm is not None:
+            _require(
+                self.max_threads_per_dmm >= self.width,
+                "max_threads_per_dmm must be at least one warp "
+                f"({self.width}), got {self.max_threads_per_dmm}",
+            )
+
+    # -- paper notation ---------------------------------------------------
+    @property
+    def d(self) -> int:
+        """Paper notation alias for :attr:`num_dmms`."""
+        return self.num_dmms
+
+    @property
+    def w(self) -> int:
+        """Paper notation alias for :attr:`width`."""
+        return self.width
+
+    @property
+    def l(self) -> int:  # noqa: E743 - paper notation
+        """Paper notation alias for :attr:`global_latency`."""
+        return self.global_latency
+
+    # -- derived machines --------------------------------------------------
+    def shared_params(self) -> MachineParams:
+        """Parameters of one DMM's shared memory."""
+        return MachineParams(width=self.width, latency=self.shared_latency)
+
+    def global_params(self) -> MachineParams:
+        """Parameters of the UMM global memory."""
+        return MachineParams(width=self.width, latency=self.global_latency)
+
+    def max_threads(self) -> int | None:
+        """Device-wide resident thread cap, if configured."""
+        if self.max_threads_per_dmm is None:
+            return None
+        return self.max_threads_per_dmm * self.num_dmms
+
+    def with_global_latency(self, latency: int) -> "HMMParams":
+        """Return a copy with a different global-memory latency."""
+        return replace(self, global_latency=latency)
+
+    def with_num_dmms(self, d: int) -> "HMMParams":
+        """Return a copy with a different number of DMMs."""
+        return replace(self, num_dmms=d)
+
+
+#: The GPU the paper uses to ground its parameters (Section III): 16
+#: streaming multiprocessors, warps of 32 threads, 32 shared-memory banks,
+#: up to 1536 resident threads per SM, and a global-memory latency of
+#: "several hundred clock cycles" (we default to 400).
+GTX580 = HMMParams(
+    num_dmms=16,
+    width=32,
+    global_latency=400,
+    shared_latency=1,
+    max_threads_per_dmm=1536,
+)
+
+#: A Fermi-generation compute GPU (Tesla C2050): 14 SMs, 32-wide warps
+#: and banks, ~1150 resident threads per SM, global latency in the same
+#: several-hundred-cycle class as the GTX580.
+C2050 = HMMParams(
+    num_dmms=14,
+    width=32,
+    global_latency=400,
+    shared_latency=1,
+    max_threads_per_dmm=1536,
+)
+
+#: Parameters of the paper's Figure 4 (global memory access example):
+#: width 4, latency 5.
+FIG4_PARAMS = MachineParams(width=4, latency=5)
+
+#: A tiny configuration convenient for exhaustive tests.
+TINY = HMMParams(num_dmms=2, width=4, global_latency=5, shared_latency=1)
+
+
+def warps_for(num_threads: int, width: int) -> int:
+    """Number of warps needed for ``num_threads`` threads (``ceil(p / w)``)."""
+    _require(num_threads >= 1, f"need at least one thread, got {num_threads}")
+    return -(-num_threads // width)
+
+
+def validate_thread_count(
+    p: int,
+    *,
+    width: int,
+    num_dmms: int = 1,
+    require_full_warps: bool = False,
+) -> None:
+    """Validate a thread count against the machine shape.
+
+    The paper assumes ``p >= d·w`` (each DMM runs at least one warp) for
+    its HMM algorithms; callers that rely on that assumption pass
+    ``require_full_warps=True``.
+    """
+    _require(p >= 1, f"thread count must be >= 1, got {p}")
+    if require_full_warps:
+        _require(
+            p % (width * num_dmms) == 0,
+            f"thread count {p} must be a multiple of num_dmms*width = "
+            f"{num_dmms * width} so every DMM runs whole warps",
+        )
+
+
+def log2_ceil(n: int) -> int:
+    """``ceil(log2 n)`` for ``n >= 1`` (0 for ``n == 1``)."""
+    _require(n >= 1, f"log2_ceil requires n >= 1, got {n}")
+    return (n - 1).bit_length()
+
+
+def is_power_of_two(n: int) -> bool:
+    """True when ``n`` is a positive power of two."""
+    return n >= 1 and (n & (n - 1)) == 0
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two ``>= n`` (``n >= 1``)."""
+    _require(n >= 1, f"next_power_of_two requires n >= 1, got {n}")
+    return 1 << log2_ceil(n)

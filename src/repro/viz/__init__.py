@@ -1,0 +1,25 @@
+"""Text renderings of the paper's figures and of sweep data.
+
+No plotting dependency: everything renders to plain text, suitable for
+terminals, logs, and EXPERIMENTS.md.
+
+* :func:`render_banks_and_groups` — Figure 3 (banks and address groups);
+* :func:`render_sum_tree` — Figure 5 (the pairwise summing tree);
+* :func:`ascii_chart` — log-log style series charts for the sweeps;
+* Figure 4's pipeline timeline lives on
+  :meth:`repro.machine.trace.TraceRecorder.render_pipeline_timeline`.
+"""
+
+from repro.viz.figures import (
+    ascii_chart,
+    render_banks_and_groups,
+    render_heatmap,
+    render_sum_tree,
+)
+
+__all__ = [
+    "ascii_chart",
+    "render_banks_and_groups",
+    "render_heatmap",
+    "render_sum_tree",
+]

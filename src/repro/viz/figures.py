@@ -1,0 +1,171 @@
+"""Plain-text figure renderings."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.machine.banks import bank_group_table
+
+__all__ = ["render_banks_and_groups", "render_sum_tree", "ascii_chart"]
+
+
+def render_banks_and_groups(num_cells: int, width: int) -> str:
+    """The paper's Figure 3: the memory layout for a given width.
+
+    Rows are address groups ``A[g]`` (the UMM's coalescing unit), columns
+    are banks ``B[b]`` (the DMM's conflict unit); each cell shows the
+    address stored there.
+    """
+    table = bank_group_table(num_cells, width)
+    cell_w = max(len(str(num_cells - 1)), 2)
+    header = " " * 6 + " ".join(f"B[{b}]".rjust(cell_w + 2) for b in range(width))
+    lines = [
+        f"banks and address groups for w = {width} "
+        f"(cell value = memory address)",
+        header,
+    ]
+    for g, row in enumerate(table):
+        cells = " ".join(
+            (str(a) if a >= 0 else "-").rjust(cell_w + 2) for a in row
+        )
+        lines.append(f"A[{g}]".ljust(6) + cells)
+    return "\n".join(lines)
+
+
+def render_sum_tree(n: int) -> str:
+    """The paper's Figure 5: the pairwise summing tree for ``n`` values.
+
+    Each line is one level of ``a`` after the level's pairwise additions
+    (using the general ceil-halving rule of the implementation), written
+    as index ranges of the original input that each cell now sums.
+    """
+    if n < 1:
+        raise ConfigurationError(f"need n >= 1, got {n}")
+    # Track, per cell, the set of input indices it currently sums.
+    sets = [frozenset({i}) for i in range(n)]
+    lines = [f"pairwise summing of n = {n} values (cell = input indices summed)"]
+
+    def fmt(level_sets: list[frozenset[int]]) -> str:
+        return "  ".join(
+            "{" + ",".join(str(i) for i in sorted(s)) + "}" for s in level_sets
+        )
+
+    lines.append("level 0:  " + fmt(sets))
+    level = 1
+    m = n
+    while m > 1:
+        half = -(-m // 2)
+        sets = [
+            sets[i] | sets[i + half] if i + half < m else sets[i]
+            for i in range(half)
+        ]
+        lines.append(f"level {level}:  " + fmt(sets))
+        m = half
+        level += 1
+    return "\n".join(lines)
+
+
+def ascii_chart(
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    title: str = "",
+    x_label: str = "x",
+    height: int = 12,
+    width: int = 60,
+    log_y: bool = True,
+) -> str:
+    """A simple multi-series scatter chart in text.
+
+    Each series gets a marker character; points land on a
+    ``height x width`` character grid with (optionally log-scaled) y.
+    Designed for the sweep benchmarks: enough to see slopes and
+    crossovers in a terminal.
+    """
+    xs = np.asarray(x, dtype=np.float64)
+    if xs.size == 0 or not series:
+        raise ConfigurationError("need at least one point and one series")
+    markers = "ox+*#@%&"
+    all_y = np.concatenate([np.asarray(v, dtype=np.float64) for v in series.values()])
+    if log_y:
+        all_y = np.log10(np.maximum(all_y, 1e-12))
+    lo, hi = float(all_y.min()), float(all_y.max())
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    if x_hi - x_lo < 1e-12:
+        x_hi = x_lo + 1.0
+
+    grid_rows = [[" "] * width for _ in range(height)]
+    for si, (name, ys) in enumerate(series.items()):
+        marker = markers[si % len(markers)]
+        yv = np.asarray(ys, dtype=np.float64)
+        if log_y:
+            yv = np.log10(np.maximum(yv, 1e-12))
+        for xi, yi in zip(xs, yv):
+            col = int(round((xi - x_lo) / (x_hi - x_lo) * (width - 1)))
+            row = int(round((yi - lo) / (hi - lo) * (height - 1)))
+            grid_rows[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_unit = "log10(y)" if log_y else "y"
+    lines.append(f"{y_unit} in [{lo:.2f}, {hi:.2f}]")
+    lines.extend("|" + "".join(r) for r in grid_rows)
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} in [{x_lo:.3g}, {x_hi:.3g}]")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " + legend)
+    return "\n".join(lines)
+
+
+def render_heatmap(
+    row_values: Sequence[float],
+    col_values: Sequence[float],
+    cells: "np.ndarray",
+    *,
+    title: str = "",
+    row_label: str = "rows",
+    col_label: str = "cols",
+    log_scale: bool = True,
+) -> str:
+    """A text heatmap for 2-D parameter sweeps.
+
+    ``cells[i][j]`` is the measurement at ``(row_values[i],
+    col_values[j])``.  Shading uses a ten-step ramp over (optionally
+    log-scaled) values — enough to see ridges and valleys in a
+    terminal; exact numbers are printed alongside.
+    """
+    grid_vals = np.asarray(cells, dtype=np.float64)
+    if grid_vals.shape != (len(row_values), len(col_values)):
+        raise ConfigurationError(
+            f"cells shape {grid_vals.shape} does not match "
+            f"({len(row_values)}, {len(col_values)})"
+        )
+    scaled = np.log10(np.maximum(grid_vals, 1e-12)) if log_scale else grid_vals
+    lo, hi = float(scaled.min()), float(scaled.max())
+    span = hi - lo if hi > lo else 1.0
+    ramp = " .:-=+*#%@"
+    cell_w = max(len(f"{v:.0f}") for v in grid_vals.ravel()) + 1
+
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * 8 + "".join(str(c).rjust(cell_w) for c in col_values)
+    lines.append(header + f"   <- {col_label}")
+    for rv, srow, vrow in zip(row_values, scaled, grid_vals):
+        shades = "".join(
+            (ramp[int((s - lo) / span * (len(ramp) - 1))] * 1).rjust(cell_w)
+            for s in srow
+        )
+        nums = "".join(f"{v:.0f}".rjust(cell_w) for v in vrow)
+        lines.append(f"{str(rv):>7} {shades}   {nums}")
+    lines.append(f"rows: {row_label}; shade ramp '{ramp}' spans "
+                 f"[{grid_vals.min():.0f}, {grid_vals.max():.0f}]")
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""The kernel performance advisor."""
+
+import numpy as np
+import pytest
+
+from repro import DMM, HMM, UMM, HMMParams, MachineParams
+from repro.analysis.advisor import Regime, diagnose
+from repro.core.kernels.contiguous import contiguous_read, strided_read
+
+from conftest import make_dmm, make_umm
+
+
+class TestUnitDiagnosis:
+    def test_clean_kernel_full_efficiency(self):
+        eng = make_umm(width=8)
+        a = eng.alloc(256)
+        report = eng.launch(contiguous_read(a, 256), 32)
+        advice = diagnose(report, eng.params)
+        assert advice.units["mem"].is_clean()
+        assert advice.units["mem"].requests_per_slot == 8.0
+
+    def test_strided_kernel_flagged(self):
+        eng = make_umm(width=8)
+        a = eng.alloc(256)
+        report = eng.launch(strided_read(a, 256, 8), 32)
+        advice = diagnose(report, eng.params)
+        assert not advice.units["mem"].is_clean(0.95)
+        assert any("avoidable" in f for f in advice.findings)
+
+    def test_naive_transpose_flagged(self, rng):
+        machine = HMM(HMMParams(num_dmms=2, width=8, global_latency=4))
+        _, report = machine.transpose(rng.normal(size=(16, 16)), padded=False)
+        advice = diagnose(report, machine.params)
+        flagged = [f for f in advice.findings if "shared" in f]
+        assert flagged
+
+    def test_padded_transpose_clean(self, rng):
+        machine = HMM(HMMParams(num_dmms=2, width=8, global_latency=4))
+        _, report = machine.transpose(rng.normal(size=(16, 16)), padded=True)
+        advice = diagnose(report, machine.params)
+        assert all(d.is_clean() for d in advice.units.values())
+
+
+class TestRegime:
+    def test_latency_bound_at_low_occupancy(self, rng):
+        machine = HMM(HMMParams(num_dmms=4, width=32, global_latency=400))
+        _, report = machine.sum(rng.normal(size=4096), 64)
+        advice = diagnose(report, machine.params)
+        assert advice.regime is Regime.LATENCY_BOUND
+        assert advice.occupancy_ratio < 1.0
+        assert any("p >= lw" in f for f in advice.findings)
+
+    def test_bandwidth_bound_at_high_occupancy(self, rng):
+        machine = HMM(HMMParams(num_dmms=8, width=8, global_latency=2))
+        _, report = machine.sum(rng.normal(size=1 << 13), 4096)
+        advice = diagnose(report, machine.params)
+        assert advice.regime is Regime.BANDWIDTH_BOUND
+        assert any("bandwidth-bound" in f for f in advice.findings)
+
+    def test_render_mentions_regime_and_units(self, rng):
+        machine = UMM(MachineParams(width=8, latency=16))
+        _, report = machine.sum(rng.normal(size=512), 64)
+        advice = diagnose(report, machine.params)
+        text = advice.render()
+        assert "regime:" in text
+        assert "mem" in text
+        assert "occupancy" in text
+
+    def test_flat_machine_params_accepted(self, rng):
+        eng = make_dmm(width=8, latency=32)
+        a = eng.alloc(128)
+        report = eng.launch(contiguous_read(a, 128), 16)
+        advice = diagnose(report, eng.params)
+        assert advice.regime in (Regime.LATENCY_BOUND, Regime.BANDWIDTH_BOUND)
+
+    def test_clean_run_reports_no_pathologies(self, rng):
+        machine = HMM(HMMParams(num_dmms=8, width=8, global_latency=2))
+        _, report = machine.sum(rng.normal(size=1 << 13), 4096)
+        advice = diagnose(report, machine.params)
+        # Bandwidth-bound is expected and reported, but no conflict or
+        # occupancy pathology should be flagged.
+        assert not any("avoidable" in f for f in advice.findings)
+        assert not any("raising the thread count" in f for f in advice.findings)

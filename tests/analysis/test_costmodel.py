@@ -1,0 +1,115 @@
+"""Table I formulas and the term vocabulary."""
+
+import math
+
+import pytest
+
+from repro.analysis.costmodel import (
+    CONV_FORMULAS,
+    SUM_FORMULAS,
+    convolution_time,
+    sum_time,
+)
+from repro.analysis.terms import Params
+from repro.errors import ConfigurationError
+
+
+class TestParams:
+    def test_defaults(self):
+        q = Params(n=100)
+        assert q.p == 1 and q.w == 32 and q.l == 1 and q.d == 1 and q.k == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Params(n=0)
+        with pytest.raises(ConfigurationError):
+            Params(n=1, p=0)
+        with pytest.raises(ConfigurationError):
+            Params(n=1, k=-1)
+
+
+class TestSumFormulas:
+    Q = Params(n=1 << 16, p=1024, w=32, l=200, d=16)
+
+    def test_sequential(self):
+        assert sum_time("sequential", self.Q) == 1 << 16
+
+    def test_pram(self):
+        assert sum_time("pram", self.Q) == pytest.approx(64 + 16)
+
+    def test_dmm_umm_equal(self):
+        assert sum_time("dmm", self.Q) == sum_time("umm", self.Q)
+
+    def test_dmm_value(self):
+        n, p, w, l = 1 << 16, 1024, 32, 200
+        expected = n / w + n * l / p + l * 16
+        assert sum_time("dmm", self.Q) == pytest.approx(expected)
+
+    def test_hmm_value(self):
+        n, p, w, l = 1 << 16, 1024, 32, 200
+        expected = n / w + n * l / p + l + 16
+        assert sum_time("hmm", self.Q) == pytest.approx(expected)
+
+    def test_hmm_beats_dmm_when_latency_large(self):
+        """The whole point of Theorem 7: HMM < DMM/UMM once l·log n
+        dominates."""
+        assert sum_time("hmm", self.Q) < sum_time("dmm", self.Q)
+
+    def test_ordering_at_paper_scale(self):
+        """PRAM <= HMM <= DMM/UMM <= sequential at GPU-like parameters."""
+        q = self.Q
+        assert sum_time("pram", q) <= sum_time("hmm", q)
+        assert sum_time("hmm", q) <= sum_time("dmm", q)
+        assert sum_time("dmm", q) <= sum_time("sequential", q)
+
+    def test_unknown_model(self):
+        with pytest.raises(ConfigurationError):
+            sum_time("gpu", self.Q)
+
+
+class TestConvolutionFormulas:
+    Q = Params(n=1 << 14, k=64, p=4096, w=32, l=200, d=16)
+
+    def test_sequential(self):
+        assert convolution_time("sequential", self.Q) == (1 << 14) * 64
+
+    def test_hmm_speedup_term(self):
+        """HMM gains the d-fold nk/(dw) term over the flat machines."""
+        q = self.Q
+        flat = convolution_time("dmm", q)
+        hier = convolution_time("hmm", q)
+        assert hier < flat
+        # The dominant flat term nk/w is d times the HMM's nk/(dw).
+        assert flat / hier > 4
+
+    def test_hmm_general_upper_bounds_corollary(self):
+        """Theorem 9's unconditional form only adds terms."""
+        q = self.Q
+        assert convolution_time("hmm_general", q) >= convolution_time("hmm", q)
+
+    def test_requires_k(self):
+        with pytest.raises(ConfigurationError):
+            convolution_time("dmm", Params(n=16, p=4, k=0))
+
+    def test_formula_text_rendering(self):
+        assert SUM_FORMULAS["hmm"].text() == "O(n/w + nl/p + l + log n)"
+        assert CONV_FORMULAS["dmm"].text() == "O(nk/w + nkl/p + l log k)"
+
+    def test_term_values_breakdown(self):
+        q = Params(n=64, k=4, p=8, w=4, l=2, d=2)
+        vals = CONV_FORMULAS["dmm"].term_values(q)
+        assert vals["nk/w"] == 64.0
+        assert vals["nkl/p"] == 64.0
+        assert vals["l log k"] == 4.0
+
+    def test_max_term(self):
+        q = Params(n=64, k=4, p=8, w=4, l=2, d=2)
+        assert CONV_FORMULAS["dmm"].max_term(q) == 64.0
+
+
+class TestEdgeCases:
+    def test_n_equals_one(self):
+        """log terms clamp at 1 instead of vanishing."""
+        q = Params(n=1, p=1, w=4, l=2)
+        assert sum_time("pram", q) >= 1
+        assert sum_time("hmm", q) >= 1

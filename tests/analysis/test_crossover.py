@@ -1,0 +1,155 @@
+"""Crossover analysis: formula-predicted regime boundaries match the
+simulator's measured boundaries."""
+
+import numpy as np
+import pytest
+
+from repro import HMM, UMM, HMMParams, MachineParams
+from repro.analysis.costmodel import SUM_FORMULAS, sum_time
+from repro.analysis.crossover import axis_values, crossover_point, saturation_point
+from repro.analysis.terms import Params
+from repro.errors import ConfigurationError
+
+
+class TestAxisValues:
+    def test_doubling(self):
+        assert axis_values(4, 64) == [4, 8, 16, 32, 64]
+
+    def test_doubling_with_ragged_top(self):
+        assert axis_values(4, 48) == [4, 8, 16, 32, 48]
+
+    def test_linear(self):
+        assert axis_values(3, 6, doubling=False) == [3, 4, 5, 6]
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            axis_values(0, 8)
+        with pytest.raises(ConfigurationError):
+            axis_values(8, 4)
+
+
+class TestCrossoverPoint:
+    def test_hmm_overtakes_flat_in_latency(self):
+        """The formulas put the HMM ahead of the flat machines once
+        l·log n outweighs the HMM's flat l terms."""
+        base = Params(n=1 << 13, p=512, w=16, l=1, d=8)
+        point = crossover_point(
+            SUM_FORMULAS["hmm"],
+            SUM_FORMULAS["umm"],
+            base,
+            "l",
+            axis_values(1, 1024),
+        )
+        assert point is not None
+        assert point <= 8  # the hierarchy pays off almost immediately
+
+    def test_never_crossing_returns_none(self):
+        base = Params(n=1 << 10, p=64, w=16, l=4, d=8)
+        point = crossover_point(
+            SUM_FORMULAS["sequential"],
+            SUM_FORMULAS["pram"],
+            base,
+            "l",
+            axis_values(1, 64),
+        )
+        assert point is None  # sequential never beats the PRAM here
+
+    def test_predicted_crossover_matches_measured(self, rng):
+        """The latency at which the measured HMM sum overtakes the
+        measured flat sum must agree with the formula prediction within
+        one doubling step."""
+        n, p, w, d = 1 << 12, 512, 16, 8
+        base = Params(n=n, p=p, w=w, l=1, d=d)
+        grid = axis_values(1, 256)
+        predicted = crossover_point(
+            SUM_FORMULAS["hmm"], SUM_FORMULAS["umm"], base, "l", grid
+        )
+        vals = rng.normal(size=n)
+        measured = None
+        for l in grid:
+            hmm = HMM(HMMParams(num_dmms=d, width=w, global_latency=l))
+            flat = UMM(MachineParams(width=w, latency=l))
+            if hmm.sum(vals, p)[1].cycles < flat.sum(vals, p)[1].cycles:
+                measured = l
+                break
+        assert measured is not None and predicted is not None
+        # Within one doubling step of each other.
+        assert predicted / 2 <= measured <= predicted * 2
+
+    def test_bad_axis(self):
+        with pytest.raises(ConfigurationError):
+            crossover_point(
+                SUM_FORMULAS["hmm"], SUM_FORMULAS["umm"],
+                Params(n=8), "q", [1, 2],
+            )
+
+
+class TestSaturationPoint:
+    def test_occupancy_saturates_near_lw(self):
+        """Threads stop paying off (next doubling gains < 25%) within a
+        couple of doublings of p = lw — where the nl/p latency term sinks
+        below the n/w bandwidth floor."""
+        base = Params(n=1 << 16, p=1, w=32, l=128, d=8)
+        grid = axis_values(32, 1 << 16)
+        point = saturation_point(
+            SUM_FORMULAS["hmm"], base, "p", grid, gain_threshold=1.25
+        )
+        assert point is not None
+        lw = 128 * 32
+        assert lw / 2 <= point <= 4 * lw
+
+    def test_measured_saturation_matches(self, rng):
+        """The measured thread-scaling knee lands within a doubling of
+        the predicted one."""
+        n, w, l, d = 1 << 13, 16, 64, 8
+        base = Params(n=n, p=1, w=w, l=l, d=d)
+        grid = axis_values(64, 1 << 13)
+        predicted = saturation_point(SUM_FORMULAS["hmm"], base, "p", grid)
+        vals = rng.normal(size=n)
+        measured = None
+        prev_cycles = None
+        for p in grid:
+            machine = HMM(HMMParams(num_dmms=d, width=w, global_latency=l))
+            cycles = machine.sum(vals, p)[1].cycles
+            if prev_cycles is not None and prev_cycles / cycles < 1.10:
+                measured = prev_p
+                break
+            prev_cycles, prev_p = cycles, p
+        assert predicted is not None and measured is not None
+        assert predicted / 4 <= measured <= predicted * 4
+
+    def test_unsaturating_returns_none(self):
+        base = Params(n=1 << 20, p=1, w=32, l=1, d=1)
+        grid = axis_values(1, 64)
+        # With n huge and p tiny the n/p-ish terms keep paying.
+        point = saturation_point(SUM_FORMULAS["pram"], base, "p", grid)
+        assert point is None
+
+    def test_too_few_values(self):
+        with pytest.raises(ConfigurationError):
+            saturation_point(SUM_FORMULAS["pram"], Params(n=8), "p", [4])
+
+
+class TestPredictAPI:
+    def test_facade_predictions_match_costmodel(self):
+        machine = HMM(HMMParams(num_dmms=8, width=16, global_latency=100))
+        expected = sum_time(
+            "hmm", Params(n=4096, p=256, w=16, l=100, d=8)
+        )
+        assert machine.predict_sum(4096, 256) == expected
+
+    def test_prediction_brackets_measurement(self, rng):
+        """The unit-coefficient estimate lands within the constant-factor
+        band the fits establish (1/4x .. 4x here)."""
+        machine = HMM(HMMParams(num_dmms=8, width=16, global_latency=64))
+        vals = rng.normal(size=4096)
+        _, report = machine.sum(vals, 512)
+        predicted = machine.predict_sum(4096, 512)
+        assert predicted / 4 <= report.cycles <= 4 * predicted
+
+    def test_flat_prediction(self):
+        machine = UMM(MachineParams(width=16, latency=32))
+        assert machine.predict_sum(1024, 64) == sum_time(
+            "umm", Params(n=1024, p=64, w=16, l=32)
+        )
+        assert machine.predict_convolution(256, 8, 64) > 0

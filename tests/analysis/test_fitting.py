@@ -1,0 +1,138 @@
+"""Fitting and optimality machinery."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.costmodel import SUM_FORMULAS
+from repro.analysis.fitting import FitResult, fit_terms, nnls
+from repro.analysis.lower_bounds import SUM_BOUNDS
+from repro.analysis.optimality import check_optimality
+from repro.analysis.sweeps import SweepPoint, grid, run_sweep
+from repro.analysis.terms import Formula, Params, Term
+from repro.errors import ConfigurationError
+
+
+def synthetic_points():
+    return [
+        Params(n=n, p=p, w=8, l=l)
+        for n in (64, 128, 256, 512)
+        for p in (8, 32)
+        for l in (1, 16)
+    ]
+
+
+class TestNNLS:
+    def test_exact_recovery(self):
+        rng = np.random.default_rng(0)
+        design = np.abs(rng.normal(size=(30, 3))) + 0.1
+        true = np.array([2.0, 0.0, 5.0])
+        coef = nnls(design, design @ true)
+        assert np.allclose(coef, true, atol=1e-8)
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(1)
+        design = np.abs(rng.normal(size=(20, 2)))
+        target = design @ np.array([1.0, -3.0])  # unreachable negatively
+        coef = nnls(design, target)
+        assert (coef >= 0).all()
+
+
+class TestFitTerms:
+    def test_recovers_known_coefficients(self):
+        formula = SUM_FORMULAS["dmm"]  # n/w + nl/p + l·log n
+        points = synthetic_points()
+        truth = [2.0 * q.n / q.w + 1.0 * q.n * q.l / q.p + 3.0 * q.l *
+                 np.log2(q.n) for q in points]
+        fit = fit_terms(formula, points, truth)
+        assert fit.r_squared > 0.9999
+        assert fit.coefficient_for("n/w") == pytest.approx(2.0, rel=1e-6)
+        assert fit.coefficient_for("nl/p") == pytest.approx(1.0, rel=1e-6)
+        assert fit.coefficient_for("l log n") == pytest.approx(3.0, rel=1e-6)
+
+    def test_prediction_at_new_point(self):
+        formula = SUM_FORMULAS["dmm"]
+        points = synthetic_points()
+        truth = [formula(q) for q in points]
+        fit = fit_terms(formula, points, truth)
+        fresh = Params(n=1024, p=16, w=8, l=8)
+        assert fit.predict(formula, fresh) == pytest.approx(formula(fresh), rel=1e-6)
+
+    def test_describe_mentions_r2(self):
+        formula = SUM_FORMULAS["pram"]
+        points = synthetic_points()
+        fit = fit_terms(formula, points, [formula(q) for q in points])
+        assert "R^2" in fit.describe()
+
+    def test_too_few_points_rejected(self):
+        formula = SUM_FORMULAS["dmm"]
+        with pytest.raises(ConfigurationError):
+            fit_terms(formula, [Params(n=8)], [1.0])
+
+    def test_length_mismatch_rejected(self):
+        formula = SUM_FORMULAS["pram"]
+        with pytest.raises(ConfigurationError):
+            fit_terms(formula, synthetic_points(), [1.0])
+
+    def test_missing_term_keyerror(self):
+        formula = SUM_FORMULAS["pram"]
+        points = synthetic_points()
+        fit = fit_terms(formula, points, [formula(q) for q in points])
+        with pytest.raises(KeyError):
+            fit.coefficient_for("nk/w")
+
+
+class TestOptimality:
+    def test_sound_and_tight(self):
+        points = synthetic_points()
+        bounds = SUM_BOUNDS["dmm"]
+        measured = [
+            2.0 * max(f(q) for f in bounds.values()) for q in points
+        ]
+        report = check_optimality(bounds, points, measured)
+        assert report.sound
+        assert report.worst_ratio == pytest.approx(2.0)
+        assert report.tight_within(2.5)
+        assert not report.tight_within(1.5)
+
+    def test_violation_detected(self):
+        points = synthetic_points()
+        bounds = SUM_BOUNDS["dmm"]
+        measured = [0.1 for _ in points]  # impossibly fast
+        report = check_optimality(bounds, points, measured)
+        assert not report.sound
+        assert len(report.violations) == len(points)
+        assert "VIOLATED" in report.describe()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            check_optimality(SUM_BOUNDS["dmm"], [], [])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            check_optimality(SUM_BOUNDS["dmm"], synthetic_points(), [1.0])
+
+
+class TestSweeps:
+    def test_grid(self):
+        pts = grid(n=[4, 8], l=[1, 2])
+        assert len(pts) == 4
+        assert {"n": 8, "l": 2} in pts
+
+    def test_run_sweep_plain_and_extra(self):
+        points = [Params(n=4), Params(n=8)]
+
+        def measure(q):
+            if q.n == 4:
+                return 10
+            return 20, {"slots": 3.0}
+
+        rows = run_sweep(measure, points)
+        assert [r.cycles for r in rows] == [10, 20]
+        assert rows[1].extra == {"slots": 3.0}
+
+    def test_exceptions_propagate(self):
+        def measure(q):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            run_sweep(measure, [Params(n=4)])

@@ -1,0 +1,105 @@
+"""Table II lower bounds."""
+
+import math
+
+import pytest
+
+from repro.analysis.costmodel import convolution_time, sum_time
+from repro.analysis.lower_bounds import (
+    CONV_BOUNDS,
+    SUM_BOUNDS,
+    convolution_lower_bound,
+    sum_lower_bound,
+)
+from repro.analysis.terms import Params
+from repro.errors import ConfigurationError
+
+
+class TestStructure:
+    def test_pram_has_no_memory_limitations(self):
+        assert set(SUM_BOUNDS["pram"]) == {"speed-up", "reduction"}
+        assert set(CONV_BOUNDS["pram"]) == {"speed-up", "reduction"}
+
+    def test_memory_machines_have_all_four(self):
+        for model in ("dmm", "umm", "hmm"):
+            assert set(SUM_BOUNDS[model]) == {
+                "speed-up", "bandwidth", "latency", "reduction"
+            }
+
+    def test_umm_aliases_dmm(self):
+        assert SUM_BOUNDS["umm"] is SUM_BOUNDS["dmm"]
+        assert CONV_BOUNDS["umm"] is CONV_BOUNDS["dmm"]
+
+
+class TestValues:
+    Q = Params(n=1 << 16, k=64, p=1024, w=32, l=200, d=16)
+
+    def test_sum_limitations(self):
+        q = self.Q
+        b = SUM_BOUNDS["hmm"]
+        assert b["speed-up"](q) == q.n / q.p
+        assert b["bandwidth"](q) == q.n / q.w
+        assert b["latency"](q) == q.n * q.l / q.p + q.l
+        assert b["reduction"](q) == 16
+
+    def test_dmm_reduction_pays_latency(self):
+        q = self.Q
+        assert SUM_BOUNDS["dmm"]["reduction"](q) == 200 * 16
+        assert SUM_BOUNDS["hmm"]["reduction"](q) == 16
+
+    def test_conv_speedup_hierarchy(self):
+        """PRAM: nk/p; DMM/UMM: nk/w; HMM: nk/(dw)."""
+        q = self.Q
+        assert CONV_BOUNDS["pram"]["speed-up"](q) == q.n * q.k / q.p
+        assert CONV_BOUNDS["dmm"]["speed-up"](q) == q.n * q.k / q.w
+        assert CONV_BOUNDS["hmm"]["speed-up"](q) == q.n * q.k / (q.d * q.w)
+
+    def test_combine_modes(self):
+        q = self.Q
+        assert sum_lower_bound("hmm", q, combine="max") <= sum_lower_bound(
+            "hmm", q, combine="sum"
+        )
+        with pytest.raises(ConfigurationError):
+            sum_lower_bound("hmm", q, combine="avg")
+
+    def test_unknown_model(self):
+        with pytest.raises(ConfigurationError):
+            sum_lower_bound("cray", self.Q)
+
+    def test_conv_requires_k(self):
+        with pytest.raises(ConfigurationError):
+            convolution_lower_bound("hmm", Params(n=4, k=0))
+
+
+class TestConsistencyWithTable1:
+    """The Table I formulas must dominate their own Table II bounds —
+    the paper's optimality statement at the formula level."""
+
+    GRID = [
+        Params(n=n, k=k, p=p, w=w, l=l, d=d)
+        for n in (1 << 10, 1 << 16)
+        for k in (16, 64)
+        for p in (64, 4096)
+        for w in (16, 32)
+        for l in (1, 300)
+        for d in (4, 16)
+    ]
+
+    @pytest.mark.parametrize("model", ["pram", "dmm", "umm", "hmm"])
+    def test_sum_upper_dominates_lower(self, model):
+        for q in self.GRID:
+            upper = sum_time(model, q)
+            lower = sum_lower_bound(model, q, combine="max")
+            assert upper >= lower * 0.999, (model, q)
+            # and within a small constant (number of limitation terms):
+            assert upper <= 4 * sum_lower_bound(model, q, combine="sum"), (model, q)
+
+    @pytest.mark.parametrize("model", ["pram", "dmm", "umm", "hmm"])
+    def test_conv_upper_dominates_lower(self, model):
+        for q in self.GRID:
+            upper = convolution_time(model, q)
+            lower = convolution_lower_bound(model, q, combine="max")
+            assert upper >= lower * 0.999, (model, q)
+            assert upper <= 4 * convolution_lower_bound(
+                model, q, combine="sum"
+            ), (model, q)

@@ -1,0 +1,61 @@
+"""Table rendering."""
+
+import pytest
+
+from repro.analysis.tables import format_grid, render_table1, render_table2
+from repro.analysis.terms import Params
+
+
+class TestFormatGrid:
+    def test_alignment(self):
+        out = format_grid(["a", "long"], [["xx", "y"], ["x", "yyyy"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        widths = {len(l.rstrip()) for l in (lines[0], lines[2], lines[3])}
+        # All rows fit within the header+rule width.
+        assert max(len(l) for l in lines) == len(lines[1])
+
+
+class TestTable1:
+    def test_symbolic(self):
+        out = render_table1()
+        assert "Sequential" in out
+        assert "DMM and UMM" in out
+        assert "O(n/w + nl/p + l log n)" in out
+        assert "O(n/w + nk/dw + nl/p + l + log k)" in out
+        assert "=" not in out  # no numeric column without params
+
+    def test_numeric(self):
+        q = Params(n=1 << 16, k=32, p=1024, w=32, l=200, d=16)
+        out = render_table1(q)
+        assert "= 65536" in out  # sequential sum
+        assert "n=65536" in out
+
+    def test_numeric_without_k_skips_conv_numbers(self):
+        q = Params(n=256, p=16, w=8, l=4)
+        out = render_table1(q)
+        assert "O(nk)" in out
+        # The sum column is evaluated, the conv column stays symbolic.
+        assert "O(n) = 256" in out
+
+
+class TestTable2:
+    def test_symbolic_structure(self):
+        out = render_table2()
+        assert "Sum" in out and "Direct convolution" in out
+        for lim in ("speed-up", "bandwidth", "latency", "reduction"):
+            assert lim in out
+        # PRAM has no bandwidth/latency limitations.
+        assert "-" in out
+
+    def test_numeric(self):
+        q = Params(n=1 << 16, k=32, p=1024, w=32, l=200, d=16)
+        out = render_table2(q)
+        assert "Ω(n/w) = 2048" in out
+        assert "Ω(nk/dw) = 4096" in out
+
+    def test_hmm_reduction_is_log_not_llog(self):
+        out = render_table2()
+        # Row order: the sum reduction row lists PRAM, DMM/UMM, HMM.
+        row = next(l for l in out.splitlines() if "Ω(l log n)" in l)
+        assert row.rstrip().endswith("Ω(log n)")

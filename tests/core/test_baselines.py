@@ -1,0 +1,113 @@
+"""Sequential RAM and PRAM baselines (Table I columns 1-2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.pram import PRAM
+from repro.core.sequential import SequentialMachine
+from repro.errors import ConfigurationError
+
+
+class TestSequential:
+    def test_sum_value_and_cost(self, rng):
+        vals = rng.normal(size=100)
+        r = SequentialMachine().sum(vals)
+        assert np.isclose(r.value, vals.sum())
+        assert r.cycles == 100 + 99  # n reads, n-1 additions
+        assert r.accesses == 100
+        assert r.arithmetic == 99
+
+    def test_sum_single_element(self):
+        r = SequentialMachine().sum(np.array([7.0]))
+        assert r.value == 7.0
+        assert r.arithmetic == 0
+
+    def test_sum_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SequentialMachine().sum(np.array([]))
+
+    def test_convolution_value(self, rng):
+        x = rng.normal(size=5)
+        y = rng.normal(size=20)
+        r = SequentialMachine().convolution(x, y)
+        assert np.allclose(r.value, np.correlate(y, x, "valid"))
+
+    def test_convolution_cost_is_theta_nk(self, rng):
+        x = rng.normal(size=4)
+        y = rng.normal(size=35)  # n = 32
+        r = SequentialMachine().convolution(x, y)
+        nk = 32 * 4
+        assert nk <= r.cycles <= 5 * nk
+
+    def test_convolution_invalid(self, rng):
+        with pytest.raises(ConfigurationError):
+            SequentialMachine().convolution(np.array([]), np.array([1.0]))
+        with pytest.raises(ConfigurationError):
+            SequentialMachine().convolution(np.ones(5), np.ones(3))
+
+
+class TestPRAMSum:
+    @pytest.mark.parametrize("n", [1, 2, 7, 16, 100, 1000])
+    @pytest.mark.parametrize("p", [1, 3, 16, 256])
+    def test_value(self, rng, n, p):
+        vals = rng.integers(-5, 10, n).astype(float)
+        r = PRAM(p).sum(vals)
+        assert np.isclose(r.value, vals.sum()), (n, p)
+
+    def test_lemma3_cost_shape(self, rng):
+        """O(n/p + log n) with small constants."""
+        for n in (64, 1024):
+            for p in (4, 32, 1024):
+                vals = rng.normal(size=n)
+                r = PRAM(p).sum(vals)
+                predicted = n / p + math.log2(n)
+                assert r.cycles <= 2 * predicted + 2, (n, p)
+                assert r.cycles >= max(n / p - 1, math.log2(min(p, n))), (n, p)
+
+    def test_work_bounded_by_n(self, rng):
+        vals = rng.normal(size=100)
+        r = PRAM(8).sum(vals)
+        assert r.work == 99  # exactly n - 1 additions
+
+    def test_single_processor_is_sequential(self, rng):
+        vals = rng.normal(size=50)
+        r = PRAM(1).sum(vals)
+        assert r.cycles == 49
+
+    def test_invalid_processors(self):
+        with pytest.raises(ConfigurationError):
+            PRAM(0)
+
+
+class TestPRAMConvolution:
+    @pytest.mark.parametrize("k,n", [(1, 4), (3, 10), (4, 16), (8, 64)])
+    @pytest.mark.parametrize("p", [1, 8, 64, 512])
+    def test_value(self, rng, k, n, p):
+        x = rng.integers(1, 5, k).astype(float)
+        y = rng.integers(1, 5, n + k - 1).astype(float)
+        r = PRAM(p).convolution(x, y)
+        assert np.allclose(r.value, np.correlate(y, x, "valid")), (k, n, p)
+
+    def test_lemma4_cost_shape(self, rng):
+        """O(nk/p + log k) with small constants."""
+        for k, n in ((8, 64), (16, 128)):
+            for p in (8, 64, n * k):
+                x = rng.normal(size=k)
+                y = rng.normal(size=n + k - 1)
+                r = PRAM(p).convolution(x, y)
+                predicted = n * k / p + math.log2(k)
+                assert r.cycles <= 3 * predicted + 3, (k, n, p)
+
+    def test_more_processors_never_slower(self, rng):
+        x = rng.normal(size=8)
+        y = rng.normal(size=71)
+        c1 = PRAM(8).convolution(x, y).cycles
+        c2 = PRAM(64).convolution(x, y).cycles
+        c3 = PRAM(512).convolution(x, y).cycles
+        assert c1 >= c2 >= c3
+
+    def test_invalid_input(self, rng):
+        with pytest.raises(ConfigurationError):
+            PRAM(4).convolution(np.ones(5), np.ones(3))

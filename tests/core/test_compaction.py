@@ -1,0 +1,72 @@
+"""Stream compaction (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.kernels.compaction import hmm_compact
+
+from conftest import make_hmm
+
+
+class TestCompaction:
+    @pytest.mark.parametrize("n", [1, 7, 20, 100, 256])
+    @pytest.mark.parametrize("p,d", [(4, 2), (16, 4), (32, 8)])
+    def test_matches_boolean_indexing(self, rng, n, p, d):
+        vals = rng.normal(size=n)
+        keep = rng.random(n) < 0.4
+        eng = make_hmm(num_dmms=d, width=4, global_latency=6)
+        out, cycles = hmm_compact(eng, vals, keep, p)
+        assert np.allclose(out, vals[keep]), (n, p, d)
+        assert cycles > 0
+
+    def test_order_preserved(self, rng):
+        vals = np.arange(50.0)
+        keep = (vals % 3) == 0
+        eng = make_hmm(num_dmms=2, width=4)
+        out, _ = hmm_compact(eng, vals, keep, 8)
+        assert (np.diff(out) > 0).all()
+
+    def test_all_dropped(self):
+        eng = make_hmm(num_dmms=2, width=4)
+        out, _ = hmm_compact(eng, np.arange(8.0), np.zeros(8), 8)
+        assert out.size == 0
+
+    def test_all_kept(self):
+        eng = make_hmm(num_dmms=2, width=4)
+        out, _ = hmm_compact(eng, np.arange(8.0), np.ones(8), 8)
+        assert np.allclose(out, np.arange(8.0))
+
+    def test_scatter_stays_nearly_coalesced(self, rng):
+        """Monotone destinations: a warp's scatter spans <= 2 groups, so
+        total slots stay within 2x the transaction count."""
+        from repro import TraceRecorder
+
+        vals = rng.normal(size=256)
+        keep = rng.random(256) < 0.5
+        tr = TraceRecorder()
+        eng = make_hmm(num_dmms=4, width=8, global_latency=4)
+        out, _ = hmm_compact(eng, vals, keep, 64, trace=tr)
+        assert np.allclose(out, vals[keep])
+        writes = [r for r in tr.records
+                  if r.unit == "global" and r.array == "compact.out"]
+        assert writes
+        assert all(r.slots <= 2 for r in writes)
+
+    def test_validation(self, rng):
+        eng = make_hmm()
+        with pytest.raises(ConfigurationError):
+            hmm_compact(eng, [], [], 4)
+        with pytest.raises(ConfigurationError):
+            hmm_compact(eng, [1.0, 2.0], [1.0], 4)
+        with pytest.raises(ConfigurationError):
+            hmm_compact(eng, [1.0], [0.5], 4)
+
+    def test_facade(self, rng):
+        from repro import HMM, HMMParams
+
+        vals = rng.normal(size=40)
+        keep = vals > 0
+        machine = HMM(HMMParams(num_dmms=2, width=4, global_latency=5))
+        out, cycles = machine.compact(vals, keep, 16)
+        assert np.allclose(out, vals[keep])

@@ -1,0 +1,155 @@
+"""Contiguous access kernels (Lemma 1, Theorem 2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.trace import TraceRecorder
+from repro.core.kernels.contiguous import (
+    contiguous_copy,
+    contiguous_read,
+    contiguous_write,
+    multi_array_access,
+    strided_read,
+)
+
+from conftest import make_dmm, make_umm
+
+
+class TestCorrectness:
+    def test_copy_moves_data(self, rng):
+        eng = make_umm()
+        vals = rng.normal(size=37)
+        src = eng.array_from(vals, "src")
+        dst = eng.alloc(37, "dst")
+        eng.launch(contiguous_copy(src, dst, 37), 8)
+        assert np.allclose(dst.to_numpy(), vals)
+
+    def test_write_fills(self):
+        eng = make_umm()
+        a = eng.alloc(20)
+        eng.launch(contiguous_write(a, 20, 3.5), 8)
+        assert (a.to_numpy() == 3.5).all()
+
+    def test_partial_tail_not_touched(self):
+        eng = make_umm()
+        a = eng.alloc(16)
+        a.fill(-1.0)
+        eng.launch(contiguous_write(a, 10, 1.0), 8)
+        out = a.to_numpy()
+        assert (out[:10] == 1.0).all()
+        assert (out[10:] == -1.0).all()
+
+
+class TestConflictFreedom:
+    @pytest.mark.parametrize("n,p", [(64, 16), (100, 32), (31, 8)])
+    def test_contiguous_never_conflicts_dmm(self, n, p):
+        eng = make_dmm(width=4)
+        a = eng.alloc(n)
+        report = eng.launch(contiguous_read(a, n), p)
+        assert report.conflict_free()
+
+    @pytest.mark.parametrize("n,p", [(64, 16), (100, 32)])
+    def test_contiguous_fully_coalesced_umm(self, n, p):
+        eng = make_umm(width=4)
+        a = eng.alloc(n)
+        report = eng.launch(contiguous_read(a, n), p)
+        assert report.conflict_free()
+
+    def test_one_transaction_per_width_cells(self):
+        eng = make_umm(width=4)
+        a = eng.alloc(64)
+        report = eng.launch(contiguous_read(a, 64), 16)
+        assert report.stats_for("mem").transactions == 64 // 4
+        assert report.stats_for("mem").slots == 64 // 4
+
+
+class TestStridedAntiPattern:
+    def test_stride_width_conflicts_on_dmm(self):
+        eng = make_dmm(width=4)
+        a = eng.alloc(64)
+        report = eng.launch(strided_read(a, 64, 4), 16)
+        assert not report.conflict_free()
+
+    def test_stride_width_uncoalesced_on_umm(self):
+        eng = make_umm(width=4)
+        a = eng.alloc(64)
+        report = eng.launch(strided_read(a, 64, 4), 16)
+        assert report.stats_for("mem").slots > report.stats_for("mem").transactions
+
+    def test_stride_one_is_contiguous(self):
+        eng = make_dmm(width=4)
+        a = eng.alloc(64)
+        report = eng.launch(strided_read(a, 64, 1), 16)
+        assert report.conflict_free()
+
+    def test_strided_slower_than_contiguous(self):
+        w = 8
+        eng1 = make_dmm(width=w, latency=2)
+        a1 = eng1.alloc(256)
+        base = eng1.launch(contiguous_read(a1, 256), 32).cycles
+        eng2 = make_dmm(width=w, latency=2)
+        a2 = eng2.alloc(256)
+        strided = eng2.launch(strided_read(a2, 256, w), 32).cycles
+        assert strided > base * (w / 2)
+
+
+class TestMultiArray:
+    def test_theorem2_shape(self):
+        """k <= w arrays of total size n in O(n/w + nl/p + l)."""
+        w, l, p = 4, 5, 16
+        eng = make_umm(width=w, latency=l)
+        arrays = [eng.alloc(32) for _ in range(3)]
+        report = eng.launch(multi_array_access(arrays, [32, 32, 32]), p)
+        n = 96
+        upper = 4 * (n / w + n * l / p + l)
+        assert report.cycles <= upper
+
+    def test_different_sizes(self):
+        eng = make_umm(width=4)
+        arrays = [eng.alloc(16), eng.alloc(8)]
+        report = eng.launch(multi_array_access(arrays, [16, 5]), 8)
+        assert report.total_requests() == 16 + 5
+
+    def test_size_mismatch_rejected(self):
+        eng = make_umm()
+        arrays = [eng.alloc(16)]
+        with pytest.raises(ConfigurationError):
+            multi_array_access(arrays, [16, 8])
+
+
+class TestValidation:
+    def test_oversized_access_rejected(self):
+        eng = make_umm()
+        a = eng.alloc(8)
+        with pytest.raises(ConfigurationError):
+            contiguous_read(a, 9)
+
+    def test_zero_size_rejected(self):
+        eng = make_umm()
+        a = eng.alloc(8)
+        with pytest.raises(ConfigurationError):
+            contiguous_read(a, 0)
+
+    def test_bad_stride_rejected(self):
+        eng = make_umm()
+        a = eng.alloc(8)
+        with pytest.raises(ConfigurationError):
+            strided_read(a, 8, 0)
+
+
+class TestLemma1Shape:
+    """Measured time within small constants of n/w + nl/p + l across a
+    grid — the Lemma 1 claim."""
+
+    @pytest.mark.parametrize("machine", [make_dmm, make_umm])
+    def test_upper_and_lower_envelope(self, machine):
+        for n in (64, 256):
+            for p in (8, 32, 64):
+                for l in (1, 8, 32):
+                    eng = machine(width=8, latency=l)
+                    a = eng.alloc(n)
+                    cycles = eng.launch(contiguous_read(a, n), p).cycles
+                    predicted = n / 8 + n * l / p + l
+                    assert cycles <= 2 * predicted, (n, p, l, cycles)
+                    assert cycles >= predicted / 4, (n, p, l, cycles)

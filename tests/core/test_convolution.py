@@ -1,0 +1,113 @@
+"""Direct convolution on the DMM and the UMM (Theorem 8)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.machines import run_flat_convolution
+
+from conftest import make_dmm, make_umm
+
+
+def reference(x, y):
+    return np.correlate(y, x, mode="valid")
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k,n", [(1, 1), (1, 8), (2, 8), (4, 16), (8, 64), (5, 13)])
+    @pytest.mark.parametrize("p", [1, 4, 16, 64, 256])
+    def test_value_matches_numpy(self, rng, k, n, p):
+        x = rng.integers(1, 5, k).astype(float)
+        y = rng.integers(1, 5, n + k - 1).astype(float)
+        z, _ = run_flat_convolution(make_umm(), x, y, p)
+        assert np.allclose(z, reference(x, y)), (k, n, p)
+
+    def test_dmm_and_umm_agree(self, rng):
+        x = rng.normal(size=4)
+        y = rng.normal(size=19)
+        z1, _ = run_flat_convolution(make_dmm(), x, y, 8)
+        z2, _ = run_flat_convolution(make_umm(), x, y, 8)
+        assert np.allclose(z1, z2)
+
+    def test_more_threads_than_nk(self, rng):
+        """p > nk: the block count q is clamped to k."""
+        x = rng.normal(size=4)
+        y = rng.normal(size=11)  # n = 8, nk = 32
+        z, _ = run_flat_convolution(make_umm(), x, y, 128)
+        assert np.allclose(z, reference(x, y))
+
+    def test_non_divisible_thread_split(self, rng):
+        """p between n and 2n: q = 1 block (integer division)."""
+        x = rng.normal(size=3)
+        y = rng.normal(size=18)  # n = 16
+        z, _ = run_flat_convolution(make_umm(), x, y, 24)
+        assert np.allclose(z, reference(x, y))
+
+    def test_impulse_kernel_is_identity(self, rng):
+        y = rng.normal(size=16)
+        z, _ = run_flat_convolution(make_umm(), np.array([1.0]), y, 8)
+        assert np.allclose(z, y)
+
+
+class TestValidation:
+    def test_k_greater_than_n_rejected(self, rng):
+        x = rng.normal(size=8)
+        y = rng.normal(size=9)  # n = 2 < k
+        with pytest.raises(ConfigurationError):
+            run_flat_convolution(make_umm(), x, y, 4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_flat_convolution(make_umm(), np.array([]), np.array([1.0]), 4)
+
+
+class TestTheorem8Shape:
+    @pytest.mark.parametrize("machine", [make_dmm, make_umm])
+    def test_within_constants_of_formula(self, machine, rng):
+        """Measured ~ nk/w + nkl/p + l·log k over the grid."""
+        w = 8
+        for k, n in ((4, 64), (8, 128)):
+            for p in (16, 64, 256):
+                for l in (1, 16):
+                    x = rng.normal(size=k)
+                    y = rng.normal(size=n + k - 1)
+                    _, report = run_flat_convolution(
+                        machine(width=w, latency=l), x, y, p
+                    )
+                    predicted = n * k / w + n * k * l / p + l * math.log2(k)
+                    assert report.cycles <= 6 * predicted, (k, n, p, l)
+                    assert report.cycles >= predicted / 8, (k, n, p, l)
+
+    def test_speed_up_with_threads(self, rng):
+        """Time decreases as p grows from n toward nk (Theorem 8's
+        range).  The comparison is between the endpoints: intermediate
+        points can wobble by one extra combining level's latency."""
+        k, n, l = 8, 64, 64
+        x = rng.normal(size=k)
+        y = rng.normal(size=n + k - 1)
+        cycles = []
+        for p in (n // 4, n, 4 * n):
+            _, report = run_flat_convolution(make_umm(width=8, latency=l), x, y, p)
+            cycles.append(report.cycles)
+        assert cycles[0] > 3 * cycles[1]  # p < n regime scales with p
+        assert cycles[1] > 1.1 * cycles[2]  # extra threads still help,
+        # though the l·log k combining cost caps the gain near p = nk
+
+    def test_conflict_free_on_dmm(self, rng):
+        x = rng.normal(size=4)
+        y = rng.normal(size=35)
+        _, report = run_flat_convolution(make_dmm(width=8), x, y, 16)
+        assert report.conflict_free()
+
+    def test_work_term_scales_with_k(self, rng):
+        """At saturated bandwidth, doubling k doubles time."""
+        n, p, w, l = 128, 128, 8, 1
+        cycles = []
+        for k in (4, 8):
+            x = rng.normal(size=k)
+            y = rng.normal(size=n + k - 1)
+            _, report = run_flat_convolution(make_umm(width=w, latency=l), x, y, p)
+            cycles.append(report.cycles)
+        assert 1.6 <= cycles[1] / cycles[0] <= 2.4

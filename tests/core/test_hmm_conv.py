@@ -1,0 +1,149 @@
+"""Direct convolution on the HMM (Theorem 9, Corollary 10)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.trace import TraceRecorder
+from repro.core.kernels.hmm_conv import hmm_convolution
+from repro.core.machines import run_flat_convolution
+
+from conftest import make_hmm, make_umm
+
+
+def reference(x, y):
+    return np.correlate(y, x, mode="valid")
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k,n", [(1, 4), (2, 16), (4, 64), (8, 64), (3, 10)])
+    @pytest.mark.parametrize("p", [4, 16, 64])
+    def test_value_matches_numpy(self, rng, k, n, p):
+        x = rng.integers(1, 5, k).astype(float)
+        y = rng.integers(1, 5, n + k - 1).astype(float)
+        z, _ = hmm_convolution(make_hmm(num_dmms=2, width=4), x, y, p)
+        assert np.allclose(z, reference(x, y)), (k, n, p)
+
+    @pytest.mark.parametrize("d", [1, 2, 4, 8])
+    def test_across_dmm_counts(self, rng, d):
+        x = rng.normal(size=4)
+        y = rng.normal(size=67)
+        z, _ = hmm_convolution(make_hmm(num_dmms=d, width=4), x, y, 32)
+        assert np.allclose(z, reference(x, y))
+
+    def test_more_dmms_than_chunks(self, rng):
+        """d > n: trailing DMMs have no chunk and stay idle."""
+        x = rng.normal(size=2)
+        y = rng.normal(size=4)  # n = 3 < d = 8
+        z, _ = hmm_convolution(make_hmm(num_dmms=8, width=4), x, y, 16)
+        assert np.allclose(z, reference(x, y))
+
+    def test_tail_chunk_shorter_than_k(self, rng):
+        """n % d leaves a tail chunk smaller than k: still correct."""
+        x = rng.normal(size=4)
+        y = rng.normal(size=16)  # n = 13, d = 4 -> chunks 4,4,4,1
+        z, _ = hmm_convolution(make_hmm(num_dmms=4, width=4), x, y, 16)
+        assert np.allclose(z, reference(x, y))
+
+    def test_many_threads_per_output(self, rng):
+        """q = p/d > chunk size exercises the block-combining path in
+        shared memory."""
+        x = rng.normal(size=4)
+        y = rng.normal(size=11)  # n = 8, chunks of 4
+        z, _ = hmm_convolution(make_hmm(num_dmms=2, width=4), x, y, 64)
+        assert np.allclose(z, reference(x, y))
+
+    def test_no_races(self, rng):
+        tr = TraceRecorder()
+        x = rng.normal(size=4)
+        y = rng.normal(size=35)
+        z, _ = hmm_convolution(make_hmm(num_dmms=2, width=4), x, y, 16, trace=tr)
+        assert np.allclose(z, reference(x, y))
+        assert tr.detect_races() == []
+
+
+class TestValidation:
+    def test_k_greater_than_n_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            hmm_convolution(
+                make_hmm(), rng.normal(size=8), rng.normal(size=9), 8
+            )
+
+
+class TestTheorem9Shape:
+    def test_within_constants_of_formula(self, rng):
+        w, d = 8, 4
+        for k, n in ((8, 128), (16, 256)):
+            for p in (32, 128):
+                for l in (4, 64):
+                    x = rng.normal(size=k)
+                    y = rng.normal(size=n + k - 1)
+                    eng = make_hmm(num_dmms=d, width=w, global_latency=l)
+                    _, report = hmm_convolution(eng, x, y, p)
+                    predicted = (
+                        (n + d * k) / w
+                        + n * k / (d * w)
+                        + (n + d * k) * l / p
+                        + l
+                        + math.log2(k)
+                    )
+                    assert report.cycles <= 8 * predicted, (k, n, p, l)
+                    assert report.cycles >= predicted / 8, (k, n, p, l)
+
+    def test_dmm_parallelism_speedup(self, rng):
+        """The nk/(dw) term: with compute-bound parameters, doubling d
+        roughly halves the time (Corollary 10's headline)."""
+        k, n, w, l = 16, 256, 4, 4
+        x = rng.normal(size=k)
+        y = rng.normal(size=n + k - 1)
+        cycles = {}
+        for d in (1, 2, 4):
+            p = 16 * d  # keep per-DMM thread count fixed
+            eng = make_hmm(num_dmms=d, width=w, global_latency=l)
+            _, report = hmm_convolution(eng, x, y, p)
+            cycles[d] = report.cycles
+        assert cycles[1] / cycles[2] > 1.6
+        assert cycles[2] / cycles[4] > 1.5
+
+    def test_beats_flat_machine(self, rng):
+        """Theorem 9 vs Theorem 8 at realistic latency: staging into the
+        d latency-1 shared memories wins."""
+        k, n, w, l, d, p = 8, 256, 8, 128, 8, 256
+        x = rng.normal(size=k)
+        y = rng.normal(size=n + k - 1)
+        _, flat = run_flat_convolution(make_umm(width=w, latency=l), x, y, p)
+        eng = make_hmm(num_dmms=d, width=w, global_latency=l)
+        _, hier = hmm_convolution(eng, x, y, p)
+        assert hier.cycles < flat.cycles / 2
+
+    def test_global_traffic_is_linear_not_nk(self, rng):
+        """Step 1/3 move O(n + dk) cells through the global memory; the
+        O(nk) operand reads all hit shared memory."""
+        k, n, d, w = 8, 128, 4, 8
+        x = rng.normal(size=k)
+        y = rng.normal(size=n + k - 1)
+        eng = make_hmm(num_dmms=d, width=w, global_latency=16)
+        _, report = hmm_convolution(eng, x, y, 64)
+        global_requests = report.stats_for("global").requests
+        assert global_requests <= 2 * (n + d * k) + 2 * n
+        shared_requests = report.shared_stats().requests
+        assert shared_requests >= n * k  # the actual multiply operands
+
+
+class TestFewerThreadsThanDMMs:
+    """Regression: with p < d the output must still be fully covered by
+    the DMMs that received threads (found by hypothesis)."""
+
+    def test_conv_p_less_than_d(self, rng):
+        x = np.array([3.0])
+        y = np.array([1.0, 0.0, -2.0])  # k=1, n=3
+        z, _ = hmm_convolution(make_hmm(num_dmms=4, width=4), x, y, 2)
+        assert np.allclose(z, [3.0, 0.0, -6.0])
+
+    def test_conv_single_thread(self, rng):
+        xv = rng.normal(size=3)
+        yv = rng.normal(size=12)
+        z, _ = hmm_convolution(make_hmm(num_dmms=8, width=4), xv, yv, 1)
+        assert np.allclose(z, np.correlate(yv, xv, "valid"))

@@ -1,0 +1,120 @@
+"""The sum on the HMM (Lemma 6, Theorem 7)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.machine.trace import TraceRecorder
+from repro.core.kernels.hmm_sum import (
+    hmm_sum,
+    hmm_sum_recursive,
+    hmm_sum_single_dmm,
+)
+from repro.core.kernels.reduction import sum_kernel
+
+from conftest import make_hmm
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 7, 16, 100, 256, 1000])
+    @pytest.mark.parametrize("p", [2, 8, 32])
+    def test_theorem7_value(self, rng, n, p):
+        vals = rng.integers(-5, 10, n).astype(float)
+        total, _ = hmm_sum(make_hmm(num_dmms=2, width=4), vals, p)
+        assert np.isclose(total, vals.sum()), (n, p)
+
+    @pytest.mark.parametrize("d", [1, 2, 4, 8])
+    def test_across_dmm_counts(self, rng, d):
+        vals = rng.normal(size=128)
+        total, _ = hmm_sum(make_hmm(num_dmms=d, width=4), vals, 32)
+        assert np.isclose(total, vals.sum())
+
+    @pytest.mark.parametrize("n,p", [(64, 8), (200, 16), (9, 4)])
+    def test_lemma6_value(self, rng, n, p):
+        vals = rng.normal(size=n)
+        total, _ = hmm_sum_single_dmm(make_hmm(num_dmms=4, width=4), vals, p)
+        assert np.isclose(total, vals.sum())
+
+    @pytest.mark.parametrize("n", [16, 100, 2048])
+    def test_recursive_value(self, rng, n):
+        vals = rng.normal(size=n)
+        total, cycles = hmm_sum_recursive(make_hmm(num_dmms=2, width=4), vals, 16)
+        assert np.isclose(total, vals.sum())
+        assert cycles > 0
+
+    def test_no_races(self, rng):
+        tr = TraceRecorder()
+        vals = rng.normal(size=64)
+        total, _ = hmm_sum(make_hmm(num_dmms=2, width=4), vals, 16, trace=tr)
+        assert np.isclose(total, vals.sum())
+        assert tr.detect_races() == []
+
+
+class TestTheorem7Shape:
+    def test_within_constants_of_formula(self, rng):
+        for n in (256, 1024):
+            for p in (16, 64):
+                for l in (4, 32, 128):
+                    vals = rng.normal(size=n)
+                    eng = make_hmm(num_dmms=4, width=8, global_latency=l)
+                    _, report = hmm_sum(eng, vals, p)
+                    predicted = n / 8 + n * l / p + l + math.log2(n)
+                    assert report.cycles <= 4 * predicted, (n, p, l)
+                    assert report.cycles >= predicted / 8, (n, p, l)
+
+    def test_latency_paid_constant_times_not_per_level(self, rng):
+        """Theorem 7's point: with p >= n (so nl/p <= l), going from l to
+        2l adds only O(1) latency payments (the global read, the partial
+        write, the final read and write), NOT the l·log n that the flat
+        Lemma 5 algorithm pays — the tree levels run at latency 1."""
+        n, p = 512, 512
+        vals = rng.normal(size=n)
+        e1 = make_hmm(num_dmms=8, width=8, global_latency=100)
+        e2 = make_hmm(num_dmms=8, width=8, global_latency=200)
+        _, r1 = hmm_sum(e1, vals, p)
+        _, r2 = hmm_sum(e2, vals, p)
+        delta = r2.cycles - r1.cycles
+        assert delta <= 5 * 100  # O(1) latency payments
+        flat_delta = 100 * math.log2(n)  # what Lemma 5 would add
+        assert delta < flat_delta / 2
+
+    def test_beats_flat_global_sum(self, rng):
+        """The HMM algorithm beats Lemma 5 run in global memory once
+        l·log n dominates."""
+        n, p, l = 1024, 128, 200
+        vals = rng.normal(size=n)
+        eng = make_hmm(num_dmms=8, width=8, global_latency=l)
+        _, smart = hmm_sum(eng, vals, p)
+        eng2 = make_hmm(num_dmms=8, width=8, global_latency=l)
+        a = eng2.global_from(vals, "a")
+        flat = eng2.launch(sum_kernel(a, n), p)
+        assert np.isclose(a.to_numpy()[0], vals.sum())
+        assert smart.cycles < flat.cycles / 2
+
+    def test_all_dmms_beat_single_dmm(self, rng):
+        """Theorem 7 vs Lemma 6: using all d DMMs hides the latency that
+        a single DMM cannot."""
+        n, l, d = 4096, 256, 8
+        p_single = 64          # one DMM's worth of threads
+        p_all = p_single * d   # same per-DMM load, all DMMs
+        vals = rng.normal(size=n)
+        _, single = hmm_sum_single_dmm(
+            make_hmm(num_dmms=d, width=8, global_latency=l), vals, p_single
+        )
+        _, full = hmm_sum(
+            make_hmm(num_dmms=d, width=8, global_latency=l), vals, p_all
+        )
+        assert full.cycles < single.cycles
+
+    def test_shared_memory_carries_the_tree(self, rng):
+        """Most reduction transactions run on shared units, not global."""
+        vals = rng.normal(size=512)
+        eng = make_hmm(num_dmms=4, width=8, global_latency=64)
+        _, report = hmm_sum(eng, vals, 64)
+        shared = report.shared_stats().transactions
+        glob = report.stats_for("global").transactions
+        # Global traffic: the contiguous column reads + 2 writes/DMM-ish;
+        # the tree levels all live in shared memory.
+        assert shared > 0
+        assert glob <= 512 / 8 + 3 * 4 + 4

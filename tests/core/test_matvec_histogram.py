@@ -1,0 +1,152 @@
+"""Dense matrix-vector multiply and histogram (extensions)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.trace import TraceRecorder
+from repro.core.kernels.histogram import hmm_histogram, hmm_histogram_racy
+from repro.core.kernels.matvec import flat_matvec, hmm_matvec
+
+from conftest import make_dmm, make_hmm, make_umm
+
+
+class TestFlatMatvec:
+    @pytest.mark.parametrize("m,n", [(1, 1), (4, 4), (13, 7), (32, 20), (5, 33)])
+    @pytest.mark.parametrize("p", [4, 16, 64])
+    def test_value(self, rng, m, n, p):
+        A = rng.normal(size=(m, n))
+        x = rng.normal(size=n)
+        y, _ = flat_matvec(make_umm(width=4, latency=3), A, x, p)
+        assert np.allclose(y, A @ x), (m, n, p)
+
+    def test_dmm_agrees(self, rng):
+        A = rng.normal(size=(8, 12))
+        x = rng.normal(size=12)
+        y1, _ = flat_matvec(make_dmm(width=4), A, x, 16)
+        y2, _ = flat_matvec(make_umm(width=4), A, x, 16)
+        assert np.allclose(y1, y2)
+
+    def test_accesses_coalesced(self, rng):
+        """The warp-per-row formulation keeps every A read contiguous."""
+        A = rng.normal(size=(16, 32))
+        x = rng.normal(size=32)
+        _, report = flat_matvec(make_dmm(width=8), A, x, 32)
+        assert report.conflict_free()
+
+    def test_partial_warp_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            flat_matvec(make_umm(width=8), rng.normal(size=(4, 4)),
+                        rng.normal(size=4), 6)
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            flat_matvec(make_umm(), rng.normal(size=(4, 4)),
+                        rng.normal(size=5), 8)
+        with pytest.raises(ConfigurationError):
+            flat_matvec(make_umm(), rng.normal(size=4), rng.normal(size=4), 8)
+
+
+class TestHMMMatvec:
+    @pytest.mark.parametrize("m,n", [(1, 4), (16, 16), (13, 9), (40, 24)])
+    @pytest.mark.parametrize("p,d", [(8, 2), (32, 4), (16, 2)])
+    def test_value(self, rng, m, n, p, d):
+        A = rng.normal(size=(m, n))
+        x = rng.normal(size=n)
+        eng = make_hmm(num_dmms=d, width=4, global_latency=6)
+        y, _ = hmm_matvec(eng, A, x, p)
+        assert np.allclose(y, A @ x), (m, n, p, d)
+
+    def test_thread_multiple_enforced(self, rng):
+        eng = make_hmm(num_dmms=2, width=4)
+        with pytest.raises(ConfigurationError):
+            hmm_matvec(eng, rng.normal(size=(4, 4)), rng.normal(size=4), 10)
+
+    def test_no_races(self, rng):
+        tr = TraceRecorder()
+        A = rng.normal(size=(12, 8))
+        x = rng.normal(size=8)
+        eng = make_hmm(num_dmms=2, width=4, global_latency=4)
+        y, _ = hmm_matvec(eng, A, x, 16, trace=tr)
+        assert np.allclose(y, A @ x)
+        assert tr.detect_races() == []
+
+    def test_staging_beats_flat_at_latency(self, rng):
+        """Staging x into the shared memories wins once l is realistic —
+        the Theorem 9 structure on a different kernel."""
+        A = rng.normal(size=(64, 64))
+        x = rng.normal(size=64)
+        _, flat = flat_matvec(make_umm(width=8, latency=100), A, x, 64)
+        eng = make_hmm(num_dmms=8, width=8, global_latency=100)
+        _, hier = hmm_matvec(eng, A, x, 64)
+        assert hier.cycles * 2 < flat.cycles
+
+    def test_x_staged_once_per_dmm(self, rng):
+        """Global traffic is O(mn + dn), not O(mn) repeated x reads."""
+        m = n = 32
+        d, w = 4, 8
+        A = rng.normal(size=(m, n))
+        x = rng.normal(size=n)
+        eng = make_hmm(num_dmms=d, width=w, global_latency=8)
+        _, report = hmm_matvec(eng, A, x, d * w)
+        g = report.stats_for("global").requests
+        assert g <= m * n + d * n + 2 * m + w  # A + staged x + y + slack
+
+
+class TestHistogram:
+    @pytest.mark.parametrize("n,bins,d", [(100, 8, 2), (512, 16, 4), (7, 4, 8),
+                                          (1, 1, 2), (64, 3, 4)])
+    def test_exact_counts(self, rng, n, bins, d):
+        vals = rng.integers(0, bins, n).astype(float)
+        eng = make_hmm(num_dmms=d, width=4, global_latency=6)
+        counts, _ = hmm_histogram(eng, vals, bins)
+        assert np.allclose(counts, np.bincount(vals.astype(int), minlength=bins))
+
+    def test_skewed_distribution(self, rng):
+        """Hot bins (all items in one bin) stay exact — the worst case
+        for collision handling."""
+        vals = np.zeros(200)
+        eng = make_hmm(num_dmms=4, width=4, global_latency=4)
+        counts, _ = hmm_histogram(eng, vals, 4)
+        assert counts[0] == 200 and counts[1:].sum() == 0
+
+    def test_race_free(self, rng):
+        tr = TraceRecorder()
+        vals = rng.integers(0, 8, 128).astype(float)
+        eng = make_hmm(num_dmms=2, width=8, global_latency=4)
+        counts, _ = hmm_histogram(eng, vals, 8, trace=tr)
+        assert counts.sum() == 128
+        assert tr.detect_races() == []
+
+    def test_racy_variant_flagged_and_wrong(self, rng):
+        tr = TraceRecorder()
+        vals = rng.integers(0, 4, 256).astype(float)
+        eng = make_hmm(num_dmms=2, width=8, global_latency=4)
+        counts, _ = hmm_histogram_racy(eng, vals, 4, 64, trace=tr)
+        assert counts.sum() < 256  # lost updates
+        assert tr.detect_races()
+
+    def test_input_validation(self, rng):
+        eng = make_hmm()
+        with pytest.raises(ConfigurationError):
+            hmm_histogram(eng, [], 4)
+        with pytest.raises(ConfigurationError):
+            hmm_histogram(eng, [0.0, 5.0], 4)  # out of range
+        with pytest.raises(ConfigurationError):
+            hmm_histogram(eng, [0.5], 4)  # not integral
+        with pytest.raises(ConfigurationError):
+            hmm_histogram(eng, [0.0], 0)
+
+
+class TestFlatFacadeSymmetry:
+    def test_flat_machines_expose_matvec_and_spmv(self, rng):
+        from repro import DMM, UMM, MachineParams
+
+        A = rng.normal(size=(8, 8)) * (rng.random((8, 8)) < 0.5)
+        x = rng.normal(size=8)
+        for machine in (DMM(MachineParams(width=4, latency=3)),
+                        UMM(MachineParams(width=4, latency=3))):
+            y1, _ = machine.matvec(A, x, 8)
+            y2, _ = machine.spmv(A, x, 8)
+            assert np.allclose(y1, A @ x)
+            assert np.allclose(y2, A @ x)

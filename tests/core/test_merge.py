@@ -1,0 +1,110 @@
+"""Merging sorted arrays (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.trace import TraceRecorder
+from repro.core.kernels.merge import flat_merge, hmm_merge, merge_partition
+
+from conftest import make_dmm, make_hmm, make_umm
+
+
+class TestMergePartition:
+    def test_basic_split(self):
+        a = np.array([1.0, 3.0, 5.0])
+        b = np.array([2.0, 4.0, 6.0])
+        assert merge_partition(a, b, 0) == (0, 0)
+        assert merge_partition(a, b, 3) == (2, 1)  # {1,2,3}
+        assert merge_partition(a, b, 6) == (3, 3)
+
+    def test_ties_resolve_toward_a(self):
+        a = np.array([2.0, 2.0])
+        b = np.array([2.0, 2.0])
+        # The k smallest prefer a's copies first (stability).
+        assert merge_partition(a, b, 2) == (2, 0)
+
+    def test_empty_sides(self):
+        assert merge_partition(np.array([]), np.array([1.0, 2.0]), 1) == (0, 1)
+        assert merge_partition(np.array([1.0, 2.0]), np.array([]), 1) == (1, 0)
+
+    def test_partition_invariant(self, rng):
+        """a[:i] and b[:j] really are the k smallest (multiset check)."""
+        a = np.sort(rng.integers(0, 10, 20).astype(float))
+        b = np.sort(rng.integers(0, 10, 15).astype(float))
+        merged = np.sort(np.concatenate([a, b]))
+        for k in range(36):
+            i, j = merge_partition(a, b, k)
+            assert i + j == k
+            taken = np.sort(np.concatenate([a[:i], b[:j]]))
+            assert np.array_equal(taken, merged[:k])
+
+
+class TestFlatMerge:
+    @pytest.mark.parametrize("na,nb", [(0, 5), (5, 0), (1, 1), (8, 8),
+                                       (13, 29), (50, 3)])
+    @pytest.mark.parametrize("p", [1, 4, 32])
+    def test_value(self, rng, na, nb, p):
+        a = np.sort(rng.integers(0, 12, na).astype(float))
+        b = np.sort(rng.integers(0, 12, nb).astype(float))
+        out, _ = flat_merge(make_umm(width=4, latency=3), a, b, p)
+        assert np.array_equal(out, np.sort(np.concatenate([a, b])))
+
+    def test_with_duplicates_everywhere(self):
+        a = np.full(10, 7.0)
+        b = np.full(10, 7.0)
+        out, _ = flat_merge(make_umm(), a, b, 8)
+        assert np.array_equal(out, np.full(20, 7.0))
+
+    def test_disjoint_ranges(self):
+        a = np.arange(8.0)
+        b = np.arange(8.0) + 100
+        out, _ = flat_merge(make_dmm(), a, b, 4)
+        assert np.array_equal(out, np.concatenate([a, b]))
+
+    def test_unsorted_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            flat_merge(make_umm(), np.array([2.0, 1.0]), np.array([1.0]), 4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            flat_merge(make_umm(), np.array([]), np.array([]), 4)
+
+
+class TestHMMMerge:
+    @pytest.mark.parametrize("na,nb", [(0, 9), (16, 16), (33, 21), (7, 40)])
+    @pytest.mark.parametrize("p,d", [(4, 2), (16, 4), (32, 8)])
+    def test_value(self, rng, na, nb, p, d):
+        a = np.sort(rng.normal(size=na))
+        b = np.sort(rng.normal(size=nb))
+        eng = make_hmm(num_dmms=d, width=4, global_latency=6)
+        out, _ = hmm_merge(eng, a, b, p)
+        assert np.array_equal(out, np.sort(np.concatenate([a, b])))
+
+    def test_no_races(self, rng):
+        tr = TraceRecorder()
+        a = np.sort(rng.normal(size=24))
+        b = np.sort(rng.normal(size=18))
+        eng = make_hmm(num_dmms=2, width=4, global_latency=4)
+        out, _ = hmm_merge(eng, a, b, 8, trace=tr)
+        assert np.array_equal(out, np.sort(np.concatenate([a, b])))
+        assert tr.detect_races() == []
+
+    def test_beats_flat_at_latency(self, rng):
+        """The searches and segment merges are dependent-read chains —
+        exactly what latency-1 shared memory rescues."""
+        a = np.sort(rng.normal(size=512))
+        b = np.sort(rng.normal(size=512))
+        _, flat = flat_merge(make_umm(width=8, latency=100), a, b, 128)
+        eng = make_hmm(num_dmms=8, width=8, global_latency=100)
+        _, hier = hmm_merge(eng, a, b, 128)
+        assert hier.cycles * 1.5 < flat.cycles
+
+    def test_skewed_partition(self, rng):
+        """One array far larger than the other still partitions evenly
+        by *output*, not by input."""
+        a = np.sort(rng.normal(size=100))
+        b = np.sort(rng.normal(size=4))
+        eng = make_hmm(num_dmms=4, width=4, global_latency=5)
+        out, _ = hmm_merge(eng, a, b, 16)
+        assert np.array_equal(out, np.sort(np.concatenate([a, b])))

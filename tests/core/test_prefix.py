@@ -1,0 +1,127 @@
+"""Prefix-sums on the flat machines and the HMM (extension, ref [17])."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.trace import TraceRecorder
+from repro.core.kernels.prefix import hmm_prefix_sums, level_sizes
+from repro.core.machines import run_flat_prefix_sums
+
+from conftest import make_dmm, make_hmm, make_umm
+
+
+class TestLevelSizes:
+    def test_power_of_two(self):
+        assert level_sizes(8) == [8, 4, 2, 1]
+
+    def test_general(self):
+        assert level_sizes(7) == [7, 4, 2, 1]
+        assert level_sizes(1) == [1]
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            level_sizes(0)
+
+
+class TestFlatCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 3, 8, 15, 16, 33, 100])
+    @pytest.mark.parametrize("p", [1, 4, 32])
+    def test_matches_cumsum(self, rng, n, p):
+        vals = rng.integers(-4, 9, n).astype(float)
+        out, _ = run_flat_prefix_sums(make_umm(), vals, p)
+        assert np.allclose(out, np.cumsum(vals)), (n, p)
+
+    def test_dmm_agrees(self, rng):
+        vals = rng.normal(size=50)
+        o1, _ = run_flat_prefix_sums(make_dmm(), vals, 16)
+        o2, _ = run_flat_prefix_sums(make_umm(), vals, 16)
+        assert np.allclose(o1, o2)
+
+    def test_input_not_clobbered(self, rng):
+        eng = make_umm()
+        vals = rng.normal(size=20)
+        out, _ = run_flat_prefix_sums(eng, vals, 8)
+        assert np.allclose(out, np.cumsum(vals))
+
+
+class TestHMMCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 8, 16, 63, 100, 256])
+    @pytest.mark.parametrize("p", [2, 8, 32])
+    def test_matches_cumsum(self, rng, n, p):
+        vals = rng.integers(-4, 9, n).astype(float)
+        out, _ = hmm_prefix_sums(make_hmm(num_dmms=2, width=4), vals, p)
+        assert np.allclose(out, np.cumsum(vals)), (n, p)
+
+    @pytest.mark.parametrize("d", [1, 2, 4, 8])
+    def test_across_dmm_counts(self, rng, d):
+        vals = rng.normal(size=80)
+        out, _ = hmm_prefix_sums(make_hmm(num_dmms=d, width=4), vals, 32)
+        assert np.allclose(out, np.cumsum(vals))
+
+    def test_no_races(self, rng):
+        tr = TraceRecorder()
+        vals = rng.normal(size=48)
+        out, _ = hmm_prefix_sums(
+            make_hmm(num_dmms=2, width=4), vals, 16, trace=tr
+        )
+        assert np.allclose(out, np.cumsum(vals))
+        assert tr.detect_races() == []
+
+
+class TestShape:
+    def test_flat_shape(self, rng):
+        """O(n/w + nl/p + l·log n): stride-2 sweeps cost at most a
+        constant factor over the contiguous ideal."""
+        for n in (64, 256):
+            for p in (16, 64):
+                for l in (1, 32):
+                    vals = rng.normal(size=n)
+                    _, report = run_flat_prefix_sums(
+                        make_umm(width=8, latency=l), vals, p
+                    )
+                    predicted = n / 8 + n * l / p + l * math.log2(n)
+                    # Constant ~12: two sweeps (up + down) of 3-4 memory
+                    # operations per level plus the combine pass.
+                    assert report.cycles <= 16 * predicted, (n, p, l)
+
+    def test_hmm_beats_flat_at_high_latency(self, rng):
+        """The HMM scan pays O(1) latency terms instead of l·log n."""
+        n, p, l, d = 1024, 256, 200, 8
+        vals = rng.normal(size=n)
+        _, flat = run_flat_prefix_sums(make_umm(width=8, latency=l), vals, p)
+        eng = make_hmm(num_dmms=d, width=8, global_latency=l)
+        _, hier = hmm_prefix_sums(eng, vals, p)
+        assert hier.cycles < flat.cycles / 2
+
+    def test_latency_delta_is_constant(self, rng):
+        """Doubling l adds O(1) latency payments (the six global
+        round-trips: chunk read, totals write/read, offsets write/read,
+        result write), not the O(l·log n) a flat scan pays."""
+        n, p = 512, 512
+        vals = rng.normal(size=n)
+        e1 = make_hmm(num_dmms=8, width=8, global_latency=100)
+        e2 = make_hmm(num_dmms=8, width=8, global_latency=200)
+        _, r1 = hmm_prefix_sums(e1, vals, p)
+        _, r2 = hmm_prefix_sums(e2, vals, p)
+        delta = r2.cycles - r1.cycles
+        assert delta <= 7 * 100
+        # A flat scan pays ~3 accesses x 2 sweeps x log2(n) levels of l.
+        assert delta < 100 * 2 * math.log2(n)
+
+
+class TestFewerThreadsThanDMMs:
+    """Regression companion to the convolution p < d fix: chunking must
+    follow the active DMMs, not the machine's DMM count."""
+
+    def test_scan_p_less_than_d(self, rng):
+        vals = rng.normal(size=50)
+        out, _ = hmm_prefix_sums(make_hmm(num_dmms=8, width=4), vals, 2)
+        assert np.allclose(out, np.cumsum(vals))
+
+    def test_scan_single_thread(self, rng):
+        vals = rng.normal(size=9)
+        out, _ = hmm_prefix_sums(make_hmm(num_dmms=4, width=4), vals, 1)
+        assert np.allclose(out, np.cumsum(vals))

@@ -1,0 +1,181 @@
+"""The sum on the DMM and the UMM (Lemma 5)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.kernels.reduction import sum_kernel
+
+from conftest import make_dmm, make_umm
+
+
+def run_sum(machine_factory, values, p, **machine_kw):
+    eng = machine_factory(**machine_kw)
+    a = eng.array_from(values, "a")
+    report = eng.launch(sum_kernel(a, len(values)), p)
+    return float(a.to_numpy()[0]), report
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 8, 16, 33, 100, 255, 256])
+    @pytest.mark.parametrize("p", [1, 4, 16, 64])
+    def test_sum_value(self, rng, n, p):
+        vals = rng.integers(-5, 10, n).astype(float)
+        total, _ = run_sum(make_umm, vals, p)
+        assert np.isclose(total, vals.sum())
+
+    def test_dmm_and_umm_same_value(self, rng):
+        vals = rng.normal(size=100)
+        t1, _ = run_sum(make_dmm, vals, 16)
+        t2, _ = run_sum(make_umm, vals, 16)
+        assert np.isclose(t1, t2)
+
+    def test_preserves_tail_beyond_n(self, rng):
+        eng = make_umm()
+        vals = rng.normal(size=8)
+        a = eng.alloc(16)
+        a.set(np.concatenate([vals, np.full(8, 99.0)]))
+        eng.launch(sum_kernel(a, 8), 4)
+        assert (a.to_numpy()[8:] == 99.0).all()
+
+    def test_more_threads_than_elements(self, rng):
+        vals = rng.normal(size=10)
+        total, _ = run_sum(make_umm, vals, 512)
+        assert np.isclose(total, vals.sum())
+
+
+class TestValidation:
+    def test_zero_n(self):
+        eng = make_umm()
+        a = eng.alloc(4)
+        with pytest.raises(ConfigurationError):
+            sum_kernel(a, 0)
+
+    def test_oversized(self):
+        eng = make_umm()
+        a = eng.alloc(4)
+        with pytest.raises(ConfigurationError):
+            sum_kernel(a, 5)
+
+
+class TestLemma5Shape:
+    @pytest.mark.parametrize("machine", [make_dmm, make_umm])
+    def test_within_constants_of_formula(self, machine, rng):
+        """Measured ~ n/w + nl/p + l·log n across the grid."""
+        import math
+
+        for n in (64, 512):
+            for p in (8, 64):
+                for l in (1, 16, 64):
+                    vals = rng.normal(size=n)
+                    _, report = run_sum(machine, vals, p, width=8, latency=l)
+                    predicted = n / 8 + n * l / p + l * math.log2(n)
+                    assert report.cycles <= 4 * predicted, (n, p, l)
+                    assert report.cycles >= predicted / 8, (n, p, l)
+
+    def test_latency_log_term_dominates_at_high_l(self, rng):
+        """Doubling l roughly doubles time once l·log n dominates — the
+        weakness the HMM algorithm removes."""
+        vals = rng.normal(size=64)
+        _, r1 = run_sum(make_umm, vals, 64, width=8, latency=64)
+        _, r2 = run_sum(make_umm, vals, 64, width=8, latency=128)
+        assert 1.6 <= r2.cycles / r1.cycles <= 2.4
+
+    def test_conflict_free_on_dmm(self, rng):
+        """Every transaction of the Lemma 5 kernel is contiguous."""
+        vals = rng.normal(size=128)
+        _, report = run_sum(make_dmm, vals, 16, width=8)
+        assert report.conflict_free()
+
+    def test_work_scaling_with_threads(self, rng):
+        """More threads help until p ~ n: time decreases monotonically."""
+        vals = rng.normal(size=256)
+        cycles = [
+            run_sum(make_umm, vals, p, width=8, latency=4)[1].cycles
+            for p in (4, 16, 64)
+        ]
+        assert cycles[0] > cycles[1] > cycles[2]
+
+
+class TestGeneralizedReductions:
+    """reduce_kernel / hmm_reduce: Lemma 5 / Theorem 7 for any unit-time
+    commutative, associative operation."""
+
+    @pytest.mark.parametrize("op,ref", [
+        ("sum", np.sum), ("max", np.max), ("min", np.min),
+    ])
+    @pytest.mark.parametrize("n", [1, 7, 64, 200])
+    def test_flat_named_ops(self, rng, op, ref, n):
+        from repro.core.kernels.reduction import reduce_kernel
+
+        vals = rng.normal(size=n)
+        eng = make_umm()
+        a = eng.array_from(vals, "a")
+        eng.launch(reduce_kernel(a, n, op), 16)
+        assert np.isclose(a.to_numpy()[0], ref(vals)), (op, n)
+
+    def test_flat_prod(self, rng):
+        from repro.core.kernels.reduction import reduce_kernel
+
+        vals = rng.uniform(0.9, 1.1, 50)
+        eng = make_dmm()
+        a = eng.array_from(vals, "a")
+        eng.launch(reduce_kernel(a, 50, "prod"), 8)
+        assert np.isclose(a.to_numpy()[0], vals.prod())
+
+    def test_unknown_op_rejected(self):
+        from repro.core.kernels.reduction import reduce_kernel
+
+        eng = make_umm()
+        a = eng.alloc(8)
+        with pytest.raises(ConfigurationError):
+            reduce_kernel(a, 8, "median")
+
+    @pytest.mark.parametrize("op,ref", [
+        ("max", np.max), ("min", np.min),
+    ])
+    @pytest.mark.parametrize("n", [3, 100, 513])
+    def test_hmm_named_ops(self, rng, op, ref, n):
+        from repro.core.kernels.hmm_sum import hmm_reduce
+
+        import conftest
+
+        vals = rng.normal(size=n)
+        eng = conftest.make_hmm(num_dmms=4, width=4, global_latency=8)
+        got, _ = hmm_reduce(eng, vals, 32, op)
+        assert np.isclose(got, ref(vals)), (op, n)
+
+    def test_hmm_masked_identity_correct(self, rng):
+        """Regression guard: masked lanes must not inject 0 into min/max
+        (0 is not the identity for those operations)."""
+        from repro.core.kernels.hmm_sum import hmm_reduce
+
+        import conftest
+
+        vals = np.full(37, 5.0)  # min is 5.0; any leaked 0 would show
+        eng = conftest.make_hmm(num_dmms=2, width=4, global_latency=4)
+        got, _ = hmm_reduce(eng, vals, 16, "min")
+        assert got == 5.0
+
+    def test_facade_methods(self, rng):
+        from repro import HMM, UMM, HMMParams, MachineParams
+
+        vals = rng.normal(size=99)
+        got, _ = UMM(MachineParams(width=4, latency=3)).reduce(vals, 16, "max")
+        assert np.isclose(got, vals.max())
+        got, _ = HMM(HMMParams(num_dmms=2, width=4, global_latency=5)).reduce(
+            vals, 16, "min")
+        assert np.isclose(got, vals.min())
+
+    def test_same_cost_as_sum(self, rng):
+        """Any unit-time op has the same Lemma 5 cost structure."""
+        from repro.core.kernels.reduction import reduce_kernel, sum_kernel
+
+        vals = rng.normal(size=128)
+        e1 = make_umm(width=8, latency=16)
+        a1 = e1.array_from(vals, "a")
+        r1 = e1.launch(sum_kernel(a1, 128), 32)
+        e2 = make_umm(width=8, latency=16)
+        a2 = e2.array_from(vals, "a")
+        r2 = e2.launch(reduce_kernel(a2, 128, "max"), 32)
+        assert r1.cycles == r2.cycles

@@ -1,0 +1,151 @@
+"""Approximate string matching (extension, ref [18])."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.trace import TraceRecorder
+from repro.core.kernels.string_matching import (
+    flat_approximate_match,
+    hmm_approximate_match,
+    reference_approximate_match,
+)
+
+from conftest import make_dmm, make_hmm, make_umm
+
+
+class TestReference:
+    def test_exact_occurrence_scores_zero(self):
+        out = reference_approximate_match(
+            np.array([1.0, 2.0, 3.0]),
+            np.array([9.0, 1.0, 2.0, 3.0, 9.0]),
+        )
+        assert out[3] == 0.0  # match ends at index 3
+
+    def test_single_substitution(self):
+        out = reference_approximate_match(
+            np.array([1.0, 2.0, 3.0]),
+            np.array([1.0, 9.0, 3.0]),
+        )
+        assert out[2] == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            reference_approximate_match(np.array([]), np.array([1.0]))
+
+    def test_monotone_bounded_by_m(self):
+        rng = np.random.default_rng(0)
+        pv = rng.integers(0, 3, 5).astype(float)
+        tv = rng.integers(0, 3, 30).astype(float)
+        out = reference_approximate_match(pv, tv)
+        assert (out <= 5).all() and (out >= 0).all()
+        # Neighbouring scores differ by at most 1 (one more text char).
+        assert (np.abs(np.diff(out)) <= 1).all()
+
+
+class TestFlatKernel:
+    @pytest.mark.parametrize("m,n", [(1, 1), (1, 10), (3, 7), (4, 33), (5, 64)])
+    @pytest.mark.parametrize("p", [1, 4, 16])
+    def test_matches_reference(self, rng, m, n, p):
+        pv = rng.integers(0, 3, m).astype(float)
+        tv = rng.integers(0, 3, n).astype(float)
+        out, _ = flat_approximate_match(make_umm(), pv, tv, p)
+        assert np.allclose(out, reference_approximate_match(pv, tv)), (m, n, p)
+
+    def test_dmm_agrees(self, rng):
+        pv = rng.integers(0, 4, 4).astype(float)
+        tv = rng.integers(0, 4, 40).astype(float)
+        o1, _ = flat_approximate_match(make_dmm(), pv, tv, 8)
+        o2, _ = flat_approximate_match(make_umm(), pv, tv, 8)
+        assert np.allclose(o1, o2)
+
+    def test_string_inputs(self):
+        out, _ = flat_approximate_match(make_umm(), "abc", "xxabcyy", 8)
+        assert out[4] == 0.0
+
+    def test_per_diagonal_latency_dominates(self, rng):
+        """The flat DP pays ~l per diagonal: time grows linearly in l."""
+        pv = rng.integers(0, 3, 4).astype(float)
+        tv = rng.integers(0, 3, 64).astype(float)
+        _, r1 = flat_approximate_match(make_umm(width=8, latency=10), pv, tv, 16)
+        _, r2 = flat_approximate_match(make_umm(width=8, latency=40), pv, tv, 16)
+        assert r2.cycles > 2.5 * r1.cycles
+
+
+class TestHMMKernel:
+    @pytest.mark.parametrize("m,n", [(1, 6), (3, 30), (4, 64), (2, 9)])
+    @pytest.mark.parametrize("p,d", [(4, 2), (16, 4), (3, 8)])
+    def test_matches_reference(self, rng, m, n, p, d):
+        pv = rng.integers(0, 3, m).astype(float)
+        tv = rng.integers(0, 3, n).astype(float)
+        eng = make_hmm(num_dmms=d, width=4, global_latency=6)
+        out, _ = hmm_approximate_match(eng, pv, tv, p)
+        assert np.allclose(out, reference_approximate_match(pv, tv)), (m, n, p, d)
+
+    def test_chunk_boundary_correctness(self, rng):
+        """The 2m-overlap warm-up must reproduce exact DP values at every
+        chunk boundary: check a text whose optimal alignments straddle
+        the boundaries (runs of near-matches)."""
+        pv = np.array([1.0, 1.0, 1.0, 1.0])
+        tv = np.ones(61)
+        tv[13] = 2.0  # a defect near the d=4 chunk boundary (ceil(61/4)=16)
+        tv[31] = 2.0
+        eng = make_hmm(num_dmms=4, width=4, global_latency=3)
+        out, _ = hmm_approximate_match(eng, pv, tv, 16)
+        assert np.allclose(out, reference_approximate_match(pv, tv))
+
+    def test_no_races(self, rng):
+        tr = TraceRecorder()
+        pv = rng.integers(0, 3, 3).astype(float)
+        tv = rng.integers(0, 3, 24).astype(float)
+        eng = make_hmm(num_dmms=2, width=4, global_latency=4)
+        out, _ = hmm_approximate_match(eng, pv, tv, 8, trace=tr)
+        assert np.allclose(out, reference_approximate_match(pv, tv))
+        assert tr.detect_races() == []
+
+    def test_beats_flat_at_high_latency(self, rng):
+        """The HMM drops the per-diagonal latency from l to 1."""
+        pv = rng.integers(0, 4, 8).astype(float)
+        tv = rng.integers(0, 4, 256).astype(float)
+        _, flat = flat_approximate_match(
+            make_umm(width=8, latency=100), pv, tv, 64
+        )
+        eng = make_hmm(num_dmms=8, width=8, global_latency=100)
+        _, hier = hmm_approximate_match(eng, pv, tv, 64)
+        assert hier.cycles * 10 < flat.cycles
+
+    def test_facade_methods(self, rng):
+        from repro import DMM, HMM, HMMParams, MachineParams
+
+        pv = rng.integers(0, 3, 3).astype(float)
+        tv = rng.integers(0, 3, 20).astype(float)
+        ref = reference_approximate_match(pv, tv)
+        out1, _ = DMM(MachineParams(width=4, latency=3)).approximate_match(pv, tv, 8)
+        out2, _ = HMM(
+            HMMParams(num_dmms=2, width=4, global_latency=5)
+        ).approximate_match(pv, tv, 8)
+        assert np.allclose(out1, ref)
+        assert np.allclose(out2, ref)
+
+
+class TestFindMatches:
+    def test_exact_occurrences(self):
+        from repro.core.kernels.string_matching import find_matches
+
+        eng = make_hmm(num_dmms=2, width=4, global_latency=4)
+        positions, _ = find_matches(eng, "ab", "abxxabxab", 0, 8)
+        # 'ab' ends at positions 1, 5, 8.
+        assert positions.tolist() == [1, 5, 8]
+
+    def test_one_edit(self):
+        from repro.core.kernels.string_matching import find_matches
+
+        eng = make_hmm(num_dmms=2, width=4, global_latency=4)
+        positions, _ = find_matches(eng, "abc", "abxdef", 1, 8)
+        assert 2 in positions.tolist()  # 'abx' is one substitution away
+
+    def test_negative_max_edits(self):
+        from repro.core.kernels.string_matching import find_matches
+
+        with pytest.raises(ConfigurationError):
+            find_matches(make_hmm(), "a", "aa", -1, 4)

@@ -1,0 +1,133 @@
+"""Integration tests: multi-kernel workflows, persistent device memory,
+paper-scale configurations, and cross-model consistency."""
+
+import numpy as np
+import pytest
+
+from repro import DMM, GTX580, HMM, UMM, HMMParams, MachineParams, TraceRecorder
+from repro.core.kernels.contiguous import contiguous_copy
+from repro.core.kernels.reduction import sum_kernel
+
+from conftest import make_hmm, make_umm
+
+
+class TestMultiKernelWorkflows:
+    def test_copy_then_sum_persists_memory(self, rng):
+        """Device memory persists across launches: stage with one kernel,
+        reduce with another (the CUDA multi-kernel idiom)."""
+        eng = make_umm(width=8, latency=4)
+        vals = rng.normal(size=128)
+        src = eng.array_from(vals, "src")
+        dst = eng.alloc(128, "dst")
+        r1 = eng.launch(contiguous_copy(src, dst, 128), 32)
+        r2 = eng.launch(sum_kernel(dst, 128), 32)
+        assert np.isclose(dst.to_numpy()[0], vals.sum())
+        assert r1.cycles > 0 and r2.cycles > 0
+
+    def test_pipeline_sum_of_prefix(self, rng):
+        """Chain library operations through host round-trips: scan, then
+        sort the scan, then sum — values stay consistent throughout."""
+        machine = HMM(HMMParams(num_dmms=4, width=8, global_latency=16))
+        vals = rng.integers(-3, 7, 200).astype(float)
+        scanned, _ = machine.prefix_sums(vals, 64)
+        assert np.allclose(scanned, np.cumsum(vals))
+        sorted_, _ = machine.sort(scanned, 64)
+        assert np.allclose(sorted_, np.sort(scanned))
+        total, _ = machine.sum(sorted_, 64)
+        assert np.isclose(total, scanned.sum())
+
+    def test_convolve_then_match(self, rng):
+        """Smooth a signal, then search it for a motif — two different
+        kernels on one machine spec."""
+        machine = HMM(HMMParams(num_dmms=4, width=8, global_latency=32))
+        window = np.ones(4) / 4
+        signal = rng.normal(size=103)
+        smooth, _ = machine.convolve(window, signal, 64)
+        assert np.allclose(smooth, np.correlate(signal, window, "valid"))
+        motif = smooth[10:14].copy()
+        dist, _ = machine.approximate_match(motif, smooth, 64)
+        assert dist[13] == 0.0  # the motif matches itself exactly
+
+
+class TestPaperScale:
+    def test_gtx580_sum(self, rng):
+        """The paper's flagship machine at a realistic launch shape."""
+        machine = HMM(GTX580)
+        vals = rng.normal(size=1 << 14)
+        total, report = machine.sum(vals, 4096)
+        assert np.isclose(total, vals.sum())
+        # 16 DMMs x 256 threads = 8 warps per DMM.
+        assert report.num_warps == 128
+        # Bandwidth floor: 16384/32 = 512 slots minimum through global.
+        assert report.cycles >= 512
+
+    def test_gtx580_convolution(self, rng):
+        machine = HMM(GTX580)
+        x = rng.normal(size=32)
+        y = rng.normal(size=(1 << 12) + 31)
+        z, report = machine.convolve(x, y, 2048)
+        assert np.allclose(z, np.correlate(y, x, "valid"))
+
+    def test_gtx580_thread_cap(self, rng):
+        machine = HMM(GTX580)
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            machine.sum(rng.normal(size=64), GTX580.max_threads() + 16)
+
+
+class TestCrossModelConsistency:
+    """The same algorithm on different machines must agree on values,
+    differing only in time — the separation of function and cost that
+    makes the simulator trustworthy."""
+
+    def test_all_machines_same_sum(self, rng):
+        vals = rng.normal(size=333)
+        results = [
+            DMM(MachineParams(width=8, latency=7)).sum(vals, 32)[0],
+            UMM(MachineParams(width=16, latency=3)).sum(vals, 64)[0],
+            HMM(HMMParams(num_dmms=4, width=8, global_latency=50)).sum(vals, 48)[0],
+            HMM(HMMParams(num_dmms=2, width=4, global_latency=2)).sum_flat(vals, 16)[0],
+        ]
+        for r in results:
+            assert np.isclose(r, vals.sum())
+
+    def test_all_machines_same_convolution(self, rng):
+        x = rng.normal(size=5)
+        y = rng.normal(size=84)
+        ref = np.correlate(y, x, "valid")
+        for z in (
+            DMM(MachineParams(width=4, latency=2)).convolve(x, y, 20)[0],
+            UMM(MachineParams(width=8, latency=9)).convolve(x, y, 160)[0],
+            HMM(HMMParams(num_dmms=4, width=4, global_latency=30)).convolve(x, y, 40)[0],
+        ):
+            assert np.allclose(z, ref)
+
+    def test_latency_never_changes_values(self, rng):
+        """Sweeping l changes time, never results."""
+        vals = rng.normal(size=100)
+        outs = []
+        cycles = []
+        for l in (1, 10, 100):
+            machine = HMM(HMMParams(num_dmms=2, width=4, global_latency=l))
+            out, report = machine.prefix_sums(vals, 16)
+            outs.append(out)
+            cycles.append(report.cycles)
+        assert np.allclose(outs[0], outs[1]) and np.allclose(outs[1], outs[2])
+        assert cycles[0] < cycles[1] < cycles[2]
+
+    def test_deterministic_across_runs(self, rng):
+        """Identical inputs give identical cycles AND identical traces."""
+        vals = rng.normal(size=128)
+
+        def run():
+            tr = TraceRecorder()
+            machine = HMM(HMMParams(num_dmms=4, width=8, global_latency=20))
+            total, report = machine.sum(vals, 64, trace=tr)
+            return total, report.cycles, [
+                (r.warp_id, r.unit, r.start, r.slots) for r in tr.records
+            ]
+
+        first = run()
+        second = run()
+        assert first == second

@@ -1,0 +1,125 @@
+"""Bank and address-group arithmetic (paper Section II, Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.machine.banks import (
+    bank_group_table,
+    bank_histogram,
+    bank_of,
+    conflict_degree,
+    dedupe_addresses,
+    group_count,
+    group_of,
+)
+
+
+class TestBankMapping:
+    def test_bank_of_scalar(self):
+        assert bank_of(0, 4) == 0
+        assert bank_of(5, 4) == 1
+        assert bank_of(15, 4) == 3
+
+    def test_bank_of_vector(self):
+        addrs = np.array([0, 1, 4, 5, 9])
+        assert bank_of(addrs, 4).tolist() == [0, 1, 0, 1, 1]
+
+    def test_group_of_scalar(self):
+        assert group_of(0, 4) == 0
+        assert group_of(3, 4) == 0
+        assert group_of(4, 4) == 1
+        assert group_of(15, 4) == 3
+
+    def test_group_of_vector(self):
+        addrs = np.array([0, 3, 4, 8, 15])
+        assert group_of(addrs, 4).tolist() == [0, 0, 1, 2, 3]
+
+    def test_interleaved_mapping_consistency(self):
+        """Address a sits at row a div w, column a mod w of Figure 3."""
+        for a in range(64):
+            assert bank_of(a, 8) == a % 8
+            assert group_of(a, 8) == a // 8
+
+
+class TestDedupe:
+    def test_removes_duplicates(self):
+        addrs = np.array([7, 7, 7, 3])
+        assert sorted(dedupe_addresses(addrs).tolist()) == [3, 7]
+
+    def test_keeps_distinct(self):
+        addrs = np.array([0, 1, 2, 3])
+        assert sorted(dedupe_addresses(addrs).tolist()) == [0, 1, 2, 3]
+
+    def test_empty_and_single(self):
+        assert dedupe_addresses(np.array([], dtype=np.int64)).size == 0
+        assert dedupe_addresses(np.array([5])).tolist() == [5]
+
+
+class TestConflictDegree:
+    def test_contiguous_is_conflict_free(self):
+        assert conflict_degree(np.arange(8), 8) == 1
+
+    def test_same_bank_stride(self):
+        # Stride w puts every address in bank 0.
+        assert conflict_degree(np.arange(8) * 8, 8) == 8
+
+    def test_partial_conflict(self):
+        # Two addresses in bank 0, rest distinct.
+        assert conflict_degree(np.array([0, 8, 1, 2]), 8) == 2
+
+    def test_same_address_broadcast_free(self):
+        """Requests to one identical address merge: no conflict."""
+        assert conflict_degree(np.full(8, 42), 8) == 1
+
+    def test_mixed_duplicates_and_conflicts(self):
+        # {0, 0, 8}: two distinct addresses in bank 0.
+        assert conflict_degree(np.array([0, 0, 8]), 8) == 2
+
+    def test_empty(self):
+        assert conflict_degree(np.array([], dtype=np.int64), 8) == 0
+
+    def test_histogram_matches_degree(self):
+        addrs = np.array([0, 8, 16, 1, 9, 2])
+        hist = bank_histogram(addrs, 8)
+        assert hist[0] == 3 and hist[1] == 2 and hist[2] == 1
+        assert conflict_degree(addrs, 8) == 3
+
+
+class TestGroupCount:
+    def test_single_group(self):
+        assert group_count(np.arange(4), 4) == 1
+
+    def test_each_own_group(self):
+        assert group_count(np.arange(4) * 4, 4) == 4
+
+    def test_duplicates_merge(self):
+        assert group_count(np.array([0, 0, 1, 2, 3]), 4) == 1
+
+    def test_figure4_warp0(self):
+        """Paper Figure 4: W(0)'s requests {15, 2, 6, 0} span 3 groups."""
+        assert group_count(np.array([15, 2, 6, 0]), 4) == 3
+
+    def test_figure4_warp1(self):
+        """W(1)'s requests {8, 9, 10, 11} are one address group."""
+        assert group_count(np.array([8, 9, 10, 11]), 4) == 1
+
+    def test_empty(self):
+        assert group_count(np.array([], dtype=np.int64), 4) == 0
+
+
+class TestBankGroupTable:
+    def test_figure3_layout(self):
+        """Figure 3: 16 cells, w=4 — row g holds addresses 4g..4g+3."""
+        table = bank_group_table(16, 4)
+        assert table.shape == (4, 4)
+        assert table.tolist() == [
+            [0, 1, 2, 3],
+            [4, 5, 6, 7],
+            [8, 9, 10, 11],
+            [12, 13, 14, 15],
+        ]
+
+    def test_ragged_tail(self):
+        table = bank_group_table(6, 4)
+        assert table.shape == (2, 4)
+        assert table[1].tolist() == [4, 5, -1, -1]

@@ -1,0 +1,198 @@
+"""Single-machine engine: launches, timing, memory effects."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpaceMismatchError
+from repro.machine.engine import MachineEngine
+from repro.machine.policy import DMMBankPolicy, UMMGroupPolicy
+from repro.params import MachineParams
+
+from conftest import make_dmm, make_umm
+
+
+class TestBasicExecution:
+    def test_read_returns_values(self):
+        eng = make_umm()
+        a = eng.array_from([1.0, 2.0, 3.0, 4.0], "a")
+        seen = {}
+
+        def prog(warp):
+            vals = yield warp.read(a, warp.tids)
+            seen[warp.warp_id] = vals
+
+        eng.launch(prog, 4)
+        assert seen[0].tolist() == [1.0, 2.0, 3.0, 4.0]
+
+    def test_write_lands(self):
+        eng = make_umm()
+        a = eng.alloc(4, "a")
+
+        def prog(warp):
+            yield warp.write(a, warp.tids, warp.tids * 10.0)
+
+        eng.launch(prog, 4)
+        assert a.to_numpy().tolist() == [0.0, 10.0, 20.0, 30.0]
+
+    def test_masked_read_returns_zero_for_inactive(self):
+        eng = make_umm()
+        a = eng.array_from([5.0, 6.0, 7.0, 8.0], "a")
+        seen = {}
+
+        def prog(warp):
+            mask = np.array([True, False, True, False])
+            vals = yield warp.read(a, warp.tids, mask=mask)
+            seen["v"] = vals
+
+        eng.launch(prog, 4)
+        assert seen["v"].tolist() == [5.0, 0.0, 7.0, 0.0]
+
+    def test_fully_masked_op_is_free(self):
+        eng = make_umm(latency=50)
+        a = eng.alloc(4)
+
+        def prog(warp):
+            vals = yield warp.read(a, warp.tids, mask=np.zeros(warp.num_lanes, bool))
+            assert vals.tolist() == [0.0] * warp.num_lanes
+
+        report = eng.launch(prog, 4)
+        assert report.cycles == 0
+        assert report.total_transactions() == 0
+
+    def test_collision_write_lowest_lane_wins(self):
+        eng = make_umm()
+        a = eng.alloc(4)
+
+        def prog(warp):
+            yield warp.write(a, 2, np.array([10.0, 20.0, 30.0, 40.0]))
+
+        eng.launch(prog, 4)
+        assert a.to_numpy()[2] == 10.0
+
+    def test_values_persist_across_launches(self):
+        eng = make_umm()
+        a = eng.alloc(4)
+
+        def write(warp):
+            yield warp.write(a, warp.tids, 3.0)
+
+        def add(warp):
+            v = yield warp.read(a, warp.tids)
+            yield warp.write(a, warp.tids, v + 1.0)
+
+        eng.launch(write, 4)
+        eng.launch(add, 4)
+        assert (a.to_numpy() == 4.0).all()
+
+    def test_timing_resets_across_launches(self):
+        eng = make_umm(latency=9)
+        a = eng.alloc(4)
+
+        def prog(warp):
+            yield warp.read(a, warp.tids)
+
+        first = eng.launch(prog, 4)
+        second = eng.launch(prog, 4)
+        assert first.cycles == second.cycles == 9
+
+    def test_empty_program(self):
+        eng = make_umm()
+
+        def prog(warp):
+            return
+            yield  # pragma: no cover
+
+        report = eng.launch(prog, 8)
+        assert report.cycles == 0
+
+
+class TestTiming:
+    def test_single_warp_read_costs_latency(self):
+        eng = make_umm(width=4, latency=7)
+        a = eng.alloc(4)
+
+        def prog(warp):
+            yield warp.read(a, warp.tids)
+
+        assert eng.launch(prog, 4).cycles == 7
+
+    def test_contiguous_round_is_warps_plus_latency(self):
+        """p/w warps, one coalesced read each: p/w + l - 1 time units."""
+        eng = make_umm(width=4, latency=5)
+        a = eng.alloc(32)
+
+        def prog(warp):
+            yield warp.read(a, warp.tids)
+
+        assert eng.launch(prog, 32).cycles == 32 // 4 + 5 - 1
+
+    def test_compute_only_parallel_across_warps(self):
+        """Compute never serializes across warps (threads are RAMs)."""
+        eng = make_umm()
+
+        def prog(warp):
+            yield warp.compute(13)
+
+        assert eng.launch(prog, 64).cycles == 13
+
+    def test_thread_reissue_waits_latency(self):
+        """A single warp issuing two dependent reads pays 2l."""
+        eng = make_umm(width=4, latency=6)
+        a = eng.alloc(8)
+
+        def prog(warp):
+            yield warp.read(a, warp.tids)
+            yield warp.read(a, warp.tids + 4)
+
+        assert eng.launch(prog, 4).cycles == 12
+
+    def test_conflicted_warp_occupies_extra_slots(self):
+        eng = make_dmm(width=4, latency=5)
+        a = eng.alloc(16)
+
+        def prog(warp):
+            yield warp.read(a, warp.tids * 4)  # all bank 0: 4-way conflict
+
+        assert eng.launch(prog, 4).cycles == 5 + 4 - 1
+
+    def test_dmm_vs_umm_policy_difference(self):
+        """Bank-distinct scattered-group access: cheap on DMM, dear on UMM."""
+        pattern = np.array([0, 5, 10, 15])  # banks 0..3, groups 0..3
+
+        def prog_for(arr):
+            def prog(warp):
+                yield warp.read(arr, pattern[: warp.num_lanes])
+            return prog
+
+        dmm = make_dmm(width=4, latency=5)
+        a = dmm.alloc(16)
+        umm = make_umm(width=4, latency=5)
+        b = umm.alloc(16)
+        assert dmm.launch(prog_for(a), 4).cycles == 5
+        assert umm.launch(prog_for(b), 4).cycles == 5 + 4 - 1
+
+
+class TestValidation:
+    def test_foreign_array_rejected(self):
+        eng = make_umm()
+        other = make_umm()
+        foreign = other.alloc(4)
+
+        def prog(warp):
+            yield warp.read(foreign, warp.tids)
+
+        with pytest.raises(SpaceMismatchError):
+            eng.launch(prog, 4)
+
+    def test_report_metadata(self):
+        eng = make_umm(width=4)
+        a = eng.alloc(8)
+
+        def prog(warp):
+            yield warp.read(a, warp.tids)
+
+        report = eng.launch(prog, 8, label="meta")
+        assert report.num_threads == 8
+        assert report.num_warps == 2
+        assert report.label == "meta"
+        assert report.stats_for("mem").transactions == 2

@@ -1,0 +1,163 @@
+"""Engine edge configurations: degenerate widths, latencies, ablation
+modes, and non-default HMM shapes."""
+
+import numpy as np
+import pytest
+
+from repro.machine.engine import MachineEngine
+from repro.machine.hmm import HMMEngine
+from repro.machine.policy import DMMBankPolicy, IdealPolicy, UMMGroupPolicy
+from repro.params import HMMParams, MachineParams
+from repro.core.kernels.contiguous import contiguous_read
+from repro.core.kernels.reduction import sum_kernel
+from repro.core.machines import run_flat_sum
+
+from conftest import make_hmm
+
+
+class TestWidthOne:
+    """w = 1: every machine degenerates to a sequential memory."""
+
+    def test_every_access_serializes(self):
+        eng = MachineEngine(MachineParams(width=1, latency=3), DMMBankPolicy())
+        a = eng.alloc(8)
+        report = eng.launch(contiguous_read(a, 8), 4)
+        # 8 single-cell transactions through a 1-wide port.
+        assert report.stats_for("mem").slots == 8
+        assert report.cycles >= 8
+
+    def test_sum_still_correct(self, rng):
+        vals = rng.normal(size=20)
+        eng = MachineEngine(MachineParams(width=1, latency=2), UMMGroupPolicy())
+        total, _ = run_flat_sum(eng, vals, 4)
+        assert np.isclose(total, vals.sum())
+
+    def test_dmm_equals_umm_at_width_one(self, rng):
+        """With one bank and one address per group the policies coincide."""
+        vals = rng.normal(size=16)
+        cycles = []
+        for policy in (DMMBankPolicy(), UMMGroupPolicy()):
+            eng = MachineEngine(MachineParams(width=1, latency=4), policy)
+            a = eng.array_from(vals, "a")
+            cycles.append(eng.launch(sum_kernel(a, 16), 4).cycles)
+        assert cycles[0] == cycles[1]
+
+
+class TestLatencyOne:
+    def test_flat_latency_one_is_slot_bound(self):
+        eng = MachineEngine(MachineParams(width=4, latency=1), UMMGroupPolicy())
+        a = eng.alloc(64)
+        report = eng.launch(contiguous_read(a, 64), 16)
+        # l = 1: time = number of slots through the port exactly.
+        assert report.cycles == report.stats_for("mem").slots
+
+    def test_hmm_global_latency_one(self, rng):
+        vals = rng.normal(size=64)
+        from repro.core.kernels.hmm_sum import hmm_sum
+
+        eng = make_hmm(num_dmms=2, width=4, global_latency=1)
+        total, _ = hmm_sum(eng, vals, 16)
+        assert np.isclose(total, vals.sum())
+
+
+class TestSharedLatencyOverride:
+    def test_slow_shared_memory(self):
+        """shared_latency > 1 (non-paper configuration) is honoured."""
+        eng = HMMEngine(
+            HMMParams(num_dmms=1, width=4, global_latency=10, shared_latency=7)
+        )
+        s = eng.alloc_shared(0, 4)
+
+        def prog(warp):
+            yield warp.read(s, warp.local_tids)
+
+        assert eng.launch(prog, 4).cycles == 7
+
+    def test_slow_shared_weakens_hmm_sum(self, rng):
+        """With shared as slow as global, the HMM's advantage shrinks —
+        the advantage comes from the latency gap, not the hierarchy."""
+        from repro.core.kernels.hmm_sum import hmm_sum
+
+        vals = rng.normal(size=512)
+        fast = HMMEngine(
+            HMMParams(num_dmms=4, width=8, global_latency=64, shared_latency=1)
+        )
+        slow = HMMEngine(
+            HMMParams(num_dmms=4, width=8, global_latency=64, shared_latency=64)
+        )
+        _, fast_report = hmm_sum(fast, vals, 64)
+        _, slow_report = hmm_sum(slow, vals, 64)
+        assert slow_report.cycles > fast_report.cycles
+
+
+class TestUnpipelinedEngines:
+    def test_flat_sum_correct_and_slower(self, rng):
+        vals = rng.normal(size=128)
+        piped = MachineEngine(MachineParams(width=4, latency=8), UMMGroupPolicy())
+        total1, r1 = run_flat_sum(piped, vals, 16)
+        serial = MachineEngine(
+            MachineParams(width=4, latency=8), UMMGroupPolicy(), pipelined=False
+        )
+        total2, r2 = run_flat_sum(serial, vals, 16)
+        assert np.isclose(total1, total2)
+        assert r2.cycles > r1.cycles
+
+    def test_hmm_unpipelined(self, rng):
+        from repro.core.kernels.hmm_sum import hmm_sum
+
+        vals = rng.normal(size=128)
+        eng = HMMEngine(
+            HMMParams(num_dmms=2, width=4, global_latency=8), pipelined=False
+        )
+        total, _ = hmm_sum(eng, vals, 16)
+        assert np.isclose(total, vals.sum())
+
+
+class TestIdealPolicyMachine:
+    def test_end_to_end(self, rng):
+        """The conflict-oblivious ablation machine runs every kernel."""
+        vals = rng.normal(size=100)
+        eng = MachineEngine(MachineParams(width=4, latency=4), IdealPolicy())
+        total, report = run_flat_sum(eng, vals, 16)
+        assert np.isclose(total, vals.sum())
+        assert report.stats_for("mem").slots == report.stats_for("mem").transactions
+
+
+class TestHMMPolicyInjection:
+    def test_swapped_policies(self, rng):
+        """Bank policy on global, group policy on shared: a 'what if the
+        memories were wired the other way' machine."""
+        from repro.core.kernels.hmm_sum import hmm_sum
+
+        eng = HMMEngine(
+            HMMParams(num_dmms=2, width=4, global_latency=8),
+            global_policy=DMMBankPolicy(),
+            shared_policy=UMMGroupPolicy(),
+        )
+        assert eng.global_unit.policy.name == "dmm-bank"
+        assert eng.shared_units[0].policy.name == "umm-group"
+        vals = rng.normal(size=64)
+        total, _ = hmm_sum(eng, vals, 16)
+        assert np.isclose(total, vals.sum())
+
+
+class TestLaunchMetadata:
+    def test_default_labels(self):
+        eng = MachineEngine(MachineParams(width=4, latency=2),
+                            UMMGroupPolicy(), name="umm")
+        a = eng.alloc(4)
+
+        def prog(warp):
+            yield warp.read(a, warp.tids)
+
+        assert eng.launch(prog, 4).label == "umm"
+        assert eng.launch(prog, 4, label="custom").label == "custom"
+
+    def test_hmm_default_label(self):
+        eng = make_hmm()
+        g = eng.alloc_global(4)
+
+        def prog(warp):
+            yield warp.read(g, warp.tids)
+
+        assert eng.launch(prog, 4).label == "hmm"

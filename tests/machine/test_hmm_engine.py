@@ -1,0 +1,186 @@
+"""The hierarchical engine: spaces, thread partitioning, global pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SpaceMismatchError
+from repro.machine.hmm import split_threads
+from repro.params import HMMParams, GTX580
+
+from conftest import make_hmm
+
+
+class TestSplitThreads:
+    def test_even(self):
+        assert split_threads(16, 4) == [4, 4, 4, 4]
+
+    def test_remainder_goes_first(self):
+        assert split_threads(10, 4) == [3, 3, 2, 2]
+
+    def test_fewer_threads_than_dmms(self):
+        assert split_threads(2, 4) == [1, 1, 0, 0]
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            split_threads(0, 4)
+
+
+class TestStructure:
+    def test_architecture_shape(self):
+        """Figure 2: d DMMs with w banks each plus one w-bank UMM."""
+        eng = make_hmm(num_dmms=3, width=8, global_latency=11)
+        assert len(eng.shared_units) == 3
+        assert len(eng.shared_spaces) == 3
+        assert eng.global_unit.width == 8
+        assert eng.global_unit.latency == 11
+        for unit in eng.shared_units:
+            assert unit.width == 8
+            assert unit.latency == 1  # shared memory has latency 1
+
+    def test_gtx580_preset(self):
+        """Section III: GTX580 = 16 DMMs, w = 32, up to 1536 threads/SM."""
+        assert GTX580.num_dmms == 16
+        assert GTX580.width == 32
+        assert GTX580.max_threads_per_dmm == 1536
+        assert GTX580.max_threads() == 24576
+
+    def test_warp_to_dmm_assignment(self):
+        eng = make_hmm(num_dmms=2, width=4)
+        seen = {}
+
+        def prog(warp):
+            seen.setdefault(warp.dmm_id, []).append(warp.tids.tolist())
+            return
+            yield  # pragma: no cover
+
+        eng.launch(prog, 16)
+        assert seen[0] == [[0, 1, 2, 3], [4, 5, 6, 7]]
+        assert seen[1] == [[8, 9, 10, 11], [12, 13, 14, 15]]
+
+    def test_explicit_thread_distribution(self):
+        eng = make_hmm(num_dmms=2, width=4)
+        seen = {}
+
+        def prog(warp):
+            seen.setdefault(warp.dmm_id, 0)
+            seen[warp.dmm_id] += warp.num_lanes
+            return
+            yield  # pragma: no cover
+
+        eng.launch(prog, 12, threads_per_dmm=[12, 0])
+        assert seen == {0: 12}
+
+    def test_bad_distribution_rejected(self):
+        eng = make_hmm(num_dmms=2)
+        prog = lambda warp: iter(())
+        with pytest.raises(ConfigurationError):
+            eng.launch(prog, 8, threads_per_dmm=[4, 4, 4])
+        with pytest.raises(ConfigurationError):
+            eng.launch(prog, 8, threads_per_dmm=[3, 3])
+
+    def test_thread_cap_enforced(self):
+        from repro.machine.hmm import HMMEngine
+
+        eng = HMMEngine(
+            HMMParams(num_dmms=2, width=4, global_latency=5, max_threads_per_dmm=4)
+        )
+        prog = lambda warp: iter(())
+        with pytest.raises(ConfigurationError):
+            eng.launch(prog, 16)  # 8 per DMM > cap 4
+
+
+class TestSpaces:
+    def test_shared_memory_is_private(self):
+        """A warp cannot touch another DMM's shared memory."""
+        eng = make_hmm(num_dmms=2, width=4)
+        s1 = eng.alloc_shared(1, 4)
+
+        def prog(warp):
+            if warp.dmm_id == 0:
+                yield warp.read(s1, warp.local_tids)
+
+        with pytest.raises(SpaceMismatchError):
+            eng.launch(prog, 8)
+
+    def test_global_memory_is_shared(self):
+        eng = make_hmm(num_dmms=2, width=4)
+        g = eng.alloc_global(8)
+
+        def prog(warp):
+            yield warp.write(g, warp.tids, float(warp.dmm_id + 1))
+
+        eng.launch(prog, 8)
+        assert g.to_numpy().tolist() == [1.0] * 4 + [2.0] * 4
+
+    def test_foreign_array_rejected(self):
+        eng = make_hmm()
+        other = make_hmm()
+        foreign = other.alloc_global(4)
+
+        def prog(warp):
+            yield warp.read(foreign, warp.local_tids)
+
+        with pytest.raises(SpaceMismatchError):
+            eng.launch(prog, 4)
+
+    def test_alloc_shared_all_uniform_offsets(self):
+        eng = make_hmm(num_dmms=3, width=4)
+        handles = eng.alloc_shared_all(8, "buf")
+        assert len(handles) == 3
+        assert len({h.base for h in handles}) == 1  # same offset everywhere
+
+
+class TestHierarchicalTiming:
+    def test_shared_latency_one(self):
+        eng = make_hmm(num_dmms=1, width=4, global_latency=50)
+        s = eng.alloc_shared(0, 4)
+
+        def prog(warp):
+            yield warp.read(s, warp.local_tids)
+
+        assert eng.launch(prog, 4).cycles == 1
+
+    def test_global_latency_applies(self):
+        eng = make_hmm(num_dmms=1, width=4, global_latency=50)
+        g = eng.alloc_global(4)
+
+        def prog(warp):
+            yield warp.read(g, warp.tids)
+
+        assert eng.launch(prog, 4).cycles == 50
+
+    def test_global_pipeline_shared_across_dmms(self):
+        """Warps of different DMMs serialize on the single global port:
+        d coalesced transactions take d + l - 1 time units."""
+        eng = make_hmm(num_dmms=4, width=4, global_latency=10)
+        g = eng.alloc_global(16)
+
+        def prog(warp):
+            yield warp.read(g, warp.tids)
+
+        assert eng.launch(prog, 16).cycles == 4 + 10 - 1
+
+    def test_shared_ports_are_parallel(self):
+        """Shared transactions of different DMMs do not serialize."""
+        eng = make_hmm(num_dmms=4, width=4, global_latency=10)
+        buffers = eng.alloc_shared_all(4)
+
+        def prog(warp):
+            yield warp.read(buffers[warp.dmm_id], warp.local_tids)
+
+        assert eng.launch(prog, 16).cycles == 1
+
+    def test_unit_stats_reported_per_space(self):
+        eng = make_hmm(num_dmms=2, width=4, global_latency=5)
+        g = eng.alloc_global(8)
+        buffers = eng.alloc_shared_all(4)
+
+        def prog(warp):
+            v = yield warp.read(g, warp.tids)
+            yield warp.write(buffers[warp.dmm_id], warp.local_tids, v)
+
+        report = eng.launch(prog, 8)
+        assert report.stats_for("global").transactions == 2
+        assert report.stats_for("shared[0]").transactions == 1
+        assert report.stats_for("shared[1]").transactions == 1
+        assert report.shared_stats().transactions == 2

@@ -1,0 +1,126 @@
+"""Memory spaces, allocation, and array handles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AddressError, AllocationError
+from repro.machine.memory import MemorySpace
+
+
+class TestAllocation:
+    def test_sequential_bases(self):
+        space = MemorySpace("m")
+        a = space.alloc(10, "a")
+        b = space.alloc(5, "b")
+        assert a.base == 0 and a.size == 10
+        assert b.base == 10 and b.size == 5
+        assert space.used == 15
+
+    def test_alignment(self):
+        space = MemorySpace("m")
+        space.alloc(3, "a")
+        b = space.alloc_aligned(4, 8, "b")
+        assert b.base == 8
+
+    def test_alignment_noop_when_aligned(self):
+        space = MemorySpace("m")
+        space.alloc(8, "a")
+        b = space.alloc_aligned(4, 8, "b")
+        assert b.base == 8
+
+    def test_exhaustion(self):
+        space = MemorySpace("m", capacity=16)
+        space.alloc(10)
+        with pytest.raises(AllocationError):
+            space.alloc(10)
+
+    def test_zero_size_rejected(self):
+        space = MemorySpace("m")
+        with pytest.raises(AllocationError):
+            space.alloc(0)
+
+    def test_bad_capacity(self):
+        with pytest.raises(AllocationError):
+            MemorySpace("m", capacity=0)
+
+
+class TestArrayHandle:
+    def test_address_translation(self):
+        space = MemorySpace("m")
+        space.alloc(7)
+        arr = space.alloc(10, "x")
+        addrs = arr.addresses(np.array([0, 3, 9]))
+        assert addrs.tolist() == [7, 10, 16]
+
+    def test_bounds_checked(self):
+        space = MemorySpace("m")
+        arr = space.alloc(10)
+        with pytest.raises(AddressError):
+            arr.addresses(np.array([10]))
+        with pytest.raises(AddressError):
+            arr.addresses(np.array([-1]))
+
+    def test_set_and_to_numpy_roundtrip(self):
+        space = MemorySpace("m")
+        arr = space.alloc(5, "x")
+        arr.set([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert arr.to_numpy().tolist() == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_fill(self):
+        space = MemorySpace("m")
+        arr = space.alloc(4)
+        arr.fill(7.5)
+        assert (arr.to_numpy() == 7.5).all()
+
+    def test_set_scalar_broadcasts(self):
+        space = MemorySpace("m")
+        arr = space.alloc(3)
+        arr.set(2.0)
+        assert (arr.to_numpy() == 2.0).all()
+
+    def test_set_wrong_size(self):
+        space = MemorySpace("m")
+        arr = space.alloc(3)
+        with pytest.raises(AddressError):
+            arr.set([1.0, 2.0])
+
+    def test_len(self):
+        space = MemorySpace("m")
+        assert len(space.alloc(12)) == 12
+
+    def test_arrays_are_disjoint(self):
+        space = MemorySpace("m")
+        a = space.alloc(4, "a")
+        b = space.alloc(4, "b")
+        a.fill(1.0)
+        b.fill(2.0)
+        assert (a.to_numpy() == 1.0).all()
+        assert (b.to_numpy() == 2.0).all()
+
+
+class TestRawAccess:
+    def test_load_store(self):
+        space = MemorySpace("m")
+        space.alloc(8)
+        space.store(np.array([1, 3]), np.array([10.0, 30.0]))
+        assert space.load(np.array([1, 3])).tolist() == [10.0, 30.0]
+
+    def test_duplicate_store_first_wins(self):
+        """Arbitrary-CRCW: the first (lowest-lane) value is kept."""
+        space = MemorySpace("m")
+        space.alloc(4)
+        space.store(np.array([2, 2, 2]), np.array([5.0, 6.0, 7.0]))
+        assert space.load(np.array([2]))[0] == 5.0
+
+    def test_empty_store_noop(self):
+        space = MemorySpace("m")
+        space.alloc(4)
+        space.store(np.array([], dtype=np.int64), np.array([]))
+        assert (space.load(np.arange(4)) == 0).all()
+
+    def test_growth_preserves_data(self):
+        space = MemorySpace("m")
+        a = space.alloc(4)
+        a.fill(3.0)
+        space.alloc(10_000)  # force backing-store growth
+        assert (a.to_numpy() == 3.0).all()

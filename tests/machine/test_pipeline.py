@@ -1,0 +1,127 @@
+"""The pipelined memory port: issue/occupancy/completion arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.ops import AccessKind
+from repro.machine.pipeline import PipelinedMemoryUnit
+from repro.machine.policy import DMMBankPolicy, UMMGroupPolicy
+
+
+def make_unit(width=4, latency=5, policy=None, **kw):
+    return PipelinedMemoryUnit(
+        "test", width, latency, policy or UMMGroupPolicy(), **kw
+    )
+
+
+class TestSingleTransaction:
+    def test_single_slot_takes_latency(self):
+        """One coalesced transaction completes after l time units."""
+        unit = make_unit(latency=5)
+        issue = unit.issue(0, np.arange(4), AccessKind.READ)
+        assert issue.start == 0
+        assert issue.slots == 1
+        assert issue.complete == 4  # elapsed = complete + 1 = l
+        assert issue.next_ready == 5
+
+    def test_multi_slot_transaction(self):
+        """x distinct cells in one bank take l + x - 1 time units."""
+        unit = make_unit(latency=5, policy=DMMBankPolicy())
+        issue = unit.issue(0, np.arange(3) * 4, AccessKind.READ)  # 3-way conflict
+        assert issue.slots == 3
+        assert issue.complete + 1 == 5 + 3 - 1
+
+    def test_latency_one(self):
+        unit = make_unit(latency=1)
+        issue = unit.issue(0, np.arange(4), AccessKind.READ)
+        assert issue.complete == 0
+        assert issue.next_ready == 1
+
+    def test_empty_transaction_not_dispatched(self):
+        unit = make_unit()
+        issue = unit.issue(7, np.array([], dtype=np.int64), AccessKind.READ)
+        assert issue.slots == 0
+        assert issue.next_ready == 7
+        assert unit.port_free == 0  # port untouched
+
+
+class TestPipelining:
+    def test_figure4_example(self):
+        """Paper Figure 4: W(0) spans 3 groups, W(1) spans 1, l = 5 ->
+        total 3 + 1 + 5 - 1 = 8 time units."""
+        unit = make_unit(width=4, latency=5)
+        first = unit.issue(0, np.array([15, 2, 6, 0]), AccessKind.READ)
+        second = unit.issue(0, np.array([8, 9, 10, 11]), AccessKind.READ)
+        assert first.slots == 3
+        assert second.slots == 1
+        assert second.start == 3  # queued behind W(0)'s three slots
+        total = max(first.complete, second.complete) + 1
+        assert total == 8
+
+    def test_x_requests_same_bank(self):
+        """x single-cell transactions to one bank: l + x - 1 total."""
+        unit = make_unit(width=4, latency=5, policy=DMMBankPolicy())
+        completes = []
+        for i in range(6):
+            issue = unit.issue(0, np.array([4 * i]), AccessKind.READ)
+            completes.append(issue.complete)
+        assert max(completes) + 1 == 5 + 6 - 1
+
+    def test_port_serializes_issues(self):
+        unit = make_unit(latency=2)
+        a = unit.issue(0, np.arange(4), AccessKind.READ)
+        b = unit.issue(0, np.arange(4), AccessKind.READ)
+        assert a.start == 0 and b.start == 1
+
+    def test_ready_after_port_free(self):
+        """A transaction whose warp is ready late starts late."""
+        unit = make_unit(latency=2)
+        unit.issue(0, np.arange(4), AccessKind.READ)
+        late = unit.issue(10, np.arange(4), AccessKind.READ)
+        assert late.start == 10
+
+    def test_unpipelined_ablation(self):
+        """pipelined=False holds the port until completion."""
+        unit = make_unit(latency=5, pipelined=False)
+        a = unit.issue(0, np.arange(4), AccessKind.READ)
+        b = unit.issue(0, np.arange(4), AccessKind.READ)
+        assert b.start == a.complete + 1  # no overlap at all
+
+
+class TestStats:
+    def test_counters(self):
+        unit = make_unit(width=4, latency=5)
+        unit.issue(0, np.array([15, 2, 6, 0]), AccessKind.READ)
+        unit.issue(0, np.arange(4), AccessKind.WRITE)
+        s = unit.stats
+        assert s.transactions == 2
+        assert s.reads == 1 and s.writes == 1
+        assert s.requests == 8
+        assert s.slots == 4
+        assert s.conflicted_transactions == 1
+        assert s.excess_slots == 2
+
+    def test_reset(self):
+        unit = make_unit()
+        unit.issue(0, np.arange(4), AccessKind.READ)
+        unit.reset()
+        assert unit.stats.transactions == 0
+        assert unit.port_free == 0
+
+    def test_merge(self):
+        unit = make_unit()
+        unit.issue(0, np.arange(4), AccessKind.READ)
+        merged = unit.stats.merge(unit.stats)
+        assert merged.transactions == 2
+        assert merged.requests == 8
+
+
+class TestValidation:
+    def test_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            make_unit(width=0)
+
+    def test_bad_latency(self):
+        with pytest.raises(ConfigurationError):
+            make_unit(latency=0)

@@ -1,0 +1,91 @@
+"""Slot policies: the DMM/UMM cost difference in isolation."""
+
+import numpy as np
+import pytest
+
+from repro.machine.policy import DMMBankPolicy, IdealPolicy, UMMGroupPolicy
+
+
+@pytest.fixture
+def dmm():
+    return DMMBankPolicy()
+
+
+@pytest.fixture
+def umm():
+    return UMMGroupPolicy()
+
+
+class TestDMMBankPolicy:
+    def test_contiguous_one_slot(self, dmm):
+        assert dmm.slot_count(np.arange(32), 32) == 1
+
+    def test_stride_width_full_conflict(self, dmm):
+        assert dmm.slot_count(np.arange(32) * 32, 32) == 32
+
+    def test_stride_two_half_conflict(self, dmm):
+        # Stride 2 with w=32: addresses hit 16 even banks, 2 each.
+        assert dmm.slot_count(np.arange(32) * 2, 32) == 2
+
+    def test_broadcast_one_slot(self, dmm):
+        assert dmm.slot_count(np.full(32, 7), 32) == 1
+
+    def test_empty_zero_slots(self, dmm):
+        assert dmm.slot_count(np.array([], dtype=np.int64), 32) == 0
+
+
+class TestUMMGroupPolicy:
+    def test_contiguous_aligned_one_slot(self, umm):
+        assert umm.slot_count(np.arange(32), 32) == 1
+
+    def test_contiguous_misaligned_two_slots(self, umm):
+        # A warp touching addresses 16..47 spans two address groups.
+        assert umm.slot_count(np.arange(32) + 16, 32) == 2
+
+    def test_stride_width_distinct_groups(self, umm):
+        assert umm.slot_count(np.arange(32) * 32, 32) == 32
+
+    def test_broadcast_one_slot(self, umm):
+        assert umm.slot_count(np.full(32, 7), 32) == 1
+
+    def test_empty_zero_slots(self, umm):
+        assert umm.slot_count(np.array([], dtype=np.int64), 32) == 0
+
+
+class TestPolicyContrast:
+    """Access patterns where the two machines differ — the heart of the
+    DMM/UMM distinction (paper Section II)."""
+
+    def test_stride_two_cheaper_on_umm(self, dmm, umm):
+        # Stride 2 over 64 cells: DMM sees 2-way conflicts; the UMM sees
+        # the same 2 address groups -> equal here.
+        addrs = np.arange(32) * 2
+        assert dmm.slot_count(addrs, 32) == 2
+        assert umm.slot_count(addrs, 32) == 2
+
+    def test_column_access_bad_on_dmm_only(self, dmm, umm):
+        # One address per group but all in one bank (stride w):
+        # catastrophic on the DMM AND on the UMM (w groups).
+        addrs = np.arange(4) * 4
+        assert dmm.slot_count(addrs, 4) == 4
+        assert umm.slot_count(addrs, 4) == 4
+
+    def test_permuted_within_group_good_on_both(self, dmm, umm):
+        # Any permutation of one address group: one slot on both machines.
+        addrs = np.array([3, 0, 2, 1]) + 8
+        assert dmm.slot_count(addrs, 4) == 1
+        assert umm.slot_count(addrs, 4) == 1
+
+    def test_bank_distinct_but_scattered_groups(self, dmm, umm):
+        # Distinct banks but w distinct groups: free on the DMM, w-cost
+        # on the UMM — the pattern where the DMM is strictly stronger.
+        addrs = np.array([0, 5, 10, 15])  # banks 0,1,2,3; groups 0,1,2,3
+        assert dmm.slot_count(addrs, 4) == 1
+        assert umm.slot_count(addrs, 4) == 4
+
+
+class TestIdealPolicy:
+    def test_always_one(self):
+        pol = IdealPolicy()
+        assert pol.slot_count(np.arange(32) * 32, 32) == 1
+        assert pol.slot_count(np.array([], dtype=np.int64), 32) == 0

@@ -1,0 +1,109 @@
+"""RunReport aggregation helpers and the ops dataclasses."""
+
+import numpy as np
+import pytest
+
+from repro.machine.ops import (
+    AccessKind,
+    BarrierOp,
+    BarrierScope,
+    ComputeOp,
+    ReadOp,
+    WriteOp,
+)
+from repro.machine.pipeline import UnitStats
+from repro.machine.report import RunReport
+
+
+def make_report(**unit_stats) -> RunReport:
+    return RunReport(
+        cycles=100,
+        num_threads=64,
+        num_warps=2,
+        unit_stats=unit_stats,
+        compute_ops=3,
+        compute_cycles=7,
+        barrier_releases=2,
+        label="t",
+    )
+
+
+def stats(transactions=1, requests=4, slots=1, excess=0) -> UnitStats:
+    return UnitStats(
+        transactions=transactions,
+        reads=transactions,
+        requests=requests,
+        slots=slots,
+        excess_slots=excess,
+        conflicted_transactions=1 if excess else 0,
+    )
+
+
+class TestRunReport:
+    def test_totals(self):
+        r = make_report(a=stats(2, 8, 2), b=stats(3, 12, 5, excess=2))
+        assert r.total_transactions() == 5
+        assert r.total_requests() == 20
+        assert r.total_slots() == 7
+
+    def test_conflict_free(self):
+        assert make_report(a=stats()).conflict_free()
+        assert not make_report(a=stats(excess=1)).conflict_free()
+
+    def test_stats_for_missing_unit(self):
+        with pytest.raises(KeyError):
+            make_report(a=stats()).stats_for("b")
+
+    def test_global_stats_resolution(self):
+        r = make_report(**{"global": stats(5)})
+        assert r.global_stats().transactions == 5
+        # Single unnamed unit also resolves.
+        r2 = make_report(mem=stats(7))
+        assert r2.global_stats().transactions == 7
+        # Ambiguous case raises.
+        r3 = make_report(a=stats(), b=stats())
+        with pytest.raises(KeyError):
+            r3.global_stats()
+
+    def test_shared_stats_aggregates(self):
+        r = make_report(
+            **{"global": stats(1), "shared[0]": stats(2), "shared[1]": stats(3)}
+        )
+        assert r.shared_stats().transactions == 5
+
+    def test_shared_stats_empty(self):
+        assert make_report(mem=stats()).shared_stats().transactions == 0
+
+    def test_summary_mentions_everything(self):
+        r = make_report(mem=stats())
+        text = r.summary()
+        for token in ("100 time units", "64 threads", "2 warps", "mem",
+                      "barriers: 2"):
+            assert token in text
+
+
+class TestOps:
+    def test_read_kind(self):
+        from repro.machine.memory import MemorySpace
+
+        arr = MemorySpace("m").alloc(4)
+        op = ReadOp(array=arr, addresses=np.array([0, 1]),
+                    result_mask=np.array([True, True]))
+        assert op.kind is AccessKind.READ
+        assert op.num_requests == 2
+
+    def test_write_kind(self):
+        from repro.machine.memory import MemorySpace
+
+        arr = MemorySpace("m").alloc(4)
+        op = WriteOp(array=arr, addresses=np.array([0]),
+                     values=np.array([1.0]))
+        assert op.kind is AccessKind.WRITE
+
+    def test_compute_validation(self):
+        assert ComputeOp(0).cycles == 0
+        with pytest.raises(ValueError):
+            ComputeOp(-1)
+
+    def test_barrier_default_scope(self):
+        assert BarrierOp().scope is BarrierScope.DEVICE

@@ -1,0 +1,208 @@
+"""The per-thread kernel adapter (CUDA-style authoring surface)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LockstepError
+from repro.machine.threadprog import thread_program
+
+from conftest import make_hmm, make_umm
+
+
+class TestBasicExecution:
+    def test_elementwise_double(self, rng):
+        eng = make_umm(width=4)
+        vals = rng.normal(size=16)
+        a = eng.array_from(vals, "a")
+        b = eng.alloc(16, "b")
+
+        def kernel(t):
+            v = yield t.read(a, t.tid)
+            yield t.compute(1)
+            yield t.write(b, t.tid, 2 * v)
+
+        eng.launch(thread_program(kernel), 16)
+        assert np.allclose(b.to_numpy(), 2 * vals)
+
+    def test_grid_stride_loop(self, rng):
+        """More elements than threads: the CUDA grid-stride idiom."""
+        eng = make_umm(width=4)
+        n = 50
+        vals = rng.normal(size=n)
+        a = eng.array_from(vals, "a")
+        b = eng.alloc(n, "b")
+
+        def kernel(t):
+            i = t.tid
+            while i < n:
+                v = yield t.read(a, i)
+                yield t.write(b, i, v + 1)
+                i += t.num_threads
+
+        eng.launch(thread_program(kernel), 8)
+        assert np.allclose(b.to_numpy(), vals + 1)
+
+    def test_early_finish_lanes(self, rng):
+        """Tail threads returning early must not stall the others."""
+        eng = make_umm(width=4)
+        a = eng.array_from(np.arange(16.0), "a")
+        b = eng.alloc(16, "b")
+
+        def kernel(t):
+            if t.tid >= 10:
+                return  # this thread has nothing to do
+            v = yield t.read(a, t.tid)
+            yield t.write(b, t.tid, v * 10)
+
+        eng.launch(thread_program(kernel), 16)
+        out = b.to_numpy()
+        assert np.allclose(out[:10], np.arange(10.0) * 10)
+        assert (out[10:] == 0).all()
+
+    def test_idle_for_data_divergence(self, rng):
+        """idle() lets some lanes skip a memory step."""
+        eng = make_umm(width=4)
+        a = eng.array_from(np.arange(8.0), "a")
+        b = eng.alloc(8, "b")
+
+        def kernel(t):
+            v = yield t.read(a, t.tid)
+            if v % 2 == 0:
+                yield t.write(b, t.tid, v + 100)
+            else:
+                yield t.idle()
+
+        eng.launch(thread_program(kernel), 8)
+        out = b.to_numpy()
+        assert out[0] == 100 and out[2] == 102
+        assert out[1] == 0 and out[3] == 0
+
+    def test_matches_vector_api_cost(self, rng):
+        """The adapter produces the same transactions as the native
+        warp-vector version of the same kernel — identical time units."""
+        vals = rng.normal(size=64)
+
+        def run_vector():
+            eng = make_umm(width=4, latency=6)
+            a = eng.array_from(vals, "a")
+            b = eng.alloc(64, "b")
+
+            def prog(warp):
+                v = yield warp.read(a, warp.tids)
+                yield warp.compute(1)
+                yield warp.write(b, warp.tids, 2 * v)
+
+            return eng.launch(prog, 64).cycles
+
+        def run_thread():
+            eng = make_umm(width=4, latency=6)
+            a = eng.array_from(vals, "a")
+            b = eng.alloc(64, "b")
+
+            def kernel(t):
+                v = yield t.read(a, t.tid)
+                yield t.compute(1)
+                yield t.write(b, t.tid, 2 * v)
+
+            return eng.launch(thread_program(kernel), 64).cycles
+
+        assert run_vector() == run_thread()
+
+    def test_hmm_shared_memory_and_barriers(self, rng):
+        """A per-thread HMM reduction using shared memory."""
+        eng = make_hmm(num_dmms=2, width=4, global_latency=8)
+        vals = rng.normal(size=16)
+        a = eng.global_from(vals, "a")
+        s = eng.alloc_shared_all(8, "s")
+        out = eng.alloc_global(2, "out")
+
+        def kernel(t):
+            my_s = s[t.dmm_id]
+            v = yield t.read(a, t.tid)
+            yield t.write(my_s, t.local_tid, v)
+            yield t.sync_dmm()
+            half = 4
+            while half >= 1:
+                if t.local_tid < half:
+                    x = yield t.read(my_s, t.local_tid)
+                    y = yield t.read(my_s, t.local_tid + half)
+                    yield t.write(my_s, t.local_tid, x + y)
+                else:
+                    yield t.idle()
+                    yield t.idle()
+                    yield t.idle()
+                yield t.sync_dmm()
+                half //= 2
+            if t.local_tid == 0:
+                total = yield t.read(my_s, 0)
+                yield t.write(out, t.dmm_id, total)
+
+        eng.launch(thread_program(kernel), 16)
+        partials = out.to_numpy()
+        assert np.isclose(partials.sum(), vals.sum())
+        assert np.isclose(partials[0], vals[:8].sum())
+
+
+class TestLockstepChecking:
+    def test_divergent_kinds_raise(self):
+        eng = make_umm(width=4)
+        a = eng.alloc(8)
+
+        def kernel(t):
+            if t.tid % 2:
+                yield t.read(a, t.tid)
+            else:
+                yield t.compute(1)
+
+        with pytest.raises(LockstepError):
+            eng.launch(thread_program(kernel), 4)
+
+    def test_divergent_arrays_raise(self):
+        eng = make_umm(width=4)
+        a = eng.alloc(8)
+        b = eng.alloc(8)
+
+        def kernel(t):
+            target = a if t.tid % 2 else b
+            yield t.read(target, t.tid)
+
+        with pytest.raises(LockstepError):
+            eng.launch(thread_program(kernel), 4)
+
+    def test_partial_barrier_raises(self):
+        eng = make_umm(width=4)
+        a = eng.alloc(8)
+
+        def kernel(t):
+            if t.tid % 2:
+                yield t.barrier()
+            else:
+                yield t.idle()
+
+        with pytest.raises(LockstepError):
+            eng.launch(thread_program(kernel), 4)
+
+    def test_divergent_compute_durations_raise(self):
+        eng = make_umm(width=4)
+
+        def kernel(t):
+            yield t.compute(t.tid + 1)
+
+        with pytest.raises(LockstepError):
+            eng.launch(thread_program(kernel), 4)
+
+    def test_divergence_across_warps_is_fine(self, rng):
+        """Different warps may do entirely different things."""
+        eng = make_umm(width=4)
+        a = eng.array_from(np.arange(8.0), "a")
+        b = eng.alloc(8, "b")
+
+        def kernel(t):
+            if t.warp_id == 0:
+                v = yield t.read(a, t.tid)
+                yield t.write(b, t.tid, v)
+            else:
+                yield t.compute(3)
+
+        eng.launch(thread_program(kernel), 8)
+        assert np.allclose(b.to_numpy()[:4], np.arange(4.0))

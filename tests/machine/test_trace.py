@@ -1,0 +1,196 @@
+"""Trace recording, the Figure 4 timeline, and race detection."""
+
+import numpy as np
+import pytest
+
+from repro.machine.trace import TraceRecorder
+
+from conftest import make_hmm, make_umm
+
+
+def test_records_transactions():
+    eng = make_umm(width=4, latency=5)
+    a = eng.alloc(16, "a")
+    tr = TraceRecorder()
+
+    def prog(warp):
+        yield warp.read(a, warp.tids)
+        yield warp.write(a, warp.tids, 1.0)
+
+    eng.launch(prog, 8, trace=tr)
+    assert len(tr.records) == 4
+    reads = [r for r in tr.records if r.kind.value == "read"]
+    assert len(reads) == 2
+    assert tr.total_slots("mem") == 4
+    assert tr.transactions_for("mem") == tr.records
+
+
+def test_figure4_timeline_renders_eight_units():
+    eng = make_umm(width=4, latency=5)
+    a = eng.alloc(16, "a")
+    tr = TraceRecorder()
+    pattern = {0: np.array([15, 2, 6, 0]), 1: np.array([8, 9, 10, 11])}
+
+    def prog(warp):
+        yield warp.read(a, pattern[warp.warp_id])
+
+    report = eng.launch(prog, 8, trace=tr)
+    assert report.cycles == 8
+    assert tr.makespan() == 8
+    chart = tr.render_pipeline_timeline("mem", latency=5)
+    assert "total=8 time units" in chart
+    assert "W(0)" in chart and "W(1)" in chart
+    # W(0) occupies 3 issue slots, W(1) one.
+    lines = {l.split()[0]: l for l in chart.splitlines() if l.startswith("W(")}
+    assert lines["W(0)"].count("#") == 3
+    assert lines["W(1)"].count("#") == 1
+
+
+def test_timeline_empty_unit():
+    tr = TraceRecorder()
+    assert "no transactions" in tr.render_pipeline_timeline("mem", latency=5)
+
+
+class TestRaceDetection:
+    def test_clean_barrier_separated_program(self):
+        eng = make_umm(width=4)
+        a = eng.alloc(8)
+        tr = TraceRecorder()
+
+        def prog(warp):
+            if warp.warp_id == 0:
+                yield warp.write(a, warp.tids, 1.0)
+            yield warp.barrier()
+            if warp.warp_id == 1:
+                yield warp.read(a, warp.tids - 4)
+
+        eng.launch(prog, 8, trace=tr)
+        assert tr.detect_races() == []
+
+    def test_unsynchronized_write_read_flagged(self):
+        eng = make_umm(width=4)
+        a = eng.alloc(8)
+        tr = TraceRecorder()
+
+        def prog(warp):
+            if warp.warp_id == 0:
+                yield warp.write(a, warp.tids, 1.0)
+            else:
+                yield warp.read(a, warp.tids - 4)  # same cells, no barrier
+
+        eng.launch(prog, 8, trace=tr)
+        races = tr.detect_races()
+        assert len(races) == 1
+        assert "race" in races[0].describe()
+
+    def test_read_read_not_a_race(self):
+        eng = make_umm(width=4)
+        a = eng.alloc(4)
+        tr = TraceRecorder()
+
+        def prog(warp):
+            yield warp.read(a, warp.local_tids % 4)
+
+        eng.launch(prog, 8, trace=tr)
+        assert tr.detect_races() == []
+
+    def test_disjoint_writes_not_a_race(self):
+        eng = make_umm(width=4)
+        a = eng.alloc(8)
+        tr = TraceRecorder()
+
+        def prog(warp):
+            yield warp.write(a, warp.tids, 1.0)
+
+        eng.launch(prog, 8, trace=tr)
+        assert tr.detect_races() == []
+
+    def test_dmm_barrier_separates_same_dmm_warps(self):
+        eng = make_hmm(num_dmms=1, width=4, global_latency=5)
+        s = eng.alloc_shared(0, 8)
+        tr = TraceRecorder()
+
+        def prog(warp):
+            if warp.warp_in_dmm == 0:
+                yield warp.write(s, warp.local_tids, 1.0)
+            yield warp.sync_dmm()
+            if warp.warp_in_dmm == 1:
+                yield warp.read(s, warp.local_tids - 4)
+
+        eng.launch(prog, 8, trace=tr)
+        assert tr.detect_races() == []
+
+    def test_cross_dmm_global_race_flagged(self):
+        eng = make_hmm(num_dmms=2, width=4, global_latency=5)
+        g = eng.alloc_global(4)
+        tr = TraceRecorder()
+
+        def prog(warp):
+            if warp.dmm_id == 0:
+                yield warp.write(g, warp.local_tids, 1.0)
+            else:
+                # DMM barrier does NOT synchronize across DMMs.
+                yield warp.sync_dmm()
+                yield warp.read(g, warp.local_tids)
+
+        eng.launch(prog, 8, trace=tr)
+        assert len(tr.detect_races()) == 1
+
+
+def test_epochs_recorded_on_transactions():
+    eng = make_umm(width=4)
+    a = eng.alloc(4)
+    tr = TraceRecorder()
+
+    def prog(warp):
+        yield warp.read(a, warp.tids)
+        yield warp.barrier()
+        yield warp.read(a, warp.tids)
+
+    eng.launch(prog, 4, trace=tr)
+    assert tr.records[0].device_epoch == 0
+    assert tr.records[1].device_epoch == 1
+
+
+class TestTraceStatistics:
+    def test_port_utilization_bandwidth_bound(self):
+        """A saturated contiguous sweep keeps the port nearly always busy."""
+        from repro.machine.trace import port_utilization
+        from repro.core.kernels.contiguous import contiguous_read
+
+        eng = make_umm(width=4, latency=2)
+        a = eng.alloc(256)
+        tr = TraceRecorder()
+        report = eng.launch(contiguous_read(a, 256), 64, trace=tr)
+        util = port_utilization(tr.records, "mem", report.cycles)
+        assert util > 0.9
+
+    def test_port_utilization_latency_bound(self):
+        """A single under-occupied warp leaves the port mostly idle."""
+        from repro.machine.trace import port_utilization
+        from repro.core.kernels.contiguous import contiguous_read
+
+        eng = make_umm(width=4, latency=50)
+        a = eng.alloc(64)
+        tr = TraceRecorder()
+        report = eng.launch(contiguous_read(a, 64), 4, trace=tr)
+        util = port_utilization(tr.records, "mem", report.cycles)
+        assert util < 0.1
+
+    def test_slots_histogram(self):
+        from repro.machine.trace import slots_histogram
+        from repro.core.kernels.contiguous import strided_read
+
+        eng = make_umm(width=4, latency=2)
+        a = eng.alloc(64)
+        tr = TraceRecorder()
+        eng.launch(strided_read(a, 64, 4), 16, trace=tr)
+        hist = slots_histogram(tr.records, "mem")
+        # Stride w touches w groups per transaction: all cost 4 slots.
+        assert set(hist) == {4}
+
+    def test_empty_inputs(self):
+        from repro.machine.trace import port_utilization, slots_histogram
+
+        assert port_utilization([], "mem", 0) == 0.0
+        assert slots_histogram([], "mem") == {}

@@ -1,0 +1,119 @@
+"""Warp contexts: lane vectors, masking, operation construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.machine.engine import make_warp_contexts
+from repro.machine.memory import MemorySpace
+from repro.machine.ops import BarrierScope
+
+
+@pytest.fixture
+def arr():
+    return MemorySpace("m").alloc(64, "a")
+
+
+@pytest.fixture
+def warp():
+    return make_warp_contexts(8, 4)[0]
+
+
+class TestWarpPartition:
+    def test_full_warps(self):
+        ctxs = make_warp_contexts(8, 4)
+        assert len(ctxs) == 2
+        assert ctxs[0].tids.tolist() == [0, 1, 2, 3]
+        assert ctxs[1].tids.tolist() == [4, 5, 6, 7]
+
+    def test_partial_last_warp(self):
+        ctxs = make_warp_contexts(6, 4)
+        assert len(ctxs) == 2
+        assert ctxs[1].tids.tolist() == [4, 5]
+        assert ctxs[1].num_lanes == 2
+
+    def test_offsets_for_hmm_blocks(self):
+        ctxs = make_warp_contexts(
+            4, 4, dmm_id=2, first_warp_id=5, first_tid=12, total_threads=32
+        )
+        (ctx,) = ctxs
+        assert ctx.warp_id == 5
+        assert ctx.dmm_id == 2
+        assert ctx.tids.tolist() == [12, 13, 14, 15]
+        assert ctx.local_tids.tolist() == [0, 1, 2, 3]
+        assert ctx.num_threads == 32
+        assert ctx.threads_in_dmm == 4
+
+    def test_lanes_property(self, warp):
+        assert warp.lanes.tolist() == [0, 1, 2, 3]
+
+
+class TestReadConstruction:
+    def test_vector_indices(self, warp, arr):
+        op = warp.read(arr, np.array([0, 1, 2, 3]))
+        assert op.addresses.tolist() == [0, 1, 2, 3]
+        assert op.result_mask.all()
+
+    def test_scalar_broadcast(self, warp, arr):
+        op = warp.read(arr, 5)
+        assert op.addresses.tolist() == [5, 5, 5, 5]
+
+    def test_mask_excludes_lanes(self, warp, arr):
+        op = warp.read(arr, np.array([0, 1, 2, 3]), mask=np.array([True, False, True, False]))
+        assert op.addresses.tolist() == [0, 2]
+        assert op.result_mask.tolist() == [True, False, True, False]
+
+    def test_masked_out_of_range_index_allowed(self, warp, arr):
+        """Masked lanes' indices are never translated, so junk is fine."""
+        op = warp.read(
+            arr,
+            np.array([0, 999_999, 2, -5]),
+            mask=np.array([True, False, True, False]),
+        )
+        assert op.addresses.tolist() == [0, 2]
+
+    def test_wrong_index_length(self, warp, arr):
+        with pytest.raises(KernelError):
+            warp.read(arr, np.array([0, 1]))
+
+    def test_wrong_mask_length(self, warp, arr):
+        with pytest.raises(KernelError):
+            warp.read(arr, np.array([0, 1, 2, 3]), mask=np.array([True]))
+
+
+class TestWriteConstruction:
+    def test_values_per_lane(self, warp, arr):
+        op = warp.write(arr, np.array([0, 1, 2, 3]), np.array([1.0, 2.0, 3.0, 4.0]))
+        assert op.values.tolist() == [1.0, 2.0, 3.0, 4.0]
+
+    def test_scalar_value_broadcast(self, warp, arr):
+        op = warp.write(arr, np.array([0, 1, 2, 3]), 9.0)
+        assert op.values.tolist() == [9.0] * 4
+
+    def test_masked_write(self, warp, arr):
+        op = warp.write(
+            arr,
+            np.array([0, 1, 2, 3]),
+            np.array([1.0, 2.0, 3.0, 4.0]),
+            mask=np.array([False, True, False, True]),
+        )
+        assert op.addresses.tolist() == [1, 3]
+        assert op.values.tolist() == [2.0, 4.0]
+
+    def test_wrong_value_length(self, warp, arr):
+        with pytest.raises(KernelError):
+            warp.write(arr, np.array([0, 1, 2, 3]), np.array([1.0]))
+
+
+class TestOtherOps:
+    def test_compute(self, warp):
+        assert warp.compute().cycles == 1
+        assert warp.compute(7).cycles == 7
+
+    def test_compute_negative_rejected(self, warp):
+        with pytest.raises(ValueError):
+            warp.compute(-1)
+
+    def test_barrier_scopes(self, warp):
+        assert warp.barrier().scope is BarrierScope.DEVICE
+        assert warp.sync_dmm().scope is BarrierScope.DMM

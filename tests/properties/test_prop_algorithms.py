@@ -1,0 +1,396 @@
+"""Property-based tests of the algorithm kernels.
+
+Each algorithm is checked against its numpy reference on randomized
+problem shapes and thread counts, plus the universal timing invariants:
+measured time respects every Table II limitation that applies, and the
+contiguous kernels stay conflict-free.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis.lower_bounds import CONV_BOUNDS, SUM_BOUNDS
+from repro.analysis.terms import Params
+from repro.core.kernels.hmm_conv import hmm_convolution
+from repro.core.kernels.hmm_sum import hmm_sum
+from repro.core.kernels.prefix import hmm_prefix_sums
+from repro.core.kernels.permutation import (
+    conflict_free_permutation_schedule,
+    permutation_kernel,
+)
+from repro.core.machines import (
+    run_flat_convolution,
+    run_flat_prefix_sums,
+    run_flat_sum,
+)
+from repro.core.pram import PRAM
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+from conftest import make_dmm, make_hmm, make_umm  # noqa: E402
+
+lenient = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+values_strategy = st.lists(
+    st.integers(-8, 8), min_size=1, max_size=300
+).map(lambda xs: np.array(xs, dtype=np.float64))
+
+
+class TestSumProperties:
+    @given(
+        vals=values_strategy,
+        p=st.integers(1, 128),
+        w=st.sampled_from([2, 4, 8]),
+        l=st.integers(1, 40),
+    )
+    @lenient
+    def test_flat_sum_value_and_bounds(self, vals, p, w, l):
+        eng = make_umm(width=w, latency=l)
+        total, report = run_flat_sum(eng, vals, p)
+        assert np.isclose(total, vals.sum())
+        if vals.size > 1:
+            q = Params(n=vals.size, p=p, w=w, l=l)
+            bound = max(f(q) for f in SUM_BOUNDS["umm"].values())
+            assert report.cycles >= 0.99 * bound
+
+    @given(
+        vals=values_strategy,
+        p=st.integers(1, 64),
+        d=st.sampled_from([1, 2, 4]),
+        l=st.integers(1, 40),
+    )
+    @lenient
+    def test_hmm_sum_value_and_bounds(self, vals, p, d, l):
+        eng = make_hmm(num_dmms=d, width=4, global_latency=l)
+        total, report = hmm_sum(eng, vals, p)
+        assert np.isclose(total, vals.sum())
+        if vals.size > 1:
+            q = Params(n=vals.size, p=p, w=4, l=l, d=d)
+            bound = max(f(q) for f in SUM_BOUNDS["hmm"].values())
+            assert report.cycles >= 0.99 * bound
+
+
+class TestPrefixProperties:
+    @given(vals=values_strategy, p=st.integers(1, 64))
+    @lenient
+    def test_flat_scan_matches_cumsum(self, vals, p):
+        out, _ = run_flat_prefix_sums(make_umm(width=4, latency=3), vals, p)
+        assert np.allclose(out, np.cumsum(vals))
+
+    @given(vals=values_strategy, p=st.integers(2, 64), d=st.sampled_from([1, 2, 4]))
+    @lenient
+    def test_hmm_scan_matches_cumsum(self, vals, p, d):
+        eng = make_hmm(num_dmms=d, width=4, global_latency=7)
+        out, _ = hmm_prefix_sums(eng, vals, p)
+        assert np.allclose(out, np.cumsum(vals))
+
+
+class TestConvolutionProperties:
+    conv_shapes = st.tuples(
+        st.integers(1, 12), st.integers(1, 80)
+    ).filter(lambda t: t[0] <= t[1])
+
+    @given(shape=conv_shapes, p=st.integers(1, 128), seed=st.integers(0, 999))
+    @lenient
+    def test_flat_conv_matches_numpy(self, shape, p, seed):
+        k, n = shape
+        rng = np.random.default_rng(seed)
+        x = rng.integers(-4, 5, k).astype(float)
+        y = rng.integers(-4, 5, n + k - 1).astype(float)
+        z, report = run_flat_convolution(make_umm(width=4, latency=3), x, y, p)
+        assert np.allclose(z, np.correlate(y, x, "valid"))
+        q = Params(n=n, k=k, p=p, w=4, l=3)
+        bound = max(f(q) for f in CONV_BOUNDS["umm"].values())
+        assert report.cycles >= 0.99 * bound
+
+    @given(
+        shape=conv_shapes,
+        p=st.integers(2, 64),
+        d=st.sampled_from([1, 2, 4]),
+        seed=st.integers(0, 999),
+    )
+    @lenient
+    def test_hmm_conv_matches_numpy(self, shape, p, d, seed):
+        k, n = shape
+        rng = np.random.default_rng(seed)
+        x = rng.integers(-4, 5, k).astype(float)
+        y = rng.integers(-4, 5, n + k - 1).astype(float)
+        eng = make_hmm(num_dmms=d, width=4, global_latency=5)
+        z, _ = hmm_convolution(eng, x, y, p)
+        assert np.allclose(z, np.correlate(y, x, "valid"))
+
+
+class TestPermutationProperties:
+    @given(
+        rounds=st.integers(1, 16),
+        w=st.sampled_from([2, 4, 8]),
+        seed=st.integers(0, 999),
+    )
+    @lenient
+    def test_schedule_decomposition(self, rounds, w, seed):
+        """Any permutation of n = rounds*w cells decomposes into
+        conflict-free rounds covering each element exactly once."""
+        n = rounds * w
+        perm = np.random.default_rng(seed).permutation(n)
+        sched = conflict_free_permutation_schedule(perm, w)
+        assert sorted(sched.ravel().tolist()) == list(range(n))
+        for row in sched:
+            assert np.unique(row % w).size == w
+            assert np.unique(perm[row] % w).size == w
+
+    @given(
+        rounds=st.integers(1, 8),
+        w=st.sampled_from([2, 4]),
+        seed=st.integers(0, 999),
+    )
+    @lenient
+    def test_kernel_applies_permutation_conflict_free(self, rounds, w, seed):
+        n = rounds * w
+        perm = np.random.default_rng(seed).permutation(n)
+        eng = make_dmm(width=w, latency=2)
+        a = eng.array_from(np.arange(n, dtype=float))
+        b = eng.alloc(n)
+        sched = conflict_free_permutation_schedule(perm, w)
+        report = eng.launch(permutation_kernel(a, b, perm, sched), w)
+        expected = np.empty(n)
+        expected[perm] = np.arange(n)
+        assert np.allclose(b.to_numpy(), expected)
+        assert report.conflict_free()
+
+
+class TestPRAMProperties:
+    @given(vals=values_strategy, p=st.integers(1, 256))
+    @lenient
+    def test_sum(self, vals, p):
+        r = PRAM(p).sum(vals)
+        assert np.isclose(r.value, vals.sum())
+        assert r.work == vals.size - 1
+        # Speed-up and reduction limitations.
+        assert r.cycles >= (vals.size - 1) / p - 1
+        if vals.size > 1:
+            assert r.cycles >= np.log2(min(p, vals.size)) - 1
+
+    @given(shape=TestConvolutionProperties.conv_shapes, p=st.integers(1, 256),
+           seed=st.integers(0, 99))
+    @lenient
+    def test_convolution(self, shape, p, seed):
+        k, n = shape
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=k)
+        y = rng.normal(size=n + k - 1)
+        r = PRAM(p).convolution(x, y)
+        assert np.allclose(r.value, np.correlate(y, x, "valid"))
+
+
+class TestSortingProperties:
+    @given(vals=values_strategy, p=st.integers(1, 64))
+    @lenient
+    def test_flat_sort_matches_numpy(self, vals, p):
+        from repro.core.kernels.sorting import flat_bitonic_sort
+
+        out, report = flat_bitonic_sort(make_umm(width=4, latency=2), vals, p)
+        assert np.allclose(out, np.sort(vals))
+
+    @given(vals=values_strategy, p=st.integers(2, 64), d=st.sampled_from([1, 2, 4]))
+    @lenient
+    def test_hmm_sort_matches_numpy(self, vals, p, d):
+        from repro.core.kernels.sorting import hmm_bitonic_sort
+
+        eng = make_hmm(num_dmms=d, width=4, global_latency=3)
+        out, _ = hmm_bitonic_sort(eng, vals, p)
+        assert np.allclose(out, np.sort(vals))
+
+
+class TestStringMatchingProperties:
+    @given(
+        m=st.integers(1, 6),
+        n=st.integers(1, 60),
+        p=st.integers(1, 32),
+        seed=st.integers(0, 999),
+    )
+    @lenient
+    def test_flat_matches_reference(self, m, n, p, seed):
+        from repro.core.kernels.string_matching import (
+            flat_approximate_match,
+            reference_approximate_match,
+        )
+
+        rng = np.random.default_rng(seed)
+        pv = rng.integers(0, 3, m).astype(float)
+        tv = rng.integers(0, 3, n).astype(float)
+        out, _ = flat_approximate_match(make_umm(width=4, latency=2), pv, tv, p)
+        assert np.allclose(out, reference_approximate_match(pv, tv))
+
+    @given(
+        m=st.integers(1, 5),
+        n=st.integers(1, 60),
+        p=st.integers(2, 32),
+        d=st.sampled_from([2, 4, 8]),
+        seed=st.integers(0, 999),
+    )
+    @lenient
+    def test_hmm_chunking_matches_reference(self, m, n, p, d, seed):
+        """The 2m-overlap warm-up must be exact for every chunking."""
+        from repro.core.kernels.string_matching import (
+            hmm_approximate_match,
+            reference_approximate_match,
+        )
+
+        rng = np.random.default_rng(seed)
+        pv = rng.integers(0, 3, m).astype(float)
+        tv = rng.integers(0, 3, n).astype(float)
+        eng = make_hmm(num_dmms=d, width=4, global_latency=3)
+        out, _ = hmm_approximate_match(eng, pv, tv, p)
+        assert np.allclose(out, reference_approximate_match(pv, tv))
+
+
+class TestMatvecProperties:
+    @given(
+        m=st.integers(1, 24),
+        n=st.integers(1, 24),
+        pw=st.integers(1, 8),
+        seed=st.integers(0, 999),
+    )
+    @lenient
+    def test_flat_matvec(self, m, n, pw, seed):
+        from repro.core.kernels.matvec import flat_matvec
+
+        rng = np.random.default_rng(seed)
+        A = rng.integers(-3, 4, (m, n)).astype(float)
+        x = rng.integers(-3, 4, n).astype(float)
+        y, _ = flat_matvec(make_umm(width=4, latency=2), A, x, pw * 4)
+        assert np.allclose(y, A @ x)
+
+    @given(
+        m=st.integers(1, 24),
+        n=st.integers(1, 24),
+        d=st.sampled_from([1, 2, 4]),
+        seed=st.integers(0, 999),
+    )
+    @lenient
+    def test_hmm_matvec(self, m, n, d, seed):
+        from repro.core.kernels.matvec import hmm_matvec
+
+        rng = np.random.default_rng(seed)
+        A = rng.integers(-3, 4, (m, n)).astype(float)
+        x = rng.integers(-3, 4, n).astype(float)
+        eng = make_hmm(num_dmms=d, width=4, global_latency=3)
+        y, _ = hmm_matvec(eng, A, x, d * 8)
+        assert np.allclose(y, A @ x)
+
+
+class TestHistogramProperties:
+    @given(
+        n=st.integers(1, 200),
+        bins=st.integers(1, 12),
+        d=st.sampled_from([1, 2, 4]),
+        seed=st.integers(0, 999),
+    )
+    @lenient
+    def test_exact_counts(self, n, bins, d, seed):
+        from repro.core.kernels.histogram import hmm_histogram
+
+        rng = np.random.default_rng(seed)
+        vals = rng.integers(0, bins, n).astype(float)
+        eng = make_hmm(num_dmms=d, width=4, global_latency=3)
+        counts, _ = hmm_histogram(eng, vals, bins)
+        assert np.allclose(counts, np.bincount(vals.astype(int),
+                                               minlength=bins))
+
+
+class TestCompactionProperties:
+    @given(
+        n=st.integers(1, 200),
+        p=st.integers(2, 32),
+        d=st.sampled_from([1, 2, 4]),
+        seed=st.integers(0, 999),
+    )
+    @lenient
+    def test_matches_boolean_indexing(self, n, p, d, seed):
+        from repro.core.kernels.compaction import hmm_compact
+
+        rng = np.random.default_rng(seed)
+        vals = rng.normal(size=n)
+        keep = rng.random(n) < rng.random()
+        eng = make_hmm(num_dmms=d, width=4, global_latency=3)
+        out, _ = hmm_compact(eng, vals, keep, p)
+        assert np.allclose(out, vals[keep])
+
+
+class TestBFSProperties:
+    @given(
+        n=st.integers(2, 24),
+        p_edge=st.floats(0.05, 0.6),
+        seed=st.integers(0, 99),
+        src_frac=st.floats(0, 0.999),
+    )
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_matches_networkx(self, n, p_edge, seed, src_frac):
+        import networkx as nx
+
+        from repro.core.kernels.bfs import adjacency_from_graph, hmm_bfs
+
+        graph = nx.erdos_renyi_graph(n, p_edge, seed=seed)
+        adj = adjacency_from_graph(graph)
+        src = int(src_frac * n)
+        factory = lambda: make_hmm(num_dmms=2, width=4, global_latency=4)
+        dist, _ = hmm_bfs(factory, adj, src, 8)
+        nodes = sorted(graph.nodes())
+        ref = nx.single_source_shortest_path_length(graph, nodes[src])
+        expected = np.full(n, -1)
+        for node, d in ref.items():
+            expected[nodes.index(node)] = d
+        assert np.array_equal(dist, expected)
+
+
+class TestSpMVProperties:
+    @given(
+        m=st.integers(1, 20),
+        n=st.integers(1, 20),
+        density=st.floats(0, 1),
+        d=st.sampled_from([1, 2, 4]),
+        seed=st.integers(0, 999),
+    )
+    @lenient
+    def test_hmm_spmv(self, m, n, density, d, seed):
+        from repro.core.kernels.spmv import hmm_spmv
+
+        rng = np.random.default_rng(seed)
+        A = rng.integers(-3, 4, (m, n)).astype(float)
+        A *= rng.random((m, n)) < density
+        x = rng.integers(-3, 4, n).astype(float)
+        eng = make_hmm(num_dmms=d, width=4, global_latency=3)
+        y, _ = hmm_spmv(eng, A, x, d * 4)
+        assert np.allclose(y, A @ x)
+
+
+class TestMergeProperties:
+    @given(
+        na=st.integers(0, 80),
+        nb=st.integers(0, 80),
+        p=st.integers(1, 48),
+        d=st.sampled_from([1, 2, 4]),
+        seed=st.integers(0, 999),
+    )
+    @lenient
+    def test_merge_matches_sort(self, na, nb, p, d, seed):
+        from repro.core.kernels.merge import flat_merge, hmm_merge
+
+        if na + nb == 0:
+            nb = 1
+        rng = np.random.default_rng(seed)
+        a = np.sort(rng.integers(0, 15, na).astype(float))
+        b = np.sort(rng.integers(0, 15, nb).astype(float))
+        ref = np.sort(np.concatenate([a, b]))
+        out, _ = flat_merge(make_umm(width=4, latency=2), a, b, p)
+        assert np.array_equal(out, ref)
+        eng = make_hmm(num_dmms=d, width=4, global_latency=3)
+        out2, _ = hmm_merge(eng, a, b, max(p, d))
+        assert np.array_equal(out2, ref)

@@ -1,0 +1,150 @@
+"""Property-based tests of the simulation substrate."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.banks import bank_histogram, conflict_degree, group_count
+from repro.machine.ops import AccessKind
+from repro.machine.pipeline import PipelinedMemoryUnit
+from repro.machine.policy import DMMBankPolicy, UMMGroupPolicy
+
+widths = st.sampled_from([1, 2, 4, 8, 16, 32])
+addr_arrays = st.lists(st.integers(0, 1023), min_size=1, max_size=32).map(
+    lambda xs: np.array(xs, dtype=np.int64)
+)
+
+
+class TestPolicyInvariants:
+    @given(addrs=addr_arrays, w=widths)
+    def test_conflict_degree_bounds(self, addrs, w):
+        """1 <= degree <= number of distinct addresses (non-empty)."""
+        deg = conflict_degree(addrs, w)
+        distinct = np.unique(addrs).size
+        assert 1 <= deg <= distinct
+        assert deg <= -(-distinct // 1)
+
+    @given(addrs=addr_arrays, w=widths)
+    def test_group_count_bounds(self, addrs, w):
+        g = group_count(addrs, w)
+        distinct = np.unique(addrs).size
+        assert 1 <= g <= distinct
+
+    @given(addrs=addr_arrays, w=widths)
+    def test_permutation_invariance(self, addrs, w):
+        """Slot counts depend only on the address set."""
+        rng = np.random.default_rng(0)
+        shuffled = rng.permutation(addrs)
+        assert conflict_degree(addrs, w) == conflict_degree(shuffled, w)
+        assert group_count(addrs, w) == group_count(shuffled, w)
+
+    @given(addrs=addr_arrays, w=widths)
+    def test_duplicates_never_increase_cost(self, addrs, w):
+        doubled = np.concatenate([addrs, addrs])
+        assert conflict_degree(doubled, w) == conflict_degree(addrs, w)
+        assert group_count(doubled, w) == group_count(addrs, w)
+
+    @given(addrs=addr_arrays, w=widths)
+    def test_histogram_totals_distinct_addresses(self, addrs, w):
+        hist = bank_histogram(addrs, w)
+        assert hist.sum() == np.unique(addrs).size
+
+    @given(addrs=addr_arrays, w=widths)
+    def test_width_one_degenerates(self, addrs, w):
+        """At w = 1 every distinct address is its own slot on the DMM
+        and its own group on the UMM."""
+        distinct = np.unique(addrs).size
+        assert conflict_degree(addrs, 1) == distinct
+        assert group_count(addrs, 1) == distinct
+
+    @given(addrs=addr_arrays, w=widths)
+    def test_group_count_at_least_span_over_width(self, addrs, w):
+        """g groups must cover the address span: g >= span/w bound."""
+        span_groups = addrs.max() // w - addrs.min() // w + 1
+        assert group_count(addrs, w) <= span_groups
+
+
+class TestPipelineInvariants:
+    @given(
+        latency=st.integers(1, 64),
+        transactions=st.lists(
+            st.tuples(st.integers(0, 100), addr_arrays), min_size=1, max_size=12
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_timing_monotone_and_consistent(self, latency, transactions):
+        unit = PipelinedMemoryUnit("u", 8, latency, UMMGroupPolicy())
+        prev_start = -1
+        for ready, addrs in transactions:
+            issue = unit.issue(ready, addrs, AccessKind.READ)
+            # Port never travels back in time.
+            assert issue.start >= prev_start
+            assert issue.start >= ready
+            # Completion arithmetic.
+            assert issue.complete == issue.start + issue.slots - 1 + latency - 1
+            assert issue.next_ready == issue.complete + 1
+            prev_start = issue.start
+
+    @given(latency=st.integers(1, 64), addrs=addr_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_unpipelined_never_faster(self, latency, addrs):
+        fast = PipelinedMemoryUnit("f", 8, latency, DMMBankPolicy())
+        slow = PipelinedMemoryUnit("s", 8, latency, DMMBankPolicy(), pipelined=False)
+        f_last = s_last = 0
+        for _ in range(4):
+            f_last = fast.issue(0, addrs, AccessKind.READ).complete
+            s_last = slow.issue(0, addrs, AccessKind.READ).complete
+        assert s_last >= f_last
+
+    @given(addrs=addr_arrays, w=widths, latency=st.integers(1, 32))
+    @settings(max_examples=50, deadline=None)
+    def test_slots_match_policy(self, addrs, w, latency):
+        unit = PipelinedMemoryUnit("u", w, latency, DMMBankPolicy())
+        issue = unit.issue(0, addrs, AccessKind.WRITE)
+        assert issue.slots == conflict_degree(addrs, w)
+
+
+class TestTraceInvariants:
+    """Invariants tying the trace to the unit statistics and makespan."""
+
+    @given(
+        n=st.integers(4, 256),
+        p=st.integers(1, 64),
+        l=st.integers(1, 32),
+        stride=st.integers(1, 9),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_trace_consistency(self, n, p, l, stride):
+        from repro.machine.engine import MachineEngine
+        from repro.machine.trace import (
+            TraceRecorder,
+            port_utilization,
+            slots_histogram,
+        )
+        from repro.params import MachineParams
+        from repro.core.kernels.contiguous import strided_read
+
+        eng = MachineEngine(
+            MachineParams(width=8, latency=l), UMMGroupPolicy()
+        )
+        a = eng.alloc(n)
+        tr = TraceRecorder()
+        report = eng.launch(strided_read(a, n, stride), p, trace=tr)
+        stats = report.stats_for("mem")
+
+        # Trace totals match the unit statistics exactly.
+        assert len(tr.records) == stats.transactions
+        assert sum(r.slots for r in tr.records) == stats.slots
+        hist = slots_histogram(tr.records, "mem")
+        assert sum(hist.values()) == stats.transactions
+        assert sum(k * v for k, v in hist.items()) == stats.slots
+
+        # Port utilization is a fraction; makespan covers completions.
+        util = port_utilization(tr.records, "mem", report.cycles)
+        assert 0.0 <= util <= 1.0
+        assert tr.makespan() <= report.cycles
+        # No two transactions overlap on the issue port.
+        intervals = sorted(
+            (r.start, r.start + r.slots) for r in tr.records
+        )
+        for (s1, e1), (s2, _e2) in zip(intervals, intervals[1:]):
+            assert s2 >= e1

@@ -1,0 +1,124 @@
+"""Cycle-exact checks against the arithmetic the paper spells out.
+
+These tests pin the simulator to the numbers derivable by hand from
+Sections II-IV: the Figure 4 pipeline example, the contiguous-access
+counts behind Lemma 1, and the bank / address-group layout of Figure 3.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machine.banks import bank_group_table
+from repro.machine.trace import TraceRecorder
+from repro.core.kernels.contiguous import contiguous_read
+
+from conftest import make_dmm, make_umm
+
+
+class TestFigure4:
+    """Two warps, w = 4, l = 5: W(0) spans address groups {0,1,3}
+    (requests 15, 2, 6, 0), W(1) spans group 2 (requests 8-11).
+    The paper computes (3 + 1) + 5 - 1 = 8 time units."""
+
+    def test_total_time_units(self):
+        eng = make_umm(width=4, latency=5)
+        a = eng.alloc(16, "a")
+        pattern = {0: np.array([15, 2, 6, 0]), 1: np.array([8, 9, 10, 11])}
+
+        def prog(warp):
+            yield warp.read(a, pattern[warp.warp_id])
+
+        assert eng.launch(prog, 8).cycles == 8
+
+    def test_slot_accounting(self):
+        eng = make_umm(width=4, latency=5)
+        a = eng.alloc(16, "a")
+        tr = TraceRecorder()
+        pattern = {0: np.array([15, 2, 6, 0]), 1: np.array([8, 9, 10, 11])}
+
+        def prog(warp):
+            yield warp.read(a, pattern[warp.warp_id])
+
+        eng.launch(prog, 8, trace=tr)
+        by_warp = {r.warp_id: r for r in tr.records}
+        assert by_warp[0].slots == 3
+        assert by_warp[1].slots == 1
+        assert by_warp[1].start == 3  # queued behind W(0)
+
+    def test_same_example_on_dmm_is_cheaper(self):
+        """W(0)'s requests {15, 2, 6, 0} hit banks {3, 2, 2, 0}: conflict
+        degree 2 on the DMM versus 3 address groups on the UMM, so the
+        same access pattern costs 2 + 1 + 5 - 1 = 7 instead of 8 — the
+        architectural difference of Figure 1."""
+        eng = make_dmm(width=4, latency=5)
+        a = eng.alloc(16, "a")
+        pattern = {0: np.array([15, 2, 6, 0]), 1: np.array([8, 9, 10, 11])}
+
+        def prog(warp):
+            yield warp.read(a, pattern[warp.warp_id])
+
+        assert eng.launch(prog, 8).cycles == 2 + 1 + 5 - 1
+
+
+class TestContiguousAccessCounts:
+    """Section IV's exact counts for [Contiguous memory access]."""
+
+    @pytest.mark.parametrize("machine", [make_dmm, make_umm])
+    def test_one_round_p_threads(self, machine):
+        """n = p: p/w coalesced transactions pipeline to p/w + l - 1."""
+        w, l, p = 4, 5, 32
+        eng = machine(width=w, latency=l)
+        a = eng.alloc(p)
+        report = eng.launch(contiguous_read(a, p), p)
+        assert report.cycles == p // w + l - 1
+
+    @pytest.mark.parametrize("machine", [make_dmm, make_umm])
+    def test_saturated_pipeline(self, machine):
+        """p/w >= l: n/p rounds cost ~n/w + l - 1 (full overlap).
+
+        With p/w >= l each warp's next request is due by the time the
+        port frees, so the port never idles: the exact count is
+        n/w + l - 1.
+        """
+        w, l, p, n = 4, 4, 32, 128  # p/w = 8 >= l = 4
+        eng = machine(width=w, latency=l)
+        a = eng.alloc(n)
+        report = eng.launch(contiguous_read(a, n), p)
+        assert report.cycles == n // w + l - 1
+
+    @pytest.mark.parametrize("machine", [make_dmm, make_umm])
+    def test_latency_bound_pipeline(self, machine):
+        """p/w < l: each round costs l (thread reissue gating), so the
+        total is (n/p) * l + (p/w - 1): latency-dominated."""
+        w, l, p, n = 4, 10, 8, 64  # p/w = 2 < l
+        eng = machine(width=w, latency=l)
+        a = eng.alloc(n)
+        report = eng.launch(contiguous_read(a, n), p)
+        rounds = n // p
+        assert report.cycles == (rounds - 1) * l + (p // w - 1) + l
+
+    def test_single_warp_case(self):
+        """p = w (one warp): n/p requests at l each = nl/p... exactly
+        (n/w) * l total with no overlap for one warp."""
+        w, l, n = 4, 6, 32
+        eng = make_umm(width=w, latency=l)
+        a = eng.alloc(n)
+        report = eng.launch(contiguous_read(a, n), w)
+        assert report.cycles == (n // w) * l
+
+    def test_fewer_threads_than_width(self):
+        """p < w: a single partial warp, n/p requests, l each."""
+        w, l, p, n = 8, 5, 4, 16
+        eng = make_umm(width=w, latency=l)
+        a = eng.alloc(n)
+        report = eng.launch(contiguous_read(a, n), p)
+        assert report.cycles == (n // p) * l
+
+
+class TestFigure3:
+    def test_layout_matches_paper(self):
+        """Figure 3: addresses 0..15 at w=4 — row g is group g, column b
+        is bank b."""
+        table = bank_group_table(16, 4)
+        for a in range(16):
+            assert table[a // 4, a % 4] == a

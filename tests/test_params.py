@@ -1,0 +1,106 @@
+"""Machine parameter validation and presets."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.params import (
+    FIG4_PARAMS,
+    GTX580,
+    TINY,
+    HMMParams,
+    MachineParams,
+    is_power_of_two,
+    log2_ceil,
+    next_power_of_two,
+    validate_thread_count,
+    warps_for,
+)
+
+
+class TestMachineParams:
+    def test_defaults(self):
+        p = MachineParams()
+        assert p.width == 32 and p.latency == 1
+        assert p.w == 32 and p.l == 1  # paper-notation aliases
+
+    def test_width_must_be_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            MachineParams(width=12)
+
+    def test_positive_latency(self):
+        with pytest.raises(ConfigurationError):
+            MachineParams(latency=0)
+
+    def test_with_latency(self):
+        p = MachineParams(width=8, latency=2).with_latency(9)
+        assert p.latency == 9 and p.width == 8
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            MachineParams().width = 64  # type: ignore[misc]
+
+
+class TestHMMParams:
+    def test_paper_aliases(self):
+        p = HMMParams(num_dmms=4, width=8, global_latency=100)
+        assert (p.d, p.w, p.l) == (4, 8, 100)
+
+    def test_derived_machines(self):
+        p = HMMParams(num_dmms=2, width=8, global_latency=50, shared_latency=3)
+        assert p.shared_params() == MachineParams(width=8, latency=3)
+        assert p.global_params() == MachineParams(width=8, latency=50)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HMMParams(num_dmms=0)
+        with pytest.raises(ConfigurationError):
+            HMMParams(width=3)
+        with pytest.raises(ConfigurationError):
+            HMMParams(global_latency=0)
+        with pytest.raises(ConfigurationError):
+            HMMParams(width=32, max_threads_per_dmm=16)
+
+    def test_with_helpers(self):
+        p = HMMParams(num_dmms=2, global_latency=10)
+        assert p.with_global_latency(99).global_latency == 99
+        assert p.with_num_dmms(7).num_dmms == 7
+
+    def test_presets(self):
+        assert GTX580.num_dmms == 16 and GTX580.width == 32
+        assert FIG4_PARAMS.width == 4 and FIG4_PARAMS.latency == 5
+        assert TINY.num_dmms == 2
+
+    def test_max_threads(self):
+        assert GTX580.max_threads() == 16 * 1536
+        assert HMMParams().max_threads() is None
+
+
+class TestHelpers:
+    def test_warps_for(self):
+        assert warps_for(32, 32) == 1
+        assert warps_for(33, 32) == 2
+        assert warps_for(1, 32) == 1
+        with pytest.raises(ConfigurationError):
+            warps_for(0, 32)
+
+    def test_validate_thread_count(self):
+        validate_thread_count(64, width=32)
+        validate_thread_count(64, width=32, num_dmms=2, require_full_warps=True)
+        with pytest.raises(ConfigurationError):
+            validate_thread_count(0, width=32)
+        with pytest.raises(ConfigurationError):
+            validate_thread_count(48, width=32, num_dmms=2, require_full_warps=True)
+
+    def test_log2_ceil(self):
+        assert log2_ceil(1) == 0
+        assert log2_ceil(2) == 1
+        assert log2_ceil(3) == 2
+        assert log2_ceil(1024) == 10
+        with pytest.raises(ConfigurationError):
+            log2_ceil(0)
+
+    def test_power_of_two_helpers(self):
+        assert is_power_of_two(8) and not is_power_of_two(6)
+        assert not is_power_of_two(0)
+        assert next_power_of_two(5) == 8
+        assert next_power_of_two(8) == 8

@@ -1,0 +1,95 @@
+"""Text figure rendering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.viz import ascii_chart, render_banks_and_groups, render_sum_tree
+
+
+class TestFigure3Rendering:
+    def test_contains_all_addresses(self):
+        out = render_banks_and_groups(16, 4)
+        for a in range(16):
+            assert f" {a}" in out or f"{a}" in out
+        assert "B[0]" in out and "A[3]" in out
+
+    def test_ragged(self):
+        out = render_banks_and_groups(6, 4)
+        assert "-" in out  # unused cells marked
+
+
+class TestFigure5Rendering:
+    def test_levels_count(self):
+        out = render_sum_tree(8)
+        assert "level 0" in out and "level 3" in out
+        assert "level 4" not in out
+
+    def test_final_level_sums_everything(self):
+        out = render_sum_tree(8)
+        last = out.splitlines()[-1]
+        assert last.startswith("level 3")
+        assert "{0,1,2,3,4,5,6,7}" in last
+
+    def test_odd_n(self):
+        out = render_sum_tree(5)
+        last = out.splitlines()[-1]
+        assert "{0,1,2,3,4}" in last
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            render_sum_tree(0)
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        out = ascii_chart(
+            [1, 2, 3, 4],
+            {"a": [10, 20, 40, 80], "b": [5, 5, 5, 5]},
+            title="demo",
+            x_label="n",
+        )
+        assert "demo" in out
+        assert "o=a" in out and "x=b" in out
+        assert "n in [1, 4]" in out
+
+    def test_linear_scale(self):
+        out = ascii_chart([0, 1], {"s": [1, 2]}, log_y=False)
+        assert "log10" not in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart([], {})
+
+    def test_constant_series_no_crash(self):
+        out = ascii_chart([1, 2], {"flat": [3, 3]})
+        assert "flat" in out
+
+
+class TestHeatmap:
+    def test_basic_render(self):
+        import numpy as np
+        from repro.viz import render_heatmap
+
+        out = render_heatmap(
+            [1, 2], [10, 20, 30],
+            np.array([[1.0, 10.0, 100.0], [2.0, 20.0, 200.0]]),
+            title="demo", row_label="l", col_label="p",
+        )
+        assert "demo" in out
+        assert "<- p" in out and "rows: l" in out
+        assert "200" in out
+
+    def test_shape_mismatch(self):
+        import numpy as np
+        from repro.errors import ConfigurationError
+        from repro.viz import render_heatmap
+
+        with pytest.raises(ConfigurationError):
+            render_heatmap([1], [1, 2], np.ones((2, 2)))
+
+    def test_constant_grid(self):
+        import numpy as np
+        from repro.viz import render_heatmap
+
+        out = render_heatmap([1, 2], [3, 4], np.full((2, 2), 7.0))
+        assert "7" in out

@@ -1,12 +1,12 @@
 # Convenience targets; plain pytest/python work equally well.
 
-.PHONY: install test bench examples experiments clean
+.PHONY: install test bench examples experiments docs-check clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
 test:
-	pytest tests/
+	PYTHONPATH=src python -m pytest -x -q
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -17,6 +17,9 @@ examples:
 experiments:
 	python -m repro.experiments all -o benchmarks/out --json
 
+docs-check:
+	PYTHONPATH=src python tools/check_doc_snippets.py docs/TUTORIAL.md docs/PERFORMANCE.md
+
 clean:
-	rm -rf build dist *.egg-info src/*.egg-info .pytest_benchmarks .benchmarks
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_benchmarks .benchmarks benchmarks/.benchmarks
 	find . -name __pycache__ -type d -exec rm -rf {} +

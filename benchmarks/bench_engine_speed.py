@@ -49,3 +49,105 @@ def test_speed_hmm_convolution(benchmark, rng):
 
     z, report = benchmark(run)
     assert np.allclose(z, np.correlate(y, x, "valid"))
+
+
+# -- batch vs event ----------------------------------------------------------
+#
+# The vectorized batch engine must agree with the event scheduler on
+# every cycle count while being substantially faster on the regular
+# workloads it is built for.  These benchmarks time both engines on the
+# same launches, assert the cycle counts match, and persist the
+# comparison table to benchmarks/out/engine_speed.txt.
+
+import time
+
+from _util import emit, format_rows
+from repro.core.kernels.hmm_sum import hmm_sum
+from repro.machine.hmm import HMMEngine
+from repro.machine.policy import DMMBankPolicy
+
+
+def _best_of(fn, reps=3):
+    best = None
+    result = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        result = fn()
+        dt = time.perf_counter() - t0
+        best = dt if best is None or dt < best else best
+    return best, result
+
+
+def _contiguous_case(policy, n, p, mode):
+    eng = MachineEngine(MachineParams(width=32, latency=100), policy(), mode=mode)
+    a = eng.alloc(n)
+    return _best_of(lambda: eng.launch(contiguous_read(a, n), p).cycles)
+
+
+def _hmm_sum_case(vals, p, mode):
+    def run():
+        eng = HMMEngine(
+            HMMParams(num_dmms=8, width=32, global_latency=200), mode=mode
+        )
+        total, report = hmm_sum(eng, vals, p)
+        return total, report.cycles
+
+    return _best_of(run)
+
+
+def test_speed_contiguous_read_batch(benchmark):
+    """Transaction throughput of the batch engine on the same launch."""
+    eng = MachineEngine(
+        MachineParams(width=32, latency=100), UMMGroupPolicy(), mode="batch"
+    )
+    a = eng.alloc(1 << 14)
+
+    def run():
+        return eng.launch(contiguous_read(a, 1 << 14), 1024).cycles
+
+    cycles = benchmark(run)
+    assert cycles > 0
+
+
+def test_batch_vs_event_comparison(rng):
+    """Wall-clock comparison table: batch speedup at identical cycles."""
+    rows = []
+
+    for policy in (UMMGroupPolicy, DMMBankPolicy):
+        for n_log in (16, 18):
+            n, p = 1 << n_log, 1024
+            t_ev, c_ev = _contiguous_case(policy, n, p, "event")
+            t_ba, c_ba = _contiguous_case(policy, n, p, "batch")
+            assert c_ba == c_ev
+            rows.append(
+                (
+                    f"contiguous_read[{policy().name}] n=2^{n_log} p={p}",
+                    f"{t_ev * 1e3:.1f}",
+                    f"{t_ba * 1e3:.1f}",
+                    f"{t_ev / t_ba:.1f}x",
+                    c_ev,
+                )
+            )
+
+    for n_log in (18, 20):
+        vals = rng.normal(size=1 << n_log)
+        t_ev, (total_ev, c_ev) = _hmm_sum_case(vals, 512, "event")
+        t_ba, (total_ba, c_ba) = _hmm_sum_case(vals, 512, "batch")
+        assert c_ba == c_ev
+        assert total_ba == total_ev
+        rows.append(
+            (
+                f"hmm_sum n=2^{n_log} p=512",
+                f"{t_ev * 1e3:.1f}",
+                f"{t_ba * 1e3:.1f}",
+                f"{t_ev / t_ba:.1f}x",
+                c_ev,
+            )
+        )
+
+    emit(
+        "engine_speed",
+        format_rows(
+            ["workload", "event ms", "batch ms", "speedup", "cycles"], rows
+        ),
+    )

@@ -32,6 +32,7 @@ from repro.core.machines import DMM, HMM, UMM
 from repro.core.pram import PRAM
 from repro.core.sequential import SequentialMachine
 from repro.errors import ReproError
+from repro.machine.batch import BatchCostEngine, BatchFallback
 from repro.machine.report import RunReport
 from repro.machine.threadprog import ThreadContext, thread_program
 from repro.machine.trace import TraceRecorder
@@ -40,6 +41,8 @@ from repro.params import FIG4_PARAMS, GTX580, TINY, HMMParams, MachineParams
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchCostEngine",
+    "BatchFallback",
     "DMM",
     "FIG4_PARAMS",
     "GTX580",

@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.machine.memory import ArrayHandle
-from repro.machine.warp import WarpContext
+from repro.machine.warp import WarpContext, full_mask
 
 __all__ = [
     "contiguous_read",
@@ -34,9 +34,53 @@ __all__ = [
     "contiguous_copy",
     "multi_array_access",
     "strided_read",
+    "contiguous_range_parts",
     "contiguous_range_steps",
     "copy_range_steps",
 ]
+
+
+def contiguous_range_parts(
+    warp: WarpContext,
+    n: int,
+    *,
+    num_threads: int | None = None,
+    tids: np.ndarray | None = None,
+) -> tuple[np.ndarray | None, list[tuple[np.ndarray, np.ndarray]]]:
+    """Split the canonical contiguous sweep into full rounds and tail.
+
+    Round ``j`` of the sweep has thread ``t`` handle index ``j * p + t``.
+    Returns ``(full, tails)`` where ``full`` is the read-only
+    ``(rounds, lanes)`` index matrix of all *full* rounds (every lane in
+    range; ``None`` when there are none) — ready to feed
+    :meth:`~repro.machine.warp.WarpContext.read_range` /
+    ``write_range`` as one fused operation — and ``tails`` lists the
+    ragged ``(index-vector, live-mask)`` rounds (at most one unless
+    ``tids`` is sparse) that must stay masked single-step operations.
+    ``num_threads`` / ``tids`` default to the launch-wide values but can
+    be overridden for sweeps private to a thread subset (e.g. one DMM's
+    block).  Rounds where this warp has no live lane are dropped — the
+    model does not dispatch warps without pending requests.
+    """
+    p = num_threads if num_threads is not None else warp.num_threads
+    lane_tids = tids if tids is not None else warp.tids
+    rounds = -(-n // p)
+    if rounds <= 0 or lane_tids.size == 0:
+        return None, []
+    # Round j is full iff j * p + max(tids) < n.
+    n_full = min(rounds, max(0, (n - 1 - int(lane_tids.max())) // p + 1))
+    idx_mat = None
+    if n_full:
+        idx_mat = np.arange(n_full, dtype=np.int64)[:, None] * p + lane_tids
+        idx_mat.setflags(write=False)
+    tails = []
+    for j in range(n_full, rounds):
+        idx = j * p + lane_tids
+        mask = idx < n
+        if not mask.any():
+            continue
+        tails.append((np.where(mask, idx, 0), mask))
+    return idx_mat, tails
 
 
 def contiguous_range_steps(
@@ -48,24 +92,20 @@ def contiguous_range_steps(
 ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
     """Yield ``(indices, mask)`` pairs for the canonical contiguous sweep.
 
-    Round ``j`` of the sweep has thread ``t`` handle index ``j * p + t``;
-    the iterator yields one ``(index-vector, live-mask)`` pair per round
-    for this warp's lanes.  ``num_threads`` / ``tids`` default to the
-    launch-wide values but can be overridden for sweeps private to a
-    subset of threads (e.g. one DMM's block).
-
-    Rounds where this warp has no live lane are skipped entirely — the
-    model does not dispatch warps without pending requests.
+    The per-round form of :func:`contiguous_range_parts`, for kernels
+    that interleave other operations between rounds (and so cannot fuse
+    the sweep into one range operation).  Full rounds share one
+    read-only all-ones mask, so the per-round cost is a generator resume
+    rather than fresh numpy arithmetic.
     """
-    p = num_threads if num_threads is not None else warp.num_threads
-    lane_tids = tids if tids is not None else warp.tids
-    rounds = -(-n // p)
-    for j in range(rounds):
-        idx = j * p + lane_tids
-        mask = idx < n
-        if not mask.any():
-            continue
-        yield np.where(mask, idx, 0), mask
+    idx_mat, tails = contiguous_range_parts(
+        warp, n, num_threads=num_threads, tids=tids
+    )
+    if idx_mat is not None:
+        ones = full_mask(idx_mat.shape[1])
+        for j in range(idx_mat.shape[0]):
+            yield idx_mat[j], ones
+    yield from tails
 
 
 def copy_range_steps(
@@ -106,7 +146,10 @@ def contiguous_read(a: ArrayHandle, n: int):
     _check_size(a, n)
 
     def program(warp: WarpContext):
-        for idx, mask in contiguous_range_steps(warp, n):
+        idx_mat, tails = contiguous_range_parts(warp, n)
+        if idx_mat is not None:
+            yield warp.read_range(a, idx_mat)
+        for idx, mask in tails:
             yield warp.read(a, idx, mask=mask)
 
     return program
@@ -117,7 +160,10 @@ def contiguous_write(a: ArrayHandle, n: int, value: float = 0.0):
     _check_size(a, n)
 
     def program(warp: WarpContext):
-        for idx, mask in contiguous_range_steps(warp, n):
+        idx_mat, tails = contiguous_range_parts(warp, n)
+        if idx_mat is not None:
+            yield warp.write_range(a, idx_mat, np.full(idx_mat.shape, value))
+        for idx, mask in tails:
             yield warp.write(a, idx, np.full(warp.num_lanes, value), mask=mask)
 
     return program
@@ -183,7 +229,10 @@ def strided_read(a: ArrayHandle, n: int, stride: int):
         raise ConfigurationError(f"stride must be >= 1, got {stride}")
 
     def program(warp: WarpContext):
-        for idx, mask in contiguous_range_steps(warp, n):
+        idx_mat, tails = contiguous_range_parts(warp, n)
+        if idx_mat is not None:
+            yield warp.read_range(a, (idx_mat * stride) % n)
+        for idx, mask in tails:
             yield warp.read(a, (idx * stride) % n, mask=mask)
 
     return program

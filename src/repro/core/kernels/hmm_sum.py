@@ -34,7 +34,10 @@ from repro.machine.ops import BarrierScope
 from repro.machine.report import RunReport
 from repro.machine.trace import TraceRecorder
 from repro.machine.warp import WarpContext
-from repro.core.kernels.contiguous import contiguous_range_steps
+from repro.core.kernels.contiguous import (
+    contiguous_range_parts,
+    contiguous_range_steps,
+)
 from repro.core.kernels.reduction import REDUCE_OPS, tree_reduce_steps
 
 __all__ = [
@@ -90,8 +93,16 @@ def hmm_sum_kernel(
         s = shared[warp.dmm_id]
 
         # Phase 1 - column reductions into registers (contiguous reads).
+        # The full rounds are one fused range read (each round followed by
+        # one combine step); accumulation stays row-by-row to keep the
+        # floating-point order of the per-round loop.
         acc = np.full(warp.num_lanes, identity, dtype=np.float64)
-        for idx, mask in contiguous_range_steps(warp, n):
+        idx_mat, tails = contiguous_range_parts(warp, n)
+        if idx_mat is not None:
+            vals_mat = yield warp.read_range(a, idx_mat, compute=1)
+            for vals in vals_mat:
+                acc = combine(acc, vals)
+        for idx, mask in tails:
             vals = yield warp.read(a, idx, mask=mask)
             yield warp.compute(1)
             # Masked lanes read as 0, which is not the identity for
@@ -226,7 +237,12 @@ def hmm_partial_sum_kernel(
         q = warp.threads_in_dmm
         s = shared[warp.dmm_id]
         acc = np.zeros(warp.num_lanes, dtype=np.float64)
-        for idx, mask in contiguous_range_steps(warp, n):
+        idx_mat, tails = contiguous_range_parts(warp, n)
+        if idx_mat is not None:
+            vals_mat = yield warp.read_range(a, idx_mat, compute=1)
+            for vals in vals_mat:
+                acc += vals
+        for idx, mask in tails:
             vals = yield warp.read(a, idx, mask=mask)
             yield warp.compute(1)
             acc += vals

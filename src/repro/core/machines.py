@@ -23,7 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.machine.engine import MachineEngine
+from repro.machine.engine import MachineEngine, resolve_mode
 from repro.machine.hmm import HMMEngine
 from repro.machine.policy import DMMBankPolicy, SlotPolicy, UMMGroupPolicy
 from repro.machine.report import RunReport
@@ -140,18 +140,36 @@ def run_flat_prefix_sums(
 # ---------------------------------------------------------------------------
 
 class _FlatMachine:
-    """Common behaviour of the DMM and UMM front-ends."""
+    """Common behaviour of the DMM and UMM front-ends.
+
+    ``mode`` selects the evaluation engine for every operation run on
+    this machine: ``"event"`` (exact discrete-event scheduling, the
+    default) or ``"batch"`` (the vectorized fast path, which falls back
+    to the event engine automatically whenever it cannot reproduce event
+    semantics — identical cycles and results either way; see
+    ``docs/PERFORMANCE.md``).
+    """
 
     _policy_cls: type[SlotPolicy]
     _name: str
 
-    def __init__(self, params: MachineParams | None = None) -> None:
+    def __init__(
+        self, params: MachineParams | None = None, *, mode: str = "event"
+    ) -> None:
         self.params = params if params is not None else MachineParams()
+        #: Default evaluation mode for engines built by this front-end.
+        self.mode = resolve_mode(mode)
 
-    def engine(self, *, pipelined: bool = True) -> MachineEngine:
+    def engine(
+        self, *, pipelined: bool = True, mode: str | None = None
+    ) -> MachineEngine:
         """A fresh engine for custom kernels."""
         return MachineEngine(
-            self.params, self._policy_cls(), name=self._name, pipelined=pipelined
+            self.params,
+            self._policy_cls(),
+            name=self._name,
+            pipelined=pipelined,
+            mode=self.mode if mode is None else mode,
         )
 
     # -- operations -------------------------------------------------------
@@ -279,12 +297,23 @@ class HMM:
     ``(result, report)``.
     """
 
-    def __init__(self, params: HMMParams | None = None) -> None:
+    def __init__(
+        self, params: HMMParams | None = None, *, mode: str = "event"
+    ) -> None:
         self.params = params if params is not None else HMMParams()
+        #: Default evaluation mode for engines built by this front-end
+        #: ("event" or "batch"; see ``docs/PERFORMANCE.md``).
+        self.mode = resolve_mode(mode)
 
-    def engine(self, *, pipelined: bool = True) -> HMMEngine:
+    def engine(
+        self, *, pipelined: bool = True, mode: str | None = None
+    ) -> HMMEngine:
         """A fresh engine for custom kernels."""
-        return HMMEngine(self.params, pipelined=pipelined)
+        return HMMEngine(
+            self.params,
+            pipelined=pipelined,
+            mode=self.mode if mode is None else mode,
+        )
 
     # -- operations --------------------------------------------------------
     def sum(

@@ -11,6 +11,7 @@ Machine (HMM) as a discrete-event, warp-granularity simulator:
 * :mod:`repro.machine.pipeline` — the pipelined memory port,
 * :mod:`repro.machine.warp` — warp contexts and the warp-program protocol,
 * :mod:`repro.machine.scheduler` — the event-driven warp scheduler,
+* :mod:`repro.machine.batch` — the vectorized batch-evaluation fast path,
 * :mod:`repro.machine.engine` — single-machine (DMM/UMM) engines,
 * :mod:`repro.machine.hmm` — the hierarchical engine (d DMMs + one UMM),
 * :mod:`repro.machine.trace` — transaction traces, statistics, timelines,
@@ -20,7 +21,15 @@ User code normally goes through the high-level front-ends in
 :mod:`repro.core.machines` instead of using this package directly.
 """
 
-from repro.machine.banks import bank_of, conflict_degree, group_count, group_of
+from repro.machine.banks import (
+    bank_of,
+    conflict_degree,
+    conflict_degrees,
+    group_count,
+    group_counts,
+    group_of,
+)
+from repro.machine.batch import BatchCostEngine, BatchFallback
 from repro.machine.engine import MachineEngine
 from repro.machine.hmm import HMMEngine
 from repro.machine.memory import ArrayHandle, MemorySpace
@@ -36,6 +45,8 @@ __all__ = [
     "ArrayHandle",
     "BarrierOp",
     "BarrierScope",
+    "BatchCostEngine",
+    "BatchFallback",
     "ComputeOp",
     "DMMBankPolicy",
     "HMMEngine",
@@ -54,6 +65,8 @@ __all__ = [
     "WriteOp",
     "bank_of",
     "conflict_degree",
+    "conflict_degrees",
     "group_count",
+    "group_counts",
     "group_of",
 ]

@@ -23,7 +23,11 @@ __all__ = [
     "dedupe_addresses",
     "bank_histogram",
     "conflict_degree",
+    "conflict_degrees",
+    "conflict_degrees_matrix",
     "group_count",
+    "group_counts",
+    "group_counts_matrix",
     "bank_group_table",
 ]
 
@@ -88,6 +92,110 @@ def group_count(addresses: np.ndarray, width: int) -> int:
     if addrs.size == 0:
         return 0
     return int(np.unique(addrs // width).size)
+
+
+def _flatten_batch(
+    address_lists: "list[np.ndarray]",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenate a batch of address vectors into (sizes, rows, addrs).
+
+    ``rows[k]`` is the index of the transaction that contributed
+    ``addrs[k]``.  Shared plumbing of the batched conflict metrics below.
+    """
+    m = len(address_lists)
+    sizes = np.fromiter((a.size for a in address_lists), dtype=np.int64, count=m)
+    rows = np.repeat(np.arange(m, dtype=np.int64), sizes)
+    if rows.size == 0:
+        return sizes, rows, np.empty(0, dtype=np.int64)
+    addrs = np.concatenate(address_lists).astype(np.int64, copy=False)
+    return sizes, rows, addrs
+
+
+def _sorted_distinct(keys: np.ndarray) -> np.ndarray:
+    """Sorted distinct values of an integer key vector.
+
+    Same result as ``np.unique`` but always via sort + transition mask,
+    which beats the hash-based unique for the short key vectors the slot
+    policies produce.
+    """
+    keys = np.sort(keys, axis=None)
+    if keys.size <= 1:
+        return keys
+    first = np.empty(keys.size, dtype=bool)
+    first[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=first[1:])
+    return keys[first]
+
+
+def conflict_degrees(address_lists: "list[np.ndarray]", width: int) -> np.ndarray:
+    """Bank conflict degree of many transactions at once (batched DMM cost).
+
+    Equivalent to ``[conflict_degree(a, width) for a in address_lists]``
+    but computed with one sorted-distinct pass over (transaction, address)
+    pairs — the vectorized fast path of the batch engine.  Empty
+    transactions get degree 0.
+    """
+    m = len(address_lists)
+    sizes, rows, addrs = _flatten_batch(address_lists)
+    if addrs.size == 0:
+        return np.zeros(m, dtype=np.int64)
+    # Distinct (transaction, address) pairs: duplicates within one
+    # transaction are broadcast / CRCW-merged and cost nothing.
+    span = int(addrs.max()) + 1
+    distinct = _sorted_distinct(rows * span + addrs)
+    drows = distinct // span
+    dbanks = (distinct % span) % width
+    per_bank = np.bincount(drows * width + dbanks, minlength=m * width)
+    return per_bank.reshape(m, width).max(axis=1)
+
+
+def group_counts(address_lists: "list[np.ndarray]", width: int) -> np.ndarray:
+    """Address-group count of many transactions at once (batched UMM cost).
+
+    Equivalent to ``[group_count(a, width) for a in address_lists]`` with
+    one sorted-distinct pass over (transaction, group) pairs.  Empty
+    transactions get count 0.
+    """
+    m = len(address_lists)
+    sizes, rows, addrs = _flatten_batch(address_lists)
+    if addrs.size == 0:
+        return np.zeros(m, dtype=np.int64)
+    groups = addrs // width
+    span = int(groups.max()) + 1
+    distinct = _sorted_distinct(rows * span + groups)
+    return np.bincount(distinct // span, minlength=m)
+
+
+def conflict_degrees_matrix(address_matrix: np.ndarray, width: int) -> np.ndarray:
+    """Bank conflict degree of every row of an address matrix.
+
+    ``address_matrix`` is ``(rounds, lanes)``; row ``j`` is one warp
+    transaction.  Equivalent to ``conflict_degrees(list(address_matrix))``
+    without materializing per-row vectors — the slot-counting path for
+    fused range operations.
+    """
+    m, lanes = address_matrix.shape
+    a = np.sort(address_matrix, axis=1)
+    first = np.empty((m, lanes), dtype=bool)
+    first[:, 0] = True
+    np.not_equal(a[:, 1:], a[:, :-1], out=first[:, 1:])
+    keyed = np.arange(m, dtype=np.int64)[:, None] * width + a % width
+    per_bank = np.bincount(keyed[first], minlength=m * width)
+    return per_bank.reshape(m, width).max(axis=1)
+
+
+def group_counts_matrix(address_matrix: np.ndarray, width: int) -> np.ndarray:
+    """Address-group count of every row of an address matrix.
+
+    The range-operation twin of :func:`group_counts`; row ``j`` of the
+    ``(rounds, lanes)`` matrix is one warp transaction.
+    """
+    m, lanes = address_matrix.shape
+    g = np.sort(address_matrix // width, axis=1)
+    counts = np.ones(m, dtype=np.int64)
+    if lanes > 1:
+        counts += np.count_nonzero(g[:, 1:] != g[:, :-1], axis=1)
+    return counts
 
 
 def bank_group_table(num_cells: int, width: int) -> np.ndarray:

@@ -12,17 +12,78 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError, SpaceMismatchError
+from repro.machine.batch import BatchCostEngine, BatchFallback
 from repro.machine.memory import ArrayHandle, MemorySpace
 from repro.machine.ops import MemoryOp
 from repro.machine.pipeline import PipelinedMemoryUnit
 from repro.machine.policy import SlotPolicy
 from repro.machine.report import RunReport
-from repro.machine.scheduler import Scheduler, WarpState
+from repro.machine.scheduler import Scheduler, SchedulerResult, WarpState
 from repro.machine.trace import TraceRecorder
 from repro.machine.warp import WarpContext, WarpProgram
 from repro.params import MachineParams
 
-__all__ = ["MachineEngine", "make_warp_contexts"]
+__all__ = ["MachineEngine", "make_warp_contexts", "resolve_mode", "run_warp_program"]
+
+_MODES = ("event", "batch")
+
+
+def resolve_mode(mode: str) -> str:
+    """Validate an engine evaluation mode (``"event"`` or ``"batch"``)."""
+    if mode not in _MODES:
+        raise ConfigurationError(
+            f"mode must be one of {_MODES}, got {mode!r}"
+        )
+    return mode
+
+
+def run_warp_program(
+    contexts: list[WarpContext],
+    program: WarpProgram,
+    unit_for,
+    *,
+    spaces: list[MemorySpace],
+    units: list[PipelinedMemoryUnit],
+    trace: TraceRecorder | None,
+    dispatch: str,
+    mode: str,
+) -> tuple[SchedulerResult, str]:
+    """Run ``program`` under the requested evaluation mode.
+
+    Shared entry point of the flat and hierarchical engines.  Returns the
+    scheduler result plus the engine tag recorded in the report:
+
+    * ``mode="event"`` (or tracing / non-FIFO dispatch, which the batch
+      engine does not model) → event scheduler, tag ``"event"``;
+    * ``mode="batch"`` → :class:`BatchCostEngine`; on
+      :class:`BatchFallback` the ``spaces`` roll back their store undo
+      logs, the ``units`` reset, and the launch replays on the event
+      scheduler with tag ``"batch-fallback"``.
+
+    Each attempt instantiates fresh generators from ``program``, so the
+    fallback replay is exact.
+    """
+    if mode == "batch" and trace is None and dispatch == "fifo":
+        for space in spaces:
+            space.begin_undo()
+        warps = [WarpState(ctx=ctx, program=program(ctx)) for ctx in contexts]
+        try:
+            result = BatchCostEngine(unit_for).run(warps)
+        except BatchFallback:
+            for space in spaces:
+                space.rollback()
+            for unit in units:
+                unit.reset()
+            tag = "batch-fallback"
+        else:
+            for space in spaces:
+                space.end_undo()
+            return result, "batch"
+    else:
+        tag = "event"
+    warps = [WarpState(ctx=ctx, program=program(ctx)) for ctx in contexts]
+    scheduler = Scheduler(unit_for, trace=trace, dispatch=dispatch)
+    return scheduler.run(warps), tag
 
 
 def make_warp_contexts(
@@ -77,6 +138,10 @@ class MachineEngine:
         Display name for reports.
     pipelined:
         Pass ``False`` for the no-pipelining ablation.
+    mode:
+        Default evaluation mode for launches: ``"event"`` (exact
+        discrete-event scheduling) or ``"batch"`` (vectorized fast path
+        with automatic fallback — see :mod:`repro.machine.batch`).
     """
 
     def __init__(
@@ -87,11 +152,14 @@ class MachineEngine:
         name: str = "machine",
         pipelined: bool = True,
         dispatch: str = "fifo",
+        mode: str = "event",
     ) -> None:
         self.params = params
         self.name = name
         #: Warp dispatch policy: "fifo" (default) or "round-robin".
         self.dispatch = dispatch
+        #: Default evaluation mode: "event" or "batch".
+        self.mode = resolve_mode(mode)
         self.space = MemorySpace("mem")
         self.unit = PipelinedMemoryUnit(
             "mem", params.width, params.latency, policy, pipelined=pipelined
@@ -122,27 +190,38 @@ class MachineEngine:
         *,
         trace: TraceRecorder | None = None,
         label: str = "",
+        mode: str | None = None,
     ) -> RunReport:
         """Run ``program`` with ``num_threads`` threads; return the cost.
 
         Each warp gets its own instance of the generator.  Memory values
         persist across launches (device memory), while pipeline timing
-        restarts from time unit 0.
+        restarts from time unit 0.  ``mode`` overrides the engine's
+        default evaluation mode for this launch.
         """
+        run_mode = self.mode if mode is None else resolve_mode(mode)
         self.unit.reset()
         contexts = make_warp_contexts(num_threads, self.params.width)
-        warps = [WarpState(ctx=ctx, program=program(ctx)) for ctx in contexts]
-        scheduler = Scheduler(self._unit_for, trace=trace, dispatch=self.dispatch)
-        result = scheduler.run(warps)
+        result, engine_tag = run_warp_program(
+            contexts,
+            program,
+            self._unit_for,
+            spaces=[self.space],
+            units=[self.unit],
+            trace=trace,
+            dispatch=self.dispatch,
+            mode=run_mode,
+        )
         return RunReport(
             cycles=result.cycles,
             num_threads=num_threads,
-            num_warps=len(warps),
+            num_warps=len(contexts),
             unit_stats={"mem": self.unit.stats},
             compute_ops=result.compute_ops,
             compute_cycles=result.compute_cycles,
             barrier_releases=result.barrier_releases,
             label=label or self.name,
+            engine=engine_tag,
         )
 
     # -- internals -----------------------------------------------------------

@@ -20,13 +20,13 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import ConfigurationError, SpaceMismatchError
-from repro.machine.engine import make_warp_contexts
+from repro.machine.engine import make_warp_contexts, resolve_mode, run_warp_program
 from repro.machine.memory import ArrayHandle, MemorySpace
 from repro.machine.ops import MemoryOp
 from repro.machine.pipeline import PipelinedMemoryUnit
 from repro.machine.policy import DMMBankPolicy, SlotPolicy, UMMGroupPolicy
 from repro.machine.report import RunReport
-from repro.machine.scheduler import Scheduler, WarpState
+from repro.machine.scheduler import WarpState
 from repro.machine.trace import TraceRecorder
 from repro.machine.warp import WarpContext, WarpProgram
 from repro.params import HMMParams
@@ -58,6 +58,10 @@ class HMMEngine:
     global_policy / shared_policy:
         Injectable slot policies, used by policy-ablation benchmarks;
         default to the paper's UMM / DMM rules.
+    mode:
+        Default evaluation mode for launches: ``"event"`` (exact
+        discrete-event scheduling) or ``"batch"`` (vectorized fast path
+        with automatic fallback — see :mod:`repro.machine.batch`).
     """
 
     def __init__(
@@ -68,10 +72,13 @@ class HMMEngine:
         global_policy: SlotPolicy | None = None,
         shared_policy: SlotPolicy | None = None,
         dispatch: str = "fifo",
+        mode: str = "event",
     ) -> None:
         self.params = params
         #: Warp dispatch policy: "fifo" (default) or "round-robin".
         self.dispatch = dispatch
+        #: Default evaluation mode: "event" or "batch".
+        self.mode = resolve_mode(mode)
         self.global_space = MemorySpace("global", space_id="global")
         self.global_unit = PipelinedMemoryUnit(
             "global",
@@ -141,14 +148,17 @@ class HMMEngine:
         threads_per_dmm: Sequence[int] | None = None,
         trace: TraceRecorder | None = None,
         label: str = "",
+        mode: str | None = None,
     ) -> RunReport:
         """Run ``program`` with ``num_threads`` threads across the DMMs.
 
         Threads are partitioned into contiguous blocks, one per DMM
         (evenly by default, or per ``threads_per_dmm``); every block is
         split into warps of ``w``.  Memory values persist across
-        launches; pipeline timing restarts at 0.
+        launches; pipeline timing restarts at 0.  ``mode`` overrides the
+        engine's default evaluation mode for this launch.
         """
+        run_mode = self.mode if mode is None else resolve_mode(mode)
         if threads_per_dmm is None:
             shares = split_threads(num_threads, self.params.num_dmms)
         else:
@@ -191,9 +201,16 @@ class HMMEngine:
             )
             first_tid += share
 
-        warps = [WarpState(ctx=ctx, program=program(ctx)) for ctx in contexts]
-        scheduler = Scheduler(self._unit_for, trace=trace, dispatch=self.dispatch)
-        result = scheduler.run(warps)
+        result, engine_tag = run_warp_program(
+            contexts,
+            program,
+            self._unit_for,
+            spaces=[self.global_space, *self.shared_spaces],
+            units=[self.global_unit, *self.shared_units],
+            trace=trace,
+            dispatch=self.dispatch,
+            mode=run_mode,
+        )
         stats = {"global": self.global_unit.stats}
         for unit in self.shared_units:
             if unit.stats.transactions:
@@ -201,12 +218,13 @@ class HMMEngine:
         return RunReport(
             cycles=result.cycles,
             num_threads=num_threads,
-            num_warps=len(warps),
+            num_warps=len(contexts),
             unit_stats=stats,
             compute_ops=result.compute_ops,
             compute_cycles=result.compute_cycles,
             barrier_releases=result.barrier_releases,
             label=label or "hmm",
+            engine=engine_tag,
         )
 
     # -- internals ------------------------------------------------------------------

@@ -39,7 +39,7 @@ class MemorySpace:
         right memory unit.
     """
 
-    __slots__ = ("name", "capacity", "space_id", "_cells", "_brk")
+    __slots__ = ("name", "capacity", "space_id", "_cells", "_brk", "_undo")
 
     def __init__(
         self,
@@ -54,6 +54,7 @@ class MemorySpace:
         self.space_id = space_id if space_id is not None else name
         self._cells = np.zeros(0, dtype=np.float64)
         self._brk = 0  # allocation break: first free address
+        self._undo: list[tuple[np.ndarray, np.ndarray]] | None = None
 
     # -- allocation ---------------------------------------------------------
     def alloc(self, size: int, name: str = "") -> "ArrayHandle":
@@ -111,6 +112,44 @@ class MemorySpace:
             grown[: self._cells.size] = self._cells
             self._cells = grown
 
+    # -- state capture (batch-engine fallback support) -----------------------
+    def snapshot(self) -> np.ndarray:
+        """Copy of all cell values, for restoring after a failed fast path.
+
+        Only cell *values* are captured; the allocation break is host-side
+        state that kernel launches never move.
+        """
+        return self._cells.copy()
+
+    def restore(self, cells: np.ndarray) -> None:
+        """Reinstate a :meth:`snapshot` (discards writes made since)."""
+        self._cells = cells.copy()
+
+    def begin_undo(self) -> None:
+        """Start logging stores so they can be rolled back.
+
+        Cheaper than an upfront :meth:`snapshot` when most launches
+        succeed and most cells are only read: each :meth:`store` records
+        the overwritten values, and a failed fast path replays the log
+        backwards.  Logging stops at :meth:`end_undo` / :meth:`rollback`.
+        """
+        self._undo = []
+
+    def end_undo(self) -> None:
+        """Stop logging stores and drop the undo log (attempt succeeded)."""
+        self._undo = None
+
+    def rollback(self) -> None:
+        """Revert every store since :meth:`begin_undo`, newest first.
+
+        Duplicate addresses within one store share one pre-store value,
+        so replay order within an entry does not matter; entries replay
+        newest-first so overlapping stores unwind correctly.
+        """
+        undo, self._undo = self._undo, None
+        for addresses, old in reversed(undo or []):
+            self._cells[addresses] = old
+
     # -- raw cell access (engine-side; does not model time) ------------------
     def load(self, addresses: np.ndarray) -> np.ndarray:
         """Return the values at ``addresses`` (absolute, validated)."""
@@ -119,18 +158,19 @@ class MemorySpace:
     def store(self, addresses: np.ndarray, values: np.ndarray) -> None:
         """Store ``values`` at ``addresses``.
 
-        On duplicate addresses the *first* occurrence wins (numpy fancy
-        assignment keeps the last, so we drop later duplicates first);
-        this implements the deterministic arbitrary-CRCW rule.
+        On duplicate addresses the *first* occurrence wins; this
+        implements the deterministic arbitrary-CRCW rule.  Numpy fancy
+        assignment keeps the *last* occurrence, so the vectors are
+        assigned in reverse order.
         """
         if addresses.size == 0:
             return
+        if self._undo is not None:
+            self._undo.append((addresses, self._cells[addresses]))
         if addresses.size > 1:
-            _, first = np.unique(addresses, return_index=True)
-            if first.size != addresses.size:
-                addresses = addresses[first]
-                values = values[first]
-        self._cells[addresses] = values
+            self._cells[addresses[::-1]] = values[::-1]
+        else:
+            self._cells[addresses] = values
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"MemorySpace({self.name!r}, used={self._brk}/{self.capacity})"
@@ -159,7 +199,10 @@ class ArrayHandle:
     # -- address translation --------------------------------------------------
     def addresses(self, indices: np.ndarray | int) -> np.ndarray:
         """Translate array indices into absolute addresses (bounds-checked)."""
-        idx = np.asarray(indices, dtype=np.int64)
+        if type(indices) is np.ndarray and indices.dtype == np.int64:
+            idx = indices if indices.ndim == 1 else indices.ravel()
+        else:
+            idx = np.asarray(indices, dtype=np.int64).ravel()
         if idx.size:
             lo = int(idx.min())
             hi = int(idx.max())
@@ -168,7 +211,7 @@ class ArrayHandle:
                     f"index out of range for array {self.describe()}: "
                     f"min={lo}, max={hi}, size={self.size}"
                 )
-        return self.base + idx.ravel()
+        return self.base + idx
 
     # -- host-side access ------------------------------------------------------
     def to_numpy(self) -> np.ndarray:

@@ -5,7 +5,7 @@ step.  Because the models execute the ``w`` threads of a warp in lockstep,
 the natural unit of simulation is the warp: an operation carries a numpy
 vector with one entry per active lane.
 
-Four operations exist:
+Four single-step operations exist:
 
 * :class:`ReadOp` — every active lane reads one memory cell; the engine
   resumes the generator with the vector of values read.
@@ -14,6 +14,15 @@ Four operations exist:
 * :class:`ComputeOp` — local RAM computation taking a given number of time
   units (no memory port usage).
 * :class:`BarrierOp` — bulk synchronization at DMM or device scope.
+
+Two *fused* operations cover the canonical multi-round sweep in one
+yield — :class:`ReadRangeOp` and :class:`WriteRangeOp` carry a
+``(rounds, lanes)`` address matrix whose row ``j`` is round ``j``'s
+full-warp transaction, each round issuing when the previous one
+completes.  They are costed identically to the equivalent per-round loop
+(the event scheduler literally expands them round by round) but let the
+batch engine replay a whole sweep without resuming the generator per
+round.
 """
 
 from __future__ import annotations
@@ -34,8 +43,11 @@ __all__ = [
     "ComputeOp",
     "MemoryOp",
     "Op",
+    "RangeOp",
     "ReadOp",
+    "ReadRangeOp",
     "WriteOp",
+    "WriteRangeOp",
 ]
 
 
@@ -117,6 +129,95 @@ class WriteOp(MemoryOp):
     """
 
     values: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    @property
+    def kind(self) -> AccessKind:
+        return AccessKind.WRITE
+
+
+@dataclass(frozen=True)
+class RangeOp(Op):
+    """Common fields of fused multi-round memory operations.
+
+    Attributes
+    ----------
+    array:
+        Target array; determines the memory space (shared vs global).
+    addresses:
+        ``(rounds, lanes)`` matrix of absolute addresses.  Row ``j`` is
+        the full-warp transaction of round ``j``; every lane participates
+        in every round.  Round ``j + 1`` issues once round ``j``'s data
+        has arrived (plus ``compute`` time units), exactly like the
+        per-round loop the range replaces.
+    compute:
+        Local RAM time units charged to the warp after *each* round —
+        the fused form of a ``ComputeOp`` inside the sweep's loop body.
+    """
+
+    array: "ArrayHandle"
+    addresses: np.ndarray
+    compute: int = 0
+
+    def __post_init__(self) -> None:
+        if self.addresses.ndim != 2:
+            raise ValueError(
+                f"range addresses must be a (rounds, lanes) matrix, got "
+                f"shape {self.addresses.shape}"
+            )
+        if self.addresses.shape[0] < 1 or self.addresses.shape[1] < 1:
+            raise ValueError(
+                f"range must cover at least one round and one lane, got "
+                f"shape {self.addresses.shape}"
+            )
+        if self.compute < 0:
+            raise ValueError(f"compute must be >= 0, got {self.compute}")
+
+    @property
+    def kind(self) -> AccessKind:
+        raise NotImplementedError
+
+    @property
+    def rounds(self) -> int:
+        """Number of sequential warp transactions the range performs."""
+        return int(self.addresses.shape[0])
+
+    @property
+    def lanes(self) -> int:
+        """Lanes participating in every round."""
+        return int(self.addresses.shape[1])
+
+
+@dataclass(frozen=True)
+class ReadRangeOp(RangeOp):
+    """Fused multi-round read; resumes the program with the value matrix.
+
+    The engine sends back a ``(rounds, lanes)`` float matrix whose row
+    ``j`` holds round ``j``'s values — the same vectors the equivalent
+    per-round reads would have delivered, in round order.
+    """
+
+    @property
+    def kind(self) -> AccessKind:
+        return AccessKind.READ
+
+
+@dataclass(frozen=True)
+class WriteRangeOp(RangeOp):
+    """Fused multi-round write: round ``j`` stores ``values[j]``.
+
+    Collisions within one round resolve by the arbitrary-CRCW rule
+    (lowest lane wins); later rounds overwrite earlier ones.
+    """
+
+    values: np.ndarray = field(default_factory=lambda: np.empty((0, 0)))
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.values.shape != self.addresses.shape:
+            raise ValueError(
+                f"range values must match the (rounds, lanes) address "
+                f"shape {self.addresses.shape}, got {self.values.shape}"
+            )
 
     @property
     def kind(self) -> AccessKind:

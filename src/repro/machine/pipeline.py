@@ -178,6 +178,85 @@ class PipelinedMemoryUnit:
         return issue
 
     # ------------------------------------------------------------------
+    def issue_batch(
+        self,
+        ready: np.ndarray,
+        slots: np.ndarray,
+        *,
+        num_reads: int,
+        num_requests: int,
+    ) -> np.ndarray:
+        """Dispatch a sorted batch of warp transactions in one call.
+
+        ``ready[i]`` / ``slots[i]`` describe transaction ``i``; the batch
+        must already be in dispatch order (nondecreasing ready — the
+        batch engine's responsibility) and contain no empty transactions.
+        Returns the ``next_ready`` vector.  Equivalent to calling
+        :meth:`issue` once per transaction, but the port recurrence
+
+            pf[i] = max(ready[i], pf[i-1]) + eff[i]
+
+        (``eff = slots`` pipelined, ``slots + l - 1`` otherwise) is
+        evaluated with one cumulative-sum + running-max scan:
+
+            pf[i] = cumsum(eff)[i] + max(pf0, max_{k<=i}(ready[k] - exclusive_cumsum(eff)[k]))
+
+        For a barrier-aligned round (all ``ready`` equal) this reduces to
+        the paper's pipeline formula ``s_1 + ... + s_k + l - 1`` time
+        units past the common ready time.
+        """
+        if ready.size == 0:
+            return ready
+        eff = slots if self.pipelined else slots + (self.latency - 1)
+        csum = np.cumsum(eff)
+        offset = np.maximum.accumulate(ready - (csum - eff))
+        port_free = np.maximum(offset, self._port_free) + csum
+        start = port_free - eff
+        complete = start + slots + (self.latency - 2)
+        self._port_free = int(port_free[-1])
+        st = self.stats
+        st.transactions += int(ready.size)
+        st.reads += num_reads
+        st.writes += int(ready.size) - num_reads
+        st.requests += num_requests
+        st.slots += int(slots.sum())
+        st.conflicted_transactions += int((slots > 1).sum())
+        st.excess_slots += int((slots - 1).sum())
+        st.port_busy_until = max(st.port_busy_until, int((start + slots).max()))
+        st.last_complete = max(st.last_complete, int(complete.max()))
+        return complete + 1
+
+    # ------------------------------------------------------------------
+    def issue_one(self, ready: int, slots: int, *, is_read: bool, requests: int) -> int:
+        """Scalar twin of :meth:`issue_batch` for single-transaction batches.
+
+        Same timing and statistics as a one-element :meth:`issue_batch`
+        call, without the numpy overhead (the batch engine's common case
+        on per-DMM shared memories, which serve only a couple of warps).
+        """
+        eff = slots if self.pipelined else slots + (self.latency - 1)
+        start = ready if ready > self._port_free else self._port_free
+        self._port_free = start + eff
+        complete = start + slots + (self.latency - 2)
+        st = self.stats
+        st.transactions += 1
+        if is_read:
+            st.reads += 1
+        else:
+            st.writes += 1
+        st.requests += requests
+        st.slots += slots
+        if slots > 1:
+            st.conflicted_transactions += 1
+            st.excess_slots += slots - 1
+        busy = start + slots
+        if busy > st.port_busy_until:
+            st.port_busy_until = busy
+        if complete > st.last_complete:
+            st.last_complete = complete
+        return complete + 1
+
+    # ------------------------------------------------------------------
     @property
     def port_free(self) -> int:
         """First time unit at which the issue port is free."""

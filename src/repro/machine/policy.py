@@ -23,7 +23,14 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
-from repro.machine.banks import conflict_degree, group_count
+from repro.machine.banks import (
+    conflict_degree,
+    conflict_degrees,
+    conflict_degrees_matrix,
+    group_count,
+    group_counts,
+    group_counts_matrix,
+)
 
 __all__ = ["SlotPolicy", "DMMBankPolicy", "UMMGroupPolicy", "IdealPolicy"]
 
@@ -43,6 +50,33 @@ class SlotPolicy(ABC):
         dispatched at all.
         """
 
+    def slot_counts(self, address_lists: list[np.ndarray], width: int) -> np.ndarray:
+        """Slot counts of many transactions at once (batch-engine hook).
+
+        Must agree elementwise with :meth:`slot_count`.  The default
+        loops; the built-in policies override it with a single vectorized
+        computation over the whole batch.
+        """
+        return np.fromiter(
+            (self.slot_count(a, width) for a in address_lists),
+            dtype=np.int64,
+            count=len(address_lists),
+        )
+
+    def slot_counts_matrix(self, address_matrix: np.ndarray, width: int) -> np.ndarray:
+        """Slot count of every row of a ``(rounds, lanes)`` address matrix.
+
+        The batch engine uses this to cost a fused range operation (one
+        transaction per row) in one call.  Must agree rowwise with
+        :meth:`slot_count`; the default loops, the built-in policies
+        vectorize.
+        """
+        return np.fromiter(
+            (self.slot_count(row, width) for row in address_matrix),
+            dtype=np.int64,
+            count=address_matrix.shape[0],
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"{type(self).__name__}()"
 
@@ -55,6 +89,12 @@ class DMMBankPolicy(SlotPolicy):
     def slot_count(self, addresses: np.ndarray, width: int) -> int:
         return conflict_degree(addresses, width)
 
+    def slot_counts(self, address_lists: list[np.ndarray], width: int) -> np.ndarray:
+        return conflict_degrees(address_lists, width)
+
+    def slot_counts_matrix(self, address_matrix: np.ndarray, width: int) -> np.ndarray:
+        return conflict_degrees_matrix(address_matrix, width)
+
 
 class UMMGroupPolicy(SlotPolicy):
     """Address-group (coalescing) slot counting (Unified Memory Machine)."""
@@ -63,6 +103,12 @@ class UMMGroupPolicy(SlotPolicy):
 
     def slot_count(self, addresses: np.ndarray, width: int) -> int:
         return group_count(addresses, width)
+
+    def slot_counts(self, address_lists: list[np.ndarray], width: int) -> np.ndarray:
+        return group_counts(address_lists, width)
+
+    def slot_counts_matrix(self, address_matrix: np.ndarray, width: int) -> np.ndarray:
+        return group_counts_matrix(address_matrix, width)
 
 
 class IdealPolicy(SlotPolicy):
@@ -77,3 +123,12 @@ class IdealPolicy(SlotPolicy):
 
     def slot_count(self, addresses: np.ndarray, width: int) -> int:
         return 1 if np.asarray(addresses).size else 0
+
+    def slot_counts(self, address_lists: list[np.ndarray], width: int) -> np.ndarray:
+        sizes = np.fromiter(
+            (a.size for a in address_lists), dtype=np.int64, count=len(address_lists)
+        )
+        return (sizes > 0).astype(np.int64)
+
+    def slot_counts_matrix(self, address_matrix: np.ndarray, width: int) -> np.ndarray:
+        return np.ones(address_matrix.shape[0], dtype=np.int64)

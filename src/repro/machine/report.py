@@ -39,6 +39,12 @@ class RunReport:
         Number of barrier synchronizations performed.
     label:
         Optional kernel name for display.
+    engine:
+        Which evaluation engine produced the numbers: ``"event"`` (the
+        discrete-event scheduler), ``"batch"`` (the vectorized fast
+        path), or ``"batch-fallback"`` (batch mode was requested but the
+        run was re-evaluated on the event engine — identical numbers,
+        no speedup).  See ``docs/PERFORMANCE.md``.
     """
 
     cycles: int
@@ -49,6 +55,7 @@ class RunReport:
     compute_cycles: int = 0
     barrier_releases: int = 0
     label: str = ""
+    engine: str = "event"
 
     # -- aggregate helpers --------------------------------------------------
     def total_transactions(self) -> int:

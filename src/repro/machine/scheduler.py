@@ -43,8 +43,11 @@ from repro.machine.ops import (
     ComputeOp,
     MemoryOp,
     Op,
+    RangeOp,
     ReadOp,
+    ReadRangeOp,
     WriteOp,
+    WriteRangeOp,
 )
 from repro.machine.pipeline import PipelinedMemoryUnit
 from repro.machine.trace import TraceRecorder
@@ -65,6 +68,12 @@ class WarpState:
     pending_send: np.ndarray | None = None
     #: Number of barriers this warp has passed, per scope (mismatch check).
     barrier_seq: dict[BarrierScope, int] = field(default_factory=dict)
+    #: Fused range operation in progress (dispatched one round per event).
+    range_op: RangeOp | None = None
+    #: Next round of ``range_op`` to dispatch.
+    range_round: int = 0
+    #: Value matrix being accumulated for an in-progress read range.
+    range_values: np.ndarray | None = None
 
     @property
     def warp_id(self) -> int:
@@ -178,6 +187,17 @@ class Scheduler:
                     in_heap.add(wid)
                 continue
 
+            if ws.range_op is not None:
+                # A fused range in progress: dispatch exactly one round,
+                # as the equivalent per-round loop would at this event.
+                c_ops, c_cyc = self._range_round(ws)
+                compute_ops += c_ops
+                compute_cycles += c_cyc
+                makespan = max(makespan, ws.ready)
+                heapq.heappush(heap, (ws.ready, wid))
+                in_heap.add(wid)
+                continue
+
             op = self._advance(ws)
             if op is None:  # StopIteration: warp finished
                 ws.finished = True
@@ -194,6 +214,19 @@ class Scheduler:
                 in_heap.add(wid)
             elif isinstance(op, MemoryOp):
                 self._dispatch_memory(ws, op)
+                makespan = max(makespan, ws.ready)
+                heapq.heappush(heap, (ws.ready, wid))
+                in_heap.add(wid)
+            elif isinstance(op, RangeOp):
+                ws.range_op = op
+                ws.range_round = 0
+                if isinstance(op, ReadRangeOp):
+                    ws.range_values = np.empty(
+                        (op.rounds, op.lanes), dtype=np.float64
+                    )
+                c_ops, c_cyc = self._range_round(ws)
+                compute_ops += c_ops
+                compute_cycles += c_cyc
                 makespan = max(makespan, ws.ready)
                 heapq.heappush(heap, (ws.ready, wid))
                 in_heap.add(wid)
@@ -253,6 +286,46 @@ class Scheduler:
             assert isinstance(op, WriteOp)
             space.store(op.addresses, op.values)
         ws.ready = issue.next_ready
+
+    def _range_round(self, ws: WarpState) -> tuple[int, int]:
+        """Dispatch one round of the warp's in-progress range operation.
+
+        Timing, trace records, and memory effects are those of the
+        round's unfused equivalent: one full-warp transaction, then
+        ``compute`` time units of local work.  Returns the
+        ``(compute_ops, compute_cycles)`` charged for the round.
+        """
+        op = ws.range_op
+        assert op is not None
+        j = ws.range_round
+        row = op.addresses[j]
+        unit = self._unit_for(ws, op)
+        issue = unit.issue(ws.ready, row, op.kind)
+        if self._trace is not None:
+            # Record the round as the single-step op it stands for.
+            if isinstance(op, ReadRangeOp):
+                rec: MemoryOp = ReadOp(array=op.array, addresses=row)
+            else:
+                assert isinstance(op, WriteRangeOp)
+                rec = WriteOp(array=op.array, addresses=row, values=op.values[j])
+            self._trace.record(ws.ctx, unit, rec, issue)
+        space = op.array.space
+        if isinstance(op, ReadRangeOp):
+            assert ws.range_values is not None
+            ws.range_values[j] = space.load(row)
+        else:
+            assert isinstance(op, WriteRangeOp)
+            space.store(row, op.values[j])
+        ws.ready = issue.next_ready + op.compute
+        ws.range_round = j + 1
+        if ws.range_round == op.rounds:
+            if isinstance(op, ReadRangeOp):
+                ws.pending_send = ws.range_values
+            ws.range_op = None
+            ws.range_values = None
+        if op.compute:
+            return 1, op.compute
+        return 0, 0
 
     # -- barriers --------------------------------------------------------
     def _build_barrier_groups(

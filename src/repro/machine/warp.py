@@ -38,13 +38,32 @@ from repro.machine.ops import (
     ComputeOp,
     Op,
     ReadOp,
+    ReadRangeOp,
     WriteOp,
+    WriteRangeOp,
 )
 
-__all__ = ["WarpContext", "WarpProgram"]
+__all__ = ["WarpContext", "WarpProgram", "full_mask"]
 
 #: A warp program: receives its context, yields operations.
 WarpProgram = Callable[["WarpContext"], Generator[Op, "np.ndarray | None", None]]
+
+_FULL_MASKS: dict[int, np.ndarray] = {}
+
+
+def full_mask(n: int) -> np.ndarray:
+    """Shared read-only all-``True`` mask of length ``n``.
+
+    Kernels that mask only their ragged tail rounds can pass this for the
+    full rounds; the operation constructors recognize it by identity and
+    skip the per-lane mask bookkeeping entirely.
+    """
+    m = _FULL_MASKS.get(n)
+    if m is None:
+        m = np.ones(n, dtype=bool)
+        m.setflags(write=False)
+        _FULL_MASKS[n] = m
+    return m
 
 
 @dataclass(frozen=True)
@@ -107,6 +126,12 @@ class WarpContext:
         lanes do not participate and receive 0 in the returned values.
         """
         idx, participate = self._lane_vector(indices, mask)
+        if participate is None:
+            return ReadOp(
+                array=array,
+                addresses=array.addresses(idx),
+                result_mask=full_mask(idx.size),
+            )
         return ReadOp(
             array=array,
             addresses=array.addresses(idx[participate]),
@@ -134,10 +159,67 @@ class WarpContext:
                 f"write values must have one entry per live lane "
                 f"({self.num_lanes}), got {vals.size}"
             )
+        if participate is None:
+            return WriteOp(
+                array=array,
+                addresses=array.addresses(idx),
+                values=vals.ravel(),
+            )
         return WriteOp(
             array=array,
             addresses=array.addresses(idx[participate]),
             values=vals.ravel()[participate],
+        )
+
+    def read_range(
+        self,
+        array: ArrayHandle,
+        indices: np.ndarray,
+        *,
+        compute: int = 0,
+    ) -> ReadRangeOp:
+        """Fused multi-round read: row ``j`` of ``indices`` is round ``j``.
+
+        Timing-equivalent to yielding one unmasked :meth:`read` per row
+        (each round's transaction issues when the previous round's data
+        arrives), optionally followed by ``compute`` time units of local
+        work per round.  The engine resumes the program *once*, with the
+        ``(rounds, lanes)`` matrix of values — row ``j`` holding what the
+        ``j``-th read would have returned.  Use for the full rounds of a
+        contiguous sweep; ragged tail rounds keep using masked reads.
+        """
+        idx = self._range_matrix(indices)
+        return ReadRangeOp(
+            array=array,
+            addresses=array.addresses(idx).reshape(idx.shape),
+            compute=compute,
+        )
+
+    def write_range(
+        self,
+        array: ArrayHandle,
+        indices: np.ndarray,
+        values: np.ndarray,
+        *,
+        compute: int = 0,
+    ) -> WriteRangeOp:
+        """Fused multi-round write: round ``j`` stores ``values[j]``.
+
+        The write twin of :meth:`read_range`; ``values`` must match the
+        ``(rounds, lanes)`` shape of ``indices``.
+        """
+        idx = self._range_matrix(indices)
+        vals = np.asarray(values, dtype=np.float64)
+        if vals.shape != idx.shape:
+            raise KernelError(
+                f"range values must match the (rounds, lanes) index shape "
+                f"{idx.shape}, got {vals.shape}"
+            )
+        return WriteRangeOp(
+            array=array,
+            addresses=array.addresses(idx).reshape(idx.shape),
+            values=vals,
+            compute=compute,
         )
 
     def compute(self, cycles: int = 1) -> ComputeOp:
@@ -153,26 +235,62 @@ class WarpContext:
         return BarrierOp(scope=BarrierScope.DMM)
 
     # -- internals -----------------------------------------------------------
+    def _range_matrix(self, indices: np.ndarray) -> np.ndarray:
+        """Validate a (rounds, lanes) index matrix for a range operation."""
+        if type(indices) is np.ndarray and indices.dtype == np.int64:
+            idx = indices
+        else:
+            idx = np.asarray(indices, dtype=np.int64)
+        if idx.ndim != 2 or idx.shape[1] != self.num_lanes:
+            raise KernelError(
+                f"range indices must be a (rounds, {self.num_lanes}) "
+                f"matrix, got shape {idx.shape}"
+            )
+        if idx.shape[0] < 1:
+            raise KernelError("a range must cover at least one round")
+        return idx
+
     def _lane_vector(
         self,
         indices: np.ndarray | int,
         mask: np.ndarray | None,
-    ) -> tuple[np.ndarray, np.ndarray]:
-        idx = np.asarray(indices, dtype=np.int64)
-        if idx.ndim == 0:
-            idx = np.full(self.num_lanes, int(idx), dtype=np.int64)
-        if idx.size != self.num_lanes:
-            raise KernelError(
-                f"index vector must have one entry per live lane "
-                f"({self.num_lanes}), got {idx.size}"
-            )
-        if mask is None:
-            participate = np.ones(self.num_lanes, dtype=bool)
-        else:
-            participate = np.asarray(mask, dtype=bool)
-            if participate.size != self.num_lanes:
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Normalize ``(indices, mask)``; ``None`` mask means "all lanes".
+
+        A returned ``participate`` of ``None`` tells the operation
+        constructors every live lane takes part, so they can skip the
+        fancy-indexing that a partial mask requires.
+        """
+        n = self.num_lanes
+        if type(indices) is np.ndarray and indices.ndim == 1:
+            if indices.size != n:
                 raise KernelError(
-                    f"mask must have one entry per live lane "
-                    f"({self.num_lanes}), got {participate.size}"
+                    f"index vector must have one entry per live lane "
+                    f"({n}), got {indices.size}"
                 )
-        return idx.ravel(), participate
+            idx = indices if indices.dtype == np.int64 else indices.astype(np.int64)
+        else:
+            idx = np.asarray(indices, dtype=np.int64)
+            if idx.ndim == 0:
+                idx = np.full(n, int(idx), dtype=np.int64)
+            elif idx.size != n:
+                raise KernelError(
+                    f"index vector must have one entry per live lane "
+                    f"({n}), got {idx.size}"
+                )
+            idx = idx.ravel()
+        if mask is None:
+            return idx, None
+        participate = (
+            mask
+            if type(mask) is np.ndarray and mask.dtype == np.bool_
+            else np.asarray(mask, dtype=bool)
+        )
+        if participate.size != n:
+            raise KernelError(
+                f"mask must have one entry per live lane "
+                f"({n}), got {participate.size}"
+            )
+        if participate is _FULL_MASKS.get(n) or participate.all():
+            return idx, None
+        return idx, participate

@@ -1,0 +1,260 @@
+"""Batch-mode equivalence: the fast path must be invisible.
+
+For every supported kernel x machine x parameter combination, running
+with ``mode="batch"`` must produce *identical* cycle counts and
+byte-identical results to ``mode="event"`` — either by taking the
+vectorized fast path or by detecting divergence and falling back.  These
+tests also pin which configurations actually reach the fast path, the
+configurations that route to the event engine up front (tracing,
+round-robin dispatch), and the correctness of the fallback's memory
+restore.
+"""
+
+import numpy as np
+import pytest
+
+from repro import DMM, HMM, UMM, FIG4_PARAMS, GTX580, HMMParams, MachineParams
+from repro.errors import ConfigurationError
+from repro.machine import BatchCostEngine, BatchFallback, TraceRecorder
+
+from conftest import make_dmm, make_umm
+
+FLAT_TINY = MachineParams(width=4, latency=2)
+HMM_TINY = HMMParams(num_dmms=2, width=4, global_latency=8, shared_latency=2)
+
+RNG = np.random.default_rng(20130520)
+X64 = RNG.standard_normal(64)
+Y16 = RNG.standard_normal(16)
+X2048 = RNG.standard_normal(2048)
+Y64 = RNG.standard_normal(64)
+MAT = RNG.standard_normal((32, 32))
+
+
+def run_both(make_machine, call):
+    """Run ``call`` on an event- and a batch-mode machine; compare."""
+    val_event, rep_event = call(make_machine("event"))
+    val_batch, rep_batch = call(make_machine("batch"))
+    assert rep_batch.cycles == rep_event.cycles
+    assert rep_event.engine == "event"
+    np.testing.assert_array_equal(np.asarray(val_event), np.asarray(val_batch))
+    return rep_batch
+
+
+FLAT_KERNELS = {
+    "sum": lambda m: m.sum(X64, num_threads=64),
+    "convolution": lambda m: m.convolve(Y16, X64, num_threads=64),
+    "prefix": lambda m: m.prefix_sums(X64, num_threads=64),
+}
+
+HMM_KERNELS = {
+    "sum": lambda m, data, nt: m.sum(data, num_threads=nt),
+    "convolution": lambda m, data, nt: m.convolve(
+        data[: data.size // 32], data, num_threads=nt
+    ),
+    "prefix": lambda m, data, nt: m.prefix_sums(data, num_threads=nt),
+    "transpose-padded": lambda m, data, nt: m.transpose(MAT, padded=True),
+    "transpose-conflicted": lambda m, data, nt: m.transpose(MAT, padded=False),
+}
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("machine_cls", [DMM, UMM], ids=["dmm", "umm"])
+    @pytest.mark.parametrize(
+        "params", [FLAT_TINY, FIG4_PARAMS], ids=["w4l2", "fig4"]
+    )
+    @pytest.mark.parametrize("kernel", sorted(FLAT_KERNELS))
+    def test_flat_machines_take_fast_path(self, machine_cls, params, kernel):
+        rep = run_both(
+            lambda mode: machine_cls(params, mode=mode), FLAT_KERNELS[kernel]
+        )
+        assert rep.engine == "batch"
+
+    @pytest.mark.parametrize(
+        ("params", "data", "num_threads"),
+        [(HMM_TINY, X64, 32), (GTX580, X2048, 1024)],
+        ids=["tiny", "gtx580"],
+    )
+    @pytest.mark.parametrize("kernel", sorted(HMM_KERNELS))
+    def test_hmm_takes_fast_path(self, params, data, num_threads, kernel):
+        rep = run_both(
+            lambda mode: HMM(params, mode=mode),
+            lambda m: HMM_KERNELS[kernel](m, data, num_threads),
+        )
+        assert rep.engine == "batch"
+
+    def test_partial_final_warp(self):
+        rep = run_both(
+            lambda mode: DMM(FLAT_TINY, mode=mode),
+            lambda m: m.sum(X64[:50], num_threads=14),
+        )
+        assert rep.engine == "batch"
+
+    def test_unaligned_hmm_launch(self):
+        rep = run_both(
+            lambda mode: HMM(HMM_TINY, mode=mode),
+            lambda m: m.prefix_sums(X64[:40], num_threads=24),
+        )
+        assert rep.engine == "batch"
+
+
+class TestModeSelection:
+    def test_invalid_mode_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError, match="mode"):
+            DMM(FLAT_TINY, mode="turbo")
+        with pytest.raises(ConfigurationError, match="mode"):
+            HMM(HMM_TINY, mode="turbo")
+
+    def test_invalid_mode_rejected_at_launch(self):
+        eng = make_dmm()
+        a = eng.alloc(4)
+
+        def prog(warp):
+            yield warp.write(a, warp.tids, 1.0)
+
+        with pytest.raises(ConfigurationError, match="mode"):
+            eng.launch(prog, 4, mode="turbo")
+
+    def test_launch_mode_overrides_engine_default(self):
+        def call(eng):
+            a = eng.array_from(X64[:4], "a")
+
+            def prog(warp):
+                vals = yield warp.read(a, warp.tids)
+                yield warp.write(a, warp.tids, vals + 1.0)
+
+            return eng.launch(prog, 4, mode="batch")
+
+        rep = call(make_dmm(mode="event"))
+        assert rep.engine == "batch"
+
+    def test_tracing_routes_to_event_engine(self):
+        eng = make_umm(mode="batch")
+        a = eng.array_from(X64[:4], "a")
+
+        def prog(warp):
+            yield warp.read(a, warp.tids)
+
+        trace = TraceRecorder()
+        rep = eng.launch(prog, 4, trace=trace)
+        assert rep.engine == "event"
+        assert len(trace.transactions_for("mem")) == 1
+
+    def test_round_robin_routes_to_event_engine(self):
+        eng = make_dmm(dispatch="round-robin", mode="batch")
+        a = eng.alloc(8)
+
+        def prog(warp):
+            yield warp.write(a, warp.tids, 1.0)
+
+        rep = eng.launch(prog, 8)
+        assert rep.engine == "event"
+
+
+def _early_exit_program(a, b):
+    """Warp 1 exits without the barrier warp 0 waits at.
+
+    The event engine's retire path then releases warp 0 *back in time*
+    (release time = warp 0's early arrival), making warp 0's next
+    transaction arrive behind warp 1's already-dispatched ones — the
+    non-monotone schedule the batch engine detects and refuses.
+    """
+
+    def prog(warp):
+        if warp.warp_id == 0:
+            yield warp.barrier()
+            vals = yield warp.read(a, warp.lanes)
+            yield warp.write(b, warp.lanes, vals + 100.0)
+        else:
+            vals = yield warp.read(a, warp.lanes)
+            yield warp.write(b, warp.lanes + 4, vals + 1.0)
+            yield warp.read(b, warp.lanes + 4)
+
+    return prog
+
+
+class TestFallback:
+    def test_early_exit_falls_back_exactly(self):
+        def call(eng):
+            a = eng.array_from(np.arange(8.0), "a")
+            b = eng.alloc(8, "b")
+            rep = eng.launch(_early_exit_program(a, b), 8)
+            return b.to_numpy(), rep
+
+        vals_event, rep_event = call(make_dmm(mode="event"))
+        vals_batch, rep_batch = call(make_dmm(mode="batch"))
+        assert rep_batch.engine == "batch-fallback"
+        assert rep_batch.cycles == rep_event.cycles
+        np.testing.assert_array_equal(vals_batch, vals_event)
+
+    def test_fallback_restores_prior_memory(self):
+        # Writes applied by the abandoned batch attempt must not leak:
+        # cells the program never touches keep their pre-launch values,
+        # and touched cells hold exactly the event-engine results.
+        eng = make_dmm(mode="batch")
+        a = eng.array_from(np.arange(8.0), "a")
+        b = eng.array_from(np.full(16, -5.0), "b")
+        rep = eng.launch(_early_exit_program(a, b), 8)
+        assert rep.engine == "batch-fallback"
+        out = b.to_numpy()
+        np.testing.assert_array_equal(out[8:], np.full(8, -5.0))
+        assert out[:4].tolist() == [100.0, 101.0, 102.0, 103.0]
+        assert out[4:8].tolist() == [1.0, 2.0, 3.0, 4.0]
+
+    def test_fallback_stats_match_event_run(self):
+        def call(eng):
+            a = eng.array_from(np.arange(8.0), "a")
+            b = eng.alloc(8, "b")
+            return eng.launch(_early_exit_program(a, b), 8)
+
+        rep_event = call(make_dmm(mode="event"))
+        rep_batch = call(make_dmm(mode="batch"))
+        assert rep_batch.total_transactions() == rep_event.total_transactions()
+        assert rep_batch.total_requests() == rep_event.total_requests()
+
+    def test_batch_engine_raises_typed_fallback(self):
+        eng = make_dmm()
+        a = eng.array_from(np.arange(8.0), "a")
+        b = eng.alloc(8, "b")
+        from repro.machine.engine import make_warp_contexts
+        from repro.machine.scheduler import WarpState
+
+        prog = _early_exit_program(a, b)
+        contexts = make_warp_contexts(8, 4)
+        warps = [WarpState(ctx=ctx, program=prog(ctx)) for ctx in contexts]
+        with pytest.raises(BatchFallback):
+            BatchCostEngine(eng._unit_for).run(warps)
+
+
+class TestReportedStats:
+    def test_fast_path_unit_stats_match_event(self):
+        def call(mode):
+            m = HMM(HMM_TINY, mode=mode)
+            _, rep = m.sum(X64, num_threads=32)
+            return rep
+
+        rep_event, rep_batch = call("event"), call("batch")
+        assert rep_batch.engine == "batch"
+        for name, st in rep_event.unit_stats.items():
+            bt = rep_batch.unit_stats[name]
+            assert (bt.transactions, bt.reads, bt.writes) == (
+                st.transactions,
+                st.reads,
+                st.writes,
+            )
+            assert (bt.requests, bt.slots) == (st.requests, st.slots)
+            assert bt.conflicted_transactions == st.conflicted_transactions
+            assert bt.excess_slots == st.excess_slots
+            assert bt.port_busy_until == st.port_busy_until
+            assert bt.last_complete == st.last_complete
+
+    def test_scheduler_counters_match_event(self):
+        def call(mode):
+            m = UMM(FIG4_PARAMS, mode=mode)
+            _, rep = m.prefix_sums(X64, num_threads=64)
+            return rep
+
+        rep_event, rep_batch = call("event"), call("batch")
+        assert rep_batch.engine == "batch"
+        assert rep_batch.compute_ops == rep_event.compute_ops
+        assert rep_batch.compute_cycles == rep_event.compute_cycles
+        assert rep_batch.barrier_releases == rep_event.barrier_releases

@@ -1,0 +1,421 @@
+"""Fused range operations: validation, semantics, and batch/event parity.
+
+Complements :mod:`test_batch_equivalence` (which runs whole paper kernels
+under both engines) with targeted coverage of the range-op layer itself:
+the ``RangeOp`` dataclasses, the :meth:`WarpContext.read_range` /
+:meth:`WarpContext.write_range` constructors, the
+:func:`contiguous_range_parts` splitter the fused kernels are built on,
+and the batch engine's wave dispatch for uniform and non-uniform slot
+patterns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import make_dmm, make_umm
+
+from repro.core.kernels.contiguous import (
+    contiguous_range_parts,
+    contiguous_read,
+    contiguous_write,
+    strided_read,
+)
+from repro.errors import AddressError, KernelError
+from repro.machine.engine import make_warp_contexts
+from repro.machine.memory import MemorySpace
+from repro.machine.ops import AccessKind, ReadRangeOp, WriteRangeOp
+from repro.machine.warp import WarpContext
+
+
+W = 4  # machine width used throughout
+
+
+def one_warp() -> WarpContext:
+    return make_warp_contexts(W, W)[0]
+
+
+def run_both(make_machine, build):
+    """Run a launch on fresh event and batch machines; assert parity.
+
+    ``build(machine)`` allocates arrays and returns
+    ``(program, num_threads, handles)``; returns the two reports plus the
+    final contents of each handle (asserted equal between modes).
+    """
+    reports, contents = [], []
+    for mode in ("event", "batch"):
+        machine = make_machine()
+        program, num_threads, handles = build(machine)
+        reports.append(machine.launch(program, num_threads, mode=mode))
+        contents.append([h.to_numpy() for h in handles])
+    ev, ba = reports
+    assert ba.cycles == ev.cycles
+    for got, want in zip(contents[1], contents[0]):
+        np.testing.assert_array_equal(got, want)
+    return ev, ba
+
+
+# ---------------------------------------------------------------------------
+# Op construction and validation
+# ---------------------------------------------------------------------------
+
+
+class TestRangeOpValidation:
+    def test_read_range_builds_matrix_op(self):
+        warp = one_warp()
+        space = MemorySpace("m")
+        a = space.alloc(16)
+        idx = np.arange(8, dtype=np.int64).reshape(2, 4)
+        op = warp.read_range(a, idx, compute=3)
+        assert isinstance(op, ReadRangeOp)
+        assert op.kind is AccessKind.READ
+        assert (op.rounds, op.lanes) == (2, 4)
+        assert op.compute == 3
+        np.testing.assert_array_equal(op.addresses, a.base + idx)
+
+    def test_read_range_rejects_1d_indices(self):
+        warp = one_warp()
+        a = MemorySpace("m").alloc(16)
+        with pytest.raises(KernelError, match="rounds"):
+            warp.read_range(a, np.arange(4))
+
+    def test_read_range_rejects_wrong_lane_count(self):
+        warp = one_warp()
+        a = MemorySpace("m").alloc(16)
+        with pytest.raises(KernelError, match=r"\(rounds, 4\)"):
+            warp.read_range(a, np.zeros((2, 3), dtype=np.int64))
+
+    def test_read_range_rejects_zero_rounds(self):
+        warp = one_warp()
+        a = MemorySpace("m").alloc(16)
+        with pytest.raises(KernelError, match="at least one round"):
+            warp.read_range(a, np.empty((0, 4), dtype=np.int64))
+
+    def test_read_range_bounds_checked(self):
+        warp = one_warp()
+        a = MemorySpace("m").alloc(4)
+        with pytest.raises(AddressError):
+            warp.read_range(a, np.arange(8, dtype=np.int64).reshape(2, 4))
+
+    def test_write_range_rejects_value_shape_mismatch(self):
+        warp = one_warp()
+        a = MemorySpace("m").alloc(16)
+        idx = np.arange(8, dtype=np.int64).reshape(2, 4)
+        with pytest.raises(KernelError, match="values must match"):
+            warp.write_range(a, idx, np.zeros((1, 4)))
+
+    def test_rangeop_rejects_bad_shapes_and_compute(self):
+        a = MemorySpace("m").alloc(16)
+        with pytest.raises(ValueError, match="matrix"):
+            ReadRangeOp(array=a, addresses=np.arange(4, dtype=np.int64))
+        with pytest.raises(ValueError, match="at least one round"):
+            ReadRangeOp(array=a, addresses=np.empty((2, 0), dtype=np.int64))
+        with pytest.raises(ValueError, match="compute"):
+            ReadRangeOp(
+                array=a,
+                addresses=np.zeros((1, 4), dtype=np.int64),
+                compute=-1,
+            )
+        with pytest.raises(ValueError, match="values must match"):
+            WriteRangeOp(
+                array=a,
+                addresses=np.zeros((2, 4), dtype=np.int64),
+                values=np.zeros((2, 3)),
+            )
+
+
+# ---------------------------------------------------------------------------
+# contiguous_range_parts splitter
+# ---------------------------------------------------------------------------
+
+
+class TestContiguousRangeParts:
+    def test_exact_fit_has_no_tails(self):
+        warp = make_warp_contexts(8, W)[0]  # p = 8, two warps
+        idx_mat, tails = contiguous_range_parts(warp, 32)
+        assert tails == []
+        assert idx_mat.shape == (4, W)
+        # Round j, lane i reads element j*p + tid.
+        np.testing.assert_array_equal(
+            idx_mat, np.arange(4)[:, None] * 8 + np.arange(4)
+        )
+
+    def test_ragged_n_splits_tail(self):
+        warps = make_warp_contexts(8, W)
+        # Warp 0 (tids 0..3): round 3 reads 24..27 < 30, so all four
+        # rounds are full and nothing is left for the tail.
+        idx_mat, tails = contiguous_range_parts(warps[0], 30)
+        assert idx_mat.shape[0] == 4
+        assert tails == []
+        # Warp 1 (tids 4..7): round 3 would read 28..31, of which only
+        # 28 and 29 exist — a masked tail round.
+        idx_mat, tails = contiguous_range_parts(warps[1], 30)
+        assert idx_mat.shape[0] == 3
+        assert len(tails) == 1
+        idx, mask = tails[0]
+        np.testing.assert_array_equal(mask, [True, True, False, False])
+        np.testing.assert_array_equal(idx[mask], [28, 29])
+
+    def test_small_n_is_all_tails(self):
+        warp = make_warp_contexts(8, W)[1]  # second warp, tids 4..7
+        idx_mat, tails = contiguous_range_parts(warp, 6)
+        assert idx_mat is None
+        assert len(tails) == 1
+        idx, mask = tails[0]
+        np.testing.assert_array_equal(mask, [True, True, False, False])
+        np.testing.assert_array_equal(idx[mask], [4, 5])
+
+
+# ---------------------------------------------------------------------------
+# Event-engine semantics of fused ranges
+# ---------------------------------------------------------------------------
+
+
+def _per_warp_matrix(warp: WarpContext, rounds: int, n: int) -> np.ndarray:
+    p = warp.num_threads
+    return (np.arange(rounds, dtype=np.int64)[:, None] * p + warp.tids) % n
+
+
+class TestEventSemantics:
+    """A fused range must match the per-round loop it replaces exactly."""
+
+    @pytest.mark.parametrize("compute", [0, 2])
+    @pytest.mark.parametrize("maker", [make_dmm, make_umm])
+    def test_read_range_matches_unfused_loop(self, maker, compute, rng):
+        n, rounds, threads = 32, 5, 8
+        vals = rng.normal(size=n)
+        seen: dict[str, list] = {"fused": [], "loop": []}
+
+        def fused(a):
+            def program(warp):
+                mat = yield warp.read_range(
+                    a, _per_warp_matrix(warp, rounds, n), compute=compute
+                )
+                seen["fused"].append(mat)
+
+            return program
+
+        def unfused(a):
+            def program(warp):
+                rows = []
+                for idx in _per_warp_matrix(warp, rounds, n):
+                    rows.append((yield warp.read(a, idx)))
+                    if compute:
+                        yield warp.compute(compute)
+                seen["loop"].append(np.stack(rows))
+
+            return program
+
+        cycles = {}
+        for key, build in (("fused", fused), ("loop", unfused)):
+            machine = maker()
+            a = machine.array_from(vals)
+            cycles[key] = machine.launch(build(a), threads, mode="event").cycles
+        assert cycles["fused"] == cycles["loop"]
+        for got, want in zip(seen["fused"], seen["loop"]):
+            np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("maker", [make_dmm, make_umm])
+    def test_write_range_matches_unfused_loop(self, maker):
+        n, rounds, threads = 32, 4, 8
+
+        def fused(a):
+            def program(warp):
+                idx = _per_warp_matrix(warp, rounds, n)
+                yield warp.write_range(a, idx, idx.astype(np.float64))
+
+            return program
+
+        def unfused(a):
+            def program(warp):
+                for idx in _per_warp_matrix(warp, rounds, n):
+                    yield warp.write(a, idx, idx.astype(np.float64))
+
+            return program
+
+        results, cycles = [], []
+        for build in (fused, unfused):
+            machine = maker()
+            a = machine.alloc(n)
+            cycles.append(machine.launch(build(a), threads, mode="event").cycles)
+            results.append(a.to_numpy())
+        assert cycles[0] == cycles[1]
+        np.testing.assert_array_equal(results[0], results[1])
+        np.testing.assert_array_equal(results[0], np.arange(n, dtype=np.float64))
+
+    def test_write_range_first_lane_wins_per_round(self):
+        machine = make_dmm()
+
+        def program(warp):
+            idx = np.zeros((2, W), dtype=np.int64)  # every lane hits cell 0
+            vals = np.array(
+                [[1.0, 2.0, 3.0, 4.0], [5.0, 6.0, 7.0, 8.0]]
+            )
+            yield warp.write_range(a, idx, vals)
+
+        a = machine.alloc(W)
+        machine.launch(program, W, mode="event")
+        # Round 0 stores lane 0's 1.0; round 1 overwrites with lane 0's 5.0.
+        assert a.to_numpy()[0] == 5.0
+
+
+# ---------------------------------------------------------------------------
+# Batch-engine parity on range-heavy launches
+# ---------------------------------------------------------------------------
+
+
+class TestBatchParity:
+    @pytest.mark.parametrize("maker", [make_dmm, make_umm])
+    @pytest.mark.parametrize("n", [32, 30, 37, 6])
+    def test_contiguous_read_ragged(self, maker, n):
+        def build(machine):
+            a = machine.array_from(np.arange(max(n, 1), dtype=np.float64))
+            return contiguous_read(a, n), 8, [a]
+
+        ev, ba = run_both(maker, build)
+        assert ev.engine == "event"
+        assert ba.engine == "batch"
+
+    @pytest.mark.parametrize("n", [32, 30])
+    def test_contiguous_write_ragged(self, n):
+        def build(machine):
+            a = machine.array_from(np.full(n, -1.0))
+            return contiguous_write(a, n, 7.0), 8, [a]
+
+        run_both(make_dmm, build)
+
+    def test_strided_read_conflicted(self):
+        # Stride W on a DMM: every round is a full W-way bank conflict.
+        def build(machine):
+            a = machine.array_from(np.arange(64, dtype=np.float64))
+            return strided_read(a, 64, W), 8, [a]
+
+        ev, ba = run_both(make_dmm, build)
+        assert ba.engine == "batch"
+        assert ev.unit_stats["mem"].conflicted_transactions > 0
+
+    def test_non_uniform_slots_per_round(self):
+        # Rounds with conflict degrees 1, 4, 2 exercise the per-wave
+        # arbitration loop of the wave dispatcher (no uniform closed form).
+        idx = np.array(
+            [
+                [0, 1, 2, 3],  # degree 1
+                [0, 4, 8, 12],  # degree 4 (all bank 0)
+                [0, 1, 4, 5],  # degree 2
+            ],
+            dtype=np.int64,
+        )
+
+        def build(machine):
+            a = machine.array_from(np.arange(16, dtype=np.float64))
+
+            def program(warp):
+                yield warp.read_range(a, idx)
+
+            return program, 16, [a]
+
+        ev, ba = run_both(make_dmm, build)
+        assert ba.engine == "batch"
+
+    def test_mixed_ready_ranges_fall_to_scalar_replay(self):
+        # Warps reach the range at different times (warp-dependent local
+        # compute), so the wave dispatcher's equal-start precondition
+        # fails and the scalar simulated dispatch must take over — still
+        # exactly, still on the batch engine.
+        def build(machine):
+            a = machine.array_from(np.arange(32, dtype=np.float64))
+
+            def program(warp):
+                yield warp.compute(1 + 3 * warp.warp_id)
+                yield warp.read_range(a, _per_warp_matrix(warp, 4, 32))
+
+            return program, 16, [a]
+
+        ev, ba = run_both(make_dmm, build)
+        assert ba.engine == "batch"
+
+    def test_read_range_values_identical_across_modes(self, rng):
+        vals = rng.normal(size=64)
+        got: dict[str, np.ndarray] = {}
+
+        def build_for(mode):
+            machine = make_umm()
+            a = machine.array_from(vals)
+
+            def program(warp):
+                mat = yield warp.read_range(a, _per_warp_matrix(warp, 8, 64))
+                got.setdefault(mode, []).append(mat)
+
+            machine.launch(program, 8, mode=mode)
+
+        build_for("event")
+        build_for("batch")
+        for ev_mat, ba_mat in zip(got["event"], got["batch"]):
+            np.testing.assert_array_equal(ba_mat, ev_mat)
+
+    @pytest.mark.parametrize("maker", [make_dmm, make_umm])
+    def test_unit_stats_parity(self, maker):
+        def build(machine):
+            a = machine.array_from(np.arange(40, dtype=np.float64))
+            return contiguous_read(a, 40), 12, [a]
+
+        ev, ba = run_both(maker, build)
+        s_ev, s_ba = ev.unit_stats["mem"], ba.unit_stats["mem"]
+        assert s_ba.transactions == s_ev.transactions
+        assert s_ba.requests == s_ev.requests
+        assert s_ba.slots == s_ev.slots
+        assert s_ba.conflicted_transactions == s_ev.conflicted_transactions
+        assert s_ba.excess_slots == s_ev.excess_slots
+        assert s_ba.port_busy_until == s_ev.port_busy_until
+        assert s_ba.last_complete == s_ev.last_complete
+
+
+# ---------------------------------------------------------------------------
+# Store semantics and the undo log
+# ---------------------------------------------------------------------------
+
+
+class TestStoreAndUndo:
+    def test_store_first_duplicate_wins(self):
+        space = MemorySpace("m")
+        a = space.alloc(4)
+        addrs = a.addresses(np.array([2, 2, 1, 2]))
+        space.store(addrs, np.array([10.0, 20.0, 30.0, 40.0]))
+        np.testing.assert_array_equal(a.to_numpy(), [0.0, 30.0, 10.0, 0.0])
+
+    def test_rollback_reverts_stores_newest_first(self):
+        space = MemorySpace("m")
+        a = space.alloc(4)
+        a.set([1.0, 2.0, 3.0, 4.0])
+        space.begin_undo()
+        space.store(a.addresses(np.array([0, 1])), np.array([9.0, 9.0]))
+        space.store(a.addresses(np.array([1, 2])), np.array([8.0, 8.0]))
+        space.rollback()
+        np.testing.assert_array_equal(a.to_numpy(), [1.0, 2.0, 3.0, 4.0])
+
+    def test_rollback_handles_duplicates_within_one_store(self):
+        space = MemorySpace("m")
+        a = space.alloc(2)
+        a.set([5.0, 6.0])
+        space.begin_undo()
+        space.store(a.addresses(np.array([0, 0])), np.array([1.0, 2.0]))
+        space.rollback()
+        np.testing.assert_array_equal(a.to_numpy(), [5.0, 6.0])
+
+    def test_end_undo_keeps_writes(self):
+        space = MemorySpace("m")
+        a = space.alloc(2)
+        space.begin_undo()
+        space.store(a.addresses(np.array([0])), np.array([7.0]))
+        space.end_undo()
+        # No log left; a rollback now is a no-op rather than an error.
+        space.rollback()
+        assert a.to_numpy()[0] == 7.0
+
+    def test_stores_without_undo_are_not_logged(self):
+        space = MemorySpace("m")
+        a = space.alloc(1)
+        space.store(a.addresses(np.array([0])), np.array([3.0]))
+        assert space._undo is None
+        assert a.to_numpy()[0] == 3.0

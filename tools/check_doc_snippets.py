@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Extract and execute the fenced python blocks of a markdown file.
+
+Documentation code that does not run rots silently; this script keeps the
+runnable docs honest.  Within one file the blocks execute cumulatively in
+a single namespace, top to bottom, exactly as a reader following along
+would type them.
+
+Blocks are opted out with an HTML comment on the line directly above the
+fence::
+
+    <!-- doc-snippet: skip -->
+    ```python
+    something_illustrative_only()
+    ```
+
+Usage::
+
+    python tools/check_doc_snippets.py docs/TUTORIAL.md docs/PERFORMANCE.md
+
+Exits non-zero on the first failing block, printing the block's source
+and the traceback.  Run from the repository root with ``PYTHONPATH=src``
+(or after an editable install).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+import traceback
+from pathlib import Path
+
+SKIP_MARK = "doc-snippet: skip"
+
+
+def extract_blocks(text: str) -> list[tuple[int, str, bool]]:
+    """Return ``(first_line, source, skipped)`` for every python fence."""
+    blocks = []
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        stripped = lines[i].strip()
+        if stripped in ("```python", "```py"):
+            skip = i > 0 and SKIP_MARK in lines[i - 1]
+            start = i + 1
+            j = start
+            while j < len(lines) and lines[j].strip() != "```":
+                j += 1
+            blocks.append((start + 1, "\n".join(lines[start:j]), skip))
+            i = j + 1
+        else:
+            i += 1
+    return blocks
+
+
+def check_file(path: Path) -> int:
+    """Execute ``path``'s python blocks cumulatively; return failure count."""
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        print(f"  FAIL {path}: {exc}")
+        return 1
+    blocks = extract_blocks(text)
+    if not blocks:
+        print(f"{path}: no python blocks")
+        return 0
+    namespace: dict = {"__name__": f"docsnippet:{path.name}"}
+    failures = 0
+    for lineno, source, skip in blocks:
+        label = f"{path}:{lineno}"
+        if skip:
+            print(f"  SKIP {label}")
+            continue
+        t0 = time.perf_counter()
+        try:
+            # Pad so tracebacks point at the real line in the markdown.
+            code = compile("\n" * (lineno - 1) + source, str(path), "exec")
+            exec(code, namespace)
+        except Exception:
+            failures += 1
+            print(f"  FAIL {label}")
+            print("    " + "\n    ".join(source.splitlines()))
+            traceback.print_exc()
+            break  # later blocks depend on this one's names
+        else:
+            dt = time.perf_counter() - t0
+            print(f"  ok   {label}  ({dt:.2f}s)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", type=Path, help="markdown files")
+    args = parser.parse_args(argv)
+    failures = 0
+    for path in args.files:
+        print(f"{path}:")
+        failures += check_file(path)
+    if failures:
+        print(f"{failures} failing block(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,13 +9,13 @@ test:
 	PYTHONPATH=src python -m pytest -x -q
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src pytest benchmarks/ --benchmark-only
 
 examples:
-	for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done
+	for f in examples/*.py; do echo "== $$f"; PYTHONPATH=src python $$f > /dev/null || exit 1; done
 
 experiments:
-	python -m repro.experiments all -o benchmarks/out --json
+	PYTHONPATH=src python -m repro.experiments all --jobs auto -o benchmarks/out --json
 
 docs-check:
 	PYTHONPATH=src python tools/check_doc_snippets.py docs/TUTORIAL.md docs/PERFORMANCE.md

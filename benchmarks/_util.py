@@ -3,8 +3,8 @@
 Every benchmark both *times* a representative simulator run (via
 pytest-benchmark) and *reproduces* a paper artifact — a table row, a
 figure series, an optimality check.  The reproduction output is printed
-and appended to ``benchmarks/out/<name>.txt`` so the artifacts survive
-the run; EXPERIMENTS.md quotes them.
+and written to ``benchmarks/out/<name>.txt`` (overwriting any previous
+run) so the artifacts survive the run; EXPERIMENTS.md quotes them.
 """
 
 from __future__ import annotations
@@ -17,7 +17,7 @@ OUT_DIR = pathlib.Path(__file__).resolve().parent / "out"
 
 def emit(name: str, text: str) -> None:
     """Print a reproduction artifact and persist it under benchmarks/out."""
-    OUT_DIR.mkdir(exist_ok=True)
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
     banner = f"\n===== {name} =====\n"
     print(banner + text)
     with open(OUT_DIR / f"{name}.txt", "w") as fh:

@@ -8,42 +8,50 @@
   to bad layouts, and where the two machines differ.
 * **ABL-3, shared-memory padding**: the tiled transpose with and without
   the ``w + 1`` stride — the classic bank-conflict pitfall, quantified.
+
+ABL-1 and ABL-2 reuse the experiments CLI's grids and point tasks and
+route through the sweep executor, so benchmark runs and ``python -m
+repro.experiments ablations`` share cache entries.
 """
 
-import numpy as np
-import pytest
+from functools import partial
 
-from repro import HMM, HMMParams, MachineParams
+from repro import HMMParams, MachineParams
+from repro.analysis.sweeps import run_sweep
 from repro.machine.engine import MachineEngine
 from repro.machine.hmm import HMMEngine
-from repro.machine.policy import DMMBankPolicy, IdealPolicy, UMMGroupPolicy
-from repro.core.kernels.contiguous import contiguous_read, strided_read
+from repro.machine.policy import IdealPolicy, UMMGroupPolicy
 from repro.core.kernels.hmm_sum import hmm_sum
 from repro.core.kernels.matmul import hmm_transpose
 from repro.core.kernels.reduction import sum_kernel
+from repro.experiments.ablations import (
+    PIPELINING_GRID,
+    POLICY_GRID,
+    pipelining_task,
+    policy_task,
+)
 
 from _util import emit, format_rows, once
 
 
-def test_ablation_pipelining(benchmark, rng):
+def test_ablation_pipelining(benchmark):
     """Without pipelining, contiguous access degenerates from
     ~n/w + l to ~(n/w)·l — the paper's pipeline model is what makes
     bandwidth-bound algorithms possible at all."""
 
     def run():
-        n, p, w = 1 << 12, 512, 16
-        rows = []
-        for l in (8, 64, 256):
-            for pipelined in (True, False):
-                eng = MachineEngine(
-                    MachineParams(width=w, latency=l),
-                    UMMGroupPolicy(),
-                    pipelined=pipelined,
-                )
-                a = eng.alloc(n)
-                cycles = eng.launch(contiguous_read(a, n), p).cycles
-                rows.append([l, "yes" if pipelined else "no", cycles])
-        return rows
+        pts = run_sweep(
+            partial(pipelining_task, mode="batch"),
+            PIPELINING_GRID,
+            jobs="auto",
+            cache=True,
+            mode="batch",
+            label="bench/ablations/pipelining",
+        )
+        return [
+            [p.params["l"], "yes" if p.params["pipelined"] else "no", p.cycles]
+            for p in pts
+        ]
 
     rows = once(benchmark, run)
     emit(
@@ -67,22 +75,21 @@ def test_ablation_policies_stride_sweep(benchmark):
     access pattern."""
 
     def run():
-        n, p, w, l = 1 << 12, 256, 16, 8
-        rows = []
-        for stride in (1, 2, 4, 16, 17):
-            cycles = {}
-            for name, policy in (
-                ("dmm", DMMBankPolicy()),
-                ("umm", UMMGroupPolicy()),
-                ("ideal", IdealPolicy()),
-            ):
-                eng = MachineEngine(MachineParams(width=w, latency=l), policy)
-                a = eng.alloc(n)
-                cycles[name] = eng.launch(strided_read(a, n, stride), p).cycles
-            rows.append(
-                [stride, cycles["dmm"], cycles["umm"], cycles["ideal"]]
-            )
-        return rows
+        pts = run_sweep(
+            partial(policy_task, mode="batch"),
+            POLICY_GRID,
+            jobs="auto",
+            cache=True,
+            mode="batch",
+            label="bench/ablations/policies",
+        )
+        cycles = {
+            (p.params["stride"], p.params["policy"]): p.cycles for p in pts
+        }
+        return [
+            [s, cycles[(s, "dmm")], cycles[(s, "umm")], cycles[(s, "ideal")]]
+            for s in (1, 2, 4, 16, 17)
+        ]
 
     rows = once(benchmark, run)
     emit(

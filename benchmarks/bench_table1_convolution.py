@@ -1,17 +1,26 @@
 """Table I, row "Direct convolution" — measured vs the paper's closed
 forms on every model, plus the Theorem 9 claims (d-fold speed-up, linear
 global traffic, crossover against the flat machines).
+
+The grid sweep routes through the sweep executor (``jobs="auto"``,
+persistent cache); the subset of points shared with the experiments CLI
+reuses its cache entries.
 """
 
-import numpy as np
+from functools import partial
+
 import pytest
 
-from repro import DMM, HMM, PRAM, SequentialMachine, UMM, HMMParams, MachineParams
+from repro import HMM, UMM, HMMParams, MachineParams
 from repro.analysis.costmodel import CONV_FORMULAS
 from repro.analysis.fitting import fit_terms
+from repro.analysis.sweeps import run_sweep
 from repro.analysis.terms import Params
+from repro.experiments.table1 import conv_task, measure_convolution
 
 from _util import emit, format_rows, once
+
+SEED = 20130520
 
 GRID = [
     dict(n=n, k=k, p=p, w=16, l=l, d=8)
@@ -19,32 +28,19 @@ GRID = [
     for p in (128, 512, 2048)
     for l in (8, 64)
 ]
+POINTS = [Params(**q) for q in GRID]
 
 
-def _measure_model(model: str, q: dict, x: np.ndarray, y: np.ndarray) -> int:
-    p, w, l, d = q["p"], q["w"], q["l"], q["d"]
-    if model == "sequential":
-        return SequentialMachine().convolution(x, y).cycles
-    if model == "pram":
-        return PRAM(p).convolution(x, y).cycles
-    if model == "dmm":
-        return DMM(MachineParams(width=w, latency=l)).convolve(x, y, p)[1].cycles
-    if model == "umm":
-        return UMM(MachineParams(width=w, latency=l)).convolve(x, y, p)[1].cycles
-    if model == "hmm":
-        machine = HMM(HMMParams(num_dmms=d, width=w, global_latency=l))
-        return machine.convolve(x, y, p)[1].cycles
-    raise ValueError(model)
-
-
-def _sweep(model: str, rng) -> tuple[list[Params], list[int]]:
-    points, measured = [], []
-    for q in GRID:
-        x = rng.normal(size=q["k"])
-        y = rng.normal(size=q["n"] + q["k"] - 1)
-        points.append(Params(**q))
-        measured.append(_measure_model(model, q, x, y))
-    return points, measured
+def _sweep(model: str) -> tuple[list[Params], list[int]]:
+    rows = run_sweep(
+        partial(conv_task, model=model, seed=SEED, mode="batch"),
+        POINTS,
+        jobs="auto",
+        cache=True,
+        mode="batch",
+        label=f"bench/table1-conv/{model}",
+    )
+    return [r.params for r in rows], [r.cycles for r in rows]
 
 
 #: Models fitted against their Corollary-10-style Table I row.  The HMM
@@ -60,8 +56,8 @@ _FORMULA_KEY = {
 
 
 @pytest.mark.parametrize("model", ["sequential", "pram", "umm", "dmm", "hmm"])
-def test_table1_conv_shape(benchmark, model, rng):
-    points, measured = once(benchmark, _sweep, model, rng)
+def test_table1_conv_shape(benchmark, model):
+    points, measured = once(benchmark, _sweep, model)
     formula = CONV_FORMULAS[_FORMULA_KEY[model]]
     fit = fit_terms(formula, points, measured)
 
@@ -90,7 +86,7 @@ def test_table1_conv_model_ordering(benchmark, rng):
         x = rng.normal(size=q["k"])
         y = rng.normal(size=q["n"] + q["k"] - 1)
         return {
-            m: _measure_model(m, q, x, y)
+            m: measure_convolution(m, q, x, y, mode="batch")
             for m in ("sequential", "pram", "umm", "dmm", "hmm")
         }
 

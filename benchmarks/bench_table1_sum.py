@@ -6,55 +6,48 @@ the Table I terms (non-negative least squares), and prints measured vs
 predicted rows.  Reproduction criteria: R^2 >= 0.98, fitted coefficients
 O(1), and the orderings the paper claims (HMM < DMM/UMM at high latency;
 the HMM's latency term vanishing once p >= lw).
+
+The grid sweeps route through the sweep executor (``jobs="auto"``,
+persistent cache), sharing cache entries with ``python -m
+repro.experiments`` — a warm benchmark rerun re-measures nothing.
 """
 
-import numpy as np
+from functools import partial
+
 import pytest
 
-from repro import DMM, HMM, PRAM, SequentialMachine, UMM, HMMParams, MachineParams
+from repro import HMM, UMM, HMMParams, MachineParams
 from repro.analysis.costmodel import SUM_FORMULAS
 from repro.analysis.fitting import fit_terms
+from repro.analysis.sweeps import run_sweep
 from repro.analysis.terms import Params
+from repro.experiments.table1 import SUM_GRID, measure_sum, sum_task
 
 from _util import emit, format_rows, once
 
-#: The sweep grid: paper-shaped parameters scaled to simulator size.
-GRID = [
-    dict(n=n, p=p, w=16, l=l, d=8)
-    for n in (1 << 10, 1 << 12, 1 << 13)
-    for p in (64, 256, 1024)
-    for l in (16, 128)
-]
+SEED = 20130520
+
+#: The sweep grid: paper-shaped parameters scaled to simulator size
+#: (shared with the experiments CLI, so the cache is too).
+GRID = SUM_GRID
+POINTS = [Params(**q) for q in GRID]
 
 
-def _measure_model(model: str, q: dict, vals: np.ndarray) -> int:
-    n, p, w, l, d = q["n"], q["p"], q["w"], q["l"], q["d"]
-    if model == "sequential":
-        return SequentialMachine().sum(vals).cycles
-    if model == "pram":
-        return PRAM(p).sum(vals).cycles
-    if model == "dmm":
-        return DMM(MachineParams(width=w, latency=l)).sum(vals, p)[1].cycles
-    if model == "umm":
-        return UMM(MachineParams(width=w, latency=l)).sum(vals, p)[1].cycles
-    if model == "hmm":
-        machine = HMM(HMMParams(num_dmms=d, width=w, global_latency=l))
-        return machine.sum(vals, p)[1].cycles
-    raise ValueError(model)
-
-
-def _sweep(model: str, rng) -> tuple[list[Params], list[int]]:
-    points, measured = [], []
-    for q in GRID:
-        vals = rng.normal(size=q["n"])
-        points.append(Params(**q))
-        measured.append(_measure_model(model, q, vals))
-    return points, measured
+def _sweep(model: str) -> tuple[list[Params], list[int]]:
+    rows = run_sweep(
+        partial(sum_task, model=model, seed=SEED, mode="batch"),
+        POINTS,
+        jobs="auto",
+        cache=True,
+        mode="batch",
+        label=f"bench/table1-sum/{model}",
+    )
+    return [r.params for r in rows], [r.cycles for r in rows]
 
 
 @pytest.mark.parametrize("model", ["sequential", "pram", "umm", "dmm", "hmm"])
-def test_table1_sum_shape(benchmark, model, rng):
-    points, measured = once(benchmark, _sweep, model, rng)
+def test_table1_sum_shape(benchmark, model):
+    points, measured = once(benchmark, _sweep, model)
     formula = SUM_FORMULAS[model]
     fit = fit_terms(formula, points, measured)
 
@@ -86,7 +79,7 @@ def test_table1_sum_model_ordering(benchmark, rng):
         q = dict(n=1 << 13, p=1024, w=16, l=64, d=8)
         vals = rng.normal(size=q["n"])
         return {
-            m: _measure_model(m, q, vals)
+            m: measure_sum(m, q, vals, mode="batch")
             for m in ("sequential", "pram", "umm", "dmm", "hmm")
         }
 

@@ -1,18 +1,26 @@
 """Table II — every measured run respects every limitation, and each
 algorithm stays within a constant factor of its lower bound (the paper's
 optimality theorems, checked empirically across the sweeps).
+
+The sweeps route through the sweep executor (``jobs="auto"``, persistent
+cache) using the same picklable point tasks as the experiments CLI, so
+reruns and the CLI share cache entries.
 """
 
-import numpy as np
+from functools import partial
+
 import pytest
 
-from repro import DMM, HMM, PRAM, UMM, HMMParams, MachineParams
 from repro.analysis.lower_bounds import CONV_BOUNDS, SUM_BOUNDS
 from repro.analysis.optimality import check_optimality
+from repro.analysis.sweeps import run_sweep
 from repro.analysis.tables import render_table2
 from repro.analysis.terms import Params
+from repro.experiments.table1 import conv_task, measure_sum, sum_task
 
 from _util import emit, format_rows, once
+
+SEED = 20130520
 
 SUM_GRID = [
     dict(n=n, p=p, w=16, l=l, d=8)
@@ -28,27 +36,20 @@ CONV_GRID = [
     for l in (4, 64)
 ]
 
-
-def _sum_cycles(model: str, q: dict, vals) -> int:
-    if model == "pram":
-        return PRAM(q["p"]).sum(vals).cycles
-    if model == "umm":
-        return UMM(MachineParams(width=q["w"], latency=q["l"])).sum(vals, q["p"])[1].cycles
-    if model == "dmm":
-        return DMM(MachineParams(width=q["w"], latency=q["l"])).sum(vals, q["p"])[1].cycles
-    machine = HMM(HMMParams(num_dmms=q["d"], width=q["w"], global_latency=q["l"]))
-    return machine.sum(vals, q["p"])[1].cycles
+SUM_POINTS = [Params(**q) for q in SUM_GRID]
+CONV_POINTS = [Params(**q) for q in CONV_GRID]
 
 
-def _conv_cycles(model: str, q: dict, x, y) -> int:
-    if model == "pram":
-        return PRAM(q["p"]).convolution(x, y).cycles
-    if model == "umm":
-        return UMM(MachineParams(width=q["w"], latency=q["l"])).convolve(x, y, q["p"])[1].cycles
-    if model == "dmm":
-        return DMM(MachineParams(width=q["w"], latency=q["l"])).convolve(x, y, q["p"])[1].cycles
-    machine = HMM(HMMParams(num_dmms=q["d"], width=q["w"], global_latency=q["l"]))
-    return machine.convolve(x, y, q["p"])[1].cycles
+def _sweep(task, points, model: str, label: str):
+    rows = run_sweep(
+        partial(task, model=model, seed=SEED, mode="batch"),
+        points,
+        jobs="auto",
+        cache=True,
+        mode="batch",
+        label=label,
+    )
+    return [r.params for r in rows], [r.cycles for r in rows]
 
 
 def test_table2_rendered(benchmark):
@@ -63,16 +64,11 @@ def test_table2_rendered(benchmark):
 
 
 @pytest.mark.parametrize("model", ["pram", "umm", "dmm", "hmm"])
-def test_table2_sum_optimality(benchmark, model, rng):
-    def run():
-        points, measured = [], []
-        for q in SUM_GRID:
-            vals = rng.normal(size=q["n"])
-            points.append(Params(**q))
-            measured.append(_sum_cycles(model, q, vals))
-        return points, measured
-
-    points, measured = once(benchmark, run)
+def test_table2_sum_optimality(benchmark, model):
+    points, measured = once(
+        benchmark, _sweep, sum_task, SUM_POINTS, model,
+        f"bench/table2-sum/{model}",
+    )
     report = check_optimality(SUM_BOUNDS[model], points, measured)
     emit(f"table2_sum_{model}", f"sum on {model}: {report.describe()}")
     assert report.sound, report.describe()
@@ -81,17 +77,11 @@ def test_table2_sum_optimality(benchmark, model, rng):
 
 
 @pytest.mark.parametrize("model", ["pram", "umm", "dmm", "hmm"])
-def test_table2_conv_optimality(benchmark, model, rng):
-    def run():
-        points, measured = [], []
-        for q in CONV_GRID:
-            x = rng.normal(size=q["k"])
-            y = rng.normal(size=q["n"] + q["k"] - 1)
-            points.append(Params(**q))
-            measured.append(_conv_cycles(model, q, x, y))
-        return points, measured
-
-    points, measured = once(benchmark, run)
+def test_table2_conv_optimality(benchmark, model):
+    points, measured = once(
+        benchmark, _sweep, conv_task, CONV_POINTS, model,
+        f"bench/table2-conv/{model}",
+    )
     report = check_optimality(CONV_BOUNDS[model], points, measured)
     emit(f"table2_conv_{model}", f"convolution on {model}: {report.describe()}")
     assert report.sound, report.describe()
@@ -110,7 +100,7 @@ def test_table2_per_limitation_breakdown(benchmark, rng):
             dict(n=1 << 6, p=64, w=16, l=4, d=8),       # reduction-bound
         ):
             vals = rng.normal(size=q["n"])
-            cycles = _sum_cycles("hmm", q, vals)
+            cycles = measure_sum("hmm", q, vals, mode="batch")
             params = Params(**q)
             lims = {
                 name: f(params) for name, f in SUM_BOUNDS["hmm"].items()

@@ -13,10 +13,18 @@
 * :mod:`repro.analysis.optimality` — verifies measured times sit between
   the lower bound and a constant multiple of the upper bound;
 * :mod:`repro.analysis.sweeps` — parameter-sweep drivers used by the
-  benchmarks and EXPERIMENTS.md.
+  benchmarks and EXPERIMENTS.md;
+* :mod:`repro.analysis.executor` — sharded process-pool sweep execution
+  with a persistent on-disk result cache.
 """
 
 from repro.analysis.advisor import Advice, Regime, UnitDiagnosis, diagnose
+from repro.analysis.executor import (
+    CacheStats,
+    ResultCache,
+    SweepExecutor,
+    SweepProgress,
+)
 from repro.analysis.crossover import axis_values, crossover_point, saturation_point
 from repro.analysis.costmodel import (
     CONV_FORMULAS,
@@ -38,15 +46,19 @@ from repro.analysis.terms import Params, Term, Formula
 
 __all__ = [
     "Advice",
+    "CacheStats",
     "CONV_BOUNDS",
     "CONV_FORMULAS",
     "FitResult",
     "Formula",
     "OptimalityReport",
     "Params",
+    "ResultCache",
     "SUM_BOUNDS",
     "SUM_FORMULAS",
+    "SweepExecutor",
     "SweepPoint",
+    "SweepProgress",
     "Term",
     "axis_values",
     "check_optimality",

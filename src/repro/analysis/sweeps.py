@@ -5,27 +5,25 @@ operation over a grid of ``(n, k, p, w, l, d)`` points, record measured
 time units next to the Table I prediction and Table II bound, then fit
 and check.  :func:`run_sweep` factors that loop; a
 :class:`SweepPoint` is one row of the resulting data.
+
+Since the executor layer landed, :func:`run_sweep` can also shard the
+grid across worker processes (``jobs=``) and memoize the results in the
+persistent on-disk cache (``cache=``) — see
+:class:`repro.analysis.executor.SweepExecutor` and the "Parallel sweeps
+& the result cache" section of ``docs/PERFORMANCE.md``.  At the default
+``jobs=1, cache=False`` the behavior is the historical in-process loop,
+byte-identical including exception propagation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import pathlib
 from typing import Callable, Iterable, Sequence
 
+from repro.analysis.executor import SweepExecutor, SweepPoint, SweepProgress
 from repro.analysis.terms import Params
 
 __all__ = ["SweepPoint", "run_sweep", "grid"]
-
-
-@dataclass(frozen=True)
-class SweepPoint:
-    """One sweep measurement."""
-
-    params: Params
-    #: Measured simulator time units.
-    cycles: int
-    #: Optional extra metrics (transactions, slots, ...).
-    extra: dict[str, float]
 
 
 def grid(**axes: Sequence) -> list[dict]:
@@ -43,18 +41,30 @@ def grid(**axes: Sequence) -> list[dict]:
 def run_sweep(
     measure: Callable[[Params], "int | tuple[int, dict[str, float]]"],
     points: Iterable[Params],
+    *,
+    jobs: int | str = 1,
+    cache: bool = False,
+    cache_dir: "str | pathlib.Path | None" = None,
+    mode: str | None = None,
+    label: str | None = None,
+    progress: "Callable[[SweepProgress], None] | None" = None,
 ) -> list[SweepPoint]:
     """Measure every parameter point.
 
     ``measure`` returns the cycle count, optionally paired with extra
     metrics.  Exceptions propagate — a failing point is a bug, not data.
+    Results are always returned in grid order.
+
+    ``jobs`` shards the grid across worker processes (``"auto"`` =
+    ``min(points, cpu_count)``); with ``jobs != 1`` the measure callable
+    must be picklable (a module-level function or a ``functools.partial``
+    of one).  ``cache=True`` memoizes results in the persistent sweep
+    cache (keyed by measure identity, point, ``mode``, and the repro
+    version fingerprint); ``mode`` should name the engine mode baked
+    into ``measure``.  ``label`` tags ``progress`` callbacks and is not
+    part of the cache key.
     """
-    results: list[SweepPoint] = []
-    for q in points:
-        out = measure(q)
-        if isinstance(out, tuple):
-            cycles, extra = out
-        else:
-            cycles, extra = out, {}
-        results.append(SweepPoint(params=q, cycles=int(cycles), extra=dict(extra)))
-    return results
+    executor = SweepExecutor(
+        jobs=jobs, cache=cache, cache_dir=cache_dir, progress=progress
+    )
+    return executor.run(measure, points, mode=mode, label=label)

@@ -9,7 +9,16 @@ Subcommands::
     python -m repro.experiments all        # everything
     python -m repro.experiments all -o DIR # also write artifacts to DIR
 
-The table sweeps take a few seconds each (hundreds of simulator runs).
+Sweep execution flags (see docs/PERFORMANCE.md, "Parallel sweeps & the
+result cache")::
+
+    --jobs N|auto   # shard sweeps over N worker processes
+    --mode MODE     # evaluation engine: batch (default) or event
+    --no-cache      # skip the persistent result cache
+    --cache-stats   # print cache statistics (standalone or after a run)
+
+Results are identical for every jobs/mode/cache setting; a warm cache
+makes reruns all cache hits.
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ import json
 import pathlib
 import sys
 
+from repro.analysis.executor import SweepExecutor, SweepProgress
 from repro.experiments.ablations import reproduce_ablations
 from repro.experiments.figures import reproduce_figures
 from repro.experiments.table1 import reproduce_table1
@@ -33,6 +43,32 @@ def _write(out_dir: pathlib.Path | None, name: str, text: str) -> None:
         (out_dir / f"{name}.txt").write_text(text + "\n")
 
 
+def _jobs_arg(value: str) -> "int | str":
+    if value == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--jobs takes an integer or 'auto', got {value!r}"
+        )
+
+
+class _ProgressPrinter:
+    """Live sweep status on a tty; one summary line per sweep otherwise."""
+
+    def __init__(self, stream=None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self._live = getattr(self.stream, "isatty", lambda: False)()
+
+    def __call__(self, p: SweepProgress) -> None:
+        if self._live:
+            end = "\n" if p.done == p.total else "\r"
+            print(f"  [sweep] {p.describe()}    ", end=end, file=self.stream)
+        elif p.done == p.total:
+            print(f"  [sweep] {p.describe()}", file=self.stream)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -41,6 +77,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "what",
+        nargs="?",
         choices=["figures", "table1", "table2", "ablations", "all"],
         help="which artifact(s) to reproduce",
     )
@@ -56,19 +93,53 @@ def main(argv: list[str] | None = None) -> int:
         "--json", action="store_true",
         help="also write a machine-readable summary.json (requires -o)",
     )
+    parser.add_argument(
+        "--jobs", type=_jobs_arg, default=1, metavar="N|auto",
+        help="worker processes for the sweeps: an integer, or 'auto' for "
+        "min(points, cpu_count) (default: 1, in-process)",
+    )
+    parser.add_argument(
+        "--mode", choices=["batch", "event"], default="batch",
+        help="evaluation engine for the sweeps (default: batch — the "
+        "vectorized fast path; cycles are identical either way)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every point instead of using the persistent sweep "
+        "cache (benchmarks/.sweep_cache)",
+    )
+    parser.add_argument(
+        "--cache-stats", action="store_true",
+        help="print sweep-cache statistics (standalone, or after the run)",
+    )
     args = parser.parse_args(argv)
     if args.json and args.out is None:
         parser.error("--json requires -o/--out")
+    if args.what is None and not args.cache_stats:
+        parser.error("a subcommand is required (or --cache-stats)")
+
+    cache = not args.no_cache
+    if args.what is None:
+        print(SweepExecutor(cache=True).stats().describe())
+        return 0
+
+    sweep_kwargs = dict(
+        jobs=args.jobs,
+        cache=cache,
+        mode=args.mode,
+        progress=_ProgressPrinter(),
+    )
 
     ok = True
     summary: dict[str, object] = {"seed": args.seed}
     if args.what in ("figures", "all"):
-        figures = reproduce_figures()
+        figures = reproduce_figures(**sweep_kwargs)
         _write(args.out, "figures", figures.render())
         ok &= figures.fig4_cycles == 8
+        ok &= all(m == p for _, m, p in figures.fig4_scaling)
         summary["figure4_cycles"] = figures.fig4_cycles
     if args.what in ("table1", "all"):
-        t1 = reproduce_table1(seed=args.seed)
+        t1 = reproduce_table1(seed=args.seed, **sweep_kwargs)
         _write(args.out, "table1", t1.render())
         ok &= t1.all_shapes_hold()
         summary["table1"] = {
@@ -86,7 +157,7 @@ def main(argv: list[str] | None = None) -> int:
             )
         }
     if args.what in ("table2", "all"):
-        t2 = reproduce_table2(seed=args.seed)
+        t2 = reproduce_table2(seed=args.seed, **sweep_kwargs)
         _write(args.out, "table2", t2.render())
         ok &= t2.all_sound_and_tight()
         summary["table2"] = {
@@ -103,7 +174,7 @@ def main(argv: list[str] | None = None) -> int:
             )
         }
     if args.what in ("ablations", "all"):
-        abl = reproduce_ablations(seed=args.seed)
+        abl = reproduce_ablations(seed=args.seed, **sweep_kwargs)
         _write(args.out, "ablations", abl.render())
         ok &= abl.mechanisms_all_matter()
 
@@ -113,6 +184,9 @@ def main(argv: list[str] | None = None) -> int:
         (args.out / "summary.json").write_text(
             json.dumps(summary, indent=2, sort_keys=True) + "\n"
         )
+
+    if args.cache_stats:
+        print(SweepExecutor(cache=True).stats().describe())
 
     if ok:
         print("reproduction criteria: PASS")

@@ -2,15 +2,23 @@
 
 Programmatic versions of ``benchmarks/bench_ablations.py`` for the CLI:
 pipelining on/off, the three slot policies under stride sweeps, and the
-shared-tile padding effect.
+shared-tile padding effect.  Each ablation is a grid of independent
+simulator launches, so all three route through the sweep executor
+(sharding, caching, progress) like the table drivers; the grids and
+point tasks are module-level so the benchmarks reuse the same cache
+entries.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
+from functools import partial
+from typing import Callable
 
 import numpy as np
 
+from repro.analysis.executor import SweepExecutor, SweepProgress
 from repro.machine.engine import MachineEngine
 from repro.machine.hmm import HMMEngine
 from repro.machine.policy import DMMBankPolicy, IdealPolicy, UMMGroupPolicy
@@ -18,7 +26,80 @@ from repro.params import HMMParams, MachineParams
 from repro.core.kernels.contiguous import contiguous_read, strided_read
 from repro.core.kernels.matmul import hmm_transpose
 
-__all__ = ["AblationsResult", "reproduce_ablations"]
+__all__ = [
+    "AblationsResult",
+    "reproduce_ablations",
+    "pipelining_task",
+    "policy_task",
+    "padding_task",
+]
+
+#: ABL-1: contiguous read with the pipelined port on and off.
+PIPELINING_GRID = tuple(
+    dict(n=1 << 12, p=512, w=16, l=l, pipelined=pipelined)
+    for l in (8, 64, 256)
+    for pipelined in (True, False)
+)
+
+#: ABL-2: stride-s reads under each slot policy.
+POLICY_GRID = tuple(
+    dict(n=1 << 12, p=256, w=16, l=8, stride=stride, policy=policy)
+    for stride in (1, 2, 4, 16, 17)
+    for policy in ("dmm", "umm", "ideal")
+)
+
+#: ABL-3: the tiled transpose with and without the ``w + 1`` padding.
+PADDING_GRID = tuple(
+    dict(t=64, d=4, w=16, l=l, padded=padded)
+    for l in (2, 32)
+    for padded in (False, True)
+)
+
+_POLICIES = {
+    "dmm": DMMBankPolicy,
+    "umm": UMMGroupPolicy,
+    "ideal": IdealPolicy,
+}
+
+
+def pipelining_task(q: dict, *, mode: str = "batch") -> tuple[int, dict]:
+    """ABL-1 point: contiguous read, pipelined per ``q['pipelined']``."""
+    eng = MachineEngine(
+        MachineParams(width=q["w"], latency=q["l"]),
+        UMMGroupPolicy(),
+        pipelined=bool(q["pipelined"]),
+        mode=mode,
+    )
+    a = eng.alloc(q["n"])
+    report = eng.launch(contiguous_read(a, q["n"]), q["p"])
+    return report.cycles, {"engine": report.engine}
+
+
+def policy_task(q: dict, *, mode: str = "batch") -> tuple[int, dict]:
+    """ABL-2 point: stride-``q['stride']`` read under ``q['policy']``."""
+    eng = MachineEngine(
+        MachineParams(width=q["w"], latency=q["l"]),
+        _POLICIES[q["policy"]](),
+        mode=mode,
+    )
+    a = eng.alloc(q["n"])
+    report = eng.launch(strided_read(a, q["n"], q["stride"]), q["p"])
+    return report.cycles, {"engine": report.engine}
+
+
+def padding_task(
+    q: dict, *, seed: int, mode: str = "batch"
+) -> tuple[int, dict]:
+    """ABL-3 point: ``t x t`` tiled transpose, padded per ``q['padded']``."""
+    material = f"ablation-padding:{seed}:{q['t']}"
+    digest = hashlib.sha256(material.encode()).digest()
+    rng = np.random.default_rng(int.from_bytes(digest[:8], "little"))
+    matrix = rng.normal(size=(q["t"], q["t"]))
+    params = HMMParams(num_dmms=q["d"], width=q["w"], global_latency=q["l"])
+    _, report = hmm_transpose(
+        HMMEngine(params, mode=mode), matrix, padded=bool(q["padded"])
+    )
+    return report.cycles, {"engine": report.engine}
 
 
 @dataclass(frozen=True)
@@ -63,42 +144,57 @@ class AblationsResult:
         return pipelining_helps and policies_charge and padding_helps
 
 
-def reproduce_ablations(seed: int = 20130520) -> AblationsResult:
-    """Run the three ablations and collect the rows."""
-    rng = np.random.default_rng(seed)
+def reproduce_ablations(
+    seed: int = 20130520,
+    *,
+    jobs: int | str = 1,
+    cache: bool = False,
+    cache_dir=None,
+    mode: str = "batch",
+    progress: "Callable[[SweepProgress], None] | None" = None,
+) -> AblationsResult:
+    """Run the three ablations and collect the rows.
 
-    pipelining = []
-    for l in (8, 64, 256):
-        rows = {}
-        for pipelined in (True, False):
-            eng = MachineEngine(
-                MachineParams(width=16, latency=l),
-                UMMGroupPolicy(),
-                pipelined=pipelined,
-            )
-            a = eng.alloc(1 << 12)
-            rows[pipelined] = eng.launch(contiguous_read(a, 1 << 12), 512).cycles
-        pipelining.append((l, rows[True], rows[False]))
+    ``jobs``/``cache``/``mode`` configure the sweep executor; cycle
+    counts are identical for every setting."""
+    executor = SweepExecutor(
+        jobs=jobs, cache=cache, cache_dir=cache_dir, progress=progress
+    )
 
-    policies = []
-    for stride in (1, 2, 4, 16, 17):
-        cycles = []
-        for policy in (DMMBankPolicy(), UMMGroupPolicy(), IdealPolicy()):
-            eng = MachineEngine(MachineParams(width=16, latency=8), policy)
-            a = eng.alloc(1 << 12)
-            cycles.append(eng.launch(strided_read(a, 1 << 12, stride), 256).cycles)
-        policies.append((stride, *cycles))
+    pipe = executor.run(
+        partial(pipelining_task, mode=mode), PIPELINING_GRID,
+        mode=mode, label="ablations/pipelining",
+    )
+    by_pipe = {
+        (pt.params["l"], pt.params["pipelined"]): pt.cycles for pt in pipe
+    }
+    pipelining = tuple(
+        (l, by_pipe[(l, True)], by_pipe[(l, False)]) for l in (8, 64, 256)
+    )
 
-    padding = []
-    matrix = rng.normal(size=(64, 64))
-    for l in (2, 32):
-        params = HMMParams(num_dmms=4, width=16, global_latency=l)
-        _, naive = hmm_transpose(HMMEngine(params), matrix, padded=False)
-        _, padded = hmm_transpose(HMMEngine(params), matrix, padded=True)
-        padding.append((l, naive.cycles, padded.cycles))
+    pol = executor.run(
+        partial(policy_task, mode=mode), POLICY_GRID,
+        mode=mode, label="ablations/policies",
+    )
+    by_pol = {
+        (pt.params["stride"], pt.params["policy"]): pt.cycles for pt in pol
+    }
+    policies = tuple(
+        (s, by_pol[(s, "dmm")], by_pol[(s, "umm")], by_pol[(s, "ideal")])
+        for s in (1, 2, 4, 16, 17)
+    )
+
+    pad = executor.run(
+        partial(padding_task, seed=seed, mode=mode), PADDING_GRID,
+        mode=mode, label="ablations/padding",
+    )
+    by_pad = {(pt.params["l"], pt.params["padded"]): pt.cycles for pt in pad}
+    padding = tuple(
+        (l, by_pad[(l, False)], by_pad[(l, True)]) for l in (2, 32)
+    )
 
     return AblationsResult(
-        pipelining=tuple(pipelining),
-        policies=tuple(policies),
-        padding=tuple(padding),
+        pipelining=pipelining,
+        policies=policies,
+        padding=padding,
     )

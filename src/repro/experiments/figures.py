@@ -3,17 +3,49 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
+from typing import Callable
 
 import numpy as np
 
+from repro.analysis.executor import SweepExecutor, SweepProgress
 from repro.machine.engine import MachineEngine
 from repro.machine.hmm import HMMEngine
 from repro.machine.policy import UMMGroupPolicy
 from repro.machine.trace import TraceRecorder
-from repro.params import FIG4_PARAMS, GTX580
+from repro.params import FIG4_PARAMS, GTX580, MachineParams
 from repro.viz import render_banks_and_groups, render_sum_tree
 
-__all__ = ["FiguresResult", "reproduce_figures", "run_figure4_example"]
+__all__ = [
+    "FiguresResult",
+    "reproduce_figures",
+    "run_figure4_example",
+    "fig4_latency_task",
+]
+
+#: The Figure 4 access pattern at other latencies: the paper's pipelining
+#: arithmetic predicts ``(3 + 1) + l - 1`` time units at every ``l``.
+FIG4_LATENCY_GRID = tuple(dict(w=4, l=l) for l in (2, 5, 9, 17))
+
+_FIG4_PATTERN = {0: (15, 2, 6, 0), 1: (8, 9, 10, 11)}
+
+
+def fig4_latency_task(q: dict, *, mode: str = "batch") -> tuple[int, dict]:
+    """The Figure 4 two-warp launch at latency ``q['l']`` (picklable,
+    executor-routable)."""
+    eng = MachineEngine(
+        MachineParams(width=q["w"], latency=q["l"]), UMMGroupPolicy(),
+        name="umm", mode=mode,
+    )
+    a = eng.alloc(16, "a")
+    a.set(np.arange(16.0))
+    pattern = {wid: np.array(idx) for wid, idx in _FIG4_PATTERN.items()}
+
+    def program(warp):
+        yield warp.read(a, pattern[warp.warp_id])
+
+    report = eng.launch(program, 8)
+    return report.cycles, {"engine": report.engine}
 
 
 def run_figure4_example() -> tuple[int, str]:
@@ -26,7 +58,7 @@ def run_figure4_example() -> tuple[int, str]:
     a = eng.alloc(16, "a")
     a.set(np.arange(16.0))
     recorder = TraceRecorder()
-    pattern = {0: np.array([15, 2, 6, 0]), 1: np.array([8, 9, 10, 11])}
+    pattern = {wid: np.array(idx) for wid, idx in _FIG4_PATTERN.items()}
 
     def program(warp):
         yield warp.read(a, pattern[warp.warp_id])
@@ -45,23 +77,44 @@ class FiguresResult:
     fig4_cycles: int
     fig4_timeline: str
     sum_tree: str
+    #: (latency, measured, predicted) rows of the Figure 4 pattern swept
+    #: over latencies — the ``x + l - 1`` pipelining rule at scale.
+    fig4_scaling: tuple[tuple[int, int, int], ...] = ()
 
     def render(self) -> str:
-        return "\n\n".join(
-            [
-                "== Figures 1/2: the HMM architecture ==\n" + self.architecture,
-                "== Figure 3: banks and address groups (w=4) ==\n"
-                + self.banks_and_groups,
-                "== Figure 4: pipelined global access (w=4, l=5) ==\n"
-                f"paper: (3+1) + 5 - 1 = 8; measured: {self.fig4_cycles}\n"
-                + self.fig4_timeline,
-                "== Figure 5: the summing tree (n=8) ==\n" + self.sum_tree,
-            ]
+        sections = [
+            "== Figures 1/2: the HMM architecture ==\n" + self.architecture,
+            "== Figure 3: banks and address groups (w=4) ==\n"
+            + self.banks_and_groups,
+            "== Figure 4: pipelined global access (w=4, l=5) ==\n"
+            f"paper: (3+1) + 5 - 1 = 8; measured: {self.fig4_cycles}\n"
+            + self.fig4_timeline,
+        ]
+        if self.fig4_scaling:
+            rows = "\n".join(
+                f"  l={l:3d}: measured {measured:3d}  "
+                f"predicted (3+1)+l-1 = {predicted:3d}"
+                for l, measured, predicted in self.fig4_scaling
+            )
+            sections.append(
+                "== Figure 4, swept: the x + l - 1 rule across latencies ==\n"
+                + rows
+            )
+        sections.append(
+            "== Figure 5: the summing tree (n=8) ==\n" + self.sum_tree
         )
+        return "\n\n".join(sections)
 
 
-def reproduce_figures() -> FiguresResult:
-    """Regenerate Figures 1-5."""
+def reproduce_figures(
+    *,
+    jobs: int | str = 1,
+    cache: bool = False,
+    cache_dir=None,
+    mode: str = "batch",
+    progress: "Callable[[SweepProgress], None] | None" = None,
+) -> FiguresResult:
+    """Regenerate Figures 1-5 (plus the Figure 4 latency sweep)."""
     eng = HMMEngine(GTX580)
     architecture = (
         f"HMM(GTX580): d={GTX580.num_dmms} DMMs x w={GTX580.width} banks "
@@ -72,10 +125,23 @@ def reproduce_figures() -> FiguresResult:
         f"  shared units: {len(eng.shared_units)} x {eng.shared_units[0]!r}"
     )
     cycles, timeline = run_figure4_example()
+
+    executor = SweepExecutor(
+        jobs=jobs, cache=cache, cache_dir=cache_dir, progress=progress
+    )
+    swept = executor.run(
+        partial(fig4_latency_task, mode=mode), FIG4_LATENCY_GRID,
+        mode=mode, label="figures/fig4-latency",
+    )
+    fig4_scaling = tuple(
+        (pt.params["l"], pt.cycles, 4 + pt.params["l"] - 1) for pt in swept
+    )
+
     return FiguresResult(
         architecture=architecture,
         banks_and_groups=render_banks_and_groups(16, 4),
         fig4_cycles=cycles,
         fig4_timeline=timeline,
         sum_tree=render_sum_tree(8),
+        fig4_scaling=fig4_scaling,
     )

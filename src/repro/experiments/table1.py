@@ -3,15 +3,27 @@
 Measures the sum and the direct convolution on every model across a
 parameter grid, fits the Table I closed forms, and reports the results
 as structured data plus a rendered text report.
+
+The sweeps route through :class:`repro.analysis.executor.SweepExecutor`:
+``jobs=`` shards the grid across worker processes, ``cache=`` memoizes
+the deterministic per-point measurements on disk, and ``mode="batch"``
+(the default) evaluates each launch on the vectorized fast path with
+automatic per-point fallback to the event engine (recorded in each
+point's ``extra["engine"]``).  Cycle counts are identical across modes
+and job counts.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
+from functools import partial
+from typing import Callable
 
 import numpy as np
 
 from repro.analysis.costmodel import CONV_FORMULAS, SUM_FORMULAS
+from repro.analysis.executor import SweepExecutor, SweepProgress
 from repro.analysis.fitting import FitResult, fit_terms
 from repro.analysis.terms import Params
 from repro.core.machines import DMM, HMM, UMM
@@ -19,7 +31,14 @@ from repro.core.pram import PRAM
 from repro.core.sequential import SequentialMachine
 from repro.params import HMMParams, MachineParams
 
-__all__ = ["Table1Result", "reproduce_table1", "measure_sum", "measure_convolution"]
+__all__ = [
+    "Table1Result",
+    "reproduce_table1",
+    "measure_sum",
+    "measure_convolution",
+    "sum_task",
+    "conv_task",
+]
 
 #: Default sweep grids (simulator-friendly scale of the paper's regime).
 SUM_GRID = tuple(
@@ -48,44 +67,96 @@ CONV_FORMULA_KEY = {
 }
 
 
-def measure_sum(model: str, q: dict, values: np.ndarray) -> int:
+def _sum_report(model: str, q: dict, values: np.ndarray, mode: str):
+    if model == "sequential":
+        return SequentialMachine().sum(values)
+    if model == "pram":
+        return PRAM(q["p"]).sum(values)
+    if model == "dmm":
+        machine = DMM(MachineParams(width=q["w"], latency=q["l"]), mode=mode)
+        return machine.sum(values, q["p"])[1]
+    if model == "umm":
+        machine = UMM(MachineParams(width=q["w"], latency=q["l"]), mode=mode)
+        return machine.sum(values, q["p"])[1]
+    if model == "hmm":
+        machine = HMM(
+            HMMParams(num_dmms=q["d"], width=q["w"], global_latency=q["l"]),
+            mode=mode,
+        )
+        return machine.sum(values, q["p"])[1]
+    raise ValueError(f"unknown model {model!r}")
+
+
+def _conv_report(
+    model: str, q: dict, x: np.ndarray, y: np.ndarray, mode: str
+):
+    if model == "sequential":
+        return SequentialMachine().convolution(x, y)
+    if model == "pram":
+        return PRAM(q["p"]).convolution(x, y)
+    if model == "dmm":
+        machine = DMM(MachineParams(width=q["w"], latency=q["l"]), mode=mode)
+        return machine.convolve(x, y, q["p"])[1]
+    if model == "umm":
+        machine = UMM(MachineParams(width=q["w"], latency=q["l"]), mode=mode)
+        return machine.convolve(x, y, q["p"])[1]
+    if model == "hmm":
+        machine = HMM(
+            HMMParams(num_dmms=q["d"], width=q["w"], global_latency=q["l"]),
+            mode=mode,
+        )
+        return machine.convolve(x, y, q["p"])[1]
+    raise ValueError(f"unknown model {model!r}")
+
+
+def measure_sum(
+    model: str, q: dict, values: np.ndarray, *, mode: str = "event"
+) -> int:
     """Time units to sum ``values`` on ``model`` at grid point ``q``."""
-    if model == "sequential":
-        return SequentialMachine().sum(values).cycles
-    if model == "pram":
-        return PRAM(q["p"]).sum(values).cycles
-    if model == "dmm":
-        machine = DMM(MachineParams(width=q["w"], latency=q["l"]))
-        return machine.sum(values, q["p"])[1].cycles
-    if model == "umm":
-        machine = UMM(MachineParams(width=q["w"], latency=q["l"]))
-        return machine.sum(values, q["p"])[1].cycles
-    if model == "hmm":
-        machine = HMM(
-            HMMParams(num_dmms=q["d"], width=q["w"], global_latency=q["l"])
-        )
-        return machine.sum(values, q["p"])[1].cycles
-    raise ValueError(f"unknown model {model!r}")
+    return _sum_report(model, q, values, mode).cycles
 
 
-def measure_convolution(model: str, q: dict, x: np.ndarray, y: np.ndarray) -> int:
+def measure_convolution(
+    model: str, q: dict, x: np.ndarray, y: np.ndarray, *, mode: str = "event"
+) -> int:
     """Time units to convolve ``x`` with ``y`` on ``model`` at ``q``."""
-    if model == "sequential":
-        return SequentialMachine().convolution(x, y).cycles
-    if model == "pram":
-        return PRAM(q["p"]).convolution(x, y).cycles
-    if model == "dmm":
-        machine = DMM(MachineParams(width=q["w"], latency=q["l"]))
-        return machine.convolve(x, y, q["p"])[1].cycles
-    if model == "umm":
-        machine = UMM(MachineParams(width=q["w"], latency=q["l"]))
-        return machine.convolve(x, y, q["p"])[1].cycles
-    if model == "hmm":
-        machine = HMM(
-            HMMParams(num_dmms=q["d"], width=q["w"], global_latency=q["l"])
-        )
-        return machine.convolve(x, y, q["p"])[1].cycles
-    raise ValueError(f"unknown model {model!r}")
+    return _conv_report(model, q, x, y, mode).cycles
+
+
+def point_rng(seed: int, kind: str, q: Params) -> np.random.Generator:
+    """Per-point input stream, independent of sweep order and job count
+    (so parallel and serial sweeps see byte-identical inputs)."""
+    material = f"{kind}:{seed}:{q.n}:{q.k}:{q.p}:{q.w}:{q.l}:{q.d}"
+    digest = hashlib.sha256(material.encode()).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "little"))
+
+
+def _as_grid_dict(q: Params) -> dict:
+    return dict(n=q.n, k=q.k, p=q.p, w=q.w, l=q.l, d=q.d)
+
+
+def sum_task(
+    q: Params, *, model: str, seed: int, mode: str = "batch"
+) -> tuple[int, dict]:
+    """Self-contained Table I sum measurement at one grid point.
+
+    Module-level and scalar-parameterized so the sweep executor can ship
+    it to worker processes and key the result cache on it.
+    """
+    values = point_rng(seed, "sum", q).normal(size=q.n)
+    report = _sum_report(model, _as_grid_dict(q), values, mode)
+    return report.cycles, {"engine": getattr(report, "engine", "exact")}
+
+
+def conv_task(
+    q: Params, *, model: str, seed: int, mode: str = "batch"
+) -> tuple[int, dict]:
+    """Self-contained Table I convolution measurement at one grid point."""
+    rng = point_rng(seed, "conv", q)
+    x = rng.normal(size=q.k)
+    y = rng.normal(size=q.n + q.k - 1)
+    report = _conv_report(model, _as_grid_dict(q), x, y, mode)
+    return report.cycles, {"engine": getattr(report, "engine", "exact")}
 
 
 @dataclass(frozen=True)
@@ -127,16 +198,34 @@ class Table1Result:
         return True
 
 
-def reproduce_table1(seed: int = 20130520) -> Table1Result:
-    """Run the full Table I sweep on every model and fit the formulas."""
-    rng = np.random.default_rng(seed)
+def reproduce_table1(
+    seed: int = 20130520,
+    *,
+    jobs: int | str = 1,
+    cache: bool = False,
+    cache_dir=None,
+    mode: str = "batch",
+    progress: "Callable[[SweepProgress], None] | None" = None,
+) -> Table1Result:
+    """Run the full Table I sweep on every model and fit the formulas.
+
+    ``jobs``/``cache``/``mode`` configure the sweep executor; results
+    (cycle counts, fits, point order) are identical for every setting.
+    """
+    executor = SweepExecutor(
+        jobs=jobs, cache=cache, cache_dir=cache_dir, progress=progress
+    )
 
     sum_points = [Params(**q) for q in SUM_GRID]
-    sum_inputs = [rng.normal(size=q["n"]) for q in SUM_GRID]
     sum_measured = {
         model: [
-            measure_sum(model, q, vals)
-            for q, vals in zip(SUM_GRID, sum_inputs)
+            pt.cycles
+            for pt in executor.run(
+                partial(sum_task, model=model, seed=seed, mode=mode),
+                sum_points,
+                mode=mode,
+                label=f"table1/sum/{model}",
+            )
         ]
         for model in MODELS
     }
@@ -146,14 +235,15 @@ def reproduce_table1(seed: int = 20130520) -> Table1Result:
     }
 
     conv_points = [Params(**q) for q in CONV_GRID]
-    conv_inputs = [
-        (rng.normal(size=q["k"]), rng.normal(size=q["n"] + q["k"] - 1))
-        for q in CONV_GRID
-    ]
     conv_measured = {
         model: [
-            measure_convolution(model, q, x, y)
-            for q, (x, y) in zip(CONV_GRID, conv_inputs)
+            pt.cycles
+            for pt in executor.run(
+                partial(conv_task, model=model, seed=seed, mode=mode),
+                conv_points,
+                mode=mode,
+                label=f"table1/conv/{model}",
+            )
         ]
         for model in MODELS
     }

@@ -1,11 +1,18 @@
-"""Table II reproduction driver: optimality against the lower bounds."""
+"""Table II reproduction driver: optimality against the lower bounds.
+
+The measurement sweeps are shared with the Table I driver (same task
+functions, same grids, same per-point inputs), so a cached run of either
+table warms the other: ``python -m repro.experiments all`` re-measures
+nothing the second time.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
+from typing import Callable
 
-import numpy as np
-
+from repro.analysis.executor import SweepExecutor, SweepProgress
 from repro.analysis.lower_bounds import CONV_BOUNDS, SUM_BOUNDS
 from repro.analysis.optimality import OptimalityReport, check_optimality
 from repro.analysis.tables import render_table2
@@ -13,8 +20,8 @@ from repro.analysis.terms import Params
 from repro.experiments.table1 import (
     CONV_GRID,
     SUM_GRID,
-    measure_convolution,
-    measure_sum,
+    conv_task,
+    sum_task,
 )
 
 __all__ = ["Table2Result", "reproduce_table2"]
@@ -50,33 +57,49 @@ class Table2Result:
         )
 
 
-def reproduce_table2(seed: int = 20130520) -> Table2Result:
+def reproduce_table2(
+    seed: int = 20130520,
+    *,
+    jobs: int | str = 1,
+    cache: bool = False,
+    cache_dir=None,
+    mode: str = "batch",
+    progress: "Callable[[SweepProgress], None] | None" = None,
+) -> Table2Result:
     """Measure both problems over the grids and check every model's
-    lower bounds."""
-    rng = np.random.default_rng(seed)
+    lower bounds.  ``jobs``/``cache``/``mode`` configure the sweep
+    executor; measured cycles are identical for every setting."""
+    executor = SweepExecutor(
+        jobs=jobs, cache=cache, cache_dir=cache_dir, progress=progress
+    )
 
     sum_points = [Params(**q) for q in SUM_GRID]
     sum_reports = {}
-    sum_inputs = [rng.normal(size=q["n"]) for q in SUM_GRID]
     for model in MODELS:
         measured = [
-            measure_sum(model, q, vals)
-            for q, vals in zip(SUM_GRID, sum_inputs)
+            pt.cycles
+            for pt in executor.run(
+                partial(sum_task, model=model, seed=seed, mode=mode),
+                sum_points,
+                mode=mode,
+                label=f"table2/sum/{model}",
+            )
         ]
         sum_reports[model] = check_optimality(
             SUM_BOUNDS[model], sum_points, measured
         )
 
     conv_points = [Params(**q) for q in CONV_GRID]
-    conv_inputs = [
-        (rng.normal(size=q["k"]), rng.normal(size=q["n"] + q["k"] - 1))
-        for q in CONV_GRID
-    ]
     conv_reports = {}
     for model in MODELS:
         measured = [
-            measure_convolution(model, q, x, y)
-            for q, (x, y) in zip(CONV_GRID, conv_inputs)
+            pt.cycles
+            for pt in executor.run(
+                partial(conv_task, model=model, seed=seed, mode=mode),
+                conv_points,
+                mode=mode,
+                label=f"table2/conv/{model}",
+            )
         ]
         conv_reports[model] = check_optimality(
             CONV_BOUNDS[model], conv_points, measured

@@ -1,0 +1,280 @@
+"""The sweep executor: sharding, caching, and determinism guarantees.
+
+The measure functions are module-level (picklable for the process-pool
+paths) and cheap.  Invocations are counted through a side-channel file
+named by ``REPRO_TEST_COUNT_FILE`` — appends are atomic enough at these
+sizes and work across fork, so the counts see worker processes too.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.executor import (
+    CacheStats,
+    ResultCache,
+    SweepExecutor,
+    describe_measure,
+    point_key,
+    resolve_jobs,
+)
+from repro.analysis.sweeps import SweepPoint, grid, run_sweep
+from repro.analysis.terms import Params
+
+GRID = list(grid(n=(8, 16, 32), l=(1, 2)))
+POINTS = [Params(n=q["n"], p=4, w=4, l=q["l"]) for q in GRID]
+
+
+def _count_invocation() -> None:
+    path = os.environ.get("REPRO_TEST_COUNT_FILE")
+    if path:
+        with open(path, "a") as fh:
+            fh.write("x\n")
+
+
+def _invocations(path) -> int:
+    return len(path.read_text().splitlines()) if path.exists() else 0
+
+
+def cheap_measure(q) -> tuple[int, dict]:
+    _count_invocation()
+    return q.n * q.l + 7, {"n": q.n}
+
+
+def cheap_measure_dict(q) -> int:
+    _count_invocation()
+    return q["n"] * q["l"] + 7
+
+
+def failing_measure(q) -> int:
+    if q.n == 16:
+        raise RuntimeError("boom at n=16")
+    return q.n
+
+
+@pytest.fixture()
+def count_file(tmp_path, monkeypatch):
+    path = tmp_path / "invocations"
+    monkeypatch.setenv("REPRO_TEST_COUNT_FILE", str(path))
+    return path
+
+
+@pytest.fixture()
+def cache_dir(tmp_path):
+    return tmp_path / "cache"
+
+
+class TestSerialSemantics:
+    def test_matches_legacy_loop(self):
+        """``run_sweep`` defaults == the historical in-process loop."""
+        rows = run_sweep(cheap_measure, POINTS)
+        legacy = [
+            SweepPoint(params=q, cycles=cheap_measure(q)[0], extra={"n": q.n})
+            for q in POINTS
+        ]
+        assert rows == legacy
+
+    def test_grid_order_preserved(self):
+        rows = run_sweep(cheap_measure, POINTS)
+        assert [r.params for r in rows] == POINTS
+
+    def test_dict_points(self):
+        pts = [dict(n=8, l=2), dict(n=16, l=1)]
+        rows = run_sweep(cheap_measure_dict, pts)
+        assert [r.cycles for r in rows] == [8 * 2 + 7, 16 * 1 + 7]
+        assert rows[0].params is pts[0]
+
+    def test_int_return_normalized(self):
+        rows = run_sweep(cheap_measure_dict, [dict(n=8, l=1)])
+        assert rows[0].extra == {}
+
+    def test_exception_propagates_serial(self):
+        with pytest.raises(RuntimeError, match="boom at n=16"):
+            run_sweep(failing_measure, POINTS, jobs=1)
+
+    def test_exception_propagates_parallel(self):
+        with pytest.raises(RuntimeError, match="boom at n=16"):
+            run_sweep(failing_measure, POINTS, jobs=4)
+
+
+class TestParallelIdentity:
+    def test_jobs4_equals_jobs1(self, cache_dir):
+        serial = run_sweep(cheap_measure, POINTS, jobs=1)
+        parallel = run_sweep(cheap_measure, POINTS, jobs=4)
+        assert parallel == serial
+
+    def test_jobs4_with_cache_equals_jobs1(self, cache_dir):
+        serial = run_sweep(cheap_measure, POINTS, jobs=1)
+        parallel = run_sweep(
+            cheap_measure, POINTS, jobs=4, cache=True, cache_dir=cache_dir
+        )
+        assert parallel == serial
+
+    def test_resolve_jobs_clamps(self):
+        assert resolve_jobs(8, 3) == 3
+        assert resolve_jobs(2, 100) == 2
+        assert resolve_jobs(1, 0) == 1
+        assert resolve_jobs("auto", 100) >= 1
+        assert resolve_jobs("auto", 1) == 1
+        with pytest.raises(ValueError):
+            resolve_jobs(-1, 10)
+
+
+class TestCache:
+    def test_warm_rerun_all_hits_no_recompute(self, cache_dir, count_file):
+        ex = SweepExecutor(cache=True, cache_dir=cache_dir)
+        cold = ex.run(cheap_measure, POINTS)
+        after_cold = _invocations(count_file)
+        assert after_cold == len(POINTS)
+
+        warm_ex = SweepExecutor(cache=True, cache_dir=cache_dir)
+        warm = warm_ex.run(cheap_measure, POINTS)
+        assert warm == cold
+        assert _invocations(count_file) == after_cold  # nothing re-measured
+        assert warm_ex.cache.hits == len(POINTS)
+        assert warm_ex.cache.misses == 0
+
+    def test_cache_env_off_forces_recompute(
+        self, cache_dir, count_file, monkeypatch
+    ):
+        run_sweep(cheap_measure, POINTS, cache=True, cache_dir=cache_dir)
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", "off")
+        run_sweep(cheap_measure, POINTS, cache=True, cache_dir=cache_dir)
+        assert _invocations(count_file) == 2 * len(POINTS)
+
+    def test_fingerprint_invalidates_and_restores(self, cache_dir, count_file):
+        def run(fp):
+            return SweepExecutor(
+                cache=True, cache_dir=cache_dir, fingerprint=fp
+            ).run(cheap_measure, POINTS)
+
+        a1 = run("A")
+        assert _invocations(count_file) == len(POINTS)
+        b = run("B")  # different fingerprint: full recompute
+        assert _invocations(count_file) == 2 * len(POINTS)
+        a2 = run("A")  # the old entries are still valid under "A"
+        assert _invocations(count_file) == 2 * len(POINTS)
+        assert a1 == a2 == b
+
+    def test_mode_distinguishes_keys(self, cache_dir, count_file):
+        run_sweep(
+            cheap_measure, POINTS, cache=True, cache_dir=cache_dir,
+            mode="batch",
+        )
+        run_sweep(
+            cheap_measure, POINTS, cache=True, cache_dir=cache_dir,
+            mode="event",
+        )
+        assert _invocations(count_file) == 2 * len(POINTS)
+
+    def test_label_not_in_key(self, cache_dir, count_file):
+        run_sweep(
+            cheap_measure, POINTS, cache=True, cache_dir=cache_dir, label="a"
+        )
+        run_sweep(
+            cheap_measure, POINTS, cache=True, cache_dir=cache_dir, label="b"
+        )
+        assert _invocations(count_file) == len(POINTS)  # shared entries
+
+    def test_corrupt_line_skipped(self, cache_dir, count_file):
+        ex = SweepExecutor(cache=True, cache_dir=cache_dir, fingerprint="F")
+        ex.run(cheap_measure, POINTS)
+        shards = sorted(cache_dir.glob("shard_*.jsonl"))
+        assert shards
+        victim = shards[0]
+        lines = victim.read_text().splitlines()
+        lines[0] = lines[0][: len(lines[0]) // 2]  # truncate mid-JSON
+        victim.write_text("\n".join(lines) + "\n")
+
+        warm = SweepExecutor(cache=True, cache_dir=cache_dir, fingerprint="F")
+        rows = warm.run(cheap_measure, POINTS)
+        assert rows == [
+            SweepPoint(params=q, cycles=q.n * q.l + 7, extra={"n": q.n})
+            for q in POINTS
+        ]
+        # Exactly the corrupted entry was recomputed.
+        assert _invocations(count_file) == len(POINTS) + 1
+
+    def test_clear_and_stats(self, cache_dir):
+        ex = SweepExecutor(cache=True, cache_dir=cache_dir, fingerprint="F")
+        ex.run(cheap_measure, POINTS)
+        stats = ex.stats()
+        assert isinstance(stats, CacheStats)
+        assert stats.entries == len(POINTS)
+        assert stats.stale_entries == 0
+        assert stats.shards >= 1
+        assert stats.size_bytes > 0
+        assert ex.clear() == stats.shards
+        assert ex.stats().entries == 0
+
+    def test_stats_counts_stale(self, cache_dir):
+        SweepExecutor(
+            cache=True, cache_dir=cache_dir, fingerprint="OLD"
+        ).run(cheap_measure, POINTS)
+        stats = SweepExecutor(
+            cache=True, cache_dir=cache_dir, fingerprint="NEW"
+        ).stats()
+        assert stats.entries == 0
+        assert stats.stale_entries == len(POINTS)
+
+    def test_no_cache_executor_stats_empty(self):
+        ex = SweepExecutor(cache=False)
+        assert ex.stats() == CacheStats(0, 0, 0, 0, 0, 0)
+        assert ex.clear() == 0
+
+
+class TestProgress:
+    def test_progress_monotonic_and_complete(self, cache_dir):
+        snaps = []
+        run_sweep(
+            cheap_measure, POINTS, cache=True, cache_dir=cache_dir,
+            progress=snaps.append, label="unit/progress",
+        )
+        assert snaps[-1].done == snaps[-1].total == len(POINTS)
+        assert all(s.label == "unit/progress" for s in snaps)
+        assert all(
+            a.done <= b.done for a, b in zip(snaps, snaps[1:])
+        )
+        assert snaps[-1].eta_s == 0.0
+        assert "unit/progress" in snaps[-1].describe()
+
+    def test_progress_reports_cache_hits(self, cache_dir):
+        run_sweep(cheap_measure, POINTS, cache=True, cache_dir=cache_dir)
+        snaps = []
+        run_sweep(
+            cheap_measure, POINTS, cache=True, cache_dir=cache_dir,
+            progress=snaps.append,
+        )
+        assert snaps[-1].cache_hits == len(POINTS)
+
+
+class TestKeys:
+    def test_partial_bound_scalars_in_key(self):
+        from functools import partial
+
+        a = describe_measure(partial(cheap_measure_dict, extra=1))
+        b = describe_measure(partial(cheap_measure_dict, extra=2))
+        assert a != b
+        assert a["fn"].endswith("cheap_measure_dict")
+
+    def test_point_key_stable_across_point_types(self):
+        desc = describe_measure(cheap_measure)
+        as_params = Params(n=8, p=4, w=4, l=2)
+        as_dict = {
+            k: v for k, v in (("n", 8), ("p", 4), ("w", 4), ("l", 2))
+        }
+        k1 = point_key(desc, as_params, mode="batch", fingerprint="F")
+        k2 = point_key(desc, as_params, mode="batch", fingerprint="F")
+        assert k1 == k2
+        assert point_key(desc, as_dict, mode="batch", fingerprint="F")
+
+    def test_cache_roundtrip_via_file(self, cache_dir):
+        cache = ResultCache(cache_dir, "F")
+        cache.put("ab" + "0" * 62, 42, {"engine": "batch"})
+        fresh = ResultCache(cache_dir, "F")
+        assert fresh.get("ab" + "0" * 62) == (42, {"engine": "batch"})
+        entry = json.loads(
+            (cache_dir / "shard_ab.jsonl").read_text().splitlines()[0]
+        )
+        assert entry["fingerprint"] == "F"

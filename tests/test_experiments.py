@@ -132,6 +132,85 @@ class TestJSONExport:
         assert summary["seed"] == 20130520
 
 
+class TestCLISweepFlags:
+    """The executor-facing CLI surface: --jobs/--mode/--no-cache/
+    --cache-stats, and the documented summary.json schema."""
+
+    @pytest.fixture(autouse=True)
+    def _isolated_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_SWEEP_CACHE_DIR", str(tmp_path / "sweep_cache")
+        )
+
+    def test_table2_json_smoke_schema(self, capsys, tmp_path):
+        """``table2 -o DIR --json`` exits 0 and writes the documented
+        summary.json: the seed, per-model soundness/worst-ratio, and the
+        top-level pass flag."""
+        import json
+
+        from repro.experiments.__main__ import main
+
+        code = main(["table2", "-o", str(tmp_path), "--json"])
+        assert code == 0
+        summary = json.loads((tmp_path / "summary.json").read_text())
+        assert summary["seed"] == 20130520
+        assert summary["pass"] is True
+        for problem in ("sum", "convolution"):
+            for model in ("pram", "dmm", "umm", "hmm"):
+                rep = summary["table2"][problem][model]
+                assert rep["sound"] is True
+                assert isinstance(rep["worst_ratio"], float)
+
+    def test_figures_parallel_jobs(self, capsys, tmp_path):
+        from repro.experiments.__main__ import main
+
+        code = main(["figures", "--jobs", "2", "-o", str(tmp_path)])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_figures_jobs_auto_and_mode_event(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["figures", "--jobs", "auto", "--mode", "event"]) == 0
+
+    def test_figures_no_cache(self, capsys, tmp_path):
+        from repro.experiments.__main__ import main
+
+        code = main(["figures", "--no-cache"])
+        assert code == 0
+        assert not (tmp_path / "sweep_cache").exists()
+
+    def test_cache_stats_standalone(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["--cache-stats"]) == 0
+        assert "sweep cache:" in capsys.readouterr().out
+
+    def test_cache_warm_rerun_identical_artifacts(self, capsys, tmp_path):
+        from repro.experiments.__main__ import main
+
+        cold_dir, warm_dir = tmp_path / "cold", tmp_path / "warm"
+        assert main(["figures", "-o", str(cold_dir)]) == 0
+        assert main(["figures", "-o", str(warm_dir)]) == 0
+        capsys.readouterr()
+        assert (
+            (cold_dir / "figures.txt").read_text()
+            == (warm_dir / "figures.txt").read_text()
+        )
+
+    def test_bad_jobs_value_rejected(self):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["figures", "--jobs", "soon"])
+
+    def test_no_subcommand_without_cache_stats_errors(self):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main([])
+
+
 class TestFullDrivers:
     """The complete Table I / Table II sweeps (the same runs the CLI and
     the benchmarks make) — slowish but the core reproduction criteria."""

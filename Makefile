@@ -1,6 +1,6 @@
 # Convenience targets; plain pytest/python work equally well.
 
-.PHONY: install test bench examples experiments docs-check clean
+.PHONY: install test bench bench-service examples experiments serve docs-check clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -11,15 +11,21 @@ test:
 bench:
 	PYTHONPATH=src pytest benchmarks/ --benchmark-only
 
+bench-service:
+	PYTHONPATH=src python -m repro.service bench --out benchmarks/out/service.txt
+
 examples:
 	for f in examples/*.py; do echo "== $$f"; PYTHONPATH=src python $$f > /dev/null || exit 1; done
 
 experiments:
 	PYTHONPATH=src python -m repro.experiments all --jobs auto -o benchmarks/out --json
 
+serve:
+	PYTHONPATH=src python -m repro.service serve
+
 docs-check:
-	PYTHONPATH=src python tools/check_doc_snippets.py docs/TUTORIAL.md docs/PERFORMANCE.md
+	PYTHONPATH=src python tools/check_doc_snippets.py docs/TUTORIAL.md docs/PERFORMANCE.md docs/SERVICE.md
 
 clean:
-	rm -rf build dist *.egg-info src/*.egg-info .pytest_benchmarks .benchmarks benchmarks/.benchmarks
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_benchmarks .benchmarks benchmarks/.benchmarks benchmarks/.sweep_cache
 	find . -name __pycache__ -type d -exec rm -rf {} +

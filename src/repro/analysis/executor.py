@@ -388,6 +388,13 @@ class SweepExecutor:
         Cache-invalidation token (default: :func:`repro_fingerprint`).
     progress:
         Optional callback receiving :class:`SweepProgress` snapshots.
+    keep_pool:
+        Retain the worker-process pool between :meth:`run` calls instead
+        of forking a fresh one per sweep.  Long-lived callers (the
+        serving layer, repeated driver runs) pay pool startup once;
+        release it with :meth:`close` (or use the executor as a context
+        manager).  Default off: one-shot sweeps keep the historical
+        spawn-per-run behavior.
     """
 
     def __init__(
@@ -397,14 +404,48 @@ class SweepExecutor:
         cache_dir: str | Path | None = None,
         fingerprint: str | None = None,
         progress: Callable[[SweepProgress], None] | None = None,
+        keep_pool: bool = False,
     ) -> None:
         self.jobs = jobs
         self.fingerprint = fingerprint or repro_fingerprint()
         self.progress = progress
+        self.keep_pool = keep_pool
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_workers = 0
         self.cache: ResultCache | None = None
         if cache and cache_allowed():
             directory = Path(cache_dir) if cache_dir else default_cache_dir()
             self.cache = ResultCache(directory, self.fingerprint)
+
+    # -- pool reuse ---------------------------------------------------------
+    def _acquire_pool(self, jobs: int) -> tuple[ProcessPoolExecutor, int, bool]:
+        """``(pool, workers, transient)`` for a parallel run.
+
+        Under ``keep_pool`` the retained pool is reused (growing it if a
+        later sweep needs more workers); otherwise a transient pool is
+        returned and the caller shuts it down.
+        """
+        if not self.keep_pool:
+            return ProcessPoolExecutor(max_workers=jobs), jobs, True
+        if self._pool is None or self._pool_workers < jobs:
+            if self._pool is not None:
+                self._pool.shutdown()
+            self._pool = ProcessPoolExecutor(max_workers=jobs)
+            self._pool_workers = jobs
+        return self._pool, self._pool_workers, False
+
+    def close(self) -> None:
+        """Shut down the retained worker pool (no-op without one)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+            self._pool_workers = 0
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- cache management ---------------------------------------------------
     def clear(self) -> int:
@@ -476,8 +517,9 @@ class SweepExecutor:
                 done += 1
                 self._emit(label, total, done, cache_hits, start, timings)
         elif missing:
-            shards = _chunked(missing, jobs)
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
+            pool, workers, transient = self._acquire_pool(jobs)
+            shards = _chunked(missing, workers)
+            try:
                 futures = {
                     pool.submit(_measure_chunk, measure,
                                 [pts[i] for i in shard]): shard
@@ -500,6 +542,9 @@ class SweepExecutor:
                         done += len(shard)
                         self._emit(label, total, done, cache_hits, start,
                                    timings)
+            finally:
+                if transient:
+                    pool.shutdown()
         return results  # type: ignore[return-value]  # all slots filled
 
     # -- internals ----------------------------------------------------------

@@ -28,11 +28,24 @@ import json
 import pathlib
 import sys
 
+from repro.analysis.advisor import diagnose
 from repro.analysis.executor import SweepExecutor, SweepProgress
+from repro.analysis.terms import Params
 from repro.experiments.ablations import reproduce_ablations
-from repro.experiments.figures import reproduce_figures
-from repro.experiments.table1 import reproduce_table1
+from repro.experiments.figures import (
+    FIG4_LATENCY_GRID,
+    fig4_launch_report,
+    reproduce_figures,
+)
+from repro.experiments.table1 import (
+    CONV_GRID,
+    SUM_GRID,
+    conv_launch_report,
+    reproduce_table1,
+    sum_launch_report,
+)
 from repro.experiments.table2 import reproduce_table2
+from repro.params import HMMParams, MachineParams
 
 
 def _write(out_dir: pathlib.Path | None, name: str, text: str) -> None:
@@ -52,6 +65,56 @@ def _jobs_arg(value: str) -> "int | str":
         raise argparse.ArgumentTypeError(
             f"--jobs takes an integer or 'auto', got {value!r}"
         )
+
+
+#: Models the advisor can diagnose (it needs per-unit statistics).
+_ADVISABLE = ("dmm", "umm", "hmm")
+
+
+def _advise_line(label: str, report, params) -> str:
+    """One compact advisor verdict: regime, occupancy, top finding."""
+    advice = diagnose(report, params)
+    finding = advice.findings[0] if advice.findings else "no findings"
+    return (
+        f"{label:<44} {report.cycles:>8} cy  {advice.regime.value:<16} "
+        f"occ {advice.occupancy_ratio:>6.2f}  {finding}"
+    )
+
+
+def _advise_figures(mode: str) -> str:
+    lines = ["-- Figure 4 launches (umm, w=4) --"]
+    for q in FIG4_LATENCY_GRID:
+        report = fig4_launch_report(q, mode=mode)
+        lines.append(_advise_line(
+            f"fig4 l={q['l']}", report,
+            MachineParams(width=q["w"], latency=q["l"]),
+        ))
+    return "\n".join(lines)
+
+
+def _advise_table1(seed: int, mode: str) -> str:
+    lines = []
+    for kernel, grid, launch in (
+        ("sum", SUM_GRID, sum_launch_report),
+        ("conv", CONV_GRID, conv_launch_report),
+    ):
+        lines.append(f"-- Table I {kernel} launches --")
+        for q in grid:
+            point = Params(**q)
+            for model in _ADVISABLE:
+                report = launch(point, model=model, seed=seed, mode=mode)
+                if model == "hmm":
+                    mparams = HMMParams(num_dmms=point.d, width=point.w,
+                                        global_latency=point.l)
+                else:
+                    mparams = MachineParams(width=point.w, latency=point.l)
+                label = (
+                    f"{kernel} {model} n={point.n} k={point.k} p={point.p} "
+                    f"l={point.l}"
+                )
+                lines.append(_advise_line(label, report, mparams))
+        lines.append("")
+    return "\n".join(lines).rstrip()
 
 
 class _ProgressPrinter:
@@ -111,6 +174,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--cache-stats", action="store_true",
         help="print sweep-cache statistics (standalone, or after the run)",
+    )
+    parser.add_argument(
+        "--advise", action="store_true",
+        help="also run the kernel advisor on every measured launch "
+        "(figures/table1) and print one verdict line per point",
     )
     args = parser.parse_args(argv)
     if args.json and args.out is None:
@@ -177,6 +245,19 @@ def main(argv: list[str] | None = None) -> int:
         abl = reproduce_ablations(seed=args.seed, **sweep_kwargs)
         _write(args.out, "ablations", abl.render())
         ok &= abl.mechanisms_all_matter()
+
+    if args.advise:
+        sections = ["Kernel advisor verdicts (one line per measured launch)"]
+        if args.what in ("figures", "all"):
+            sections.append(_advise_figures(args.mode))
+        if args.what in ("table1", "all"):
+            sections.append(_advise_table1(args.seed, args.mode))
+        if len(sections) == 1:
+            sections.append(
+                f"(no advisable launches in {args.what!r}; use figures, "
+                "table1, or all)"
+            )
+        _write(args.out, "advise", "\n\n".join(sections))
 
     summary["pass"] = bool(ok)
     if args.json:

@@ -21,6 +21,7 @@ __all__ = [
     "reproduce_figures",
     "run_figure4_example",
     "fig4_latency_task",
+    "fig4_launch_report",
 ]
 
 #: The Figure 4 access pattern at other latencies: the paper's pipelining
@@ -30,9 +31,9 @@ FIG4_LATENCY_GRID = tuple(dict(w=4, l=l) for l in (2, 5, 9, 17))
 _FIG4_PATTERN = {0: (15, 2, 6, 0), 1: (8, 9, 10, 11)}
 
 
-def fig4_latency_task(q: dict, *, mode: str = "batch") -> tuple[int, dict]:
-    """The Figure 4 two-warp launch at latency ``q['l']`` (picklable,
-    executor-routable)."""
+def fig4_launch_report(q: dict, *, mode: str = "batch"):
+    """Full run report of the Figure 4 two-warp launch at ``q['l']`` —
+    the advisor (``--advise``) diagnoses exactly what was measured."""
     eng = MachineEngine(
         MachineParams(width=q["w"], latency=q["l"]), UMMGroupPolicy(),
         name="umm", mode=mode,
@@ -44,7 +45,13 @@ def fig4_latency_task(q: dict, *, mode: str = "batch") -> tuple[int, dict]:
     def program(warp):
         yield warp.read(a, pattern[warp.warp_id])
 
-    report = eng.launch(program, 8)
+    return eng.launch(program, 8)
+
+
+def fig4_latency_task(q: dict, *, mode: str = "batch") -> tuple[int, dict]:
+    """The Figure 4 two-warp launch at latency ``q['l']`` (picklable,
+    executor-routable)."""
+    report = fig4_launch_report(q, mode=mode)
     return report.cycles, {"engine": report.engine}
 
 

@@ -38,6 +38,8 @@ __all__ = [
     "measure_convolution",
     "sum_task",
     "conv_task",
+    "sum_launch_report",
+    "conv_launch_report",
 ]
 
 #: Default sweep grids (simulator-friendly scale of the paper's regime).
@@ -135,6 +137,26 @@ def _as_grid_dict(q: Params) -> dict:
     return dict(n=q.n, k=q.k, p=q.p, w=q.w, l=q.l, d=q.d)
 
 
+def sum_launch_report(
+    q: Params, *, model: str, seed: int = 20130520, mode: str = "batch"
+):
+    """The full :class:`~repro.machine.report.RunReport` of one Table I
+    sum point — same deterministic inputs as :func:`sum_task`, so the
+    advisor (and the serving layer) diagnose exactly what was measured."""
+    values = point_rng(seed, "sum", q).normal(size=q.n)
+    return _sum_report(model, _as_grid_dict(q), values, mode)
+
+
+def conv_launch_report(
+    q: Params, *, model: str, seed: int = 20130520, mode: str = "batch"
+):
+    """The full run report of one Table I convolution point."""
+    rng = point_rng(seed, "conv", q)
+    x = rng.normal(size=q.k)
+    y = rng.normal(size=q.n + q.k - 1)
+    return _conv_report(model, _as_grid_dict(q), x, y, mode)
+
+
 def sum_task(
     q: Params, *, model: str, seed: int, mode: str = "batch"
 ) -> tuple[int, dict]:
@@ -143,8 +165,7 @@ def sum_task(
     Module-level and scalar-parameterized so the sweep executor can ship
     it to worker processes and key the result cache on it.
     """
-    values = point_rng(seed, "sum", q).normal(size=q.n)
-    report = _sum_report(model, _as_grid_dict(q), values, mode)
+    report = sum_launch_report(q, model=model, seed=seed, mode=mode)
     return report.cycles, {"engine": getattr(report, "engine", "exact")}
 
 
@@ -152,10 +173,7 @@ def conv_task(
     q: Params, *, model: str, seed: int, mode: str = "batch"
 ) -> tuple[int, dict]:
     """Self-contained Table I convolution measurement at one grid point."""
-    rng = point_rng(seed, "conv", q)
-    x = rng.normal(size=q.k)
-    y = rng.normal(size=q.n + q.k - 1)
-    report = _conv_report(model, _as_grid_dict(q), x, y, mode)
+    report = conv_launch_report(q, model=model, seed=seed, mode=mode)
     return report.cycles, {"engine": getattr(report, "engine", "exact")}
 
 

@@ -1,0 +1,310 @@
+"""Clients for the cost service: sync (``http.client``) and asyncio.
+
+Both speak the same JSON protocol as the server and implement the same
+retry discipline: on ``429``/``503`` (and on connection failure) they
+back off and retry up to ``retries`` times, honouring the server's
+``Retry-After`` header when present and falling back to capped
+exponential backoff otherwise.  Anything else non-2xx raises
+:class:`ServiceError` immediately with the server's structured error
+body attached.
+
+The sleep functions are injectable so retry behaviour is tested with a
+fake transport and zero real waiting (see ``tests/service``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import time
+from typing import Any, Callable, Mapping
+from urllib.parse import urlencode, urlsplit
+
+__all__ = ["ServiceClient", "AsyncServiceClient", "ServiceError", "Unavailable"]
+
+
+class ServiceError(Exception):
+    """Non-retryable error response from the service."""
+
+    def __init__(self, status: int, body: Any) -> None:
+        detail = body.get("error", {}) if isinstance(body, dict) else {}
+        message = detail.get("message") or str(body)
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.body = body
+        self.code = detail.get("code")
+        self.field = detail.get("field")
+
+
+class Unavailable(ServiceError):
+    """Retries exhausted against 429/503 or connection failures."""
+
+
+def _retry_delay(response_headers: Mapping[str, str] | None,
+                 attempt: int, backoff_s: float) -> float:
+    """Server's Retry-After if sane, else capped exponential backoff."""
+    if response_headers:
+        retry_after = response_headers.get("retry-after")
+        if retry_after is not None:
+            try:
+                return max(0.0, float(retry_after))
+            except ValueError:
+                pass
+    return min(backoff_s * (2 ** attempt), 10.0)
+
+
+def _query_spec(kernel: str, model: str, params: Mapping[str, int],
+                **options: Any) -> dict:
+    payload = {"kernel": kernel, "model": model, **dict(params)}
+    payload.update(options)
+    return payload
+
+
+def _sweep_payload(kernel: str, model: str, grid: Mapping[str, Any],
+                   **options: Any) -> dict:
+    """Split ``grid`` into top-level scalars and list-valued ``axes``."""
+    payload: dict[str, Any] = {"kernel": kernel, "model": model}
+    axes: dict[str, list] = {}
+    for name, value in dict(grid).items():
+        if isinstance(value, (list, tuple)):
+            axes[name] = list(value)
+        else:
+            payload[name] = value
+    payload.update(options)
+    payload["axes"] = axes
+    return payload
+
+
+class ServiceClient:
+    """Blocking client with reconnect + Retry-After-aware retries.
+
+    >>> client = ServiceClient("http://127.0.0.1:8787")    # doctest: +SKIP
+    >>> client.cost("sum", "hmm", {"n": 1024, "p": 64})    # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 120.0,
+        retries: int = 4,
+        backoff_s: float = 0.25,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        split = urlsplit(base_url)
+        if split.scheme != "http" or not split.hostname:
+            raise ValueError(f"expected an http://host:port URL, got {base_url!r}")
+        self.host = split.hostname
+        self.port = split.port or 80
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self._sleep = sleep
+        self._conn: http.client.HTTPConnection | None = None
+
+    # -- transport ---------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _once(self, method: str, path: str,
+              payload: Any) -> tuple[int, dict[str, str], Any]:
+        conn = self._connection()
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        except (ConnectionError, OSError, http.client.HTTPException):
+            self.close()
+            raise
+        response_headers = {k.lower(): v for k, v in response.getheaders()}
+        if response_headers.get("connection", "").lower() == "close":
+            self.close()
+        parsed = json.loads(raw) if raw else None
+        return response.status, response_headers, parsed
+
+    def _request(self, method: str, path: str, payload: Any = None) -> Any:
+        last_error: Exception | None = None
+        for attempt in range(self.retries + 1):
+            try:
+                status, headers, body = self._once(method, path, payload)
+            except (ConnectionError, OSError, http.client.HTTPException) as exc:
+                last_error = exc
+                if attempt < self.retries:
+                    self._sleep(_retry_delay(None, attempt, self.backoff_s))
+                continue
+            if status in (429, 503):
+                last_error = ServiceError(status, body)
+                if attempt < self.retries:
+                    self._sleep(_retry_delay(headers, attempt, self.backoff_s))
+                continue
+            if status >= 400:
+                raise ServiceError(status, body)
+            return body
+        raise Unavailable(0, {"error": {
+            "code": "unavailable",
+            "message": f"gave up after {self.retries + 1} attempts: {last_error}",
+        }})
+
+    # -- API ---------------------------------------------------------------
+    def cost(self, kernel: str, model: str, params: Mapping[str, int],
+             **options: Any) -> dict:
+        """``POST /v1/cost`` — one spec, micro-batched server side."""
+        return self._request(
+            "POST", "/v1/cost", _query_spec(kernel, model, params, **options)
+        )
+
+    def sweep(self, kernel: str, model: str, grid: Mapping[str, Any],
+              **options: Any) -> dict:
+        """``POST /v1/sweep`` — scalars plus list-valued axes in ``grid``."""
+        return self._request(
+            "POST", "/v1/sweep", _sweep_payload(kernel, model, grid, **options)
+        )
+
+    def advise(self, kernel: str, model: str, params: Mapping[str, int],
+               **options: Any) -> dict:
+        """``GET /v1/advise`` — launch diagnosis for one spec."""
+        spec = _query_spec(kernel, model, params, **options)
+        return self._request("GET", "/v1/advise?" + urlencode(spec))
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+
+class AsyncServiceClient:
+    """Asyncio client: one connection per request, same retry discipline.
+
+    Used by the closed-loop load generator, where hundreds of logical
+    clients multiplex on one event loop.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 120.0,
+        retries: int = 4,
+        backoff_s: float = 0.25,
+        sleep: "Callable[[float], Any] | None" = None,
+    ) -> None:
+        split = urlsplit(base_url)
+        if split.scheme != "http" or not split.hostname:
+            raise ValueError(f"expected an http://host:port URL, got {base_url!r}")
+        self.host = split.hostname
+        self.port = split.port or 80
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self._sleep = sleep or asyncio.sleep
+
+    async def _once(self, method: str, path: str,
+                    payload: Any) -> tuple[int, dict[str, str], Any]:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            body = b""
+            if payload is not None:
+                body = json.dumps(payload).encode()
+            head = (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Content-Type: application/json\r\n"
+                "Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode() + body)
+            await writer.drain()
+            status_line = await asyncio.wait_for(
+                reader.readline(), self.timeout
+            )
+            parts = status_line.decode("latin-1").split(maxsplit=2)
+            status = int(parts[1])
+            headers: dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0"))
+            raw = await asyncio.wait_for(reader.readexactly(length),
+                                         self.timeout)
+            return status, headers, json.loads(raw) if raw else None
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _request(self, method: str, path: str,
+                       payload: Any = None) -> Any:
+        last_error: Exception | None = None
+        for attempt in range(self.retries + 1):
+            try:
+                status, headers, body = await self._once(method, path, payload)
+            except (ConnectionError, OSError, asyncio.TimeoutError,
+                    asyncio.IncompleteReadError, ValueError) as exc:
+                last_error = exc
+                if attempt < self.retries:
+                    await self._sleep(_retry_delay(None, attempt, self.backoff_s))
+                continue
+            if status in (429, 503):
+                last_error = ServiceError(status, body)
+                if attempt < self.retries:
+                    await self._sleep(
+                        _retry_delay(headers, attempt, self.backoff_s)
+                    )
+                continue
+            if status >= 400:
+                raise ServiceError(status, body)
+            return body
+        raise Unavailable(0, {"error": {
+            "code": "unavailable",
+            "message": f"gave up after {self.retries + 1} attempts: {last_error}",
+        }})
+
+    async def cost(self, kernel: str, model: str, params: Mapping[str, int],
+                   **options: Any) -> dict:
+        return await self._request(
+            "POST", "/v1/cost", _query_spec(kernel, model, params, **options)
+        )
+
+    async def sweep(self, kernel: str, model: str, grid: Mapping[str, Any],
+                    **options: Any) -> dict:
+        return await self._request(
+            "POST", "/v1/sweep", _sweep_payload(kernel, model, grid, **options)
+        )
+
+    async def advise(self, kernel: str, model: str,
+                     params: Mapping[str, int], **options: Any) -> dict:
+        spec = _query_spec(kernel, model, params, **options)
+        return await self._request("GET", "/v1/advise?" + urlencode(spec))
+
+    async def healthz(self) -> dict:
+        return await self._request("GET", "/healthz")
+
+    async def metrics(self) -> dict:
+        return await self._request("GET", "/metrics")

@@ -1,0 +1,119 @@
+"""Injectable time sources for the serving layer.
+
+Anything in :mod:`repro.service` that waits — the micro-batcher's
+batching window, per-request timeouts, client backoff — goes through a
+:class:`Clock` rather than calling :func:`asyncio.sleep` /
+:func:`time.monotonic` directly.  Production code uses the default
+:class:`Clock`; tests inject a :class:`ManualClock` and *advance time
+explicitly*, so timing tests are deterministic instead of tuned with
+real sleeps (the pattern is documented in CONTRIBUTING.md).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import time
+from typing import Awaitable
+
+__all__ = ["Clock", "ManualClock"]
+
+
+class Clock:
+    """Real time: ``time.monotonic`` + ``asyncio.sleep``."""
+
+    def monotonic(self) -> float:
+        """Current time in seconds (monotonic)."""
+        return time.monotonic()
+
+    async def sleep(self, delay: float) -> None:
+        """Suspend the calling task for ``delay`` seconds."""
+        await asyncio.sleep(max(0.0, delay))
+
+    # -- derived waits (shared by every clock) -----------------------------
+    async def wait(self, event: asyncio.Event, timeout: float) -> bool:
+        """Wait for ``event`` up to ``timeout`` s; True when it was set."""
+        if event.is_set():
+            return True
+        if timeout <= 0:
+            return False
+        waiter = asyncio.ensure_future(event.wait())
+        return await self._race(waiter, timeout)
+
+    async def wait_future(self, future: Awaitable, timeout: float) -> bool:
+        """Wait for ``future`` up to ``timeout`` s; True when it finished.
+
+        The future is *not* cancelled on timeout — the caller decides
+        (a batched request may already be in flight on its behalf).
+        """
+        fut = asyncio.ensure_future(future)
+        if fut.done():
+            return True
+        if timeout <= 0:
+            return False
+        return await self._race(fut, timeout, cancel_waiter=False)
+
+    async def _race(
+        self, waiter: asyncio.Future, timeout: float, *,
+        cancel_waiter: bool = True,
+    ) -> bool:
+        sleeper = asyncio.ensure_future(self.sleep(timeout))
+        try:
+            done, _ = await asyncio.wait(
+                {waiter, sleeper}, return_when=asyncio.FIRST_COMPLETED
+            )
+        finally:
+            sleeper.cancel()
+            if cancel_waiter and not waiter.done():
+                waiter.cancel()
+        return waiter in done
+
+
+class ManualClock(Clock):
+    """A clock tests drive by hand.
+
+    ``monotonic()`` returns a counter that only moves when the test
+    calls :meth:`advance`; ``sleep`` parks the caller on a timer heap
+    that :meth:`advance` fires in deadline order.  Between timer firings
+    the event loop is cycled (:meth:`drain`) so tasks woken by one timer
+    run to their next await before the next timer fires — exactly the
+    ordering a real loop would produce, minus the wall-clock time.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._timers: list[tuple[float, int, asyncio.Event]] = []
+
+    def monotonic(self) -> float:
+        return self._now
+
+    async def sleep(self, delay: float) -> None:
+        if delay <= 0:
+            await asyncio.sleep(0)
+            return
+        fired = asyncio.Event()
+        heapq.heappush(self._timers, (self._now + delay, self._seq, fired))
+        self._seq += 1
+        await fired.wait()
+
+    async def advance(self, dt: float) -> None:
+        """Move time forward ``dt`` seconds, firing due timers in order."""
+        target = self._now + dt
+        while self._timers and self._timers[0][0] <= target:
+            deadline, _, fired = heapq.heappop(self._timers)
+            self._now = max(self._now, deadline)
+            fired.set()
+            await self.drain()
+        self._now = target
+        await self.drain()
+
+    @staticmethod
+    async def drain(cycles: int = 25) -> None:
+        """Cycle the event loop so ready callbacks/tasks run.
+
+        A fixed number of zero-delay yields is deterministic (no wall
+        time involved); 25 covers every await chain in this package.
+        """
+        for _ in range(cycles):
+            await asyncio.sleep(0)

@@ -1,0 +1,122 @@
+"""Service observability: counters, gauges, and latency quantiles.
+
+One :class:`ServiceMetrics` instance per server.  Everything is plain
+Python (no locks needed: all updates happen on the event-loop thread)
+and renders to a JSON-able dict for ``GET /metrics``.  Latency quantiles
+come from a bounded reservoir of the most recent samples — accurate for
+the steady state, constant-memory forever.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+
+from repro.service.clock import Clock
+
+__all__ = ["LatencyReservoir", "ServiceMetrics"]
+
+
+class LatencyReservoir:
+    """Last-``capacity`` latency samples with percentile readout."""
+
+    def __init__(self, capacity: int = 2048) -> None:
+        self._samples: deque[float] = deque(maxlen=capacity)
+        self.count = 0
+
+    def observe(self, seconds: float) -> None:
+        self._samples.append(seconds)
+        self.count += 1
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (0..1) of the retained samples, in seconds."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        index = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
+        return ordered[index]
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "p50_ms": round(self.percentile(0.50) * 1e3, 3),
+            "p95_ms": round(self.percentile(0.95) * 1e3, 3),
+            "max_ms": round(max(self._samples, default=0.0) * 1e3, 3),
+        }
+
+
+class ServiceMetrics:
+    """All counters the serving layer maintains.
+
+    The batcher and server push into this; ``snapshot()`` (the
+    ``/metrics`` body) pulls queue depth and cache counters from the
+    live components via the hooks the server registers.
+    """
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self.clock = clock or Clock()
+        self.started_at = self.clock.monotonic()
+        #: (route, status) -> count, e.g. ("/v1/cost", 200) -> 41.
+        self.requests: Counter[tuple[str, int]] = Counter()
+        self.rejected = 0          # 429s (queue full)
+        self.drained_rejects = 0   # 503s (shutting down)
+        self.timeouts = 0          # 504s (request timed out in queue)
+        self.batches = 0
+        self.batched_requests = 0  # requests served through batches
+        self.batched_unique = 0    # unique specs actually evaluated
+        self.coalesced = 0         # requests answered by another's evaluation
+        self.max_batch_size = 0
+        self.latency = LatencyReservoir()
+        # Gauges, registered by the server at startup.
+        self.queue_depth = lambda: 0
+        self.queue_bound = 0
+        self.cache_counters = lambda: (0, 0)  # (hits, misses)
+
+    # -- update hooks ------------------------------------------------------
+    def observe_request(self, route: str, status: int, seconds: float) -> None:
+        self.requests[(route, status)] += 1
+        if route == "/v1/cost" and status == 200:
+            self.latency.observe(seconds)
+
+    def observe_batch(self, requests: int, unique: int) -> None:
+        self.batches += 1
+        self.batched_requests += requests
+        self.batched_unique += unique
+        self.coalesced += requests - unique
+        self.max_batch_size = max(self.max_batch_size, requests)
+
+    # -- readout -----------------------------------------------------------
+    def snapshot(self) -> dict:
+        hits, misses = self.cache_counters()
+        lookups = hits + misses
+        requests_by_route: dict[str, dict[str, int]] = {}
+        for (route, status), count in sorted(self.requests.items()):
+            requests_by_route.setdefault(route, {})[str(status)] = count
+        mean_batch = (
+            self.batched_requests / self.batches if self.batches else 0.0
+        )
+        return {
+            "uptime_s": round(self.clock.monotonic() - self.started_at, 3),
+            "requests": requests_by_route,
+            "requests_total": sum(self.requests.values()),
+            "rejected": self.rejected,
+            "drained_rejects": self.drained_rejects,
+            "timeouts": self.timeouts,
+            "batches": {
+                "count": self.batches,
+                "requests": self.batched_requests,
+                "unique_points": self.batched_unique,
+                "coalesced": self.coalesced,
+                "mean_size": round(mean_batch, 3),
+                "max_size": self.max_batch_size,
+            },
+            "queue": {
+                "depth": self.queue_depth(),
+                "bound": self.queue_bound,
+            },
+            "cache": {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+            },
+            "latency": self.latency.snapshot(),
+        }

@@ -1,0 +1,173 @@
+"""The in-process evaluation core behind the serving layer.
+
+A :class:`CostOracle` owns one
+:class:`~repro.analysis.executor.SweepExecutor` — and through it the
+persistent on-disk result cache and (optionally) a reusable worker
+pool — and turns validated protocol specs into responses.  The server's
+micro-batcher hands it whole windows of unique specs; direct callers
+(the CLI ``query`` path, tests, benchmarks) can use it without any HTTP
+in between, which is what the service's golden-equivalence guarantee is
+tested against: a served answer is bit-identical to the in-process one
+because it *is* the in-process one.
+
+:func:`evaluate_point` is the single measure function: module-level and
+picklable, so the executor can ship it to worker processes and key the
+result cache on it.  The spec dict (see
+:mod:`repro.service.protocol`) is the cache's parameter point — kernel,
+model, mode, and seed included — so service traffic and offline sweeps
+share hits whenever their specs match.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Mapping
+
+from repro.analysis.advisor import diagnose
+from repro.analysis.executor import SweepExecutor, SweepPoint
+from repro.analysis.terms import Params
+from repro.experiments.table1 import (
+    conv_launch_report,
+    conv_task,
+    sum_launch_report,
+    sum_task,
+)
+from repro.params import HMMParams, MachineParams
+
+__all__ = ["CostOracle", "evaluate_point"]
+
+
+def _params_of(spec: Mapping) -> Params:
+    return Params(n=spec["n"], k=spec["k"], p=spec["p"], w=spec["w"],
+                  l=spec["l"], d=spec["d"])
+
+
+def evaluate_point(spec: Mapping) -> tuple[int, dict]:
+    """One oracle measurement: the Table I task named by ``spec``.
+
+    Identical code path to the experiment drivers, so a served cycle
+    count matches a direct :func:`repro.experiments.table1.sum_task` /
+    ``conv_task`` call for the same inputs exactly.
+    """
+    task = sum_task if spec["kernel"] == "sum" else conv_task
+    return task(_params_of(spec), model=spec["model"], seed=spec["seed"],
+                mode=spec["mode"])
+
+
+def _machine_params(spec: Mapping) -> "MachineParams | HMMParams":
+    if spec["model"] == "hmm":
+        return HMMParams(num_dmms=spec["d"], width=spec["w"],
+                         global_latency=spec["l"])
+    return MachineParams(width=spec["w"], latency=spec["l"])
+
+
+class CostOracle:
+    """Evaluate cost queries against the shared executor + cache.
+
+    Thread-safe: the server calls :meth:`evaluate_batch` /
+    :meth:`run_sweep` from worker threads (via ``run_in_executor``), and
+    a lock serializes access to the underlying executor and its cache.
+
+    Parameters mirror :class:`~repro.analysis.executor.SweepExecutor`;
+    ``jobs`` > 1 shards large batches/sweeps over a worker pool that is
+    kept alive between calls (``keep_pool``), so a serving process pays
+    pool startup once, not per batch.
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: "int | str" = 1,
+        cache: bool = True,
+        cache_dir=None,
+    ) -> None:
+        self.executor = SweepExecutor(jobs=jobs, cache=cache,
+                                      cache_dir=cache_dir, keep_pool=True)
+        self._lock = threading.Lock()
+
+    # -- evaluation --------------------------------------------------------
+    def _run(self, specs: list[dict], label: str) -> list[SweepPoint]:
+        with self._lock:
+            return self.executor.run(evaluate_point, specs, label=label)
+
+    def evaluate_batch(self, specs: Iterable[Mapping]) -> list[dict]:
+        """Evaluate unique specs (one micro-batch) into response bodies."""
+        specs = [dict(s) for s in specs]
+        points = self._run(specs, "service/cost")
+        return [self._cost_body(spec, pt) for spec, pt in zip(specs, points)]
+
+    def run_sweep(self, meta: Mapping, specs: list[dict]) -> dict:
+        """Evaluate an expanded ``/v1/sweep`` grid into one response."""
+        before_hits, before_misses = self.cache_counters()
+        points = self._run(list(specs), "service/sweep")
+        hits, misses = self.cache_counters()
+        return {
+            **{k: meta[k] for k in ("kernel", "model", "mode", "seed")},
+            "points": [
+                {
+                    "params": self._point_params(spec),
+                    "cycles": pt.cycles,
+                    "engine": pt.extra.get("engine", "exact"),
+                }
+                for spec, pt in zip(specs, points)
+            ],
+            "cache": {"hits": hits - before_hits,
+                      "misses": misses - before_misses},
+        }
+
+    def advise(self, spec: Mapping) -> dict:
+        """Run the spec once with full reporting and diagnose the launch."""
+        q = _params_of(spec)
+        launch = (sum_launch_report if spec["kernel"] == "sum"
+                  else conv_launch_report)
+        with self._lock:
+            report = launch(q, model=spec["model"], seed=spec["seed"],
+                            mode=spec["mode"])
+        advice = diagnose(report, _machine_params(spec))
+        return {
+            "kernel": spec["kernel"],
+            "model": spec["model"],
+            "params": self._point_params(spec),
+            "cycles": report.cycles,
+            "engine": report.engine,
+            "regime": advice.regime.value,
+            "occupancy_ratio": advice.occupancy_ratio,
+            "units": {
+                name: {
+                    "transactions": unit.transactions,
+                    "slots": unit.slots,
+                    "efficiency": unit.efficiency,
+                    "requests_per_slot": unit.requests_per_slot,
+                }
+                for name, unit in advice.units.items()
+            },
+            "findings": list(advice.findings),
+            "rendered": advice.render(),
+        }
+
+    # -- observability / lifecycle ----------------------------------------
+    def cache_counters(self) -> tuple[int, int]:
+        """(hits, misses) of the persistent cache this session."""
+        cache = self.executor.cache
+        return (cache.hits, cache.misses) if cache else (0, 0)
+
+    def close(self) -> None:
+        """Release the executor's retained worker pool, if any."""
+        self.executor.close()
+
+    # -- response shaping ---------------------------------------------------
+    @staticmethod
+    def _point_params(spec: Mapping) -> dict:
+        return {name: spec[name] for name in ("n", "k", "p", "w", "l", "d")}
+
+    @classmethod
+    def _cost_body(cls, spec: Mapping, point: SweepPoint) -> dict:
+        return {
+            "kernel": spec["kernel"],
+            "model": spec["model"],
+            "mode": spec["mode"],
+            "seed": spec["seed"],
+            "params": cls._point_params(spec),
+            "cycles": point.cycles,
+            "engine": point.extra.get("engine", "exact"),
+        }

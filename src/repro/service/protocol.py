@@ -1,0 +1,292 @@
+"""Wire protocol of the cost-oracle service: parsing and validation.
+
+Every endpoint speaks JSON.  Requests are validated *here*, before any
+simulator work is queued, and malformed input is rejected with a
+:class:`ProtocolError` that the server renders as a structured ``400``
+body::
+
+    {"error": {"code": "invalid_param", "field": "w",
+               "message": "w must be a positive power of two, got 0"}}
+
+The parsed form of a cost query is a **spec**: a flat, JSON-able,
+picklable dict ``{kernel, model, mode, seed, n, k, p, w, l, d}``.  The
+spec doubles as
+
+* the micro-batcher's coalescing key (identical specs in one batching
+  window are evaluated once — see :mod:`repro.service.batcher`), and
+* the parameter point of the sweep executor's persistent result cache
+  (see :class:`repro.analysis.executor.SweepExecutor`),
+
+so a spec *is* the identity of a measurement, end to end.
+
+Size limits (``MAX_N``, ``MAX_THREADS``, ``MAX_GRID_POINTS``, ...) bound
+the work one request can demand; they protect the service, not the
+model — library callers can go as large as they like in-process.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+__all__ = [
+    "DEFAULT_SEED",
+    "KERNELS",
+    "MODELS",
+    "MODES",
+    "MACHINE_MODELS",
+    "MAX_N",
+    "MAX_KERNEL_LEN",
+    "MAX_THREADS",
+    "MAX_WIDTH",
+    "MAX_LATENCY",
+    "MAX_DMMS",
+    "MAX_GRID_POINTS",
+    "ProtocolError",
+    "parse_cost_request",
+    "parse_sweep_request",
+    "parse_advise_request",
+    "spec_key",
+]
+
+#: Seed of the experiment drivers (table1's default); using the same
+#: default keeps service answers bit-identical to the offline sweeps.
+DEFAULT_SEED = 20130520
+
+KERNELS = ("sum", "convolution")
+MODELS = ("sequential", "pram", "dmm", "umm", "hmm")
+#: Models that simulate a memory machine (and therefore can be advised).
+MACHINE_MODELS = ("dmm", "umm", "hmm")
+MODES = ("batch", "event")
+
+MAX_N = 1 << 22
+MAX_KERNEL_LEN = 1 << 12
+MAX_THREADS = 1 << 18
+MAX_WIDTH = 1 << 10
+MAX_LATENCY = 1 << 16
+MAX_DMMS = 1 << 10
+#: Ceiling on the expanded size of a ``/v1/sweep`` grid.
+MAX_GRID_POINTS = 4096
+
+#: Spec fields in canonical order (the wire and cache-key layout).
+_SPEC_FIELDS = ("kernel", "model", "mode", "seed", "n", "k", "p", "w", "l", "d")
+
+_PARAM_LIMITS = {
+    "n": (1, MAX_N),
+    "p": (1, MAX_THREADS),
+    "w": (1, MAX_WIDTH),
+    "l": (1, MAX_LATENCY),
+    "d": (1, MAX_DMMS),
+}
+_PARAM_DEFAULTS = {"w": 16, "l": 16, "d": 8, "k": 0}
+
+
+class ProtocolError(Exception):
+    """A request the service refuses to act on (rendered as HTTP 400)."""
+
+    def __init__(
+        self, message: str, *, field: str | None = None,
+        code: str = "invalid_request",
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.field = field
+        self.code = code
+
+    def body(self) -> dict:
+        """The structured JSON error body."""
+        error: dict[str, Any] = {"code": self.code, "message": self.message}
+        if self.field is not None:
+            error["field"] = self.field
+        return {"error": error}
+
+
+def _require_object(payload: Any, what: str) -> Mapping:
+    if not isinstance(payload, Mapping):
+        raise ProtocolError(
+            f"{what} must be a JSON object, got {type(payload).__name__}",
+            code="invalid_body",
+        )
+    return payload
+
+
+def _int_field(
+    payload: Mapping, name: str, *, default: int | None = None,
+    low: int = 1, high: int | None = None,
+) -> int:
+    value = payload.get(name, default)
+    if value is None:
+        raise ProtocolError(f"missing required field {name!r}", field=name,
+                            code="missing_param")
+    # bool is an int subclass; `"w": true` is malformed, not width 1.
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(
+            f"{name} must be an integer, got {value!r}", field=name,
+            code="invalid_param",
+        )
+    if value < low or (high is not None and value > high):
+        bound = f">= {low}" if high is None else f"in [{low}, {high}]"
+        raise ProtocolError(
+            f"{name} must be {bound}, got {value}", field=name,
+            code="invalid_param",
+        )
+    return value
+
+
+def _choice_field(
+    payload: Mapping, name: str, choices: tuple[str, ...], default: str | None,
+) -> str:
+    value = payload.get(name, default)
+    if value not in choices:
+        raise ProtocolError(
+            f"{name} must be one of {', '.join(choices)}, got {value!r}",
+            field=name, code="invalid_param",
+        )
+    return value
+
+
+def _validate_shape(spec: dict) -> dict:
+    """Cross-field rules shared by every endpoint."""
+    w = spec["w"]
+    if w & (w - 1) != 0:
+        raise ProtocolError(
+            f"w must be a positive power of two, got {w}", field="w",
+            code="invalid_param",
+        )
+    if spec["kernel"] == "convolution":
+        if spec["k"] < 1:
+            raise ProtocolError(
+                "convolution requires k >= 1", field="k", code="invalid_param",
+            )
+        if spec["k"] > spec["n"]:
+            raise ProtocolError(
+                f"the paper assumes k <= n; got k={spec['k']}, n={spec['n']}",
+                field="k", code="invalid_param",
+            )
+    elif spec["k"] != 0:
+        raise ProtocolError(
+            f"k only applies to the convolution kernel, got k={spec['k']}",
+            field="k", code="invalid_param",
+        )
+    return spec
+
+
+def _parse_spec(payload: Mapping) -> dict:
+    """One validated (kernel, model, mode, seed, point) spec."""
+    spec: dict[str, Any] = {
+        "kernel": _choice_field(payload, "kernel", KERNELS, None),
+        "model": _choice_field(payload, "model", MODELS, None),
+        "mode": _choice_field(payload, "mode", MODES, "batch"),
+        "seed": _int_field(payload, "seed", default=DEFAULT_SEED, low=0,
+                           high=(1 << 63) - 1),
+    }
+    for name, (low, high) in _PARAM_LIMITS.items():
+        spec[name] = _int_field(payload, name,
+                                default=_PARAM_DEFAULTS.get(name),
+                                low=low, high=high)
+    spec["k"] = _int_field(payload, "k", default=0, low=0, high=MAX_KERNEL_LEN)
+    unknown = set(payload) - set(_SPEC_FIELDS)
+    if unknown:
+        raise ProtocolError(
+            f"unknown field(s): {', '.join(sorted(unknown))}",
+            field=sorted(unknown)[0], code="unknown_field",
+        )
+    return _validate_shape({name: spec[name] for name in _SPEC_FIELDS})
+
+
+def parse_cost_request(payload: Any) -> dict:
+    """Validate a ``POST /v1/cost`` body into a spec dict."""
+    return _parse_spec(_require_object(payload, "cost request"))
+
+
+def parse_advise_request(params: Mapping[str, str]) -> dict:
+    """Validate ``GET /v1/advise`` query parameters into a spec dict.
+
+    Query values arrive as strings; integers are converted before the
+    shared spec validation runs.  Advice needs per-unit statistics, so
+    only the memory-machine models qualify.
+    """
+    converted: dict[str, Any] = {}
+    for name, raw in params.items():
+        if name in ("kernel", "model", "mode"):
+            converted[name] = raw
+        else:
+            try:
+                converted[name] = int(raw)
+            except (TypeError, ValueError):
+                raise ProtocolError(
+                    f"{name} must be an integer, got {raw!r}", field=name,
+                    code="invalid_param",
+                ) from None
+    spec = _parse_spec(converted)
+    if spec["model"] not in MACHINE_MODELS:
+        raise ProtocolError(
+            "advise requires a memory-machine model "
+            f"({', '.join(MACHINE_MODELS)}), got {spec['model']!r}",
+            field="model", code="invalid_param",
+        )
+    return spec
+
+
+def parse_sweep_request(payload: Any) -> tuple[dict, list[dict]]:
+    """Validate a ``POST /v1/sweep`` body.
+
+    The body names one (kernel, model, mode, seed) and an ``axes``
+    object mapping parameter names to value lists::
+
+        {"kernel": "sum", "model": "hmm",
+         "axes": {"n": [1024, 4096], "p": [64, 256], "l": [16, 128]}}
+
+    Returns ``(base_spec, specs)`` where ``specs`` is the expanded grid
+    (cartesian product, axis order preserved), every point individually
+    validated.  Grids larger than :data:`MAX_GRID_POINTS` are rejected
+    before expansion.
+    """
+    body = _require_object(payload, "sweep request")
+    axes_raw = body.get("axes")
+    axes = _require_object(
+        axes_raw if axes_raw is not None else None, "axes")
+    if not axes:
+        raise ProtocolError("axes must name at least one parameter",
+                            field="axes", code="invalid_param")
+    sweepable = set(_PARAM_LIMITS) | {"k"}
+    total = 1
+    for name, values in axes.items():
+        if name not in sweepable:
+            raise ProtocolError(
+                f"axes.{name} is not sweepable (allowed: "
+                f"{', '.join(sorted(sweepable))})",
+                field=f"axes.{name}", code="invalid_param",
+            )
+        if not isinstance(values, (list, tuple)) or not values:
+            raise ProtocolError(
+                f"axes.{name} must be a non-empty list", field=f"axes.{name}",
+                code="invalid_param",
+            )
+        total *= len(values)
+        if total > MAX_GRID_POINTS:
+            raise ProtocolError(
+                f"sweep grid exceeds {MAX_GRID_POINTS} points",
+                field="axes", code="grid_too_large",
+            )
+    scalars = {k: v for k, v in body.items() if k != "axes"}
+    points: list[dict] = [{}]
+    for name, values in axes.items():
+        points = [{**pt, name: v} for pt in points for v in values]
+    specs = []
+    for pt in points:
+        merged = {**scalars, **pt}
+        try:
+            specs.append(_parse_spec(merged))
+        except ProtocolError as exc:
+            raise ProtocolError(
+                f"grid point {pt}: {exc.message}", field=exc.field,
+                code=exc.code,
+            ) from None
+    meta = {name: specs[0][name] for name in ("kernel", "model", "mode", "seed")}
+    return meta, specs
+
+
+def spec_key(spec: Mapping) -> str:
+    """Canonical string identity of a spec (batcher coalescing key)."""
+    return json.dumps({k: spec[k] for k in _SPEC_FIELDS}, sort_keys=True)

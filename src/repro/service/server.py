@@ -1,0 +1,442 @@
+"""The asyncio JSON-over-HTTP front door of the cost oracle.
+
+Stdlib only: a small, strict HTTP/1.1 handler on ``asyncio.start_server``
+(keep-alive supported, bodies bounded) routing to
+
+========================  ==================================================
+``POST /v1/cost``         one cost query — coalesced and micro-batched
+                          through :class:`~repro.service.batcher.MicroBatcher`
+``POST /v1/sweep``        a parameter grid — routed whole through the
+                          shared :class:`~repro.service.oracle.CostOracle`
+                          executor (and its persistent cache)
+``GET /v1/advise``        run one spec with full reporting and return
+                          :func:`repro.analysis.advisor.diagnose` output
+``GET /healthz``          liveness + drain state
+``GET /metrics``          JSON counters (requests, batch sizes, cache hit
+                          rate, queue depth, latency quantiles)
+========================  ==================================================
+
+Failure surface: malformed input → ``400`` with a structured body
+(:class:`~repro.service.protocol.ProtocolError`); queue full → ``429``
+with ``Retry-After``; draining → ``503`` with ``Retry-After``; request
+deadline exceeded → ``504``.  On SIGTERM the server stops accepting,
+drains the batcher (in-flight requests complete), then exits — the
+``serve`` CLI wires the signal handlers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+from typing import Awaitable, Callable
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.service.batcher import MicroBatcher, Overloaded, RequestTimeout
+from repro.service.clock import Clock
+from repro.service.metrics import ServiceMetrics
+from repro.service.oracle import CostOracle
+from repro.service.protocol import (
+    ProtocolError,
+    parse_advise_request,
+    parse_cost_request,
+    parse_sweep_request,
+    spec_key,
+)
+
+__all__ = ["ServiceServer", "BackgroundServer"]
+
+_MAX_BODY_BYTES = 1 << 20
+_MAX_HEADER_LINES = 64
+
+
+class _HttpError(Exception):
+    """Internal: abort the request with this status/body."""
+
+    def __init__(self, status: int, body: dict,
+                 headers: dict[str, str] | None = None) -> None:
+        super().__init__(body.get("error", {}).get("message", str(status)))
+        self.status = status
+        self.body = body
+        self.headers = headers or {}
+
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable", 504: "Gateway Timeout",
+}
+
+
+def _error_body(code: str, message: str) -> dict:
+    return {"error": {"code": code, "message": message}}
+
+
+class ServiceServer:
+    """One serving process: listener + micro-batcher + oracle.
+
+    Parameters
+    ----------
+    oracle:
+        The evaluation core; a default (cached, jobs=1) one is built
+        when omitted.
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (read it back
+        from :attr:`port` after :meth:`start`).
+    max_batch_size, max_wait_s, max_queue, timeout_s:
+        Micro-batcher knobs — see
+        :class:`~repro.service.batcher.MicroBatcher`.
+    coalesce:
+        When ``False``, identical concurrent specs are *not* deduplicated
+        — every request costs one evaluation.  Only useful as the
+        baseline in benchmarks; leave on in production.
+    clock, metrics:
+        Injection points for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        oracle: CostOracle | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_batch_size: int = 32,
+        max_wait_s: float = 0.002,
+        max_queue: int = 256,
+        timeout_s: float = 60.0,
+        coalesce: bool = True,
+        clock: Clock | None = None,
+        metrics: ServiceMetrics | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.coalesce = coalesce
+        self.clock = clock or Clock()
+        self.metrics = metrics or ServiceMetrics(self.clock)
+        self.oracle = oracle if oracle is not None else CostOracle()
+        self.batcher = MicroBatcher(
+            self._evaluate_batch,
+            max_batch_size=max_batch_size,
+            max_wait_s=max_wait_s,
+            max_queue=max_queue,
+            timeout_s=timeout_s,
+            clock=self.clock,
+            metrics=self.metrics,
+        )
+        self.metrics.cache_counters = self.oracle.cache_counters
+        self._server: asyncio.Server | None = None
+        self._shutdown_started = False
+        self._stopped = asyncio.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener and start the batcher."""
+        await self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`shutdown` completes."""
+        assert self._server is not None, "call start() first"
+        await self._stopped.wait()
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT → graceful drain (CLI path; main thread only)."""
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(
+                sig, lambda: asyncio.ensure_future(self.shutdown())
+            )
+
+    async def shutdown(self) -> None:
+        """Stop accepting, drain in-flight work, release the oracle."""
+        if self._shutdown_started:
+            await self._stopped.wait()
+            return
+        self._shutdown_started = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.batcher.drain()
+        self.oracle.close()
+        self._stopped.set()
+
+    @property
+    def draining(self) -> bool:
+        return self._shutdown_started
+
+    # -- evaluation glue ---------------------------------------------------
+    async def _evaluate_batch(self, specs: list) -> list:
+        """Batcher hook: run one window in a worker thread."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, self.oracle.evaluate_batch, specs
+        )
+
+    # -- HTTP --------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    parsed = await self._read_request(reader)
+                except _HttpError as exc:
+                    # Framing error: answer and drop the connection (we
+                    # can no longer trust the stream position).
+                    await self._write_response(
+                        writer, exc.status, exc.body, exc.headers, False
+                    )
+                    break
+                if parsed is None:
+                    break
+                method, target, http_version, headers, payload = parsed
+                path = urlsplit(target).path
+                started = self.clock.monotonic()
+                try:
+                    status, body, extra_headers = await self._dispatch(
+                        method, target, payload
+                    )
+                except _HttpError as exc:
+                    status, body, extra_headers = exc.status, exc.body, exc.headers
+                except Exception as exc:  # noqa: BLE001 - last resort
+                    status = 500
+                    body = _error_body("internal", f"{type(exc).__name__}: {exc}")
+                    extra_headers = {}
+                self.metrics.observe_request(
+                    path, status, self.clock.monotonic() - started
+                )
+                keep_alive = (
+                    not self._shutdown_started
+                    and http_version != "HTTP/1.0"
+                    and headers.get("connection", "").lower() != "close"
+                )
+                await self._write_response(
+                    writer, status, body, extra_headers, keep_alive
+                )
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Loop teardown cancels idle keep-alive handlers; not an error.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """One request: ``(method, target, version, headers, payload)``.
+
+        Returns ``None`` on a cleanly closed connection; raises
+        :class:`_HttpError` on malformed framing.
+        """
+        try:
+            request_line = await reader.readline()
+        except (ConnectionError, OSError):
+            return None
+        if not request_line:
+            return None
+        try:
+            method, target, http_version = (
+                request_line.decode("ascii").split()
+            )
+        except ValueError:
+            raise _HttpError(
+                400, _error_body("bad_request_line",
+                                 "malformed HTTP request line")
+            ) from None
+        headers: dict[str, str] = {}
+        for _ in range(_MAX_HEADER_LINES):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise _HttpError(
+                400, _error_body("too_many_headers", "too many header lines")
+            )
+        length_raw = headers.get("content-length", "0")
+        try:
+            length = int(length_raw)
+        except ValueError:
+            raise _HttpError(
+                400, _error_body("bad_content_length",
+                                 f"invalid Content-Length {length_raw!r}")
+            ) from None
+        if length > _MAX_BODY_BYTES:
+            raise _HttpError(
+                413, _error_body("body_too_large",
+                                 f"body exceeds {_MAX_BODY_BYTES} bytes")
+            )
+        payload = None
+        if length:
+            raw = await reader.readexactly(length)
+            try:
+                payload = json.loads(raw)
+            except ValueError:
+                raise _HttpError(
+                    400, _error_body("bad_json", "body is not valid JSON")
+                ) from None
+        return method, target, http_version, headers, payload
+
+    async def _write_response(
+        self, writer: asyncio.StreamWriter, status: int, body: dict,
+        extra_headers: dict[str, str], keep_alive: bool,
+    ) -> None:
+        blob = json.dumps(body, sort_keys=True).encode()
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(blob)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        lines.extend(f"{k}: {v}" for k, v in extra_headers.items())
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode() + blob)
+        await writer.drain()
+
+    # -- routing -----------------------------------------------------------
+    async def _dispatch(
+        self, method: str, target: str, payload
+    ) -> tuple[int, dict, dict[str, str]]:
+        split = urlsplit(target)
+        path = split.path
+        routes: dict[tuple[str, str], Callable[..., Awaitable]] = {
+            ("POST", "/v1/cost"): self._route_cost,
+            ("POST", "/v1/sweep"): self._route_sweep,
+            ("GET", "/v1/advise"): self._route_advise,
+            ("GET", "/healthz"): self._route_healthz,
+            ("GET", "/metrics"): self._route_metrics,
+        }
+        handler = routes.get((method, path))
+        if handler is None:
+            known_paths = {p for _, p in routes}
+            if path in known_paths:
+                raise _HttpError(
+                    405, _error_body("method_not_allowed",
+                                     f"{method} not supported on {path}")
+                )
+            raise _HttpError(404, _error_body("not_found", f"no route {path}"))
+        query = dict(parse_qsl(split.query))
+        try:
+            body = await handler(payload, query)
+        except ProtocolError as exc:
+            raise _HttpError(400, exc.body()) from None
+        except Overloaded as exc:
+            status = 503 if exc.draining else 429
+            code = "draining" if exc.draining else "overloaded"
+            raise _HttpError(
+                status, _error_body(code, str(exc)),
+                {"Retry-After": str(max(1, round(exc.retry_after)))},
+            ) from None
+        except RequestTimeout as exc:
+            self.metrics  # timeouts counted by the batcher
+            raise _HttpError(504, _error_body("timeout", str(exc))) from None
+        return 200, body, {}
+
+    async def _route_cost(self, payload, query) -> dict:
+        spec = parse_cost_request(payload)
+        key = spec_key(spec) if self.coalesce else None
+        return await self.batcher.submit(spec, key=key)
+
+    async def _route_sweep(self, payload, query) -> dict:
+        meta, specs = parse_sweep_request(payload)
+        if self.batcher.draining:
+            raise Overloaded(self.batcher.retry_after(), draining=True)
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, self.oracle.run_sweep, meta, specs
+        )
+
+    async def _route_advise(self, payload, query) -> dict:
+        spec = parse_advise_request(query)
+        if self.batcher.draining:
+            raise Overloaded(self.batcher.retry_after(), draining=True)
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.oracle.advise, spec)
+
+    async def _route_healthz(self, payload, query) -> dict:
+        return {
+            "status": "draining" if self._shutdown_started else "ok",
+            "pending": self.batcher.pending,
+        }
+
+    async def _route_metrics(self, payload, query) -> dict:
+        return self.metrics.snapshot()
+
+
+class BackgroundServer:
+    """A :class:`ServiceServer` on its own thread + event loop.
+
+    For tests, benchmarks, and runnable docs: enter the context manager,
+    talk to :attr:`url` with any client, exit to drain and stop.
+
+    >>> from repro.service import BackgroundServer, ServiceClient
+    >>> with BackgroundServer(cache=False) as srv:          # doctest: +SKIP
+    ...     ServiceClient(srv.url).healthz()["status"]
+    'ok'
+    """
+
+    def __init__(self, *, jobs: "int | str" = 1, cache: bool = True,
+                 cache_dir=None, **server_kwargs) -> None:
+        self._oracle_kwargs = dict(jobs=jobs, cache=cache, cache_dir=cache_dir)
+        self._server_kwargs = server_kwargs
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._startup_error: BaseException | None = None
+        self.server: ServiceServer | None = None
+        self.url = ""
+
+    def __enter__(self) -> "BackgroundServer":
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-service")
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            try:
+                oracle = CostOracle(**self._oracle_kwargs)
+                self.server = ServiceServer(oracle, **self._server_kwargs)
+                await self.server.start()
+                self.url = self.server.url
+            except BaseException as exc:  # surface to the entering thread
+                self._startup_error = exc
+                self._ready.set()
+                return
+            self._ready.set()
+            await self._stop.wait()
+            await self.server.shutdown()
+
+        asyncio.run(main())
+
+    def stop(self) -> None:
+        """Drain and stop the server; joins the thread."""
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30)
+        self._thread = None

@@ -278,3 +278,48 @@ class TestKeys:
             (cache_dir / "shard_ab.jsonl").read_text().splitlines()[0]
         )
         assert entry["fingerprint"] == "F"
+
+
+class TestPoolReuse:
+    def test_keep_pool_reuses_workers_across_runs(self):
+        ex = SweepExecutor(jobs=2, cache=False, keep_pool=True)
+        try:
+            first = ex.run(cheap_measure, POINTS)
+            pool = ex._pool
+            assert pool is not None
+            second = ex.run(cheap_measure, POINTS)
+            assert ex._pool is pool  # same pool object, no respawn
+            assert [p.cycles for p in first] == [p.cycles for p in second]
+        finally:
+            ex.close()
+        assert ex._pool is None
+
+    def test_keep_pool_grows_for_larger_job_counts(self):
+        ex = SweepExecutor(jobs=1, cache=False, keep_pool=True)
+        try:
+            ex.run(cheap_measure, POINTS)
+            small = ex._pool
+            ex.jobs = 2
+            ex.run(cheap_measure, POINTS)
+            assert ex._pool is not small
+            assert ex._pool_workers == 2
+        finally:
+            ex.close()
+
+    def test_transient_default_leaves_no_pool(self):
+        ex = SweepExecutor(jobs=2, cache=False)
+        ex.run(cheap_measure, POINTS)
+        assert ex._pool is None
+        ex.close()  # no-op without a retained pool
+
+    def test_context_manager_closes_pool(self):
+        with SweepExecutor(jobs=2, cache=False, keep_pool=True) as ex:
+            ex.run(cheap_measure, POINTS)
+            assert ex._pool is not None
+        assert ex._pool is None
+
+    def test_keep_pool_results_match_serial(self):
+        serial = SweepExecutor(jobs=1, cache=False).run(cheap_measure, POINTS)
+        with SweepExecutor(jobs=2, cache=False, keep_pool=True) as ex:
+            pooled = ex.run(cheap_measure, POINTS)
+        assert [p.cycles for p in serial] == [p.cycles for p in pooled]

@@ -1,0 +1,153 @@
+"""Client retry discipline against a fake transport — no sockets, no
+real sleeping: the transport scripts responses and the injected sleep
+records backoff delays."""
+
+import asyncio
+
+import pytest
+
+from repro.service.client import (
+    AsyncServiceClient,
+    ServiceClient,
+    ServiceError,
+    Unavailable,
+)
+
+OK_BODY = {"cycles": 42}
+
+
+class FakeTransport:
+    """Scripted `(status, headers, body)` outcomes; exceptions raise."""
+
+    def __init__(self, outcomes):
+        self.outcomes = list(outcomes)
+        self.calls = []
+
+    def __call__(self, method, path, payload):
+        self.calls.append((method, path, payload))
+        outcome = self.outcomes.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+
+def make_client(outcomes, **kwargs):
+    sleeps = []
+    client = ServiceClient("http://127.0.0.1:1", backoff_s=0.25,
+                           sleep=sleeps.append, **kwargs)
+    client._once = FakeTransport(outcomes)
+    return client, client._once, sleeps
+
+
+class TestSyncRetries:
+    def test_retry_after_header_honored(self):
+        client, transport, sleeps = make_client([
+            (429, {"retry-after": "3"}, {"error": {"code": "overloaded",
+                                                   "message": "busy"}}),
+            (200, {}, OK_BODY),
+        ])
+        assert client.cost("sum", "hmm", {"n": 1024, "p": 64}) == OK_BODY
+        assert sleeps == [3.0]
+        assert len(transport.calls) == 2
+
+    def test_503_retried_too(self):
+        client, _, sleeps = make_client([
+            (503, {"retry-after": "1"}, {"error": {"code": "draining",
+                                                   "message": "bye"}}),
+            (200, {}, OK_BODY),
+        ])
+        assert client.healthz() == OK_BODY
+        assert sleeps == [1.0]
+
+    def test_exponential_backoff_without_header(self):
+        client, _, sleeps = make_client([
+            (429, {}, {"error": {}}),
+            (429, {}, {"error": {}}),
+            (200, {}, OK_BODY),
+        ])
+        assert client.metrics() == OK_BODY
+        assert sleeps == [0.25, 0.5]
+
+    def test_connection_error_retried(self):
+        client, _, sleeps = make_client([
+            ConnectionRefusedError("nope"),
+            (200, {}, OK_BODY),
+        ])
+        assert client.healthz() == OK_BODY
+        assert len(sleeps) == 1
+
+    def test_exhausted_retries_raise_unavailable(self):
+        client, transport, _ = make_client(
+            [(429, {}, {"error": {}})] * 3, retries=2,
+        )
+        with pytest.raises(Unavailable) as err:
+            client.healthz()
+        assert "3 attempts" in str(err.value)
+        assert len(transport.calls) == 3
+
+    def test_400_not_retried(self):
+        client, transport, sleeps = make_client([
+            (400, {}, {"error": {"code": "invalid_param", "field": "w",
+                                 "message": "w must be a power of two"}}),
+        ])
+        with pytest.raises(ServiceError) as err:
+            client.cost("sum", "hmm", {"n": 1024, "p": 64, "w": 5})
+        assert err.value.status == 400
+        assert err.value.field == "w"
+        assert sleeps == []
+        assert len(transport.calls) == 1
+
+    def test_rejects_non_http_url(self):
+        with pytest.raises(ValueError):
+            ServiceClient("https://example.com")
+        with pytest.raises(ValueError):
+            ServiceClient("not-a-url")
+
+
+class AsyncFakeTransport:
+    def __init__(self, outcomes):
+        self.outcomes = list(outcomes)
+        self.calls = []
+
+    async def __call__(self, method, path, payload):
+        self.calls.append((method, path, payload))
+        outcome = self.outcomes.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+
+class TestAsyncRetries:
+    def _make(self, outcomes, **kwargs):
+        sleeps = []
+
+        async def sleep(delay):
+            sleeps.append(delay)
+
+        client = AsyncServiceClient("http://127.0.0.1:1", backoff_s=0.25,
+                                    sleep=sleep, **kwargs)
+        client._once = AsyncFakeTransport(outcomes)
+        return client, client._once, sleeps
+
+    def test_retry_after_honored(self):
+        client, transport, sleeps = self._make([
+            (429, {"retry-after": "2"}, {"error": {}}),
+            (200, {}, OK_BODY),
+        ])
+        result = asyncio.run(client.cost("sum", "hmm", {"n": 1024, "p": 64}))
+        assert result == OK_BODY
+        assert sleeps == [2.0]
+        assert len(transport.calls) == 2
+
+    def test_exhausted_retries_raise_unavailable(self):
+        client, _, _ = self._make([(503, {}, {"error": {}})] * 2, retries=1)
+        with pytest.raises(Unavailable):
+            asyncio.run(client.healthz())
+
+    def test_timeout_retried(self):
+        client, _, sleeps = self._make([
+            asyncio.TimeoutError(),
+            (200, {}, OK_BODY),
+        ])
+        assert asyncio.run(client.healthz()) == OK_BODY
+        assert len(sleeps) == 1

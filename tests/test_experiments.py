@@ -70,6 +70,28 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["nonsense"])
 
+    def test_figures_advise_writes_verdicts(self, capsys, tmp_path):
+        from repro.experiments.__main__ import main
+        from repro.experiments.figures import FIG4_LATENCY_GRID
+
+        code = main(["figures", "-o", str(tmp_path), "--advise",
+                     "--no-cache"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Kernel advisor verdicts" in out
+        advise = (tmp_path / "advise.txt").read_text()
+        # One verdict line per Figure 4 launch, each with a regime.
+        for q in FIG4_LATENCY_GRID:
+            assert f"fig4 l={q['l']}" in advise
+        assert "-bound" in advise
+
+    def test_advise_without_advisable_launches(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["table2", "--advise", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "no advisable launches" in out
+
 
 class TestTable1ResultLogic:
     def test_all_shapes_hold_thresholds(self):

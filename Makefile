@@ -1,6 +1,6 @@
 # Convenience targets; plain pytest/python work equally well.
 
-.PHONY: install test bench bench-service examples experiments serve docs-check clean
+.PHONY: install test bench bench-service bench-replay examples experiments serve docs-check clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -14,6 +14,9 @@ bench:
 bench-service:
 	PYTHONPATH=src python -m repro.service bench --out benchmarks/out/service.txt
 
+bench-replay:
+	PYTHONPATH=src pytest benchmarks/bench_trace_replay.py -q
+
 examples:
 	for f in examples/*.py; do echo "== $$f"; PYTHONPATH=src python $$f > /dev/null || exit 1; done
 
@@ -24,8 +27,8 @@ serve:
 	PYTHONPATH=src python -m repro.service serve
 
 docs-check:
-	PYTHONPATH=src python tools/check_doc_snippets.py docs/TUTORIAL.md docs/PERFORMANCE.md docs/SERVICE.md
+	PYTHONPATH=src python tools/check_doc_snippets.py docs/TUTORIAL.md docs/PERFORMANCE.md docs/SERVICE.md docs/INTERNALS.md
 
 clean:
-	rm -rf build dist *.egg-info src/*.egg-info .pytest_benchmarks .benchmarks benchmarks/.benchmarks benchmarks/.sweep_cache
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_benchmarks .benchmarks benchmarks/.benchmarks benchmarks/.sweep_cache benchmarks/.trace_store
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -144,10 +144,12 @@ class _FlatMachine:
 
     ``mode`` selects the evaluation engine for every operation run on
     this machine: ``"event"`` (exact discrete-event scheduling, the
-    default) or ``"batch"`` (the vectorized fast path, which falls back
+    default), ``"batch"`` (the vectorized fast path, which falls back
     to the event engine automatically whenever it cannot reproduce event
-    semantics — identical cycles and results either way; see
-    ``docs/PERFORMANCE.md``).
+    semantics), or ``"replay"`` (trace-compiled re-costing: each launch
+    shape is captured once and re-priced from the stored trace at any
+    latency).  Cycles and results are identical in every mode; see
+    ``docs/PERFORMANCE.md``.
     """
 
     _policy_cls: type[SlotPolicy]
@@ -302,7 +304,7 @@ class HMM:
     ) -> None:
         self.params = params if params is not None else HMMParams()
         #: Default evaluation mode for engines built by this front-end
-        #: ("event" or "batch"; see ``docs/PERFORMANCE.md``).
+        #: ("event", "batch", or "replay"; see ``docs/PERFORMANCE.md``).
         self.mode = resolve_mode(mode)
 
     def engine(

@@ -15,6 +15,7 @@ __all__ = [
     "LockstepError",
     "DeadlockError",
     "SpaceMismatchError",
+    "TraceOverflowError",
 ]
 
 
@@ -60,3 +61,13 @@ class SpaceMismatchError(KernelError):
     """An operation referenced an array that lives in a different memory
     space than the one the operation targets (e.g. a shared-memory read of
     a global-memory array)."""
+
+
+class TraceOverflowError(ReproError):
+    """A trace recorder hit its configured ``max_transactions`` cap.
+
+    Tracing stores every warp transaction; on large launches that grows
+    without bound.  Recorders accept an optional cap and raise this error
+    instead of silently exhausting memory; the trace-replay capture path
+    catches it and falls back to an untraced event run.
+    """

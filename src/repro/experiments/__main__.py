@@ -13,12 +13,15 @@ Sweep execution flags (see docs/PERFORMANCE.md, "Parallel sweeps & the
 result cache")::
 
     --jobs N|auto   # shard sweeps over N worker processes
-    --mode MODE     # evaluation engine: batch (default) or event
+    --mode MODE     # evaluation engine: batch (default), event, or replay
     --no-cache      # skip the persistent result cache
     --cache-stats   # print cache statistics (standalone or after a run)
 
 Results are identical for every jobs/mode/cache setting; a warm cache
-makes reruns all cache hits.
+makes reruns all cache hits.  ``--mode replay`` additionally keeps a
+compiled-trace store (``benchmarks/.trace_store``) so launches repeated
+at different latencies re-cost a stored trace instead of re-executing
+(see docs/PERFORMANCE.md, "Trace replay").
 """
 
 from __future__ import annotations
@@ -162,9 +165,10 @@ def main(argv: list[str] | None = None) -> int:
         "min(points, cpu_count) (default: 1, in-process)",
     )
     parser.add_argument(
-        "--mode", choices=["batch", "event"], default="batch",
+        "--mode", choices=["batch", "event", "replay"], default="batch",
         help="evaluation engine for the sweeps (default: batch — the "
-        "vectorized fast path; cycles are identical either way)",
+        "vectorized fast path; replay re-costs stored kernel traces; "
+        "cycles are identical in every mode)",
     )
     parser.add_argument(
         "--no-cache", action="store_true",
@@ -268,6 +272,10 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.cache_stats:
         print(SweepExecutor(cache=True).stats().describe())
+        if args.mode == "replay":
+            from repro.machine.replay import default_store
+
+            print(default_store().stats().describe())
 
     if ok:
         print("reproduction criteria: PASS")

@@ -17,6 +17,7 @@ from repro.machine.memory import ArrayHandle, MemorySpace
 from repro.machine.ops import MemoryOp
 from repro.machine.pipeline import PipelinedMemoryUnit
 from repro.machine.policy import SlotPolicy
+from repro.machine.replay import replay_launch
 from repro.machine.report import RunReport
 from repro.machine.scheduler import Scheduler, SchedulerResult, WarpState
 from repro.machine.trace import TraceRecorder
@@ -25,11 +26,18 @@ from repro.params import MachineParams
 
 __all__ = ["MachineEngine", "make_warp_contexts", "resolve_mode", "run_warp_program"]
 
-_MODES = ("event", "batch")
+_MODES = ("event", "batch", "replay")
 
 
 def resolve_mode(mode: str) -> str:
-    """Validate an engine evaluation mode (``"event"`` or ``"batch"``)."""
+    """Validate an engine evaluation mode.
+
+    ``"event"`` is the exact discrete-event scheduler, ``"batch"`` the
+    vectorized fast path with automatic fallback, ``"replay"`` the
+    trace-compiled path: capture each launch shape once, re-cost it for
+    any latency/policy from the stored trace
+    (:mod:`repro.machine.replay`).
+    """
     if mode not in _MODES:
         raise ConfigurationError(
             f"mode must be one of {_MODES}, got {mode!r}"
@@ -140,8 +148,10 @@ class MachineEngine:
         Pass ``False`` for the no-pipelining ablation.
     mode:
         Default evaluation mode for launches: ``"event"`` (exact
-        discrete-event scheduling) or ``"batch"`` (vectorized fast path
-        with automatic fallback — see :mod:`repro.machine.batch`).
+        discrete-event scheduling), ``"batch"`` (vectorized fast path
+        with automatic fallback — see :mod:`repro.machine.batch`), or
+        ``"replay"`` (trace-compiled re-costing — see
+        :mod:`repro.machine.replay`).
     """
 
     def __init__(
@@ -202,6 +212,33 @@ class MachineEngine:
         run_mode = self.mode if mode is None else resolve_mode(mode)
         self.unit.reset()
         contexts = make_warp_contexts(num_threads, self.params.width)
+        if run_mode == "replay":
+            if trace is not None:
+                # A user-attached recorder needs a real run to observe.
+                run_mode = "event"
+            else:
+                result, stats, engine_tag = replay_launch(
+                    program=program,
+                    contexts=contexts,
+                    machine="flat",
+                    width=self.params.width,
+                    unit_names=("mem",),
+                    units=(self.unit,),
+                    spaces=(self.space,),
+                    unit_for=self._unit_for,
+                    dispatch=self.dispatch,
+                )
+                return RunReport(
+                    cycles=result.cycles,
+                    num_threads=num_threads,
+                    num_warps=len(contexts),
+                    unit_stats=stats if stats is not None else {"mem": self.unit.stats},
+                    compute_ops=result.compute_ops,
+                    compute_cycles=result.compute_cycles,
+                    barrier_releases=result.barrier_releases,
+                    label=label or self.name,
+                    engine=engine_tag,
+                )
         result, engine_tag = run_warp_program(
             contexts,
             program,

@@ -25,6 +25,7 @@ from repro.machine.memory import ArrayHandle, MemorySpace
 from repro.machine.ops import MemoryOp
 from repro.machine.pipeline import PipelinedMemoryUnit
 from repro.machine.policy import DMMBankPolicy, SlotPolicy, UMMGroupPolicy
+from repro.machine.replay import replay_launch
 from repro.machine.report import RunReport
 from repro.machine.scheduler import WarpState
 from repro.machine.trace import TraceRecorder
@@ -60,8 +61,10 @@ class HMMEngine:
         default to the paper's UMM / DMM rules.
     mode:
         Default evaluation mode for launches: ``"event"`` (exact
-        discrete-event scheduling) or ``"batch"`` (vectorized fast path
-        with automatic fallback — see :mod:`repro.machine.batch`).
+        discrete-event scheduling), ``"batch"`` (vectorized fast path
+        with automatic fallback — see :mod:`repro.machine.batch`), or
+        ``"replay"`` (trace-compiled re-costing — see
+        :mod:`repro.machine.replay`).
     """
 
     def __init__(
@@ -201,12 +204,50 @@ class HMMEngine:
             )
             first_tid += share
 
+        units = [self.global_unit, *self.shared_units]
+        spaces = [self.global_space, *self.shared_spaces]
+        if run_mode == "replay" and trace is None:
+            result, replay_stats, engine_tag = replay_launch(
+                program=program,
+                contexts=contexts,
+                machine="hmm",
+                width=self.params.width,
+                unit_names=[u.name for u in units],
+                units=units,
+                spaces=spaces,
+                unit_for=self._unit_for,
+                dispatch=self.dispatch,
+            )
+            if replay_stats is not None:
+                stats = {"global": replay_stats["global"]}
+                for unit in self.shared_units:
+                    if replay_stats[unit.name].transactions:
+                        stats[unit.name] = replay_stats[unit.name]
+            else:
+                stats = {"global": self.global_unit.stats}
+                for unit in self.shared_units:
+                    if unit.stats.transactions:
+                        stats[unit.name] = unit.stats
+            return RunReport(
+                cycles=result.cycles,
+                num_threads=num_threads,
+                num_warps=len(contexts),
+                unit_stats=stats,
+                compute_ops=result.compute_ops,
+                compute_cycles=result.compute_cycles,
+                barrier_releases=result.barrier_releases,
+                label=label or "hmm",
+                engine=engine_tag,
+            )
+        if run_mode == "replay":
+            # A user-attached recorder needs a real run to observe.
+            run_mode = "event"
         result, engine_tag = run_warp_program(
             contexts,
             program,
             self._unit_for,
-            spaces=[self.global_space, *self.shared_spaces],
-            units=[self.global_unit, *self.shared_units],
+            spaces=spaces,
+            units=units,
             trace=trace,
             dispatch=self.dispatch,
             mode=run_mode,

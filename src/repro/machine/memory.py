@@ -125,6 +125,25 @@ class MemorySpace:
         """Reinstate a :meth:`snapshot` (discards writes made since)."""
         self._cells = cells.copy()
 
+    def state(self) -> np.ndarray:
+        """Copy of the *allocated* cells (``[0, used)``) only.
+
+        Cells past the allocation break are unreachable by kernels, so
+        this is the complete observable value state of the space — what
+        trace replay hashes (cache keying) and stores (post-run state).
+        """
+        return self._cells[: self._brk].copy()
+
+    def load_state(self, cells: np.ndarray) -> None:
+        """Overwrite the first ``cells.size`` cells with ``cells``.
+
+        The inverse of :meth:`state`: trace replay uses it to reinstate a
+        captured post-run state without re-executing the kernel.  The
+        allocation break is host-side and untouched.
+        """
+        self._ensure(cells.size)
+        self._cells[: cells.size] = cells
+
     def begin_undo(self) -> None:
         """Start logging stores so they can be rolled back.
 

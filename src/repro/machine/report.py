@@ -42,9 +42,14 @@ class RunReport:
     engine:
         Which evaluation engine produced the numbers: ``"event"`` (the
         discrete-event scheduler), ``"batch"`` (the vectorized fast
-        path), or ``"batch-fallback"`` (batch mode was requested but the
+        path), ``"batch-fallback"`` (batch mode was requested but the
         run was re-evaluated on the event engine — identical numbers,
-        no speedup).  See ``docs/PERFORMANCE.md``.
+        no speedup), ``"replay"`` (re-costed from a stored compiled
+        trace without executing the kernel), ``"replay-capture"``
+        (replay mode missed the trace store; this event run captured
+        the trace for future replays), or ``"replay-refused"`` (replay
+        mode declined — non-oblivious or uncacheable launch — and ran
+        on the event engine).  See ``docs/PERFORMANCE.md``.
     """
 
     cycles: int

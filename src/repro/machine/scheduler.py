@@ -208,6 +208,8 @@ class Scheduler:
             if isinstance(op, ComputeOp):
                 compute_ops += 1
                 compute_cycles += op.cycles
+                if self._trace is not None:
+                    self._trace.record_compute(ws.ctx, op.cycles)
                 ws.ready += op.cycles
                 makespan = max(makespan, ws.ready)
                 heapq.heappush(heap, (ws.ready, wid))
@@ -308,7 +310,7 @@ class Scheduler:
             else:
                 assert isinstance(op, WriteRangeOp)
                 rec = WriteOp(array=op.array, addresses=row, values=op.values[j])
-            self._trace.record(ws.ctx, unit, rec, issue)
+            self._trace.record(ws.ctx, unit, rec, issue, post_compute=op.compute)
         space = op.array.space
         if isinstance(op, ReadRangeOp):
             assert ws.range_values is not None
@@ -355,6 +357,8 @@ class Scheduler:
         in_heap: set[int],
         by_id: dict[int, WarpState],
     ) -> int:
+        if self._trace is not None:
+            self._trace.record_arrival(ws.ctx, op.scope)
         key = self._group_key(ws, op.scope)
         group = groups[key]
         seq = ws.barrier_seq.get(op.scope, 0)

@@ -11,7 +11,18 @@ pipeline timing the unit assigned.  The recorder powers:
   write) without an intervening barrier are flagged.
 
 Tracing costs memory proportional to the number of transactions — attach
-it for small runs and debugging, not for large sweeps.
+it for small runs and debugging, not for large sweeps.  Pass
+``max_transactions`` to enforce that: the recorder then raises
+:class:`~repro.errors.TraceOverflowError` instead of growing without
+bound.
+
+The recorder also defines the hook surface the scheduler drives:
+:meth:`TraceRecorder.record` (one memory transaction),
+:meth:`TraceRecorder.record_compute` (one warp compute step) and
+:meth:`TraceRecorder.record_arrival` (one warp reaching a barrier).  The
+base class only stores transactions; the trace-replay compiler
+(:class:`repro.machine.replay.TraceCompiler`) overrides all three to
+capture complete per-warp operation streams.
 """
 
 from __future__ import annotations
@@ -22,6 +33,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.errors import ConfigurationError, TraceOverflowError
 from repro.machine.ops import AccessKind, BarrierScope, MemoryOp
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -83,13 +95,35 @@ class RaceReport:
 
 
 class TraceRecorder:
-    """Collects transactions and barrier events during a run."""
+    """Collects transactions and barrier events during a run.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    max_transactions:
+        Optional upper bound on the number of recorded transactions.
+        Exceeding it raises :class:`~repro.errors.TraceOverflowError`
+        (the trace grows linearly with the run; an unbounded recorder on
+        a large launch silently exhausts RAM).
+    """
+
+    def __init__(self, *, max_transactions: int | None = None) -> None:
+        if max_transactions is not None and max_transactions < 1:
+            raise ConfigurationError(
+                f"max_transactions must be >= 1, got {max_transactions}"
+            )
+        self.max_transactions = max_transactions
         self.records: list[TransactionRecord] = []
         self.barrier_events: list[tuple[BarrierScope, int, int]] = []
         self._device_epoch = 0
         self._dmm_epoch: dict[int, int] = defaultdict(int)
+
+    def _check_capacity(self, recorded: int) -> None:
+        """Raise when one more transaction would exceed the cap."""
+        if self.max_transactions is not None and recorded >= self.max_transactions:
+            raise TraceOverflowError(
+                f"trace exceeded max_transactions={self.max_transactions}; "
+                "raise the cap (or trace a smaller launch)"
+            )
 
     # -- hooks called by the scheduler ------------------------------------
     def record(
@@ -98,7 +132,17 @@ class TraceRecorder:
         unit: "PipelinedMemoryUnit",
         op: MemoryOp,
         issue: "Issue",
+        *,
+        post_compute: int = 0,
     ) -> None:
+        """Record one warp memory transaction.
+
+        ``post_compute`` is the local-compute time charged to the warp
+        directly after the transaction (nonzero only for fused range
+        rounds); the base recorder does not store it, but subclasses that
+        reconstruct full warp timelines (trace replay) need it.
+        """
+        self._check_capacity(len(self.records))
         self.records.append(
             TransactionRecord(
                 warp_id=ctx.warp_id,
@@ -115,6 +159,14 @@ class TraceRecorder:
                 dmm_epoch=self._dmm_epoch[ctx.dmm_id],
             )
         )
+
+    def record_compute(self, ctx: "WarpContext", cycles: int) -> None:
+        """One warp compute step (no-op here; replay capture overrides)."""
+
+    def record_arrival(self, ctx: "WarpContext", scope: BarrierScope) -> None:
+        """One warp arriving at a barrier (no-op here; replay capture
+        overrides — :meth:`record_barrier` fires once per *release*,
+        which is not enough to rebuild per-warp operation streams)."""
 
     def record_barrier(self, scope: BarrierScope, dmm_id: int, time: int) -> None:
         self.barrier_events.append((scope, dmm_id, time))

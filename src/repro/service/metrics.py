@@ -70,6 +70,9 @@ class ServiceMetrics:
         self.queue_depth = lambda: 0
         self.queue_bound = 0
         self.cache_counters = lambda: (0, 0)  # (hits, misses)
+        #: Trace-replay store counters (``mode="replay"`` requests);
+        #: registered by the server, empty dict when replay is unused.
+        self.trace_counters = lambda: {}
 
     # -- update hooks ------------------------------------------------------
     def observe_request(self, route: str, status: int, seconds: float) -> None:
@@ -118,5 +121,6 @@ class ServiceMetrics:
                 "misses": misses,
                 "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
             },
+            "trace_store": dict(self.trace_counters()),
             "latency": self.latency.snapshot(),
         }

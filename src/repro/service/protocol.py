@@ -57,7 +57,7 @@ KERNELS = ("sum", "convolution")
 MODELS = ("sequential", "pram", "dmm", "umm", "hmm")
 #: Models that simulate a memory machine (and therefore can be advised).
 MACHINE_MODELS = ("dmm", "umm", "hmm")
-MODES = ("batch", "event")
+MODES = ("batch", "event", "replay")
 
 MAX_N = 1 << 22
 MAX_KERNEL_LEN = 1 << 12

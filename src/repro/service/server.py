@@ -33,6 +33,7 @@ import threading
 from typing import Awaitable, Callable
 from urllib.parse import parse_qsl, urlsplit
 
+from repro.machine.replay import default_store
 from repro.service.batcher import MicroBatcher, Overloaded, RequestTimeout
 from repro.service.clock import Clock
 from repro.service.metrics import ServiceMetrics
@@ -126,6 +127,7 @@ class ServiceServer:
             metrics=self.metrics,
         )
         self.metrics.cache_counters = self.oracle.cache_counters
+        self.metrics.trace_counters = lambda: default_store().stats_dict()
         self._server: asyncio.Server | None = None
         self._shutdown_started = False
         self._stopped = asyncio.Event()

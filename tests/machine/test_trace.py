@@ -194,3 +194,40 @@ class TestTraceStatistics:
 
         assert port_utilization([], "mem", 0) == 0.0
         assert slots_histogram([], "mem") == {}
+
+
+class TestCaptureCap:
+    """``max_transactions`` bounds recorder growth on huge launches."""
+
+    def _spin(self, tr, rounds=4):
+        eng = make_umm(width=4, latency=2)
+        a = eng.alloc(16, "a")
+
+        def prog(warp):
+            for _ in range(rounds):
+                yield warp.read(a, warp.tids)
+
+        eng.launch(prog, 8, trace=tr)
+
+    def test_rejects_nonpositive_cap(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            TraceRecorder(max_transactions=0)
+
+    def test_unbounded_by_default(self):
+        tr = TraceRecorder()
+        self._spin(tr, rounds=8)
+        assert len(tr.records) == 16
+
+    def test_cap_allows_exactly_the_limit(self):
+        tr = TraceRecorder(max_transactions=8)
+        self._spin(tr, rounds=4)
+        assert len(tr.records) == 8
+
+    def test_overflow_raises_with_context(self):
+        from repro.errors import TraceOverflowError
+
+        tr = TraceRecorder(max_transactions=3)
+        with pytest.raises(TraceOverflowError, match="3"):
+            self._spin(tr, rounds=4)

@@ -1,6 +1,6 @@
 # Convenience targets; plain pytest/python work equally well.
 
-.PHONY: install test bench bench-service bench-replay examples experiments serve docs-check clean
+.PHONY: install test bench bench-service bench-replay bench-tuner examples experiments serve tune-demo docs-check clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -17,6 +17,9 @@ bench-service:
 bench-replay:
 	PYTHONPATH=src pytest benchmarks/bench_trace_replay.py -q
 
+bench-tuner:
+	PYTHONPATH=src pytest benchmarks/bench_tuner.py -q
+
 examples:
 	for f in examples/*.py; do echo "== $$f"; PYTHONPATH=src python $$f > /dev/null || exit 1; done
 
@@ -26,9 +29,15 @@ experiments:
 serve:
 	PYTHONPATH=src python -m repro.service serve
 
+tune-demo:
+	PYTHONPATH=src python -m repro.tuner transpose
+	PYTHONPATH=src python -m repro.tuner sum
+	PYTHONPATH=src python -m repro.tuner permutation
+	PYTHONPATH=src python -m repro.tuner gather
+
 docs-check:
-	PYTHONPATH=src python tools/check_doc_snippets.py docs/TUTORIAL.md docs/PERFORMANCE.md docs/SERVICE.md docs/INTERNALS.md
+	PYTHONPATH=src python tools/check_doc_snippets.py docs/TUTORIAL.md docs/PERFORMANCE.md docs/SERVICE.md docs/INTERNALS.md docs/TUNER.md
 
 clean:
-	rm -rf build dist *.egg-info src/*.egg-info .pytest_benchmarks .benchmarks benchmarks/.benchmarks benchmarks/.sweep_cache benchmarks/.trace_store
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_benchmarks .benchmarks benchmarks/.benchmarks benchmarks/.sweep_cache benchmarks/.trace_store benchmarks/.tune_cache
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -9,10 +9,13 @@ run) so the artifacts survive the run; EXPERIMENTS.md quotes them.
 
 from __future__ import annotations
 
+import json
 import pathlib
+import platform
 from typing import Iterable
 
 OUT_DIR = pathlib.Path(__file__).resolve().parent / "out"
+ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
 def emit(name: str, text: str) -> None:
@@ -38,6 +41,45 @@ def format_rows(headers: list[str], rows: Iterable[Iterable]) -> str:
     lines = [fmt(headers), "  ".join("-" * w for w in widths)]
     lines.extend(fmt(row) for row in str_rows)
     return "\n".join(lines)
+
+
+def write_bench_json(
+    name: str,
+    *,
+    config: dict,
+    rows: list,
+    metrics: dict,
+    criteria: dict,
+) -> dict:
+    """Write ``BENCH_<name>.json`` at the repo root and return the record.
+
+    The machine-readable twin of :func:`emit`, using the schema
+    ``bench_trace_replay.py`` introduced (``schema_version`` 1): host
+    info, the benchmark configuration, per-row results, derived
+    metrics, and the pass/fail criteria — one committed file per bench,
+    so the performance trajectory is diffable across PRs.
+    ``criteria`` must contain a boolean ``"pass"`` entry.
+    """
+    import numpy as np
+
+    if "pass" not in criteria:
+        raise ValueError(f"criteria for {name!r} must include 'pass'")
+    record = {
+        "bench": name,
+        "schema_version": 1,
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "config": config,
+        "rows": rows,
+        "metrics": metrics,
+        "criteria": criteria,
+    }
+    (ROOT / f"BENCH_{name}.json").write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return record
 
 
 def once(benchmark, fn, *args, **kwargs):

@@ -61,7 +61,7 @@ def test_speed_hmm_convolution(benchmark, rng):
 
 import time
 
-from _util import emit, format_rows
+from _util import emit, format_rows, write_bench_json
 from repro.core.kernels.hmm_sum import hmm_sum
 from repro.machine.hmm import HMMEngine
 from repro.machine.policy import DMMBankPolicy
@@ -111,7 +111,7 @@ def test_speed_contiguous_read_batch(benchmark):
 
 def test_batch_vs_event_comparison(rng):
     """Wall-clock comparison table: batch speedup at identical cycles."""
-    rows = []
+    records = []
 
     for policy in (UMMGroupPolicy, DMMBankPolicy):
         for n_log in (16, 18):
@@ -119,15 +119,14 @@ def test_batch_vs_event_comparison(rng):
             t_ev, c_ev = _contiguous_case(policy, n, p, "event")
             t_ba, c_ba = _contiguous_case(policy, n, p, "batch")
             assert c_ba == c_ev
-            rows.append(
-                (
-                    f"contiguous_read[{policy().name}] n=2^{n_log} p={p}",
-                    f"{t_ev * 1e3:.1f}",
-                    f"{t_ba * 1e3:.1f}",
-                    f"{t_ev / t_ba:.1f}x",
-                    c_ev,
-                )
-            )
+            records.append({
+                "workload": f"contiguous_read[{policy().name}] "
+                            f"n=2^{n_log} p={p}",
+                "event_ms": round(t_ev * 1e3, 2),
+                "batch_ms": round(t_ba * 1e3, 2),
+                "speedup": round(t_ev / t_ba, 2),
+                "cycles": c_ev,
+            })
 
     for n_log in (18, 20):
         vals = rng.normal(size=1 << n_log)
@@ -135,19 +134,36 @@ def test_batch_vs_event_comparison(rng):
         t_ba, (total_ba, c_ba) = _hmm_sum_case(vals, 512, "batch")
         assert c_ba == c_ev
         assert total_ba == total_ev
-        rows.append(
-            (
-                f"hmm_sum n=2^{n_log} p=512",
-                f"{t_ev * 1e3:.1f}",
-                f"{t_ba * 1e3:.1f}",
-                f"{t_ev / t_ba:.1f}x",
-                c_ev,
-            )
-        )
+        records.append({
+            "workload": f"hmm_sum n=2^{n_log} p=512",
+            "event_ms": round(t_ev * 1e3, 2),
+            "batch_ms": round(t_ba * 1e3, 2),
+            "speedup": round(t_ev / t_ba, 2),
+            "cycles": c_ev,
+        })
 
     emit(
         "engine_speed",
         format_rows(
-            ["workload", "event ms", "batch ms", "speedup", "cycles"], rows
+            ["workload", "event ms", "batch ms", "speedup", "cycles"],
+            [(r["workload"], f"{r['event_ms']:.1f}", f"{r['batch_ms']:.1f}",
+              f"{r['speedup']:.1f}x", r["cycles"]) for r in records],
         ),
+    )
+    speedups = [r["speedup"] for r in records]
+    write_bench_json(
+        "engine_speed",
+        config={"reps": 3, "workloads": [r["workload"] for r in records]},
+        rows=records,
+        metrics={
+            "min_speedup": min(speedups),
+            "max_speedup": max(speedups),
+        },
+        criteria={
+            # Golden equivalence is the hard criterion (asserted above);
+            # the batch engine must also not be slower overall.
+            "cycles_identical": True,
+            "min_speedup_floor": 1.0,
+            "pass": bool(min(speedups) >= 1.0),
+        },
     )

@@ -25,7 +25,7 @@ from pathlib import Path
 
 from repro.service.loadgen import render_comparison, run_comparison
 
-from _util import emit, once
+from _util import emit, once, write_bench_json
 
 DURATION_S = 10.0
 CLIENTS = 128
@@ -66,3 +66,25 @@ def test_service_throughput(benchmark):
     assert by_name["batched+cache warm"]["rps"] >= batched["rps"]
     # The naive config really did one evaluation per request.
     assert base["evaluations"] == base["requests"]
+
+    speedup = batched["rps"] / base["rps"]
+    write_bench_json(
+        "service",
+        config={
+            "duration_s": DURATION_S,
+            "clients": CLIENTS,
+            "batch_size": BATCH_SIZE,
+            "zipf_s": ZIPF_S,
+        },
+        rows=rows,
+        metrics={
+            "unbatched_rps": round(base["rps"], 1),
+            "batched_rps": round(batched["rps"], 1),
+            "batched_vs_unbatched": round(speedup, 2),
+            "warm_cache_rps": round(by_name["batched+cache warm"]["rps"], 1),
+        },
+        criteria={
+            "min_batched_vs_unbatched": 5.0,
+            "pass": bool(speedup >= 5.0),
+        },
+    )

@@ -24,7 +24,7 @@ from repro.analysis.executor import SweepExecutor
 from repro.analysis.terms import Params
 from repro.experiments.table1 import SUM_GRID, sum_task
 
-from _util import emit, format_rows, once
+from _util import emit, format_rows, once, write_bench_json
 
 SEED = 20130520
 MODELS = ("pram", "umm", "dmm", "hmm")
@@ -99,3 +99,34 @@ def test_sweep_executor_speedups(benchmark, tmp_path):
     assert r["warm_misses"] == 0
     # ...and reading the cache beats re-simulating by a wide margin.
     assert r["serial_s"] / r["warm_s"] >= 3.0, (r["serial_s"], r["warm_s"])
+
+    warm_speedup = r["serial_s"] / r["warm_s"]
+    write_bench_json(
+        "sweep_executor",
+        config={
+            "points": len(POINTS),
+            "models": list(MODELS),
+            "measurements": total,
+            "cpus": os.cpu_count(),
+        },
+        rows=[
+            {"config": "serial-event", "jobs": 1, "mode": "event",
+             "cache": "no", "wall_s": round(r["serial_s"], 4)},
+            {"config": "cold", "jobs": "auto", "mode": "batch",
+             "cache": "empty", "wall_s": round(r["cold_s"], 4),
+             "speedup_vs_serial": round(r["serial_s"] / r["cold_s"], 2)},
+            {"config": "warm", "jobs": "auto", "mode": "batch",
+             "cache": "full", "wall_s": round(r["warm_s"], 4),
+             "speedup_vs_serial": round(warm_speedup, 2)},
+        ],
+        metrics={
+            "warm_speedup_vs_serial": round(warm_speedup, 2),
+            "warm_hits": r["warm_hits"],
+            "warm_misses": r["warm_misses"],
+        },
+        criteria={
+            "cycles_identical": True,
+            "min_warm_speedup": 3.0,
+            "pass": bool(warm_speedup >= 3.0 and r["warm_misses"] == 0),
+        },
+    )

@@ -16,6 +16,8 @@ result cache")::
     --mode MODE     # evaluation engine: batch (default), event, or replay
     --no-cache      # skip the persistent result cache
     --cache-stats   # print cache statistics (standalone or after a run)
+    --advise        # advisor verdict per measured launch
+    --tune          # autotune the demo tasks (docs/TUNER.md)
 
 Results are identical for every jobs/mode/cache setting; a warm cache
 makes reruns all cache hits.  ``--mode replay`` additionally keeps a
@@ -184,6 +186,11 @@ def main(argv: list[str] | None = None) -> int:
         help="also run the kernel advisor on every measured launch "
         "(figures/table1) and print one verdict line per point",
     )
+    parser.add_argument(
+        "--tune", action="store_true",
+        help="also autotune the demo tasks (layout/launch search against "
+        "the cost model; see docs/TUNER.md) and print one report each",
+    )
     args = parser.parse_args(argv)
     if args.json and args.out is None:
         parser.error("--json requires -o/--out")
@@ -262,6 +269,25 @@ def main(argv: list[str] | None = None) -> int:
                 "table1, or all)"
             )
         _write(args.out, "advise", "\n\n".join(sections))
+
+    if args.tune:
+        from repro.tuner import TASKS, tune
+
+        sections = ["Autotuner reports (exhaustive search, demo shapes)"]
+        tuned: dict[str, object] = {}
+        for name in sorted(TASKS):
+            report = tune(name, jobs=args.jobs, cache=cache,
+                          mode="auto" if args.mode == "batch" else args.mode)
+            sections.append(report.render())
+            tuned[name] = {
+                "best": report.best.config,
+                "improvement": report.improvement,
+                "certificate": report.certificate,
+                "equivalent": report.equivalent,
+            }
+            ok &= report.improvement >= 1.0 and report.equivalent
+        _write(args.out, "tune", "\n\n".join(sections))
+        summary["tune"] = tuned
 
     summary["pass"] = bool(ok)
     if args.json:

@@ -136,6 +136,7 @@ NON_OBLIVIOUS_MODULES = frozenset(
         "repro.core.kernels.permutation",
         "repro.core.kernels.sorting",
         "repro.core.kernels.spmv",
+        "repro.tuner.datadep",
     }
 )
 

@@ -11,7 +11,8 @@ sharded :class:`~repro.analysis.executor.SweepExecutor`):
 
 * :mod:`repro.service.server` — an asyncio JSON-over-HTTP server
   (stdlib only) exposing ``POST /v1/cost``, ``POST /v1/sweep``,
-  ``GET /v1/advise``, ``GET /healthz`` and ``GET /metrics``;
+  ``POST /v1/tune``, ``GET /v1/advise``, ``GET /healthz`` and
+  ``GET /metrics``;
 * :mod:`repro.service.batcher` — the dynamic micro-batcher that
   coalesces concurrent cost queries into one oracle evaluation, with a
   bounded queue, admission control (429 + ``Retry-After``), per-request
@@ -40,10 +41,13 @@ from repro.service.protocol import (
     KERNELS,
     MAX_GRID_POINTS,
     MODELS,
+    TUNE_STRATEGIES,
+    TUNE_TASKS,
     ProtocolError,
     parse_advise_request,
     parse_cost_request,
     parse_sweep_request,
+    parse_tune_request,
 )
 from repro.service.server import BackgroundServer, ServiceServer
 
@@ -65,9 +69,12 @@ __all__ = [
     "ServiceError",
     "ServiceMetrics",
     "ServiceServer",
+    "TUNE_STRATEGIES",
+    "TUNE_TASKS",
     "Unavailable",
     "evaluate_point",
     "parse_advise_request",
     "parse_cost_request",
     "parse_sweep_request",
+    "parse_tune_request",
 ]

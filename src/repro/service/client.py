@@ -187,6 +187,14 @@ class ServiceClient:
         spec = _query_spec(kernel, model, params, **options)
         return self._request("GET", "/v1/advise?" + urlencode(spec))
 
+    def tune(self, task: str, **options: Any) -> dict:
+        """``POST /v1/tune`` — autotune a demo task server-side.
+
+        ``options`` are the body fields of the tune protocol: strategy,
+        budget, mode, seed, latencies, shape.
+        """
+        return self._request("POST", "/v1/tune", {"task": task, **options})
+
     def healthz(self) -> dict:
         return self._request("GET", "/healthz")
 
@@ -302,6 +310,10 @@ class AsyncServiceClient:
                      params: Mapping[str, int], **options: Any) -> dict:
         spec = _query_spec(kernel, model, params, **options)
         return await self._request("GET", "/v1/advise?" + urlencode(spec))
+
+    async def tune(self, task: str, **options: Any) -> dict:
+        return await self._request("POST", "/v1/tune",
+                                   {"task": task, **options})
 
     async def healthz(self) -> dict:
         return await self._request("GET", "/healthz")

@@ -145,6 +145,42 @@ class CostOracle:
             "rendered": advice.render(),
         }
 
+    def tune_spec(self, spec: Mapping) -> dict:
+        """Run an autotune job (``POST /v1/tune``) on the shared executor.
+
+        The tuner fans candidate evaluations out over the oracle's own
+        :class:`SweepExecutor`, so tune traffic shares the worker pool,
+        the admission-controlled thread, and the persistent result
+        cache with cost/sweep traffic.  Library-level
+        :class:`~repro.errors.ConfigurationError` (an impossible shape
+        for the task, say) is reported as a protocol error → HTTP 400.
+        """
+        from repro.errors import ConfigurationError
+        from repro.service.protocol import ProtocolError
+        from repro.tuner import tune
+
+        before_hits, before_misses = self.cache_counters()
+        try:
+            with self._lock:
+                report = tune(
+                    spec["task"],
+                    shape=spec["shape"] or None,
+                    latencies=spec["latencies"],
+                    strategy=spec["strategy"],
+                    budget=spec["budget"],
+                    mode=spec["mode"],
+                    seed=spec["seed"],
+                    executor=self.executor,
+                )
+        except ConfigurationError as exc:
+            raise ProtocolError(str(exc), code="invalid_param") from exc
+        hits, misses = self.cache_counters()
+        return {
+            **report.to_dict(),
+            "cache": {"hits": hits - before_hits,
+                      "misses": misses - before_misses},
+        }
+
     # -- observability / lifecycle ----------------------------------------
     def cache_counters(self) -> tuple[int, int]:
         """(hits, misses) of the persistent cache this session."""

@@ -42,10 +42,16 @@ __all__ = [
     "MAX_LATENCY",
     "MAX_DMMS",
     "MAX_GRID_POINTS",
+    "TUNE_TASKS",
+    "TUNE_STRATEGIES",
+    "TUNE_MODES",
+    "MAX_TUNE_BUDGET",
+    "MAX_TUNE_LATENCIES",
     "ProtocolError",
     "parse_cost_request",
     "parse_sweep_request",
     "parse_advise_request",
+    "parse_tune_request",
     "spec_key",
 ]
 
@@ -290,3 +296,103 @@ def parse_sweep_request(payload: Any) -> tuple[dict, list[dict]]:
 def spec_key(spec: Mapping) -> str:
     """Canonical string identity of a spec (batcher coalescing key)."""
     return json.dumps({k: spec[k] for k in _SPEC_FIELDS}, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# POST /v1/tune
+# ---------------------------------------------------------------------------
+
+#: Demo task names, mirrored statically from ``repro.tuner.demos.TASKS``
+#: so the protocol layer stays import-light (a test pins the mirror).
+TUNE_TASKS = ("gather", "permutation", "sum", "transpose")
+TUNE_STRATEGIES = ("exhaustive", "random", "greedy", "anneal")
+TUNE_MODES = ("auto",) + MODES
+
+MAX_TUNE_BUDGET = 256
+MAX_TUNE_LATENCIES = 16
+
+#: Shape overrides a tune request may set, with service-side caps (the
+#: library accepts anything; these bound one HTTP request's work).
+_TUNE_SHAPE_LIMITS = {
+    "w": (1, 64),
+    "d": (1, 64),
+    "m": (1, 256),
+    "n": (1, 1 << 16),
+}
+
+
+def parse_tune_request(payload: Any) -> dict:
+    """Validate a ``POST /v1/tune`` body into a tune spec dict.
+
+    The body names a demo task and, optionally, the search strategy,
+    evaluation budget, engine mode, seed, latency grid, and shape
+    overrides::
+
+        {"task": "transpose", "strategy": "greedy", "budget": 8,
+         "latencies": [4, 16, 64], "shape": {"m": 64}}
+
+    Returns ``{task, strategy, budget, mode, seed, latencies, shape}``
+    with ``budget``/``latencies`` as ``None`` when defaulted.  Shape
+    keys are capped but not cross-checked against the task here — the
+    oracle maps the library's ``ConfigurationError`` to a 400.
+    """
+    body = _require_object(payload, "tune request")
+    allowed = {"task", "strategy", "budget", "mode", "seed", "latencies",
+               "shape"}
+    unknown = sorted(set(body) - allowed)
+    if unknown:
+        raise ProtocolError(
+            f"unknown field {unknown[0]!r} (allowed: "
+            f"{', '.join(sorted(allowed))})",
+            field=unknown[0], code="invalid_param",
+        )
+    spec: dict[str, Any] = {
+        "task": _choice_field(body, "task", TUNE_TASKS, None),
+        "strategy": _choice_field(body, "strategy", TUNE_STRATEGIES,
+                                  "exhaustive"),
+        "mode": _choice_field(body, "mode", TUNE_MODES, "auto"),
+        "seed": _int_field(body, "seed", default=0, low=0),
+    }
+    spec["budget"] = (
+        None if body.get("budget") is None
+        else _int_field(body, "budget", low=1, high=MAX_TUNE_BUDGET)
+    )
+    lats = body.get("latencies")
+    if lats is None:
+        spec["latencies"] = None
+    else:
+        if not isinstance(lats, (list, tuple)) or not lats:
+            raise ProtocolError(
+                "latencies must be a non-empty list of integers",
+                field="latencies", code="invalid_param",
+            )
+        if len(lats) > MAX_TUNE_LATENCIES:
+            raise ProtocolError(
+                f"at most {MAX_TUNE_LATENCIES} latency points per tune "
+                f"request, got {len(lats)}",
+                field="latencies", code="grid_too_large",
+            )
+        for v in lats:
+            if isinstance(v, bool) or not isinstance(v, int) \
+                    or not 1 <= v <= MAX_LATENCY:
+                raise ProtocolError(
+                    f"latencies entries must be integers in "
+                    f"[1, {MAX_LATENCY}], got {v!r}",
+                    field="latencies", code="invalid_param",
+                )
+        spec["latencies"] = [int(v) for v in lats]
+    shape_raw = body.get("shape")
+    shape: dict[str, int] = {}
+    if shape_raw is not None:
+        shape_body = _require_object(shape_raw, "shape")
+        for key in shape_body:
+            if key not in _TUNE_SHAPE_LIMITS:
+                raise ProtocolError(
+                    f"shape.{key} is not tunable over HTTP (allowed: "
+                    f"{', '.join(sorted(_TUNE_SHAPE_LIMITS))})",
+                    field=f"shape.{key}", code="invalid_param",
+                )
+            low, high = _TUNE_SHAPE_LIMITS[key]
+            shape[key] = _int_field(shape_body, key, low=low, high=high)
+    spec["shape"] = shape
+    return spec

@@ -43,6 +43,7 @@ from repro.service.protocol import (
     parse_advise_request,
     parse_cost_request,
     parse_sweep_request,
+    parse_tune_request,
     spec_key,
 )
 
@@ -318,6 +319,7 @@ class ServiceServer:
         routes: dict[tuple[str, str], Callable[..., Awaitable]] = {
             ("POST", "/v1/cost"): self._route_cost,
             ("POST", "/v1/sweep"): self._route_sweep,
+            ("POST", "/v1/tune"): self._route_tune,
             ("GET", "/v1/advise"): self._route_advise,
             ("GET", "/healthz"): self._route_healthz,
             ("GET", "/metrics"): self._route_metrics,
@@ -361,6 +363,13 @@ class ServiceServer:
         return await loop.run_in_executor(
             None, self.oracle.run_sweep, meta, specs
         )
+
+    async def _route_tune(self, payload, query) -> dict:
+        spec = parse_tune_request(payload)
+        if self.batcher.draining:
+            raise Overloaded(self.batcher.retry_after(), draining=True)
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.oracle.tune_spec, spec)
 
     async def _route_advise(self, payload, query) -> dict:
         spec = parse_advise_request(query)

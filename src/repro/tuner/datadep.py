@@ -1,0 +1,35 @@
+"""A genuinely data-dependent demo kernel (replay must refuse it).
+
+The gather kernel reads its index vector from memory and then accesses
+``a`` *at the values it just read* — the address stream depends on
+stored data, so a captured trace is only valid for one input and
+``mode="replay"`` would be unsound.  The module is therefore registered
+in :data:`repro.machine.replay.NON_OBLIVIOUS_MODULES`; the tuner
+detects that via ``is_replay_oblivious`` and falls back to the batch
+engine for this task.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.machine.warp import WarpContext
+
+__all__ = ["gather_kernel"]
+
+
+def gather_kernel(idx, a, out, n: int):
+    """``out[i] = a[idx[i]]`` — addresses come from memory contents."""
+
+    def program(warp: WarpContext):
+        per_thread = n // warp.num_threads
+        if per_thread * warp.num_threads != n:
+            raise ConfigurationError(
+                f"n={n} must be a multiple of num_threads={warp.num_threads}"
+            )
+        for k in range(per_thread):
+            pos = warp.tids * per_thread + k
+            targets = yield warp.read(idx, pos)
+            vals = yield warp.read(a, targets.astype(int))
+            yield warp.write(out, pos, vals)
+
+    return program

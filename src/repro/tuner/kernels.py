@@ -1,0 +1,64 @@
+"""Oblivious demo kernels the tuner optimizes.
+
+The kernels here index their scratch arrays with *logical* indices and
+natural stride — deliberately the pathological layout.  The tuner never
+touches them: every candidate layout is supplied by wrapping the
+scratch array in a :class:`~repro.tuner.transforms.TransformedArray`
+before the launch, so a single generator function serves the whole
+padding/skew search space.
+
+All kernels are memory-access oblivious (addresses depend only on the
+launch shape, never on stored values), so ``mode="replay"`` is sound
+for them; the genuinely data-dependent demo lives in
+:mod:`repro.tuner.datadep` and is registered in the replay refusal
+registry.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.machine.warp import WarpContext
+
+__all__ = ["tile_transpose_kernel"]
+
+
+def tile_transpose_kernel(a, b, m: int, tile: list, num_dmms: int):
+    """``B = A^T`` via shared tiles, addressed at logical stride ``w``.
+
+    The same access pattern as
+    :func:`repro.core.kernels.matmul.hmm_transpose_kernel`, but the tile
+    is indexed as a dense logical ``w x w`` matrix (cell ``(r, c)`` at
+    ``r * w + c``): lane ``j`` writes column ``j`` of the tile — a full
+    ``w``-way bank conflict under the identity layout.  Padding or
+    skewing the tile wrapper (and *only* the wrapper) removes it.
+    """
+
+    def program(warp: WarpContext):
+        w = warp.width
+        if m % w:
+            raise ConfigurationError(
+                f"matrix size {m} must be a multiple of the width {w}"
+            )
+        if warp.num_lanes != warp.width or warp.warp_in_dmm != 0:
+            raise ConfigurationError(
+                "tile kernels expect exactly one full warp per DMM "
+                f"(launch with num_threads = d*w = {num_dmms * warp.width})"
+            )
+        tiles = m // w
+        i = warp.dmm_id
+        lane = warp.local_tids
+        my_tile = tile[i]
+
+        for tile_id in range(i, tiles * tiles, num_dmms):
+            ti, tj = divmod(tile_id, tiles)
+            for r in range(w):
+                av = yield warp.read(a, (ti * w + r) * m + tj * w + lane)
+                # Transposed store: lane j -> logical tile cell (j, r).
+                yield warp.write(my_tile, lane * w + r, av)
+            yield warp.sync_dmm()
+            for r in range(w):
+                tv = yield warp.read(my_tile, r * w + lane)
+                yield warp.write(b, (tj * w + r) * m + ti * w + lane, tv)
+            yield warp.sync_dmm()
+
+    return program

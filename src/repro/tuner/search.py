@@ -1,0 +1,233 @@
+"""Search strategies over a :class:`~repro.tuner.space.ParamSpace`.
+
+Strategies are ask/tell objects: :meth:`SearchStrategy.propose` returns
+the next batch of configurations to cost (so the tuner can fan a whole
+batch out over the :class:`~repro.analysis.executor.SweepExecutor`),
+and :meth:`SearchStrategy.observe` feeds the measured costs back.
+``propose`` returning an empty list ends the search.
+
+All strategies respect an evaluation ``budget`` and never re-propose a
+configuration they have already observed.  Determinism: random choices
+come from a seeded :class:`numpy.random.Generator` only.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.tuner.space import ParamSpace
+
+__all__ = [
+    "SearchStrategy",
+    "ExhaustiveSearch",
+    "RandomSearch",
+    "GreedySearch",
+    "AnnealSearch",
+    "STRATEGIES",
+    "make_strategy",
+]
+
+
+def _key(config: dict) -> str:
+    return json.dumps(config, sort_keys=True)
+
+
+class SearchStrategy:
+    """Ask/tell protocol shared by every strategy."""
+
+    def __init__(self, space: ParamSpace, *, budget: int | None = None) -> None:
+        if budget is not None and budget < 1:
+            raise ConfigurationError(f"budget must be >= 1, got {budget}")
+        self.space = space
+        self.budget = budget
+        self.seen: dict[str, float] = {}
+        self.best: dict | None = None
+        self.best_cost = math.inf
+
+    # -- protocol -------------------------------------------------------
+    def propose(self) -> list[dict]:
+        raise NotImplementedError
+
+    def observe(self, config: dict, cost: float) -> None:
+        self.seen[_key(config)] = cost
+        if cost < self.best_cost:
+            self.best_cost = cost
+            self.best = dict(config)
+
+    # -- shared helpers -------------------------------------------------
+    @property
+    def evaluations(self) -> int:
+        return len(self.seen)
+
+    def remaining(self) -> int:
+        if self.budget is None:
+            return self.space.size - self.evaluations
+        return max(0, self.budget - self.evaluations)
+
+    def _fresh(self, configs) -> list[dict]:
+        out, batch_seen = [], set()
+        for c in configs:
+            k = _key(c)
+            if k not in self.seen and k not in batch_seen:
+                batch_seen.add(k)
+                out.append(c)
+        return out
+
+
+class ExhaustiveSearch(SearchStrategy):
+    """Walk the whole grid (chunked so batches stay bounded)."""
+
+    def __init__(self, space: ParamSpace, *, budget: int | None = None,
+                 chunk: int = 64) -> None:
+        super().__init__(space, budget=budget)
+        self._grid = space.grid()
+        self._chunk = chunk
+
+    def propose(self) -> list[dict]:
+        n = min(self._chunk, self.remaining())
+        out = []
+        while len(out) < n:
+            try:
+                c = next(self._grid)
+            except StopIteration:
+                break
+            if _key(c) not in self.seen:
+                out.append(c)
+        return out
+
+
+class RandomSearch(SearchStrategy):
+    """Uniform sampling without replacement up to the budget."""
+
+    def __init__(self, space: ParamSpace, *, budget: int | None = None,
+                 seed: int = 0, chunk: int = 64) -> None:
+        super().__init__(space, budget=budget)
+        rng = np.random.default_rng(seed)
+        limit = space.size if budget is None else min(budget, space.size)
+        self._queue = space.sample(limit, rng)
+
+    def propose(self) -> list[dict]:
+        n = min(len(self._queue), self.remaining())
+        batch, self._queue = self._queue[:n], self._queue[n:]
+        return self._fresh(batch)
+
+
+class GreedySearch(SearchStrategy):
+    """Hill-climb: evaluate all neighbours of the incumbent, move to the
+    best, restart from a random point when stuck."""
+
+    def __init__(self, space: ParamSpace, *, budget: int | None = None,
+                 seed: int = 0, start: dict | None = None) -> None:
+        super().__init__(space, budget=budget)
+        self._rng = np.random.default_rng(seed)
+        self._current = space.validate(dict(start)) if start else None
+        self._current_cost = math.inf
+
+    def _restart(self) -> dict | None:
+        for c in self.space.sample(min(8, self.space.size), self._rng):
+            if _key(c) not in self.seen:
+                return c
+        for c in self.space.grid():
+            if _key(c) not in self.seen:
+                return c
+        return None
+
+    def propose(self) -> list[dict]:
+        if self.remaining() == 0:
+            return []
+        if self._current is None or _key(self._current) not in self.seen:
+            start = self._current if self._current is not None else self._restart()
+            return [] if start is None else [start]
+        frontier = self._fresh(self.space.neighbors(self._current))
+        if not frontier:  # local optimum: random restart
+            fresh = self._restart()
+            if fresh is None:
+                return []
+            self._current = fresh
+            return [fresh]
+        return frontier[: self.remaining()]
+
+    def observe(self, config: dict, cost: float) -> None:
+        super().observe(config, cost)
+        if self._current is None or cost < self._current_cost:
+            self._current = dict(config)
+            self._current_cost = cost
+
+
+class AnnealSearch(SearchStrategy):
+    """Simulated annealing: random neighbour steps, worse moves accepted
+    with probability ``exp(-delta / T)`` under a geometric cooldown."""
+
+    def __init__(self, space: ParamSpace, *, budget: int | None = None,
+                 seed: int = 0, start: dict | None = None,
+                 temperature: float = 1.0, cooling: float = 0.9) -> None:
+        super().__init__(space, budget=budget)
+        if not 0.0 < cooling < 1.0:
+            raise ConfigurationError(f"cooling must be in (0, 1), got {cooling}")
+        self._rng = np.random.default_rng(seed)
+        self._state = space.validate(dict(start)) if start else None
+        self._state_cost = math.inf
+        self._temp = temperature
+        self._cooling = cooling
+        self._pending: dict | None = None
+
+    def propose(self) -> list[dict]:
+        if self.remaining() == 0 or self.evaluations >= self.space.size:
+            return []
+        if self._state is None:
+            self._state = self.space.sample(1, self._rng)[0]
+            return [self._state]
+        moves = self.space.neighbors(self._state)
+        fresh = self._fresh(moves)
+        pool = fresh if fresh else self._fresh(
+            self.space.sample(min(8, self.space.size), self._rng))
+        if not pool:
+            pool = [c for c in self.space.grid() if _key(c) not in self.seen][:1]
+        if not pool:
+            return []
+        self._pending = pool[int(self._rng.integers(len(pool)))]
+        return [self._pending]
+
+    def observe(self, config: dict, cost: float) -> None:
+        super().observe(config, cost)
+        if _key(config) != (_key(self._pending) if self._pending else None):
+            return
+        delta = cost - self._state_cost
+        scale = max(abs(self._state_cost), 1.0)
+        if delta <= 0 or (
+            self._temp > 0
+            and self._rng.random() < math.exp(-delta / (scale * self._temp))
+        ):
+            self._state = dict(config)
+            self._state_cost = cost
+        self._temp *= self._cooling
+        self._pending = None
+
+
+STRATEGIES = ("exhaustive", "random", "greedy", "anneal")
+
+
+def make_strategy(
+    name: str,
+    space: ParamSpace,
+    *,
+    budget: int | None = None,
+    seed: int = 0,
+    start: dict | None = None,
+) -> SearchStrategy:
+    """Build a strategy by name (one of :data:`STRATEGIES`)."""
+    if name == "exhaustive":
+        return ExhaustiveSearch(space, budget=budget)
+    if name == "random":
+        return RandomSearch(space, budget=budget, seed=seed)
+    if name == "greedy":
+        return GreedySearch(space, budget=budget, seed=seed, start=start)
+    if name == "anneal":
+        return AnnealSearch(space, budget=budget, seed=seed, start=start)
+    raise ConfigurationError(
+        f"unknown search strategy {name!r} (choices: {list(STRATEGIES)})"
+    )

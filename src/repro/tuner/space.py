@@ -1,0 +1,145 @@
+"""Typed discrete parameter spaces for the autotuner.
+
+A :class:`ParamSpace` is an ordered set of named :class:`Axis` objects,
+each a finite, ordered list of JSON-able values (ints, floats, strings,
+bools).  A *configuration* is a plain ``{axis_name: value}`` dict — the
+representation is deliberately primitive so configurations can key the
+:class:`~repro.analysis.executor.SweepExecutor` result cache and travel
+through the service protocol unchanged.
+
+The space knows how to enumerate itself (:meth:`ParamSpace.grid`),
+sample without replacement (:meth:`ParamSpace.sample`), and produce the
+±1-step neighbourhood used by the greedy and annealing strategies
+(:meth:`ParamSpace.neighbors`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Axis", "ParamSpace"]
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One named, ordered, finite tuning dimension."""
+
+    name: str
+    values: tuple
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("axis name must be non-empty")
+        vals = tuple(self.values)
+        if not vals:
+            raise ConfigurationError(f"axis {self.name!r} has no values")
+        if len(set(vals)) != len(vals):
+            raise ConfigurationError(f"axis {self.name!r} repeats values")
+        object.__setattr__(self, "values", vals)
+
+    def index_of(self, value) -> int:
+        try:
+            return self.values.index(value)
+        except ValueError:
+            raise ConfigurationError(
+                f"{value!r} is not a value of axis {self.name!r} "
+                f"(choices: {list(self.values)})"
+            ) from None
+
+
+class ParamSpace:
+    """A finite product of named axes."""
+
+    def __init__(self, axes: list[Axis] | tuple[Axis, ...]) -> None:
+        if not axes:
+            raise ConfigurationError("a parameter space needs at least one axis")
+        names = [a.name for a in axes]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate axis names in {names}")
+        self.axes: tuple[Axis, ...] = tuple(axes)
+        self._by_name = {a.name: a for a in self.axes}
+
+    @property
+    def size(self) -> int:
+        """Total number of configurations in the grid."""
+        n = 1
+        for a in self.axes:
+            n *= len(a.values)
+        return n
+
+    def axis(self, name: str) -> Axis:
+        if name not in self._by_name:
+            raise ConfigurationError(
+                f"no axis named {name!r} (have {sorted(self._by_name)})"
+            )
+        return self._by_name[name]
+
+    def validate(self, config: dict) -> dict:
+        """Check ``config`` names every axis with a legal value."""
+        if set(config) != set(self._by_name):
+            raise ConfigurationError(
+                f"configuration keys {sorted(config)} do not match axes "
+                f"{sorted(self._by_name)}"
+            )
+        for name, value in config.items():
+            self._by_name[name].index_of(value)
+        return config
+
+    def grid(self):
+        """Every configuration, row-major in axis order."""
+        names = [a.name for a in self.axes]
+        for combo in itertools.product(*(a.values for a in self.axes)):
+            yield dict(zip(names, combo))
+
+    def config_at(self, indices: tuple[int, ...]) -> dict:
+        """The configuration at per-axis value indices."""
+        return {
+            a.name: a.values[i % len(a.values)]
+            for a, i in zip(self.axes, indices)
+        }
+
+    def indices_of(self, config: dict) -> tuple[int, ...]:
+        """Per-axis value indices of ``config`` (validates on the way)."""
+        return tuple(a.index_of(config[a.name]) for a in self.axes)
+
+    def sample(self, k: int, rng: np.random.Generator) -> list[dict]:
+        """``k`` distinct configurations, uniform without replacement.
+
+        When ``k`` meets or exceeds the grid size this is a shuffled
+        full grid.
+        """
+        if k < 1:
+            raise ConfigurationError(f"sample size must be >= 1, got {k}")
+        total = self.size
+        k = min(k, total)
+        flat = rng.choice(total, size=k, replace=False)
+        out = []
+        for f in flat:
+            indices = []
+            for a in reversed(self.axes):
+                f, i = divmod(int(f), len(a.values))
+                indices.append(i)
+            out.append(self.config_at(tuple(reversed(indices))))
+        return out
+
+    def neighbors(self, config: dict) -> list[dict]:
+        """Configurations one value-index step away along one axis."""
+        base = self.indices_of(config)
+        out = []
+        for pos, a in enumerate(self.axes):
+            for step in (-1, 1):
+                i = base[pos] + step
+                if 0 <= i < len(a.values):
+                    moved = list(base)
+                    moved[pos] = i
+                    out.append(self.config_at(tuple(moved)))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        dims = " x ".join(f"{a.name}[{len(a.values)}]" for a in self.axes)
+        return f"ParamSpace({dims} = {self.size})"

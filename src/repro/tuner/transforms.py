@@ -1,0 +1,285 @@
+"""Address-space transforms: pad, skew, permute — as array wrappers.
+
+The tuner never edits a kernel.  A kernel addresses its arrays through
+*logical* indices; a :class:`TransformedArray` wraps the physical
+:class:`~repro.machine.memory.ArrayHandle` and remaps every index
+through a composable :class:`Transform` at the moment the op is built
+(``warp.read``/``warp.write`` call ``array.addresses`` eagerly), so the
+same generator function runs unchanged under any candidate layout.
+
+All transforms are frozen dataclasses built from primitive fields, so a
+wrapped array is hashable by the replay engine's launch-key walk —
+different layouts produce different keys and therefore separate
+captured traces, exactly as required for ``mode="replay"`` soundness.
+
+Transforms must be *injective* on the logical index range (two logical
+cells may never share a physical cell); :func:`wrap` checks the
+physical footprint fits the backing handle, and the unit tests check
+injectivity per transform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AddressError, ConfigurationError
+from repro.machine.memory import ArrayHandle, MemorySpace
+
+__all__ = [
+    "Transform",
+    "Identity",
+    "Pad",
+    "Skew",
+    "Permute",
+    "Compose",
+    "compose",
+    "TransformedArray",
+    "wrap",
+]
+
+
+class Transform:
+    """Base: an injective map from logical to physical indices."""
+
+    def map_indices(self, idx: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def physical_size(self, logical: int) -> int:
+        """Physical cells needed to hold ``logical`` mapped cells."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return repr(self)
+
+
+def _rows_cols(idx: np.ndarray, row_length: int) -> tuple[np.ndarray, np.ndarray]:
+    return idx // row_length, idx % row_length
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+@dataclass(frozen=True)
+class Identity(Transform):
+    """The do-nothing layout."""
+
+    def map_indices(self, idx: np.ndarray) -> np.ndarray:
+        return idx
+
+    def physical_size(self, logical: int) -> int:
+        return logical
+
+    def describe(self) -> str:
+        return "identity"
+
+
+@dataclass(frozen=True)
+class Pad(Transform):
+    """Insert ``pad`` unused cells after every ``row_length`` cells.
+
+    The classic CUDA shared-memory fix: logical cell ``(row, col)``
+    lands at ``row * (row_length + pad) + col``, so consecutive rows
+    start in different banks whenever ``gcd(row_length + pad, w) < w``.
+    ``pad=0`` is the identity.
+    """
+
+    row_length: int
+    pad: int
+
+    def __post_init__(self) -> None:
+        if self.row_length < 1:
+            raise ConfigurationError(
+                f"row_length must be >= 1, got {self.row_length}"
+            )
+        if self.pad < 0:
+            raise ConfigurationError(f"pad must be >= 0, got {self.pad}")
+
+    def map_indices(self, idx: np.ndarray) -> np.ndarray:
+        rows, cols = _rows_cols(idx, self.row_length)
+        return rows * (self.row_length + self.pad) + cols
+
+    def physical_size(self, logical: int) -> int:
+        return _ceil_div(logical, self.row_length) * (self.row_length + self.pad)
+
+    def describe(self) -> str:
+        return f"pad(+{self.pad} per {self.row_length})"
+
+
+@dataclass(frozen=True)
+class Skew(Transform):
+    """Rotate row ``r`` by ``skew * r`` cells within the row.
+
+    Logical ``(row, col)`` lands at ``(col + skew * row) mod
+    row_length`` of the same row — zero extra memory, and with
+    ``gcd(skew, row_length) = 1`` a column of the logical matrix spreads
+    across all ``row_length`` banks.  ``skew=0`` is the identity.
+    """
+
+    row_length: int
+    skew: int
+
+    def __post_init__(self) -> None:
+        if self.row_length < 1:
+            raise ConfigurationError(
+                f"row_length must be >= 1, got {self.row_length}"
+            )
+        if not 0 <= self.skew < self.row_length:
+            raise ConfigurationError(
+                f"skew must be in [0, {self.row_length}), got {self.skew}"
+            )
+
+    def map_indices(self, idx: np.ndarray) -> np.ndarray:
+        rows, cols = _rows_cols(idx, self.row_length)
+        return rows * self.row_length + (cols + self.skew * rows) % self.row_length
+
+    def physical_size(self, logical: int) -> int:
+        # Size-preserving, but a skewed partial last row may touch any
+        # column of it, so round up to whole rows.
+        return _ceil_div(logical, self.row_length) * self.row_length
+
+    def describe(self) -> str:
+        return f"skew({self.skew} per {self.row_length})"
+
+
+@dataclass(frozen=True)
+class Permute(Transform):
+    """An arbitrary permutation of the logical index range."""
+
+    perm: tuple
+
+    def __post_init__(self) -> None:
+        perm = tuple(int(v) for v in self.perm)
+        if sorted(perm) != list(range(len(perm))):
+            raise ConfigurationError(
+                f"perm must be a permutation of 0..{len(perm) - 1}"
+            )
+        object.__setattr__(self, "perm", perm)
+
+    def map_indices(self, idx: np.ndarray) -> np.ndarray:
+        table = np.asarray(self.perm, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= table.size):
+            raise AddressError(
+                f"index out of range for permutation of size {table.size}"
+            )
+        return table[idx]
+
+    def physical_size(self, logical: int) -> int:
+        if logical > len(self.perm):
+            raise ConfigurationError(
+                f"permutation of size {len(self.perm)} cannot hold "
+                f"{logical} cells"
+            )
+        return len(self.perm)
+
+    def describe(self) -> str:
+        return f"permute[{len(self.perm)}]"
+
+
+@dataclass(frozen=True)
+class Compose(Transform):
+    """``outer`` after ``inner``: physical = outer(inner(logical))."""
+
+    inner: Transform
+    outer: Transform
+
+    def map_indices(self, idx: np.ndarray) -> np.ndarray:
+        return self.outer.map_indices(self.inner.map_indices(idx))
+
+    def physical_size(self, logical: int) -> int:
+        return self.outer.physical_size(self.inner.physical_size(logical))
+
+    def describe(self) -> str:
+        return f"{self.outer.describe()} . {self.inner.describe()}"
+
+
+def compose(*transforms: Transform) -> Transform:
+    """Compose left-to-right (first applied first), dropping identities."""
+    stages = [t for t in transforms if not isinstance(t, Identity)]
+    if not stages:
+        return Identity()
+    out = stages[0]
+    for t in stages[1:]:
+        out = Compose(inner=out, outer=t)
+    return out
+
+
+@dataclass(frozen=True, eq=False)
+class TransformedArray:
+    """An :class:`ArrayHandle` seen through a layout transform.
+
+    Duck-typed to the handle interface the engines and warp-op
+    constructors use (``space``, ``addresses``, ``describe``, plus the
+    host-side accessors), so a kernel written against logical indices
+    runs unmodified on any layout.  ``size`` is the *logical* element
+    count; the wrapped handle must be at least
+    ``transform.physical_size(size)`` cells (checked by :func:`wrap`).
+    """
+
+    handle: ArrayHandle
+    transform: Transform
+    size: int
+    name: str = ""
+
+    @property
+    def space(self) -> MemorySpace:
+        return self.handle.space
+
+    def addresses(self, indices: np.ndarray | int) -> np.ndarray:
+        idx = np.asarray(indices, dtype=np.int64).ravel()
+        if idx.size:
+            lo, hi = int(idx.min()), int(idx.max())
+            if lo < 0 or hi >= self.size:
+                raise AddressError(
+                    f"index out of range for array {self.describe()}: "
+                    f"min={lo}, max={hi}, size={self.size}"
+                )
+        return self.handle.addresses(self.transform.map_indices(idx))
+
+    # -- host-side access (untimed, like ArrayHandle's) -----------------
+    def to_numpy(self) -> np.ndarray:
+        return self.space.load(self.addresses(np.arange(self.size)))
+
+    def set(self, values: np.ndarray | list | float) -> None:
+        vals = np.asarray(values, dtype=np.float64).ravel()
+        if vals.size == 1 and self.size != 1:
+            vals = np.full(self.size, float(vals[0]))
+        if vals.size != self.size:
+            raise AddressError(
+                f"cannot set array {self.describe()} of size {self.size} "
+                f"with {vals.size} values"
+            )
+        self.space.store(self.addresses(np.arange(self.size)), vals)
+
+    def fill(self, value: float) -> None:
+        self.set(np.full(self.size, float(value)))
+
+    def __len__(self) -> int:
+        return self.size
+
+    def describe(self) -> str:
+        label = self.name or self.handle.name or "<anon>"
+        return f"{label}<{self.transform.describe()}>@{self.space.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TransformedArray({self.describe()})"
+
+
+def wrap(
+    handle: ArrayHandle,
+    transform: Transform,
+    size: int | None = None,
+    name: str = "",
+) -> TransformedArray:
+    """View ``handle`` through ``transform`` over ``size`` logical cells."""
+    logical = handle.size if size is None else size
+    need = transform.physical_size(logical)
+    if need > handle.size:
+        raise ConfigurationError(
+            f"layout {transform.describe()} needs {need} cells but "
+            f"{handle.describe()} has {handle.size}"
+        )
+    return TransformedArray(handle=handle, transform=transform,
+                            size=logical, name=name)

@@ -81,3 +81,45 @@ class TestRegime:
         # occupancy pathology should be flagged.
         assert not any("avoidable" in f for f in advice.findings)
         assert not any("raising the thread count" in f for f in advice.findings)
+
+
+class TestEdgeCases:
+    def test_compute_only_kernel(self):
+        """A kernel issuing zero memory transactions: no division by
+        zero anywhere, compute-bound regime, units read as clean."""
+        def compute_only(warp):
+            yield warp.compute(10)
+
+        eng = make_umm(width=8, latency=16)
+        report = eng.launch(compute_only, 32)
+        assert report.total_slots() == 0
+        advice = diagnose(report, eng.params)
+        assert advice.regime is Regime.COMPUTE_BOUND
+        for d in advice.units.values():
+            assert d.slots == 0
+            assert d.efficiency == 1.0
+            assert d.is_clean()
+        assert np.isfinite(advice.occupancy_ratio)
+        advice.render()  # no formatting crash either
+
+    def test_single_partial_warp(self):
+        """p smaller than the warp width: one partial warp issuing one
+        aligned transaction — sane occupancy and regime, no crash."""
+        eng = make_umm(width=8, latency=4)
+        a = eng.alloc(8)
+
+        def one_read(warp):
+            yield warp.read(a, warp.tids)
+
+        report = eng.launch(one_read, 3)
+        assert report.num_warps == 1
+        assert report.num_threads == 3
+        assert report.unit_stats["mem"].slots == 1
+        advice = diagnose(report, eng.params)
+        assert advice.regime is Regime.LATENCY_BOUND
+        assert 0.0 < advice.occupancy_ratio < 1.0
+        # Three live lanes in one group: no avoidable slot, but the
+        # occupancy rule must point at the tiny launch.
+        assert not any("avoidable" in f for f in advice.findings)
+        assert any("p >= lw" in f for f in advice.findings)
+        advice.render()

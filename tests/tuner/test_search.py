@@ -1,0 +1,130 @@
+"""Search strategies: convergence, budgets, no re-proposals, determinism."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tuner.search import (
+    STRATEGIES,
+    AnnealSearch,
+    ExhaustiveSearch,
+    GreedySearch,
+    RandomSearch,
+    make_strategy,
+)
+from repro.tuner.space import Axis, ParamSpace
+
+
+@pytest.fixture
+def space() -> ParamSpace:
+    return ParamSpace([
+        Axis("x", tuple(range(6))),
+        Axis("y", tuple(range(6))),
+    ])
+
+
+def bowl(config: dict) -> float:
+    """Convex synthetic cost: unique optimum at (4, 2)."""
+    return (config["x"] - 4) ** 2 + (config["y"] - 2) ** 2 + 1.0
+
+
+def drive(strategy, cost_fn, max_rounds: int = 200) -> None:
+    """Run the ask/tell loop until the strategy stops proposing."""
+    for _ in range(max_rounds):
+        batch = strategy.propose()
+        if not batch:
+            return
+        for config in batch:
+            strategy.observe(config, cost_fn(config))
+    raise AssertionError("strategy never terminated")
+
+
+class TestProtocol:
+    @pytest.mark.parametrize("name", STRATEGIES)
+    def test_never_reproposes_and_stays_in_budget(self, name, space):
+        strategy = make_strategy(name, space, budget=20, seed=3)
+        proposed = []
+        for _ in range(200):
+            batch = strategy.propose()
+            if not batch:
+                break
+            proposed.extend(tuple(sorted(c.items())) for c in batch)
+            for config in batch:
+                strategy.observe(config, bowl(config))
+        assert len(proposed) == len(set(proposed))
+        assert strategy.evaluations <= 20
+        assert strategy.remaining() == 20 - strategy.evaluations
+
+    @pytest.mark.parametrize("name", STRATEGIES)
+    def test_deterministic(self, name, space):
+        def run():
+            s = make_strategy(name, space, budget=15, seed=11)
+            drive(s, bowl)
+            return s.best, s.best_cost, sorted(s.seen)
+
+        assert run() == run()
+
+    def test_budget_validation(self, space):
+        with pytest.raises(ConfigurationError):
+            ExhaustiveSearch(space, budget=0)
+        with pytest.raises(ConfigurationError):
+            make_strategy("gradient-descent", space)
+
+    def test_best_tracks_minimum(self, space):
+        s = ExhaustiveSearch(space)
+        drive(s, bowl)
+        assert s.seen[
+            '{"x": 4, "y": 2}'
+        ] == s.best_cost  # json key of the optimum
+
+
+class TestConvergence:
+    def test_exhaustive_finds_optimum_exactly(self, space):
+        s = ExhaustiveSearch(space)
+        drive(s, bowl)
+        assert s.evaluations == space.size
+        assert s.best == {"x": 4, "y": 2}
+        assert s.best_cost == 1.0
+
+    def test_random_covers_space_without_budget(self, space):
+        s = RandomSearch(space, seed=5)
+        drive(s, bowl)
+        assert s.evaluations == space.size
+        assert s.best == {"x": 4, "y": 2}
+
+    def test_greedy_descends_bowl_from_corner(self, space):
+        # A convex bowl has no spurious local optima: the hill-climb
+        # must walk from (0, 0) to the global optimum well inside the
+        # grid-size budget.
+        s = GreedySearch(space, budget=30, seed=0, start={"x": 0, "y": 0})
+        drive(s, bowl)
+        assert s.best == {"x": 4, "y": 2}
+        assert s.evaluations <= 30
+
+    def test_anneal_finds_optimum_with_full_budget(self, space):
+        s = AnnealSearch(space, seed=2, start={"x": 0, "y": 0})
+        drive(s, bowl, max_rounds=space.size + 5)
+        assert s.best == {"x": 4, "y": 2}
+
+    def test_greedy_restarts_past_local_optimum(self):
+        # x=0 and x=9 are both locally optimal on this 1-D cost; a
+        # budget beyond the first basin forces a random restart, which
+        # must eventually reach the better basin.
+        space = ParamSpace([Axis("x", tuple(range(10)))])
+        costs = {0: 5.0, 1: 6.0, 2: 7.0, 3: 8.0, 4: 9.0,
+                 5: 9.0, 6: 8.0, 7: 6.0, 8: 4.0, 9: 2.0}
+        s = GreedySearch(space, seed=1, start={"x": 1})
+        drive(s, lambda c: costs[c["x"]])
+        assert s.best == {"x": 9}
+
+
+class TestStartingPoint:
+    def test_greedy_proposes_start_first(self, space):
+        start = {"x": 3, "y": 3}
+        s = GreedySearch(space, seed=0, start=start)
+        assert s.propose() == [start]
+
+    def test_start_validated(self, space):
+        with pytest.raises(ConfigurationError):
+            GreedySearch(space, start={"x": 99, "y": 0})
+        with pytest.raises(ConfigurationError):
+            AnnealSearch(space, start={"x": 0})

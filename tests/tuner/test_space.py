@@ -1,0 +1,82 @@
+"""Parameter spaces: grids, sampling, neighborhoods, validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tuner.space import Axis, ParamSpace
+
+
+@pytest.fixture
+def space() -> ParamSpace:
+    return ParamSpace([
+        Axis("pad", (0, 1, 2)),
+        Axis("skew", (0, 1)),
+        Axis("dispatch", ("fifo", "round-robin")),
+    ])
+
+
+class TestAxis:
+    def test_rejects_empty_and_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            Axis("pad", ())
+        with pytest.raises(ConfigurationError):
+            Axis("pad", (1, 1))
+        with pytest.raises(ConfigurationError):
+            Axis("", (1,))
+
+    def test_index_of(self):
+        axis = Axis("pad", (0, 2, 4))
+        assert axis.index_of(4) == 2
+        with pytest.raises(ConfigurationError):
+            axis.index_of(3)
+
+
+class TestParamSpace:
+    def test_size_and_grid(self, space):
+        assert space.size == 12
+        grid = list(space.grid())
+        assert len(grid) == 12
+        # Row-major in axis order, all distinct.
+        assert grid[0] == {"pad": 0, "skew": 0, "dispatch": "fifo"}
+        assert grid[-1] == {"pad": 2, "skew": 1, "dispatch": "round-robin"}
+        assert len({tuple(sorted(c.items())) for c in grid}) == 12
+
+    def test_validate(self, space):
+        space.validate({"pad": 1, "skew": 0, "dispatch": "fifo"})
+        with pytest.raises(ConfigurationError):
+            space.validate({"pad": 1, "skew": 0})  # missing axis
+        with pytest.raises(ConfigurationError):
+            space.validate({"pad": 9, "skew": 0, "dispatch": "fifo"})
+
+    def test_sample_without_replacement(self, space):
+        rng = np.random.default_rng(0)
+        sampled = space.sample(12, rng)
+        assert len({tuple(sorted(c.items())) for c in sampled}) == 12
+        # Oversampling clamps to the grid size.
+        assert len(space.sample(99, rng)) == 12
+        for c in sampled:
+            space.validate(c)
+
+    def test_sample_deterministic(self, space):
+        a = space.sample(5, np.random.default_rng(7))
+        b = space.sample(5, np.random.default_rng(7))
+        assert a == b
+
+    def test_neighbors(self, space):
+        corner = {"pad": 0, "skew": 0, "dispatch": "fifo"}
+        moves = space.neighbors(corner)
+        assert {"pad": 1, "skew": 0, "dispatch": "fifo"} in moves
+        assert len(moves) == 3  # one step up each axis, no step down
+        middle = {"pad": 1, "skew": 0, "dispatch": "fifo"}
+        assert len(space.neighbors(middle)) == 4
+
+    def test_duplicate_axis_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParamSpace([Axis("p", (1,)), Axis("p", (2,))])
+        with pytest.raises(ConfigurationError):
+            ParamSpace([])
+
+    def test_roundtrip_indices(self, space):
+        for config in space.grid():
+            assert space.config_at(space.indices_of(config)) == config

@@ -36,8 +36,10 @@ tune-demo:
 	PYTHONPATH=src python -m repro.tuner gather
 
 docs-check:
-	PYTHONPATH=src python tools/check_doc_snippets.py docs/TUTORIAL.md docs/PERFORMANCE.md docs/SERVICE.md docs/INTERNALS.md docs/TUNER.md
+	PYTHONPATH=src python tools/check_doc_snippets.py docs/TUTORIAL.md docs/PERFORMANCE.md docs/SERVICE.md docs/INTERNALS.md docs/TUNER.md docs/STORAGE.md
 
 clean:
-	rm -rf build dist *.egg-info src/*.egg-info .pytest_benchmarks .benchmarks benchmarks/.benchmarks benchmarks/.sweep_cache benchmarks/.trace_store benchmarks/.tune_cache
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_benchmarks .benchmarks benchmarks/.benchmarks benchmarks/.store
+	# Pre-unification cache dirs: keep removing them for one release.
+	rm -rf benchmarks/.sweep_cache benchmarks/.trace_store benchmarks/.tune_cache
 	find . -name __pycache__ -type d -exec rm -rf {} +

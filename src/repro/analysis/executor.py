@@ -10,12 +10,16 @@ work:
   ``min(points, cpu_count)`` under ``jobs="auto"``).  ``jobs=1``
   degrades to the plain in-process loop, so exceptions and determinism
   stay byte-identical with the historical serial path.
-* **Memoization** — results persist in an on-disk cache of JSON-lines
-  shards (``benchmarks/.sweep_cache/`` by default), keyed by a content
-  hash of *(measure-fn qualified name + bound scalars, the parameter
-  point, the engine mode, the repro version fingerprint)*.  A new
-  package version changes the fingerprint and silently invalidates old
-  entries; ``REPRO_SWEEP_CACHE=off`` is the escape hatch.
+* **Memoization** — results persist in the ``sweep`` namespace of the
+  unified artifact store (:mod:`repro.store`;
+  ``benchmarks/.store/sweep/`` by default), keyed by a content hash of
+  *(measure-fn qualified name + bound scalars, the parameter point, the
+  engine mode, the repro version fingerprint)*.  A new package version
+  changes the fingerprint and silently invalidates old entries;
+  ``REPRO_STORE_SWEEP=off`` (or the deprecated ``REPRO_SWEEP_CACHE=off``)
+  is the escape hatch.  Pre-unification ``benchmarks/.sweep_cache/``
+  JSON-lines shards are imported automatically on first use (see
+  docs/STORAGE.md).
 * **Progress** — a pluggable callback receives
   :class:`SweepProgress` snapshots (points done/total, cache hits, ETA,
   per-shard timings) so CLIs can print live status.
@@ -43,6 +47,10 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping
 
+from repro.store import ArtifactStore
+from repro.store import config as _store_config
+from repro.store.migrate import auto_migrate as _auto_migrate
+
 __all__ = [
     "SweepPoint",
     "SweepProgress",
@@ -55,10 +63,13 @@ __all__ = [
 ]
 
 #: Set to ``off``/``0``/``no`` to disable the persistent cache entirely.
+#: Deprecated alias of ``REPRO_STORE_SWEEP`` (see :mod:`repro.store.config`).
 CACHE_ENV = "REPRO_SWEEP_CACHE"
-#: Overrides the default cache directory.
+#: Overrides the default cache directory.  Deprecated alias of
+#: ``REPRO_STORE_SWEEP_DIR``.
 CACHE_DIR_ENV = "REPRO_SWEEP_CACHE_DIR"
-#: Overrides the version fingerprint (useful for tests).
+#: Overrides the version fingerprint (useful for tests).  Not
+#: deprecated: it governs cache invalidation for every store namespace.
 FINGERPRINT_ENV = "REPRO_SWEEP_FINGERPRINT"
 
 _SCALARS = (bool, int, float, str, type(None))
@@ -113,9 +124,9 @@ class CacheStats:
     #: Entries on disk written under an older fingerprint (dead weight
     #: until ``clear()``).
     stale_entries: int
-    #: Number of shard files.
+    #: Number of on-disk entry files (historically: shard files).
     shards: int
-    #: Total bytes of the shard files.
+    #: Total bytes of the entry files.
     size_bytes: int
     #: Lookups answered from the cache this session.
     hits: int
@@ -125,7 +136,7 @@ class CacheStats:
     def describe(self) -> str:
         return (
             f"sweep cache: {self.entries} entries ({self.stale_entries} stale) "
-            f"in {self.shards} shards, {self.size_bytes} bytes; "
+            f"in {self.shards} files, {self.size_bytes} bytes; "
             f"session: {self.hits} hits / {self.misses} misses"
         )
 
@@ -141,20 +152,18 @@ def repro_fingerprint() -> str:
     return f"repro-{__version__}"
 
 
-def default_cache_dir() -> Path:
-    """``$REPRO_SWEEP_CACHE_DIR``, else ``benchmarks/.sweep_cache``
-    under the working directory (``.sweep_cache`` when there is no
-    ``benchmarks/`` dir)."""
-    env = os.environ.get(CACHE_DIR_ENV)
-    if env:
-        return Path(env)
-    bench = Path.cwd() / "benchmarks"
-    return (bench if bench.is_dir() else Path.cwd()) / ".sweep_cache"
+def default_cache_dir(namespace: str = "sweep") -> Path:
+    """Where a sweep namespace's entries live: the per-namespace env
+    override (``REPRO_STORE_SWEEP_DIR``, or the deprecated
+    ``REPRO_SWEEP_CACHE_DIR``), else ``<store root>/<namespace>`` —
+    ``benchmarks/.store/sweep`` under the working directory by default."""
+    return _store_config.namespace_dir(namespace)
 
 
-def cache_allowed() -> bool:
-    """False when ``REPRO_SWEEP_CACHE`` disables caching globally."""
-    return os.environ.get(CACHE_ENV, "").strip().lower() not in ("off", "0", "no")
+def cache_allowed(namespace: str = "sweep") -> bool:
+    """False when ``REPRO_STORE``/``REPRO_STORE_SWEEP`` (or the
+    deprecated ``REPRO_SWEEP_CACHE``) disables caching."""
+    return _store_config.namespace_allowed(namespace)
 
 
 def resolve_jobs(jobs: int | str, num_points: int) -> int:
@@ -234,44 +243,51 @@ def point_key(
 # ---------------------------------------------------------------------------
 
 class ResultCache:
-    """JSON-lines result cache, sharded by key prefix.
+    """Persistent measurement cache: one store namespace of canonical
+    JSON entries (:mod:`repro.store`), one entry file per key.
 
-    Shard files are append-only (``shard_<xx>.jsonl``); on load the last
-    entry for a key wins, and unparsable lines are skipped rather than
-    fatal.  Only the parent process writes — workers just return values.
+    Each entry is the same ``{"key", "fingerprint", "cycles", "extra"}``
+    record the pre-unification JSON-lines shards carried; legacy
+    ``shard_*.jsonl`` files found in (or at the historical default
+    location of) the cache directory are imported once on first open.
+    A corrupt or truncated entry is quarantined by the store and simply
+    recomputed.  Only the parent process writes — workers just return
+    values.
     """
 
-    def __init__(self, directory: Path, fingerprint: str) -> None:
+    def __init__(
+        self,
+        directory: Path,
+        fingerprint: str,
+        *,
+        namespace: str = "sweep",
+        migrate_from: "Path | None" = None,
+    ) -> None:
         self.directory = Path(directory)
         self.fingerprint = fingerprint
-        self._index: dict[str, tuple[int, dict]] = {}
-        self._loaded: set[str] = set()
+        self.namespace = namespace
+        self._ns = ArtifactStore().namespace(
+            namespace, "json", directory=self.directory
+        )
+        _auto_migrate(self._ns, migrate_from)
         self.hits = 0
         self.misses = 0
 
-    def _shard_path(self, prefix: str) -> Path:
-        return self.directory / f"shard_{prefix}.jsonl"
-
-    def _load(self, prefix: str) -> None:
-        if prefix in self._loaded:
-            return
-        self._loaded.add(prefix)
-        path = self._shard_path(prefix)
-        if not path.is_file():
-            return
-        for line in path.read_text().splitlines():
-            try:
-                entry = json.loads(line)
-                key = entry["key"]
-                cycles = int(entry["cycles"])
-                extra = dict(entry.get("extra", {}))
-            except (ValueError, KeyError, TypeError):
-                continue  # truncated or corrupt line: recompute instead
-            self._index[key] = (cycles, extra)
+    @property
+    def store_namespace(self):
+        """The underlying :class:`repro.store.Namespace` (counters,
+        pinning, quarantine live there)."""
+        return self._ns
 
     def get(self, key: str) -> tuple[int, dict] | None:
-        self._load(key[:2])
-        found = self._index.get(key)
+        payload = self._ns.get(key)
+        found: tuple[int, dict] | None = None
+        if isinstance(payload, dict):
+            try:
+                found = (int(payload["cycles"]),
+                         dict(payload.get("extra", {})))
+            except (ValueError, KeyError, TypeError):
+                found = None  # malformed record: recompute instead
         if found is None:
             self.misses += 1
             return None
@@ -279,53 +295,33 @@ class ResultCache:
         return found
 
     def put(self, key: str, cycles: int, extra: dict) -> None:
-        if key in self._index:
-            return
-        self._index[key] = (int(cycles), dict(extra))
-        self.directory.mkdir(parents=True, exist_ok=True)
         entry = {
             "key": key,
             "fingerprint": self.fingerprint,
             "cycles": int(cycles),
             "extra": _jsonable_extra(extra),
         }
-        with open(self._shard_path(key[:2]), "a") as fh:
-            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._ns.put(key, entry, skip_existing=True)
 
     def clear(self) -> int:
-        """Delete every shard file; returns how many were removed."""
-        removed = 0
-        if self.directory.is_dir():
-            for path in self.directory.glob("shard_*.jsonl"):
-                path.unlink()
-                removed += 1
-        self._index.clear()
-        self._loaded.clear()
-        return removed
+        """Delete every entry file; returns how many were removed."""
+        return self._ns.clear()
 
     def stats(self) -> CacheStats:
-        entries = stale = shards = size = 0
-        if self.directory.is_dir():
-            for path in sorted(self.directory.glob("shard_*.jsonl")):
-                shards += 1
-                size += path.stat().st_size
-                seen: dict[str, str] = {}
-                for line in path.read_text().splitlines():
-                    try:
-                        entry = json.loads(line)
-                        seen[entry["key"]] = entry.get("fingerprint", "")
-                    except (ValueError, KeyError, TypeError):
-                        continue
-                for fp in seen.values():
-                    if fp == self.fingerprint:
-                        entries += 1
-                    else:
-                        stale += 1
+        disk = self._ns.stats()
+        entries = stale = 0
+        for _key, payload in self._ns.scan():
+            fp = payload.get("fingerprint", "") \
+                if isinstance(payload, dict) else ""
+            if fp == self.fingerprint:
+                entries += 1
+            else:
+                stale += 1
         return CacheStats(
             entries=entries,
             stale_entries=stale,
-            shards=shards,
-            size_bytes=size,
+            shards=disk.entries_disk,
+            size_bytes=disk.disk_bytes,
             hits=self.hits,
             misses=self.misses,
         )
@@ -381,9 +377,14 @@ class SweepExecutor:
         historical in-process loop.
     cache:
         Enable the persistent result cache.  Overridden globally by
-        ``REPRO_SWEEP_CACHE=off``.
+        ``REPRO_STORE=off`` / ``REPRO_STORE_SWEEP=off`` (or the
+        deprecated ``REPRO_SWEEP_CACHE=off``).
     cache_dir:
-        Cache directory (default: :func:`default_cache_dir`).
+        Cache directory (default: :func:`default_cache_dir`, i.e. the
+        namespace's directory under the unified store root).
+    namespace:
+        Store namespace the cache lives in (default ``"sweep"``; the
+        tuner passes ``"tune"``).
     fingerprint:
         Cache-invalidation token (default: :func:`repro_fingerprint`).
     progress:
@@ -405,6 +406,7 @@ class SweepExecutor:
         fingerprint: str | None = None,
         progress: Callable[[SweepProgress], None] | None = None,
         keep_pool: bool = False,
+        namespace: str = "sweep",
     ) -> None:
         self.jobs = jobs
         self.fingerprint = fingerprint or repro_fingerprint()
@@ -413,9 +415,25 @@ class SweepExecutor:
         self._pool: ProcessPoolExecutor | None = None
         self._pool_workers = 0
         self.cache: ResultCache | None = None
-        if cache and cache_allowed():
-            directory = Path(cache_dir) if cache_dir else default_cache_dir()
-            self.cache = ResultCache(directory, self.fingerprint)
+        if cache and cache_allowed(namespace):
+            if cache_dir is not None:
+                directory = Path(cache_dir)
+                migrate_from = None
+            else:
+                directory = default_cache_dir(namespace)
+                # Only pull in the historical default cache dir when the
+                # namespace itself sits at its default location — a dir
+                # override means the caller already chose where entries
+                # live, and auto-importing elsewhere would surprise.
+                migrate_from = (
+                    None
+                    if _store_config.namespace_dir_overridden(namespace)
+                    else _store_config.legacy_default_dir(namespace)
+                )
+            self.cache = ResultCache(
+                directory, self.fingerprint,
+                namespace=namespace, migrate_from=migrate_from,
+            )
 
     # -- pool reuse ---------------------------------------------------------
     def _acquire_pool(self, jobs: int) -> tuple[ProcessPoolExecutor, int, bool]:
@@ -449,7 +467,7 @@ class SweepExecutor:
 
     # -- cache management ---------------------------------------------------
     def clear(self) -> int:
-        """Drop every cached result; returns removed shard count."""
+        """Drop every cached result; returns removed entry-file count."""
         return self.cache.clear() if self.cache else 0
 
     def stats(self) -> CacheStats:

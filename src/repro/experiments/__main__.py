@@ -21,7 +21,7 @@ result cache")::
 
 Results are identical for every jobs/mode/cache setting; a warm cache
 makes reruns all cache hits.  ``--mode replay`` additionally keeps a
-compiled-trace store (``benchmarks/.trace_store``) so launches repeated
+compiled-trace store (``benchmarks/.store/trace``) so launches repeated
 at different latencies re-cost a stored trace instead of re-executing
 (see docs/PERFORMANCE.md, "Trace replay").
 """
@@ -175,7 +175,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-cache", action="store_true",
         help="recompute every point instead of using the persistent sweep "
-        "cache (benchmarks/.sweep_cache)",
+        "cache (benchmarks/.store/sweep)",
     )
     parser.add_argument(
         "--cache-stats", action="store_true",

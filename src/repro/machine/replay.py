@@ -35,11 +35,14 @@ Pieces
     faithful port of the event scheduler's loop over pre-decoded ops.
 
 :class:`TraceStore`
-    In-memory LRU plus on-disk ``.npz`` store (default
-    ``benchmarks/.trace_store``, beside the sweep result cache) keyed by
-    a content hash of the warp program, the launch shape, and the memory
-    pre-state.  Latency, policy, pipelining, and dispatch are *not* part
-    of the key — that is the whole point.
+    Keyed trace storage riding the ``trace`` namespace of the unified
+    artifact store (:mod:`repro.store`): an in-memory LRU over on-disk
+    ``.npz`` entries (default ``benchmarks/.store/trace``, beside the
+    sweep result cache), keyed by a content hash of the warp program,
+    the launch shape, and the memory pre-state.  Latency, policy,
+    pipelining, and dispatch are *not* part of the key — that is the
+    whole point.  Pre-unification ``benchmarks/.trace_store`` files are
+    imported automatically on first use (see docs/STORAGE.md).
 
 Safety
 ------
@@ -68,10 +71,10 @@ import enum
 import functools
 import hashlib
 import heapq
+import io
 import json
 import os
 import types
-from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
@@ -80,6 +83,9 @@ import numpy as np
 
 from repro.errors import KernelError, TraceOverflowError
 from repro.machine.memory import ArrayHandle, MemorySpace
+from repro.store import ArtifactStore
+from repro.store import config as _store_config
+from repro.store.migrate import auto_migrate as _auto_migrate
 from repro.machine.ops import AccessKind, BarrierScope
 from repro.machine.pipeline import PipelinedMemoryUnit, UnitStats
 from repro.machine.policy import SlotPolicy
@@ -104,11 +110,14 @@ __all__ = [
 ]
 
 #: ``REPRO_TRACE_STORE=off`` disables on-disk trace persistence (the
-#: in-memory LRU stays on).
+#: in-memory LRU stays on).  Deprecated alias of ``REPRO_STORE_TRACE``
+#: (see :mod:`repro.store.config`).
 TRACE_STORE_ENV = "REPRO_TRACE_STORE"
-#: Overrides the on-disk trace directory.
+#: Overrides the on-disk trace directory.  Deprecated alias of
+#: ``REPRO_STORE_TRACE_DIR``.
 TRACE_DIR_ENV = "REPRO_TRACE_STORE_DIR"
-#: Overrides the in-memory LRU capacity (entries).
+#: Overrides the in-memory LRU capacity (entries).  Deprecated alias of
+#: ``REPRO_STORE_TRACE_LRU``.
 TRACE_LRU_ENV = "REPRO_TRACE_LRU"
 #: Overrides the per-launch capture cap (transactions; 0 = unlimited).
 CAPTURE_LIMIT_ENV = "REPRO_TRACE_CAPTURE_LIMIT"
@@ -563,9 +572,9 @@ class CompiledTrace:
         return self._evaluator
 
     # -- (de)serialization -------------------------------------------------
-    def save(self, path: "Path | str") -> None:
-        """Write the trace as one compressed ``.npz`` file (atomically)."""
-        path = Path(path)
+    def to_payload(self) -> "dict[str, np.ndarray]":
+        """The trace as the flat array mapping the ``.npz`` layout uses
+        (``meta`` is the canonical-JSON header as a ``uint8`` array)."""
         payload = {
             "meta": np.frombuffer(
                 json.dumps(self.meta, sort_keys=True).encode(), dtype=np.uint8
@@ -581,31 +590,43 @@ class CompiledTrace:
         }
         for i, name in enumerate(self.meta["post_names"]):
             payload[f"post_{i}"] = self.post_state[name]
+        return payload
+
+    @classmethod
+    def from_payload(
+        cls, payload: "dict[str, np.ndarray]"
+    ) -> "CompiledTrace":
+        """Inverse of :meth:`to_payload` (raises on missing arrays)."""
+        meta = json.loads(bytes(payload["meta"].tobytes()).decode())
+        post_state = {
+            name: payload[f"post_{i}"]
+            for i, name in enumerate(meta["post_names"])
+        }
+        return cls(
+            meta=meta,
+            op_warp=payload["op_warp"],
+            op_kind=payload["op_kind"],
+            op_unit=payload["op_unit"],
+            op_arg=payload["op_arg"],
+            op_read=payload["op_read"],
+            op_req=payload["op_req"],
+            addr_off=payload["addr_off"],
+            addresses=payload["addresses"],
+            post_state=post_state,
+        )
+
+    def save(self, path: "Path | str") -> None:
+        """Write the trace as one compressed ``.npz`` file (atomically)."""
+        path = Path(path)
         tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
         with open(tmp, "wb") as fh:
-            np.savez_compressed(fh, **payload)
+            np.savez_compressed(fh, **self.to_payload())
         os.replace(tmp, path)
 
     @classmethod
     def load(cls, path: "Path | str") -> "CompiledTrace":
         with np.load(Path(path)) as npz:
-            meta = json.loads(bytes(npz["meta"].tobytes()).decode())
-            post_state = {
-                name: npz[f"post_{i}"]
-                for i, name in enumerate(meta["post_names"])
-            }
-            return cls(
-                meta=meta,
-                op_warp=npz["op_warp"],
-                op_kind=npz["op_kind"],
-                op_unit=npz["op_unit"],
-                op_arg=npz["op_arg"],
-                op_read=npz["op_read"],
-                op_req=npz["op_req"],
-                addr_off=npz["addr_off"],
-                addresses=npz["addresses"],
-                post_state=post_state,
-            )
+            return cls.from_payload({name: npz[name] for name in npz.files})
 
     # -- compatibility -----------------------------------------------------
     def matches_launch(
@@ -892,21 +913,44 @@ class ReplayCostEvaluator:
 
 
 def trace_store_allowed() -> bool:
-    """False when ``REPRO_TRACE_STORE`` disables on-disk persistence."""
-    return os.environ.get(TRACE_STORE_ENV, "").strip().lower() not in (
-        "off", "0", "no",
-    )
+    """False when ``REPRO_STORE``/``REPRO_STORE_TRACE`` (or the
+    deprecated ``REPRO_TRACE_STORE``) disables on-disk persistence."""
+    return _store_config.namespace_allowed("trace")
 
 
 def default_trace_dir() -> Path:
-    """``$REPRO_TRACE_STORE_DIR``, else ``benchmarks/.trace_store`` under
-    the working directory (``.trace_store`` when there is no
-    ``benchmarks/`` dir) — deliberately beside the sweep result cache."""
-    env = os.environ.get(TRACE_DIR_ENV)
-    if env:
-        return Path(env)
-    bench = Path.cwd() / "benchmarks"
-    return (bench if bench.is_dir() else Path.cwd()) / ".trace_store"
+    """Where the ``trace`` namespace's entries live:
+    ``$REPRO_STORE_TRACE_DIR`` (or the deprecated
+    ``$REPRO_TRACE_STORE_DIR``), else ``benchmarks/.store/trace`` under
+    the working directory — deliberately beside the sweep result cache."""
+    return _store_config.namespace_dir("trace")
+
+
+class _TraceCodec:
+    """``CompiledTrace`` ↔ compressed ``.npz`` bytes.
+
+    Named ``npz`` on purpose: the payload *is* a plain ``.npz`` archive
+    (the byte format of :meth:`CompiledTrace.save`), so entries written
+    generically (the migration importer, the store CLI) and entries
+    written here are mutually readable.
+    """
+
+    name = "npz"
+    extension = "npz"
+
+    def encode(self, trace: "CompiledTrace") -> bytes:
+        buf = io.BytesIO()
+        np.savez_compressed(buf, **trace.to_payload())
+        return buf.getvalue()
+
+    def decode(self, data: bytes) -> "CompiledTrace":
+        with np.load(io.BytesIO(data), allow_pickle=False) as npz:
+            return CompiledTrace.from_payload(
+                {name: npz[name] for name in npz.files}
+            )
+
+
+_TRACE_CODEC = _TraceCodec()
 
 
 def _trace_fingerprint() -> str:
@@ -954,13 +998,15 @@ class TraceStoreStats:
 class TraceStore:
     """Keyed storage of compiled traces with an obliviousness guard.
 
-    Lookups hit an in-memory LRU first, then the on-disk directory
-    (shared across processes — sweep workers capture once, everyone
-    replays).  :meth:`insert` runs the cross-input self-check: two
-    captures sharing a ``struct`` key (same program + shape) but with
-    different input data must have identical trace signatures, or the
-    program is flagged non-oblivious, its traces evicted, and replay
-    refused from then on.
+    Storage is the ``trace`` namespace of the unified artifact store
+    (:mod:`repro.store`): lookups hit its in-memory LRU first, then the
+    on-disk directory (shared across processes — sweep workers capture
+    once, everyone replays), with envelope integrity verification and
+    quarantine of corrupt entries.  :meth:`insert` runs the cross-input
+    self-check: two captures sharing a ``struct`` key (same program +
+    shape) but with different input data must have identical trace
+    signatures, or the program is flagged non-oblivious, its traces
+    evicted, and replay refused from then on.
     """
 
     def __init__(
@@ -972,11 +1018,15 @@ class TraceStore:
         capture_limit: int | None = None,
         fingerprint: str | None = None,
     ) -> None:
-        self.directory = Path(directory) if directory is not None else default_trace_dir()
+        explicit_dir = directory is not None
+        self.directory = (
+            Path(directory) if explicit_dir else default_trace_dir()
+        )
         self.persist = trace_store_allowed() if persist is None else persist
         if max_entries is None:
-            max_entries = int(
-                os.environ.get(TRACE_LRU_ENV) or _DEFAULT_LRU_ENTRIES
+            max_entries = (
+                _store_config.namespace_int("trace", "LRU")
+                or _DEFAULT_LRU_ENTRIES
             )
         self.max_entries = max(1, max_entries)
         if capture_limit is None:
@@ -986,21 +1036,61 @@ class TraceStore:
         #: overflowing launches refuse replay instead of exhausting RAM.
         self.capture_limit = capture_limit if capture_limit > 0 else None
         self.fingerprint = fingerprint or _trace_fingerprint()
-        self._lru: "OrderedDict[str, CompiledTrace]" = OrderedDict()
+        self._ns = ArtifactStore().namespace(
+            "trace",
+            _TRACE_CODEC,
+            directory=self.directory,
+            persist=self.persist,
+            max_memory_entries=self.max_entries,
+            max_memory_bytes=None,  # entry-count LRU, as before
+        )
+        _auto_migrate(
+            self._ns,
+            None
+            if (explicit_dir
+                or _store_config.namespace_dir_overridden("trace"))
+            else _store_config.legacy_default_dir("trace"),
+        )
         self._struct_sig: dict[str, tuple[str, str]] = {}
         self._keys_by_struct: dict[str, set[str]] = {}
         self._flagged: set[str] = set()
-        self.hits_memory = 0
-        self.hits_disk = 0
-        self.misses = 0
         self.captures = 0
         self.refusals = 0
-        self.evictions = 0
-        self.io_errors = 0
 
-    # -- paths -------------------------------------------------------------
+    # -- the storage substrate ---------------------------------------------
+    @property
+    def store_namespace(self):
+        """The underlying :class:`repro.store.Namespace`."""
+        return self._ns
+
+    # Session counters delegate to the namespace, so the same numbers
+    # appear here and in the store-wide /metrics aggregation.
+    @property
+    def hits_memory(self) -> int:
+        return self._ns.counters.hits_memory
+
+    @property
+    def hits_disk(self) -> int:
+        return self._ns.counters.hits_disk
+
+    @property
+    def misses(self) -> int:
+        return self._ns.counters.misses
+
+    @property
+    def evictions(self) -> int:
+        return (self._ns.counters.evictions_memory
+                + self._ns.counters.evictions_disk)
+
+    @property
+    def io_errors(self) -> int:
+        # Corrupt (quarantined) entries count here too: before the
+        # unified store they surfaced as load failures.
+        return (self._ns.counters.io_errors
+                + self._ns.counters.integrity_failures)
+
     def _path(self, key: str) -> Path:
-        return self.directory / f"{key}.npz"
+        return self._ns.path_of(key)
 
     # -- guard -------------------------------------------------------------
     def flagged(self, struct: str) -> bool:
@@ -1014,35 +1104,17 @@ class TraceStore:
     def _flag(self, struct: str) -> None:
         self._flagged.add(struct)
         for key in self._keys_by_struct.pop(struct, set()):
-            self._lru.pop(key, None)
-            if self.persist:
-                try:
-                    self._path(key).unlink(missing_ok=True)
-                except OSError:  # pragma: no cover - fs race
-                    self.io_errors += 1
+            self._ns.delete(key)
         self._struct_sig.pop(struct, None)
 
     # -- access ------------------------------------------------------------
     def lookup(self, key: LaunchKey) -> CompiledTrace | None:
         """The stored trace for ``key``, or ``None`` (counted as a miss)."""
-        trace = self._lru.get(key.full)
-        if trace is not None:
-            self._lru.move_to_end(key.full)
-            self.hits_memory += 1
-            return trace
-        if self.persist:
-            path = self._path(key.full)
-            if path.exists():
-                try:
-                    trace = CompiledTrace.load(path)
-                except (OSError, ValueError, KeyError, json.JSONDecodeError):
-                    self.io_errors += 1
-                else:
-                    self._remember(key, trace, write=False)
-                    self.hits_disk += 1
-                    return trace
-        self.misses += 1
-        return None
+        trace = self._ns.get(key.full)
+        if trace is None:
+            return None
+        self._keys_by_struct.setdefault(key.struct, set()).add(key.full)
+        return trace
 
     def insert(self, key: LaunchKey, trace: CompiledTrace) -> bool:
         """Store a fresh capture; ``False`` if the self-check rejects it.
@@ -1058,39 +1130,18 @@ class TraceStore:
             self._flag(key.struct)
             return False
         self._struct_sig[key.struct] = (key.data, signature)
-        self._remember(key, trace, write=self.persist)
+        self._keys_by_struct.setdefault(key.struct, set()).add(key.full)
+        self._ns.put(key.full, trace)
         self.captures += 1
         return True
 
-    def _remember(self, key: LaunchKey, trace: CompiledTrace, *, write: bool) -> None:
-        self._keys_by_struct.setdefault(key.struct, set()).add(key.full)
-        self._lru[key.full] = trace
-        self._lru.move_to_end(key.full)
-        while len(self._lru) > self.max_entries:
-            self._lru.popitem(last=False)
-            self.evictions += 1
-        if write:
-            try:
-                self.directory.mkdir(parents=True, exist_ok=True)
-                trace.save(self._path(key.full))
-            except OSError:
-                self.io_errors += 1
-
     # -- observability -----------------------------------------------------
     def stats(self) -> TraceStoreStats:
-        entries_disk = 0
-        size_bytes = 0
-        if self.persist and self.directory.is_dir():
-            for path in self.directory.glob("*.npz"):
-                try:
-                    size_bytes += path.stat().st_size
-                    entries_disk += 1
-                except OSError:  # pragma: no cover - fs race
-                    continue
+        contents = self._ns.stats()
         return TraceStoreStats(
-            entries_memory=len(self._lru),
-            entries_disk=entries_disk,
-            size_bytes=size_bytes,
+            entries_memory=contents.entries_memory,
+            entries_disk=contents.entries_disk,
+            size_bytes=contents.disk_bytes,
             hits_memory=self.hits_memory,
             hits_disk=self.hits_disk,
             misses=self.misses,
@@ -1119,16 +1170,10 @@ class TraceStore:
 
     def clear(self) -> None:
         """Drop every stored trace (memory and disk) and all flags."""
-        self._lru.clear()
+        self._ns.clear()
         self._struct_sig.clear()
         self._keys_by_struct.clear()
         self._flagged.clear()
-        if self.persist and self.directory.is_dir():
-            for path in self.directory.glob("*.npz"):
-                try:
-                    path.unlink()
-                except OSError:  # pragma: no cover - fs race
-                    self.io_errors += 1
 
 
 _default_store: TraceStore | None = None

@@ -73,6 +73,10 @@ class ServiceMetrics:
         #: Trace-replay store counters (``mode="replay"`` requests);
         #: registered by the server, empty dict when replay is unused.
         self.trace_counters = lambda: {}
+        #: Unified artifact-store counters, per namespace (sweep /
+        #: trace / tune); registered by the server from
+        #: :func:`repro.store.store_metrics_snapshot`.
+        self.store_counters = lambda: {}
 
     # -- update hooks ------------------------------------------------------
     def observe_request(self, route: str, status: int, seconds: float) -> None:
@@ -122,5 +126,6 @@ class ServiceMetrics:
                 "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
             },
             "trace_store": dict(self.trace_counters()),
+            "store": dict(self.store_counters()),
             "latency": self.latency.snapshot(),
         }

@@ -1,0 +1,121 @@
+"""Pluggable per-artifact-type codecs for the artifact store.
+
+A codec turns one artifact into its canonical payload bytes and back.
+The store frames those bytes with an integrity envelope (see
+:mod:`repro.store.store`) — codecs never see the envelope.
+
+Built-ins:
+
+``json``
+    Canonical JSON (sorted keys, compact separators) — sweep points and
+    tune reports.
+``npz``
+    A ``dict[str, numpy.ndarray]`` as one compressed ``.npz`` archive —
+    compiled replay traces.
+``bytes``
+    Raw pass-through for callers that already hold bytes.
+
+Custom artifact types register with :func:`register_codec` and are then
+addressable by name from :meth:`ArtifactStore.namespace`.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Any, Protocol
+
+import numpy as np
+
+__all__ = [
+    "Codec",
+    "JsonCodec",
+    "NpzCodec",
+    "BytesCodec",
+    "get_codec",
+    "register_codec",
+]
+
+
+class Codec(Protocol):
+    """One artifact type's byte encoding."""
+
+    #: Registry name (also the default lookup key).
+    name: str
+    #: On-disk file extension (without the dot).
+    extension: str
+
+    def encode(self, obj: Any) -> bytes: ...
+
+    def decode(self, data: bytes) -> Any: ...
+
+
+class JsonCodec:
+    """Canonical JSON: sorted keys, compact separators, UTF-8."""
+
+    name = "json"
+    extension = "json"
+
+    def encode(self, obj: Any) -> bytes:
+        return json.dumps(
+            obj, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+
+    def decode(self, data: bytes) -> Any:
+        return json.loads(data.decode("utf-8"))
+
+
+class NpzCodec:
+    """A mapping of names to numpy arrays as one ``.npz`` archive."""
+
+    name = "npz"
+    extension = "npz"
+
+    def encode(self, obj: "dict[str, np.ndarray]") -> bytes:
+        buf = io.BytesIO()
+        np.savez_compressed(buf, **obj)
+        return buf.getvalue()
+
+    def decode(self, data: bytes) -> "dict[str, np.ndarray]":
+        with np.load(io.BytesIO(data), allow_pickle=False) as npz:
+            return {name: npz[name] for name in npz.files}
+
+
+class BytesCodec:
+    """Raw bytes, unchanged."""
+
+    name = "bytes"
+    extension = "bin"
+
+    def encode(self, obj: bytes) -> bytes:
+        if not isinstance(obj, (bytes, bytearray, memoryview)):
+            raise TypeError(f"bytes codec got {type(obj).__qualname__}")
+        return bytes(obj)
+
+    def decode(self, data: bytes) -> bytes:
+        return data
+
+
+_REGISTRY: dict[str, Codec] = {}
+
+
+def register_codec(codec: Codec) -> Codec:
+    """Make a codec addressable by name; returns it (decorator-friendly)."""
+    _REGISTRY[codec.name] = codec
+    return codec
+
+
+for _codec in (JsonCodec(), NpzCodec(), BytesCodec()):
+    register_codec(_codec)
+
+
+def get_codec(codec: "Codec | str") -> Codec:
+    """Resolve a codec instance or registry name."""
+    if isinstance(codec, str):
+        try:
+            return _REGISTRY[codec]
+        except KeyError:
+            raise KeyError(
+                f"unknown codec {codec!r} (registered: {sorted(_REGISTRY)})"
+            ) from None
+    return codec

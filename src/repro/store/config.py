@@ -1,0 +1,198 @@
+"""Store configuration: the unified env knobs and their legacy shims.
+
+One family of variables governs the content-addressed artifact store
+(see :mod:`repro.store.store`):
+
+=============================  =============================================
+``REPRO_STORE``                ``off``/``0``/``no`` disables on-disk
+                               persistence for every namespace.
+``REPRO_STORE_DIR``            Root directory (default
+                               ``benchmarks/.store``, or ``.store`` when no
+                               ``benchmarks/`` exists under the cwd).
+``REPRO_STORE_<NS>``           Per-namespace off switch (``<NS>`` is the
+                               upper-cased namespace, e.g.
+                               ``REPRO_STORE_SWEEP=off``).
+``REPRO_STORE_<NS>_DIR``       Per-namespace directory override; entries
+                               live directly in that directory instead of
+                               ``<root>/<ns>/``.
+``REPRO_STORE_<NS>_LRU``       Per-namespace in-memory entry budget.
+``REPRO_STORE_<NS>_MAX_BYTES``    Per-namespace on-disk byte budget
+                                  (evicts oldest unpinned entries;
+                                  default unlimited).
+``REPRO_STORE_<NS>_MAX_ENTRIES``  Per-namespace on-disk entry budget
+                                  (default unlimited).
+=============================  =============================================
+
+The pre-unification knobs keep working — each one maps onto the matching
+per-namespace variable and emits a :class:`DeprecationWarning` the first
+time it is read in a process:
+
+==========================  =================================
+``REPRO_SWEEP_CACHE``       → ``REPRO_STORE_SWEEP``
+``REPRO_SWEEP_CACHE_DIR``   → ``REPRO_STORE_SWEEP_DIR``
+``REPRO_TRACE_STORE``       → ``REPRO_STORE_TRACE``
+``REPRO_TRACE_STORE_DIR``   → ``REPRO_STORE_TRACE_DIR``
+``REPRO_TRACE_LRU``         → ``REPRO_STORE_TRACE_LRU``
+``REPRO_TUNE_CACHE_DIR``    → ``REPRO_STORE_TUNE_DIR``
+==========================  =================================
+
+New variables win when both are set.  ``REPRO_SWEEP_FINGERPRINT`` is not
+deprecated: it overrides the cache-invalidation fingerprint for every
+namespace, exactly as before.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from pathlib import Path
+
+__all__ = [
+    "STORE_ENV",
+    "STORE_DIR_ENV",
+    "NAMESPACES",
+    "LEGACY_KNOBS",
+    "default_store_root",
+    "store_allowed",
+    "namespace_allowed",
+    "namespace_dir",
+    "namespace_dir_overridden",
+    "namespace_env",
+    "namespace_int",
+    "legacy_default_dir",
+    "reset_deprecation_warnings",
+]
+
+#: Global off switch for on-disk persistence.
+STORE_ENV = "REPRO_STORE"
+#: Root directory override.
+STORE_DIR_ENV = "REPRO_STORE_DIR"
+
+#: The standard namespaces (new ones are allowed; these always appear in
+#: the service's ``/metrics`` snapshot).
+NAMESPACES = ("sweep", "trace", "tune")
+
+_OFF = ("off", "0", "no")
+
+#: legacy-variable → (replacement-variable, kind) mapping, for the
+#: deprecation shim and the STORAGE.md reference table.
+LEGACY_KNOBS = {
+    "REPRO_SWEEP_CACHE": ("REPRO_STORE_SWEEP", "switch"),
+    "REPRO_SWEEP_CACHE_DIR": ("REPRO_STORE_SWEEP_DIR", "dir"),
+    "REPRO_TRACE_STORE": ("REPRO_STORE_TRACE", "switch"),
+    "REPRO_TRACE_STORE_DIR": ("REPRO_STORE_TRACE_DIR", "dir"),
+    "REPRO_TRACE_LRU": ("REPRO_STORE_TRACE_LRU", "lru"),
+    "REPRO_TUNE_CACHE_DIR": ("REPRO_STORE_TUNE_DIR", "dir"),
+}
+
+#: Default directories of the three pre-unification caches, relative to
+#: the benchmarks dir (or the cwd): migration sources.
+_LEGACY_DIRS = {
+    "sweep": ".sweep_cache",
+    "trace": ".trace_store",
+    "tune": ".tune_cache",
+}
+
+_warned: set[str] = set()
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which legacy knobs already warned (tests only)."""
+    _warned.clear()
+
+
+def _legacy_env(legacy_name: str) -> str | None:
+    """Read a deprecated variable, warning once per process."""
+    value = os.environ.get(legacy_name)
+    if value is not None and legacy_name not in _warned:
+        _warned.add(legacy_name)
+        replacement, _ = LEGACY_KNOBS[legacy_name]
+        warnings.warn(
+            f"{legacy_name} is deprecated; use {replacement} "
+            "(see docs/STORAGE.md)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return value
+
+
+def namespace_env(namespace: str, suffix: str = "") -> str | None:
+    """``REPRO_STORE_<NS>[_<suffix>]``, falling back to the legacy knob."""
+    new_name = f"REPRO_STORE_{namespace.upper()}" + (
+        f"_{suffix}" if suffix else ""
+    )
+    value = os.environ.get(new_name)
+    if value is not None:
+        return value
+    kind = {"": "switch", "DIR": "dir", "LRU": "lru"}.get(suffix)
+    for legacy_name, (replacement, legacy_kind) in LEGACY_KNOBS.items():
+        if replacement == new_name and legacy_kind == kind:
+            return _legacy_env(legacy_name)
+    return None
+
+
+def _bench_relative(leaf: str) -> Path:
+    bench = Path.cwd() / "benchmarks"
+    return (bench if bench.is_dir() else Path.cwd()) / leaf
+
+
+def default_store_root() -> Path:
+    """``$REPRO_STORE_DIR``, else ``benchmarks/.store`` under the working
+    directory (``.store`` when there is no ``benchmarks/`` dir)."""
+    env = os.environ.get(STORE_DIR_ENV)
+    if env:
+        return Path(env)
+    return _bench_relative(".store")
+
+
+def store_allowed() -> bool:
+    """False when ``REPRO_STORE`` disables on-disk persistence globally."""
+    return os.environ.get(STORE_ENV, "").strip().lower() not in _OFF
+
+
+def namespace_allowed(namespace: str) -> bool:
+    """May this namespace persist?  Honors the global and per-namespace
+    off switches (and the legacy one, with a deprecation warning)."""
+    if not store_allowed():
+        return False
+    value = namespace_env(namespace)
+    if value is None:
+        return True
+    return value.strip().lower() not in _OFF
+
+
+def namespace_dir_overridden(namespace: str) -> bool:
+    """Is this namespace's directory pinned by an env variable?"""
+    return namespace_env(namespace, "DIR") is not None
+
+
+def namespace_dir(namespace: str, root: "Path | str | None" = None) -> Path:
+    """Where one namespace's entries live.
+
+    A per-namespace dir override (new or legacy variable) wins and is
+    used *directly*; otherwise ``<root>/<namespace>`` under ``root``
+    (default :func:`default_store_root`).
+    """
+    env = namespace_env(namespace, "DIR")
+    if env:
+        return Path(env)
+    base = Path(root) if root is not None else default_store_root()
+    return base / namespace
+
+
+def namespace_int(namespace: str, suffix: str) -> int | None:
+    """An integer per-namespace knob (LRU / MAX_BYTES / MAX_ENTRIES)."""
+    raw = namespace_env(namespace, suffix)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        return None
+
+
+def legacy_default_dir(namespace: str) -> Path | None:
+    """The pre-unification default directory of a namespace (a migration
+    source), or ``None`` for namespaces that never had one."""
+    leaf = _LEGACY_DIRS.get(namespace)
+    return _bench_relative(leaf) if leaf else None

@@ -1,0 +1,117 @@
+"""Store observability: per-namespace counters.
+
+Every :class:`~repro.store.store.Namespace` owns a private
+:class:`NamespaceCounters` (so tests and callers see exactly their own
+traffic) and *also* increments the matching counters of the process-wide
+:data:`STORE_METRICS` registry, which is what the service's
+``GET /metrics`` endpoint snapshots — one ``store`` section with one
+entry per namespace, aggregated over every store instance in the
+process.
+"""
+
+from __future__ import annotations
+
+from repro.store.config import NAMESPACES
+
+__all__ = [
+    "NamespaceCounters",
+    "StoreMetrics",
+    "STORE_METRICS",
+    "store_metrics_snapshot",
+    "reset_store_metrics",
+]
+
+
+class NamespaceCounters:
+    """Mutable hit/miss/eviction/byte counters for one namespace."""
+
+    __slots__ = (
+        "hits_memory", "hits_disk", "misses", "puts",
+        "bytes_written", "bytes_read",
+        "evictions_memory", "evictions_disk",
+        "integrity_failures", "quarantined", "io_errors",
+    )
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    @property
+    def hits(self) -> int:
+        return self.hits_memory + self.hits_disk
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def evictions(self) -> int:
+        return self.evictions_memory + self.evictions_disk
+
+    def snapshot(self) -> dict:
+        """JSON-able counter dump (the ``/metrics`` per-namespace body)."""
+        lookups = self.lookups
+        return {
+            "hits": self.hits,
+            "hits_memory": self.hits_memory,
+            "hits_disk": self.hits_disk,
+            "misses": self.misses,
+            "hit_rate": round(self.hits / lookups, 4) if lookups else 0.0,
+            "puts": self.puts,
+            "bytes_written": self.bytes_written,
+            "bytes_read": self.bytes_read,
+            "evictions": self.evictions,
+            "evictions_memory": self.evictions_memory,
+            "evictions_disk": self.evictions_disk,
+            "integrity_failures": self.integrity_failures,
+            "quarantined": self.quarantined,
+            "io_errors": self.io_errors,
+        }
+
+
+class StoreMetrics:
+    """A registry of :class:`NamespaceCounters`, keyed by namespace name.
+
+    The standard namespaces (:data:`~repro.store.config.NAMESPACES`)
+    always exist — zeroed until traffic arrives — so dashboards and CI
+    assertions can rely on their presence.
+    """
+
+    def __init__(self) -> None:
+        self._by_namespace: dict[str, NamespaceCounters] = {}
+        for name in NAMESPACES:
+            self._by_namespace[name] = NamespaceCounters()
+
+    def counters(self, namespace: str) -> NamespaceCounters:
+        """The (created-on-demand) counters for one namespace."""
+        found = self._by_namespace.get(namespace)
+        if found is None:
+            found = self._by_namespace[namespace] = NamespaceCounters()
+        return found
+
+    def snapshot(self) -> dict:
+        """Per-namespace counter dump, namespaces sorted by name."""
+        return {
+            name: self._by_namespace[name].snapshot()
+            for name in sorted(self._by_namespace)
+        }
+
+    def reset(self) -> None:
+        """Zero every counter and drop non-standard namespaces."""
+        self._by_namespace.clear()
+        for name in NAMESPACES:
+            self._by_namespace[name] = NamespaceCounters()
+
+
+#: Process-wide aggregate, surfaced through the service ``/metrics``.
+STORE_METRICS = StoreMetrics()
+
+
+def store_metrics_snapshot() -> dict:
+    """The global per-namespace counters (the ``store`` metrics section)."""
+    return STORE_METRICS.snapshot()
+
+
+def reset_store_metrics() -> None:
+    """Zero the global registry (tests only)."""
+    STORE_METRICS.reset()

@@ -1,0 +1,217 @@
+"""One-shot migration of the three legacy cache dirs into the store.
+
+Legacy formats understood:
+
+* ``shard_*.jsonl`` — the sweep executor's (and tuner's) JSON-lines
+  result shards.  Each line is ``{"key", "fingerprint", "cycles",
+  "extra"}``; the last line for a key wins, unparsable lines are
+  skipped, exactly as the old loader behaved.
+* raw ``*.npz`` — the trace store's compiled traces, one file per
+  launch key.  (New-format trace entries also end in ``.npz`` but start
+  with the store's envelope magic, so the two are never confused.)
+
+Migration is *idempotent*: keys already present in the store are
+skipped, so re-running an import — or racing two processes through one
+— converges to the same state.  The legacy files are left in place
+unless ``remove=True``; ``make clean`` keeps deleting the legacy dirs
+for one more release.
+
+Automatic migration: the sweep/trace/tune facades call
+:func:`auto_migrate` the first time they open their default-located
+namespace.  A ``.migrated`` marker in the namespace directory makes
+that a true one-shot — delete the marker to re-import.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.store import config
+from repro.store.store import ArtifactStore, Namespace
+
+__all__ = [
+    "MigrationReport",
+    "migrate_jsonl_dir",
+    "migrate_npz_dir",
+    "migrate_legacy",
+    "auto_migrate",
+    "MARKER_NAME",
+]
+
+MARKER_NAME = ".migrated"
+
+#: Raw (legacy, un-enveloped) npz files start with the zip magic.
+_ZIP_MAGIC = b"PK\x03\x04"
+
+
+@dataclass
+class MigrationReport:
+    """What one migration pass did, per namespace."""
+
+    imported: dict = field(default_factory=dict)
+    skipped: dict = field(default_factory=dict)
+    invalid: dict = field(default_factory=dict)
+    sources: dict = field(default_factory=dict)
+
+    def _bump(self, table: dict, namespace: str, amount: int = 1) -> None:
+        table[namespace] = table.get(namespace, 0) + amount
+
+    def describe(self) -> str:
+        lines = []
+        for ns in sorted(set(self.imported) | set(self.skipped)
+                         | set(self.invalid)):
+            lines.append(
+                f"{ns}: imported {self.imported.get(ns, 0)}, "
+                f"already present {self.skipped.get(ns, 0)}, "
+                f"invalid {self.invalid.get(ns, 0)} "
+                f"(from {', '.join(self.sources.get(ns, [])) or 'nothing'})"
+            )
+        return "\n".join(lines) or "nothing to migrate"
+
+
+def _iter_jsonl_entries(directory: Path) -> Iterator[tuple[str, dict]]:
+    """Last-wins legacy shard entries of one directory."""
+    merged: dict[str, dict] = {}
+    for shard in sorted(directory.glob("shard_*.jsonl")):
+        try:
+            lines = shard.read_text().splitlines()
+        except OSError:
+            continue
+        for line in lines:
+            try:
+                entry = json.loads(line)
+                key = str(entry["key"])
+                payload = {
+                    "key": key,
+                    "fingerprint": str(entry.get("fingerprint", "")),
+                    "cycles": int(entry["cycles"]),
+                    "extra": dict(entry.get("extra", {})),
+                }
+            except (ValueError, KeyError, TypeError):
+                continue
+            merged[key] = payload
+    yield from merged.items()
+
+
+def migrate_jsonl_dir(
+    ns: Namespace, directory: Path, report: MigrationReport
+) -> None:
+    """Import one legacy JSON-lines cache dir into ``ns``."""
+    if not directory.is_dir():
+        return
+    report.sources.setdefault(ns.name, []).append(str(directory))
+    for key, payload in _iter_jsonl_entries(directory):
+        try:
+            wrote = ns.put(key, payload, skip_existing=True)
+        except ValueError:
+            report._bump(report.invalid, ns.name)
+            continue
+        report._bump(report.imported if wrote else report.skipped, ns.name)
+
+
+def migrate_npz_dir(
+    ns: Namespace, directory: Path, report: MigrationReport
+) -> None:
+    """Import one legacy raw-``.npz`` trace dir into ``ns``."""
+    if not directory.is_dir():
+        return
+    report.sources.setdefault(ns.name, []).append(str(directory))
+    for path in sorted(directory.glob("*.npz")):
+        try:
+            with open(path, "rb") as fh:
+                if fh.read(4) != _ZIP_MAGIC:
+                    continue  # already store-framed (or junk): not legacy
+            with np.load(path, allow_pickle=False) as npz:
+                arrays = {name: npz[name] for name in npz.files}
+        except (OSError, ValueError, KeyError):
+            report._bump(report.invalid, ns.name)
+            continue
+        try:
+            wrote = ns.put(path.stem, arrays, skip_existing=True)
+        except ValueError:
+            report._bump(report.invalid, ns.name)
+            continue
+        report._bump(report.imported if wrote else report.skipped, ns.name)
+
+
+def migrate_legacy(
+    root: "Path | str | None" = None,
+    *,
+    sweep_dir: "Path | str | None" = None,
+    trace_dir: "Path | str | None" = None,
+    tune_dir: "Path | str | None" = None,
+    remove: bool = False,
+) -> MigrationReport:
+    """Import the three legacy cache dirs into the unified store.
+
+    Source dirs default to the pre-unification locations
+    (``benchmarks/.sweep_cache`` etc. under the cwd).  ``remove=True``
+    deletes each source dir after a successful import.
+    """
+    store = ArtifactStore(root)
+    report = MigrationReport()
+    plans = [
+        ("sweep", "json", sweep_dir, migrate_jsonl_dir),
+        ("trace", "npz", trace_dir, migrate_npz_dir),
+        ("tune", "json", tune_dir, migrate_jsonl_dir),
+    ]
+    for name, codec, source, importer in plans:
+        source = (
+            Path(source) if source is not None
+            else config.legacy_default_dir(name)
+        )
+        if source is None or not source.is_dir():
+            continue
+        ns = store.namespace(name, codec)
+        if not ns.persist:
+            continue
+        # Guard against importing a directory into itself (a namespace
+        # dir override pointed at the legacy dir): in-place upgrades are
+        # fine, removal afterwards is not.
+        in_place = source.resolve() == ns.directory.resolve()
+        importer(ns, source, report)
+        if remove and not in_place:
+            shutil.rmtree(source, ignore_errors=True)
+    return report
+
+
+def auto_migrate(ns: Namespace, source: "Path | None") -> None:
+    """First-open hook: import ``source`` (and any legacy-format files
+    already inside the namespace dir) exactly once.
+
+    No-ops when the namespace does not persist, when the ``.migrated``
+    marker exists, or when there is nothing legacy to import.  Written
+    for concurrent first-opens: imports are idempotent and the marker
+    write is atomic-enough (a torn marker just re-runs a no-op import).
+    """
+    if not ns.persist:
+        return
+    marker = ns.directory / MARKER_NAME
+    if marker.exists():
+        return
+    report = MigrationReport()
+    importer = migrate_npz_dir if ns.codec.name == "npz" \
+        else migrate_jsonl_dir
+    # In-place: legacy-format files inside the namespace dir itself
+    # (callers who pointed a dir override at their old cache dir).
+    importer(ns, ns.directory, report)
+    if source is not None and source.is_dir() \
+            and source.resolve() != ns.directory.resolve():
+        importer(ns, source, report)
+    # Only drop the marker into a directory that already exists (the
+    # import itself creates it when anything was written): an empty
+    # cache should not materialize on disk just to hold a marker, and
+    # re-running the no-op scan is cheap.
+    try:
+        if ns.directory.is_dir():
+            marker.write_text(
+                json.dumps(report.sources.get(ns.name, [])) + "\n"
+            )
+    except OSError:
+        pass

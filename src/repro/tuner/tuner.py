@@ -7,7 +7,8 @@ grid.  Mechanics:
 * **Costing** — every ``(configuration, latency)`` pair becomes one
   JSON-able point fanned out over a
   :class:`~repro.analysis.executor.SweepExecutor` (parallel workers +
-  persistent result cache, default ``benchmarks/.tune_cache``).
+  persistent result cache in the unified store's ``tune`` namespace,
+  default ``benchmarks/.store/tune``).
 * **Replay** — for oblivious tasks the default mode is ``"replay"``:
   each candidate layout is captured once and re-priced from its trace
   at every other latency, which is what makes wide searches cheap.
@@ -24,7 +25,6 @@ grid.  Mechanics:
 
 from __future__ import annotations
 
-import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -32,6 +32,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.analysis.advisor import Advice, diagnose
+from repro.store import config as _store_config
 from repro.analysis.executor import SweepExecutor
 from repro.errors import ConfigurationError
 from repro.machine.engine import resolve_mode
@@ -52,17 +53,16 @@ __all__ = [
 #: Latency grid a candidate is costed over (objective = sum of cycles).
 DEFAULT_LATENCIES = (4, 16, 64)
 
+#: Deprecated alias of ``REPRO_STORE_TUNE_DIR`` (see docs/STORAGE.md).
 TUNE_CACHE_DIR_ENV = "REPRO_TUNE_CACHE_DIR"
 
 
 def default_tune_cache_dir() -> Path:
-    """``$REPRO_TUNE_CACHE_DIR``, else ``benchmarks/.tune_cache`` under
-    the working directory (``.tune_cache`` without a ``benchmarks/``)."""
-    env = os.environ.get(TUNE_CACHE_DIR_ENV)
-    if env:
-        return Path(env)
-    bench = Path.cwd() / "benchmarks"
-    return (bench if bench.is_dir() else Path.cwd()) / ".tune_cache"
+    """Where tune measurements live: the ``tune`` namespace of the
+    unified artifact store — ``$REPRO_STORE_TUNE_DIR`` (or the
+    deprecated ``$REPRO_TUNE_CACHE_DIR``), else ``benchmarks/.store/tune``
+    under the working directory."""
+    return _store_config.namespace_dir("tune")
 
 
 def resolve_tune_mode(task: TuneTask, mode: str) -> str:
@@ -244,10 +244,8 @@ def tune(
 
     own_executor = executor is None
     ex = executor if executor is not None else SweepExecutor(
-        jobs=jobs, cache=cache,
-        cache_dir=cache_dir if cache_dir is not None
-        else default_tune_cache_dir(),
-        progress=progress,
+        jobs=jobs, cache=cache, cache_dir=cache_dir,
+        progress=progress, namespace="tune",
     )
 
     history: list[tuple[dict, float]] = []

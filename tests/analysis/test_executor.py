@@ -177,15 +177,14 @@ class TestCache:
         )
         assert _invocations(count_file) == len(POINTS)  # shared entries
 
-    def test_corrupt_line_skipped(self, cache_dir, count_file):
+    def test_corrupt_entry_skipped(self, cache_dir, count_file):
         ex = SweepExecutor(cache=True, cache_dir=cache_dir, fingerprint="F")
         ex.run(cheap_measure, POINTS)
-        shards = sorted(cache_dir.glob("shard_*.jsonl"))
-        assert shards
-        victim = shards[0]
-        lines = victim.read_text().splitlines()
-        lines[0] = lines[0][: len(lines[0]) // 2]  # truncate mid-JSON
-        victim.write_text("\n".join(lines) + "\n")
+        entries = sorted(cache_dir.glob("*.json"))
+        assert entries
+        victim = entries[0]
+        blob = victim.read_bytes()
+        victim.write_bytes(blob[: len(blob) // 2])  # truncate mid-entry
 
         warm = SweepExecutor(cache=True, cache_dir=cache_dir, fingerprint="F")
         rows = warm.run(cheap_measure, POINTS)
@@ -193,8 +192,36 @@ class TestCache:
             SweepPoint(params=q, cycles=q.n * q.l + 7, extra={"n": q.n})
             for q in POINTS
         ]
-        # Exactly the corrupted entry was recomputed.
+        # Exactly the corrupted entry was recomputed...
         assert _invocations(count_file) == len(POINTS) + 1
+        # ...after being quarantined, not deleted.
+        quarantined = list((cache_dir / "quarantine").iterdir())
+        assert [p.name for p in quarantined] == [victim.name]
+
+    def test_legacy_shards_upgraded_in_place(self, cache_dir, count_file):
+        """A cache dir holding pre-unification ``shard_*.jsonl`` files
+        keeps answering: entries are imported on first open."""
+        cold = SweepExecutor(
+            cache=True, cache_dir=cache_dir, fingerprint="F"
+        )
+        cold.run(cheap_measure, POINTS)
+        assert _invocations(count_file) == len(POINTS)
+        # Rewrite the store entries as one legacy JSON-lines shard.
+        entries = []
+        for path in cache_dir.glob("*.json"):
+            entries.append(json.loads(path.read_bytes().split(b"\n", 1)[1]))
+            path.unlink()
+        (cache_dir / ".migrated").unlink(missing_ok=True)
+        (cache_dir / "shard_ab.jsonl").write_text(
+            "\n".join(json.dumps(e) for e in entries) + "\n"
+        )
+
+        warm = SweepExecutor(
+            cache=True, cache_dir=cache_dir, fingerprint="F"
+        )
+        warm.run(cheap_measure, POINTS)
+        assert _invocations(count_file) == len(POINTS)  # all hits
+        assert warm.cache.hits == len(POINTS)
 
     def test_clear_and_stats(self, cache_dir):
         ex = SweepExecutor(cache=True, cache_dir=cache_dir, fingerprint="F")
@@ -270,14 +297,20 @@ class TestKeys:
         assert point_key(desc, as_dict, mode="batch", fingerprint="F")
 
     def test_cache_roundtrip_via_file(self, cache_dir):
+        key = "ab" + "0" * 62
         cache = ResultCache(cache_dir, "F")
-        cache.put("ab" + "0" * 62, 42, {"engine": "batch"})
+        cache.put(key, 42, {"engine": "batch"})
         fresh = ResultCache(cache_dir, "F")
-        assert fresh.get("ab" + "0" * 62) == (42, {"engine": "batch"})
-        entry = json.loads(
-            (cache_dir / "shard_ab.jsonl").read_text().splitlines()[0]
+        assert fresh.get(key) == (42, {"engine": "batch"})
+        # One framed entry file per key: a header line carrying the
+        # payload digest, then the canonical-JSON record.
+        header, payload = (
+            (cache_dir / f"{key}.json").read_bytes().split(b"\n", 1)
         )
+        assert header.startswith(b"repro-store 1 sweep ")
+        entry = json.loads(payload)
         assert entry["fingerprint"] == "F"
+        assert entry["key"] == key
 
 
 class TestPoolReuse:

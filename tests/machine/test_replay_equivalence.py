@@ -295,7 +295,7 @@ class TestTraceStorePersistence:
         m = DMM(MachineParams(width=4, latency=5), mode="replay")
         m.sum(X64, 16)
         store = default_store()
-        (key, trace), = store._lru.items()
+        (key, trace), = store.store_namespace.scan()
         path = tmp_path / "t.npz"
         trace.save(path)
         loaded = CompiledTrace.load(path)

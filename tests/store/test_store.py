@@ -1,0 +1,480 @@
+"""The unified artifact store: keys, tiers, integrity, eviction,
+pinning, metrics, migration, env shims, and the maintenance CLI."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+import warnings
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.store import (
+    ArtifactStore,
+    STORE_METRICS,
+    content_key,
+    migrate_legacy,
+    reset_store_metrics,
+    store_metrics_snapshot,
+)
+from repro.store import config as store_config
+from repro.store.migrate import MARKER_NAME, auto_migrate
+from repro.store.store import ENVELOPE_MAGIC
+
+
+@pytest.fixture(autouse=True)
+def _fresh_metrics():
+    reset_store_metrics()
+    store_config.reset_deprecation_warnings()
+    yield
+    reset_store_metrics()
+
+
+@pytest.fixture
+def store(tmp_path) -> ArtifactStore:
+    return ArtifactStore(tmp_path / "store")
+
+
+def _keys(n: int) -> list[str]:
+    return [content_key({"i": i}) for i in range(n)]
+
+
+class TestKeysAndRoundtrip:
+    def test_content_key_is_canonical(self):
+        assert content_key({"b": 2, "a": 1}) == content_key({"a": 1, "b": 2})
+        assert content_key({"a": 1}) != content_key({"a": 2})
+        key = content_key({"a": 1})
+        assert len(key) == 64 and set(key) <= set("0123456789abcdef")
+
+    def test_bad_keys_rejected(self, store):
+        ns = store.namespace("sweep")
+        for bad in ("", "abc", "Z" * 64, "ab/../" + "0" * 58):
+            with pytest.raises(ValueError):
+                ns.get(bad)
+            with pytest.raises(ValueError):
+                ns.put(bad, {})
+
+    def test_json_roundtrip_across_instances(self, store):
+        key = content_key("x")
+        store.namespace("sweep").put(key, {"cycles": 9, "extra": {"a": 1}})
+        # A fresh namespace instance has a cold memory tier: disk hit.
+        ns = store.namespace("sweep")
+        assert ns.get(key) == {"cycles": 9, "extra": {"a": 1}}
+        assert ns.counters.hits_disk == 1
+
+    def test_npz_roundtrip(self, store):
+        key = content_key("arrays")
+        arrays = {"a": np.arange(7), "b": np.eye(3)}
+        store.namespace("trace", "npz").put(key, arrays)
+        got = store.namespace("trace", "npz").get(key)
+        assert set(got) == {"a", "b"}
+        assert np.array_equal(got["a"], arrays["a"])
+        assert np.array_equal(got["b"], arrays["b"])
+
+    def test_entry_file_is_enveloped(self, store):
+        ns = store.namespace("sweep")
+        key = content_key("enveloped")
+        ns.put(key, {"v": 1})
+        blob = ns.path_of(key).read_bytes()
+        header, payload = blob.split(b"\n", 1)
+        fields = header.decode().split()
+        assert fields[0] == ENVELOPE_MAGIC.decode()
+        assert fields[2] == "sweep" and fields[3] == key
+        assert fields[6] == str(len(payload))
+
+    def test_namespaces_are_disjoint(self, store):
+        key = content_key("shared-key")
+        store.namespace("sweep").put(key, {"ns": "sweep"})
+        store.namespace("tune").put(key, {"ns": "tune"})
+        assert store.namespace("sweep").get(key) == {"ns": "sweep"}
+        assert store.namespace("tune").get(key) == {"ns": "tune"}
+
+
+class TestIntegrity:
+    """Corrupt or truncated entries quarantine and read as misses."""
+
+    @pytest.mark.parametrize(
+        "mangle",
+        [
+            lambda blob: blob[: len(blob) // 2],     # truncated
+            lambda blob: blob[:-4] + b"XXXX",        # flipped payload bytes
+            lambda blob: b"garbage\n" + blob,        # bogus header
+            lambda blob: b"",                        # empty file
+        ],
+    )
+    def test_corrupt_entry_quarantined(self, store, mangle):
+        ns = store.namespace("sweep")
+        key = content_key("to-corrupt")
+        ns.put(key, {"v": 1})
+        path = ns.path_of(key)
+        path.write_bytes(mangle(path.read_bytes()))
+
+        fresh = store.namespace("sweep")
+        assert fresh.get(key) is None  # a miss, never a crash
+        assert not path.exists()
+        assert (fresh.quarantine_dir / path.name).exists()
+        assert fresh.counters.integrity_failures == 1
+        assert fresh.counters.quarantined == 1
+        assert fresh.counters.misses == 1
+
+    def test_wrong_namespace_entry_rejected(self, store):
+        sweep = store.namespace("sweep")
+        key = content_key("cross-ns")
+        sweep.put(key, {"v": 1})
+        tune = store.namespace("tune")
+        os.makedirs(tune.directory, exist_ok=True)
+        (tune.directory / sweep.path_of(key).name).write_bytes(
+            sweep.path_of(key).read_bytes()
+        )
+        assert tune.get(key) is None  # envelope names "sweep"
+
+    def test_recompute_after_quarantine(self, store):
+        ns = store.namespace("sweep")
+        key = content_key("recompute")
+        ns.put(key, {"v": 1})
+        ns.path_of(key).write_bytes(b"junk")
+        fresh = store.namespace("sweep")
+        assert fresh.get(key) is None
+        fresh.put(key, {"v": 2})  # the caller recomputes and re-stores
+        assert store.namespace("sweep").get(key) == {"v": 2}
+
+
+class TestEvictionAndPinning:
+    def test_memory_lru_evicts_oldest(self, store):
+        ns = store.namespace("sweep", persist=False, max_memory_entries=2)
+        k0, k1, k2 = _keys(3)
+        for i, k in enumerate((k0, k1, k2)):
+            ns.put(k, {"i": i})
+        assert ns.counters.evictions_memory == 1
+        assert ns.get(k0) is None
+        assert ns.get(k2) == {"i": 2}
+
+    def test_memory_byte_budget(self, store):
+        ns = store.namespace(
+            "sweep", persist=False, max_memory_entries=100,
+            max_memory_bytes=1,
+        )
+        k0, k1 = _keys(2)
+        ns.put(k0, {"i": 0})
+        ns.put(k1, {"i": 1})
+        # Over budget: evicts down to the single most recent entry.
+        assert ns.stats().entries_memory == 1
+        assert ns.get(k1) == {"i": 1}
+
+    def test_pinned_memory_entries_survive(self, store):
+        ns = store.namespace("sweep", persist=False, max_memory_entries=2)
+        k0, k1, k2 = _keys(3)
+        ns.put(k0, {"i": 0}, pin=True)
+        ns.put(k1, {"i": 1})
+        ns.put(k2, {"i": 2})
+        assert ns.get(k0) == {"i": 0}  # pinned: never evicted
+        assert ns.get(k1) is None      # the unpinned one went instead
+
+    def test_disk_eviction_under_size_pressure_skips_pinned(self, store):
+        entry_size = len(
+            store.namespace("sweep").codec.encode({"i": 0})
+        ) + 120  # payload + envelope, roughly
+        ns = store.namespace("sweep", max_disk_bytes=3 * entry_size)
+        keys = _keys(6)
+        now = time.time()
+        for i, k in enumerate(keys):
+            ns.put(k, {"i": i}, pin=(i == 0))
+            os.utime(ns.path_of(k), (now - 100 + i,) * 2)
+        on_disk = set(ns.keys())
+        assert keys[0] in on_disk, "pinned entry evicted under pressure"
+        assert len(on_disk) < 6
+        assert ns.counters.evictions_disk > 0
+        # The survivors besides the pin are the most recently written.
+        assert keys[-1] in on_disk
+
+    def test_disk_entry_budget(self, store):
+        ns = store.namespace("sweep", max_disk_entries=2)
+        keys = _keys(4)
+        now = time.time()
+        for i, k in enumerate(keys):
+            ns.put(k, {"i": i})
+            os.utime(ns.path_of(k), (now - 100 + i,) * 2)
+        assert sorted(ns.keys()) == sorted(keys[2:])
+
+    def test_unpin_makes_evictable(self, store):
+        ns = store.namespace("sweep", persist=False, max_memory_entries=1)
+        k0, k1 = _keys(2)
+        ns.put(k0, {"i": 0}, pin=True)
+        ns.unpin(k0)
+        ns.put(k1, {"i": 1})
+        assert ns.get(k0) is None
+
+
+class TestConcurrentWriters:
+    """Two processes writing the same directory never corrupt it."""
+
+    def test_parallel_writers_all_entries_valid(self, tmp_path):
+        directory = tmp_path / "shared"
+        script = (
+            "import sys\n"
+            "from repro.store import ArtifactStore, content_key\n"
+            "ns = ArtifactStore(sys.argv[1]).namespace('sweep')\n"
+            "who = sys.argv[2]\n"
+            "for i in range(40):\n"
+            "    ns.put(content_key({'i': i}), "
+            "{'i': i, 'who': who, 'pad': 'x' * 256})\n"
+            "print('done')\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2] / "src")
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(directory), who],
+                env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            )
+            for who in ("a", "b")
+        ]
+        for p in procs:
+            out, err = p.communicate(timeout=120)
+            assert p.returncode == 0, err.decode()
+            assert out.decode().strip() == "done"
+
+        ns = ArtifactStore(directory).namespace("sweep")
+        seen = dict(ns.scan())
+        assert len(seen) == 40  # every key present and decodable
+        for i in range(40):
+            entry = seen[content_key({"i": i})]
+            assert entry["i"] == i
+            assert entry["who"] in ("a", "b")  # last rename won
+        assert ns.counters.integrity_failures == 0
+        assert not list(ns.quarantine_dir.glob("*")) \
+            if ns.quarantine_dir.is_dir() else True
+
+    def test_tmp_files_never_visible_as_entries(self, store):
+        ns = store.namespace("sweep")
+        ns.put(content_key("z"), {"v": 1})
+        names = [p.name for p in ns.directory.iterdir()]
+        assert not [n for n in names if n.startswith(".tmp-")]
+
+
+class TestMetrics:
+    def test_standard_namespaces_always_reported(self):
+        snap = store_metrics_snapshot()
+        assert set(snap) >= {"sweep", "trace", "tune"}
+        assert snap["sweep"]["hits"] == 0
+
+    def test_counters_aggregate_across_instances(self, store):
+        key = content_key("m")
+        store.namespace("sweep").put(key, {"v": 1})
+        ns2 = store.namespace("sweep")
+        ns2.get(key)            # disk hit
+        ns2.get(key)            # memory hit
+        ns2.get(content_key("absent"))  # miss
+        snap = store_metrics_snapshot()["sweep"]
+        assert snap["puts"] == 1
+        assert snap["hits_disk"] == 1
+        assert snap["hits_memory"] == 1
+        assert snap["misses"] == 1
+        assert snap["hits"] == 2
+        assert 0 < snap["hit_rate"] < 1
+
+    def test_private_counters_isolated_per_instance(self, store):
+        key = content_key("m2")
+        a = store.namespace("sweep")
+        b = store.namespace("sweep")
+        a.put(key, {"v": 1})
+        b.get(key)
+        assert a.counters.puts == 1 and a.counters.hits_disk == 0
+        assert b.counters.puts == 0 and b.counters.hits_disk == 1
+
+    def test_reset(self, store):
+        store.namespace("sweep").put(content_key("r"), {})
+        reset_store_metrics()
+        assert store_metrics_snapshot()["sweep"]["puts"] == 0
+
+
+class TestMigration:
+    def _legacy_sweep_dir(self, tmp_path, entries) -> Path:
+        legacy = tmp_path / "legacy_sweep"
+        legacy.mkdir()
+        lines = [
+            json.dumps({"key": k, "fingerprint": "F", "cycles": c,
+                        "extra": {}})
+            for k, c in entries
+        ]
+        (legacy / "shard_ab.jsonl").write_text("\n".join(lines) + "\n")
+        return legacy
+
+    def test_jsonl_migration_imports_last_wins(self, tmp_path, store):
+        key = content_key("dup")
+        legacy = self._legacy_sweep_dir(
+            tmp_path, [(key, 1), (key, 2)]  # same key twice: last wins
+        )
+        report = migrate_legacy(store.resolve_root(), sweep_dir=legacy)
+        assert report.imported["sweep"] == 1
+        assert store.namespace("sweep").get(key)["cycles"] == 2
+
+    def test_migration_idempotent(self, tmp_path, store):
+        keys = _keys(3)
+        legacy = self._legacy_sweep_dir(
+            tmp_path, [(k, i) for i, k in enumerate(keys)]
+        )
+        first = migrate_legacy(store.resolve_root(), sweep_dir=legacy)
+        second = migrate_legacy(store.resolve_root(), sweep_dir=legacy)
+        assert first.imported["sweep"] == 3
+        assert second.imported.get("sweep", 0) == 0
+        assert second.skipped["sweep"] == 3
+        ns = store.namespace("sweep")
+        assert sorted(k for k, _ in ns.scan()) == sorted(keys)
+
+    def test_npz_migration(self, tmp_path, store):
+        legacy = tmp_path / "legacy_trace"
+        legacy.mkdir()
+        key = content_key("trace")
+        with open(legacy / f"{key}.npz", "wb") as fh:
+            np.savez_compressed(fh, a=np.arange(4))
+        report = migrate_legacy(store.resolve_root(), trace_dir=legacy)
+        assert report.imported["trace"] == 1
+        got = store.namespace("trace", "npz").get(key)
+        assert np.array_equal(got["a"], np.arange(4))
+
+    def test_corrupt_legacy_lines_skipped(self, tmp_path, store):
+        key = content_key("good")
+        legacy = tmp_path / "legacy_sweep"
+        legacy.mkdir()
+        (legacy / "shard_ab.jsonl").write_text(
+            "not json at all\n"
+            + json.dumps({"key": key, "fingerprint": "F", "cycles": 5,
+                          "extra": {}})
+            + "\n{\"key\": \"truncat"
+        )
+        migrate_legacy(store.resolve_root(), sweep_dir=legacy)
+        assert store.namespace("sweep").get(key)["cycles"] == 5
+
+    def test_remove_deletes_source(self, tmp_path, store):
+        legacy = self._legacy_sweep_dir(tmp_path, [(content_key("x"), 1)])
+        migrate_legacy(store.resolve_root(), sweep_dir=legacy, remove=True)
+        assert not legacy.exists()
+
+    def test_auto_migrate_once_via_marker(self, tmp_path, store):
+        keys = _keys(2)
+        legacy = self._legacy_sweep_dir(
+            tmp_path, [(k, i) for i, k in enumerate(keys)]
+        )
+        ns = store.namespace("sweep")
+        auto_migrate(ns, legacy)
+        assert (ns.directory / MARKER_NAME).exists()
+        assert len(list(ns.scan())) == 2
+        # Marker present: a second pass ignores new legacy content.
+        (legacy / "shard_cd.jsonl").write_text(
+            json.dumps({"key": content_key("late"), "fingerprint": "F",
+                        "cycles": 9, "extra": {}}) + "\n"
+        )
+        auto_migrate(store.namespace("sweep"), legacy)
+        assert len(list(store.namespace("sweep").scan())) == 2
+
+    def test_auto_migrate_upgrades_in_place(self, tmp_path):
+        # A dir override pointing at an old-format cache dir: the files
+        # are upgraded where they are.
+        key = content_key("inplace")
+        legacy = self._legacy_sweep_dir(tmp_path, [(key, 3)])
+        ns = ArtifactStore(tmp_path).namespace(
+            "sweep", directory=legacy
+        )
+        auto_migrate(ns, None)
+        assert ns.get(key)["cycles"] == 3
+
+    def test_auto_migrate_nothing_creates_nothing(self, tmp_path, store):
+        ns = store.namespace("sweep")
+        auto_migrate(ns, tmp_path / "does-not-exist")
+        assert not ns.directory.exists()
+
+
+class TestEnvShims:
+    def test_legacy_dir_var_maps_and_warns_once(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE_DIR", str(tmp_path / "legacy"))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert store_config.namespace_dir("sweep") == tmp_path / "legacy"
+            store_config.namespace_dir("sweep")
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "REPRO_STORE_SWEEP_DIR" in str(deprecations[0].message)
+
+    def test_new_var_wins_over_legacy(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE_DIR", str(tmp_path / "old"))
+        monkeypatch.setenv("REPRO_STORE_SWEEP_DIR", str(tmp_path / "new"))
+        assert store_config.namespace_dir("sweep") == tmp_path / "new"
+
+    def test_global_and_namespace_switches(self, monkeypatch):
+        assert store_config.namespace_allowed("sweep")
+        monkeypatch.setenv("REPRO_STORE_SWEEP", "off")
+        assert not store_config.namespace_allowed("sweep")
+        assert store_config.namespace_allowed("trace")
+        monkeypatch.setenv("REPRO_STORE", "off")
+        assert not store_config.namespace_allowed("trace")
+
+    def test_legacy_switch_maps(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_STORE", "off")
+        assert not store_config.namespace_allowed("trace")
+
+    def test_store_root_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "root"))
+        assert store_config.default_store_root() == tmp_path / "root"
+        assert (
+            store_config.namespace_dir("tune")
+            == tmp_path / "root" / "tune"
+        )
+
+    def test_lru_knob_with_legacy_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_LRU", "7")
+        assert store_config.namespace_int("trace", "LRU") == 7
+        monkeypatch.setenv("REPRO_STORE_TRACE_LRU", "9")
+        assert store_config.namespace_int("trace", "LRU") == 9
+
+
+class TestMaintenance:
+    def test_clear_empties_namespace_and_quarantine(self, store):
+        ns = store.namespace("sweep")
+        keys = _keys(3)
+        for i, k in enumerate(keys):
+            ns.put(k, {"i": i})
+        ns.path_of(keys[0]).write_bytes(b"junk")
+        ns = store.namespace("sweep")  # cold memory tier: reads disk
+        assert ns.get(keys[0]) is None  # quarantines
+        removed = ns.clear()
+        assert removed == 2
+        assert ns.stats().entries_disk == 0
+        assert not list(ns.quarantine_dir.glob("*")) \
+            if ns.quarantine_dir.is_dir() else True
+        assert ns.get(keys[1]) is None
+
+    def test_delete_single_entry(self, store):
+        ns = store.namespace("sweep")
+        k0, k1 = _keys(2)
+        ns.put(k0, {"i": 0})
+        ns.put(k1, {"i": 1})
+        assert ns.delete(k0)
+        assert not ns.delete(k0)
+        assert ns.contains(k1) and not ns.contains(k0)
+
+    def test_cli_migrate_stats_clear(self, tmp_path):
+        legacy = tmp_path / "legacy"
+        legacy.mkdir()
+        key = content_key("cli")
+        (legacy / "shard_ab.jsonl").write_text(
+            json.dumps({"key": key, "fingerprint": "F", "cycles": 1,
+                        "extra": {}}) + "\n"
+        )
+        from repro.store.__main__ import main
+
+        root = tmp_path / "root"
+        assert main(["migrate", "--root", str(root),
+                     "--sweep", str(legacy)]) == 0
+        assert main(["stats", "--root", str(root)]) == 0
+        assert main(["clear", "--root", str(root),
+                     "--namespace", "sweep"]) == 0
+        ns = ArtifactStore(root).namespace("sweep")
+        assert ns.stats().entries_disk == 0

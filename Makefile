@@ -1,6 +1,6 @@
 # Convenience targets; plain pytest/python work equally well.
 
-.PHONY: install test bench bench-service bench-replay bench-tuner examples experiments serve tune-demo docs-check clean
+.PHONY: install test bench bench-service bench-replay bench-tuner bench-native bench-report examples experiments serve tune-demo docs-check clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -19,6 +19,12 @@ bench-replay:
 
 bench-tuner:
 	PYTHONPATH=src pytest benchmarks/bench_tuner.py -q
+
+bench-native:
+	PYTHONPATH=src pytest benchmarks/bench_native.py -q
+
+bench-report:
+	python tools/bench_report.py
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; PYTHONPATH=src python $$f > /dev/null || exit 1; done

@@ -25,6 +25,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.machine.engine import MachineEngine, resolve_mode
 from repro.machine.hmm import HMMEngine
+from repro.native import resolve_backend
 from repro.machine.policy import DMMBankPolicy, SlotPolicy, UMMGroupPolicy
 from repro.machine.report import RunReport
 from repro.machine.trace import TraceRecorder
@@ -156,11 +157,17 @@ class _FlatMachine:
     _name: str
 
     def __init__(
-        self, params: MachineParams | None = None, *, mode: str = "event"
+        self,
+        params: MachineParams | None = None,
+        *,
+        mode: str = "event",
+        backend: str | None = None,
     ) -> None:
         self.params = params if params is not None else MachineParams()
         #: Default evaluation mode for engines built by this front-end.
         self.mode = resolve_mode(mode)
+        #: Cost-model backend ("python"/"native") for those engines.
+        self.backend = resolve_backend(backend)
 
     def engine(
         self, *, pipelined: bool = True, mode: str | None = None
@@ -172,6 +179,7 @@ class _FlatMachine:
             name=self._name,
             pipelined=pipelined,
             mode=self.mode if mode is None else mode,
+            backend=self.backend,
         )
 
     # -- operations -------------------------------------------------------
@@ -300,12 +308,18 @@ class HMM:
     """
 
     def __init__(
-        self, params: HMMParams | None = None, *, mode: str = "event"
+        self,
+        params: HMMParams | None = None,
+        *,
+        mode: str = "event",
+        backend: str | None = None,
     ) -> None:
         self.params = params if params is not None else HMMParams()
         #: Default evaluation mode for engines built by this front-end
         #: ("event", "batch", or "replay"; see ``docs/PERFORMANCE.md``).
         self.mode = resolve_mode(mode)
+        #: Cost-model backend ("python"/"native") for those engines.
+        self.backend = resolve_backend(backend)
 
     def engine(
         self, *, pipelined: bool = True, mode: str | None = None
@@ -315,6 +329,7 @@ class HMM:
             self.params,
             pipelined=pipelined,
             mode=self.mode if mode is None else mode,
+            backend=self.backend,
         )
 
     # -- operations --------------------------------------------------------

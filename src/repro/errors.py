@@ -2,9 +2,16 @@
 
 Every error raised by :mod:`repro` derives from :class:`ReproError` so that
 callers can catch library failures without masking unrelated bugs.
+
+This module also hosts :func:`warn_once`, the shared once-per-process
+warning helper used by the store's deprecation shims and the native
+backend's no-compiler fallback (one registry instead of per-module
+``_warned`` sets).
 """
 
 from __future__ import annotations
+
+import warnings
 
 __all__ = [
     "ReproError",
@@ -16,7 +23,46 @@ __all__ = [
     "DeadlockError",
     "SpaceMismatchError",
     "TraceOverflowError",
+    "warn_once",
+    "reset_warn_once",
 ]
+
+
+_warned_keys: set[str] = set()
+
+
+def warn_once(
+    key: str,
+    message: str,
+    *,
+    category: type[Warning] = UserWarning,
+    stacklevel: int = 3,
+) -> bool:
+    """Emit ``message`` at most once per process per ``key``.
+
+    Returns ``True`` when the warning was actually emitted.  Keys are
+    namespaced by convention (``"deprecated-env:REPRO_TRACE_LRU"``,
+    ``"native:no-compiler"``) so callers can reset their own family via
+    :func:`reset_warn_once` without silencing anyone else's.
+    """
+    if key in _warned_keys:
+        return False
+    _warned_keys.add(key)
+    warnings.warn(message, category, stacklevel=stacklevel)
+    return True
+
+
+def reset_warn_once(prefix: str | None = None) -> None:
+    """Forget emitted warn-once keys (tests only).
+
+    With ``prefix``, forget only keys starting with it; without, forget
+    everything.
+    """
+    if prefix is None:
+        _warned_keys.clear()
+        return
+    for key in [k for k in _warned_keys if k.startswith(prefix)]:
+        _warned_keys.discard(key)
 
 
 class ReproError(Exception):

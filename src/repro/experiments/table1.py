@@ -69,43 +69,51 @@ CONV_FORMULA_KEY = {
 }
 
 
-def _sum_report(model: str, q: dict, values: np.ndarray, mode: str):
+def _sum_report(model: str, q: dict, values: np.ndarray, mode: str,
+                backend: "str | None" = None):
     if model == "sequential":
         return SequentialMachine().sum(values)
     if model == "pram":
         return PRAM(q["p"]).sum(values)
     if model == "dmm":
-        machine = DMM(MachineParams(width=q["w"], latency=q["l"]), mode=mode)
+        machine = DMM(MachineParams(width=q["w"], latency=q["l"]), mode=mode,
+                      backend=backend)
         return machine.sum(values, q["p"])[1]
     if model == "umm":
-        machine = UMM(MachineParams(width=q["w"], latency=q["l"]), mode=mode)
+        machine = UMM(MachineParams(width=q["w"], latency=q["l"]), mode=mode,
+                      backend=backend)
         return machine.sum(values, q["p"])[1]
     if model == "hmm":
         machine = HMM(
             HMMParams(num_dmms=q["d"], width=q["w"], global_latency=q["l"]),
             mode=mode,
+            backend=backend,
         )
         return machine.sum(values, q["p"])[1]
     raise ValueError(f"unknown model {model!r}")
 
 
 def _conv_report(
-    model: str, q: dict, x: np.ndarray, y: np.ndarray, mode: str
+    model: str, q: dict, x: np.ndarray, y: np.ndarray, mode: str,
+    backend: "str | None" = None,
 ):
     if model == "sequential":
         return SequentialMachine().convolution(x, y)
     if model == "pram":
         return PRAM(q["p"]).convolution(x, y)
     if model == "dmm":
-        machine = DMM(MachineParams(width=q["w"], latency=q["l"]), mode=mode)
+        machine = DMM(MachineParams(width=q["w"], latency=q["l"]), mode=mode,
+                      backend=backend)
         return machine.convolve(x, y, q["p"])[1]
     if model == "umm":
-        machine = UMM(MachineParams(width=q["w"], latency=q["l"]), mode=mode)
+        machine = UMM(MachineParams(width=q["w"], latency=q["l"]), mode=mode,
+                      backend=backend)
         return machine.convolve(x, y, q["p"])[1]
     if model == "hmm":
         machine = HMM(
             HMMParams(num_dmms=q["d"], width=q["w"], global_latency=q["l"]),
             mode=mode,
+            backend=backend,
         )
         return machine.convolve(x, y, q["p"])[1]
     raise ValueError(f"unknown model {model!r}")
@@ -138,42 +146,48 @@ def _as_grid_dict(q: Params) -> dict:
 
 
 def sum_launch_report(
-    q: Params, *, model: str, seed: int = 20130520, mode: str = "batch"
+    q: Params, *, model: str, seed: int = 20130520, mode: str = "batch",
+    backend: "str | None" = None,
 ):
     """The full :class:`~repro.machine.report.RunReport` of one Table I
     sum point — same deterministic inputs as :func:`sum_task`, so the
     advisor (and the serving layer) diagnose exactly what was measured."""
     values = point_rng(seed, "sum", q).normal(size=q.n)
-    return _sum_report(model, _as_grid_dict(q), values, mode)
+    return _sum_report(model, _as_grid_dict(q), values, mode, backend)
 
 
 def conv_launch_report(
-    q: Params, *, model: str, seed: int = 20130520, mode: str = "batch"
+    q: Params, *, model: str, seed: int = 20130520, mode: str = "batch",
+    backend: "str | None" = None,
 ):
     """The full run report of one Table I convolution point."""
     rng = point_rng(seed, "conv", q)
     x = rng.normal(size=q.k)
     y = rng.normal(size=q.n + q.k - 1)
-    return _conv_report(model, _as_grid_dict(q), x, y, mode)
+    return _conv_report(model, _as_grid_dict(q), x, y, mode, backend)
 
 
 def sum_task(
-    q: Params, *, model: str, seed: int, mode: str = "batch"
+    q: Params, *, model: str, seed: int, mode: str = "batch",
+    backend: "str | None" = None,
 ) -> tuple[int, dict]:
     """Self-contained Table I sum measurement at one grid point.
 
     Module-level and scalar-parameterized so the sweep executor can ship
     it to worker processes and key the result cache on it.
     """
-    report = sum_launch_report(q, model=model, seed=seed, mode=mode)
+    report = sum_launch_report(q, model=model, seed=seed, mode=mode,
+                               backend=backend)
     return report.cycles, {"engine": getattr(report, "engine", "exact")}
 
 
 def conv_task(
-    q: Params, *, model: str, seed: int, mode: str = "batch"
+    q: Params, *, model: str, seed: int, mode: str = "batch",
+    backend: "str | None" = None,
 ) -> tuple[int, dict]:
     """Self-contained Table I convolution measurement at one grid point."""
-    report = conv_launch_report(q, model=model, seed=seed, mode=mode)
+    report = conv_launch_report(q, model=model, seed=seed, mode=mode,
+                                backend=backend)
     return report.cycles, {"engine": getattr(report, "engine", "exact")}
 
 

@@ -72,6 +72,7 @@ from repro.machine.ops import (
 )
 from repro.machine.pipeline import PipelinedMemoryUnit
 from repro.machine.scheduler import SchedulerResult, WarpState, _BarrierGroup
+from repro.native import NATIVE_METRICS, native_kernels, resolve_backend
 
 __all__ = ["BatchCostEngine", "BatchFallback"]
 
@@ -106,13 +107,26 @@ class BatchCostEngine:
     unit_for:
         Maps ``(warp_state, memory_op)`` to the serving memory unit,
         validating space visibility (shared with the event scheduler).
+    backend:
+        ``"python"`` / ``"native"`` / ``None`` (defer to
+        ``$REPRO_BACKEND``).  The native backend runs the three hot
+        integer scans — safe-prefix, range replay, wave recurrence —
+        through the compiled kernels of :mod:`repro.native`; results
+        are bit-identical, and a missing compiler falls back to the
+        Python scans with a once-per-process warning.
     """
 
     def __init__(
         self,
         unit_for: Callable[[WarpState, MemoryOp], PipelinedMemoryUnit],
+        *,
+        backend: "str | None" = None,
     ) -> None:
         self._unit_for = unit_for
+        self.backend = resolve_backend(backend)
+        self._native = (
+            native_kernels() if self.backend == "native" else None
+        )
         #: warp_id stride for encoding (ready, warp_id) keys as ints.
         self._nw = 1
         #: Per-unit queues of parked ops: id(unit) -> (unit, entries),
@@ -478,6 +492,12 @@ class BatchCostEngine:
             return k
         enc = np.fromiter((e[0] for e in entries), dtype=np.int64, count=n)
         slots = np.fromiter((e[3] for e in entries), dtype=np.int64, count=n)
+        if self._native is not None:
+            NATIVE_METRICS.native_calls += 1
+            return self._native["repro_safe_prefix"](
+                n, enc, slots, self._nw, unit.latency,
+                1 if unit.pipelined else 0, unit.port_free, outside,
+            )
         ready = enc // self._nw
         wids = enc - ready * self._nw
         eff = slots if unit.pipelined else slots + (unit.latency - 1)
@@ -608,30 +628,80 @@ class BatchCostEngine:
 
         # Replay: pops come out in nondecreasing key order (a chained
         # round's key always exceeds the round that produced it).
-        heap = [(e[0], i) for i, e in enumerate(entries)]  # sorted == heap
-        pop = heapq.heappop
-        push = heapq.heappush
-        encs: list[int] = []
-        pops: list[tuple[int, int, int]] = []  # (entry, round, clock after)
-        pfs: list[int] = []
-        finals = [0] * n
-        js = j0s[:]
-        while heap:
-            enc, i = pop(heap)
-            j = js[i]
-            s = slists[i][j]
-            ready = enc // nw
-            start = ready if ready > pf else pf
-            pf = start + (s if pipelined else s + lat1)
-            nxt = start + s + lat1 + cs[i]
-            encs.append(enc)
-            pops.append((i, j, nxt))
-            pfs.append(pf)
-            js[i] = j + 1
-            if js[i] < len(slists[i]):
-                push(heap, (nxt * nw + wids[i], i))
-            else:
-                finals[i] = nxt
+        replayed = None
+        if self._native is not None:
+            total = sum(len(sl) - j0 for sl, j0 in zip(slists, j0s))
+            nround = np.fromiter(
+                (len(sl) for sl in slists), dtype=np.int64, count=n
+            )
+            slot_off = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(nround, out=slot_off[1:])
+            slot_flat = np.fromiter(
+                (s for sl in slists for s in sl),
+                dtype=np.int64,
+                count=int(slot_off[-1]),
+            )
+            out_enc = np.empty(total, dtype=np.int64)
+            out_i = np.empty(total, dtype=np.int64)
+            out_j = np.empty(total, dtype=np.int64)
+            out_nxt = np.empty(total, dtype=np.int64)
+            out_pf = np.empty(total, dtype=np.int64)
+            out_final = np.zeros(n, dtype=np.int64)
+            p = self._native["repro_batch_sim"](
+                n,
+                np.fromiter((e[0] for e in entries), dtype=np.int64, count=n),
+                np.asarray(wids, dtype=np.int64),
+                np.asarray(cs, dtype=np.int64),
+                np.asarray(j0s, dtype=np.int64),
+                nround,
+                slot_off,
+                slot_flat,
+                nw,
+                lat1,
+                1 if pipelined else 0,
+                pf,
+                out_enc,
+                out_i,
+                out_j,
+                out_nxt,
+                out_pf,
+                out_final,
+            )
+            if p >= 0:
+                NATIVE_METRICS.native_calls += 1
+                encs = out_enc[:p].tolist()
+                pops = list(
+                    zip(out_i[:p].tolist(), out_j[:p].tolist(),
+                        out_nxt[:p].tolist())
+                )
+                pfs = out_pf[:p].tolist()
+                finals = out_final.tolist()
+                replayed = True
+        if replayed is None:
+            heap = [(e[0], i) for i, e in enumerate(entries)]  # sorted == heap
+            pop = heapq.heappop
+            push = heapq.heappush
+            encs: list[int] = []
+            pops: list[tuple[int, int, int]] = []  # (entry, round, clock)
+            pfs: list[int] = []
+            finals = [0] * n
+            js = j0s[:]
+            while heap:
+                enc, i = pop(heap)
+                j = js[i]
+                s = slists[i][j]
+                ready = enc // nw
+                start = ready if ready > pf else pf
+                pf = start + (s if pipelined else s + lat1)
+                nxt = start + s + lat1 + cs[i]
+                encs.append(enc)
+                pops.append((i, j, nxt))
+                pfs.append(pf)
+                js[i] = j + 1
+                if js[i] < len(slists[i]):
+                    push(heap, (nxt * nw + wids[i], i))
+                else:
+                    finals[i] = nxt
 
         cap = outside
         for i in range(n):
@@ -811,6 +881,15 @@ class BatchCostEngine:
             if R > 1:
                 np.add(STARTS[:-1], uni + lag, out=READY[1:])
             ready = STARTS[-1] + (uni + lag)
+        elif self._native is not None:
+            READY = np.empty((R, n), dtype=np.int64)
+            STARTS = np.empty((R, n), dtype=np.int64)
+            ready = np.empty(n, dtype=np.int64)
+            self._native["repro_wave_starts"](
+                R, n, np.ascontiguousarray(S), r0, pf, lat1,
+                1 if pipelined else 0, lag, READY, STARTS, ready,
+            )
+            NATIVE_METRICS.native_calls += 1
         else:
             READY = np.empty((R, n), dtype=np.int64)
             STARTS = np.empty((R, n), dtype=np.int64)

@@ -22,6 +22,7 @@ from repro.machine.report import RunReport
 from repro.machine.scheduler import Scheduler, SchedulerResult, WarpState
 from repro.machine.trace import TraceRecorder
 from repro.machine.warp import WarpContext, WarpProgram
+from repro.native import resolve_backend
 from repro.params import MachineParams
 
 __all__ = ["MachineEngine", "make_warp_contexts", "resolve_mode", "run_warp_program"]
@@ -55,6 +56,7 @@ def run_warp_program(
     trace: TraceRecorder | None,
     dispatch: str,
     mode: str,
+    backend: str | None = None,
 ) -> tuple[SchedulerResult, str]:
     """Run ``program`` under the requested evaluation mode.
 
@@ -76,7 +78,7 @@ def run_warp_program(
             space.begin_undo()
         warps = [WarpState(ctx=ctx, program=program(ctx)) for ctx in contexts]
         try:
-            result = BatchCostEngine(unit_for).run(warps)
+            result = BatchCostEngine(unit_for, backend=backend).run(warps)
         except BatchFallback:
             for space in spaces:
                 space.rollback()
@@ -152,6 +154,11 @@ class MachineEngine:
         with automatic fallback — see :mod:`repro.machine.batch`), or
         ``"replay"`` (trace-compiled re-costing — see
         :mod:`repro.machine.replay`).
+    backend:
+        Cost-model backend for batch/replay launches: ``"python"``,
+        ``"native"`` (compiled kernels — see :mod:`repro.native`), or
+        ``None`` to defer to ``$REPRO_BACKEND``.  Event-mode launches
+        always run the pure-Python scheduler.
     """
 
     def __init__(
@@ -163,6 +170,7 @@ class MachineEngine:
         pipelined: bool = True,
         dispatch: str = "fifo",
         mode: str = "event",
+        backend: str | None = None,
     ) -> None:
         self.params = params
         self.name = name
@@ -170,6 +178,8 @@ class MachineEngine:
         self.dispatch = dispatch
         #: Default evaluation mode: "event" or "batch".
         self.mode = resolve_mode(mode)
+        #: Cost-model backend: "python" or "native".
+        self.backend = resolve_backend(backend)
         self.space = MemorySpace("mem")
         self.unit = PipelinedMemoryUnit(
             "mem", params.width, params.latency, policy, pipelined=pipelined
@@ -227,6 +237,7 @@ class MachineEngine:
                     spaces=(self.space,),
                     unit_for=self._unit_for,
                     dispatch=self.dispatch,
+                    backend=self.backend,
                 )
                 return RunReport(
                     cycles=result.cycles,
@@ -248,6 +259,7 @@ class MachineEngine:
             trace=trace,
             dispatch=self.dispatch,
             mode=run_mode,
+            backend=self.backend,
         )
         return RunReport(
             cycles=result.cycles,

@@ -30,6 +30,7 @@ from repro.machine.report import RunReport
 from repro.machine.scheduler import WarpState
 from repro.machine.trace import TraceRecorder
 from repro.machine.warp import WarpContext, WarpProgram
+from repro.native import resolve_backend
 from repro.params import HMMParams
 
 __all__ = ["HMMEngine", "split_threads"]
@@ -65,6 +66,10 @@ class HMMEngine:
         with automatic fallback — see :mod:`repro.machine.batch`), or
         ``"replay"`` (trace-compiled re-costing — see
         :mod:`repro.machine.replay`).
+    backend:
+        Cost-model backend for batch/replay launches: ``"python"``,
+        ``"native"`` (compiled kernels — see :mod:`repro.native`), or
+        ``None`` to defer to ``$REPRO_BACKEND``.
     """
 
     def __init__(
@@ -76,12 +81,15 @@ class HMMEngine:
         shared_policy: SlotPolicy | None = None,
         dispatch: str = "fifo",
         mode: str = "event",
+        backend: str | None = None,
     ) -> None:
         self.params = params
         #: Warp dispatch policy: "fifo" (default) or "round-robin".
         self.dispatch = dispatch
         #: Default evaluation mode: "event" or "batch".
         self.mode = resolve_mode(mode)
+        #: Cost-model backend: "python" or "native".
+        self.backend = resolve_backend(backend)
         self.global_space = MemorySpace("global", space_id="global")
         self.global_unit = PipelinedMemoryUnit(
             "global",
@@ -217,6 +225,7 @@ class HMMEngine:
                 spaces=spaces,
                 unit_for=self._unit_for,
                 dispatch=self.dispatch,
+                backend=self.backend,
             )
             if replay_stats is not None:
                 stats = {"global": replay_stats["global"]}
@@ -251,6 +260,7 @@ class HMMEngine:
             trace=trace,
             dispatch=self.dispatch,
             mode=run_mode,
+            backend=self.backend,
         )
         stats = {"global": self.global_unit.stats}
         for unit in self.shared_units:

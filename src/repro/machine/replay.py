@@ -83,12 +83,18 @@ import numpy as np
 
 from repro.errors import KernelError, TraceOverflowError
 from repro.machine.memory import ArrayHandle, MemorySpace
+from repro.native import NATIVE_METRICS, native_kernels, resolve_backend
 from repro.store import ArtifactStore
 from repro.store import config as _store_config
 from repro.store.migrate import auto_migrate as _auto_migrate
 from repro.machine.ops import AccessKind, BarrierScope
 from repro.machine.pipeline import PipelinedMemoryUnit, UnitStats
-from repro.machine.policy import SlotPolicy
+from repro.machine.policy import (
+    DMMBankPolicy,
+    IdealPolicy,
+    SlotPolicy,
+    UMMGroupPolicy,
+)
 from repro.machine.scheduler import Scheduler, SchedulerResult, WarpState
 from repro.machine.trace import TraceRecorder
 from repro.machine.warp import WarpContext
@@ -663,42 +669,91 @@ class _Group:
         self.arrivals: dict[int, int] = {}
 
 
+#: Builtin slot policies the native ``repro_slot_counts`` kernel
+#: implements directly; custom :class:`SlotPolicy` subclasses always
+#: count through their own Python/numpy code.
+_NATIVE_POLICY_CODES = {DMMBankPolicy: 0, UMMGroupPolicy: 1, IdealPolicy: 2}
+
+
+class _SlotTable:
+    """Per-op slot counts for one policy set, in both shapes.
+
+    The native kernel wants the int64 array; the Python loop wants a
+    plain list (materialized lazily — the native path never pays for
+    it).  ``per_unit`` holds the latency-independent slot tallies.
+    """
+
+    __slots__ = ("array", "per_unit", "_list")
+
+    def __init__(self, array: np.ndarray, per_unit: list[dict]) -> None:
+        self.array = array
+        self.per_unit = per_unit
+        self._list: "list[int] | None" = None
+
+    def as_list(self) -> list[int]:
+        if self._list is None:
+            self._list = self.array.tolist()
+        return self._list
+
+
 class ReplayCostEvaluator:
     """Re-price a :class:`CompiledTrace` under new unit parameters.
 
-    Decodes the trace once (per-warp streams, per-unit transaction
-    groups, python-list views of the hot arrays); each
+    Decodes the trace once (per-warp streams and per-unit transaction
+    groups, via one stable argsort + bincount pass); each
     :meth:`evaluate` call then runs one vectorized slot count per unit
     (cached per policy set) and a faithful integer port of the event
     scheduler's loop — same heap discipline, same round-robin rotation,
     same barrier release rule — so the returned numbers are
     bit-identical to an event run of the original program.
+
+    ``backend="native"`` runs the loop (and builtin-policy slot
+    counting) through the compiled kernels of :mod:`repro.native`;
+    ``backend=None`` defers to ``$REPRO_BACKEND``.  Each
+    :meth:`evaluate` call may also override the backend.  Both
+    backends return identical numbers; when no C compiler is
+    available the native backend warns once and runs the Python loop.
     """
 
-    def __init__(self, trace: CompiledTrace) -> None:
+    def __init__(
+        self, trace: CompiledTrace, *, backend: "str | None" = None
+    ) -> None:
         self.trace = trace
+        self.backend = resolve_backend(backend)
         meta = trace.meta
         self._warp_ids: list[int] = list(meta["warp_ids"])
         self._warp_dmms: list[int] = list(meta["warp_dmms"])
         self._unit_names: list[str] = list(meta["unit_names"])
         self._ix_of = {wid: i for i, wid in enumerate(self._warp_ids)}
-        # Hot arrays as python lists: the replay loop is pure int work.
-        self._kind = trace.op_kind.tolist()
-        self._unit = trace.op_unit.tolist()
-        self._arg = trace.op_arg.tolist()
-        self._streams: list[list[int]] = [[] for _ in self._warp_ids]
-        for i, wid in enumerate(trace.op_warp.tolist()):
-            self._streams[self._ix_of[wid]].append(i)
-        self._mem_by_unit: list[list[int]] = [[] for _ in self._unit_names]
-        for i, kind in enumerate(self._kind):
-            if kind == _OP_MEM:
-                self._mem_by_unit[self._unit[i]].append(i)
+        n_warps = len(self._warp_ids)
+        # Vectorized decode shared by both backends: a stable argsort
+        # over warp indices groups each warp's ops in trace order.
+        if n_warps:
+            ids = np.asarray(self._warp_ids, dtype=np.int64)
+            id2ix = np.full(int(ids.max()) + 1, -1, dtype=np.int64)
+            id2ix[ids] = np.arange(n_warps, dtype=np.int64)
+            warp_ix = id2ix[trace.op_warp.astype(np.int64, copy=False)]
+            counts = np.bincount(warp_ix, minlength=n_warps)
+        else:
+            warp_ix = np.empty(0, dtype=np.int64)
+            counts = np.empty(0, dtype=np.int64)
+        self._stream_ops = np.argsort(warp_ix, kind="stable").astype(
+            np.int64, copy=False
+        )
+        self._stream_off = np.zeros(n_warps + 1, dtype=np.int64)
+        if n_warps:
+            np.cumsum(counts, out=self._stream_off[1:])
+        mem_mask = trace.op_kind == _OP_MEM
+        unit64 = trace.op_unit.astype(np.int64, copy=False)
+        self._mem_by_unit: list[np.ndarray] = [
+            np.nonzero(mem_mask & (unit64 == u))[0].astype(np.int64, copy=False)
+            for u in range(len(self._unit_names))
+        ]
         # Latency/policy-independent per-unit tallies.
         read = trace.op_read
         req = trace.op_req
         self._unit_tallies = []
-        for ops in self._mem_by_unit:
-            idx = np.asarray(ops, dtype=np.int64)
+        for idx in self._mem_by_unit:
             reads = int(read[idx].sum()) if idx.size else 0
             self._unit_tallies.append(
                 {
@@ -708,28 +763,98 @@ class ReplayCostEvaluator:
                     "requests": int(req[idx].sum()) if idx.size else 0,
                 }
             )
-        self._slots_cache: dict[tuple, tuple[list[int], list[dict]]] = {}
+        self._slots_cache: dict[tuple, _SlotTable] = {}
+        self._py_lists: "tuple | None" = None
+        self._native_buf: "dict | None" = None
+
+    # -- lazy per-backend decode -------------------------------------------
+    def _python_lists(self) -> tuple:
+        """Hot arrays as python lists (the Python loop is pure int work)."""
+        if self._py_lists is None:
+            trace = self.trace
+            off = self._stream_off
+            streams = [
+                self._stream_ops[off[x]:off[x + 1]].tolist()
+                for x in range(len(self._warp_ids))
+            ]
+            self._py_lists = (
+                trace.op_kind.tolist(),
+                trace.op_unit.tolist(),
+                trace.op_arg.tolist(),
+                streams,
+            )
+        return self._py_lists
+
+    def _native_buffers(self) -> dict:
+        """Contiguous typed buffers for ``repro_replay_price``."""
+        if self._native_buf is None:
+            trace = self.trace
+            n_warps = len(self._warp_ids)
+            ids = np.asarray(self._warp_ids, dtype=np.int64)
+            # DMM barrier groups: dense indices 1.. in first-appearance
+            # order (group 0 is the device group).
+            group_of: dict[int, int] = {}
+            warp_group = np.zeros(n_warps, dtype=np.int64)
+            for x, dmm in enumerate(self._warp_dmms):
+                g = group_of.get(dmm)
+                if g is None:
+                    g = group_of[dmm] = len(group_of) + 1
+                warp_group[x] = g
+            self._native_buf = {
+                "warp_ids": ids,
+                "warp_group": warp_group,
+                "n_groups": len(group_of) + 1,
+                "wid_order": np.argsort(ids, kind="stable").astype(
+                    np.int64, copy=False
+                ),
+                "op_kind": np.ascontiguousarray(trace.op_kind, dtype=np.int8),
+                "op_unit": np.ascontiguousarray(trace.op_unit, dtype=np.int16),
+                "op_arg": np.ascontiguousarray(trace.op_arg, dtype=np.int64),
+                "addr_off": np.ascontiguousarray(
+                    trace.addr_off, dtype=np.int64
+                ),
+                "addresses": np.ascontiguousarray(
+                    trace.addresses, dtype=np.int64
+                ),
+            }
+        return self._native_buf
 
     # -- slot counting (vectorized, cached per policy set) -----------------
     def _slot_table(
-        self, policies: Sequence[SlotPolicy]
-    ) -> tuple[list[int], list[dict]]:
+        self, policies: Sequence[SlotPolicy], kernels: "dict | None" = None
+    ) -> _SlotTable:
         key = tuple(f"{type(p).__qualname__}:{p.name}" for p in policies)
         cached = self._slots_cache.get(key)
         if cached is not None:
             return cached
         width = int(self.trace.meta["width"])
         trace = self.trace
-        slots = [0] * trace.num_ops
+        slots = np.zeros(trace.num_ops, dtype=np.int64)
         per_unit = []
         for u, ops in enumerate(self._mem_by_unit):
-            if not ops:
+            if ops.size == 0:
                 per_unit.append({"slots": 0, "conflicted": 0, "excess": 0})
                 continue
-            views = [trace.addresses_of(i) for i in ops]
-            counts = policies[u].slot_counts(views, width)
-            for i, s in zip(ops, counts.tolist()):
-                slots[i] = s
+            counts = None
+            if kernels is not None:
+                code = _NATIVE_POLICY_CODES.get(type(policies[u]))
+                if code is not None:
+                    buf = self._native_buffers()
+                    counts = np.empty(ops.size, dtype=np.int64)
+                    rc = kernels["repro_slot_counts"](
+                        ops.size, ops, buf["addr_off"], buf["addresses"],
+                        width, code, counts,
+                    )
+                    if rc != 0:
+                        counts = None
+                    else:
+                        NATIVE_METRICS.native_calls += 1
+            if counts is None:
+                views = [trace.addresses_of(i) for i in ops]
+                counts = policies[u].slot_counts(views, width).astype(
+                    np.int64, copy=False
+                )
+            slots[ops] = counts
             per_unit.append(
                 {
                     "slots": int(counts.sum()),
@@ -737,8 +862,70 @@ class ReplayCostEvaluator:
                     "excess": int((counts - 1).sum()),
                 }
             )
-        self._slots_cache[key] = (slots, per_unit)
-        return slots, per_unit
+        table = _SlotTable(slots, per_unit)
+        self._slots_cache[key] = table
+        return table
+
+    # -- the native loop ---------------------------------------------------
+    def _evaluate_native(
+        self,
+        kernels: dict,
+        table: _SlotTable,
+        lat: list[int],
+        pip: list[bool],
+        dispatch: str,
+    ) -> "tuple[SchedulerResult, dict[str, UnitStats]] | None":
+        buf = self._native_buffers()
+        n_units = len(self._unit_names)
+        out_scalars = np.zeros(4, dtype=np.int64)
+        out_busy = np.zeros(n_units, dtype=np.int64)
+        out_last = np.zeros(n_units, dtype=np.int64)
+        rc = kernels["repro_replay_price"](
+            len(self._warp_ids),
+            buf["warp_ids"],
+            buf["warp_group"],
+            buf["wid_order"],
+            self._stream_off,
+            self._stream_ops,
+            buf["op_kind"],
+            buf["op_unit"],
+            buf["op_arg"],
+            table.array,
+            n_units,
+            np.asarray(lat, dtype=np.int64),
+            np.asarray([1 if x else 0 for x in pip], dtype=np.uint8),
+            buf["n_groups"],
+            1 if dispatch == "round-robin" else 0,
+            _SCOPE_DEVICE,
+            out_scalars,
+            out_busy,
+            out_last,
+        )
+        if rc != 0:  # pragma: no cover - allocation failure only
+            return None
+        NATIVE_METRICS.native_calls += 1
+        stats: dict[str, UnitStats] = {}
+        for u, name in enumerate(self._unit_names):
+            tally = self._unit_tallies[u]
+            st = table.per_unit[u]
+            stats[name] = UnitStats(
+                transactions=tally["transactions"],
+                reads=tally["reads"],
+                writes=tally["writes"],
+                requests=tally["requests"],
+                slots=st["slots"],
+                conflicted_transactions=st["conflicted"],
+                excess_slots=st["excess"],
+                port_busy_until=int(out_busy[u]),
+                last_complete=int(out_last[u]),
+            )
+        result = SchedulerResult(
+            cycles=int(out_scalars[0]),
+            compute_ops=int(out_scalars[1]),
+            compute_cycles=int(out_scalars[2]),
+            barrier_releases=int(out_scalars[3]),
+        )
+        return result, stats
 
     # -- the replay loop ---------------------------------------------------
     def evaluate(
@@ -748,22 +935,32 @@ class ReplayCostEvaluator:
         policies: Sequence[SlotPolicy],
         pipelined: Sequence[bool],
         dispatch: str = "fifo",
+        backend: "str | None" = None,
     ) -> tuple[SchedulerResult, dict[str, UnitStats]]:
         """Total cost of the trace under the given unit parameters.
 
         ``latencies`` / ``policies`` / ``pipelined`` align with the
         trace's ``unit_names``.  Returns the scheduler-result counters
         plus per-unit statistics, all bit-identical to an event run.
+        ``backend`` overrides the evaluator's own for this call.
         """
         if dispatch not in ("fifo", "round-robin"):
             raise KernelError(
                 f"dispatch must be 'fifo' or 'round-robin', got {dispatch!r}"
             )
-        slots, slot_tallies = self._slot_table(policies)
+        chosen = self.backend if backend is None else resolve_backend(backend)
+        kernels = native_kernels() if chosen == "native" else None
+        table = self._slot_table(policies, kernels)
         lat = [int(x) for x in latencies]
         pip = [bool(x) for x in pipelined]
-        kind, unitv, arg = self._kind, self._unit, self._arg
-        streams, ix_of = self._streams, self._ix_of
+        if kernels is not None:
+            native = self._evaluate_native(kernels, table, lat, pip, dispatch)
+            if native is not None:
+                return native
+        slots = table.as_list()
+        slot_tallies = table.per_unit
+        kind, unitv, arg, streams = self._python_lists()
+        ix_of = self._ix_of
         warp_ids, warp_dmms = self._warp_ids, self._warp_dmms
         n_warps = len(warp_ids)
         n_units = len(self._unit_names)
@@ -1210,6 +1407,7 @@ def replay_launch(
     unit_for,
     dispatch: str,
     store: TraceStore | None = None,
+    backend: "str | None" = None,
 ) -> tuple[SchedulerResult, dict[str, UnitStats] | None, str]:
     """Run one ``mode="replay"`` launch; returns ``(result, stats, tag)``.
 
@@ -1249,6 +1447,7 @@ def replay_launch(
             policies=[u.policy for u in units],
             pipelined=[u.pipelined for u in units],
             dispatch=dispatch,
+            backend=backend,
         )
         for space in spaces:
             cells = trace.post_state.get(space.name)

@@ -1,0 +1,186 @@
+"""On-demand compilation of ``kernels.c`` with a content-hashed cache.
+
+The shared library is built with the system C compiler (``$CC``, else
+``cc``) the first time the native backend is used.  The compiled bytes
+are cached in the unified artifact store's on-disk tier under the
+``native`` namespace, keyed by a sha256 over the C source, the
+compiler identity, the flags, and the binding ABI version — so a
+source edit, a compiler upgrade, or a flag change each produce a new
+entry, and a warm process (or a second process on the same machine)
+never re-invokes the compiler.
+
+Store entries carry the store's integrity envelope and cannot be
+``dlopen``-ed directly; a loadable copy is materialized next to them
+in ``<namespace dir>/lib/<key>.so``.  The ``lib/`` subdirectory is
+invisible to the store's eviction/stats scan (which only considers
+entry files directly in the namespace directory), so evicting the
+framed entry never yanks a library out from under a running process.
+When persistence is off (``REPRO_STORE=off``), the library is built
+into a per-process temporary directory instead.
+"""
+
+from __future__ import annotations
+
+import atexit
+import ctypes
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+from repro.store.store import ArtifactStore, content_key
+
+__all__ = [
+    "ABI_VERSION",
+    "CFLAGS",
+    "SOURCE",
+    "compiler",
+    "compiler_identity",
+    "build_key",
+    "load_library",
+    "reset_build_cache",
+]
+
+#: Bump when the C ABI (kernel signatures) changes incompatibly.
+ABI_VERSION = 1
+
+CFLAGS = ("-O2", "-fPIC", "-shared", "-std=c99")
+
+SOURCE = Path(__file__).with_name("kernels.c")
+
+_namespace = None
+_tmpdir: "Path | None" = None
+
+
+def compiler() -> str:
+    """The C compiler command: ``$CC``, else ``cc``."""
+    return os.environ.get("CC", "").strip() or "cc"
+
+
+def compiler_identity(cc: str) -> str | None:
+    """First line of ``cc --version``, or ``None`` when unusable."""
+    try:
+        proc = subprocess.run(
+            [cc, "--version"], capture_output=True, text=True, timeout=30
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    lines = (proc.stdout or proc.stderr).splitlines()
+    return lines[0].strip() if lines else cc
+
+
+def build_key(source_text: str, cc_identity: str) -> str:
+    """Content hash identifying one compiled library."""
+    return content_key(
+        {
+            "abi": ABI_VERSION,
+            "cc": cc_identity,
+            "flags": list(CFLAGS),
+            "source": source_text,
+        }
+    )
+
+
+def _store_namespace():
+    global _namespace
+    if _namespace is None:
+        _namespace = ArtifactStore().namespace(
+            "native", "bytes", max_memory_entries=4
+        )
+    return _namespace
+
+
+def _process_tmpdir() -> Path:
+    global _tmpdir
+    if _tmpdir is None:
+        _tmpdir = Path(tempfile.mkdtemp(prefix="repro-native-"))
+        atexit.register(shutil.rmtree, _tmpdir, ignore_errors=True)
+    return _tmpdir
+
+
+def _compile(cc: str, out_path: Path) -> str | None:
+    """Compile the bundle; returns an error message or ``None``."""
+    cmd = [cc, *CFLAGS, "-o", str(out_path), str(SOURCE)]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True, timeout=300)
+    except (OSError, subprocess.SubprocessError) as exc:
+        return f"{cc}: {exc}"
+    if proc.returncode != 0:
+        detail = (proc.stderr or proc.stdout or "").strip()
+        return f"{' '.join(cmd)} failed ({proc.returncode}): {detail[:500]}"
+    return None
+
+
+def _materialize(lib_path: Path, blob: bytes) -> None:
+    """Atomically write the loadable (unframed) library copy."""
+    lib_path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = lib_path.with_name(f"{lib_path.name}.tmp{os.getpid()}")
+    tmp.write_bytes(blob)
+    os.replace(tmp, lib_path)
+
+
+def load_library() -> tuple["ctypes.CDLL | None", str, str]:
+    """Build or fetch the native library.
+
+    Returns ``(lib, how, detail)`` where ``how`` is ``"cached"`` (the
+    loadable copy or the store entry already existed), ``"compiled"``
+    (the compiler ran), or ``"unavailable"`` (``detail`` explains why).
+    """
+    cc = compiler()
+    identity = compiler_identity(cc)
+    if identity is None:
+        return None, "unavailable", (
+            f"no usable C compiler ({cc!r} not found or not runnable); "
+            "set $CC or install one"
+        )
+    try:
+        source_text = SOURCE.read_text()
+    except OSError as exc:
+        return None, "unavailable", f"cannot read {SOURCE}: {exc}"
+    key = build_key(source_text, identity)
+
+    ns = _store_namespace()
+    if ns.persist:
+        lib_path = ns.directory / "lib" / f"{key}.so"
+    else:
+        lib_path = _process_tmpdir() / f"{key}.so"
+
+    if lib_path.exists():
+        try:
+            return ctypes.CDLL(str(lib_path)), "cached", str(lib_path)
+        except OSError:
+            lib_path.unlink(missing_ok=True)  # stale/corrupt: rebuild
+
+    blob = ns.get(key) if ns.persist else None
+    if blob is not None:
+        _materialize(lib_path, blob)
+        try:
+            return ctypes.CDLL(str(lib_path)), "cached", str(lib_path)
+        except OSError:
+            ns.delete(key)
+            lib_path.unlink(missing_ok=True)
+
+    tmp_out = Path(tempfile.mkdtemp(prefix="repro-cc-")) / "kernels.so"
+    try:
+        error = _compile(cc, tmp_out)
+        if error is not None:
+            return None, "unavailable", error
+        blob = tmp_out.read_bytes()
+    finally:
+        shutil.rmtree(tmp_out.parent, ignore_errors=True)
+    if ns.persist:
+        ns.put(key, blob, skip_existing=True)
+    _materialize(lib_path, blob)
+    try:
+        return ctypes.CDLL(str(lib_path)), "compiled", str(lib_path)
+    except OSError as exc:
+        return None, "unavailable", f"compiled library failed to load: {exc}"
+
+
+def reset_build_cache() -> None:
+    """Drop the cached namespace handle (tests re-point env vars)."""
+    global _namespace
+    _namespace = None

@@ -77,6 +77,11 @@ class ServiceMetrics:
         #: trace / tune); registered by the server from
         #: :func:`repro.store.store_metrics_snapshot`.
         self.store_counters = lambda: {}
+        #: Native-backend counters (native_calls / python_fallbacks /
+        #: build_cache_hits / builds / default_backend / available);
+        #: registered by the server from
+        #: :func:`repro.native.native_metrics_snapshot`.
+        self.native_counters = lambda: {}
 
     # -- update hooks ------------------------------------------------------
     def observe_request(self, route: str, status: int, seconds: float) -> None:
@@ -127,5 +132,6 @@ class ServiceMetrics:
             },
             "trace_store": dict(self.trace_counters()),
             "store": dict(self.store_counters()),
+            "native": dict(self.native_counters()),
             "latency": self.latency.snapshot(),
         }

@@ -42,6 +42,13 @@ def _params_of(spec: Mapping) -> Params:
                   l=spec["l"], d=spec["d"])
 
 
+def _spec_backend(spec: Mapping) -> "str | None":
+    """Engine ``backend=`` for a spec: ``"auto"`` defers to the server's
+    environment (``None`` → ``$REPRO_BACKEND``)."""
+    backend = spec.get("backend", "auto")
+    return None if backend == "auto" else backend
+
+
 def evaluate_point(spec: Mapping) -> tuple[int, dict]:
     """One oracle measurement: the Table I task named by ``spec``.
 
@@ -51,7 +58,7 @@ def evaluate_point(spec: Mapping) -> tuple[int, dict]:
     """
     task = sum_task if spec["kernel"] == "sum" else conv_task
     return task(_params_of(spec), model=spec["model"], seed=spec["seed"],
-                mode=spec["mode"])
+                mode=spec["mode"], backend=_spec_backend(spec))
 
 
 def _machine_params(spec: Mapping) -> "MachineParams | HMMParams":
@@ -92,14 +99,15 @@ class CostOracle:
 
     def evaluate_batch(self, specs: Iterable[Mapping]) -> list[dict]:
         """Evaluate unique specs (one micro-batch) into response bodies."""
-        specs = [dict(s) for s in specs]
+        specs = [self._strip_auto_backend(s) for s in specs]
         points = self._run(specs, "service/cost")
         return [self._cost_body(spec, pt) for spec, pt in zip(specs, points)]
 
     def run_sweep(self, meta: Mapping, specs: list[dict]) -> dict:
         """Evaluate an expanded ``/v1/sweep`` grid into one response."""
         before_hits, before_misses = self.cache_counters()
-        points = self._run(list(specs), "service/sweep")
+        specs = [self._strip_auto_backend(s) for s in specs]
+        points = self._run(specs, "service/sweep")
         hits, misses = self.cache_counters()
         return {
             **{k: meta[k] for k in ("kernel", "model", "mode", "seed")},
@@ -122,7 +130,7 @@ class CostOracle:
                   else conv_launch_report)
         with self._lock:
             report = launch(q, model=spec["model"], seed=spec["seed"],
-                            mode=spec["mode"])
+                            mode=spec["mode"], backend=_spec_backend(spec))
         advice = diagnose(report, _machine_params(spec))
         return {
             "kernel": spec["kernel"],
@@ -192,6 +200,20 @@ class CostOracle:
         self.executor.close()
 
     # -- response shaping ---------------------------------------------------
+    @staticmethod
+    def _strip_auto_backend(spec: Mapping) -> dict:
+        """Drop ``backend: "auto"`` before the executor keys its cache.
+
+        Backends return bit-identical cycles, so the default choice must
+        not perturb cache identity (entries written before the backend
+        field existed keep hitting); an *explicit* backend stays in the
+        spec and keys separately, which is merely redundant.
+        """
+        spec = dict(spec)
+        if spec.get("backend", "auto") == "auto":
+            spec.pop("backend", None)
+        return spec
+
     @staticmethod
     def _point_params(spec: Mapping) -> dict:
         return {name: spec[name] for name in ("n", "k", "p", "w", "l", "d")}

@@ -34,6 +34,7 @@ __all__ = [
     "KERNELS",
     "MODELS",
     "MODES",
+    "BACKENDS",
     "MACHINE_MODELS",
     "MAX_N",
     "MAX_KERNEL_LEN",
@@ -64,6 +65,11 @@ MODELS = ("sequential", "pram", "dmm", "umm", "hmm")
 #: Models that simulate a memory machine (and therefore can be advised).
 MACHINE_MODELS = ("dmm", "umm", "hmm")
 MODES = ("batch", "event", "replay")
+#: Cost-model backends a request may name.  ``"auto"`` (the default)
+#: defers to the server's ``$REPRO_BACKEND``; results are bit-identical
+#: under every choice, so the backend is not part of the cache identity
+#: (:func:`spec_key`).
+BACKENDS = ("auto", "python", "native")
 
 MAX_N = 1 << 22
 MAX_KERNEL_LEN = 1 << 12
@@ -183,6 +189,7 @@ def _parse_spec(payload: Mapping) -> dict:
         "kernel": _choice_field(payload, "kernel", KERNELS, None),
         "model": _choice_field(payload, "model", MODELS, None),
         "mode": _choice_field(payload, "mode", MODES, "batch"),
+        "backend": _choice_field(payload, "backend", BACKENDS, "auto"),
         "seed": _int_field(payload, "seed", default=DEFAULT_SEED, low=0,
                            high=(1 << 63) - 1),
     }
@@ -191,13 +198,15 @@ def _parse_spec(payload: Mapping) -> dict:
                                 default=_PARAM_DEFAULTS.get(name),
                                 low=low, high=high)
     spec["k"] = _int_field(payload, "k", default=0, low=0, high=MAX_KERNEL_LEN)
-    unknown = set(payload) - set(_SPEC_FIELDS)
+    unknown = set(payload) - set(_SPEC_FIELDS) - {"backend"}
     if unknown:
         raise ProtocolError(
             f"unknown field(s): {', '.join(sorted(unknown))}",
             field=sorted(unknown)[0], code="unknown_field",
         )
-    return _validate_shape({name: spec[name] for name in _SPEC_FIELDS})
+    out = {name: spec[name] for name in _SPEC_FIELDS}
+    out["backend"] = spec["backend"]
+    return _validate_shape(out)
 
 
 def parse_cost_request(payload: Any) -> dict:
@@ -214,7 +223,7 @@ def parse_advise_request(params: Mapping[str, str]) -> dict:
     """
     converted: dict[str, Any] = {}
     for name, raw in params.items():
-        if name in ("kernel", "model", "mode"):
+        if name in ("kernel", "model", "mode", "backend"):
             converted[name] = raw
         else:
             try:

@@ -36,6 +36,7 @@ from urllib.parse import parse_qsl, urlsplit
 from repro.machine.replay import default_store
 from repro.service.batcher import MicroBatcher, Overloaded, RequestTimeout
 from repro.service.clock import Clock
+from repro.native import native_metrics_snapshot
 from repro.store import store_metrics_snapshot
 from repro.service.metrics import ServiceMetrics
 from repro.service.oracle import CostOracle
@@ -131,6 +132,7 @@ class ServiceServer:
         self.metrics.cache_counters = self.oracle.cache_counters
         self.metrics.trace_counters = lambda: default_store().stats_dict()
         self.metrics.store_counters = store_metrics_snapshot
+        self.metrics.native_counters = native_metrics_snapshot
         self._server: asyncio.Server | None = None
         self._shutdown_started = False
         self._stopped = asyncio.Event()

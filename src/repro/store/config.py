@@ -44,8 +44,9 @@ namespace, exactly as before.
 from __future__ import annotations
 
 import os
-import warnings
 from pathlib import Path
+
+from repro.errors import reset_warn_once, warn_once
 
 __all__ = [
     "STORE_ENV",
@@ -93,25 +94,27 @@ _LEGACY_DIRS = {
     "tune": ".tune_cache",
 }
 
-_warned: set[str] = set()
+#: warn-once key prefix for the deprecation shims (shared registry in
+#: :mod:`repro.errors`; the native backend uses its own ``native:`` keys).
+_WARN_PREFIX = "deprecated-env:"
 
 
 def reset_deprecation_warnings() -> None:
     """Forget which legacy knobs already warned (tests only)."""
-    _warned.clear()
+    reset_warn_once(_WARN_PREFIX)
 
 
 def _legacy_env(legacy_name: str) -> str | None:
     """Read a deprecated variable, warning once per process."""
     value = os.environ.get(legacy_name)
-    if value is not None and legacy_name not in _warned:
-        _warned.add(legacy_name)
+    if value is not None:
         replacement, _ = LEGACY_KNOBS[legacy_name]
-        warnings.warn(
+        warn_once(
+            _WARN_PREFIX + legacy_name,
             f"{legacy_name} is deprecated; use {replacement} "
             "(see docs/STORAGE.md)",
-            DeprecationWarning,
-            stacklevel=3,
+            category=DeprecationWarning,
+            stacklevel=4,
         )
     return value
 

@@ -129,6 +129,59 @@ class TestDispatchOrder:
         assert eng.launch(prog, 4).cycles == 7
 
 
+class TestFifoTieBreak:
+    """Equal-ready-time events dispatch in deterministic FIFO order.
+
+    The event heap keys on ``(ready, warp_id)``, so warps that become
+    runnable at the same time unit must dispatch in ascending warp-id
+    order — every tie in the schedule is broken the same way on every
+    run.  Warp program bodies execute at dispatch, which makes the
+    order directly observable from inside the program.
+    """
+
+    def test_equal_ready_cohort_dispatches_in_warp_id_order(self):
+        eng = make_umm(width=4, latency=5)
+        order = []
+
+        def prog(warp):
+            order.append(warp.warp_id)
+            yield warp.compute(1)
+
+        eng.launch(prog, 32)  # 8 warps, all ready at t=0
+        assert order == list(range(8))
+
+    def test_barrier_release_cohort_dispatches_in_warp_id_order(self):
+        """A release re-times every waiter to the same instant; the
+        post-barrier cohort must still resume in ascending warp id."""
+        eng = make_umm(width=4, latency=10)
+        a = eng.alloc(4)
+        order = []
+
+        def prog(warp):
+            if warp.warp_id == 0:
+                yield warp.read(a, warp.lanes)  # arrives last, at t=10
+            yield warp.barrier()
+            order.append(warp.warp_id)
+            yield warp.compute(1)
+
+        report = eng.launch(prog, 32)
+        assert report.barrier_releases == 1
+        assert order == list(range(8))
+
+    def test_equal_time_conflicting_writes_resolve_by_warp_id(self):
+        """Memory effects apply in dispatch order, so when every warp
+        writes the same cells at the same ready time the highest warp
+        id lands last — deterministically, not arbitrarily."""
+        eng = make_umm(width=4, latency=5)
+        a = eng.alloc(4)
+
+        def prog(warp):
+            yield warp.write(a, warp.lanes, float(warp.warp_id))
+
+        eng.launch(prog, 16)  # 4 warps, all writing a[0..3] at t=0
+        assert a.to_numpy().tolist() == [3.0] * 4
+
+
 class TestDispatchPolicies:
     """FIFO vs the paper's round-robin dispatch."""
 

@@ -1,0 +1,188 @@
+"""The native compiled backend: selection, build cache, and fallback.
+
+Equivalence of the actual numbers lives in
+``test_native_equivalence.py``; this file covers the machinery — the
+``backend=`` / ``$REPRO_BACKEND`` resolution rules, the content-hashed
+build cache in the artifact store, the warn-once Python fallback when
+no compiler exists, and the per-backend counters.
+"""
+
+import warnings
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.native import (
+    BACKEND_ENV,
+    NATIVE_METRICS,
+    native_available,
+    native_kernels,
+    native_metrics_snapshot,
+    reset_native,
+    resolve_backend,
+)
+from repro.native import build as native_build
+
+
+@pytest.fixture(autouse=True)
+def isolated_native(tmp_path, monkeypatch):
+    """Each test gets a private store, a clean env, and fresh state."""
+    monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "store"))
+    monkeypatch.delenv(BACKEND_ENV, raising=False)
+    monkeypatch.delenv("CC", raising=False)
+    reset_native()
+    NATIVE_METRICS.reset()
+    yield
+    reset_native()
+    NATIVE_METRICS.reset()
+
+
+class TestResolveBackend:
+    def test_default_is_python(self):
+        assert resolve_backend(None) == "python"
+        assert resolve_backend("python") == "python"
+        assert resolve_backend("native") == "native"
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "native")
+        assert resolve_backend(None) == "native"
+        # Explicit argument beats the environment.
+        assert resolve_backend("python") == "python"
+
+    def test_normalization(self, monkeypatch):
+        assert resolve_backend(" Native ") == "native"
+        monkeypatch.setenv(BACKEND_ENV, "  PYTHON ")
+        assert resolve_backend(None) == "python"
+
+    def test_invalid_argument(self):
+        with pytest.raises(ConfigurationError):
+            resolve_backend("fortran")
+
+    def test_invalid_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "cuda")
+        with pytest.raises(ConfigurationError):
+            resolve_backend(None)
+
+
+@pytest.mark.skipif(
+    not native_available(), reason="no usable C compiler on this host"
+)
+class TestBuildCache:
+    def test_first_build_compiles_then_caches(self):
+        reset_native()
+        NATIVE_METRICS.reset()
+        assert native_kernels() is not None
+        assert NATIVE_METRICS.builds == 1
+        assert NATIVE_METRICS.build_cache_hits == 0
+        # Same process, new state: the materialized .so is reused
+        # without invoking the compiler.
+        reset_native()
+        assert native_kernels() is not None
+        assert NATIVE_METRICS.builds == 1
+        assert NATIVE_METRICS.build_cache_hits == 1
+
+    def test_library_lands_in_store_namespace(self):
+        assert native_kernels() is not None
+        ns = native_build._store_namespace()
+        key = native_build.build_key(
+            native_build.SOURCE.read_text(),
+            native_build.compiler_identity(native_build.compiler()),
+        )
+        # Framed store entry plus the loadable (unframed) copy.
+        assert ns.get(key) is not None
+        assert (ns.directory / "lib" / f"{key}.so").exists()
+
+    def test_store_entry_rehydrates_lib(self):
+        """Deleting the loadable copy re-materializes it from the store
+        entry without recompiling."""
+        assert native_kernels() is not None
+        ns = native_build._store_namespace()
+        key = native_build.build_key(
+            native_build.SOURCE.read_text(),
+            native_build.compiler_identity(native_build.compiler()),
+        )
+        (ns.directory / "lib" / f"{key}.so").unlink()
+        reset_native()
+        NATIVE_METRICS.reset()
+        assert native_kernels() is not None
+        assert NATIVE_METRICS.builds == 0
+        assert NATIVE_METRICS.build_cache_hits == 1
+        assert (ns.directory / "lib" / f"{key}.so").exists()
+
+    def test_kernel_table_complete(self):
+        kernels = native_kernels()
+        assert set(kernels) == {
+            "repro_replay_price",
+            "repro_slot_counts",
+            "repro_batch_sim",
+            "repro_safe_prefix",
+            "repro_wave_starts",
+        }
+
+
+class TestMissingCompilerFallback:
+    def test_warns_once_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("CC", "/bin/false")
+        reset_native()
+        NATIVE_METRICS.reset()
+        assert not native_available()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert native_kernels() is None
+            assert native_kernels() is None
+        relevant = [w for w in caught
+                    if issubclass(w.category, RuntimeWarning)]
+        assert len(relevant) == 1
+        assert "falling back" in str(relevant[0].message)
+        assert NATIVE_METRICS.python_fallbacks == 2
+        assert NATIVE_METRICS.builds == 0
+
+    def test_engine_still_runs(self, monkeypatch, rng):
+        """backend="native" without a compiler silently prices in
+        Python — same numbers, no exception."""
+        import numpy as np
+
+        from repro import DMM, MachineParams
+
+        monkeypatch.setenv("CC", "/bin/false")
+        reset_native()
+        x = rng.normal(size=256)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            native = DMM(MachineParams(width=4, latency=5), mode="batch",
+                         backend="native").sum(x, 32)
+        python = DMM(MachineParams(width=4, latency=5), mode="batch",
+                     backend="python").sum(x, 32)
+        assert native[0] == python[0]
+        assert native[1].cycles == python[1].cycles
+
+    def test_nonexistent_compiler_detail(self, monkeypatch):
+        monkeypatch.setenv("CC", "/no/such/compiler")
+        reset_native()
+        lib, how, detail = native_build.load_library()
+        assert lib is None
+        assert how == "unavailable"
+        assert "no usable C compiler" in detail
+
+
+class TestMetricsSnapshot:
+    def test_snapshot_shape(self):
+        snap = native_metrics_snapshot()
+        for field in ("native_calls", "python_fallbacks",
+                      "build_cache_hits", "builds"):
+            assert isinstance(snap[field], int)
+        assert snap["default_backend"] == "python"
+        # Nothing has tried to build yet: availability is unknown, and
+        # the snapshot must not trigger a compile to find out.
+        assert snap["available"] is None
+        assert NATIVE_METRICS.builds == 0
+
+    def test_snapshot_after_use(self):
+        if not native_available():
+            pytest.skip("no usable C compiler on this host")
+        snap = native_metrics_snapshot()
+        assert snap["available"] is True
+
+    def test_invalid_env_reported(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "cuda")
+        assert native_metrics_snapshot()["default_backend"] == "invalid"

@@ -1,0 +1,234 @@
+"""Bit-identity of the native backend against the Python loops.
+
+The native backend's contract is *exact* equivalence: same cycles,
+same per-unit statistics, same memory images, for both the batch
+engine's three hot scans and the replay evaluator's heap loop, across
+machines, dispatch policies, latencies, and partial warps.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import make_dmm, make_hmm, make_umm
+from repro import DMM, HMM, UMM, HMMParams, MachineParams
+from repro.machine.policy import DMMBankPolicy, IdealPolicy, UMMGroupPolicy
+from repro.machine.replay import (
+    ReplayCostEvaluator,
+    default_store,
+    reset_default_store,
+)
+from repro.native import NATIVE_METRICS, native_available, reset_native
+
+pytestmark = pytest.mark.skipif(
+    not native_available(), reason="no usable C compiler on this host"
+)
+
+RNG = np.random.default_rng(20130520)
+X1024 = RNG.standard_normal(1024)
+X256 = RNG.standard_normal(256)
+
+
+@pytest.fixture(autouse=True)
+def isolated(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "store"))
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    reset_default_store()
+    reset_native()
+    yield
+    reset_default_store()
+    reset_native()
+
+
+def assert_reports_equal(expected, actual):
+    assert actual.cycles == expected.cycles
+    assert actual.compute_ops == expected.compute_ops
+    assert actual.compute_cycles == expected.compute_cycles
+    assert actual.barrier_releases == expected.barrier_releases
+    assert set(actual.unit_stats) == set(expected.unit_stats)
+    for name, stats in expected.unit_stats.items():
+        assert actual.unit_stats[name] == stats, name
+
+
+class TestBatchEquivalence:
+    """mode="batch" with backend="native" matches backend="python"."""
+
+    @pytest.mark.parametrize("machine_cls", [DMM, UMM])
+    @pytest.mark.parametrize("kernel", ["sum", "prefix_sums"])
+    def test_flat_kernels(self, machine_cls, kernel):
+        # 512 threads / width 16 = 32 warps, enough to clear the
+        # scalar small-queue cutoff so the native scans actually run.
+        params = MachineParams(width=16, latency=16)
+        vp, rp = getattr(
+            machine_cls(params, mode="batch", backend="python"), kernel
+        )(X1024, 512)
+        before = NATIVE_METRICS.native_calls
+        vn, rn = getattr(
+            machine_cls(params, mode="batch", backend="native"), kernel
+        )(X1024, 512)
+        assert NATIVE_METRICS.native_calls > before
+        np.testing.assert_array_equal(np.asarray(vp), np.asarray(vn))
+        assert_reports_equal(rp, rn)
+
+    def test_hmm_sum_and_convolution(self):
+        params = HMMParams(num_dmms=4, width=8, global_latency=32,
+                           shared_latency=2)
+        for call in (
+            lambda m: m.sum(X1024, 128),
+            lambda m: m.convolve(X256[:16], X1024, 128),
+        ):
+            vp, rp = call(HMM(params, mode="batch", backend="python"))
+            vn, rn = call(HMM(params, mode="batch", backend="native"))
+            np.testing.assert_array_equal(np.asarray(vp), np.asarray(vn))
+            assert_reports_equal(rp, rn)
+
+    def test_matches_event_engine(self):
+        """Native batch stays equivalent to the exact event scheduler."""
+        params = MachineParams(width=8, latency=24)
+        ve, re_ = DMM(params, mode="event").prefix_sums(X1024, 64)
+        vn, rn = DMM(params, mode="batch", backend="native").prefix_sums(
+            X1024, 64
+        )
+        np.testing.assert_array_equal(np.asarray(ve), np.asarray(vn))
+        assert rn.cycles == re_.cycles
+        assert rn.unit_stats["mem"] == re_.unit_stats["mem"]
+
+    def test_partial_warps_and_memory_image(self):
+        """37 threads (ragged last warp): results and the full memory
+        image must match the python backend exactly."""
+        outs = {}
+        for backend in ("python", "native"):
+            eng = make_dmm(width=4, latency=7, mode="batch", backend=backend)
+            a = eng.array_from(X256[:64], "a")
+            out = eng.alloc(64, "out")
+
+            def prog(warp):
+                vals = yield warp.read(a, warp.tids)
+                yield warp.write(out, warp.tids, vals * 3.0)
+                vals = yield warp.read(out, warp.tids)
+                yield warp.write(out, warp.tids, vals + 1.0)
+
+            report = eng.launch(prog, 37)
+            outs[backend] = (report, out.to_numpy())
+        rp, mem_p = outs["python"]
+        rn, mem_n = outs["native"]
+        assert_reports_equal(rp, rn)
+        np.testing.assert_array_equal(mem_p, mem_n)
+
+    def test_env_default_backend(self, monkeypatch):
+        """$REPRO_BACKEND=native is picked up by backend=None engines."""
+        monkeypatch.setenv("REPRO_BACKEND", "native")
+        eng = make_umm(width=8, latency=12, mode="batch")
+        assert eng.backend == "native"
+        NATIVE_METRICS.reset()
+        vp, rp = UMM(MachineParams(width=8, latency=12), mode="batch",
+                     backend="python").sum(X1024, 128)
+        vn, rn = UMM(MachineParams(width=8, latency=12),
+                     mode="batch").sum(X1024, 128)
+        assert NATIVE_METRICS.native_calls > 0
+        assert vp == vn
+        assert_reports_equal(rp, rn)
+
+
+def _capture_hmm_trace():
+    """Capture one HMM trace (barriers + multi-unit) and return it."""
+    params = HMMParams(num_dmms=2, width=4, global_latency=9,
+                       shared_latency=2)
+    HMM(params, mode="replay").sum(X256, 32)
+    HMM(params, mode="replay").sum(X256, 32)  # hit: registers the key
+    store = default_store()
+    fulls = [k for keys in store._keys_by_struct.values() for k in keys]
+    assert fulls
+    return store._ns.get(fulls[0])
+
+
+class TestReplayEquivalence:
+    """The native replay pricer is bit-identical to the Python loop."""
+
+    def test_evaluator_sweep(self):
+        trace = _capture_hmm_trace()
+        names = trace.meta["unit_names"]
+        n = len(names)
+        policy_sets = [
+            [DMMBankPolicy()] * n,
+            [UMMGroupPolicy()] * n,
+            [IdealPolicy()] * n,
+            [UMMGroupPolicy(), *([DMMBankPolicy()] * (n - 1))],
+        ]
+        for dispatch in ("fifo", "round-robin"):
+            for lats in ([3] * n, [17] * n, list(range(2, 2 + n))):
+                for policies in policy_sets:
+                    for pips in ([True] * n, [False] * n):
+                        ev_p = ReplayCostEvaluator(trace, backend="python")
+                        ev_n = ReplayCostEvaluator(trace, backend="native")
+                        rp, sp = ev_p.evaluate(
+                            latencies=lats, policies=policies,
+                            pipelined=pips, dispatch=dispatch,
+                        )
+                        before = NATIVE_METRICS.native_calls
+                        rn, sn = ev_n.evaluate(
+                            latencies=lats, policies=policies,
+                            pipelined=pips, dispatch=dispatch,
+                        )
+                        assert NATIVE_METRICS.native_calls > before
+                        assert rp == rn
+                        assert sp == sn
+
+    def test_per_call_backend_override(self):
+        trace = _capture_hmm_trace()
+        n = len(trace.meta["unit_names"])
+        ev = ReplayCostEvaluator(trace, backend="python")
+        kw = dict(latencies=[5] * n, policies=[DMMBankPolicy()] * n,
+                  pipelined=[True] * n)
+        rp, sp = ev.evaluate(**kw)
+        rn, sn = ev.evaluate(backend="native", **kw)
+        assert rp == rn
+        assert sp == sn
+
+    def test_replay_launch_end_to_end(self):
+        """Full replay hits under $REPRO_BACKEND=native return the same
+        report and memory as python-backend hits."""
+        params = HMMParams(num_dmms=2, width=4, global_latency=9,
+                           shared_latency=2)
+        results = {}
+        for backend in ("python", "native"):
+            reset_default_store()
+            m = HMM(params, mode="replay", backend=backend)
+            m.sum(X256, 32)  # capture
+            results[backend] = HMM(
+                params, mode="replay", backend=backend
+            ).sum(X256, 32)  # hit: re-priced from the stored trace
+        vp, rp = results["python"]
+        vn, rn = results["native"]
+        assert rp.engine == rn.engine == "replay"
+        assert vp == vn
+        assert_reports_equal(rp, rn)
+
+    def test_flat_replay_partial_warp_round_robin(self):
+        from repro.machine.engine import MachineEngine
+        from repro.params import MachineParams as MP
+
+        def run(backend):
+            reset_default_store()
+            reports = []
+            for _ in range(2):
+                eng = MachineEngine(
+                    MP(width=4, latency=5), DMMBankPolicy(), name="dmm",
+                    dispatch="round-robin", mode="replay", backend=backend,
+                )
+                a = eng.array_from(X256[:64], "a")
+                out = eng.alloc(64, "out")
+
+                def prog(warp):
+                    vals = yield warp.read(a, warp.tids)
+                    yield warp.write(out, warp.tids, vals * 2.0)
+
+                reports.append((eng.launch(prog, 37), out.to_numpy()))
+            return reports
+
+        py = run("python")
+        nat = run("native")
+        assert nat[1][0].engine == "replay"
+        for (rp, mem_p), (rn, mem_n) in zip(py, nat):
+            assert rp.cycles == rn.cycles
+            assert rp.barrier_releases == rn.barrier_releases
+            np.testing.assert_array_equal(mem_p, mem_n)

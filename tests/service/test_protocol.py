@@ -36,8 +36,23 @@ class TestCostValidation:
         assert spec == {
             "kernel": "sum", "model": "hmm", "mode": "batch",
             "seed": DEFAULT_SEED, "n": 1024, "k": 0, "p": 64,
-            "w": 16, "l": 16, "d": 8,
+            "w": 16, "l": 16, "d": 8, "backend": "auto",
         }
+
+    def test_backend_field(self):
+        assert parse_cost_request(_cost(backend="native"))["backend"] == \
+            "native"
+        assert parse_cost_request(_cost(backend="python"))["backend"] == \
+            "python"
+        _reject(_cost(backend="fortran"), field="backend",
+                code="invalid_param")
+
+    def test_backend_not_in_spec_key(self):
+        # Backends are bit-identical, so they must coalesce in the
+        # batcher and share cache identity.
+        a = parse_cost_request(_cost(backend="native"))
+        b = parse_cost_request(_cost(backend="python"))
+        assert spec_key(a) == spec_key(b)
 
     def test_body_must_be_object(self):
         err = _reject([1, 2, 3], code="invalid_body")

@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""Aggregate every ``BENCH_*.json`` into one performance trajectory table.
+
+Each benchmark commits a machine-readable record at the repo root
+(``schema_version`` 1: host info, config, rows, metrics, pass/fail
+criteria).  This script folds them into a single human-readable report —
+``benchmarks/out/report.txt`` — so the whole performance history is
+readable in one place and diffable across PRs.
+
+Usage::
+
+    python tools/bench_report.py            # writes benchmarks/out/report.txt
+    python tools/bench_report.py --stdout   # print only, write nothing
+
+Exits non-zero if any benchmark's ``criteria.pass`` is false, so the
+report doubles as a gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = ROOT / "benchmarks" / "out" / "report.txt"
+
+
+def load_records(root: Path) -> list[dict]:
+    records = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"warning: skipping unreadable {path.name}: {exc}",
+                  file=sys.stderr)
+            continue
+        record["_file"] = path.name
+        records.append(record)
+    return records
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells):
+        return "  ".join(
+            c.ljust(widths[i]) for i, c in enumerate(cells)
+        ).rstrip()
+
+    lines = [fmt(headers), "  ".join("-" * w for w in widths)]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render(records: list[dict]) -> str:
+    lines: list[str] = ["Benchmark trajectory report", ""]
+
+    summary_rows = []
+    for record in records:
+        criteria = record.get("criteria", {})
+        metrics = record.get("metrics", {})
+        headline = ", ".join(
+            f"{k}={_fmt_value(v)}" for k, v in sorted(metrics.items())
+            if not isinstance(v, (list, dict))
+        )
+        summary_rows.append([
+            record.get("bench", record["_file"]),
+            "PASS" if criteria.get("pass") else "FAIL",
+            headline,
+        ])
+    lines.append(_table(["bench", "status", "metrics"], summary_rows))
+    lines.append("")
+
+    for record in records:
+        bench = record.get("bench", record["_file"])
+        host = record.get("host", {})
+        lines.append(f"== {bench} ({record['_file']})")
+        host_bits = ", ".join(
+            f"{k}={v}" for k, v in sorted(host.items()))
+        if host_bits:
+            lines.append(f"   host: {host_bits}")
+        criteria = record.get("criteria", {})
+        thresholds = ", ".join(
+            f"{k}={_fmt_value(v)}" for k, v in sorted(criteria.items())
+            if k != "pass")
+        status = "PASS" if criteria.get("pass") else "FAIL"
+        lines.append(f"   criteria: {status}"
+                     + (f" ({thresholds})" if thresholds else ""))
+        rows = record.get("rows", [])
+        if rows and all(isinstance(r, dict) for r in rows):
+            headers = sorted({k for r in rows for k in r})
+            lines.append(_indent(_table(
+                headers,
+                [[_fmt_value(r.get(h, "")) for h in headers]
+                 for r in rows],
+            )))
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _indent(text: str, prefix: str = "   ") -> str:
+    return "\n".join(prefix + line for line in text.splitlines())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Aggregate BENCH_*.json records into one report.")
+    parser.add_argument("--root", type=Path, default=ROOT,
+                        help="directory holding the BENCH_*.json files")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="report destination (default benchmarks/out/"
+                             "report.txt)")
+    parser.add_argument("--stdout", action="store_true",
+                        help="print the report without writing a file")
+    args = parser.parse_args(argv)
+
+    records = load_records(args.root)
+    if not records:
+        print(f"no BENCH_*.json files under {args.root}", file=sys.stderr)
+        return 1
+    report = render(records)
+    print(report, end="")
+    if not args.stdout:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(report)
+        print(f"\nwrote {args.out}", file=sys.stderr)
+
+    failed = [r.get("bench", r["_file"]) for r in records
+              if not r.get("criteria", {}).get("pass")]
+    if failed:
+        print(f"failing benchmarks: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,6 @@
 # Convenience targets; plain pytest/python work equally well.
 
-.PHONY: install test bench bench-service bench-replay bench-tuner bench-native bench-report examples experiments serve tune-demo docs-check clean
+.PHONY: install test bench bench-service bench-cluster bench-replay bench-tuner bench-native bench-report examples experiments serve serve-cluster cluster-smoke tune-demo docs-check clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -13,6 +13,9 @@ bench:
 
 bench-service:
 	PYTHONPATH=src python -m repro.service bench --out benchmarks/out/service.txt
+
+bench-cluster:
+	PYTHONPATH=src pytest benchmarks/bench_cluster.py -q
 
 bench-replay:
 	PYTHONPATH=src pytest benchmarks/bench_trace_replay.py -q
@@ -35,6 +38,12 @@ experiments:
 serve:
 	PYTHONPATH=src python -m repro.service serve
 
+serve-cluster:
+	PYTHONPATH=src python -m repro.cluster serve
+
+cluster-smoke:
+	PYTHONPATH=src python tools/cluster_smoke.py
+
 tune-demo:
 	PYTHONPATH=src python -m repro.tuner transpose
 	PYTHONPATH=src python -m repro.tuner sum
@@ -42,7 +51,7 @@ tune-demo:
 	PYTHONPATH=src python -m repro.tuner gather
 
 docs-check:
-	PYTHONPATH=src python tools/check_doc_snippets.py docs/TUTORIAL.md docs/PERFORMANCE.md docs/SERVICE.md docs/INTERNALS.md docs/TUNER.md docs/STORAGE.md
+	PYTHONPATH=src python tools/check_doc_snippets.py docs/TUTORIAL.md docs/PERFORMANCE.md docs/SERVICE.md docs/INTERNALS.md docs/TUNER.md docs/STORAGE.md docs/CLUSTER.md
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_benchmarks .benchmarks benchmarks/.benchmarks benchmarks/.store

@@ -1,0 +1,113 @@
+"""The sharded cost-oracle cluster under zipfian load — scaling + chaos.
+
+Drives :func:`repro.cluster.bench.run_cluster_comparison`: a closed-loop
+zipf-skewed Table I workload against (1) one cache-off ``repro.service``
+process, (2) the same shard configuration ×3 behind the consistent-hash
+router (cache off — the compute-bound scaling row), (3) the cluster
+with caches and hot-key warming on, and (4) the warm cluster again with
+one shard SIGKILLed mid-run.
+
+Two acceptance dimensions:
+
+* **scaling** — the cluster's throughput over the single shard's.  The
+  subsystem target is ≥2x, which requires hardware that can actually
+  run the shard processes in parallel; on a host with fewer than 3 CPUs
+  the shards time-slice one core and the cluster's relay hop is pure
+  overhead, so the criterion degrades to a bounded-overhead floor
+  (≥0.5x) and the record says so (``host_limited``).  The 2x target is
+  always recorded and asserted wherever the hardware can express it.
+* **availability** — the shard-kill run must finish with **zero**
+  client-visible failures: the router reroutes (oracle requests are
+  deterministic and idempotent), the client retries, nobody notices.
+  This criterion holds on any host.
+"""
+
+import os
+
+from repro.cluster.bench import (
+    render_cluster_comparison,
+    run_cluster_comparison,
+)
+
+from _util import emit, once, write_bench_json
+
+SHARDS = 3
+REPLICAS = 2
+DURATION_S = 8.0
+CLIENTS = 64
+ZIPF_S = 2.5
+SEED = 7
+
+#: The subsystem's scaling claim — asserted when the host has enough
+#: CPUs to run the shards in parallel at all.
+TARGET_SPEEDUP = 2.0
+#: Sanity floor on CPU-starved hosts: the router+replication layer may
+#: not cost more than half the single shard's throughput.
+OVERHEAD_FLOOR = 0.5
+
+
+def test_cluster_throughput_and_chaos(benchmark):
+    cpus = os.cpu_count() or 1
+    host_limited = cpus < SHARDS
+    min_speedup = OVERHEAD_FLOOR if host_limited else TARGET_SPEEDUP
+
+    result = once(
+        benchmark,
+        run_cluster_comparison,
+        shards=SHARDS,
+        replicas=REPLICAS,
+        duration=DURATION_S,
+        clients=CLIENTS,
+        zipf_s=ZIPF_S,
+        seed=SEED,
+    )
+
+    header = (
+        f"cost-oracle cluster, closed loop: {CLIENTS} clients, "
+        f"{DURATION_S:g}s per config, zipf s={ZIPF_S}, seed={SEED}, "
+        f"{SHARDS} shards x replicas={REPLICAS}  (host: {cpus} CPUs)\n"
+    )
+    emit("cluster", header + "\n" + render_cluster_comparison(result))
+
+    rows = {r["name"]: r for r in result["rows"]}
+    single = rows["single-shard"]
+    clustered = rows[f"cluster-{SHARDS}shard"]
+    assert single["requests"] > 0 and clustered["requests"] > 0
+    assert single["errors"] == 0 and clustered["errors"] == 0
+    # Seeds are recorded so a run is reproducible bit-for-bit at the
+    # workload level (same spec sequence per client).
+    assert single["seed"] == clustered["seed"] == SEED
+
+    speedup = result["speedup"]
+    kill_errors = result["kill_errors"]
+    assert speedup >= min_speedup, (speedup, min_speedup)
+    # The availability claim is unconditional: a SIGKILLed shard must
+    # not surface a single client-visible failure.
+    assert kill_errors == 0, kill_errors
+
+    warm_tel = result["telemetry"].get("warm", {})
+    chaos_router = result["telemetry"].get("chaos", {}).get("router", {})
+    write_bench_json(
+        "cluster",
+        config={**result["config"], "cpus": cpus},
+        rows=result["rows"],
+        metrics={
+            "single_rps": single["rps"],
+            "cluster_rps": clustered["rps"],
+            "speedup": speedup,
+            "kill_errors": kill_errors,
+            "kill_reroutes": chaos_router.get("reroutes", 0),
+            "warm_pushes": warm_tel.get("warming", {})
+            .get("pushes_sent_total", 0),
+            "warm_remote_hits": warm_tel.get("warming", {})
+            .get("hits_remote_total", 0),
+            "per_shard": warm_tel.get("per_shard", {}),
+        },
+        criteria={
+            "target_speedup": TARGET_SPEEDUP,
+            "min_speedup": min_speedup,
+            "host_limited": host_limited,
+            "max_kill_errors": 0,
+            "pass": bool(speedup >= min_speedup and kill_errors == 0),
+        },
+    )

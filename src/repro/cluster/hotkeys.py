@@ -1,0 +1,116 @@
+"""Hot-key detection: a sliding-window frequency sketch.
+
+Zipfian traffic (the load generator models s = 2.5) concentrates most
+requests on a handful of spec keys.  Serving each key from one shard
+makes that shard the whole cluster's ceiling, so the router promotes
+the current top-K keys to R replicas and spreads their traffic — the
+same replicate-the-hot-set discipline the HMM applies to its memory
+hierarchy, applied to shards.
+
+The sketch is a ring of time buckets, each a plain ``Counter``: an
+observation lands in the current bucket, totals sum the live window,
+and advancing time clears expired buckets.  Memory is bounded by
+``max_keys_per_bucket`` (beyond it, new cold keys are dropped for that
+bucket — a key hot enough to matter is never dropped for long), and the
+clock is injectable so promotion/demotion is deterministically testable
+with :class:`~repro.service.clock.ManualClock`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.service.clock import Clock
+
+__all__ = ["HotKeyTracker"]
+
+
+class HotKeyTracker:
+    """Top-K keys of the last ``window_s`` seconds.
+
+    Parameters
+    ----------
+    window_s, buckets:
+        Window length and its subdivision; finer buckets = smoother
+        demotion at slightly more bookkeeping.
+    top_k:
+        How many keys may be hot at once (the replica promotion set).
+    min_count:
+        Floor on a key's windowed count before it can be promoted, so a
+        trickle over a quiet cluster doesn't replicate everything.
+    """
+
+    def __init__(
+        self,
+        *,
+        window_s: float = 10.0,
+        buckets: int = 10,
+        top_k: int = 8,
+        min_count: int = 16,
+        max_keys_per_bucket: int = 4096,
+        clock: "Clock | None" = None,
+    ) -> None:
+        if window_s <= 0 or buckets < 1:
+            raise ValueError("window_s must be > 0 and buckets >= 1")
+        self.window_s = window_s
+        self.buckets = buckets
+        self.top_k = top_k
+        self.min_count = min_count
+        self.max_keys_per_bucket = max_keys_per_bucket
+        self.clock = clock or Clock()
+        self._bucket_s = window_s / buckets
+        self._counts: list[Counter[str]] = [Counter() for _ in range(buckets)]
+        self._epoch = self._now_bucket()
+
+    # -- time --------------------------------------------------------------
+    def _now_bucket(self) -> int:
+        return int(self.clock.monotonic() / self._bucket_s)
+
+    def _advance(self) -> int:
+        """Expire buckets the window has slid past; return current slot."""
+        now = self._now_bucket()
+        stale = now - self._epoch
+        if stale > 0:
+            for offset in range(1, min(stale, self.buckets) + 1):
+                self._counts[(self._epoch + offset) % self.buckets].clear()
+            self._epoch = now
+        return now % self.buckets
+
+    # -- updates / readout -------------------------------------------------
+    def observe(self, key: str, weight: int = 1) -> None:
+        """Count one request for ``key``."""
+        bucket = self._counts[self._advance()]
+        if key in bucket or len(bucket) < self.max_keys_per_bucket:
+            bucket[key] += weight
+
+    def counts(self) -> Counter:
+        """Aggregate windowed counts (a copy; mutating it is harmless)."""
+        self._advance()
+        total: Counter[str] = Counter()
+        for bucket in self._counts:
+            total.update(bucket)
+        return total
+
+    def hot_keys(self) -> list[str]:
+        """The promoted set: up to ``top_k`` keys at/above ``min_count``,
+        hottest first (ties broken by key for determinism)."""
+        totals = self.counts()
+        eligible = [(count, key) for key, count in totals.items()
+                    if count >= self.min_count]
+        eligible.sort(key=lambda pair: (-pair[0], pair[1]))
+        return [key for _, key in eligible[: self.top_k]]
+
+    def is_hot(self, key: str) -> bool:
+        return key in self.hot_keys()
+
+    def snapshot(self) -> dict:
+        """JSON-able state for ``/metrics``."""
+        totals = self.counts()
+        hot = self.hot_keys()
+        return {
+            "window_s": self.window_s,
+            "top_k": self.top_k,
+            "min_count": self.min_count,
+            "tracked_keys": len(totals),
+            "hot_keys": {key: totals[key] for key in hot},
+        }

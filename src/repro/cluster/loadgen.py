@@ -1,0 +1,129 @@
+"""Closed-loop zipfian load against any URL (router or single shard).
+
+The service-layer load generator (:mod:`repro.service.loadgen`) boots
+its own single server; the cluster needs the complementary shape —
+drive a *running* endpoint, record per-request outcomes, and optionally
+trigger an action (kill a shard) mid-run.  Same workload model: the
+Table I grid under a Zipf popularity distribution, seeded for
+run-to-run reproducibility.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.service.client import AsyncServiceClient, ServiceError
+from repro.service.loadgen import _percentile, _zipf_cdf, table1_workload
+from repro.service.protocol import DEFAULT_SEED
+
+__all__ = ["DriveResult", "drive_url"]
+
+
+@dataclass
+class DriveResult:
+    """Outcome of one closed-loop run against one URL."""
+
+    requests: int = 0
+    errors: int = 0
+    latencies: list = field(default_factory=list)
+    duration_s: float = 0.0
+    seed: int = 0
+    zipf_s: float = 0.0
+    clients: int = 0
+
+    @property
+    def rps(self) -> float:
+        return self.requests / self.duration_s if self.duration_s else 0.0
+
+    def row(self, name: str) -> dict:
+        """A benchmark result row (``BENCH_cluster.json`` schema)."""
+        return {
+            "name": name,
+            "clients": self.clients,
+            "seed": self.seed,
+            "zipf_s": self.zipf_s,
+            "duration_s": round(self.duration_s, 3),
+            "requests": self.requests,
+            "errors": self.errors,
+            "rps": round(self.rps, 1),
+            "p50_ms": round(_percentile(self.latencies, 0.50) * 1e3, 2),
+            "p95_ms": round(_percentile(self.latencies, 0.95) * 1e3, 2),
+        }
+
+
+async def _client_loop(
+    client: AsyncServiceClient,
+    specs: list[dict],
+    cdf: list[float],
+    rng: random.Random,
+    stop_at: float,
+    result: DriveResult,
+) -> None:
+    while time.monotonic() < stop_at:
+        spec = specs[bisect.bisect_left(cdf, rng.random())]
+        params = {k: spec[k] for k in ("n", "k", "p", "w", "l", "d")}
+        started = time.monotonic()
+        try:
+            await client.cost(spec["kernel"], spec["model"], params,
+                              seed=DEFAULT_SEED)
+        except ServiceError:
+            # Includes Unavailable: the client's retries were exhausted,
+            # so this is a *client-visible* failure — exactly what the
+            # shard-kill acceptance criterion counts.
+            result.errors += 1
+            continue
+        result.latencies.append(time.monotonic() - started)
+        result.requests += 1
+
+
+def drive_url(
+    url: str,
+    *,
+    duration: float = 10.0,
+    clients: int = 64,
+    zipf_s: float = 2.5,
+    seed: int = 7,
+    model: str = "hmm",
+    retries: int = 4,
+    mid_run: "Callable[[], None] | None" = None,
+    mid_run_at: float = 0.5,
+) -> DriveResult:
+    """Drive ``url`` closed-loop; optionally fire ``mid_run`` partway.
+
+    ``mid_run`` runs in a worker thread at ``mid_run_at`` (fraction of
+    ``duration``) — e.g. ``lambda: supervisor.kill_shard(1)`` for the
+    chaos benchmark.  ``seed`` fixes every client's sampling sequence,
+    so two runs with the same seed issue the same requests.
+    """
+    specs = table1_workload(model)
+    cdf = _zipf_cdf(len(specs), zipf_s)
+    result = DriveResult(seed=seed, zipf_s=zipf_s, clients=clients)
+
+    async def drive() -> None:
+        stop_at = time.monotonic() + duration
+        tasks = [
+            asyncio.ensure_future(_client_loop(
+                AsyncServiceClient(url, retries=retries),
+                specs, cdf, random.Random(seed * 10_000 + i),
+                stop_at, result,
+            ))
+            for i in range(clients)
+        ]
+        if mid_run is not None:
+            async def chaos() -> None:
+                await asyncio.sleep(duration * mid_run_at)
+                await asyncio.get_running_loop().run_in_executor(
+                    None, mid_run
+                )
+            tasks.append(asyncio.ensure_future(chaos()))
+        await asyncio.gather(*tasks)
+
+    started = time.monotonic()
+    asyncio.run(drive())
+    result.duration_s = time.monotonic() - started
+    return result

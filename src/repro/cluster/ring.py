@@ -1,0 +1,106 @@
+"""Consistent hashing with virtual nodes.
+
+Each shard is hashed onto a 64-bit ring at ``vnodes`` positions; a key
+hashes to one position and its owners are the next distinct shards
+walking clockwise.  Two properties carry the cluster design:
+
+* **Stability** — adding or losing one shard remaps only the ranges
+  that shard owned; every other key keeps its owner (no rehash storms,
+  warm caches stay warm).
+* **Ordered fallback** — ``owners(key, count)`` returns a *succession
+  list*: the primary first, then the shards that inherit the range if
+  the primary dies.  The router's reroute and the hot-key replica set
+  are both just prefixes of this list, so failure handling and
+  replication agree about where a key lives.
+
+Positions come from SHA-256, so every process (router, shards, tests)
+computes an identical ring from the shard names alone — there is no
+membership protocol to converge.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Callable, Iterable
+
+__all__ = ["HashRing", "ring_position"]
+
+_RING_BITS = 64
+_RING_MASK = (1 << _RING_BITS) - 1
+
+
+def ring_position(material: str) -> int:
+    """Deterministic 64-bit ring position of an arbitrary string."""
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") & _RING_MASK
+
+
+class HashRing:
+    """An immutable consistent-hash ring over named shards.
+
+    >>> ring = HashRing(["a", "b", "c"], vnodes=64)
+    >>> owners = ring.owners("some-key", count=2)
+    >>> len(owners), len(set(owners))
+    (2, 2)
+    >>> ring.owners("some-key")[0] == owners[0]
+    True
+    """
+
+    def __init__(self, shards: Iterable[str], *, vnodes: int = 64) -> None:
+        self.shards = list(dict.fromkeys(shards))  # order kept, dupes dropped
+        if not self.shards:
+            raise ValueError("a ring needs at least one shard")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        points: list[tuple[int, str]] = []
+        for shard in self.shards:
+            for replica in range(vnodes):
+                points.append((ring_position(f"{shard}#{replica}"), shard))
+        points.sort()
+        self._positions = [pos for pos, _ in points]
+        self._owners = [shard for _, shard in points]
+
+    def owners(
+        self,
+        key: str,
+        count: int = 1,
+        *,
+        alive: "Callable[[str], bool] | None" = None,
+    ) -> list[str]:
+        """The first ``count`` distinct shards clockwise from ``key``.
+
+        With an ``alive`` predicate, dead shards are skipped — their
+        ranges fall to the next live successor, which is exactly the
+        reroute the router performs.  Returns fewer than ``count``
+        entries (possibly none) when not enough live shards exist.
+        """
+        start = bisect.bisect_right(self._positions, ring_position(key))
+        found: list[str] = []
+        total = len(self._owners)
+        for step in range(total):
+            shard = self._owners[(start + step) % total]
+            if shard in found:
+                continue
+            if alive is not None and not alive(shard):
+                continue
+            found.append(shard)
+            if len(found) == count:
+                break
+        return found
+
+    def ownership(self) -> dict[str, float]:
+        """Fraction of the key space each shard owns (sums to 1.0)."""
+        spans: dict[str, int] = {shard: 0 for shard in self.shards}
+        total = len(self._positions)
+        for i, pos in enumerate(self._positions):
+            next_pos = self._positions[(i + 1) % total]
+            span = (next_pos - pos) & _RING_MASK
+            if total == 1:
+                span = _RING_MASK + 1
+            # The arc *after* point i belongs to the owner of point i+1
+            # (keys bisect to the next clockwise point).
+            spans[self._owners[(i + 1) % total]] += span
+        scale = float(_RING_MASK + 1)
+        return {shard: spans[shard] / scale for shard in self.shards}

@@ -1,0 +1,546 @@
+"""The cluster's front door: consistent-hash routing over live shards.
+
+One asyncio process that owns no oracle at all — it parses just enough
+of each request to derive a routing key, picks the owner shard from the
+:class:`~repro.cluster.ring.HashRing`, and relays the shard's response
+body **byte-for-byte** (the shard serialized it canonically; the router
+never re-encodes), which is what makes cluster responses provably
+identical to a single-process service.
+
+Routing keys
+------------
+``POST /v1/cost`` and ``GET /v1/advise`` route on the canonical
+:func:`~repro.service.protocol.spec_key` of the parsed spec, so two
+requests that differ only in defaulted fields land on the same shard
+and share its cache.  ``/v1/sweep`` and ``/v1/tune`` route on the
+canonical JSON of the whole payload.  ``/v1/store/push``/``pull`` route
+on the store key.  A request the router cannot parse is forwarded to
+any live shard, whose authoritative 400 is relayed unchanged.
+
+Hot keys and replication
+------------------------
+A sliding-window sketch (:class:`~repro.cluster.hotkeys.HotKeyTracker`)
+tracks per-key traffic.  A promoted (hot) key is served by the first
+``replicas`` shards of its ring succession list, round-robin; requests
+forwarded for a hot key carry the
+:data:`~repro.service.server.WARM_PEERS_HEADER` naming the sibling
+replicas, so whichever shard computes the artifact pushes the framed
+store entry to the others (see ``ServiceServer._maybe_warm_push``).
+
+Failure handling
+----------------
+A health loop probes every shard's ``/healthz``; a forward that fails
+at the transport level marks the shard dead *passively* and reroutes to
+the next candidate in ring order (then to any live shard — every shard
+can compute every answer, ownership is a cache-locality optimization,
+not a correctness constraint).  Oracle requests are deterministic and
+idempotent, so rerouting a request that died mid-flight is safe.  Only
+when no shard at all is live does the router answer
+``503 + Retry-After`` — and the client's retry/backoff (see
+:mod:`repro.service.client`) rides out the gap.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections import Counter
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.cluster.hotkeys import HotKeyTracker
+from repro.cluster.ring import HashRing
+from repro.service.clock import Clock
+from repro.service.http import (
+    HttpError,
+    error_body,
+    read_request,
+    write_response,
+)
+from repro.service.protocol import (
+    ProtocolError,
+    parse_advise_request,
+    parse_cost_request,
+    spec_key,
+)
+from repro.service.server import WARM_PEERS_HEADER
+
+__all__ = ["ClusterRouter", "RouterMetrics"]
+
+#: Transport failures that mean "this shard is unreachable/dead now".
+_SHARD_ERRORS = (ConnectionError, OSError, asyncio.TimeoutError,
+                 asyncio.IncompleteReadError)
+
+#: Response headers the router relays from the shard to the client.
+_RELAYED_HEADERS = ("retry-after",)
+
+
+class RouterMetrics:
+    """Ring-level counters, rendered under ``/metrics`` → ``cluster``."""
+
+    def __init__(self, clock: "Clock | None" = None) -> None:
+        self.clock = clock or Clock()
+        self.started_at = self.clock.monotonic()
+        #: (path, status) -> count, as seen by *clients* of the router.
+        self.requests: Counter = Counter()
+        #: shard url -> requests forwarded there (attempts that got a
+        #: response, successful or not).
+        self.forwards: Counter = Counter()
+        self.reroutes = 0          # forward attempts moved to another shard
+        self.shard_failures = 0    # transport errors talking to shards
+        self.no_live_shard = 0     # 503s: every candidate was down
+        self.hot_spread = 0        # hot-key requests sent to a non-primary
+        self.warm_headers_set = 0  # forwards that carried warm peers
+        self.health_transitions = 0
+
+    def observe(self, path: str, status: int) -> None:
+        self.requests[(path, status)] += 1
+
+    def snapshot(self) -> dict:
+        by_path: dict[str, dict[str, int]] = {}
+        for (path, status), count in sorted(self.requests.items()):
+            by_path.setdefault(path, {})[str(status)] = count
+        return {
+            "uptime_s": round(self.clock.monotonic() - self.started_at, 3),
+            "requests": by_path,
+            "requests_total": sum(self.requests.values()),
+            "forwards": {url: self.forwards[url]
+                         for url in sorted(self.forwards)},
+            "reroutes": self.reroutes,
+            "shard_failures": self.shard_failures,
+            "no_live_shard_503": self.no_live_shard,
+            "hot_spread": self.hot_spread,
+            "warm_headers_set": self.warm_headers_set,
+            "health_transitions": self.health_transitions,
+        }
+
+
+class ClusterRouter:
+    """Route requests onto a fixed set of shard URLs.
+
+    Parameters
+    ----------
+    shard_urls:
+        The worker ring, e.g. ``["http://127.0.0.1:9001", ...]``.  The
+        set is fixed for the router's lifetime; liveness within it is
+        dynamic.
+    replicas:
+        Owner-list length for *hot* keys (cold keys always have exactly
+        one serving owner).  Clamped to the ring size.
+    vnodes:
+        Virtual nodes per shard on the hash ring.
+    hot_window_s, hot_top_k, hot_min_count:
+        Hot-key sketch knobs — see
+        :class:`~repro.cluster.hotkeys.HotKeyTracker`.
+    health_interval_s, connect_timeout_s, request_timeout_s:
+        Probe cadence and per-forward timeouts.
+    """
+
+    def __init__(
+        self,
+        shard_urls: list[str],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        replicas: int = 2,
+        vnodes: int = 64,
+        hot_window_s: float = 10.0,
+        hot_top_k: int = 8,
+        hot_min_count: int = 16,
+        health_interval_s: float = 0.5,
+        connect_timeout_s: float = 2.0,
+        request_timeout_s: float = 120.0,
+        clock: "Clock | None" = None,
+    ) -> None:
+        if not shard_urls:
+            raise ValueError("a cluster needs at least one shard URL")
+        self.host = host
+        self.port = port
+        self.clock = clock or Clock()
+        self.ring = HashRing(shard_urls, vnodes=vnodes)
+        self.replicas = max(1, min(replicas, len(self.ring.shards)))
+        self.hotkeys = HotKeyTracker(
+            window_s=hot_window_s, buckets=10, top_k=hot_top_k,
+            min_count=hot_min_count, clock=self.clock,
+        )
+        self.metrics = RouterMetrics(self.clock)
+        self.health_interval_s = health_interval_s
+        self.connect_timeout_s = connect_timeout_s
+        self.request_timeout_s = request_timeout_s
+        self._alive: dict[str, bool] = {url: True for url in self.ring.shards}
+        self._rr: Counter = Counter()      # hot key -> round-robin cursor
+        self._hot_cache: list[str] = []
+        self._hot_cache_at = -1.0
+        self._server: asyncio.Server | None = None
+        self._health_task: asyncio.Task | None = None
+        self._inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._shutdown_started = False
+        self._stopped = asyncio.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._health_task = asyncio.ensure_future(self._health_loop())
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._stopped.wait()
+
+    async def shutdown(self) -> None:
+        """Graceful ring drain: stop accepting, finish in-flight relays."""
+        if self._shutdown_started:
+            await self._stopped.wait()
+            return
+        self._shutdown_started = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout=30)
+        except asyncio.TimeoutError:
+            pass
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except asyncio.CancelledError:
+                pass
+        self._stopped.set()
+
+    @property
+    def draining(self) -> bool:
+        return self._shutdown_started
+
+    # -- liveness ----------------------------------------------------------
+    def alive_shards(self) -> list[str]:
+        return [url for url in self.ring.shards if self._alive[url]]
+
+    def _mark(self, url: str, alive: bool) -> None:
+        if self._alive[url] != alive:
+            self._alive[url] = alive
+            self.metrics.health_transitions += 1
+
+    async def _health_loop(self) -> None:
+        from repro.service.client import AsyncServiceClient
+
+        while True:
+            await asyncio.sleep(self.health_interval_s)
+            for url in self.ring.shards:
+                client = AsyncServiceClient(
+                    url, timeout=self.connect_timeout_s, retries=0,
+                )
+                try:
+                    body = await asyncio.wait_for(
+                        client.healthz(), self.connect_timeout_s * 2
+                    )
+                    self._mark(url, body.get("status") in ("ok", "draining"))
+                except Exception:  # noqa: BLE001 - any failure = down
+                    self._mark(url, False)
+
+    # -- connection handling ----------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    parsed = await read_request(reader)
+                except HttpError as exc:
+                    await write_response(
+                        writer, exc.status, exc.body, exc.headers, False
+                    )
+                    break
+                if parsed is None:
+                    break
+                method, target, http_version, headers, payload, raw = parsed
+                path = urlsplit(target).path
+                self._inflight += 1
+                self._idle.clear()
+                try:
+                    status, body, extra = await self._dispatch(
+                        method, target, path, payload, raw
+                    )
+                except HttpError as exc:
+                    status, body, extra = exc.status, exc.body, exc.headers
+                except Exception as exc:  # noqa: BLE001 - last resort
+                    status = 500
+                    body = error_body("internal",
+                                      f"{type(exc).__name__}: {exc}")
+                    extra = {}
+                finally:
+                    self._inflight -= 1
+                    if self._inflight == 0:
+                        self._idle.set()
+                self.metrics.observe(path, status)
+                keep_alive = (
+                    not self._shutdown_started
+                    and http_version != "HTTP/1.0"
+                    and headers.get("connection", "").lower() != "close"
+                )
+                await write_response(writer, status, body, extra, keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # -- routing -----------------------------------------------------------
+    async def _dispatch(
+        self, method: str, target: str, path: str, payload, raw: bytes
+    ) -> "tuple[int, dict | bytes, dict[str, str]]":
+        if self._shutdown_started:
+            raise HttpError(
+                503, error_body("draining", "cluster is draining"),
+                {"Retry-After": "1"},
+            )
+        if (method, path) == ("GET", "/healthz"):
+            return 200, self._healthz_body(), {}
+        if (method, path) == ("GET", "/metrics"):
+            return 200, await self._metrics_body(), {}
+        known = {
+            ("POST", "/v1/cost"), ("POST", "/v1/sweep"),
+            ("POST", "/v1/tune"), ("GET", "/v1/advise"),
+            ("POST", "/v1/store/push"), ("GET", "/v1/store/pull"),
+        }
+        if (method, path) not in known:
+            if path in {p for _, p in known} | {"/healthz", "/metrics"}:
+                raise HttpError(
+                    405, error_body("method_not_allowed",
+                                    f"{method} not supported on {path}")
+                )
+            raise HttpError(404, error_body("not_found", f"no route {path}"))
+        key = self._routing_key(method, target, path, payload)
+        return await self._forward(method, target, path, raw, key)
+
+    def _routing_key(
+        self, method: str, target: str, path: str, payload
+    ) -> "str | None":
+        """Canonical routing key, or ``None`` for unroutable requests
+        (those go to any live shard, which renders the authoritative
+        error)."""
+        try:
+            if path == "/v1/cost":
+                return "spec:" + spec_key(parse_cost_request(payload))
+            if path == "/v1/advise":
+                query = dict(parse_qsl(urlsplit(target).query))
+                return "spec:" + spec_key(parse_advise_request(query))
+            if path in ("/v1/sweep", "/v1/tune"):
+                material = json.dumps(payload, sort_keys=True)
+                return f"{path}:{material}"
+            if path == "/v1/store/push" and isinstance(payload, dict):
+                return f"store:{payload.get('namespace')}:{payload.get('key')}"
+            if path == "/v1/store/pull":
+                query = dict(parse_qsl(urlsplit(target).query))
+                return f"store:{query.get('namespace')}:{query.get('key')}"
+        except ProtocolError:
+            return None
+        except (TypeError, ValueError):
+            return None
+        return None
+
+    def _hot_set(self) -> list[str]:
+        """The promoted keys, recomputed at most once per window bucket."""
+        now = self.clock.monotonic()
+        if now - self._hot_cache_at >= self.hotkeys._bucket_s:
+            self._hot_cache = self.hotkeys.hot_keys()
+            self._hot_cache_at = now
+        return self._hot_cache
+
+    def _candidates(self, key: "str | None") -> tuple[list[str], list[str]]:
+        """(try-order, warm-peers) for one request.
+
+        Try-order: the serving owner first (round-robin over replicas
+        for hot keys), then the remaining ring succession, then every
+        other live shard as a last resort.  Warm-peers: the hot-key
+        replica set minus the serving owner (empty for cold keys).
+        """
+        alive = self.alive_shards()
+        if key is None:
+            return alive, []
+        is_alive = self._alive.__getitem__
+        hot = key in self._hot_set()
+        if hot:
+            owners = self.ring.owners(key, self.replicas, alive=is_alive)
+        else:
+            owners = self.ring.owners(key, 1, alive=is_alive)
+        warm_peers: list[str] = []
+        order = list(owners)
+        if hot and len(owners) > 1:
+            cursor = self._rr[key]
+            self._rr[key] = cursor + 1
+            primary = owners[cursor % len(owners)]
+            if primary != owners[0]:
+                self.metrics.hot_spread += 1
+            order = [primary] + [u for u in owners if u != primary]
+            warm_peers = [u for u in owners if u != primary]
+        order += [u for u in alive if u not in order]
+        return order, warm_peers
+
+    async def _forward(
+        self, method: str, target: str, path: str, raw: bytes,
+        key: "str | None",
+    ) -> "tuple[int, bytes, dict[str, str]]":
+        if key is not None and path not in ("/v1/store/push",
+                                            "/v1/store/pull"):
+            self.hotkeys.observe(key)
+        order, warm_peers = self._candidates(key)
+        for index, url in enumerate(order):
+            if index > 0:
+                self.metrics.reroutes += 1
+            extra_request_headers = {}
+            peers = [p for p in warm_peers if p != url]
+            if peers:
+                extra_request_headers[WARM_PEERS_HEADER] = ",".join(peers)
+            try:
+                status, headers, body = await self._forward_once(
+                    url, method, target, raw, extra_request_headers
+                )
+            except _SHARD_ERRORS:
+                self.metrics.shard_failures += 1
+                self._mark(url, False)
+                continue
+            self.metrics.forwards[url] += 1
+            if peers:
+                self.metrics.warm_headers_set += 1
+            relay = {
+                name.title(): value
+                for name, value in headers.items()
+                if name in _RELAYED_HEADERS
+            }
+            return status, body, relay
+        self.metrics.no_live_shard += 1
+        raise HttpError(
+            503,
+            error_body("no_live_shard",
+                       f"no live shard can serve {path} right now"),
+            {"Retry-After": "1"},
+        )
+
+    async def _forward_once(
+        self, url: str, method: str, target: str, raw: bytes,
+        extra_headers: dict[str, str],
+    ) -> tuple[int, dict[str, str], bytes]:
+        """One relay attempt; returns the shard's raw response body."""
+        split = urlsplit(url)
+        host, port = split.hostname, split.port or 80
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), self.connect_timeout_s
+        )
+        try:
+            head = [
+                f"{method} {target} HTTP/1.1",
+                f"Host: {host}:{port}",
+                f"Content-Length: {len(raw)}",
+                "Content-Type: application/json",
+                "Connection: close",
+            ]
+            head.extend(f"{k}: {v}" for k, v in extra_headers.items())
+            writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + raw)
+            await writer.drain()
+            status_line = await asyncio.wait_for(
+                reader.readline(), self.request_timeout_s
+            )
+            if not status_line:
+                raise ConnectionResetError("shard closed before responding")
+            status = int(status_line.split(maxsplit=2)[1])
+            headers: dict[str, str] = {}
+            while True:
+                line = await asyncio.wait_for(
+                    reader.readline(), self.request_timeout_s
+                )
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0"))
+            body = await asyncio.wait_for(
+                reader.readexactly(length), self.request_timeout_s
+            )
+            return status, headers, body
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # -- local endpoints ---------------------------------------------------
+    def _healthz_body(self) -> dict:
+        alive = self._alive
+        return {
+            "status": "draining" if self._shutdown_started else (
+                "ok" if any(alive.values()) else "degraded"
+            ),
+            "shards": {url: ("up" if alive[url] else "down")
+                       for url in self.ring.shards},
+            "replicas": self.replicas,
+        }
+
+    async def _metrics_body(self) -> dict:
+        from repro.service.client import AsyncServiceClient
+
+        async def shard_metrics(url: str):
+            if not self._alive[url]:
+                return url, {"error": "down"}
+            try:
+                client = AsyncServiceClient(
+                    url, timeout=self.connect_timeout_s, retries=0,
+                )
+                return url, await asyncio.wait_for(
+                    client.metrics(), self.connect_timeout_s * 4
+                )
+            except Exception as exc:  # noqa: BLE001 - report, don't fail
+                return url, {"error": f"{type(exc).__name__}: {exc}"}
+
+        gathered = await asyncio.gather(
+            *(shard_metrics(url) for url in self.ring.shards)
+        )
+        shards = dict(gathered)
+        warm_hits = 0
+        warm_pushes = 0
+        for body in shards.values():
+            store = body.get("store") if isinstance(body, dict) else None
+            if isinstance(store, dict):
+                warm_hits += sum(
+                    ns.get("hits_remote", 0) for ns in store.values()
+                    if isinstance(ns, dict)
+                )
+            warming = body.get("warming") if isinstance(body, dict) else None
+            if isinstance(warming, dict):
+                warm_pushes += warming.get("pushes_sent", 0)
+        return {
+            "cluster": {
+                "router": self.metrics.snapshot(),
+                "ring": {
+                    "shards": list(self.ring.shards),
+                    "alive": dict(self._alive),
+                    "ownership": {
+                        url: round(frac, 4)
+                        for url, frac in self.ring.ownership().items()
+                    },
+                    "replicas": self.replicas,
+                    "vnodes": self.ring.vnodes,
+                },
+                "hot": self.hotkeys.snapshot(),
+                "warming": {
+                    "pushes_sent_total": warm_pushes,
+                    "hits_remote_total": warm_hits,
+                },
+            },
+            "shards": shards,
+        }

@@ -46,10 +46,16 @@ from repro.service.protocol import (
     ProtocolError,
     parse_advise_request,
     parse_cost_request,
+    parse_store_pull,
+    parse_store_push,
     parse_sweep_request,
     parse_tune_request,
 )
-from repro.service.server import BackgroundServer, ServiceServer
+from repro.service.server import (
+    WARM_PEERS_HEADER,
+    BackgroundServer,
+    ServiceServer,
+)
 
 __all__ = [
     "AsyncServiceClient",
@@ -72,9 +78,12 @@ __all__ = [
     "TUNE_STRATEGIES",
     "TUNE_TASKS",
     "Unavailable",
+    "WARM_PEERS_HEADER",
     "evaluate_point",
     "parse_advise_request",
     "parse_cost_request",
+    "parse_store_pull",
+    "parse_store_push",
     "parse_sweep_request",
     "parse_tune_request",
 ]

@@ -68,6 +68,9 @@ def _add_bench(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--batch-size", type=int, default=128)
     p.add_argument("--zipf-s", type=float, default=2.5,
                    help="workload skew (higher = hotter hot spots)")
+    p.add_argument("--seed", type=int, default=7,
+                   help="client RNG seed, recorded in the output rows "
+                        "(same seed = same request sequence)")
     p.add_argument("--out", default=None,
                    help="also write the report to this file")
     p.add_argument("--metrics-out", default=None,
@@ -125,7 +128,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         rows = run_comparison(
             duration=args.duration, clients=args.clients,
             batch_size=args.batch_size, zipf_s=args.zipf_s,
-            cache_dir=Path(tmp) / "cache",
+            seed=args.seed, cache_dir=Path(tmp) / "cache",
         )
     report = render_comparison(rows)
     print(report)

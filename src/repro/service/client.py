@@ -1,12 +1,15 @@
 """Clients for the cost service: sync (``http.client``) and asyncio.
 
 Both speak the same JSON protocol as the server and implement the same
-retry discipline: on ``429``/``503`` (and on connection failure) they
-back off and retry up to ``retries`` times, honouring the server's
+retry discipline: on ``429``/``503``, on connection failure
+(refused/reset/timeout), and on a garbage or truncated response body
+they back off and retry up to ``retries`` times, honouring the server's
 ``Retry-After`` header when present and falling back to capped
 exponential backoff otherwise.  Anything else non-2xx raises
 :class:`ServiceError` immediately with the server's structured error
-body attached.
+body attached.  The cluster router leans on this path: killing a shard
+mid-request surfaces as exactly these errors, and the retry (plus the
+router's reroute) is what keeps shard death invisible to callers.
 
 The sleep functions are injectable so retry behaviour is tested with a
 fake transport and zero real waiting (see ``tests/service``).
@@ -148,7 +151,13 @@ class ServiceClient:
         for attempt in range(self.retries + 1):
             try:
                 status, headers, body = self._once(method, path, payload)
-            except (ConnectionError, OSError, http.client.HTTPException) as exc:
+            except (ConnectionError, OSError, http.client.HTTPException,
+                    ValueError) as exc:
+                # ValueError: the peer died mid-response and we read a
+                # truncated/garbage JSON body.  The connection can no
+                # longer be trusted, so reconnect before retrying, same
+                # as for refused/reset.
+                self.close()
                 last_error = exc
                 if attempt < self.retries:
                     self._sleep(_retry_delay(None, attempt, self.backoff_s))

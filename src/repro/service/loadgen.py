@@ -143,6 +143,8 @@ def run_config(
         "max_batch_size": max_batch_size,
         "cache": cache,
         "clients": clients,
+        "seed": seed,
+        "zipf_s": zipf_s,
         "duration_s": elapsed,
         "requests": stats.ok,
         "errors": stats.errors,
@@ -165,6 +167,7 @@ def run_comparison(
     clients: int = 128,
     batch_size: int = 128,
     zipf_s: float = 2.5,
+    seed: int = 7,
     cache_dir=None,
     log=print,
 ) -> list[dict]:
@@ -174,9 +177,12 @@ def run_comparison(
     micro-batching win — the acceptance row.  ``batched+cache`` cold vs
     warm shows what the persistent result cache adds on top.
     ``cache_dir`` holds the persistent cache for the warm run; pass a
-    temp dir to keep benchmark runs hermetic.
+    temp dir to keep benchmark runs hermetic.  ``seed`` drives every
+    client's spec sampling and is recorded in each result row, so two
+    runs with the same seed replay the same request sequence.
     """
-    common = dict(duration=duration, clients=clients, zipf_s=zipf_s)
+    common = dict(duration=duration, clients=clients, zipf_s=zipf_s,
+                  seed=seed)
     rows = []
     for name, kwargs in (
         # batch=1, no coalescing: a naive server — one evaluation per

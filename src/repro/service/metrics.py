@@ -65,6 +65,16 @@ class ServiceMetrics:
         self.batched_unique = 0    # unique specs actually evaluated
         self.coalesced = 0         # requests answered by another's evaluation
         self.max_batch_size = 0
+        # Cluster cache warming (see docs/CLUSTER.md).  Sender side:
+        # framed entries pushed to replica peers; receiver side: pushes
+        # accepted/deduplicated/rejected by the envelope check.
+        self.warm_pushes_sent = 0
+        self.warm_push_failures = 0
+        self.warm_push_rejected = 0
+        self.warm_received = 0
+        self.warm_received_duplicates = 0
+        self.warm_received_rejected = 0
+        self.warm_pending = lambda: 0  # gauge, registered by the server
         self.latency = LatencyReservoir()
         # Gauges, registered by the server at startup.
         self.queue_depth = lambda: 0
@@ -129,6 +139,15 @@ class ServiceMetrics:
                 "hits": hits,
                 "misses": misses,
                 "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+            },
+            "warming": {
+                "pushes_sent": self.warm_pushes_sent,
+                "push_failures": self.warm_push_failures,
+                "push_rejected": self.warm_push_rejected,
+                "received_stored": self.warm_received,
+                "received_duplicates": self.warm_received_duplicates,
+                "received_rejected": self.warm_received_rejected,
+                "pending": self.warm_pending(),
             },
             "trace_store": dict(self.trace_counters()),
             "store": dict(self.store_counters()),

@@ -24,7 +24,12 @@ import threading
 from typing import Iterable, Mapping
 
 from repro.analysis.advisor import diagnose
-from repro.analysis.executor import SweepExecutor, SweepPoint
+from repro.analysis.executor import (
+    SweepExecutor,
+    SweepPoint,
+    describe_measure,
+    point_key,
+)
 from repro.analysis.terms import Params
 from repro.experiments.table1 import (
     conv_launch_report,
@@ -183,11 +188,50 @@ class CostOracle:
         except ConfigurationError as exc:
             raise ProtocolError(str(exc), code="invalid_param") from exc
         hits, misses = self.cache_counters()
+        body = report.to_dict()
+        # Served responses are deterministic functions of the request
+        # (the cluster relies on this for byte-identical relay); the
+        # search's wall-clock is operational detail, not an answer.
+        body.pop("search_seconds", None)
         return {
-            **report.to_dict(),
+            **body,
             "cache": {"hits": hits - before_hits,
                       "misses": misses - before_misses},
         }
+
+    # -- cluster support ---------------------------------------------------
+    def store_namespaces(self) -> dict:
+        """``{name: Namespace}`` of the stores this oracle writes into.
+
+        What a cluster shard exposes for warm push/pull; empty when
+        caching is off.
+        """
+        cache = self.executor.cache
+        if cache is None:
+            return {}
+        ns = cache.store_namespace
+        return {ns.name: ns}
+
+    def spec_store_keys(self, specs: Iterable[Mapping]) -> list[tuple[str, str]]:
+        """``(namespace, key)`` store identities for cost/sweep specs.
+
+        Exactly the keys :meth:`evaluate_batch` / :meth:`run_sweep`
+        read or write for these specs — same measure description, same
+        auto-backend stripping, same fingerprint — so a shard can name
+        the artifacts behind a request without re-evaluating anything.
+        """
+        cache = self.executor.cache
+        if cache is None:
+            return []
+        desc = describe_measure(evaluate_point)
+        return [
+            (
+                cache.namespace,
+                point_key(desc, self._strip_auto_backend(spec), mode=None,
+                          fingerprint=self.executor.fingerprint),
+            )
+            for spec in specs
+        ]
 
     # -- observability / lifecycle ----------------------------------------
     def cache_counters(self) -> tuple[int, int]:

@@ -48,11 +48,14 @@ __all__ = [
     "TUNE_MODES",
     "MAX_TUNE_BUDGET",
     "MAX_TUNE_LATENCIES",
+    "MAX_PUSH_ENTRY_BYTES",
     "ProtocolError",
     "parse_cost_request",
     "parse_sweep_request",
     "parse_advise_request",
     "parse_tune_request",
+    "parse_store_push",
+    "parse_store_pull",
     "spec_key",
 ]
 
@@ -405,3 +408,70 @@ def parse_tune_request(payload: Any) -> dict:
             shape[key] = _int_field(shape_body, key, low=low, high=high)
     spec["shape"] = shape
     return spec
+
+
+# ---------------------------------------------------------------------------
+# POST /v1/store/push · GET /v1/store/pull  (cluster cache warming)
+# ---------------------------------------------------------------------------
+
+#: Ceiling on one pushed entry's framed size, decoded.  Must leave room
+#: for base64 expansion (4/3) plus the JSON wrapper inside the server's
+#: 1 MiB body cap.
+MAX_PUSH_ENTRY_BYTES = 700_000
+
+_STORE_NAME_OK = frozenset("abcdefghijklmnopqrstuvwxyz0123456789-_")
+_STORE_KEY_OK = _STORE_NAME_OK | set("abcdef0123456789.")
+
+
+def _store_name_field(payload: Mapping, name: str, allowed: frozenset,
+                      max_len: int) -> str:
+    value = payload.get(name)
+    if not isinstance(value, str) or not value or len(value) > max_len \
+            or not set(value.lower()) <= allowed:
+        raise ProtocolError(
+            f"{name} must be a short [a-z0-9-_] string, got {value!r}",
+            field=name, code="invalid_param",
+        )
+    return value
+
+
+def parse_store_push(payload: Any) -> tuple[str, str, bytes]:
+    """Validate a ``POST /v1/store/push`` body into (namespace, key, blob).
+
+    ``blob`` is the base64-decoded framed store entry — the PR 6
+    integrity envelope plus payload, exactly as it sits on the sender's
+    disk.  Only the transport is validated here; the envelope itself
+    (magic, digest, size) is checked by
+    :meth:`repro.store.Namespace.put_framed` on the receiving store, so
+    an entry corrupted in flight is rejected, never stored.
+    """
+    import base64
+    import binascii
+
+    body = _require_object(payload, "store push")
+    namespace = _store_name_field(body, "namespace", frozenset(_STORE_NAME_OK),
+                                  64)
+    key = _store_name_field(body, "key", frozenset(_STORE_KEY_OK), 256)
+    entry = body.get("entry")
+    if not isinstance(entry, str) or not entry:
+        raise ProtocolError("entry must be a base64 string", field="entry",
+                            code="invalid_param")
+    try:
+        blob = base64.b64decode(entry.encode("ascii"), validate=True)
+    except (binascii.Error, ValueError, UnicodeEncodeError):
+        raise ProtocolError("entry is not valid base64", field="entry",
+                            code="invalid_param") from None
+    if len(blob) > MAX_PUSH_ENTRY_BYTES:
+        raise ProtocolError(
+            f"entry exceeds {MAX_PUSH_ENTRY_BYTES} bytes", field="entry",
+            code="body_too_large",
+        )
+    return namespace, key, blob
+
+
+def parse_store_pull(params: Mapping[str, str]) -> tuple[str, str]:
+    """Validate ``GET /v1/store/pull`` query params into (namespace, key)."""
+    namespace = _store_name_field(params, "namespace",
+                                  frozenset(_STORE_NAME_OK), 64)
+    key = _store_name_field(params, "key", frozenset(_STORE_KEY_OK), 256)
+    return namespace, key

@@ -11,6 +11,11 @@ Stdlib only: a small, strict HTTP/1.1 handler on ``asyncio.start_server``
                           executor (and its persistent cache)
 ``GET /v1/advise``        run one spec with full reporting and return
                           :func:`repro.analysis.advisor.diagnose` output
+``POST /v1/store/push``   accept a framed store entry from a cluster
+                          peer (cache warming); the PR 6 integrity
+                          envelope is re-verified before anything is
+                          stored
+``GET /v1/store/pull``    serve a framed store entry to a peer
 ``GET /healthz``          liveness + drain state
 ``GET /metrics``          JSON counters (requests, batch sizes, cache hit
                           rate, queue depth, latency quantiles)
@@ -27,7 +32,7 @@ drains the batcher (in-flight requests complete), then exits — the
 from __future__ import annotations
 
 import asyncio
-import json
+import base64
 import signal
 import threading
 from typing import Awaitable, Callable
@@ -38,44 +43,34 @@ from repro.service.batcher import MicroBatcher, Overloaded, RequestTimeout
 from repro.service.clock import Clock
 from repro.native import native_metrics_snapshot
 from repro.store import store_metrics_snapshot
+from repro.service.http import (
+    HttpError,
+    error_body,
+    read_request,
+    write_response,
+)
 from repro.service.metrics import ServiceMetrics
 from repro.service.oracle import CostOracle
 from repro.service.protocol import (
     ProtocolError,
     parse_advise_request,
     parse_cost_request,
+    parse_store_pull,
+    parse_store_push,
     parse_sweep_request,
     parse_tune_request,
     spec_key,
 )
 
-__all__ = ["ServiceServer", "BackgroundServer"]
+__all__ = ["ServiceServer", "BackgroundServer", "WARM_PEERS_HEADER"]
 
-_MAX_BODY_BYTES = 1 << 20
-_MAX_HEADER_LINES = 64
+#: Request header the cluster router sets on hot-key traffic: a
+#: comma-separated list of replica base URLs this shard should warm
+#: (push freshly touched store entries to) after answering.
+WARM_PEERS_HEADER = "x-repro-warm-peers"
 
-
-class _HttpError(Exception):
-    """Internal: abort the request with this status/body."""
-
-    def __init__(self, status: int, body: dict,
-                 headers: dict[str, str] | None = None) -> None:
-        super().__init__(body.get("error", {}).get("message", str(status)))
-        self.status = status
-        self.body = body
-        self.headers = headers or {}
-
-
-_REASONS = {
-    200: "OK", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 413: "Payload Too Large",
-    429: "Too Many Requests", 500: "Internal Server Error",
-    503: "Service Unavailable", 504: "Gateway Timeout",
-}
-
-
-def _error_body(code: str, message: str) -> dict:
-    return {"error": {"code": code, "message": message}}
+#: Bound on the remembered (peer, namespace, key) push dedupe set.
+_MAX_PUSH_MEMORY = 65536
 
 
 class ServiceServer:
@@ -133,6 +128,22 @@ class ServiceServer:
         self.metrics.trace_counters = lambda: default_store().stats_dict()
         self.metrics.store_counters = store_metrics_snapshot
         self.metrics.native_counters = native_metrics_snapshot
+        self.metrics.warm_pending = lambda: len(self._warm_tasks)
+        # Cluster warming: the stores this process can push/pull framed
+        # entries for, with recent-put tracking on so a computing shard
+        # knows what it just wrote (tune artifacts especially).  Oracle
+        # doubles in tests may not implement the cluster hooks.
+        spaces_of = getattr(self.oracle, "store_namespaces", dict)
+        self._warm_spaces: dict = dict(spaces_of())
+        try:
+            trace_ns = default_store().store_namespace
+            self._warm_spaces.setdefault(trace_ns.name, trace_ns)
+        except Exception:  # noqa: BLE001 - trace store is optional here
+            pass
+        for space in self._warm_spaces.values():
+            space.track_recent_puts()
+        self._warm_tasks: set[asyncio.Task] = set()
+        self._pushed: set[tuple[str, str, str]] = set()
         self._server: asyncio.Server | None = None
         self._shutdown_started = False
         self._stopped = asyncio.Event()
@@ -173,6 +184,8 @@ class ServiceServer:
             self._server.close()
             await self._server.wait_closed()
         await self.batcher.drain()
+        if self._warm_tasks:
+            await asyncio.gather(*self._warm_tasks, return_exceptions=True)
         self.oracle.close()
         self._stopped.set()
 
@@ -195,28 +208,28 @@ class ServiceServer:
         try:
             while True:
                 try:
-                    parsed = await self._read_request(reader)
-                except _HttpError as exc:
+                    parsed = await read_request(reader)
+                except HttpError as exc:
                     # Framing error: answer and drop the connection (we
                     # can no longer trust the stream position).
-                    await self._write_response(
+                    await write_response(
                         writer, exc.status, exc.body, exc.headers, False
                     )
                     break
                 if parsed is None:
                     break
-                method, target, http_version, headers, payload = parsed
+                method, target, http_version, headers, payload, _raw = parsed
                 path = urlsplit(target).path
                 started = self.clock.monotonic()
                 try:
                     status, body, extra_headers = await self._dispatch(
-                        method, target, payload
+                        method, target, payload, headers
                     )
-                except _HttpError as exc:
+                except HttpError as exc:
                     status, body, extra_headers = exc.status, exc.body, exc.headers
                 except Exception as exc:  # noqa: BLE001 - last resort
                     status = 500
-                    body = _error_body("internal", f"{type(exc).__name__}: {exc}")
+                    body = error_body("internal", f"{type(exc).__name__}: {exc}")
                     extra_headers = {}
                 self.metrics.observe_request(
                     path, status, self.clock.monotonic() - started
@@ -226,7 +239,7 @@ class ServiceServer:
                     and http_version != "HTTP/1.0"
                     and headers.get("connection", "").lower() != "close"
                 )
-                await self._write_response(
+                await write_response(
                     writer, status, body, extra_headers, keep_alive
                 )
                 if not keep_alive:
@@ -243,80 +256,9 @@ class ServiceServer:
             except (ConnectionError, OSError):
                 pass
 
-    async def _read_request(self, reader: asyncio.StreamReader):
-        """One request: ``(method, target, version, headers, payload)``.
-
-        Returns ``None`` on a cleanly closed connection; raises
-        :class:`_HttpError` on malformed framing.
-        """
-        try:
-            request_line = await reader.readline()
-        except (ConnectionError, OSError):
-            return None
-        if not request_line:
-            return None
-        try:
-            method, target, http_version = (
-                request_line.decode("ascii").split()
-            )
-        except ValueError:
-            raise _HttpError(
-                400, _error_body("bad_request_line",
-                                 "malformed HTTP request line")
-            ) from None
-        headers: dict[str, str] = {}
-        for _ in range(_MAX_HEADER_LINES):
-            line = await reader.readline()
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        else:
-            raise _HttpError(
-                400, _error_body("too_many_headers", "too many header lines")
-            )
-        length_raw = headers.get("content-length", "0")
-        try:
-            length = int(length_raw)
-        except ValueError:
-            raise _HttpError(
-                400, _error_body("bad_content_length",
-                                 f"invalid Content-Length {length_raw!r}")
-            ) from None
-        if length > _MAX_BODY_BYTES:
-            raise _HttpError(
-                413, _error_body("body_too_large",
-                                 f"body exceeds {_MAX_BODY_BYTES} bytes")
-            )
-        payload = None
-        if length:
-            raw = await reader.readexactly(length)
-            try:
-                payload = json.loads(raw)
-            except ValueError:
-                raise _HttpError(
-                    400, _error_body("bad_json", "body is not valid JSON")
-                ) from None
-        return method, target, http_version, headers, payload
-
-    async def _write_response(
-        self, writer: asyncio.StreamWriter, status: int, body: dict,
-        extra_headers: dict[str, str], keep_alive: bool,
-    ) -> None:
-        blob = json.dumps(body, sort_keys=True).encode()
-        lines = [
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-            "Content-Type: application/json",
-            f"Content-Length: {len(blob)}",
-            f"Connection: {'keep-alive' if keep_alive else 'close'}",
-        ]
-        lines.extend(f"{k}: {v}" for k, v in extra_headers.items())
-        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode() + blob)
-        await writer.drain()
-
     # -- routing -----------------------------------------------------------
     async def _dispatch(
-        self, method: str, target: str, payload
+        self, method: str, target: str, payload, headers: dict[str, str]
     ) -> tuple[int, dict, dict[str, str]]:
         split = urlsplit(target)
         path = split.path
@@ -325,6 +267,8 @@ class ServiceServer:
             ("POST", "/v1/sweep"): self._route_sweep,
             ("POST", "/v1/tune"): self._route_tune,
             ("GET", "/v1/advise"): self._route_advise,
+            ("POST", "/v1/store/push"): self._route_store_push,
+            ("GET", "/v1/store/pull"): self._route_store_pull,
             ("GET", "/healthz"): self._route_healthz,
             ("GET", "/metrics"): self._route_metrics,
         }
@@ -332,64 +276,195 @@ class ServiceServer:
         if handler is None:
             known_paths = {p for _, p in routes}
             if path in known_paths:
-                raise _HttpError(
-                    405, _error_body("method_not_allowed",
-                                     f"{method} not supported on {path}")
+                raise HttpError(
+                    405, error_body("method_not_allowed",
+                                    f"{method} not supported on {path}")
                 )
-            raise _HttpError(404, _error_body("not_found", f"no route {path}"))
+            raise HttpError(404, error_body("not_found", f"no route {path}"))
         query = dict(parse_qsl(split.query))
         try:
-            body = await handler(payload, query)
+            body = await handler(payload, query, headers)
         except ProtocolError as exc:
-            raise _HttpError(400, exc.body()) from None
+            raise HttpError(400, exc.body()) from None
         except Overloaded as exc:
             status = 503 if exc.draining else 429
             code = "draining" if exc.draining else "overloaded"
-            raise _HttpError(
-                status, _error_body(code, str(exc)),
+            raise HttpError(
+                status, error_body(code, str(exc)),
                 {"Retry-After": str(max(1, round(exc.retry_after)))},
             ) from None
         except RequestTimeout as exc:
             self.metrics  # timeouts counted by the batcher
-            raise _HttpError(504, _error_body("timeout", str(exc))) from None
+            raise HttpError(504, error_body("timeout", str(exc))) from None
         return 200, body, {}
 
-    async def _route_cost(self, payload, query) -> dict:
+    async def _route_cost(self, payload, query, headers) -> dict:
         spec = parse_cost_request(payload)
         key = spec_key(spec) if self.coalesce else None
-        return await self.batcher.submit(spec, key=key)
+        body = await self.batcher.submit(spec, key=key)
+        self._maybe_warm_push(headers, self._spec_keys([spec]))
+        return body
 
-    async def _route_sweep(self, payload, query) -> dict:
+    async def _route_sweep(self, payload, query, headers) -> dict:
         meta, specs = parse_sweep_request(payload)
         if self.batcher.draining:
             raise Overloaded(self.batcher.retry_after(), draining=True)
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(
+        body = await loop.run_in_executor(
             None, self.oracle.run_sweep, meta, specs
         )
+        self._maybe_warm_push(headers, self._spec_keys(specs))
+        return body
 
-    async def _route_tune(self, payload, query) -> dict:
+    async def _route_tune(self, payload, query, headers) -> dict:
         spec = parse_tune_request(payload)
         if self.batcher.draining:
             raise Overloaded(self.batcher.retry_after(), draining=True)
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(None, self.oracle.tune_spec, spec)
+        body = await loop.run_in_executor(None, self.oracle.tune_spec, spec)
+        # Tune artifact keys aren't derivable from the request alone;
+        # the recent-put log drained by _maybe_warm_push covers them.
+        self._maybe_warm_push(headers, [])
+        return body
 
-    async def _route_advise(self, payload, query) -> dict:
+    async def _route_advise(self, payload, query, headers) -> dict:
         spec = parse_advise_request(query)
         if self.batcher.draining:
             raise Overloaded(self.batcher.retry_after(), draining=True)
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(None, self.oracle.advise, spec)
 
-    async def _route_healthz(self, payload, query) -> dict:
+    async def _route_store_push(self, payload, query, headers) -> dict:
+        namespace, key, blob = parse_store_push(payload)
+        space = self._warm_spaces.get(namespace)
+        if space is None:
+            raise ProtocolError(
+                f"namespace {namespace!r} is not served here",
+                field="namespace", code="unknown_namespace",
+            )
+        loop = asyncio.get_running_loop()
+        result = await loop.run_in_executor(
+            None, lambda: space.put_framed(key, blob)
+        )
+        if result == "rejected":
+            self.metrics.warm_received_rejected += 1
+            raise HttpError(400, error_body(
+                "integrity",
+                f"pushed entry for {namespace}/{key} failed the envelope check",
+            ))
+        if result == "duplicate":
+            self.metrics.warm_received_duplicates += 1
+        else:
+            self.metrics.warm_received += 1
+        return {"namespace": namespace, "key": key, "result": result}
+
+    async def _route_store_pull(self, payload, query, headers) -> dict:
+        namespace, key = parse_store_pull(query)
+        space = self._warm_spaces.get(namespace)
+        if space is None:
+            raise ProtocolError(
+                f"namespace {namespace!r} is not served here",
+                field="namespace", code="unknown_namespace",
+            )
+        loop = asyncio.get_running_loop()
+        blob = await loop.run_in_executor(None, space.get_framed, key)
+        if blob is None:
+            raise HttpError(404, error_body(
+                "not_found", f"no entry {namespace}/{key}"
+            ))
+        return {
+            "namespace": namespace,
+            "key": key,
+            "entry": base64.b64encode(blob).decode("ascii"),
+        }
+
+    async def _route_healthz(self, payload, query, headers) -> dict:
         return {
             "status": "draining" if self._shutdown_started else "ok",
             "pending": self.batcher.pending,
         }
 
-    async def _route_metrics(self, payload, query) -> dict:
+    async def _route_metrics(self, payload, query, headers) -> dict:
         return self.metrics.snapshot()
+
+    # -- cluster cache warming ---------------------------------------------
+    def _spec_keys(self, specs: list) -> list[tuple[str, str]]:
+        keys_of = getattr(self.oracle, "spec_store_keys", None)
+        return keys_of(specs) if keys_of is not None else []
+
+    def _maybe_warm_push(
+        self, headers: dict[str, str],
+        explicit: list[tuple[str, str]],
+    ) -> None:
+        """Push store entries behind this request to replica peers.
+
+        Runs only when the router marked the request hot by naming
+        peers in :data:`WARM_PEERS_HEADER`.  What gets pushed: the
+        request's own store keys (``explicit`` — known even on a cache
+        hit, which matters right after promotion) plus everything the
+        process wrote since the last drain (tune/trace artifacts whose
+        keys only the executor knows).  Fire-and-forget: failures are
+        counted, never surfaced to the client.
+        """
+        raw = headers.get(WARM_PEERS_HEADER, "")
+        peers = [p.strip() for p in raw.split(",") if p.strip()]
+        entries = list(explicit)
+        for name, space in self._warm_spaces.items():
+            entries.extend((name, key) for key in space.drain_recent_puts())
+        if not peers or not entries:
+            return
+        batch = [
+            (peer, name, key)
+            for peer in peers
+            for name, key in entries
+            if (peer, name, key) not in self._pushed
+        ]
+        if not batch:
+            return
+        if len(self._pushed) + len(batch) > _MAX_PUSH_MEMORY:
+            self._pushed.clear()
+        self._pushed.update(batch)
+        task = asyncio.ensure_future(self._push_entries(batch))
+        self._warm_tasks.add(task)
+        task.add_done_callback(self._warm_tasks.discard)
+
+    async def _push_entries(
+        self, batch: list[tuple[str, str, str]]
+    ) -> None:
+        from repro.service.client import ServiceError, Unavailable
+
+        loop = asyncio.get_running_loop()
+        framed: dict[tuple[str, str], bytes] = {}
+        for peer, name, key in batch:
+            blob = framed.get((name, key))
+            if blob is None:
+                space = self._warm_spaces[name]
+                blob = await loop.run_in_executor(None, space.get_framed, key)
+                framed[(name, key)] = blob = blob or b""
+            if not blob:
+                continue
+            body = {
+                "namespace": name,
+                "key": key,
+                "entry": base64.b64encode(blob).decode("ascii"),
+            }
+            try:
+                await self._warm_client(peer)._request(
+                    "POST", "/v1/store/push", body
+                )
+                self.metrics.warm_pushes_sent += 1
+            except Unavailable:
+                self.metrics.warm_push_failures += 1
+            except ServiceError:
+                self.metrics.warm_push_rejected += 1
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                self.metrics.warm_push_failures += 1
+
+    def _warm_client(self, peer: str):
+        from repro.service.client import AsyncServiceClient
+
+        return AsyncServiceClient(peer, timeout=10.0, retries=1,
+                                  backoff_s=0.05)
 
 
 class BackgroundServer:

@@ -30,6 +30,8 @@ class NamespaceCounters:
         "bytes_written", "bytes_read",
         "evictions_memory", "evictions_disk",
         "integrity_failures", "quarantined", "io_errors",
+        "remote_puts", "remote_rejected", "remote_duplicates",
+        "hits_remote",
     )
 
     def __init__(self) -> None:
@@ -66,6 +68,10 @@ class NamespaceCounters:
             "integrity_failures": self.integrity_failures,
             "quarantined": self.quarantined,
             "io_errors": self.io_errors,
+            "remote_puts": self.remote_puts,
+            "remote_rejected": self.remote_rejected,
+            "remote_duplicates": self.remote_duplicates,
+            "hits_remote": self.hits_remote,
         }
 
 

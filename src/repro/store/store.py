@@ -31,8 +31,11 @@ root, one key scheme, and one metrics surface:
   ``/metrics`` endpoint snapshots.
 
 The layer is deliberately network-serializable: an entry is one header
-line plus payload bytes, so a future sharded cost-oracle cluster can
-ship entries between workers verbatim.
+line plus payload bytes, and the sharded cost-oracle cluster
+(:mod:`repro.cluster`) ships exactly those framed bytes between worker
+shards — :meth:`Namespace.get_framed` reads an entry in wire form,
+:meth:`Namespace.put_framed` verifies the envelope before storing, so a
+corrupted-in-flight push is rejected rather than cached.
 """
 
 from __future__ import annotations
@@ -41,7 +44,7 @@ import hashlib
 import json
 import os
 import re
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator
@@ -143,6 +146,11 @@ class Namespace:
         self._lru: "OrderedDict[str, tuple[Any, int]]" = OrderedDict()
         self._memory_bytes = 0
         self._pinned: set[str] = set()
+        # Cluster support: keys that arrived via a remote warm push (so
+        # later lookups can be attributed to warming) and a bounded log
+        # of locally-written keys (what a shard offers its peers).
+        self._remote_keys: set[str] = set()
+        self._recent_puts: "deque[str] | None" = None
 
     # -- bookkeeping --------------------------------------------------------
     def _count(self, counter: str, amount: int = 1) -> None:
@@ -283,6 +291,9 @@ class Namespace:
             self._lru.move_to_end(key)
             self.counters.hits_memory += 1
             self._shared.hits_memory += 1
+            if self._remote_keys and key in self._remote_keys:
+                self.counters.hits_remote += 1
+                self._shared.hits_remote += 1
             return found[0]
         if self.persist:
             path = self.path_of(key)
@@ -304,6 +315,8 @@ class Namespace:
                     else:
                         self._count("hits_disk")
                         self._count("bytes_read", len(payload))
+                        if self._remote_keys and key in self._remote_keys:
+                            self._count("hits_remote")
                         self._remember(key, obj, len(payload))
                         return obj
         self._count("misses")
@@ -336,6 +349,8 @@ class Namespace:
             payload = None
         self._count("puts")
         self._remember(key, obj, len(payload) if payload is not None else 0)
+        if self._recent_puts is not None:
+            self._recent_puts.append(key)
         if not self.persist:
             return True
         try:
@@ -375,6 +390,102 @@ class Namespace:
             except OSError:  # pragma: no cover - fs race
                 self._count("io_errors")
         return existed
+
+    # -- framed transfer (cluster warm push / pull) --------------------------
+    def get_framed(self, key: str) -> bytes | None:
+        """One entry as its framed wire bytes (envelope + payload).
+
+        This is the cluster transfer format: the exact blob another
+        process can verify and store with :meth:`put_framed`.  Disk
+        entries ship verbatim after an integrity check (corrupt ones
+        quarantine and return ``None``); memory-only entries are framed
+        on the fly.  Counter-neutral apart from integrity failures.
+        """
+        _check_key(key)
+        if self.persist:
+            path = self.path_of(key)
+            try:
+                blob = path.read_bytes()
+            except FileNotFoundError:
+                blob = None
+            except OSError:
+                self._count("io_errors")
+                blob = None
+            if blob is not None:
+                if self._unframe(key, blob) is None:
+                    self._quarantine(path)
+                else:
+                    return blob
+        found = self._lru.get(key)
+        if found is None:
+            return None
+        try:
+            payload = self.codec.encode(found[0])
+        except Exception:  # noqa: BLE001 - unencodable artifact
+            return None
+        return self._frame(key, payload)
+
+    def put_framed(self, key: str, blob: bytes, *,
+                   overwrite: bool = False) -> str:
+        """Store a framed entry received over the wire.
+
+        The envelope is verified *before* anything is written — magic,
+        version, namespace, key, codec, payload digest and size must all
+        match, and the payload must decode — so a corrupted-in-flight
+        push is rejected, never stored.  Returns ``"stored"``,
+        ``"duplicate"`` (already present and ``overwrite`` unset), or
+        ``"rejected"``.
+        """
+        _check_key(key)
+        payload = self._unframe(key, bytes(blob))
+        if payload is None:
+            self._count("remote_rejected")
+            return "rejected"
+        try:
+            obj = self.codec.decode(payload)
+        except Exception:  # noqa: BLE001 - codec-level corruption
+            self._count("remote_rejected")
+            return "rejected"
+        if not overwrite and self.contains(key):
+            self._count("remote_duplicates")
+            return "duplicate"
+        self._count("remote_puts")
+        self._remember(key, obj, len(payload))
+        self._remote_keys.add(key)
+        while len(self._remote_keys) > 8192:  # bounded attribution set
+            self._remote_keys.pop()
+        if not self.persist:
+            return "stored"
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            tmp = self.directory / f".tmp-{os.getpid()}-{key}"
+            tmp.write_bytes(bytes(blob))
+            os.replace(tmp, self.path_of(key))
+        except OSError:
+            self._count("io_errors")
+            return "stored"
+        self._count("bytes_written", len(payload))
+        self._evict_disk()
+        return "stored"
+
+    def track_recent_puts(self, capacity: int = 512) -> None:
+        """Start logging locally-written keys (for cluster warm push).
+
+        Only genuine local :meth:`put` calls are logged — entries that
+        arrived via :meth:`put_framed` are not, so shards never re-push
+        what a peer just pushed to them.
+        """
+        if self._recent_puts is None or self._recent_puts.maxlen != capacity:
+            self._recent_puts = deque(self._recent_puts or (),
+                                      maxlen=capacity)
+
+    def drain_recent_puts(self) -> list[str]:
+        """Keys written locally since the last drain (oldest first)."""
+        if not self._recent_puts:
+            return []
+        out, self._recent_puts = (list(self._recent_puts),
+                                  deque(maxlen=self._recent_puts.maxlen))
+        return out
 
     # -- pinning ------------------------------------------------------------
     def pin(self, key: str) -> None:

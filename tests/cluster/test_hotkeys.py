@@ -1,0 +1,100 @@
+"""Hot-key sketch: promotion, demotion, bounds — deterministic time."""
+
+from repro.cluster.hotkeys import HotKeyTracker
+
+
+class FakeClock:
+    """Minimal injectable clock (monotonic only, manual advance)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def monotonic(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_tracker(**kwargs):
+    clock = FakeClock()
+    defaults = dict(window_s=10.0, buckets=10, top_k=2, min_count=3,
+                    clock=clock)
+    defaults.update(kwargs)
+    return HotKeyTracker(**defaults), clock
+
+
+class TestPromotion:
+    def test_cold_until_min_count(self):
+        tracker, _ = make_tracker(min_count=3)
+        tracker.observe("k")
+        tracker.observe("k")
+        assert tracker.hot_keys() == []
+        tracker.observe("k")
+        assert tracker.hot_keys() == ["k"]
+
+    def test_top_k_caps_the_promoted_set(self):
+        tracker, _ = make_tracker(top_k=2, min_count=1)
+        for key, count in (("a", 10), ("b", 5), ("c", 3)):
+            for _ in range(count):
+                tracker.observe(key)
+        assert tracker.hot_keys() == ["a", "b"]
+        assert tracker.is_hot("a")
+        assert not tracker.is_hot("c")
+
+    def test_hottest_first_with_deterministic_ties(self):
+        tracker, _ = make_tracker(top_k=3, min_count=1)
+        for key in ("b", "a"):
+            for _ in range(4):
+                tracker.observe(key)
+        assert tracker.hot_keys() == ["a", "b"]  # tie → key order
+
+
+class TestWindow:
+    def test_old_traffic_expires(self):
+        tracker, clock = make_tracker(window_s=10.0, buckets=10, min_count=3)
+        for _ in range(5):
+            tracker.observe("k")
+        assert tracker.is_hot("k")
+        clock.advance(11.0)
+        assert tracker.hot_keys() == []
+        assert tracker.counts().get("k", 0) == 0
+
+    def test_window_slides_rather_than_resets(self):
+        tracker, clock = make_tracker(window_s=10.0, buckets=10, min_count=4)
+        for _ in range(3):
+            tracker.observe("k")
+        clock.advance(5.0)
+        tracker.observe("k")  # 3 old + 1 recent = 4 within the window
+        assert tracker.is_hot("k")
+        clock.advance(6.0)  # first burst (t=0) now expired; only 1 left
+        assert not tracker.is_hot("k")
+        assert tracker.counts()["k"] == 1
+
+    def test_long_idle_clears_everything(self):
+        tracker, clock = make_tracker()
+        for _ in range(5):
+            tracker.observe("k")
+        clock.advance(1e6)
+        tracker.observe("other")
+        assert tracker.counts() == {"other": 1}
+
+
+class TestBounds:
+    def test_bucket_key_cap_drops_new_cold_keys(self):
+        tracker, _ = make_tracker(max_keys_per_bucket=2, min_count=1)
+        tracker.observe("a")
+        tracker.observe("b")
+        tracker.observe("c")  # bucket full: dropped
+        tracker.observe("a")  # existing key: still counted
+        counts = tracker.counts()
+        assert counts["a"] == 2
+        assert "c" not in counts
+
+    def test_snapshot_shape(self):
+        tracker, _ = make_tracker(min_count=1)
+        tracker.observe("k")
+        snap = tracker.snapshot()
+        assert snap["tracked_keys"] == 1
+        assert snap["hot_keys"] == {"k": 1}
+        assert snap["window_s"] == 10.0

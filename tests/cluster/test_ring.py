@@ -1,0 +1,82 @@
+"""Consistent-hash ring: determinism, succession, stability."""
+
+import pytest
+
+from repro.cluster.ring import HashRing, ring_position
+
+SHARDS = ["http://127.0.0.1:9001", "http://127.0.0.1:9002",
+          "http://127.0.0.1:9003"]
+
+
+class TestRingBasics:
+    def test_position_is_deterministic(self):
+        assert ring_position("key") == ring_position("key")
+        assert ring_position("key") != ring_position("yek")
+
+    def test_same_inputs_same_ring(self):
+        a, b = HashRing(SHARDS), HashRing(SHARDS)
+        for key in ("k1", "k2", "spec:abc", ""):
+            assert a.owners(key, 3) == b.owners(key, 3)
+
+    def test_owners_are_distinct_and_bounded(self):
+        ring = HashRing(SHARDS)
+        owners = ring.owners("some-key", 3)
+        assert len(owners) == 3
+        assert len(set(owners)) == 3
+        assert set(owners) == set(SHARDS)
+        # Asking for more owners than shards returns every shard once.
+        assert len(ring.owners("some-key", 10)) == 3
+
+    def test_primary_is_first_of_succession(self):
+        ring = HashRing(SHARDS)
+        for key in (f"key-{i}" for i in range(50)):
+            assert ring.owners(key, 3)[0] == ring.owners(key, 1)[0]
+
+    def test_empty_and_bad_args_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+        with pytest.raises(ValueError):
+            HashRing(SHARDS, vnodes=0)
+
+    def test_duplicate_shards_collapse(self):
+        ring = HashRing([SHARDS[0], SHARDS[0], SHARDS[1]])
+        assert ring.shards == [SHARDS[0], SHARDS[1]]
+
+
+class TestStability:
+    def test_dead_shard_only_remaps_its_own_keys(self):
+        """Losing one shard must not move keys owned by the others."""
+        ring = HashRing(SHARDS)
+        keys = [f"spec:{i}" for i in range(500)]
+        before = {key: ring.owners(key, 1)[0] for key in keys}
+        dead = SHARDS[1]
+        after = {
+            key: ring.owners(key, 1, alive=lambda s: s != dead)[0]
+            for key in keys
+        }
+        for key in keys:
+            if before[key] != dead:
+                assert after[key] == before[key]
+            else:
+                assert after[key] != dead
+                # The inheriting shard is the key's ring successor.
+                assert after[key] == ring.owners(key, 2)[1]
+
+    def test_alive_filter_can_empty_the_ring(self):
+        ring = HashRing(SHARDS)
+        assert ring.owners("key", 1, alive=lambda s: False) == []
+
+    def test_distribution_is_roughly_even(self):
+        ring = HashRing(SHARDS, vnodes=128)
+        counts = {shard: 0 for shard in SHARDS}
+        for i in range(3000):
+            counts[ring.owners(f"key-{i}")[0]] += 1
+        for count in counts.values():
+            assert 500 < count < 1800  # loose: no shard starves or hogs
+
+    def test_ownership_fractions_sum_to_one(self):
+        ring = HashRing(SHARDS)
+        own = ring.ownership()
+        assert set(own) == set(SHARDS)
+        assert abs(sum(own.values()) - 1.0) < 1e-9
+        assert all(frac > 0 for frac in own.values())

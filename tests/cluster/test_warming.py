@@ -1,0 +1,181 @@
+"""Hot-key replication and cross-shard cache warming, end to end, plus
+the ``/v1/store/push``/``pull`` transfer protocol on a single shard."""
+
+import hashlib
+import time
+
+import pytest
+
+from repro.cluster.supervisor import BackgroundCluster
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import BackgroundServer
+from repro.store import ArtifactStore
+
+from tests.cluster.util import poll_until
+
+HOT_PARAMS = {"n": 4096, "p": 64}
+
+
+def _key(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+class TestWarmingEndToEnd:
+    def test_hot_key_is_replicated_and_served_remotely(self, tmp_path):
+        with BackgroundCluster(
+            num_shards=3, cache_root=tmp_path, replicas=2,
+            hot_min_count=2, hot_top_k=4, hot_window_s=2.0,
+        ) as ring:
+            client = ServiceClient(ring.url)
+
+            def hammer(times: int) -> None:
+                for _ in range(times):
+                    client.cost("sum", "hmm", HOT_PARAMS)
+                    time.sleep(0.02)
+
+            hammer(20)  # promote + give the router a hot-set refresh
+
+            def replicated():
+                body = client.metrics()
+                warming = body["cluster"]["warming"]
+                router = body["cluster"]["router"]
+                return (warming["pushes_sent_total"] >= 1
+                        and router["warm_headers_set"] >= 1
+                        and body)
+
+            body = poll_until(replicated, timeout_s=15.0)
+            assert body, "hot key never replicated"
+
+            # A replica now holds the artifact: some shard reports a
+            # warm-received entry…
+            received = sum(
+                shard["warming"]["received_stored"]
+                for shard in body["shards"].values()
+            )
+            assert received >= 1
+
+            # …and continued traffic round-robins onto it, serving the
+            # answer from the warmed (remote-pushed) entry.
+            def served_remotely():
+                hammer(5)
+                warming = client.metrics()["cluster"]["warming"]
+                return warming["hits_remote_total"] >= 1
+
+            assert poll_until(served_remotely, timeout_s=15.0), \
+                "no request was ever served from a warmed replica"
+
+            router = client.metrics()["cluster"]["router"]
+            assert router["hot_spread"] >= 1  # traffic actually spread
+
+    def test_cold_keys_are_not_replicated(self, tmp_path):
+        with BackgroundCluster(
+            num_shards=3, cache_root=tmp_path, replicas=2,
+            hot_min_count=1000, hot_window_s=2.0,
+        ) as ring:
+            client = ServiceClient(ring.url)
+            for n in (1024, 2048, 4096):
+                client.cost("sum", "hmm", {"n": n, "p": 64})
+            body = client.metrics()
+            assert body["cluster"]["warming"]["pushes_sent_total"] == 0
+            assert body["cluster"]["router"]["warm_headers_set"] == 0
+
+
+@pytest.fixture()
+def shard(tmp_path):
+    with BackgroundServer(cache=True, cache_dir=tmp_path / "cache") as srv:
+        with ServiceClient(srv.url) as client:
+            yield client
+
+
+@pytest.fixture()
+def local_ns(tmp_path):
+    """A namespace named like the shard's result cache, in a separate
+    directory — the 'sending peer' side of a push."""
+    return ArtifactStore(tmp_path / "peer").namespace(
+        "sweep", "json", persist=True
+    )
+
+
+def _push_body(ns, key):
+    import base64
+
+    blob = ns.get_framed(key)
+    assert blob is not None
+    return blob, {
+        "namespace": "sweep", "key": key,
+        "entry": base64.b64encode(blob).decode("ascii"),
+    }
+
+
+class TestPushPullProtocol:
+    def test_push_then_pull_round_trips_the_exact_bytes(self, shard,
+                                                        local_ns):
+        import base64
+
+        key = _key("round-trip")
+        local_ns.put(key, {"key": key, "cycles": 42, "extra": {}})
+        blob, body = _push_body(local_ns, key)
+
+        reply = shard._request("POST", "/v1/store/push", body)
+        assert reply["result"] == "stored"
+        pulled = shard._request(
+            "GET", f"/v1/store/pull?namespace=sweep&key={key}"
+        )
+        assert base64.b64decode(pulled["entry"]) == blob
+
+        # Pushing the same entry again is a duplicate, not an error.
+        assert shard._request(
+            "POST", "/v1/store/push", body
+        )["result"] == "duplicate"
+
+        warming = shard.metrics()["warming"]
+        assert warming["received_stored"] == 1
+        assert warming["received_duplicates"] == 1
+
+    def test_corrupted_in_flight_push_is_rejected_not_stored(self, shard,
+                                                             local_ns):
+        import base64
+
+        key = _key("corrupted")
+        local_ns.put(key, {"key": key, "cycles": 7, "extra": {}})
+        blob, _ = _push_body(local_ns, key)
+        # Flip one payload byte: digest check must fail on the receiver.
+        corrupted = blob[:-2] + bytes([blob[-2] ^ 1]) + blob[-1:]
+        body = {"namespace": "sweep", "key": key,
+                "entry": base64.b64encode(corrupted).decode("ascii")}
+
+        with pytest.raises(ServiceError) as err:
+            shard._request("POST", "/v1/store/push", body)
+        assert err.value.status == 400
+        assert err.value.code == "integrity"
+
+        # Nothing was stored: the pull misses.
+        with pytest.raises(ServiceError) as err:
+            shard._request(
+                "GET", f"/v1/store/pull?namespace=sweep&key={key}"
+            )
+        assert err.value.status == 404
+        assert shard.metrics()["warming"]["received_rejected"] == 1
+
+    def test_unknown_namespace_is_400(self, shard, local_ns):
+        key = _key("nowhere")
+        local_ns.put(key, {"key": key, "cycles": 1, "extra": {}})
+        _, body = _push_body(local_ns, key)
+        body["namespace"] = "sweep"  # frame says sweep…
+        with pytest.raises(ServiceError) as err:
+            shard._request("POST", "/v1/store/push",
+                           {**body, "namespace": "bogus"})
+        assert err.value.status == 400
+        assert err.value.code == "unknown_namespace"
+        with pytest.raises(ServiceError) as err:
+            shard._request(
+                "GET", f"/v1/store/pull?namespace=bogus&key={key}"
+            )
+        assert err.value.code == "unknown_namespace"
+
+    def test_pull_unknown_key_is_404(self, shard):
+        with pytest.raises(ServiceError) as err:
+            shard._request(
+                "GET", "/v1/store/pull?namespace=sweep&key=" + "0" * 64
+            )
+        assert err.value.status == 404

@@ -68,13 +68,46 @@ class TestSyncRetries:
         assert client.metrics() == OK_BODY
         assert sleeps == [0.25, 0.5]
 
-    def test_connection_error_retried(self):
+    def test_connection_refused_retried(self):
         client, _, sleeps = make_client([
             ConnectionRefusedError("nope"),
             (200, {}, OK_BODY),
         ])
         assert client.healthz() == OK_BODY
         assert len(sleeps) == 1
+
+    def test_connection_reset_retried_with_backoff(self):
+        # A shard killed mid-request surfaces as ECONNRESET; the client
+        # must reconnect and retry with the same backoff as a 429.
+        client, transport, sleeps = make_client([
+            ConnectionResetError("peer died"),
+            ConnectionResetError("still dying"),
+            (200, {}, OK_BODY),
+        ])
+        assert client.healthz() == OK_BODY
+        assert sleeps == [0.25, 0.5]
+        assert len(transport.calls) == 3
+
+    def test_truncated_body_retried(self):
+        # A peer that dies while writing leaves a garbage/truncated JSON
+        # body; json.loads raises ValueError inside the transport and
+        # the request must be retried, not crash the caller.
+        client, transport, sleeps = make_client([
+            ValueError("Expecting value: line 1 column 1 (char 0)"),
+            (200, {}, OK_BODY),
+        ])
+        assert client.healthz() == OK_BODY
+        assert len(sleeps) == 1
+        assert len(transport.calls) == 2
+
+    def test_truncated_body_exhausts_to_unavailable(self):
+        client, transport, _ = make_client(
+            [ValueError("bad json")] * 2, retries=1,
+        )
+        with pytest.raises(Unavailable) as err:
+            client.healthz()
+        assert "2 attempts" in str(err.value)
+        assert len(transport.calls) == 2
 
     def test_exhausted_retries_raise_unavailable(self):
         client, transport, _ = make_client(
@@ -151,3 +184,12 @@ class TestAsyncRetries:
         ])
         assert asyncio.run(client.healthz()) == OK_BODY
         assert len(sleeps) == 1
+
+    def test_connection_reset_retried(self):
+        client, transport, sleeps = self._make([
+            ConnectionResetError("peer died"),
+            (200, {}, OK_BODY),
+        ])
+        assert asyncio.run(client.healthz()) == OK_BODY
+        assert len(sleeps) == 1
+        assert len(transport.calls) == 2

@@ -107,8 +107,36 @@ def render(records: list[dict]) -> str:
                 [[_fmt_value(r.get(h, "")) for h in headers]
                  for r in rows],
             )))
+        shard_table = _per_shard_table(record)
+        if shard_table:
+            lines.append("   per-shard serving (hit rates from the warm "
+                         "cluster run):")
+            lines.append(_indent(shard_table))
         lines.append("")
     return "\n".join(lines).rstrip() + "\n"
+
+
+def _per_shard_table(record: dict) -> str | None:
+    """Render ``metrics.per_shard`` (cluster benchmarks) as a table."""
+    per_shard = record.get("metrics", {}).get("per_shard")
+    if not isinstance(per_shard, dict) or not per_shard:
+        return None
+    headers = ["shard", "state", "forwarded", "hit%", "warm_rx",
+               "remote_hits"]
+    rows = []
+    for url in sorted(per_shard):
+        shard = per_shard[url]
+        if not isinstance(shard, dict):
+            continue
+        rows.append([
+            url,
+            str(shard.get("state", "?")),
+            _fmt_value(shard.get("forwarded", 0)),
+            f"{100 * shard.get('cache_hit_rate', 0.0):.0f}",
+            _fmt_value(shard.get("warm_received", 0)),
+            _fmt_value(shard.get("hits_remote", 0)),
+        ])
+    return _table(headers, rows) if rows else None
 
 
 def _indent(text: str, prefix: str = "   ") -> str:

@@ -1,0 +1,186 @@
+#!/usr/bin/env python
+"""CI smoke for the sharded cost-oracle cluster.
+
+Boots one single-process ``repro.service`` server and a 3-shard
+subprocess ring behind the consistent-hash router, then sends the same
+mixed workload (cost, sweep, tune, advise, plus malformed requests) to
+both over bare sockets and asserts every response is **byte-identical**
+— status line and body.  Halfway through, one shard is SIGKILLed; the
+remaining requests (fresh and repeated cost/advise specs) must still
+come back byte-identical with zero failures.  Finally the router's
+``/metrics`` must show the cluster counters: ring ownership, the dead
+shard marked down, reroutes/shard-failure counts, and the warming
+section.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/cluster_smoke.py
+
+Exits non-zero on the first divergence.  This is the executable form of
+the subsystem's byte-identity + availability guarantees; the pytest
+suite (``tests/cluster``) covers the same ground in finer grain.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import sys
+import tempfile
+import time
+from pathlib import Path
+from urllib.parse import urlsplit
+
+from repro.cluster import BackgroundRouter, ClusterSupervisor
+from repro.service.client import ServiceClient
+from repro.service.server import BackgroundServer
+
+#: Spec families are disjoint across endpoints: sweep/tune bodies carry
+#: per-request cache {hits, misses} deltas, so both sides must see the
+#: same (cold) cache history for those payloads.
+COST_SPECS = [
+    {"kernel": "sum", "model": "hmm", "n": 1024, "p": 64},
+    {"kernel": "sum", "model": "dmm", "n": 4096, "p": 128, "w": 32},
+    {"kernel": "convolution", "model": "hmm", "n": 2048, "k": 16, "p": 256},
+    {"kernel": "sum", "model": "umm", "n": 8192, "p": 64, "l": 32},
+]
+SWEEP_PAYLOAD = {
+    "kernel": "sum", "model": "hmm", "p": 64,
+    "axes": {"n": [512, 1024], "l": [16, 64]},
+}
+TUNE_PAYLOAD = {
+    "task": "transpose", "strategy": "greedy", "budget": 6,
+    "shape": {"w": 4, "d": 2, "m": 8}, "latencies": [3],
+}
+ADVISE_TARGET = "/v1/advise?kernel=sum&model=hmm&n=4096&p=64"
+BAD_REQUESTS = [
+    ("POST", "/v1/cost", {"kernel": "sum", "model": "hmm", "n": 1024,
+                          "p": 64, "w": 5}),
+    ("POST", "/v1/cost", {"kernel": "sift", "model": "hmm", "n": 1024}),
+    ("GET", "/v1/nope", None),
+]
+#: Cost/advise-only post-kill: their bodies carry no cache counters, so
+#: a reroute onto a cold shard cannot change a byte.
+POST_KILL_COST_SPECS = COST_SPECS + [
+    {"kernel": "convolution", "model": "dmm", "n": 1024, "k": 8, "p": 64},
+    {"kernel": "sum", "model": "hmm", "n": 16384, "p": 512},
+]
+
+
+def raw_request(url: str, method: str, target: str, payload=None,
+                timeout: float = 120.0):
+    """One HTTP request over a bare socket; returns (status, body_bytes)."""
+    split = urlsplit(url)
+    body = b"" if payload is None else json.dumps(payload).encode()
+    with socket.create_connection((split.hostname, split.port),
+                                  timeout=timeout) as sock:
+        head = (
+            f"{method} {target} HTTP/1.1\r\n"
+            f"Host: {split.hostname}:{split.port}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Content-Type: application/json\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        sock.sendall(head.encode() + body)
+        data = b""
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            data += chunk
+    status_line, _, rest = data.partition(b"\r\n")
+    _, _, body_bytes = rest.partition(b"\r\n\r\n")
+    return int(status_line.split()[1]), body_bytes
+
+
+def compare(single_url: str, cluster_url: str, method: str, target: str,
+            payload=None) -> int:
+    """Send one request to both deployments; die unless bytes match."""
+    s_status, s_body = raw_request(single_url, method, target, payload)
+    c_status, c_body = raw_request(cluster_url, method, target, payload)
+    if (s_status, s_body) != (c_status, c_body):
+        print(f"DIVERGENCE on {method} {target} payload={payload}")
+        print(f"  single : {s_status} {s_body[:400]!r}")
+        print(f"  cluster: {c_status} {c_body[:400]!r}")
+        sys.exit(1)
+    return s_status
+
+
+def main() -> int:
+    t0 = time.perf_counter()
+    compared = 0
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
+        root = Path(tmp)
+        single = BackgroundServer(cache=True, cache_dir=root / "single")
+        with single, ClusterSupervisor(
+            3, store_root=root / "ring", cache=True
+        ) as sup, BackgroundRouter(
+            sup.shard_urls, replicas=2, health_interval_s=0.2
+        ) as front:
+            print(f"single at {single.url}; 3-shard ring behind {front.url}")
+
+            # -- phase 1: mixed workload, everything byte-identical ----
+            for spec in COST_SPECS:
+                assert compare(single.url, front.url,
+                               "POST", "/v1/cost", spec) == 200
+                compared += 1
+            assert compare(single.url, front.url,
+                           "POST", "/v1/sweep", SWEEP_PAYLOAD) == 200
+            assert compare(single.url, front.url,
+                           "POST", "/v1/tune", TUNE_PAYLOAD) == 200
+            assert compare(single.url, front.url,
+                           "GET", ADVISE_TARGET) == 200
+            compared += 3
+            for method, target, payload in BAD_REQUESTS:
+                status = compare(single.url, front.url,
+                                 method, target, payload)
+                assert status in (400, 404), status
+                compared += 1
+            print(f"phase 1 ok: {compared} identical responses "
+                  f"(incl. {len(BAD_REQUESTS)} errors)")
+
+            # -- phase 2: SIGKILL a shard, keep going ------------------
+            killed = sup.kill_shard(1)
+            print(f"SIGKILLed shard {killed}; continuing the workload...")
+            for spec in POST_KILL_COST_SPECS:
+                assert compare(single.url, front.url,
+                               "POST", "/v1/cost", spec) == 200
+                compared += 1
+            assert compare(single.url, front.url,
+                           "GET", ADVISE_TARGET) == 200
+            compared += 1
+            print(f"phase 2 ok: {len(POST_KILL_COST_SPECS) + 1} identical "
+                  f"responses with a dead shard in the ring")
+
+            # -- phase 3: the router's /metrics tells the story --------
+            body = ServiceClient(front.url).metrics()
+            cluster = body["cluster"]
+            ring, router = cluster["ring"], cluster["router"]
+            assert set(ring["shards"]) == set(sup.shard_urls + [killed])
+            assert abs(sum(ring["ownership"].values()) - 1.0) < 0.01
+            deadline = time.monotonic() + 10
+            while ring["alive"][killed] and time.monotonic() < deadline:
+                time.sleep(0.2)
+                ring = ServiceClient(front.url).metrics()["cluster"]["ring"]
+            assert not ring["alive"][killed], ring["alive"]
+            assert router["requests_total"] >= compared
+            assert all(k in router for k in (
+                "reroutes", "shard_failures", "no_live_shard_503",
+                "hot_spread", "warm_headers_set"))
+            assert router["no_live_shard_503"] == 0, router
+            assert "warming" in cluster and "hot" in cluster
+            live = [url for url, m in body["shards"].items()
+                    if isinstance(m, dict) and "error" not in m]
+            assert killed not in live and len(live) == 2, body["shards"]
+            print(f"phase 3 ok: metrics report the dead shard, "
+                  f"{router['requests_total']} routed requests, "
+                  f"reroutes={router['reroutes']}")
+
+    print(f"cluster smoke ok: {compared} byte-identical responses, "
+          f"one shard killed, zero client-visible failures "
+          f"({time.perf_counter() - t0:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

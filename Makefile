@@ -1,6 +1,6 @@
 # Convenience targets; plain pytest/python work equally well.
 
-.PHONY: install test bench bench-service bench-cluster bench-replay bench-tuner bench-native bench-report examples experiments serve serve-cluster cluster-smoke tune-demo docs-check clean
+.PHONY: install test bench bench-service bench-cluster bench-replay bench-tuner bench-native bench-conflict-free bench-report examples experiments serve serve-cluster cluster-smoke tune-demo docs-check clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -26,6 +26,9 @@ bench-tuner:
 bench-native:
 	PYTHONPATH=src pytest benchmarks/bench_native.py -q
 
+bench-conflict-free:
+	PYTHONPATH=src pytest benchmarks/bench_conflict_free.py -q
+
 bench-report:
 	python tools/bench_report.py
 
@@ -47,6 +50,7 @@ cluster-smoke:
 tune-demo:
 	PYTHONPATH=src python -m repro.tuner transpose
 	PYTHONPATH=src python -m repro.tuner sum
+	PYTHONPATH=src python -m repro.tuner sort
 	PYTHONPATH=src python -m repro.tuner permutation
 	PYTHONPATH=src python -m repro.tuner gather
 

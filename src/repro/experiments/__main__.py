@@ -6,6 +6,7 @@ Subcommands::
     python -m repro.experiments table1     # Table I sweep + fits
     python -m repro.experiments table2     # Table II optimality checks
     python -m repro.experiments ablations  # mechanism ablations
+    python -m repro.experiments conflict-free  # naive vs conflict-free kernels
     python -m repro.experiments all        # everything
     python -m repro.experiments all -o DIR # also write artifacts to DIR
 
@@ -37,6 +38,7 @@ from repro.analysis.advisor import diagnose
 from repro.analysis.executor import SweepExecutor, SweepProgress
 from repro.analysis.terms import Params
 from repro.experiments.ablations import reproduce_ablations
+from repro.experiments.conflict_free import reproduce_conflict_free
 from repro.experiments.figures import (
     FIG4_LATENCY_GRID,
     fig4_launch_report,
@@ -146,7 +148,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "what",
         nargs="?",
-        choices=["figures", "table1", "table2", "ablations", "all"],
+        choices=["figures", "table1", "table2", "ablations",
+                 "conflict-free", "all"],
         help="which artifact(s) to reproduce",
     )
     parser.add_argument(
@@ -256,6 +259,21 @@ def main(argv: list[str] | None = None) -> int:
         abl = reproduce_ablations(seed=args.seed, **sweep_kwargs)
         _write(args.out, "ablations", abl.render())
         ok &= abl.mechanisms_all_matter()
+    if args.what in ("conflict-free", "all"):
+        cf = reproduce_conflict_free(seed=args.seed, **sweep_kwargs)
+        _write(args.out, "conflict_free", cf.render())
+        ok &= cf.conflict_free_holds()
+        summary["conflict_free"] = {
+            "criteria_pass": cf.conflict_free_holds(),
+            "certificates": {
+                kernel: {
+                    "certified": cert.certified,
+                    "oblivious": cert.oblivious,
+                    "avoidable_excess_slots": cert.avoidable_excess_slots,
+                }
+                for kernel, cert in cf.certificates.items()
+            },
+        }
 
     if args.advise:
         sections = ["Kernel advisor verdicts (one line per measured launch)"]

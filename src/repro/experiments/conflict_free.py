@@ -1,0 +1,252 @@
+"""Naive vs conflict-free kernel comparison (Table I/II-style rows).
+
+For each of the three kernels the bank-conflict-free suite covers —
+sort, merge, permutation — this driver measures the naive variant and
+the conflict-free variant from
+:mod:`repro.core.kernels.conflict_free` over a latency grid, reporting
+cycles and avoidable excess slots per point, and runs the trace-level
+certificate pass from :mod:`repro.analysis.certify` on every
+conflict-free kernel.  The reproduction criteria:
+
+* every conflict-free point shows **zero** excess slots while the
+  conflicted naive points show plenty;
+* the unfused conflict-free sort matches the naive network
+  transaction-for-transaction — equal transaction counts, and its slot
+  total is *exactly* the naive total minus the naive conflict excess —
+  while costing fewer cycles at every latency; the fused burst variant
+  beats both;
+* the conflict-free permutation beats the naive schedule on the
+  bank-adversarial target at every latency;
+* all three conflict-free kernels are **machine-certified**: identical
+  access streams across random inputs, zero avoidable conflicts.
+
+Grids and point tasks are module-level so the sweep executor can shard
+and cache them like the table drivers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from functools import partial
+from typing import Callable
+
+import numpy as np
+
+from repro.analysis.certify import CertificateReport, certify_launch
+from repro.analysis.executor import SweepExecutor, SweepProgress
+from repro.machine.engine import MachineEngine
+from repro.machine.policy import DMMBankPolicy
+from repro.params import MachineParams
+from repro.core.kernels.conflict_free import (
+    flat_cf_merge,
+    flat_cf_permutation,
+    flat_cf_sort,
+)
+from repro.core.kernels.merge import flat_merge
+from repro.core.kernels.sorting import flat_bitonic_sort
+
+__all__ = [
+    "ConflictFreeResult",
+    "reproduce_conflict_free",
+    "conflict_free_task",
+    "CF_GRID",
+    "CF_LATENCIES",
+]
+
+CF_LATENCIES = (4, 16, 64)
+_N, _W, _P = 256, 8, 32
+
+#: One point per (kernel, variant, latency).
+CF_GRID = tuple(
+    dict(kernel=kernel, variant=variant, n=_N, w=_W, p=_P, l=l)
+    for kernel, variants in (
+        ("sort", ("naive", "conflict-free", "fused")),
+        ("merge", ("naive", "conflict-free")),
+        ("permutation", ("naive", "conflict-free")),
+    )
+    for variant in variants
+    for l in CF_LATENCIES
+)
+
+
+def _rng(seed: int, *parts) -> np.random.Generator:
+    material = "conflict-free:" + ":".join(str(p) for p in parts)
+    digest = hashlib.sha256(f"{material}:{seed}".encode()).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "little"))
+
+
+def _engine(q: dict, mode: str) -> MachineEngine:
+    return MachineEngine(
+        MachineParams(width=q["w"], latency=q["l"]), DMMBankPolicy(),
+        name="dmm", mode=mode,
+    )
+
+
+def _adversarial_perm(n: int, w: int) -> np.ndarray:
+    """Transpose-style permutation: naive write rounds are one-bank."""
+    i = np.arange(n, dtype=np.int64)
+    return (i % w) * (n // w) + i // w
+
+
+def conflict_free_task(
+    q: dict, *, seed: int, mode: str = "batch"
+) -> tuple[int, dict]:
+    """One grid point: cost ``q['kernel']`` under ``q['variant']``."""
+    n, p = q["n"], q["p"]
+    eng = _engine(q, mode)
+    if q["kernel"] == "sort":
+        values = _rng(seed, "sort", n).standard_normal(n)
+        if q["variant"] == "naive":
+            _, report = flat_bitonic_sort(eng, values, p)
+        else:
+            _, report = flat_cf_sort(eng, values, p,
+                                     fused=q["variant"] == "fused")
+    elif q["kernel"] == "merge":
+        rng = _rng(seed, "merge", n)
+        a = np.sort(rng.standard_normal(n - n // 3))
+        b = np.sort(rng.standard_normal(n // 3))
+        if q["variant"] == "naive":
+            _, report = flat_merge(eng, a, b, p)
+        else:
+            _, report = flat_cf_merge(eng, a, b, p)
+    else:
+        values = _rng(seed, "perm", n).standard_normal(n)
+        perm = _adversarial_perm(n, q["w"])
+        schedule = "naive" if q["variant"] == "naive" else "conflict-free"
+        _, report = flat_cf_permutation(eng, values, perm, p,
+                                        schedule=schedule)
+    excess = sum(s.excess_slots for s in report.unit_stats.values())
+    return report.cycles, {
+        "engine": report.engine,
+        "excess": excess,
+        "slots": report.total_slots(),
+        "transactions": report.total_transactions(),
+    }
+
+
+def _certificates(seed: int) -> dict[str, CertificateReport]:
+    """The machine-checked pass over the three conflict-free kernels."""
+    n, w, p = _N, _W, _P
+    l = CF_LATENCIES[0]
+    params = MachineParams(width=w, latency=l)
+
+    def eng():
+        return MachineEngine(params, DMMBankPolicy(), name="dmm")
+
+    perm = _adversarial_perm(n, w)
+
+    def sort_run(rng, trace):
+        flat_cf_sort(eng(), rng.standard_normal(n), p, trace=trace)
+
+    def merge_run(rng, trace):
+        a = np.sort(rng.standard_normal(n - n // 3))
+        b = np.sort(rng.standard_normal(n // 3))
+        flat_cf_merge(eng(), a, b, p, trace=trace)
+
+    def perm_run(rng, trace):
+        flat_cf_permutation(eng(), rng.standard_normal(n), perm, p,
+                            trace=trace)
+
+    return {
+        "sort": certify_launch(sort_run, width=w, seed=seed),
+        "merge": certify_launch(merge_run, width=w, seed=seed),
+        "permutation": certify_launch(perm_run, width=w, seed=seed),
+    }
+
+
+@dataclass(frozen=True)
+class ConflictFreeResult:
+    """Measured naive-vs-conflict-free rows plus machine certificates."""
+
+    #: ``rows[(kernel, variant, l)]`` = dict with ``cycles``,
+    #: ``excess``, ``slots``, ``transactions``.
+    rows: dict
+    certificates: dict[str, CertificateReport]
+
+    def render(self) -> str:
+        lines = [
+            "Conflict-free kernel suite "
+            f"(flat DMM, n={_N} w={_W} p={_P})",
+            "",
+            f"{'kernel':<12} {'variant':<14} "
+            + "".join(f"l={l:<10}" for l in CF_LATENCIES)
+            + "excess",
+        ]
+        for kernel, variants in (
+            ("sort", ("naive", "conflict-free", "fused")),
+            ("merge", ("naive", "conflict-free")),
+            ("permutation", ("naive", "conflict-free")),
+        ):
+            for variant in variants:
+                cells = []
+                excess = 0
+                for l in CF_LATENCIES:
+                    row = self.rows[(kernel, variant, l)]
+                    cells.append(f"{row['cycles']:<12}")
+                    excess = max(excess, row["excess"])
+                lines.append(
+                    f"{kernel:<12} {variant:<14} " + "".join(cells)
+                    + f"{excess}"
+                )
+            lines.append("")
+        lines.append("machine-checked certificates:")
+        for kernel, cert in self.certificates.items():
+            verdict = "CERTIFIED" if cert.certified else "REFUSED"
+            lines.append(
+                f"  {kernel:<12} {verdict}  "
+                f"(oblivious={cert.oblivious}, "
+                f"excess={cert.avoidable_excess_slots}, "
+                f"{cert.transactions} transactions x {cert.runs} inputs)"
+            )
+        return "\n".join(lines)
+
+    def conflict_free_holds(self) -> bool:
+        """The reproduction criteria (module docstring)."""
+        ok = all(c.certified for c in self.certificates.values())
+        for (kernel, variant, l), row in self.rows.items():
+            if variant != "naive":
+                ok &= row["excess"] == 0
+        for l in CF_LATENCIES:
+            naive = self.rows[("sort", "naive", l)]
+            parity = self.rows[("sort", "conflict-free", l)]
+            fused = self.rows[("sort", "fused", l)]
+            # Transaction parity: same transaction count, and the slot
+            # total drops by exactly the naive conflict excess.  (In
+            # cycle space the win is smaller — the pipeline hides part
+            # of the excess behind latency — so slots, not cycles, is
+            # where the exact identity lives.)
+            ok &= parity["transactions"] == naive["transactions"]
+            ok &= parity["slots"] == naive["slots"] - naive["excess"]
+            ok &= fused["cycles"] < parity["cycles"] < naive["cycles"]
+            pn = self.rows[("permutation", "naive", l)]
+            pc = self.rows[("permutation", "conflict-free", l)]
+            ok &= pc["cycles"] < pn["cycles"]
+        return ok
+
+
+def reproduce_conflict_free(
+    seed: int = 20130520,
+    *,
+    jobs: int | str = 1,
+    cache: bool = False,
+    cache_dir=None,
+    mode: str = "batch",
+    progress: "Callable[[SweepProgress], None] | None" = None,
+) -> ConflictFreeResult:
+    """Measure the grid and run the certificate pass."""
+    executor = SweepExecutor(
+        jobs=jobs, cache=cache, cache_dir=cache_dir, progress=progress
+    )
+    points = executor.run(
+        partial(conflict_free_task, seed=seed, mode=mode), CF_GRID,
+        mode=mode, label="conflict-free/variants",
+    )
+    rows = {
+        (pt.params["kernel"], pt.params["variant"], pt.params["l"]):
+            {"cycles": pt.cycles, **{k: pt.extra[k] for k in
+                                     ("excess", "slots", "transactions")}}
+        for pt in points
+    }
+    return ConflictFreeResult(
+        rows=rows, certificates=_certificates(seed))

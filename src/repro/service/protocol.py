@@ -316,7 +316,7 @@ def spec_key(spec: Mapping) -> str:
 
 #: Demo task names, mirrored statically from ``repro.tuner.demos.TASKS``
 #: so the protocol layer stays import-light (a test pins the mirror).
-TUNE_TASKS = ("gather", "permutation", "sum", "transpose")
+TUNE_TASKS = ("gather", "permutation", "sort", "sum", "transpose")
 TUNE_STRATEGIES = ("exhaustive", "random", "greedy", "anneal")
 TUNE_MODES = ("auto",) + MODES
 

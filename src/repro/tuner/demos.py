@@ -19,10 +19,17 @@ Tasks:
   Axes: per-tile padding and skew.  Oblivious, so replay-backed.
 * ``sum`` — flat UMM sum; axes: thread count ``p`` (the ``p >= lw``
   occupancy rule) and warp dispatch policy.  Oblivious.
-* ``permutation`` — flat DMM permutation with a bank-adversarial
-  target; axes: round schedule (naive vs conflict-free matching) and
-  dispatch.  Data-dependent schedule, so replay refuses and the tuner
-  falls back to the batch engine.
+* ``sort`` — flat DMM bitonic sort; axes: network (naive strided vs the
+  Sitchinava-Weichert conflict-free block layout, transaction-for-
+  transaction identical) and dispatch.  The conflict-free network is
+  oblivious and replay-backed; naive candidates come from the
+  replay-refusing ``sorting`` module and fall back to the event engine.
+* ``permutation`` — flat DMM offline permutation with a
+  bank-adversarial target; axes: round schedule (naive vs conflict-free
+  matching) and dispatch.  The schedule is *offline* — part of the
+  launch closure, hashed into the LaunchKey — so both schedules are
+  replay-backed through the oblivious kernel in
+  :mod:`repro.core.kernels.conflict_free`.
 * ``gather`` — data-dependent gather through an index array; axis:
   thread count.  Registered in the replay refusal registry.
 """
@@ -36,11 +43,13 @@ import numpy as np
 
 from repro.analysis.lower_bounds import sum_lower_bound
 from repro.analysis.terms import Params
-from repro.core.kernels.permutation import (
-    conflict_free_permutation_schedule,
-    naive_permutation_schedule,
-    permutation_kernel,
+from repro.core.kernels.conflict_free import (
+    flat_cf_sort,
+    generalized_naive_schedule,
+    generalized_permutation_schedule,
+    oblivious_permutation_kernel,
 )
+from repro.core.kernels.sorting import flat_bitonic_sort
 from repro.core.machines import run_flat_sum
 from repro.errors import ConfigurationError
 from repro.machine.engine import MachineEngine
@@ -76,8 +85,13 @@ class TuneTask:
     lower_bound_fn: Callable[[dict, int], float] | None = None
     #: A conflict-free run certifies the search done.  Only sound when
     #: the axes change the layout/schedule but not the transaction
-    #: count (transpose, permutation) — an occupancy search can be
-    #: conflict-free at every point and still improve.
+    #: count (transpose, permutation, sort) — an occupancy search can
+    #: be conflict-free at every point and still improve.  The claim
+    #: itself is machine-checked, not author-asserted: the trace-level
+    #: pass in :mod:`repro.analysis.certify` replays each certified
+    #: kernel over distinct random inputs and verifies identical access
+    #: streams and zero avoidable conflicted transactions (see
+    #: ``tests/tuner/test_certified_tasks.py``).
     conflict_certificate: bool = False
 
     def space(self, shape: dict) -> ParamSpace:
@@ -182,7 +196,37 @@ def _sum_lower_bound(shape: dict, l: int) -> float:
 
 
 # ---------------------------------------------------------------------------
+# sort: naive strided vs conflict-free block-layout bitonic network.
+# ---------------------------------------------------------------------------
+
+def _sort_space(shape: dict) -> ParamSpace:
+    return ParamSpace([
+        Axis("network", ("naive", "conflict-free")),
+        Axis("dispatch", ("fifo", "round-robin")),
+    ])
+
+
+def _run_sort(config: dict, shape: dict, l: int, mode: str):
+    w, n = shape["w"], shape["n"]
+    params = MachineParams(width=w, latency=l)
+    engine = MachineEngine(params, DMMBankPolicy(), name="dmm",
+                           dispatch=config["dispatch"], mode=mode)
+    values = _rng(shape).standard_normal(n)
+    p = min(4 * w, n)
+    if config["network"] == "naive":
+        out, report = flat_bitonic_sort(engine, values, p)
+    else:
+        # fused=False: transaction-for-transaction identical to the
+        # naive network (what makes the conflict certificate sound);
+        # the fused burst variant is benchmarked separately.
+        out, report = flat_cf_sort(engine, values, p, fused=False)
+    return out, report, params
+
+
+# ---------------------------------------------------------------------------
 # permutation: naive vs conflict-free round schedule on a flat DMM.
+# The offline schedule is launch-closure data, so both variants are
+# replay-backed through the oblivious kernel.
 # ---------------------------------------------------------------------------
 
 def _adversarial_perm(shape: dict) -> np.ndarray:
@@ -209,13 +253,13 @@ def _run_permutation(config: dict, shape: dict, l: int, mode: str):
     values = _rng(shape).standard_normal(n)
     perm = _adversarial_perm(shape)
     if config["schedule"] == "naive":
-        schedule = naive_permutation_schedule(perm, w)
+        schedule = generalized_naive_schedule(n, w)
     else:
-        schedule = conflict_free_permutation_schedule(perm, w)
+        schedule = generalized_permutation_schedule(perm, w)
     a = engine.array_from(values, "tune.a")
     b = engine.alloc(n, "tune.b")
     report = engine.launch(
-        permutation_kernel(a, b, perm, schedule), min(8 * w, n),
+        oblivious_permutation_kernel(a, b, perm, schedule), min(8 * w, n),
         label="tune-permutation")
     return b.to_numpy(), report, params
 
@@ -268,10 +312,21 @@ TASKS: dict[str, TuneTask] = {
         run_fn=_run_sum,
         lower_bound_fn=_sum_lower_bound,
     ),
+    "sort": TuneTask(
+        name="sort",
+        summary="flat DMM bitonic sort; search network layout and dispatch",
+        oblivious=True,
+        default_shape={"w": 8, "n": 256},
+        space_fn=_sort_space,
+        baseline_fn=lambda shape: {"network": "naive", "dispatch": "fifo"},
+        run_fn=_run_sort,
+        conflict_certificate=True,
+    ),
     "permutation": TuneTask(
         name="permutation",
-        summary="flat DMM permutation; search round schedule and dispatch",
-        oblivious=False,
+        summary="flat DMM offline permutation; search round schedule "
+        "and dispatch (replay-backed)",
+        oblivious=True,
         default_shape={"w": 8, "n": 512},
         space_fn=_permutation_space,
         baseline_fn=lambda shape: {"schedule": "naive", "dispatch": "fifo"},

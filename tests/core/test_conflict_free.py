@@ -1,0 +1,257 @@
+"""Conflict-free oblivious kernel suite (PR 9 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.trace import TraceRecorder
+from repro.core.kernels.conflict_free import (
+    cf_bitonic_merge_kernel,
+    cf_bitonic_sort_kernel,
+    flat_cf_merge,
+    flat_cf_permutation,
+    flat_cf_sort,
+    generalized_naive_schedule,
+    generalized_permutation_schedule,
+    hmm_cf_permutation,
+    hmm_cf_sort,
+    oblivious_permutation_kernel,
+)
+from repro.core.kernels.sorting import flat_bitonic_sort
+
+from conftest import make_dmm, make_hmm
+
+
+def _excess(report) -> int:
+    return sum(s.excess_slots for s in report.unit_stats.values())
+
+
+class TestFlatSort:
+    @pytest.mark.parametrize("n", [1, 2, 3, 8, 15, 16, 100, 256])
+    @pytest.mark.parametrize("p", [4, 16, 64])
+    @pytest.mark.parametrize("fused", [False, True])
+    def test_sorts(self, rng, n, p, fused):
+        vals = rng.normal(size=n)
+        out, _ = flat_cf_sort(make_dmm(), vals, p, fused=fused)
+        assert np.allclose(out, np.sort(vals)), (n, p, fused)
+
+    @pytest.mark.parametrize("fused", [False, True])
+    def test_conflict_free_on_bank_policy(self, rng, fused):
+        """Zero avoidable slots on the DMM — the tentpole property."""
+        _, report = flat_cf_sort(make_dmm(width=8), rng.normal(size=256),
+                                 32, fused=fused)
+        assert report.conflict_free()
+        assert _excess(report) == 0
+
+    def test_naive_network_is_conflicted_here(self, rng):
+        """The comparison baseline really does pay excess slots."""
+        _, report = flat_bitonic_sort(make_dmm(width=8),
+                                      rng.normal(size=256), 32)
+        assert _excess(report) > 0
+
+    def test_unfused_matches_naive_transactions(self, rng):
+        """Transaction-for-transaction parity: the unfused network
+        re-addresses the naive schedule without changing its shape."""
+        vals = rng.normal(size=256)
+        _, naive = flat_bitonic_sort(make_dmm(width=8), vals, 32)
+        _, cf = flat_cf_sort(make_dmm(width=8), vals, 32, fused=False)
+        assert cf.total_transactions() == naive.total_transactions()
+        assert cf.total_slots() == naive.total_slots() - _excess(naive)
+
+    def test_fused_issues_fewer_transactions(self, rng):
+        vals = rng.normal(size=256)
+        _, unfused = flat_cf_sort(make_dmm(width=8), vals, 32, fused=False)
+        _, fused = flat_cf_sort(make_dmm(width=8), vals, 32, fused=True)
+        assert fused.total_transactions() < unfused.total_transactions()
+        assert fused.cycles < unfused.cycles
+
+    def test_duplicates_and_padding(self, rng):
+        vals = rng.integers(0, 4, 100).astype(float)  # pads 100 -> 128
+        out, _ = flat_cf_sort(make_dmm(), vals, 16)
+        assert np.allclose(out, np.sort(vals))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            flat_cf_sort(make_dmm(), np.array([]), 4)
+
+    def test_kernel_requires_power_of_two_size(self):
+        eng = make_dmm()
+        a = eng.alloc(12)
+        with pytest.raises(ConfigurationError):
+            cf_bitonic_sort_kernel(a, 12)
+
+    def test_non_power_of_two_width_rejected(self):
+        """The guard backs up the MachineParams-level invariant: the
+        conflict-free layouts require a power-of-two width."""
+        from repro.core.kernels.conflict_free import (
+            _require_power_of_two_width,
+        )
+
+        with pytest.raises(ConfigurationError):
+            _require_power_of_two_width(6)
+        _require_power_of_two_width(8)  # no raise
+
+
+class TestHMMSort:
+    @pytest.mark.parametrize("n", [16, 60, 256])
+    @pytest.mark.parametrize("fused", [False, True])
+    def test_sorts(self, rng, n, fused):
+        vals = rng.normal(size=n)
+        out, _ = hmm_cf_sort(make_hmm(num_dmms=2, width=4), vals, 16,
+                             fused=fused)
+        assert np.allclose(out, np.sort(vals))
+
+    def test_shared_units_conflict_free(self, rng):
+        _, report = hmm_cf_sort(make_hmm(num_dmms=2, width=4),
+                                rng.normal(size=128), 16)
+        assert report.shared_stats().excess_slots == 0
+
+
+class TestFlatMerge:
+    @pytest.mark.parametrize("na,nb", [(1, 1), (5, 3), (17, 40), (96, 32)])
+    @pytest.mark.parametrize("fused", [False, True])
+    def test_merges(self, rng, na, nb, fused):
+        a = np.sort(rng.normal(size=na))
+        b = np.sort(rng.normal(size=nb))
+        out, _ = flat_cf_merge(make_dmm(), a, b, 16, fused=fused)
+        assert np.allclose(out, np.sort(np.concatenate([a, b])))
+
+    def test_conflict_free(self, rng):
+        a = np.sort(rng.normal(size=96))
+        b = np.sort(rng.normal(size=64))
+        _, report = flat_cf_merge(make_dmm(width=8), a, b, 32)
+        assert report.conflict_free()
+
+    def test_unsorted_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            flat_cf_merge(make_dmm(), np.array([2.0, 1.0]),
+                          np.array([1.0]), 4)
+        with pytest.raises(ConfigurationError):
+            flat_cf_merge(make_dmm(), np.array([1.0]),
+                          np.array([2.0, 1.0]), 4)
+        with pytest.raises(ConfigurationError):
+            flat_cf_merge(make_dmm(), np.array([]), np.array([]), 4)
+
+    def test_kernel_requires_power_of_two(self):
+        eng = make_dmm()
+        buf = eng.alloc(12)
+        with pytest.raises(ConfigurationError):
+            cf_bitonic_merge_kernel(buf, 6)
+
+
+def _transpose_perm(n: int, w: int) -> np.ndarray:
+    i = np.arange(n, dtype=np.int64)
+    return (i % w) * (n // w) + i // w
+
+
+class TestGeneralizedSchedule:
+    @pytest.mark.parametrize("n", [1, 4, 7, 16, 33, 128])
+    @pytest.mark.parametrize("w", [1, 4, 8])
+    def test_schedule_covers_each_source_once(self, rng, n, w):
+        perm = rng.permutation(n).astype(np.int64)
+        sched = generalized_permutation_schedule(perm, w)
+        assert sched.shape == (-(-n // w), w)
+        live = sched[sched < n]
+        assert np.array_equal(np.sort(live), np.arange(n))
+
+    @pytest.mark.parametrize("n", [4, 7, 33, 128])
+    def test_rounds_are_degree_one(self, rng, n):
+        """Per round: live sources in distinct banks, live destinations
+        in distinct banks — the König-decomposition guarantee."""
+        w = 4
+        perm = rng.permutation(n).astype(np.int64)
+        sched = generalized_permutation_schedule(perm, w)
+        for rnd in sched:
+            live = rnd[rnd < n]
+            assert np.unique(live % w).size == live.size
+            assert np.unique(perm[live] % w).size == live.size
+
+    def test_naive_schedule_shape(self):
+        sched = generalized_naive_schedule(10, 4)
+        assert sched.shape == (3, 4)
+        assert sched[2, 2] == 10  # virtual tail entry, masked by kernel
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            generalized_permutation_schedule(np.array([0, 0]), 4)
+        with pytest.raises(ConfigurationError):
+            generalized_permutation_schedule(np.array([1, 2]), 4)
+        with pytest.raises(ConfigurationError):
+            generalized_permutation_schedule(np.array([], dtype=int), 4)
+        with pytest.raises(ConfigurationError):
+            generalized_naive_schedule(0, 4)
+
+
+class TestFlatPermutation:
+    @pytest.mark.parametrize("n", [1, 5, 16, 39, 128])
+    @pytest.mark.parametrize("schedule", ["naive", "conflict-free"])
+    def test_routes_values(self, rng, n, schedule):
+        vals = rng.normal(size=n)
+        perm = rng.permutation(n).astype(np.int64)
+        out, _ = flat_cf_permutation(make_dmm(), vals, perm, 16,
+                                     schedule=schedule)
+        assert np.allclose(out[perm], vals)
+
+    def test_conflict_free_beats_naive_on_adversarial(self, rng):
+        n, w = 128, 8
+        vals = rng.normal(size=n)
+        perm = _transpose_perm(n, w)
+        eng = lambda: make_dmm(width=w)
+        _, naive = flat_cf_permutation(eng(), vals, perm, 32,
+                                       schedule="naive")
+        _, cf = flat_cf_permutation(eng(), vals, perm, 32)
+        assert _excess(naive) > 0
+        assert _excess(cf) == 0
+        assert cf.cycles < naive.cycles
+
+    def test_ragged_size_conflict_free(self, rng):
+        """The generalized builder handles w does-not-divide n."""
+        n = 53
+        vals = rng.normal(size=n)
+        perm = rng.permutation(n).astype(np.int64)
+        _, report = flat_cf_permutation(make_dmm(width=8), vals, perm, 32)
+        assert report.conflict_free()
+
+    def test_bad_schedule_name_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            flat_cf_permutation(make_dmm(), rng.normal(size=8),
+                                np.arange(8), 8, schedule="greedy")
+
+    def test_size_mismatch_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            flat_cf_permutation(make_dmm(), rng.normal(size=8),
+                                np.arange(9), 8)
+
+    def test_kernel_validates_schedule_shape(self):
+        eng = make_dmm()
+        a = eng.array_from(np.arange(4.0), "a")
+        b = eng.alloc(4, "b")
+        with pytest.raises(ConfigurationError):
+            oblivious_permutation_kernel(a, b, np.arange(4),
+                                         np.arange(4))  # 1-D schedule
+
+
+class TestHMMPermutation:
+    def test_chunk_local_routes(self, rng):
+        n, d, w = 64, 2, 4
+        vals = rng.normal(size=n)
+        # Chunk-local: permute within each DMM's contiguous half.
+        perm = np.concatenate([
+            rng.permutation(32), 32 + rng.permutation(32)
+        ]).astype(np.int64)
+        out, report = hmm_cf_permutation(make_hmm(num_dmms=d, width=w),
+                                         vals, perm, 16)
+        assert np.allclose(out[perm], vals)
+        assert report.shared_stats().excess_slots == 0
+
+    def test_global_routing_rejected(self, rng):
+        n = 64
+        perm = np.roll(np.arange(n), 1)  # crosses the chunk boundary
+        with pytest.raises(ConfigurationError):
+            hmm_cf_permutation(make_hmm(num_dmms=2, width=4),
+                               rng.normal(size=n), perm, 16)
+
+    def test_partial_warp_launch_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            hmm_cf_permutation(make_hmm(num_dmms=2, width=4),
+                               rng.normal(size=64), np.arange(64), 6)

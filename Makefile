@@ -1,6 +1,6 @@
 # Convenience targets; plain pytest/python work equally well.
 
-.PHONY: install test bench bench-service bench-cluster bench-replay bench-tuner bench-native bench-conflict-free bench-report examples experiments serve serve-cluster cluster-smoke tune-demo docs-check clean
+.PHONY: install test bench bench-service bench-cluster bench-telemetry bench-replay bench-tuner bench-native bench-conflict-free bench-report examples experiments serve serve-cluster cluster-smoke telemetry-smoke tune-demo docs-check clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -16,6 +16,9 @@ bench-service:
 
 bench-cluster:
 	PYTHONPATH=src pytest benchmarks/bench_cluster.py -q
+
+bench-telemetry:
+	PYTHONPATH=src pytest benchmarks/bench_telemetry.py -q
 
 bench-replay:
 	PYTHONPATH=src pytest benchmarks/bench_trace_replay.py -q
@@ -47,6 +50,9 @@ serve-cluster:
 cluster-smoke:
 	PYTHONPATH=src python tools/cluster_smoke.py
 
+telemetry-smoke:
+	PYTHONPATH=src python tools/telemetry_smoke.py
+
 tune-demo:
 	PYTHONPATH=src python -m repro.tuner transpose
 	PYTHONPATH=src python -m repro.tuner sum
@@ -55,7 +61,7 @@ tune-demo:
 	PYTHONPATH=src python -m repro.tuner gather
 
 docs-check:
-	PYTHONPATH=src python tools/check_doc_snippets.py docs/TUTORIAL.md docs/PERFORMANCE.md docs/SERVICE.md docs/INTERNALS.md docs/TUNER.md docs/STORAGE.md docs/CLUSTER.md
+	PYTHONPATH=src python tools/check_doc_snippets.py docs/TUTORIAL.md docs/PERFORMANCE.md docs/SERVICE.md docs/INTERNALS.md docs/TUNER.md docs/STORAGE.md docs/CLUSTER.md docs/TELEMETRY.md
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_benchmarks .benchmarks benchmarks/.benchmarks benchmarks/.store

@@ -16,7 +16,11 @@ the tail.
   to its owner shard, spreads hot-key traffic round-robin across
   replicas, marks warm-push peers, retries-with-reroute around dead
   shards, answers 503 + ``Retry-After`` only when *no* shard is live,
-  and aggregates cluster-wide ``/metrics``.
+  aggregates cluster-wide ``/metrics``, multiplexes every shard's
+  telemetry feed onto one ``/v1/events`` stream, and serves live ring
+  membership (``/v1/ring/add`` joins a spawned shard,
+  ``/v1/ring/drain`` decommissions one with a store handoff — see
+  ``docs/TELEMETRY.md``).
 * :mod:`repro.cluster.supervisor` — boots N worker shards (each a full
   ``repro.service`` server with its own store directory) as
   subprocesses (:class:`ClusterSupervisor`, kill-able for chaos runs)

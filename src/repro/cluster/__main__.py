@@ -137,18 +137,48 @@ def _cmd_status(args: argparse.Namespace) -> int:
     cluster = metrics.get("cluster", {})
     ring = cluster.get("ring", {})
     router = cluster.get("router", {})
+    shards = metrics.get("shards", {})
     print(f"router {args.url}: {health.get('status')}")
+    rows = []
     for url in ring.get("shards", []):
-        state = "up" if ring.get("alive", {}).get(url) else "down"
-        share = ring.get("ownership", {}).get(url, 0.0)
-        fwd = router.get("forwards", {}).get(url, 0)
-        print(f"  {url}: {state}, owns {share:.1%}, forwarded {fwd}")
+        body = shards.get(url)
+        body = body if isinstance(body, dict) else {}
+        cache = body.get("cache", {})
+        hit_rate = cache.get("hit_rate")
+        rows.append((
+            url,
+            "up" if ring.get("alive", {}).get(url) else "down",
+            f"{ring.get('ownership', {}).get(url, 0.0):.1%}",
+            str(router.get("forwards", {}).get(url, 0)),
+            str(body.get("requests_total", "-")),
+            f"{hit_rate:.1%}" if isinstance(hit_rate, (int, float)) else "-",
+            str(body.get("warming", {}).get("received_stored", "-")),
+        ))
+    headers = ("shard", "state", "owns", "fwd", "req", "hit", "warm_rx")
+    widths = [max(len(headers[i]), *(len(r[i]) for r in rows)) if rows
+              else len(headers[i]) for i in range(len(headers))]
+    print("  " + "  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(headers)).rstrip())
+    for row in rows:
+        print("  " + "  ".join(c.ljust(widths[i])
+                               for i, c in enumerate(row)).rstrip())
+    hot = cluster.get("hot", {})
+    hot_keys = hot.get("hot_keys", {})
+    print(f"hot keys ({len(hot_keys)}/{hot.get('top_k', 0)} promoted, "
+          f"window={hot.get('window_s', 0):g}s):")
+    for key, count in sorted(hot_keys.items(), key=lambda kv: (-kv[1], kv[0])):
+        print(f"  {count:>6}  {key}")
+    if not hot_keys:
+        print("  (none)")
+    events = cluster.get("events", {})
     print(f"requests={router.get('requests_total', 0)} "
           f"reroutes={router.get('reroutes', 0)} "
           f"503s={router.get('no_live_shard_503', 0)} "
-          f"hot_keys={len(cluster.get('hot', {}).get('hot_keys', {}))} "
+          f"ring_adds={router.get('ring_adds', 0)} "
+          f"ring_drains={router.get('ring_drains', 0)} "
           f"warm_pushes={cluster.get('warming', {}).get('pushes_sent_total', 0)} "
-          f"remote_hits={cluster.get('warming', {}).get('hits_remote_total', 0)}")
+          f"remote_hits={cluster.get('warming', {}).get('hits_remote_total', 0)} "
+          f"events={events.get('emitted', 0)}")
     return 0
 
 

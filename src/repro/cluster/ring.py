@@ -37,7 +37,12 @@ def ring_position(material: str) -> int:
 
 
 class HashRing:
-    """An immutable consistent-hash ring over named shards.
+    """A consistent-hash ring over named shards.
+
+    Construction is deterministic from the shard names alone, and
+    :meth:`add` / :meth:`remove` preserve that: a ring that grew into a
+    membership is positioned identically to one constructed with it, so
+    every process that knows the member list agrees on ownership.
 
     >>> ring = HashRing(["a", "b", "c"], vnodes=64)
     >>> owners = ring.owners("some-key", count=2)
@@ -61,6 +66,46 @@ class HashRing:
         points.sort()
         self._positions = [pos for pos, _ in points]
         self._owners = [shard for _, shard in points]
+
+    def add(self, shard: str) -> bool:
+        """Join one shard; only its ranges change owner.
+
+        Returns ``False`` (no-op) when the shard is already a member.
+        Vnodes are spliced into the sorted point list exactly where a
+        from-scratch construction would put them — including the
+        position-collision tie-break on shard name — so grown and
+        freshly-built rings are indistinguishable.
+        """
+        if shard in self.shards:
+            return False
+        self.shards.append(shard)
+        for replica in range(self.vnodes):
+            pos = ring_position(f"{shard}#{replica}")
+            index = bisect.bisect_left(self._positions, pos)
+            while (index < len(self._positions)
+                   and self._positions[index] == pos
+                   and self._owners[index] < shard):
+                index += 1
+            self._positions.insert(index, pos)
+            self._owners.insert(index, shard)
+        return True
+
+    def remove(self, shard: str) -> None:
+        """Leave the ring; the shard's ranges fall to their successors.
+
+        Raises ``ValueError`` for a non-member or when the shard is the
+        last one (an empty ring routes nothing).
+        """
+        if shard not in self.shards:
+            raise ValueError(f"{shard!r} is not a ring member")
+        if len(self.shards) == 1:
+            raise ValueError("cannot remove the last shard")
+        self.shards.remove(shard)
+        kept = [(pos, owner)
+                for pos, owner in zip(self._positions, self._owners)
+                if owner != shard]
+        self._positions = [pos for pos, _ in kept]
+        self._owners = [owner for _, owner in kept]
 
     def owners(
         self,

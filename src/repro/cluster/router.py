@@ -60,9 +60,14 @@ from repro.service.protocol import (
     ProtocolError,
     parse_advise_request,
     parse_cost_request,
+    parse_events_query,
+    parse_ring_change,
     spec_key,
 )
 from repro.service.server import WARM_PEERS_HEADER
+from repro.telemetry.events import DEFAULT_CAPACITY, EventBus
+from repro.telemetry.series import MetricsRecorder
+from repro.telemetry.stream import stream_over_http
 
 __all__ = ["ClusterRouter", "RouterMetrics"]
 
@@ -91,6 +96,11 @@ class RouterMetrics:
         self.hot_spread = 0        # hot-key requests sent to a non-primary
         self.warm_headers_set = 0  # forwards that carried warm peers
         self.health_transitions = 0
+        # Live membership (POST /v1/ring/add | /v1/ring/drain).
+        self.ring_adds = 0
+        self.ring_drains = 0
+        self.handoff_pushed = 0    # entries relayed during drains
+        self.handoff_failures = 0
 
     def observe(self, path: str, status: int) -> None:
         self.requests[(path, status)] += 1
@@ -111,6 +121,10 @@ class RouterMetrics:
             "hot_spread": self.hot_spread,
             "warm_headers_set": self.warm_headers_set,
             "health_transitions": self.health_transitions,
+            "ring_adds": self.ring_adds,
+            "ring_drains": self.ring_drains,
+            "handoff_pushed": self.handoff_pushed,
+            "handoff_failures": self.handoff_failures,
         }
 
 
@@ -133,6 +147,14 @@ class ClusterRouter:
         :class:`~repro.cluster.hotkeys.HotKeyTracker`.
     health_interval_s, connect_timeout_s, request_timeout_s:
         Probe cadence and per-forward timeouts.
+    multiplex, poll_timeout_s:
+        When ``multiplex`` is on (default) the router long-polls every
+        shard's ``/v1/events`` and re-emits each event on its own bus
+        (tagged with ``shard``/``shard_seq``), so one stream shows the
+        whole cluster.  ``poll_timeout_s`` is the per-round wait.
+    telemetry_resolution_s, telemetry_retention, event_capacity:
+        Router-side metrics recorder and event-ring knobs (see
+        :mod:`repro.telemetry`).
     """
 
     def __init__(
@@ -150,6 +172,11 @@ class ClusterRouter:
         connect_timeout_s: float = 2.0,
         request_timeout_s: float = 120.0,
         clock: "Clock | None" = None,
+        multiplex: bool = True,
+        poll_timeout_s: float = 2.0,
+        telemetry_resolution_s: float = 1.0,
+        telemetry_retention: int = 300,
+        event_capacity: int = DEFAULT_CAPACITY,
     ) -> None:
         if not shard_urls:
             raise ValueError("a cluster needs at least one shard URL")
@@ -157,6 +184,7 @@ class ClusterRouter:
         self.port = port
         self.clock = clock or Clock()
         self.ring = HashRing(shard_urls, vnodes=vnodes)
+        self._replicas_target = max(1, replicas)
         self.replicas = max(1, min(replicas, len(self.ring.shards)))
         self.hotkeys = HotKeyTracker(
             window_s=hot_window_s, buckets=10, top_k=hot_top_k,
@@ -177,6 +205,25 @@ class ClusterRouter:
         self._idle.set()
         self._shutdown_started = False
         self._stopped = asyncio.Event()
+        # Telemetry: the router's own bus carries its lifecycle +
+        # routing events, and (with multiplex on) every shard's feed,
+        # re-emitted in arrival order under router-assigned seqs.
+        self.multiplex = multiplex
+        self.poll_timeout_s = poll_timeout_s
+        self.events = EventBus(capacity=event_capacity, clock=self.clock)
+        self._stream_stop = asyncio.Event()
+        self._stream_tasks: set[asyncio.Task] = set()
+        self.recorder = MetricsRecorder(
+            self.metrics.snapshot,
+            resolution_s=telemetry_resolution_s,
+            retention=telemetry_retention,
+            clock=self.clock,
+            bus=self.events,
+            name="router",
+        )
+        self._recorder_task: asyncio.Task | None = None
+        self._mux_tasks: dict[str, asyncio.Task] = {}
+        self._hot_prev: frozenset = frozenset()
 
     # -- lifecycle ---------------------------------------------------------
     async def start(self) -> None:
@@ -185,6 +232,12 @@ class ClusterRouter:
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self._health_task = asyncio.ensure_future(self._health_loop())
+        self._recorder_task = asyncio.ensure_future(self.recorder.run())
+        if self.multiplex:
+            for url in self.ring.shards:
+                self._start_multiplex(url)
+        self.events.emit("router.start", port=self.port,
+                         shards=len(self.ring.shards))
 
     @property
     def url(self) -> str:
@@ -200,6 +253,12 @@ class ClusterRouter:
             await self._stopped.wait()
             return
         self._shutdown_started = True
+        # Drain sentinel first, stop flag right after: open SSE streams
+        # deliver the sentinel as their last frame and close cleanly.
+        self.events.emit("router.drain", port=self.port)
+        self._stream_stop.set()
+        if self._stream_tasks:
+            await asyncio.wait(self._stream_tasks, timeout=5)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -207,10 +266,15 @@ class ClusterRouter:
             await asyncio.wait_for(self._idle.wait(), timeout=30)
         except asyncio.TimeoutError:
             pass
-        if self._health_task is not None:
-            self._health_task.cancel()
+        background = [self._health_task, self._recorder_task,
+                      *self._mux_tasks.values()]
+        self._mux_tasks = {}
+        for task in background:
+            if task is None:
+                continue
+            task.cancel()
             try:
-                await self._health_task
+                await task
             except asyncio.CancelledError:
                 pass
         self._stopped.set()
@@ -224,16 +288,21 @@ class ClusterRouter:
         return [url for url in self.ring.shards if self._alive[url]]
 
     def _mark(self, url: str, alive: bool) -> None:
+        if url not in self._alive:
+            return  # drained from the ring while a probe was in flight
         if self._alive[url] != alive:
             self._alive[url] = alive
             self.metrics.health_transitions += 1
+            self.events.emit("shard.up" if alive else "shard.down", shard=url)
 
     async def _health_loop(self) -> None:
         from repro.service.client import AsyncServiceClient
 
         while True:
-            await asyncio.sleep(self.health_interval_s)
-            for url in self.ring.shards:
+            await self.clock.sleep(self.health_interval_s)
+            for url in list(self.ring.shards):
+                if url not in self._alive:
+                    continue  # drained while this round was running
                 client = AsyncServiceClient(
                     url, timeout=self.connect_timeout_s, retries=0,
                 )
@@ -262,6 +331,14 @@ class ClusterRouter:
                     break
                 method, target, http_version, headers, payload, raw = parsed
                 path = urlsplit(target).path
+                if method == "GET" and path == "/v1/events":
+                    query = dict(parse_qsl(urlsplit(target).query))
+                    if query.get("mode", "sse") == "sse":
+                        # SSE bypasses write_response (no Content-Length)
+                        # and the inflight gauge (a stream must not hold
+                        # the drain barrier open).
+                        await self._stream_events(writer, query, path)
+                        break
                 self._inflight += 1
                 self._idle.clear()
                 try:
@@ -312,13 +389,26 @@ class ClusterRouter:
             return 200, self._healthz_body(), {}
         if (method, path) == ("GET", "/metrics"):
             return 200, await self._metrics_body(), {}
+        local = {
+            ("GET", "/v1/events"): self._route_events,
+            ("POST", "/v1/ring/add"): self._route_ring_add,
+            ("POST", "/v1/ring/drain"): self._route_ring_drain,
+        }
+        handler = local.get((method, path))
+        if handler is not None:
+            query = dict(parse_qsl(urlsplit(target).query))
+            try:
+                return 200, await handler(payload, query), {}
+            except ProtocolError as exc:
+                raise HttpError(400, exc.body()) from None
         known = {
             ("POST", "/v1/cost"), ("POST", "/v1/sweep"),
             ("POST", "/v1/tune"), ("GET", "/v1/advise"),
             ("POST", "/v1/store/push"), ("GET", "/v1/store/pull"),
         }
         if (method, path) not in known:
-            if path in {p for _, p in known} | {"/healthz", "/metrics"}:
+            if path in {p for _, p in known} | {"/healthz", "/metrics"} \
+                    | {p for _, p in local}:
                 raise HttpError(
                     405, error_body("method_not_allowed",
                                     f"{method} not supported on {path}")
@@ -359,6 +449,12 @@ class ClusterRouter:
         if now - self._hot_cache_at >= self.hotkeys._bucket_s:
             self._hot_cache = self.hotkeys.hot_keys()
             self._hot_cache_at = now
+            current = frozenset(self._hot_cache)
+            for key in sorted(current - self._hot_prev):
+                self.events.emit("hotkey.promote", key=key)
+            for key in sorted(self._hot_prev - current):
+                self.events.emit("hotkey.demote", key=key)
+            self._hot_prev = current
         return self._hot_cache
 
     def _candidates(self, key: "str | None") -> tuple[list[str], list[str]]:
@@ -402,6 +498,7 @@ class ClusterRouter:
         for index, url in enumerate(order):
             if index > 0:
                 self.metrics.reroutes += 1
+                self.events.emit("reroute", path=path, shard=url)
             extra_request_headers = {}
             peers = [p for p in warm_peers if p != url]
             if peers:
@@ -479,6 +576,227 @@ class ClusterRouter:
             except (ConnectionError, OSError):
                 pass
 
+    # -- telemetry ---------------------------------------------------------
+    async def _route_events(self, payload, query) -> dict:
+        """The ``?mode=poll`` arm of the multiplexed event feed."""
+        opts = parse_events_query(query)
+        events = await self.events.wait_since(
+            opts["from_seq"], opts["timeout_s"], opts["limit"]
+        )
+        return self.events.poll_body(opts["from_seq"], events)
+
+    async def _stream_events(
+        self, writer: asyncio.StreamWriter, query: dict[str, str], path: str
+    ) -> None:
+        """The SSE arm: stream until drain, client loss, or ``limit``."""
+        try:
+            opts = parse_events_query(query)
+        except ProtocolError as exc:
+            self.metrics.observe(path, 400)
+            await write_response(writer, 400, exc.body(), {}, False)
+            return
+        self.metrics.observe(path, 200)
+        heartbeat_s = min(opts["timeout_s"], 10.0) or 10.0
+        task = asyncio.current_task()
+        if task is not None:
+            self._stream_tasks.add(task)
+        try:
+            await stream_over_http(
+                writer, self.events,
+                from_seq=opts["from_seq"],
+                stop=self._stream_stop,
+                heartbeat_s=heartbeat_s,
+                max_events=opts["limit"],
+            )
+        except (ConnectionError, OSError):
+            pass  # consumer went away; a normal way to end a stream
+        finally:
+            if task is not None:
+                self._stream_tasks.discard(task)
+
+    def _start_multiplex(self, url: str) -> None:
+        if url in self._mux_tasks:
+            return
+        self._mux_tasks[url] = asyncio.ensure_future(
+            self._multiplex_shard(url)
+        )
+
+    async def _multiplex_shard(self, url: str) -> None:
+        """Long-poll one shard's feed forever, re-emitting every event.
+
+        Re-emitted events keep their original ``type`` and ``data`` and
+        gain ``shard`` (the source URL) and ``shard_seq`` (the shard's
+        own sequence id); the router's bus assigns the cluster-wide
+        ``seq``.  A shard outage just pauses its arm of the mux — the
+        cursor survives, and the shard's retained ring backfills the gap
+        on reconnect (its ``dropped`` counter says if any was lost).
+        """
+        from repro.service.client import AsyncServiceClient
+
+        client = AsyncServiceClient(
+            url, timeout=self.request_timeout_s, retries=0,
+        )
+        cursor = 0
+        while True:
+            try:
+                body = await client.events(
+                    from_seq=cursor, timeout_s=self.poll_timeout_s,
+                )
+            except Exception:  # noqa: BLE001 - shard down/booting; retry
+                await self.clock.sleep(max(self.health_interval_s, 0.2))
+                continue
+            for event in body.get("events", []):
+                data = dict(event.get("data", {}))
+                data["shard"] = url
+                data["shard_seq"] = event.get("seq")
+                self.events.emit(event.get("type", "shard.event"), **data)
+            cursor = body.get("next_from", cursor)
+
+    # -- live membership ---------------------------------------------------
+    async def _route_ring_add(self, payload, query) -> dict:
+        """``POST /v1/ring/add`` — join a running shard to the ring."""
+        url = parse_ring_change(payload)
+        if url in self.ring.shards:
+            return {"added": False, "reason": "already_member",
+                    "shards": list(self.ring.shards)}
+        from repro.service.client import AsyncServiceClient
+
+        client = AsyncServiceClient(
+            url, timeout=self.connect_timeout_s, retries=0,
+        )
+        try:
+            body = await asyncio.wait_for(
+                client.healthz(), self.connect_timeout_s * 2
+            )
+            healthy = body.get("status") == "ok"
+        except Exception:  # noqa: BLE001 - unreachable = not joinable
+            healthy = False
+        if not healthy:
+            raise HttpError(400, error_body(
+                "shard_unreachable",
+                f"{url} did not answer /healthz with status ok",
+            ))
+        self.ring.add(url)
+        self._alive[url] = True
+        self.replicas = max(
+            1, min(self._replicas_target, len(self.ring.shards))
+        )
+        if self.multiplex:
+            self._start_multiplex(url)
+        self.metrics.ring_adds += 1
+        self.events.emit("ring.add", shard=url,
+                         shards=len(self.ring.shards))
+        return {
+            "added": True,
+            "shard": url,
+            "shards": list(self.ring.shards),
+            "ownership": {u: round(frac, 4)
+                          for u, frac in self.ring.ownership().items()},
+        }
+
+    async def _route_ring_drain(self, payload, query) -> dict:
+        """``POST /v1/ring/drain`` — planned decommission of one shard.
+
+        The shard leaves the ring *first* (no new traffic routes to it),
+        then its store entries are handed off to their new owners over
+        the pull→push relay while the shard is still up, then its mux
+        arm and liveness entry go away.  The caller shuts the process
+        down afterwards; in-flight requests it is still serving finish
+        normally.
+        """
+        url = parse_ring_change(payload)
+        if url not in self.ring.shards:
+            raise HttpError(404, error_body(
+                "unknown_shard", f"{url} is not a ring member"))
+        if len(self.ring.shards) == 1:
+            raise HttpError(400, error_body(
+                "last_shard", "cannot drain the only shard in the ring"))
+        self.ring.remove(url)
+        self.replicas = max(
+            1, min(self._replicas_target, len(self.ring.shards))
+        )
+        handoff = await self._handoff(url)
+        task = self._mux_tasks.pop(url, None)
+        if task is not None:
+            task.cancel()
+        self._alive.pop(url, None)
+        self.metrics.ring_drains += 1
+        self.events.emit("ring.drain", shard=url,
+                         shards=len(self.ring.shards), **handoff)
+        return {
+            "drained": True,
+            "shard": url,
+            "handoff": handoff,
+            "shards": list(self.ring.shards),
+        }
+
+    async def _handoff(self, url: str) -> dict:
+        """Relay a leaving shard's store entries to their new owners.
+
+        Pull→push over the existing warming endpoints, entry by entry;
+        the receiver re-verifies the integrity envelope, so a corrupt
+        relay is rejected, never stored.  ``skipped`` counts entries a
+        server refused (oversized, rejected envelope, vanished between
+        inventory and pull); ``failed`` counts transport losses.
+        """
+        from repro.service.client import (
+            AsyncServiceClient,
+            ServiceError,
+            Unavailable,
+        )
+
+        counters = {"keys": 0, "pushed": 0, "skipped": 0, "failed": 0}
+        source = AsyncServiceClient(
+            url, timeout=self.request_timeout_s, retries=0,
+        )
+        try:
+            inventory = await source.store_keys()
+        except Exception:  # noqa: BLE001 - source gone: nothing to move
+            counters["failed"] += 1
+            self.metrics.handoff_failures += 1
+            return counters
+
+        def is_alive(u: str) -> bool:
+            return self._alive.get(u, False)
+
+        targets: dict[str, AsyncServiceClient] = {}
+        for namespace, keys in sorted(
+                inventory.get("namespaces", {}).items()):
+            for key in keys:
+                counters["keys"] += 1
+                owners = self.ring.owners(
+                    f"store:{namespace}:{key}", 1, alive=is_alive,
+                )
+                if not owners:
+                    counters["failed"] += 1
+                    self.metrics.handoff_failures += 1
+                    continue
+                target = targets.setdefault(owners[0], AsyncServiceClient(
+                    owners[0], timeout=self.request_timeout_s, retries=1,
+                ))
+                try:
+                    entry = await source._request(
+                        "GET",
+                        f"/v1/store/pull?namespace={namespace}&key={key}",
+                    )
+                    await target._request("POST", "/v1/store/push", {
+                        "namespace": namespace,
+                        "key": key,
+                        "entry": entry["entry"],
+                    })
+                    counters["pushed"] += 1
+                    self.metrics.handoff_pushed += 1
+                except (ServiceError,) as exc:
+                    if isinstance(exc, Unavailable):
+                        counters["failed"] += 1
+                        self.metrics.handoff_failures += 1
+                    else:
+                        counters["skipped"] += 1
+                except Exception:  # noqa: BLE001 - transport loss
+                    counters["failed"] += 1
+                    self.metrics.handoff_failures += 1
+        return counters
+
     # -- local endpoints ---------------------------------------------------
     def _healthz_body(self) -> dict:
         alive = self._alive
@@ -541,6 +859,8 @@ class ClusterRouter:
                     "pushes_sent_total": warm_pushes,
                     "hits_remote_total": warm_hits,
                 },
+                "events": self.events.snapshot(),
+                "telemetry": self.recorder.snapshot(),
             },
             "shards": shards,
         }

@@ -67,6 +67,9 @@ class ClusterSupervisor:
         ``REPRO_STORE_DIR`` (artifact store) and result-cache dir.
     jobs, max_batch_size, queue_bound:
         Per-shard service knobs, passed through to ``serve``.
+    extra_args:
+        Extra ``serve`` CLI flags appended to every shard's command
+        line (e.g. ``["--no-telemetry"]``).
     """
 
     def __init__(
@@ -79,6 +82,7 @@ class ClusterSupervisor:
         max_batch_size: int = 32,
         queue_bound: int = 1024,
         boot_timeout_s: float = 30.0,
+        extra_args: "list[str] | None" = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
@@ -89,37 +93,45 @@ class ClusterSupervisor:
         self.max_batch_size = max_batch_size
         self.queue_bound = queue_bound
         self.boot_timeout_s = boot_timeout_s
+        self.extra_args = list(extra_args or [])
         self.shard_urls: list[str] = []
         self._procs: list["subprocess.Popen | None"] = []
 
     # -- lifecycle ---------------------------------------------------------
+    def _launch(self, index: int) -> str:
+        """Boot shard ``index`` (its own store + cache dirs); no wait."""
+        port = _free_port()
+        shard_dir = self.store_root / f"shard-{index}"
+        env = dict(os.environ)
+        env["REPRO_STORE_DIR"] = str(shard_dir / "store")
+        env.setdefault("PYTHONPATH", "")
+        cmd = [
+            sys.executable, "-m", "repro.service", "serve",
+            "--host", "127.0.0.1", "--port", str(port),
+            "--jobs", str(self.jobs),
+            "--max-batch-size", str(self.max_batch_size),
+            "--queue-bound", str(self.queue_bound),
+        ]
+        if self.cache:
+            cmd += ["--cache-dir", str(shard_dir / "cache")]
+        else:
+            cmd += ["--no-cache"]
+        cmd += self.extra_args
+        proc = subprocess.Popen(
+            cmd, env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        self._procs.append(proc)
+        url = f"http://127.0.0.1:{port}"
+        self.shard_urls.append(url)
+        return url
+
     def start(self) -> list[str]:
         """Launch every shard and wait until all answer ``/healthz``."""
         assert not self._procs, "already started"
         self.store_root.mkdir(parents=True, exist_ok=True)
         for index in range(self.num_shards):
-            port = _free_port()
-            shard_dir = self.store_root / f"shard-{index}"
-            env = dict(os.environ)
-            env["REPRO_STORE_DIR"] = str(shard_dir / "store")
-            env.setdefault("PYTHONPATH", "")
-            cmd = [
-                sys.executable, "-m", "repro.service", "serve",
-                "--host", "127.0.0.1", "--port", str(port),
-                "--jobs", str(self.jobs),
-                "--max-batch-size", str(self.max_batch_size),
-                "--queue-bound", str(self.queue_bound),
-            ]
-            if self.cache:
-                cmd += ["--cache-dir", str(shard_dir / "cache")]
-            else:
-                cmd += ["--no-cache"]
-            proc = subprocess.Popen(
-                cmd, env=env,
-                stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
-            )
-            self._procs.append(proc)
-            self.shard_urls.append(f"http://127.0.0.1:{port}")
+            self._launch(index)
         try:
             for url in self.shard_urls:
                 _wait_healthy(url, self.boot_timeout_s)
@@ -127,6 +139,18 @@ class ClusterSupervisor:
             self.stop()
             raise
         return list(self.shard_urls)
+
+    def spawn_shard(self) -> str:
+        """Boot one *additional* shard and wait for it; returns its URL.
+
+        The new shard is not ring traffic yet — POST its URL to the
+        router's ``/v1/ring/add`` to start routing to it (see
+        docs/TELEMETRY.md for the membership walkthrough).
+        """
+        self.store_root.mkdir(parents=True, exist_ok=True)
+        url = self._launch(len(self._procs))
+        _wait_healthy(url, self.boot_timeout_s)
+        return url
 
     def kill_shard(self, index: int, *, sig: int = signal.SIGKILL) -> str:
         """Abruptly kill one shard (chaos testing); returns its URL."""
@@ -304,3 +328,24 @@ class BackgroundCluster:
         url = server.url
         server.stop()
         return url
+
+    def add_shard(self) -> str:
+        """Boot one more thread shard; returns its URL.
+
+        Same cache layout as the initial shards (``cache_root/shard-N``).
+        Like :meth:`ClusterSupervisor.spawn_shard`, the new shard serves
+        but receives no ring traffic until ``/v1/ring/add`` names it.
+        """
+        from repro.service.server import BackgroundServer
+
+        index = len(self.servers)
+        kwargs = dict(self._server_kwargs)
+        if self.cache_root is None:
+            kwargs.setdefault("cache", False)
+        else:
+            kwargs.setdefault("cache", True)
+            kwargs.setdefault("cache_dir", self.cache_root / f"shard-{index}")
+        server = BackgroundServer(**kwargs)
+        server.__enter__()
+        self.servers.append(server)
+        return server.url

@@ -46,6 +46,15 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--no-cache", action="store_true",
                    help="disable the persistent result cache")
     p.add_argument("--cache-dir", default=None)
+    p.add_argument("--no-telemetry", action="store_true",
+                   help="disable the background metrics recorder")
+    p.add_argument("--telemetry-resolution-s", type=float, default=1.0,
+                   help="seconds between metrics samples (default: 1)")
+    p.add_argument("--telemetry-retention", type=int, default=300,
+                   help="samples retained per series (default: 300)")
+    p.add_argument("--telemetry-persist", action="store_true",
+                   help="persist recorded series to the store's "
+                        "telemetry namespace on drain (restored on boot)")
 
 
 def _add_query(sub: argparse._SubParsersAction) -> None:
@@ -88,6 +97,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_batch_size=args.max_batch_size,
             max_wait_s=args.max_wait_ms / 1e3,
             max_queue=args.queue_bound, timeout_s=args.timeout_s,
+            telemetry=not args.no_telemetry,
+            telemetry_resolution_s=args.telemetry_resolution_s,
+            telemetry_retention=args.telemetry_retention,
+            telemetry_persist=args.telemetry_persist,
         )
         await server.start()
         server.install_signal_handlers()

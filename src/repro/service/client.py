@@ -210,6 +210,37 @@ class ServiceClient:
     def metrics(self) -> dict:
         return self._request("GET", "/metrics")
 
+    def events(self, *, from_seq: int = 0, timeout_s: float = 0.0,
+               limit: "int | None" = None) -> dict:
+        """``GET /v1/events?mode=poll`` — one long-poll round.
+
+        Returns ``{"events", "next_from", "last_seq", "dropped"}``;
+        pass ``next_from`` back as ``from_seq`` to resume.  For the
+        live SSE stream use :func:`repro.telemetry.sse_events`.
+        """
+        return self._request("GET", "/v1/events?" + urlencode(
+            _events_query(from_seq, timeout_s, limit)))
+
+    def store_keys(self) -> dict:
+        """``GET /v1/store/keys`` — per-namespace key inventory."""
+        return self._request("GET", "/v1/store/keys")
+
+    def ring_add(self, url: str) -> dict:
+        """``POST /v1/ring/add`` (router only) — join a shard."""
+        return self._request("POST", "/v1/ring/add", {"url": url})
+
+    def ring_drain(self, url: str) -> dict:
+        """``POST /v1/ring/drain`` (router only) — decommission a shard."""
+        return self._request("POST", "/v1/ring/drain", {"url": url})
+
+
+def _events_query(from_seq: int, timeout_s: float,
+                  limit: "int | None") -> dict:
+    query = {"mode": "poll", "from": int(from_seq), "timeout": f"{timeout_s:g}"}
+    if limit is not None:
+        query["limit"] = int(limit)
+    return query
+
 
 class AsyncServiceClient:
     """Asyncio client: one connection per request, same retry discipline.
@@ -329,3 +360,18 @@ class AsyncServiceClient:
 
     async def metrics(self) -> dict:
         return await self._request("GET", "/metrics")
+
+    async def events(self, *, from_seq: int = 0, timeout_s: float = 0.0,
+                     limit: "int | None" = None) -> dict:
+        """``GET /v1/events?mode=poll`` — one long-poll round."""
+        return await self._request("GET", "/v1/events?" + urlencode(
+            _events_query(from_seq, timeout_s, limit)))
+
+    async def store_keys(self) -> dict:
+        return await self._request("GET", "/v1/store/keys")
+
+    async def ring_add(self, url: str) -> dict:
+        return await self._request("POST", "/v1/ring/add", {"url": url})
+
+    async def ring_drain(self, url: str) -> dict:
+        return await self._request("POST", "/v1/ring/drain", {"url": url})

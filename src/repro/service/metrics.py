@@ -92,6 +92,10 @@ class ServiceMetrics:
         #: registered by the server from
         #: :func:`repro.native.native_metrics_snapshot`.
         self.native_counters = lambda: {}
+        #: Telemetry counters (``{"events": EventBus.snapshot(),
+        #: "recorder": MetricsRecorder.snapshot()}``); registered by the
+        #: server when the telemetry subsystem is on, empty otherwise.
+        self.telemetry_counters = lambda: {}
 
     # -- update hooks ------------------------------------------------------
     def observe_request(self, route: str, status: int, seconds: float) -> None:
@@ -152,5 +156,6 @@ class ServiceMetrics:
             "trace_store": dict(self.trace_counters()),
             "store": dict(self.store_counters()),
             "native": dict(self.native_counters()),
+            "telemetry": dict(self.telemetry_counters()),
             "latency": self.latency.snapshot(),
         }

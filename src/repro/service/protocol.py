@@ -56,6 +56,9 @@ __all__ = [
     "parse_tune_request",
     "parse_store_push",
     "parse_store_pull",
+    "parse_events_query",
+    "parse_ring_change",
+    "MAX_EVENTS_TIMEOUT_S",
     "spec_key",
 ]
 
@@ -475,3 +478,96 @@ def parse_store_pull(params: Mapping[str, str]) -> tuple[str, str]:
                                   frozenset(_STORE_NAME_OK), 64)
     key = _store_name_field(params, "key", frozenset(_STORE_KEY_OK), 256)
     return namespace, key
+
+
+# ---------------------------------------------------------------------------
+# GET /v1/events · POST /v1/ring/{add,drain}  (telemetry + membership)
+# ---------------------------------------------------------------------------
+
+#: Ceiling on one long-poll's server-side wait.  Keeps a poll request
+#: from pinning a connection longer than the clients' own timeouts.
+MAX_EVENTS_TIMEOUT_S = 60.0
+
+
+def parse_events_query(params: Mapping[str, str]) -> dict:
+    """Validate ``GET /v1/events`` query params.
+
+    Returns ``{"mode", "from_seq", "timeout_s", "limit"}``.  ``mode``
+    is ``"sse"`` (default — a live stream, no Content-Length) or
+    ``"poll"`` (one long-poll round returning a JSON body).  ``from``
+    is the resume cursor (events with ``seq > from`` are delivered);
+    ``timeout`` bounds a poll's wait; ``limit`` caps delivered events —
+    under SSE the *server* closes the stream once it is reached.
+    """
+    mode = params.get("mode", "sse")
+    if mode not in ("sse", "poll"):
+        raise ProtocolError(
+            f"mode must be 'sse' or 'poll', got {mode!r}", field="mode",
+            code="invalid_param",
+        )
+    out: dict[str, Any] = {"mode": mode}
+    raw = params.get("from", "0")
+    try:
+        from_seq = int(raw)
+    except (TypeError, ValueError):
+        raise ProtocolError(f"from must be an integer, got {raw!r}",
+                            field="from", code="invalid_param") from None
+    if from_seq < 0:
+        raise ProtocolError(f"from must be >= 0, got {from_seq}",
+                            field="from", code="invalid_param")
+    out["from_seq"] = from_seq
+    raw = params.get("timeout", "25")
+    try:
+        timeout_s = float(raw)
+    except (TypeError, ValueError):
+        raise ProtocolError(f"timeout must be a number, got {raw!r}",
+                            field="timeout", code="invalid_param") from None
+    if not 0.0 <= timeout_s <= MAX_EVENTS_TIMEOUT_S:
+        raise ProtocolError(
+            f"timeout must be in [0, {MAX_EVENTS_TIMEOUT_S:g}], got {raw}",
+            field="timeout", code="invalid_param",
+        )
+    out["timeout_s"] = timeout_s
+    raw = params.get("limit")
+    if raw is None:
+        out["limit"] = None
+    else:
+        try:
+            limit = int(raw)
+        except (TypeError, ValueError):
+            raise ProtocolError(f"limit must be an integer, got {raw!r}",
+                                field="limit", code="invalid_param") from None
+        if limit < 1:
+            raise ProtocolError(f"limit must be >= 1, got {limit}",
+                                field="limit", code="invalid_param")
+        out["limit"] = limit
+    return out
+
+
+def parse_ring_change(payload: Any) -> str:
+    """Validate a ``POST /v1/ring/add`` / ``/v1/ring/drain`` body.
+
+    The body names one shard: ``{"url": "http://host:port"}``.  Returns
+    the normalized base URL (scheme + host + explicit port, no path),
+    which is the ring's member identity.
+    """
+    from urllib.parse import urlsplit
+
+    body = _require_object(payload, "ring change")
+    unknown = sorted(set(body) - {"url"})
+    if unknown:
+        raise ProtocolError(
+            f"unknown field {unknown[0]!r} (allowed: url)",
+            field=unknown[0], code="invalid_param",
+        )
+    raw = body.get("url")
+    if not isinstance(raw, str) or not raw:
+        raise ProtocolError("url must be a non-empty string", field="url",
+                            code="missing_param")
+    split = urlsplit(raw)
+    if split.scheme != "http" or not split.hostname or split.port is None:
+        raise ProtocolError(
+            f"url must look like http://host:port, got {raw!r}",
+            field="url", code="invalid_param",
+        )
+    return f"http://{split.hostname}:{split.port}"

@@ -16,6 +16,11 @@ Stdlib only: a small, strict HTTP/1.1 handler on ``asyncio.start_server``
                           envelope is re-verified before anything is
                           stored
 ``GET /v1/store/pull``    serve a framed store entry to a peer
+``GET /v1/store/keys``    list the store keys this process serves, per
+                          namespace (the ring-drain handoff inventory)
+``GET /v1/events``        the live telemetry feed — SSE stream by
+                          default, ``?mode=poll`` long-poll fallback;
+                          resumable via ``?from=<seq>`` (docs/TELEMETRY.md)
 ``GET /healthz``          liveness + drain state
 ``GET /metrics``          JSON counters (requests, batch sizes, cache hit
                           rate, queue depth, latency quantiles)
@@ -55,12 +60,16 @@ from repro.service.protocol import (
     ProtocolError,
     parse_advise_request,
     parse_cost_request,
+    parse_events_query,
     parse_store_pull,
     parse_store_push,
     parse_sweep_request,
     parse_tune_request,
     spec_key,
 )
+from repro.telemetry.events import DEFAULT_CAPACITY, EventBus
+from repro.telemetry.series import MetricsRecorder
+from repro.telemetry.stream import stream_over_http
 
 __all__ = ["ServiceServer", "BackgroundServer", "WARM_PEERS_HEADER"]
 
@@ -93,6 +102,18 @@ class ServiceServer:
         baseline in benchmarks; leave on in production.
     clock, metrics:
         Injection points for deterministic tests.
+    telemetry, telemetry_resolution_s, telemetry_retention:
+        The live telemetry subsystem (event bus + metrics recorder,
+        see :mod:`repro.telemetry`).  ``telemetry=False`` disables the
+        background sampler — ``/v1/events`` still answers, the feed is
+        just lifecycle-only.
+    telemetry_persist:
+        Persist the recorded time series to the store's ``telemetry``
+        namespace on shutdown (and restore on start).  Off by default
+        so tests and ad-hoc servers leave no artifacts behind; the
+        ``serve`` CLI turns it on.
+    event_capacity:
+        Event ring size (resume window of ``/v1/events``).
     """
 
     def __init__(
@@ -108,6 +129,11 @@ class ServiceServer:
         coalesce: bool = True,
         clock: Clock | None = None,
         metrics: ServiceMetrics | None = None,
+        telemetry: bool = True,
+        telemetry_resolution_s: float = 1.0,
+        telemetry_retention: int = 300,
+        telemetry_persist: bool = False,
+        event_capacity: int = DEFAULT_CAPACITY,
     ) -> None:
         self.host = host
         self.port = port
@@ -147,6 +173,38 @@ class ServiceServer:
         self._server: asyncio.Server | None = None
         self._shutdown_started = False
         self._stopped = asyncio.Event()
+        # Telemetry: event bus always exists (lifecycle events are
+        # nearly free and /v1/events must answer); the sampling recorder
+        # only when enabled.
+        self.events = EventBus(capacity=event_capacity, clock=self.clock)
+        self._stream_stop = asyncio.Event()
+        self._stream_tasks: set[asyncio.Task] = set()
+        self.recorder: MetricsRecorder | None = None
+        self._recorder_task: asyncio.Task | None = None
+        if telemetry:
+            store_space = None
+            if telemetry_persist:
+                from repro.store import ArtifactStore
+
+                store_space = ArtifactStore().namespace("telemetry")
+                # Serve it like the other stores: listed by
+                # /v1/store/keys and handed off on a ring drain.
+                store_space.track_recent_puts()
+                self._warm_spaces.setdefault("telemetry", store_space)
+            self.recorder = MetricsRecorder(
+                self.metrics.snapshot,
+                resolution_s=telemetry_resolution_s,
+                retention=telemetry_retention,
+                clock=self.clock,
+                bus=self.events,
+                store_space=store_space,
+                name="service",
+            )
+        self.metrics.telemetry_counters = lambda: {
+            "events": self.events.snapshot(),
+            **({"recorder": self.recorder.snapshot()}
+               if self.recorder is not None else {}),
+        }
 
     # -- lifecycle ---------------------------------------------------------
     async def start(self) -> None:
@@ -156,6 +214,11 @@ class ServiceServer:
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.recorder is not None:
+            if self.recorder.store_space is not None:
+                self.recorder.restore()
+            self._recorder_task = asyncio.ensure_future(self.recorder.run())
+        self.events.emit("server.start", host=self.host, port=self.port)
 
     @property
     def url(self) -> str:
@@ -180,12 +243,32 @@ class ServiceServer:
             await self._stopped.wait()
             return
         self._shutdown_started = True
+        # Emit the drain sentinel BEFORE closing anything: it is the
+        # last event streaming consumers receive, and setting the stop
+        # flag right after guarantees open SSE handlers deliver it and
+        # close cleanly instead of parking on a heartbeat.
+        self.events.emit("server.drain", port=self.port)
+        self._stream_stop.set()
+        if self._stream_tasks:
+            await asyncio.wait(self._stream_tasks, timeout=5)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
         await self.batcher.drain()
         if self._warm_tasks:
             await asyncio.gather(*self._warm_tasks, return_exceptions=True)
+        if self._recorder_task is not None:
+            self.recorder.stop()
+            self._recorder_task.cancel()
+            try:
+                await self._recorder_task
+            except asyncio.CancelledError:
+                pass
+        if self.recorder is not None:
+            try:
+                self.recorder.persist()
+            except Exception:  # noqa: BLE001 - telemetry must not block exit
+                pass
         self.oracle.close()
         self._stopped.set()
 
@@ -219,7 +302,16 @@ class ServiceServer:
                 if parsed is None:
                     break
                 method, target, http_version, headers, payload, _raw = parsed
-                path = urlsplit(target).path
+                split = urlsplit(target)
+                path = split.path
+                if method == "GET" and path == "/v1/events":
+                    query = dict(parse_qsl(split.query))
+                    if query.get("mode", "sse") == "sse":
+                        # SSE is the one response with no Content-Length:
+                        # stream directly and close, bypassing
+                        # write_response and keep-alive.
+                        await self._stream_events(writer, query, path)
+                        break
                 started = self.clock.monotonic()
                 try:
                     status, body, extra_headers = await self._dispatch(
@@ -269,6 +361,8 @@ class ServiceServer:
             ("GET", "/v1/advise"): self._route_advise,
             ("POST", "/v1/store/push"): self._route_store_push,
             ("GET", "/v1/store/pull"): self._route_store_pull,
+            ("GET", "/v1/store/keys"): self._route_store_keys,
+            ("GET", "/v1/events"): self._route_events,
             ("GET", "/healthz"): self._route_healthz,
             ("GET", "/metrics"): self._route_metrics,
         }
@@ -378,6 +472,55 @@ class ServiceServer:
             "entry": base64.b64encode(blob).decode("ascii"),
         }
 
+    async def _route_store_keys(self, payload, query, headers) -> dict:
+        """Inventory of every store entry this process serves, per
+        namespace — what a ring drain hands off before decommission."""
+        spaces = dict(self._warm_spaces)
+        loop = asyncio.get_running_loop()
+
+        def collect() -> dict:
+            return {name: sorted(space.keys())
+                    for name, space in spaces.items()}
+
+        return {"namespaces": await loop.run_in_executor(None, collect)}
+
+    async def _route_events(self, payload, query, headers) -> dict:
+        """The ``?mode=poll`` long-poll arm of the event feed."""
+        opts = parse_events_query(query)
+        events = await self.events.wait_since(
+            opts["from_seq"], opts["timeout_s"], opts["limit"]
+        )
+        return self.events.poll_body(opts["from_seq"], events)
+
+    async def _stream_events(
+        self, writer: asyncio.StreamWriter, query: dict[str, str], path: str
+    ) -> None:
+        """The SSE arm: stream until drain, client loss, or ``limit``."""
+        try:
+            opts = parse_events_query(query)
+        except ProtocolError as exc:
+            self.metrics.observe_request(path, 400, 0.0)
+            await write_response(writer, 400, exc.body(), {}, False)
+            return
+        self.metrics.observe_request(path, 200, 0.0)
+        heartbeat_s = min(opts["timeout_s"], 10.0) or 10.0
+        task = asyncio.current_task()
+        if task is not None:
+            self._stream_tasks.add(task)
+        try:
+            await stream_over_http(
+                writer, self.events,
+                from_seq=opts["from_seq"],
+                stop=self._stream_stop,
+                heartbeat_s=heartbeat_s,
+                max_events=opts["limit"],
+            )
+        except (ConnectionError, OSError):
+            pass  # consumer went away; a normal way to end a stream
+        finally:
+            if task is not None:
+                self._stream_tasks.discard(task)
+
     async def _route_healthz(self, payload, query, headers) -> dict:
         return {
             "status": "draining" if self._shutdown_started else "ok",
@@ -435,6 +578,7 @@ class ServiceServer:
 
         loop = asyncio.get_running_loop()
         framed: dict[tuple[str, str], bytes] = {}
+        sent = failed = 0
         for peer, name, key in batch:
             blob = framed.get((name, key))
             if blob is None:
@@ -453,12 +597,22 @@ class ServiceServer:
                     "POST", "/v1/store/push", body
                 )
                 self.metrics.warm_pushes_sent += 1
+                sent += 1
             except Unavailable:
                 self.metrics.warm_push_failures += 1
+                failed += 1
             except ServiceError:
                 self.metrics.warm_push_rejected += 1
+                failed += 1
             except (ConnectionError, OSError, asyncio.TimeoutError):
                 self.metrics.warm_push_failures += 1
+                failed += 1
+        if sent or failed:
+            self.events.emit(
+                "warm.push",
+                peers=len({peer for peer, _, _ in batch}),
+                sent=sent, failed=failed,
+            )
 
     def _warm_client(self, peer: str):
         from repro.service.client import AsyncServiceClient

@@ -22,7 +22,8 @@ from repro.store.config import NAMESPACES
 from repro.store.migrate import migrate_legacy
 from repro.store.store import ArtifactStore
 
-_CODECS = {"sweep": "json", "trace": "npz", "tune": "json"}
+_CODECS = {"sweep": "json", "trace": "npz", "tune": "json",
+           "telemetry": "json"}
 
 
 def main(argv: "list[str] | None" = None) -> int:

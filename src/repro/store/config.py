@@ -70,8 +70,9 @@ STORE_ENV = "REPRO_STORE"
 STORE_DIR_ENV = "REPRO_STORE_DIR"
 
 #: The standard namespaces (new ones are allowed; these always appear in
-#: the service's ``/metrics`` snapshot).
-NAMESPACES = ("sweep", "trace", "tune")
+#: the service's ``/metrics`` snapshot).  ``telemetry`` holds persisted
+#: metrics time series (see :mod:`repro.telemetry.series`).
+NAMESPACES = ("sweep", "trace", "tune", "telemetry")
 
 _OFF = ("off", "0", "no")
 

@@ -1,0 +1,56 @@
+"""Live telemetry: event streaming, metrics time series, dashboards.
+
+Three cooperating pieces (see docs/TELEMETRY.md for the contracts):
+
+* :class:`EventBus` — per-process ordered event ring with monotonic
+  sequence ids; the resume-from-seq cursor of the streaming layer.
+* :class:`MetricsRecorder` — samples a metrics snapshot into bounded
+  :class:`RingSeries`, persisted through the artifact store's
+  ``telemetry`` namespace.
+* :mod:`repro.telemetry.stream` — SSE framing over the stdlib asyncio
+  servers (``GET /v1/events``), plus the long-poll fallback and the
+  blocking :func:`sse_events` consumer.
+
+``python -m repro.telemetry watch <url>`` renders the terminal
+dashboard (:func:`repro.viz.render_dashboard`) from a live service or
+cluster router; ``python -m repro.telemetry events <url>`` tails the
+raw event feed.
+"""
+
+# The submodules below import repro.service.clock, which triggers
+# repro.service.__init__ — and that imports repro.telemetry.events
+# back.  Completing the service package first keeps the events module
+# from being entered twice when this package is imported standalone
+# (``python -m repro.telemetry``).
+import repro.service  # noqa: F401  (import-cycle breaker)
+
+from repro.telemetry.events import DEFAULT_CAPACITY, EventBus
+from repro.telemetry.series import (
+    MetricsRecorder,
+    RingSeries,
+    flatten_numeric,
+    telemetry_store_key,
+)
+from repro.telemetry.stream import (
+    SSE_HEARTBEAT,
+    poll_events,
+    sse_events,
+    sse_frame,
+    sse_head,
+    stream_over_http,
+)
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "EventBus",
+    "MetricsRecorder",
+    "RingSeries",
+    "flatten_numeric",
+    "telemetry_store_key",
+    "SSE_HEARTBEAT",
+    "poll_events",
+    "sse_events",
+    "sse_frame",
+    "sse_head",
+    "stream_over_http",
+]

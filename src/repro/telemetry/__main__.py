@@ -1,0 +1,156 @@
+"""``python -m repro.telemetry`` — watch a live service or cluster.
+
+Subcommands::
+
+    watch <url>    terminal dashboard, redrawn every --interval seconds
+    events <url>   tail the raw /v1/events feed (SSE, or --poll)
+
+``watch`` works against both a ``repro.service`` shard and the cluster
+router: it polls ``/metrics``, derives request rates from successive
+``requests_total`` readings, keeps a short in-process history for the
+sparklines, and tails ``/v1/events`` for the recent-events footer.
+``events`` prints one line per event (``#seq ts type key=value ...``)
+and exits when the server drains or ``--limit`` is reached.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from collections import deque
+
+from repro.service.client import ServiceClient, ServiceError, Unavailable
+from repro.telemetry.stream import sse_events
+from repro.viz.dashboard import render_dashboard
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _format_event(event: dict) -> str:
+    data = event.get("data", {})
+    bits = " ".join(f"{k}={data[k]}" for k in sorted(data))
+    return (f"#{event.get('seq')} {event.get('ts')}s {event.get('type')}"
+            + (f" {bits}" if bits else ""))
+
+
+def _shard_totals(metrics: dict) -> dict[str, int]:
+    """``requests_total`` per shard (or the single service's)."""
+    if "cluster" in metrics:
+        out = {"cluster": metrics["cluster"]["router"].get("requests_total", 0)}
+        for url, body in metrics.get("shards", {}).items():
+            if isinstance(body, dict):
+                out[url] = body.get("requests_total", 0)
+        return out
+    return {"service": metrics.get("requests_total", 0)}
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.url, retries=1)
+    history: dict = {"rps": {}}
+    recent: deque = deque(maxlen=12)
+    prev_totals: dict[str, int] = {}
+    prev_t = 0.0
+    cursor = 0
+    frames = 0
+    while True:
+        try:
+            metrics = client.metrics()
+        except (ServiceError, Unavailable) as exc:
+            print(f"watch: {args.url} unreachable: {exc}", file=sys.stderr)
+            return 1
+        now = time.monotonic()
+        totals = _shard_totals(metrics)
+        if prev_t and now > prev_t:
+            dt = now - prev_t
+            for name, total in totals.items():
+                delta = max(0, total - prev_totals.get(name, total))
+                history["rps"].setdefault(name, []).append(delta / dt)
+                del history["rps"][name][:-64]
+        prev_totals, prev_t = totals, now
+        try:
+            body = client.events(from_seq=cursor, timeout_s=0.0, limit=200)
+            recent.extend(body["events"])
+            cursor = body["next_from"]
+        except (ServiceError, Unavailable):
+            pass  # a pre-telemetry server: dashboard without the footer
+        frame = render_dashboard(metrics, source=args.url, history=history,
+                                 events=list(recent))
+        if args.once:
+            print(frame)
+            return 0
+        print((_CLEAR if not args.no_clear else "") + frame, flush=True)
+        frames += 1
+        if args.iterations and frames >= args.iterations:
+            return 0
+        time.sleep(args.interval)
+
+
+def _cmd_events(args: argparse.Namespace) -> int:
+    try:
+        if args.poll:
+            client = ServiceClient(args.url, retries=1)
+            cursor = args.from_seq
+            printed = 0
+            while args.limit is None or printed < args.limit:
+                body = client.events(from_seq=cursor, timeout_s=20.0,
+                                     limit=args.limit)
+                for event in body["events"]:
+                    print(_format_event(event) if not args.json
+                          else json.dumps(event, sort_keys=True))
+                    printed += 1
+                cursor = body["next_from"]
+            return 0
+        for event in sse_events(args.url, from_seq=args.from_seq,
+                                limit=args.limit):
+            print(_format_event(event) if not args.json
+                  else json.dumps(event, sort_keys=True), flush=True)
+        return 0
+    except (ServiceError, Unavailable, ConnectionError, OSError) as exc:
+        print(f"events: {args.url}: {exc}", file=sys.stderr)
+        return 1
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Live telemetry: terminal dashboard and event tail.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    watch = sub.add_parser("watch", help="terminal dashboard")
+    watch.add_argument("url", help="service or router base URL")
+    watch.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between frames (default 2)")
+    watch.add_argument("--iterations", type=int, default=0,
+                       help="stop after N frames (default: run forever)")
+    watch.add_argument("--once", action="store_true",
+                       help="render a single frame and exit")
+    watch.add_argument("--no-clear", action="store_true",
+                       help="do not clear the screen between frames")
+    watch.set_defaults(func=_cmd_watch)
+
+    events = sub.add_parser("events", help="tail the raw event feed")
+    events.add_argument("url", help="service or router base URL")
+    events.add_argument("--from", dest="from_seq", type=int, default=0,
+                        help="resume after this sequence id (default 0)")
+    events.add_argument("--limit", type=int, default=None,
+                        help="server closes the stream after N events")
+    events.add_argument("--poll", action="store_true",
+                        help="long-poll instead of SSE")
+    events.add_argument("--json", action="store_true",
+                        help="print full event JSON per line")
+    events.set_defaults(func=_cmd_events)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        return 130
+    except BrokenPipeError:  # e.g. `... events <url> | head`
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,180 @@
+"""SSE framing and streaming clients for ``GET /v1/events``.
+
+Server side, :func:`stream_over_http` writes a standard Server-Sent
+Events response directly to an asyncio writer — this is the one
+response in the system without a ``Content-Length`` (the stream ends
+when the connection closes), so it bypasses
+:func:`repro.service.http.write_response` and both servers special-case
+the route before normal dispatch.  Frames are::
+
+    id: <seq>
+    event: <type>
+    data: {"seq": ..., "ts": ..., "type": ..., "data": {...}}
+
+``data`` carries the whole event JSON, so a consumer needs no SSE
+field semantics beyond "lines until blank line"; ``id``/``event`` are
+the conventional conveniences (``Last-Event-ID`` resume works, and so
+does ``?from=<seq>``).  Comment frames (``: heartbeat``) keep idle
+connections visibly alive.
+
+Client side: :func:`sse_events` is a blocking generator over a live
+stream (stdlib ``http.client``), and :func:`poll_events` is the
+long-poll fallback — one ``?mode=poll`` request per call, returning
+``(events, next_cursor)``.  Both honour the resume-from-seq contract
+documented in docs/TELEMETRY.md.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+from typing import Iterator
+from urllib.parse import urlsplit
+
+__all__ = [
+    "sse_head",
+    "sse_frame",
+    "SSE_HEARTBEAT",
+    "stream_over_http",
+    "sse_events",
+    "poll_events",
+]
+
+SSE_HEARTBEAT = b": heartbeat\n\n"
+
+
+def sse_head(status: int = 200) -> bytes:
+    """The response head of an SSE stream (no Content-Length)."""
+    return (
+        f"HTTP/1.1 {status} OK\r\n"
+        "Content-Type: text/event-stream\r\n"
+        "Cache-Control: no-store\r\n"
+        "Connection: close\r\n\r\n"
+    ).encode()
+
+
+def sse_frame(event: dict) -> bytes:
+    """One event as an SSE frame (``data`` = the full event JSON)."""
+    data = json.dumps(event, sort_keys=True)
+    return (
+        f"id: {event['seq']}\nevent: {event['type']}\ndata: {data}\n\n"
+    ).encode()
+
+
+async def stream_over_http(
+    writer: asyncio.StreamWriter,
+    bus,
+    *,
+    from_seq: int = 0,
+    stop: "asyncio.Event | None" = None,
+    heartbeat_s: float = 10.0,
+    max_events: "int | None" = None,
+) -> int:
+    """Stream ``bus`` events after ``from_seq`` until stop/limit/EOF.
+
+    Returns the number of events sent.  ``stop`` is the server's drain
+    signal: the final events emitted before it was set (the
+    ``server.drain`` / ``router.drain`` sentinel) are still delivered,
+    then the stream closes cleanly.  A vanished client surfaces as
+    ``ConnectionError`` from ``drain()`` — the caller treats that as a
+    normal disconnect.
+    """
+    writer.write(sse_head())
+    await writer.drain()
+    cursor = from_seq
+    sent = 0
+    while True:
+        events = await bus.wait_since(cursor, heartbeat_s)
+        for event in events:
+            writer.write(sse_frame(event))
+            cursor = event["seq"]
+            sent += 1
+            if max_events is not None and sent >= max_events:
+                await writer.drain()
+                return sent
+        if events:
+            await writer.drain()
+        else:
+            writer.write(SSE_HEARTBEAT)
+            await writer.drain()
+        if stop is not None and stop.is_set() and not bus.since(cursor):
+            return sent
+
+
+def sse_events(
+    url: str,
+    *,
+    from_seq: int = 0,
+    limit: "int | None" = None,
+    timeout: float = 60.0,
+) -> Iterator[dict]:
+    """Blocking generator over ``GET /v1/events`` SSE frames.
+
+    Yields event dicts (``{"seq", "ts", "type", "data"}``).  ``limit``
+    asks the *server* to close the stream after that many events —
+    handy for scripts and smoke tests; without it the generator runs
+    until the server drains or the caller breaks out.
+    """
+    split = urlsplit(url)
+    if split.scheme != "http" or not split.hostname:
+        raise ValueError(f"expected an http://host:port URL, got {url!r}")
+    conn = http.client.HTTPConnection(split.hostname, split.port or 80,
+                                      timeout=timeout)
+    path = f"/v1/events?from={int(from_seq)}"
+    if limit is not None:
+        path += f"&limit={int(limit)}"
+    try:
+        conn.request("GET", path, headers={"Accept": "text/event-stream"})
+        response = conn.getresponse()
+        if response.status != 200:
+            from repro.service.client import ServiceError
+
+            raw = response.read()
+            try:
+                body = json.loads(raw)
+            except ValueError:
+                body = {"error": {"message": raw.decode("latin-1")}}
+            raise ServiceError(response.status, body)
+        data_lines: list[bytes] = []
+        while True:
+            line = response.readline()
+            if not line:
+                return  # server closed the stream
+            line = line.rstrip(b"\r\n")
+            if line.startswith(b":"):
+                continue  # heartbeat comment
+            if line.startswith(b"data:"):
+                data_lines.append(line[5:].strip())
+                continue
+            if line == b"" and data_lines:
+                payload = b"\n".join(data_lines)
+                data_lines = []
+                try:
+                    yield json.loads(payload)
+                except ValueError:
+                    continue  # torn frame on disconnect; skip
+    finally:
+        conn.close()
+
+
+def poll_events(
+    url: str,
+    *,
+    from_seq: int = 0,
+    timeout_s: float = 0.0,
+    limit: "int | None" = None,
+    client=None,
+) -> tuple[list[dict], int]:
+    """One long-poll round: ``(events, next_cursor)``.
+
+    The fallback transport for environments where a hanging GET is
+    awkward; semantically identical to the SSE stream (same events,
+    same seq cursor).  Pass the returned cursor back as ``from_seq``.
+    """
+    if client is None:
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient(url, retries=1)
+    body = client.events(from_seq=from_seq, timeout_s=timeout_s, limit=limit)
+    return body["events"], body["next_from"]

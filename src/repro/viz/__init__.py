@@ -6,10 +6,13 @@ terminals, logs, and EXPERIMENTS.md.
 * :func:`render_banks_and_groups` — Figure 3 (banks and address groups);
 * :func:`render_sum_tree` — Figure 5 (the pairwise summing tree);
 * :func:`ascii_chart` — log-log style series charts for the sweeps;
+* :func:`render_dashboard` / :func:`sparkline` — the live telemetry
+  dashboard (``python -m repro.telemetry watch``);
 * Figure 4's pipeline timeline lives on
   :meth:`repro.machine.trace.TraceRecorder.render_pipeline_timeline`.
 """
 
+from repro.viz.dashboard import render_dashboard, sparkline
 from repro.viz.figures import (
     ascii_chart,
     render_banks_and_groups,
@@ -20,6 +23,8 @@ from repro.viz.figures import (
 __all__ = [
     "ascii_chart",
     "render_banks_and_groups",
+    "render_dashboard",
     "render_heatmap",
     "render_sum_tree",
+    "sparkline",
 ]

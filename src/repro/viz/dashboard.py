@@ -1,0 +1,201 @@
+"""Terminal dashboard for the live telemetry feed.
+
+Pure functions from a ``/metrics`` payload (cluster or single service)
+plus optional client-kept history to plain text — no cursor tricks, no
+dependencies beyond numpy (via :func:`~repro.viz.figures.ascii_chart`).
+``python -m repro.telemetry watch <url>`` drives this in a loop; tests
+golden-snapshot the exact render.
+
+Layout::
+
+    == repro telemetry =============================================
+    source http://127.0.0.1:8799  status ok  requests 1234  up 63s
+    rps (cluster)  ▁▂▄▆██▆  last 102.4
+    <ascii_chart of aggregate rps when history is long enough>
+    shard                        state     req  hit%  warm_rx  rps
+    http://127.0.0.1:9001        up        512    93        4  51.2
+    ...
+    hot keys (2/8): 412 spec:{...}  97 spec:{...}
+    events: 57 emitted, 0 dropped | recent:
+      #55 12.4s shard.down {"shard": "..."}
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["sparkline", "render_dashboard"]
+
+_SPARK = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(
+    values: Sequence[float], *, width: int = 24,
+    lo: "float | None" = None, hi: "float | None" = None,
+) -> str:
+    """A one-line block graph of the last ``width`` values.
+
+    Scale is min..max of the rendered window unless pinned with
+    ``lo``/``hi`` (pin ``0..1`` for rates so full bars mean 100%).
+    """
+    tail = [float(v) for v in list(values)[-width:]]
+    if not tail:
+        return ""
+    low = min(tail) if lo is None else float(lo)
+    high = max(tail) if hi is None else float(hi)
+    span = high - low
+    if span <= 0:
+        return _SPARK[1] * len(tail)
+    steps = len(_SPARK) - 1
+    out = []
+    for v in tail:
+        frac = min(1.0, max(0.0, (v - low) / span))
+        out.append(_SPARK[max(1, round(frac * steps))])
+    return "".join(out)
+
+
+def _fmt_rate(value) -> str:
+    return f"{100 * value:.0f}" if isinstance(value, (int, float)) else "-"
+
+
+def _shard_rows(metrics: Mapping, history: Mapping) -> list[list[str]]:
+    """One table row per shard, cluster and single-service payloads."""
+    rps_hist = history.get("rps", {})
+    rows = []
+    if "cluster" in metrics:
+        ring = metrics["cluster"].get("ring", {})
+        shards = metrics.get("shards", {})
+        for url in ring.get("shards", []):
+            body = shards.get(url)
+            body = body if isinstance(body, dict) else {}
+            cache = body.get("cache", {})
+            warming = body.get("warming", {})
+            rps = rps_hist.get(url, [])
+            rows.append([
+                url,
+                "up" if ring.get("alive", {}).get(url) else "down",
+                str(body.get("requests_total", "-")),
+                _fmt_rate(cache.get("hit_rate")),
+                str(warming.get("received_stored", "-")),
+                f"{rps[-1]:.1f}" if rps else "-",
+                sparkline(rps, width=16),
+            ])
+    else:
+        cache = metrics.get("cache", {})
+        warming = metrics.get("warming", {})
+        rps = rps_hist.get("service", [])
+        rows.append([
+            "service",
+            "up",
+            str(metrics.get("requests_total", "-")),
+            _fmt_rate(cache.get("hit_rate")),
+            str(warming.get("received_stored", "-")),
+            f"{rps[-1]:.1f}" if rps else "-",
+            sparkline(rps, width=16),
+        ])
+    return rows
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> list[str]:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells):
+        return "  ".join(c.ljust(widths[i])
+                         for i, c in enumerate(cells)).rstrip()
+
+    return [fmt(headers)] + [fmt(row) for row in rows]
+
+
+def render_dashboard(
+    metrics: Mapping,
+    *,
+    source: str = "",
+    history: "Mapping | None" = None,
+    events: "Sequence[Mapping] | None" = None,
+    width: int = 64,
+    max_events: int = 6,
+    max_hot: int = 4,
+) -> str:
+    """Render one dashboard frame from a ``/metrics`` payload.
+
+    ``history`` is client-kept (the ``watch`` CLI computes it from
+    successive polls): ``{"rps": {shard_url_or_"cluster": [..]},
+    "hit_rate": {...}}``.  ``events`` is a recent-events window (dicts
+    with ``seq``/``ts``/``type``/``data``).  Deterministic: same
+    inputs, same text.
+    """
+    history = history or {}
+    cluster = metrics.get("cluster", {})
+    router = cluster.get("router", {})
+    lines = ["== repro telemetry " + "=" * max(4, width - 19)]
+
+    if cluster:
+        header = (
+            f"source {source or 'cluster'}  shards "
+            f"{sum(1 for v in cluster.get('ring', {}).get('alive', {}).values() if v)}"
+            f"/{len(cluster.get('ring', {}).get('shards', []))} up  "
+            f"requests {router.get('requests_total', 0)}  "
+            f"reroutes {router.get('reroutes', 0)}  "
+            f"503s {router.get('no_live_shard_503', 0)}"
+        )
+    else:
+        header = (
+            f"source {source or 'service'}  "
+            f"requests {metrics.get('requests_total', 0)}  "
+            f"rejected {metrics.get('rejected', 0)}  "
+            f"uptime {metrics.get('uptime_s', 0):.0f}s"
+        )
+    lines.append(header)
+
+    agg = history.get("rps", {}).get("cluster") \
+        or history.get("rps", {}).get("service") or []
+    if agg:
+        lines.append(
+            f"rps {sparkline(agg, width=min(32, width // 2))}  "
+            f"last {agg[-1]:.1f}"
+        )
+    if len(agg) >= 4:
+        from repro.viz.figures import ascii_chart
+
+        lines.append(ascii_chart(
+            list(range(len(agg))), {"rps": list(agg)},
+            x_label="poll", height=5, width=min(48, width - 8),
+            log_y=False,
+        ))
+
+    rows = _shard_rows(metrics, history)
+    lines.extend(_table(
+        ["shard", "state", "req", "hit%", "warm_rx", "rps", "trend"], rows,
+    ))
+
+    hot = cluster.get("hot", {}) if cluster else {}
+    hot_keys = hot.get("hot_keys", {})
+    if cluster:
+        shown = sorted(hot_keys.items(), key=lambda kv: (-kv[1], kv[0]))
+        bits = "  ".join(
+            f"{count} {key if len(key) <= 44 else key[:43] + '…'}"
+            for key, count in shown[:max_hot]
+        )
+        lines.append(
+            f"hot keys ({len(hot_keys)}/{hot.get('top_k', 0)})"
+            + (f": {bits}" if bits else "")
+        )
+
+    bus = (cluster.get("events") if cluster
+           else (metrics.get("telemetry") or {}).get("events")) or {}
+    if bus:
+        lines.append(
+            f"events: {bus.get('emitted', 0)} emitted, "
+            f"{bus.get('dropped', 0)} dropped"
+        )
+    for event in list(events or [])[-max_events:]:
+        data = event.get("data", {})
+        bits = " ".join(f"{k}={data[k]}" for k in sorted(data))
+        lines.append(
+            f"  #{event.get('seq')} {event.get('ts')}s "
+            f"{event.get('type')}" + (f" {bits}" if bits else "")
+        )
+    return "\n".join(lines)

@@ -80,6 +80,36 @@ class TestWindow:
         assert tracker.counts() == {"other": 1}
 
 
+class TestWindowBoundary:
+    """Bucket expiry is exact: alive strictly inside the window, gone
+    at precisely ``window_s`` after the observation's bucket."""
+
+    def test_burst_survives_until_exactly_window_s(self):
+        tracker, clock = make_tracker(window_s=10.0, buckets=10, min_count=1)
+        for _ in range(5):
+            tracker.observe("k")  # lands in bucket [0, 1)
+        clock.now = 9.999  # last instant still inside the window
+        assert tracker.counts()["k"] == 5
+        assert tracker.is_hot("k")
+        clock.now = 10.0  # exactly one window later: bucket 0 expires
+        assert tracker.counts().get("k", 0) == 0
+        assert tracker.hot_keys() == []
+
+    def test_boundary_clears_only_the_expired_bucket(self):
+        # Expiry is bucket-granular: a bucket starting at t expires
+        # exactly at t + window_s, independent of the other buckets.
+        tracker, clock = make_tracker(window_s=10.0, buckets=10, min_count=1)
+        tracker.observe("old")  # bucket [0, 1)
+        clock.now = 9.0
+        tracker.observe("new")  # bucket [9, 10)
+        clock.now = 10.0  # the boundary drops "old", keeps "new"
+        assert tracker.counts() == {"new": 1}
+        clock.now = 18.999  # "new"'s bucket still inside its window
+        assert tracker.counts() == {"new": 1}
+        clock.now = 19.0  # 9.0 + window_s: expires exactly at it
+        assert tracker.counts() == {}
+
+
 class TestBounds:
     def test_bucket_key_cap_drops_new_cold_keys(self):
         tracker, _ = make_tracker(max_keys_per_bucket=2, min_count=1)

@@ -1,0 +1,121 @@
+"""Dashboard rendering is a pure function: golden snapshots + sparkline
+units.  Any layout change must update these goldens deliberately."""
+
+from repro.viz import render_dashboard, sparkline
+
+CLUSTER_METRICS = {
+    "cluster": {
+        "ring": {
+            "shards": ["http://127.0.0.1:9001", "http://127.0.0.1:9002"],
+            "alive": {"http://127.0.0.1:9001": True,
+                      "http://127.0.0.1:9002": False},
+            "ownership": {"http://127.0.0.1:9001": 0.53,
+                          "http://127.0.0.1:9002": 0.47},
+        },
+        "router": {"requests_total": 120, "reroutes": 2,
+                   "no_live_shard_503": 0},
+        "hot": {"hot_keys": {"spec:sum-n4096": 42}, "top_k": 8},
+        "events": {"emitted": 57, "dropped": 0},
+    },
+    "shards": {
+        "http://127.0.0.1:9001": {
+            "requests_total": 80, "cache": {"hit_rate": 0.5},
+            "warming": {"received_stored": 3},
+        },
+        "http://127.0.0.1:9002": {"error": "connect refused"},
+    },
+}
+CLUSTER_HISTORY = {"rps": {"cluster": [10.0, 20.0, 30.0],
+                           "http://127.0.0.1:9001": [5.0, 6.0, 7.0]}}
+CLUSTER_EVENTS = [
+    {"seq": 56, "ts": 12.3, "type": "shard.down",
+     "data": {"shard": "http://127.0.0.1:9002"}},
+    {"seq": 57, "ts": 12.5, "type": "sample", "data": {"n": 9}},
+]
+
+CLUSTER_GOLDEN = """\
+== repro telemetry =============================================
+source http://127.0.0.1:8799  shards 1/2 up  requests 120  reroutes 2  503s 0
+rps ▁▄█  last 30.0
+shard                  state  req  hit%  warm_rx  rps  trend
+http://127.0.0.1:9001  up     80   50    3        7.0  ▁▄█
+http://127.0.0.1:9002  down   -    -     -        -
+hot keys (1/8): 42 spec:sum-n4096
+events: 57 emitted, 0 dropped
+  #56 12.3s shard.down shard=http://127.0.0.1:9002
+  #57 12.5s sample n=9"""
+
+SERVICE_GOLDEN = """\
+== repro telemetry =============================================
+source http://127.0.0.1:9001  requests 5  rejected 0  uptime 42s
+shard    state  req  hit%  warm_rx  rps  trend
+service  up     5    100   0        -
+events: 3 emitted, 0 dropped"""
+
+
+class TestGolden:
+    def test_cluster_render_matches_golden(self):
+        out = render_dashboard(CLUSTER_METRICS,
+                               source="http://127.0.0.1:8799",
+                               history=CLUSTER_HISTORY,
+                               events=CLUSTER_EVENTS)
+        assert out == CLUSTER_GOLDEN
+
+    def test_render_is_deterministic(self):
+        args = dict(source="http://127.0.0.1:8799",
+                    history=CLUSTER_HISTORY, events=CLUSTER_EVENTS)
+        assert (render_dashboard(CLUSTER_METRICS, **args)
+                == render_dashboard(CLUSTER_METRICS, **args))
+
+    def test_single_service_render_matches_golden(self):
+        metrics = {
+            "requests_total": 5, "rejected": 0, "uptime_s": 42.0,
+            "cache": {"hit_rate": 1.0},
+            "warming": {"received_stored": 0},
+            "telemetry": {"events": {"emitted": 3, "dropped": 0}},
+        }
+        out = render_dashboard(metrics, source="http://127.0.0.1:9001")
+        assert out == SERVICE_GOLDEN
+
+    def test_long_history_adds_the_rps_chart(self):
+        history = {"rps": {"cluster": [10.0, 20.0, 30.0, 40.0, 50.0]}}
+        out = render_dashboard(CLUSTER_METRICS, history=history)
+        assert "rps" in out
+        assert "poll" in out  # the ascii_chart x-label
+
+    def test_long_hot_keys_are_truncated_with_ellipsis(self):
+        metrics = {
+            "cluster": {
+                "ring": {"shards": [], "alive": {}},
+                "router": {},
+                "hot": {"hot_keys": {"spec:" + "x" * 100: 9}, "top_k": 8},
+                "events": {},
+            },
+            "shards": {},
+        }
+        out = render_dashboard(metrics)
+        (hot_line,) = [ln for ln in out.splitlines()
+                       if ln.startswith("hot keys")]
+        assert hot_line.endswith("…")
+        assert len(hot_line) < 70
+
+
+class TestSparkline:
+    def test_empty_is_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series_renders_the_floor_glyph(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_ramp_spans_the_glyph_range(self):
+        out = sparkline(list(range(1, 10)))
+        assert out == "▁▁▂▃▄▅▆▇█"
+        assert out[0] == "▁" and out[-1] == "█"
+
+    def test_width_keeps_the_tail(self):
+        assert sparkline([0, 0, 0, 9, 9, 9], width=3) == "▁▁▁"
+
+    def test_pinned_scale(self):
+        assert sparkline([0.0, 0.5, 1.0], lo=0.0, hi=1.0) == "▁▄█"
+        # Values above the pinned ceiling clamp to the top glyph.
+        assert sparkline([2.0], lo=0.0, hi=1.0) == "█"

@@ -1,0 +1,116 @@
+"""EventBus: ordering, resume cursors, bounded retention, manual-clock
+waits.  Everything here is deterministic — no wall-clock sleeps."""
+
+import asyncio
+
+import pytest
+
+from repro.service.clock import ManualClock
+from repro.telemetry import EventBus
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestOrdering:
+    def test_seq_starts_at_one_and_is_contiguous(self):
+        bus = EventBus(clock=ManualClock())
+        emitted = [bus.emit("tick", i=i) for i in range(5)]
+        assert [e["seq"] for e in emitted] == [1, 2, 3, 4, 5]
+        assert bus.last_seq == 5
+        assert bus.since(0) == emitted
+
+    def test_event_shape_and_timestamp_come_from_the_clock(self):
+        clock = ManualClock()
+        clock._now = 12.5034
+        bus = EventBus(clock=clock)
+        event = bus.emit("shard.down", shard="http://127.0.0.1:9001")
+        assert event == {
+            "seq": 1, "ts": 12.503, "type": "shard.down",
+            "data": {"shard": "http://127.0.0.1:9001"},
+        }
+
+    def test_since_returns_strictly_after_the_cursor(self):
+        bus = EventBus(clock=ManualClock())
+        for i in range(4):
+            bus.emit("tick", i=i)
+        tail = bus.since(2)
+        assert [e["seq"] for e in tail] == [3, 4]
+        assert bus.since(4) == []
+        assert [e["seq"] for e in bus.since(0, limit=2)] == [1, 2]
+
+
+class TestRetention:
+    def test_ring_drops_oldest_and_counts_them(self):
+        bus = EventBus(capacity=4, clock=ManualClock())
+        for i in range(10):
+            bus.emit("tick", i=i)
+        assert bus.dropped == 6
+        assert [e["seq"] for e in bus.since(0)] == [7, 8, 9, 10]
+        snap = bus.snapshot()
+        assert snap == {
+            "emitted": 10, "buffered": 4, "dropped": 6, "capacity": 4,
+            "by_type": {"tick": 10},
+        }
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventBus(capacity=0)
+
+    def test_poll_body_cursor_semantics(self):
+        bus = EventBus(clock=ManualClock())
+        assert bus.poll_body(0, []) == {
+            "events": [], "next_from": 0, "last_seq": 0, "dropped": 0,
+        }
+        bus.emit("a")
+        bus.emit("b")
+        events = bus.since(0)
+        body = bus.poll_body(0, events)
+        assert body["next_from"] == 2
+        assert body["last_seq"] == 2
+        assert body["events"] is events
+
+
+class TestWaiting:
+    def test_wait_since_returns_immediately_when_events_exist(self):
+        async def main():
+            bus = EventBus(clock=ManualClock())
+            bus.emit("ready")
+            events = await bus.wait_since(0, timeout_s=60.0)
+            assert [e["type"] for e in events] == ["ready"]
+
+        run(main())
+
+    def test_wait_since_wakes_on_emit(self):
+        async def main():
+            clock = ManualClock()
+            bus = EventBus(clock=clock)
+            waiter = asyncio.ensure_future(bus.wait_since(0, timeout_s=60.0))
+            await clock.drain()
+            assert not waiter.done()
+            bus.emit("ping", x=1)
+            await clock.drain()
+            assert waiter.done()
+            assert [e["type"] for e in waiter.result()] == ["ping"]
+
+        run(main())
+
+    def test_wait_since_times_out_empty(self):
+        async def main():
+            clock = ManualClock()
+            bus = EventBus(clock=clock)
+            waiter = asyncio.ensure_future(bus.wait_since(0, timeout_s=5.0))
+            await clock.drain()  # let the waiter park on its timer
+            await clock.advance(5.0)
+            assert waiter.done()
+            assert waiter.result() == []
+
+        run(main())
+
+    def test_zero_timeout_never_parks(self):
+        async def main():
+            bus = EventBus(clock=ManualClock())
+            assert await bus.wait_since(0, timeout_s=0.0) == []
+
+        run(main())

@@ -1,0 +1,156 @@
+"""Live ring membership: ``/v1/store/keys``, ``/v1/ring/add`` and
+``/v1/ring/drain`` round trips with the hot-artifact handoff."""
+
+import pytest
+
+from repro.cluster.supervisor import BackgroundCluster
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import BackgroundServer
+
+from tests.cluster.util import poll_until
+
+
+@pytest.fixture
+def isolated_store(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "store"))
+    return tmp_path
+
+
+class TestStoreKeys:
+    def test_lists_namespaces_with_their_keys(self, isolated_store):
+        with BackgroundServer(cache=True,
+                              cache_dir=isolated_store / "cache",
+                              telemetry_persist=True) as srv:
+            client = ServiceClient(srv.url)
+            body = client.store_keys()
+            spaces = body["namespaces"]
+            assert {"sweep", "trace", "telemetry"} <= set(spaces)
+            assert spaces["sweep"] == []
+            client.sweep("sum", "hmm", {"p": 64, "n": [512, 1024],
+                                        "l": [16]})
+            spaces = client.store_keys()["namespaces"]
+            assert len(spaces["sweep"]) >= 1
+            assert all(len(k) == 64 for k in spaces["sweep"])
+
+
+class TestRingAdd:
+    def test_add_routes_traffic_to_the_new_shard(self, isolated_store):
+        with BackgroundCluster(2) as ring:
+            client = ServiceClient(ring.url)
+            spawned = ring.add_shard()
+            assert spawned not in client.metrics()["cluster"]["ring"]["shards"]
+
+            body = client.ring_add(spawned)
+            assert body["added"] is True
+            assert body["shard"] == spawned
+            assert spawned in body["shards"]
+            assert abs(sum(body["ownership"].values()) - 1.0) < 0.01
+
+            ringinfo = client.metrics()["cluster"]["ring"]
+            assert ringinfo["alive"][spawned] is True
+            # The new member serves its share: some spec must route
+            # to it and every request still answers.
+            for n in (512, 1024, 2048, 4096, 8192, 16384):
+                client.cost("sum", "hmm", {"n": n, "p": 64})
+            assert client.metrics()["cluster"]["router"]["ring_adds"] == 1
+
+    def test_add_is_idempotent_for_members(self, isolated_store):
+        with BackgroundCluster(2) as ring:
+            client = ServiceClient(ring.url)
+            body = client.ring_add(ring.shard_urls[0])
+            assert body == {"added": False, "reason": "already_member",
+                            "shards": ring.shard_urls}
+
+    def test_add_refuses_an_unreachable_shard(self, isolated_store):
+        with BackgroundCluster(1) as ring:
+            client = ServiceClient(ring.url, retries=0)
+            with pytest.raises(ServiceError) as err:
+                client.ring_add("http://127.0.0.1:9")
+            assert err.value.status == 400
+            assert err.value.code == "shard_unreachable"
+
+    def test_add_validates_the_url(self, isolated_store):
+        with BackgroundCluster(1) as ring:
+            client = ServiceClient(ring.url, retries=0)
+            for bad in ("ftp://127.0.0.1:80", "http://127.0.0.1",
+                        "not a url"):
+                with pytest.raises(ServiceError) as err:
+                    client.ring_add(bad)
+                assert err.value.status == 400
+
+
+class TestRingDrain:
+    def test_drain_hands_off_artifacts_and_removes_the_shard(
+            self, isolated_store):
+        with BackgroundCluster(2, cache_root=isolated_store / "cache") as ring:
+            client = ServiceClient(ring.url)
+            # Materialise store artifacts that the drain must hand off.
+            client.sweep("sum", "hmm", {"p": 64, "n": [512, 1024],
+                                        "l": [16, 64]})
+            baseline = {
+                n: client.cost("sum", "hmm", {"n": n, "p": 64})["cycles"]
+                for n in (512, 1024, 4096)
+            }
+            # Ring placement depends on the ephemeral ports, so pick a
+            # victim that verifiably owns artifacts to hand off.
+            victim = next(
+                url for url in ring.shard_urls
+                if ServiceClient(url).store_keys()["namespaces"]["sweep"])
+            body = client.ring_drain(victim)
+            assert body["drained"] is True
+            assert body["shard"] == victim
+            assert victim not in body["shards"]
+            handoff = body["handoff"]
+            assert handoff["failed"] == 0
+            assert handoff["keys"] >= 1
+            assert handoff["keys"] == (handoff["pushed"]
+                                       + handoff["skipped"])
+
+            ringinfo = client.metrics()["cluster"]["ring"]
+            assert victim not in ringinfo["shards"]
+            assert victim not in ringinfo["alive"]
+            # Every answer is unchanged with the survivor serving alone.
+            for n, cycles in baseline.items():
+                assert client.cost("sum", "hmm",
+                                   {"n": n, "p": 64})["cycles"] == cycles
+            router = client.metrics()["cluster"]["router"]
+            assert router["ring_drains"] == 1
+            assert router["handoff_failures"] == 0
+
+    def test_drain_unknown_shard_is_404(self, isolated_store):
+        with BackgroundCluster(2) as ring:
+            client = ServiceClient(ring.url, retries=0)
+            with pytest.raises(ServiceError) as err:
+                client.ring_drain("http://127.0.0.1:9")
+            assert err.value.status == 404
+            assert err.value.code == "unknown_shard"
+
+    def test_drain_refuses_the_last_shard(self, isolated_store):
+        with BackgroundCluster(1) as ring:
+            client = ServiceClient(ring.url, retries=0)
+            with pytest.raises(ServiceError) as err:
+                client.ring_drain(ring.shard_urls[0])
+            assert err.value.status == 400
+            assert err.value.code == "last_shard"
+
+
+class TestMembershipEvents:
+    def test_add_and_drain_emit_ring_events(self, isolated_store):
+        with BackgroundCluster(2, multiplex=True) as ring:
+            client = ServiceClient(ring.url)
+            spawned = ring.add_shard()
+            client.ring_add(spawned)
+            client.ring_drain(ring.shard_urls[0])
+            events = poll_until(lambda: (
+                lambda evs: evs
+                if {"ring.add", "ring.drain"} <= {e["type"] for e in evs}
+                else None
+            )(client.events(from_seq=0, timeout_s=0.0)["events"]))
+            assert events is not None
+            add = next(e for e in events if e["type"] == "ring.add")
+            assert add["data"]["shard"] == spawned
+            drain = next(e for e in events if e["type"] == "ring.drain")
+            assert drain["data"]["shard"] == ring.shard_urls[0]
+            assert drain["data"]["failed"] == 0
+            assert drain["data"]["keys"] == (drain["data"]["pushed"]
+                                             + drain["data"]["skipped"])

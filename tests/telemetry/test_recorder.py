@@ -1,0 +1,161 @@
+"""MetricsRecorder: manual-clock sampling, retention rings, and the
+persist → load → restore round trip through the artifact store."""
+
+import asyncio
+
+import pytest
+
+from repro.service.clock import ManualClock
+from repro.store import ArtifactStore
+from repro.telemetry import (
+    EventBus,
+    MetricsRecorder,
+    RingSeries,
+    flatten_numeric,
+    telemetry_store_key,
+)
+
+
+class TestFlatten:
+    def test_numeric_leaves_get_dotted_paths(self):
+        snap = {
+            "requests_total": 7,
+            "cache": {"hit_rate": 0.25, "entries": 4},
+            "store": {"sweep": {"hits_local": 2}},
+        }
+        assert flatten_numeric(snap) == {
+            "requests_total": 7.0,
+            "cache.hit_rate": 0.25,
+            "cache.entries": 4.0,
+            "store.sweep.hits_local": 2.0,
+        }
+
+    def test_bools_strings_and_lists_are_skipped(self):
+        snap = {"ok": True, "name": "svc", "series": [1, 2], "n": 3}
+        assert flatten_numeric(snap) == {"n": 3.0}
+
+
+class TestSampling:
+    def test_sample_records_each_leaf_at_the_clock_time(self):
+        clock = ManualClock()
+        state = {"n": 1}
+        rec = MetricsRecorder(lambda: state, clock=clock, retention=10)
+        rec.sample()
+        clock._now = 2.0
+        state["n"] = 5
+        rec.sample()
+        series = rec.series("n")
+        assert list(series.times) == [0.0, 2.0]
+        assert list(series.values) == [1.0, 5.0]
+        assert rec.values("n") == [1.0, 5.0]
+        assert rec.values("missing") == []
+        assert rec.samples == 2
+
+    def test_retention_keeps_only_the_last_n(self):
+        clock = ManualClock()
+        state = {"n": 0}
+        rec = MetricsRecorder(lambda: state, clock=clock, retention=3)
+        for i in range(6):
+            state["n"] = i
+            rec.sample()
+        assert rec.values("n") == [3.0, 4.0, 5.0]
+        assert len(rec.series("n")) == 3
+
+    def test_source_exceptions_are_counted_not_raised(self):
+        def broken():
+            raise RuntimeError("gauge on fire")
+
+        rec = MetricsRecorder(broken, clock=ManualClock())
+        assert rec.sample() == {}
+        assert rec.source_errors == 1
+        assert rec.samples == 0
+
+    def test_max_series_cap_is_first_observed_wins(self):
+        rec = MetricsRecorder(lambda: {"a": 1, "b": 2, "c": 3},
+                              clock=ManualClock(), max_series=2)
+        rec.sample()
+        assert len(rec.series_names()) == 2
+
+    def test_sample_emits_a_bus_event(self):
+        clock = ManualClock()
+        bus = EventBus(clock=clock)
+        rec = MetricsRecorder(lambda: {"n": 1}, clock=clock, bus=bus)
+        rec.sample()
+        (event,) = bus.since(0)
+        assert event["type"] == "sample"
+        assert event["data"] == {"t": 0.0, "series": 1, "n": 1}
+
+    def test_invalid_knobs_raise(self):
+        with pytest.raises(ValueError):
+            MetricsRecorder(dict, resolution_s=0.0)
+        with pytest.raises(ValueError):
+            MetricsRecorder(dict, retention=0)
+
+
+class TestRunLoop:
+    def test_run_samples_once_per_resolution_until_stopped(self):
+        async def main():
+            clock = ManualClock()
+            rec = MetricsRecorder(lambda: {"n": 1}, resolution_s=1.0,
+                                  clock=clock)
+            task = asyncio.ensure_future(rec.run())
+            await clock.drain()
+            assert rec.samples == 0  # nothing before the first tick
+            for expected in (1, 2, 3):
+                await clock.advance(1.0)
+                assert rec.samples == expected
+            rec.stop()
+            await clock.advance(1.0)
+            await task  # exits cleanly, no extra sample
+            assert rec.samples == 3
+
+        asyncio.run(main())
+
+
+class TestPersistence:
+    def test_persist_is_a_noop_without_a_store(self):
+        rec = MetricsRecorder(lambda: {"n": 1}, clock=ManualClock())
+        rec.sample()
+        assert rec.persist() is None
+        assert rec.restore() is False
+        assert rec.snapshot()["persisted"] is False
+
+    def test_persist_load_restore_round_trip(self, tmp_path):
+        space = ArtifactStore(tmp_path).namespace("telemetry")
+        clock = ManualClock()
+        state = {"n": 0}
+        rec = MetricsRecorder(lambda: state, clock=clock, retention=10,
+                              store_space=space, name="svc")
+        for i in range(3):
+            clock._now = float(i)
+            state["n"] = i * 10
+            rec.sample()
+        key = rec.persist()
+        assert key == telemetry_store_key("svc")
+
+        artifact = MetricsRecorder.load(space, "svc")
+        assert artifact["name"] == "svc"
+        assert artifact["samples"] == 3
+        assert artifact["series"]["n"] == {"t": [0.0, 1.0, 2.0],
+                                           "v": [0.0, 10.0, 20.0]}
+        assert MetricsRecorder.load(space, "nobody") is None
+
+        fresh = MetricsRecorder(lambda: state, clock=ManualClock(),
+                                retention=10, store_space=space, name="svc")
+        assert fresh.restore() is True
+        assert fresh.values("n") == [0.0, 10.0, 20.0]
+        # Live sampling appends after the restored history.
+        state["n"] = 99
+        fresh.sample()
+        assert fresh.values("n") == [0.0, 10.0, 20.0, 99.0]
+
+
+class TestRingSeries:
+    def test_last_and_as_dict(self):
+        series = RingSeries(2)
+        assert series.last is None
+        series.append(1.0, 10.0)
+        series.append(2.0005, 20.0)
+        series.append(3.0, 30.0)  # evicts the first point
+        assert series.last == 30.0
+        assert series.as_dict() == {"t": [2.001, 3.0], "v": [20.0, 30.0]}

@@ -1,0 +1,164 @@
+"""Streaming transports: SSE framing, the drain sentinel, and live
+server round trips (SSE and long-poll agree, resume never duplicates)."""
+
+import asyncio
+
+from repro.service.client import ServiceClient
+from repro.service.clock import ManualClock
+from repro.service.server import BackgroundServer
+from repro.telemetry import (
+    SSE_HEARTBEAT,
+    EventBus,
+    poll_events,
+    sse_events,
+    sse_frame,
+    sse_head,
+    stream_over_http,
+)
+
+from tests.cluster.util import poll_until
+
+COST = {"n": 1024, "p": 64}
+
+
+class FakeWriter:
+    """Collects written bytes; drain is a no-op."""
+
+    def __init__(self) -> None:
+        self.chunks: list[bytes] = []
+
+    def write(self, data: bytes) -> None:
+        self.chunks.append(data)
+
+    async def drain(self) -> None:
+        pass
+
+    @property
+    def payload(self) -> bytes:
+        return b"".join(self.chunks)
+
+
+class TestFraming:
+    def test_head_has_no_content_length(self):
+        head = sse_head()
+        assert b"text/event-stream" in head
+        assert b"Content-Length" not in head
+        assert head.endswith(b"\r\n\r\n")
+
+    def test_frame_carries_the_whole_event_as_data(self):
+        event = {"seq": 7, "ts": 1.5, "type": "ping", "data": {"x": 1}}
+        frame = sse_frame(event).decode()
+        assert frame.startswith("id: 7\nevent: ping\ndata: ")
+        assert frame.endswith("\n\n")
+        assert '"seq": 7' in frame
+
+
+class TestStreamOverHttp:
+    def test_limit_closes_after_n_events(self):
+        async def main():
+            clock = ManualClock()
+            bus = EventBus(clock=clock)
+            for i in range(5):
+                bus.emit("tick", i=i)
+            writer = FakeWriter()
+            sent = await stream_over_http(writer, bus, from_seq=0,
+                                          max_events=3)
+            assert sent == 3
+            expected = sse_head() + b"".join(
+                sse_frame(e) for e in bus.since(0, limit=3))
+            assert writer.payload == expected
+
+        asyncio.run(main())
+
+    def test_resume_from_seq_skips_delivered_events(self):
+        async def main():
+            bus = EventBus(clock=ManualClock())
+            for i in range(4):
+                bus.emit("tick", i=i)
+            writer = FakeWriter()
+            await stream_over_http(writer, bus, from_seq=2, max_events=2)
+            assert writer.payload == sse_head() + b"".join(
+                sse_frame(e) for e in bus.since(2))
+
+        asyncio.run(main())
+
+    def test_drain_sentinel_is_the_last_frame(self):
+        async def main():
+            clock = ManualClock()
+            bus = EventBus(clock=clock)
+            stop = asyncio.Event()
+            bus.emit("server.start")
+            # The shutdown ordering both servers use: sentinel first,
+            # stop flag second — the open stream must still deliver it.
+            bus.emit("server.drain")
+            stop.set()
+            writer = FakeWriter()
+            sent = await stream_over_http(writer, bus, from_seq=0,
+                                          stop=stop, heartbeat_s=60.0)
+            assert sent == 2
+            assert b"event: server.drain" in writer.payload
+
+        asyncio.run(main())
+
+    def test_idle_stream_heartbeats_then_obeys_stop(self):
+        async def main():
+            clock = ManualClock()
+            bus = EventBus(clock=clock)
+            stop = asyncio.Event()
+            writer = FakeWriter()
+            task = asyncio.ensure_future(stream_over_http(
+                writer, bus, from_seq=0, stop=stop, heartbeat_s=5.0))
+            await clock.drain()  # let the stream park on its idle wait
+            await clock.advance(5.0)  # one idle wait elapses
+            assert SSE_HEARTBEAT in writer.chunks
+            stop.set()
+            await clock.advance(5.0)
+            assert (await task) == 0
+
+        asyncio.run(main())
+
+
+class TestLiveServer:
+    def test_sse_and_long_poll_agree_and_resume_is_exact(self):
+        with BackgroundServer(cache=False,
+                              telemetry_resolution_s=0.1) as srv:
+            client = ServiceClient(srv.url)
+            client.cost("sum", "hmm", COST)
+
+            streamed = list(sse_events(srv.url, from_seq=0, limit=2))
+            assert len(streamed) == 2
+            assert streamed[0]["type"] == "server.start"
+
+            events, cursor = poll_events(srv.url, client=client)
+            assert events[:2] == streamed
+            seqs = [e["seq"] for e in events]
+            assert seqs == list(range(1, len(seqs) + 1))
+
+            # Resume from the cursor: strictly newer events only.
+            more = poll_until(
+                lambda: poll_events(srv.url, from_seq=cursor,
+                                    client=client)[0])
+            assert min(e["seq"] for e in more) == cursor + 1
+
+    def test_long_poll_blocks_until_the_next_event(self):
+        with BackgroundServer(cache=False,
+                              telemetry_resolution_s=0.2) as srv:
+            client = ServiceClient(srv.url)
+            cursor = client.events(from_seq=0, timeout_s=0.0)["next_from"]
+            # The recorder samples every 0.2 s; a 30 s long poll must
+            # return as soon as the next sample lands, not after 30 s.
+            body = client.events(from_seq=cursor, timeout_s=30.0)
+            assert body["events"]
+            assert all(e["seq"] > cursor for e in body["events"])
+
+    def test_events_query_validation_is_400(self):
+        from tests.cluster.util import raw_request
+
+        with BackgroundServer(cache=False) as srv:
+            status, body = raw_request(
+                srv.url, "GET", "/v1/events?from=-1")
+            assert status == 400
+            status, body = raw_request(
+                srv.url, "GET", "/v1/events?limit=0")
+            assert status == 400
+            assert b"limit" in body

@@ -112,8 +112,29 @@ def render(records: list[dict]) -> str:
             lines.append("   per-shard serving (hit rates from the warm "
                          "cluster run):")
             lines.append(_indent(shard_table))
+        overhead = _telemetry_overhead_line(record)
+        if overhead:
+            lines.append(overhead)
         lines.append("")
     return "\n".join(lines).rstrip() + "\n"
+
+
+def _telemetry_overhead_line(record: dict) -> str | None:
+    """One-line streaming-overhead summary (the telemetry benchmark)."""
+    if record.get("bench") != "telemetry":
+        return None
+    metrics = record.get("metrics", {})
+    criteria = record.get("criteria", {})
+    if "overhead_pct" not in metrics:
+        return None
+    return (
+        f"   streaming overhead: {metrics['overhead_pct']:g}% of the "
+        f"telemetry-off rps "
+        f"(budget {criteria.get('max_overhead_pct', 0):g}%; "
+        f"{metrics.get('off_rps', 0):g} -> {metrics.get('on_rps', 0):g} "
+        f"rps with a live SSE subscriber, "
+        f"{_fmt_value(metrics.get('events_streamed', 0))} events streamed)"
+    )
 
 
 def _per_shard_table(record: dict) -> str | None:
